@@ -1,0 +1,163 @@
+// E13 — ablations on the design choices DESIGN.md calls out:
+//
+// (a) DCQCN on/off under incast (§2 "Need for congestion control"): DCQCN
+//     reacts to switch queue lengths via ECN and sharply reduces PFC pause
+//     generation and propagation, and improves fairness.
+// (b) go-back-N retransmission waste (§4.1): up to RTT x C bytes are
+//     retransmitted per drop; we sweep the loss rate and report goodput
+//     and the retransmission overhead, versus go-back-0.
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "src/app/demux.h"
+#include "src/app/traffic.h"
+#include "src/topo/fabric.h"
+
+using namespace rocelab;
+
+namespace {
+
+struct IncastResult {
+  double pauses_per_sec = 0.0;
+  double aggregate_gbps = 0.0;
+  double jain_fairness = 0.0;
+  std::int64_t cnps = 0;
+};
+
+IncastResult run_incast(bool dcqcn, Time duration) {
+  Fabric fabric;
+  SwitchConfig cfg;
+  cfg.lossless[3] = true;
+  cfg.ecn[3] = EcnConfig{true, 50 * kKiB, 400 * kKiB, 0.01};
+  const int senders = 8;
+  auto& sw = fabric.add_switch("sw", cfg, senders + 1);
+  sw.add_local_subnet(Ipv4Prefix{Ipv4Addr::from_octets(10, 0, 0, 0), 24});
+  HostConfig hc;
+  hc.lossless[3] = true;
+  auto& rx = fabric.add_host("rx", hc);
+  rx.set_ip(Ipv4Addr::from_octets(10, 0, 0, 100));
+  fabric.attach_host(rx, sw, senders, gbps(40), propagation_delay_for_meters(2));
+
+  std::vector<Host*> tx;
+  std::vector<std::unique_ptr<RdmaDemux>> demuxes;
+  std::vector<std::unique_ptr<RdmaStreamSource>> sources;
+  for (int i = 0; i < senders; ++i) {
+    auto& h = fabric.add_host("tx" + std::to_string(i), hc);
+    h.set_ip(Ipv4Addr::from_octets(10, 0, 0, static_cast<std::uint8_t>(i + 1)));
+    fabric.attach_host(h, sw, i, gbps(40), propagation_delay_for_meters(2));
+    QpConfig qp;
+    qp.dcqcn = dcqcn;
+    auto [qa, qb] = connect_qp_pair(h, rx, qp);
+    (void)qb;
+    demuxes.push_back(std::make_unique<RdmaDemux>(h));
+    sources.push_back(std::make_unique<RdmaStreamSource>(
+        h, *demuxes.back(), qa,
+        RdmaStreamSource::Options{.message_bytes = 256 * kKiB, .max_outstanding = 2}));
+    sources.back()->start();
+    tx.push_back(&h);
+  }
+
+  fabric.sim().run_until(duration);
+
+  IncastResult r;
+  std::int64_t pauses = 0;
+  for (int p = 0; p < sw.port_count(); ++p) pauses += sw.port(p).counters().total_tx_pause();
+  r.pauses_per_sec = static_cast<double>(pauses) / to_seconds(duration);
+  double sum = 0, sum_sq = 0;
+  for (auto& s : sources) {
+    const double g = s->goodput_bps();
+    r.aggregate_gbps += g / 1e9;
+    sum += g;
+    sum_sq += g * g;
+  }
+  r.jain_fairness = sum * sum / (static_cast<double>(sources.size()) * sum_sq);
+  for (Host* h : tx) r.cnps += h->rdma().stats().cnps_received;
+  return r;
+}
+
+struct LossResult {
+  double goodput_gbps = 0.0;
+  double retx_fraction = 0.0;
+};
+
+LossResult run_loss(LossRecovery recovery, double loss_rate, Time duration) {
+  Fabric fabric;
+  SwitchConfig cfg;
+  cfg.lossless[3] = true;
+  auto& sw = fabric.add_switch("sw", cfg, 2);
+  sw.add_local_subnet(Ipv4Prefix{Ipv4Addr::from_octets(10, 0, 0, 0), 24});
+  // Random (not IP-ID-deterministic) loss: FCS-style corruption.
+  auto rng = std::make_shared<Rng>(42);
+  if (loss_rate > 0) {
+    sw.set_drop_filter([rng, loss_rate](const Packet& pkt) {
+      return pkt.kind == PacketKind::kRoceData && rng->bernoulli(loss_rate);
+    });
+  }
+  HostConfig hc;
+  hc.lossless[3] = true;
+  auto& a = fabric.add_host("a", hc);
+  auto& b = fabric.add_host("b", hc);
+  a.set_ip(Ipv4Addr::from_octets(10, 0, 0, 1));
+  b.set_ip(Ipv4Addr::from_octets(10, 0, 0, 2));
+  fabric.attach_host(a, sw, 0, gbps(40), propagation_delay_for_meters(2));
+  fabric.attach_host(b, sw, 1, gbps(40), propagation_delay_for_meters(2));
+  QpConfig qp;
+  qp.recovery = recovery;
+  qp.dcqcn = false;
+  auto [qa, qb] = connect_qp_pair(a, b, qp);
+  (void)qb;
+  RdmaDemux da(a);
+  RdmaStreamSource src(a, da, qa, {.message_bytes = 4 * kMiB, .max_outstanding = 1});
+  src.start();
+  fabric.sim().run_until(duration);
+
+  LossResult r;
+  r.goodput_gbps = src.goodput_bps() / 1e9;
+  const auto& st = a.rdma().stats();
+  r.retx_fraction = st.data_packets_sent > 0
+                        ? static_cast<double>(st.data_packets_retx) /
+                              static_cast<double>(st.data_packets_sent)
+                        : 0.0;
+  return r;
+}
+
+}  // namespace
+
+int main() {
+  const Time duration = milliseconds(bench::env_int("ROCELAB_ABL_MS", 40));
+
+  bench::print_header("E13a — DCQCN ablation: 8-to-1 incast on the lossless class");
+  const IncastResult with_cc = run_incast(true, duration);
+  const IncastResult without_cc = run_incast(false, duration);
+  const std::vector<int> w{26, 16, 16};
+  bench::print_row({"metric", "DCQCN on", "DCQCN off"}, w);
+  bench::print_rule(w);
+  bench::print_row({"switch pauses/s", bench::fmt("%.0f", with_cc.pauses_per_sec),
+                    bench::fmt("%.0f", without_cc.pauses_per_sec)}, w);
+  bench::print_row({"aggregate goodput (Gb/s)", bench::fmt("%.1f", with_cc.aggregate_gbps),
+                    bench::fmt("%.1f", without_cc.aggregate_gbps)}, w);
+  bench::print_row({"Jain fairness", bench::fmt("%.3f", with_cc.jain_fairness),
+                    bench::fmt("%.3f", without_cc.jain_fairness)}, w);
+  bench::print_row({"CNPs received", std::to_string(with_cc.cnps),
+                    std::to_string(without_cc.cnps)}, w);
+  const bool cc_reduces_pauses =
+      with_cc.pauses_per_sec < 0.5 * without_cc.pauses_per_sec && with_cc.cnps > 0;
+
+  bench::print_header("E13b — go-back-N loss sweep (waste <= RTT x C per drop, §4.1)");
+  std::printf("%-12s %18s %14s %18s %14s\n", "loss rate", "goback-N Gb/s", "retx frac",
+              "goback-0 Gb/s", "retx frac");
+  std::printf("--------------------------------------------------------------------------\n");
+  bool gbn_degrades_gracefully = true;
+  for (double loss : {0.0, 1e-4, 1e-3, 4e-3, 1e-2}) {
+    const LossResult n = run_loss(LossRecovery::kGoBackN, loss, duration);
+    const LossResult z = run_loss(LossRecovery::kGoBack0, loss, duration);
+    std::printf("%-12g %18.2f %14.3f %18.2f %14.3f\n", loss, n.goodput_gbps, n.retx_fraction,
+                z.goodput_gbps, z.retx_fraction);
+    if (loss > 0 && loss <= 1e-3 && n.goodput_gbps < 20) gbn_degrades_gracefully = false;
+  }
+
+  std::printf("\nDCQCN cuts pause generation: %s   go-back-N graceful under low loss: %s\n",
+              cc_reduces_pauses ? "CONFIRMED" : "NOT REPRODUCED",
+              gbn_degrades_gracefully ? "CONFIRMED" : "NOT REPRODUCED");
+  return (cc_reduces_pauses && gbn_degrades_gracefully) ? 0 : 1;
+}

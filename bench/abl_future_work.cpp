@@ -1,0 +1,197 @@
+// E15 — §8.1 future-work explorations, built on the extension features:
+//
+// (a) Per-packet routing ("ECMP achieves only 60%... per-packet routing for
+//     better network utilization. How to make these designs work for RDMA
+//     in the lossless network context will be an interesting challenge."):
+//     we sweep {flow-hash, packet-spray} x {go-back-N, selective-repeat}
+//     over a multi-path fabric. Spraying destroys go-back-N (reordering
+//     triggers constant go-backs) but delivers near-full utilization with
+//     a reorder-tolerant selective-repeat transport — quantifying exactly
+//     the challenge the paper names.
+//
+// (b) TIMELY vs DCQCN under incast (§2: "we believe the lessons ... apply
+//     to the networks using TIMELY as well"): both reduce PFC pause
+//     generation versus no congestion control.
+#include <cstdio>
+#include <memory>
+
+#include "bench/bench_util.h"
+#include "src/app/demux.h"
+#include "src/app/traffic.h"
+#include "src/topo/fabric.h"
+
+using namespace rocelab;
+
+namespace {
+
+struct SprayResult {
+  double goodput_gbps = 0.0;
+  double retx_fraction = 0.0;
+  std::int64_t naks = 0;
+  int paths_used = 0;
+};
+
+SprayResult run_spray(bool spray, LossRecovery recovery, Time duration) {
+  // Two routers joined by 4 parallel 10G paths; one 40G flow. Flow-hash
+  // pins it to a single 10G path (25% of fabric); spraying can use all 4.
+  Fabric fabric;
+  SwitchConfig cfg;
+  cfg.lossless[3] = true;
+  cfg.packet_spray = spray;
+  auto& s1 = fabric.add_switch("s1", cfg, 6);
+  auto& s2 = fabric.add_switch("s2", cfg, 6);
+  s1.add_local_subnet(Ipv4Prefix{Ipv4Addr::from_octets(10, 0, 0, 0), 24});
+  s2.add_local_subnet(Ipv4Prefix{Ipv4Addr::from_octets(10, 0, 1, 0), 24});
+  s1.add_route(Ipv4Prefix{Ipv4Addr::from_octets(10, 0, 1, 0), 24}, {2, 3, 4, 5});
+  s2.add_route(Ipv4Prefix{Ipv4Addr::from_octets(10, 0, 0, 0), 24}, {2, 3, 4, 5});
+  // Asymmetric path lengths (as in any real fabric): spraying across them
+  // reorders packets.
+  const double path_meters[4] = {2, 100, 200, 300};
+  for (int p = 2; p < 6; ++p) {
+    fabric.attach_switches(s1, p, s2, p, gbps(10),
+                           propagation_delay_for_meters(path_meters[p - 2]));
+  }
+  HostConfig hc;
+  hc.lossless[3] = true;
+  auto& a = fabric.add_host("a", hc);
+  auto& b = fabric.add_host("b", hc);
+  a.set_ip(Ipv4Addr::from_octets(10, 0, 0, 1));
+  b.set_ip(Ipv4Addr::from_octets(10, 0, 1, 1));
+  fabric.attach_host(a, s1, 0, gbps(40), propagation_delay_for_meters(2));
+  fabric.attach_host(b, s2, 0, gbps(40), propagation_delay_for_meters(2));
+
+  QpConfig qp;
+  qp.recovery = recovery;
+  qp.dcqcn = false;
+  auto [qa, qb] = connect_qp_pair(a, b, qp);
+  (void)qb;
+  RdmaDemux da(a);
+  RdmaStreamSource src(a, da, qa, {.message_bytes = 1 * kMiB, .max_outstanding = 4});
+  src.start();
+  fabric.sim().run_until(duration);
+
+  SprayResult r;
+  r.goodput_gbps = src.goodput_bps() / 1e9;
+  const auto& st = a.rdma().stats();
+  r.retx_fraction = st.data_packets_sent > 0
+                        ? static_cast<double>(st.data_packets_retx) /
+                              static_cast<double>(st.data_packets_sent)
+                        : 0.0;
+  r.naks = b.rdma().stats().naks_sent;
+  for (int p = 2; p < 6; ++p) {
+    if (s1.port(p).counters().tx_packets[3] > 0) ++r.paths_used;
+  }
+  return r;
+}
+
+struct CcResult {
+  double pauses_per_sec = 0.0;
+  double goodput_gbps = 0.0;
+  double jain = 0.0;
+};
+
+CcResult run_cc(bool enabled, CcAlgorithm algo, Time duration) {
+  Fabric fabric;
+  SwitchConfig cfg;
+  cfg.lossless[3] = true;
+  cfg.ecn[3] = EcnConfig{true, 50 * kKiB, 400 * kKiB, 0.01};
+  const int senders = 8;
+  auto& sw = fabric.add_switch("sw", cfg, senders + 1);
+  sw.add_local_subnet(Ipv4Prefix{Ipv4Addr::from_octets(10, 0, 0, 0), 24});
+  HostConfig hc;
+  hc.lossless[3] = true;
+  auto& rx = fabric.add_host("rx", hc);
+  rx.set_ip(Ipv4Addr::from_octets(10, 0, 0, 100));
+  fabric.attach_host(rx, sw, senders, gbps(40), propagation_delay_for_meters(2));
+
+  std::vector<std::unique_ptr<RdmaDemux>> demuxes;
+  std::vector<std::unique_ptr<RdmaStreamSource>> sources;
+  for (int i = 0; i < senders; ++i) {
+    auto& h = fabric.add_host("tx" + std::to_string(i), hc);
+    h.set_ip(Ipv4Addr::from_octets(10, 0, 0, static_cast<std::uint8_t>(i + 1)));
+    fabric.attach_host(h, sw, i, gbps(40), propagation_delay_for_meters(2));
+    QpConfig qp;
+    qp.dcqcn = enabled;
+    qp.cc = algo;
+    auto [qa, qb] = connect_qp_pair(h, rx, qp);
+    (void)qb;
+    demuxes.push_back(std::make_unique<RdmaDemux>(h));
+    sources.push_back(std::make_unique<RdmaStreamSource>(
+        h, *demuxes.back(), qa,
+        RdmaStreamSource::Options{.message_bytes = 256 * kKiB, .max_outstanding = 2}));
+    sources.back()->start();
+  }
+  fabric.sim().run_until(duration);
+
+  CcResult r;
+  std::int64_t pauses = 0;
+  for (int p = 0; p < sw.port_count(); ++p) pauses += sw.port(p).counters().total_tx_pause();
+  r.pauses_per_sec = static_cast<double>(pauses) / to_seconds(duration);
+  double sum = 0, sum_sq = 0;
+  for (auto& s : sources) {
+    const double g = s->goodput_bps();
+    r.goodput_gbps += g / 1e9;
+    sum += g;
+    sum_sq += g * g;
+  }
+  r.jain = sum * sum / (static_cast<double>(sources.size()) * sum_sq);
+  return r;
+}
+
+}  // namespace
+
+int main() {
+  const Time duration = milliseconds(bench::env_int("ROCELAB_FW_MS", 40));
+
+  bench::print_header("E15a / §8.1 — per-packet routing vs per-flow ECMP (1 flow, 4 x 10G paths)");
+  const std::vector<int> w{14, 18, 16, 12, 10, 12};
+  bench::print_row({"routing", "recovery", "goodput(Gb/s)", "retx frac", "NAKs", "paths used"},
+                   w);
+  bench::print_rule(w);
+  SprayResult results[4];
+  int i = 0;
+  for (bool spray : {false, true}) {
+    for (LossRecovery rec : {LossRecovery::kGoBackN, LossRecovery::kSelectiveRepeat}) {
+      const SprayResult r = run_spray(spray, rec, duration);
+      results[i++] = r;
+      bench::print_row({spray ? "pkt-spray" : "flow-hash",
+                        rec == LossRecovery::kGoBackN ? "go-back-N" : "selective",
+                        bench::fmt("%.2f", r.goodput_gbps), bench::fmt("%.3f", r.retx_fraction),
+                        std::to_string(r.naks), std::to_string(r.paths_used)},
+                       w);
+    }
+  }
+  const bool hash_pins = results[0].paths_used == 1 && results[0].goodput_gbps < 12;
+  const bool spray_breaks_gbn = results[2].retx_fraction > 0.2 ||
+                                results[2].goodput_gbps < 0.7 * results[3].goodput_gbps;
+  const bool spray_sr_wins = results[3].goodput_gbps > 2.0 * results[0].goodput_gbps &&
+                             results[3].paths_used == 4;
+  std::printf("\nflow-hash pins the flow to one path: %s\n"
+              "spraying breaks go-back-N (reorder -> go-backs): %s\n"
+              "spraying + reorder-tolerant transport reclaims the fabric: %s\n",
+              hash_pins ? "CONFIRMED" : "NOT REPRODUCED",
+              spray_breaks_gbn ? "CONFIRMED" : "NOT REPRODUCED",
+              spray_sr_wins ? "CONFIRMED" : "NOT REPRODUCED");
+
+  bench::print_header("E15b / §2 — TIMELY vs DCQCN vs none (8-to-1 incast)");
+  const std::vector<int> w2{14, 16, 18, 12};
+  bench::print_row({"cc", "pauses/s", "goodput(Gb/s)", "Jain"}, w2);
+  bench::print_rule(w2);
+  const CcResult none = run_cc(false, CcAlgorithm::kDcqcn, duration);
+  const CcResult dcqcn = run_cc(true, CcAlgorithm::kDcqcn, duration);
+  const CcResult timely = run_cc(true, CcAlgorithm::kTimely, duration);
+  bench::print_row({"none", bench::fmt("%.0f", none.pauses_per_sec),
+                    bench::fmt("%.1f", none.goodput_gbps), bench::fmt("%.3f", none.jain)}, w2);
+  bench::print_row({"DCQCN", bench::fmt("%.0f", dcqcn.pauses_per_sec),
+                    bench::fmt("%.1f", dcqcn.goodput_gbps), bench::fmt("%.3f", dcqcn.jain)}, w2);
+  bench::print_row({"TIMELY", bench::fmt("%.0f", timely.pauses_per_sec),
+                    bench::fmt("%.1f", timely.goodput_gbps), bench::fmt("%.3f", timely.jain)},
+                   w2);
+  std::printf("(TIMELY's weaker fairness is consistent with the literature: delay-based\n"
+              "control has no unique per-flow fixed point, unlike DCQCN's ECN feedback.)\n");
+  const bool both_reduce = dcqcn.pauses_per_sec < 0.5 * none.pauses_per_sec &&
+                           timely.pauses_per_sec < 0.5 * none.pauses_per_sec;
+  std::printf("\nboth DCQCN and TIMELY cut PFC pause generation vs none: %s\n",
+              both_reduce ? "CONFIRMED" : "NOT REPRODUCED");
+  return (hash_pins && spray_breaks_gbn && spray_sr_wins && both_reduce) ? 0 : 1;
+}

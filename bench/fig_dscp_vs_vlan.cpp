@@ -1,0 +1,243 @@
+// E14 — §3 / Fig. 3: why VLAN-based PFC fails operationally and
+// DSCP-based PFC scales.
+//
+// Problem 1 (PXE boot): VLAN-based PFC needs server-facing switch ports in
+// trunk mode, but a NIC going through PXE boot has no VLAN configuration —
+// its untagged frames are dropped and OS provisioning breaks. DSCP-based
+// PFC keeps ports in access mode: PXE works.
+//
+// Problem 2 (layer-3 scaling): the VLAN PCP is not preserved when packets
+// are routed across subnet boundaries, so RDMA traffic silently loses its
+// lossless class beyond the first switch — congestion then DROPS lossless
+// packets downstream. The DSCP field rides in the IP header and survives
+// routing, keeping PFC protection end to end.
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "src/app/demux.h"
+#include "src/app/traffic.h"
+#include "src/topo/fabric.h"
+
+using namespace rocelab;
+
+namespace {
+
+struct PxeResult {
+  std::int64_t provisioned_bytes = 0;  // PXE traffic that reached the server
+  std::int64_t dropped_frames = 0;
+  std::int64_t normal_bytes = 0;  // a VLAN-configured neighbor still works
+};
+
+PxeResult run_pxe(ClassifyMode mode) {
+  Fabric fabric;
+  SwitchConfig cfg;
+  cfg.lossless[3] = true;
+  cfg.classify_mode = mode;
+  auto& sw = fabric.add_switch("tor", cfg, 3);
+  sw.add_local_subnet(Ipv4Prefix{Ipv4Addr::from_octets(10, 0, 0, 0), 24});
+
+  HostConfig host_cfg;
+  host_cfg.lossless[3] = true;
+  if (mode == ClassifyMode::kVlanPcp) host_cfg.vlan_id = 100;
+  auto& provisioner = fabric.add_host("provisioning-server", host_cfg);
+  auto& pxe_server = fabric.add_host("pxe-booting-server", host_cfg);
+  auto& neighbor = fabric.add_host("neighbor", host_cfg);
+  provisioner.set_ip(Ipv4Addr::from_octets(10, 0, 0, 1));
+  pxe_server.set_ip(Ipv4Addr::from_octets(10, 0, 0, 2));
+  neighbor.set_ip(Ipv4Addr::from_octets(10, 0, 0, 3));
+  fabric.attach_host(provisioner, sw, 0, gbps(40), propagation_delay_for_meters(2));
+  fabric.attach_host(pxe_server, sw, 1, gbps(40), propagation_delay_for_meters(2));
+  fabric.attach_host(neighbor, sw, 2, gbps(40), propagation_delay_for_meters(2));
+  // VLAN-based PFC forces trunk mode on server ports; DSCP keeps access.
+  const L2PortMode port_mode =
+      mode == ClassifyMode::kVlanPcp ? L2PortMode::kTrunk : L2PortMode::kAccess;
+  for (int p = 0; p < 3; ++p) sw.set_port_l2_mode(p, port_mode);
+
+  // The PXE-booting server's NIC has no VLAN configuration yet.
+  pxe_server.set_pxe_boot(true);
+
+  // "PXE boot": the booting server requests its OS image; the provisioning
+  // service answers. Both directions must work. We model the exchange with
+  // raw UDP datagrams through the hosts' raw handler.
+  std::int64_t provisioned = 0;
+  pxe_server.set_raw_handler([&](Packet pkt) { provisioned += pkt.payload_bytes; });
+  std::int64_t request_seen = 0;
+  provisioner.set_raw_handler([&](Packet pkt) {
+    request_seen += pkt.payload_bytes;
+    // Answer with an image chunk.
+    Packet resp;
+    resp.kind = PacketKind::kRaw;
+    resp.payload_bytes = 1024;
+    resp.frame_bytes = 1086;
+    Ipv4Header ip;
+    ip.src = provisioner.ip();
+    ip.dst = pxe_server.ip();
+    ip.id = provisioner.next_ip_id();
+    resp.ip = ip;
+    resp.priority = 0;
+    provisioner.send_frame(std::move(resp));
+  });
+  auto send_request = [&] {
+    Packet req;
+    req.kind = PacketKind::kRaw;
+    req.payload_bytes = 300;  // DHCP/TFTP-sized
+    req.frame_bytes = 342;
+    Ipv4Header ip;
+    ip.src = pxe_server.ip();
+    ip.dst = provisioner.ip();
+    ip.id = pxe_server.next_ip_id();
+    req.ip = ip;
+    req.priority = 0;
+    pxe_server.send_frame(std::move(req));
+  };
+  for (int i = 0; i < 20; ++i) {
+    fabric.sim().schedule_at(microseconds(i * 50), send_request);
+  }
+
+  // A VLAN-configured neighbor keeps working either way.
+  std::int64_t neighbor_bytes = 0;
+  neighbor.set_raw_handler([&](Packet pkt) { neighbor_bytes += pkt.payload_bytes; });
+  fabric.sim().schedule_at(microseconds(100), [&] {
+    Packet pkt;
+    pkt.kind = PacketKind::kRaw;
+    pkt.payload_bytes = 1000;
+    pkt.frame_bytes = 1062;
+    Ipv4Header ip;
+    ip.src = provisioner.ip();
+    ip.dst = neighbor.ip();
+    ip.id = provisioner.next_ip_id();
+    pkt.ip = ip;
+    pkt.priority = 0;
+    provisioner.send_frame(std::move(pkt));
+  });
+
+  fabric.sim().run_until(milliseconds(5));
+  return PxeResult{provisioned, sw.l2_mode_drops(), neighbor_bytes};
+}
+
+struct PriorityResult {
+  std::int64_t lossless_drops = 0;   // congestion drops of RDMA traffic
+  std::int64_t delivered_msgs = 0;
+  double goodput_gbps = 0.0;
+};
+
+PriorityResult run_cross_subnet(ClassifyMode mode) {
+  // Three subnets joined by a router (leaf): senders on ToR A and ToR C
+  // incast a receiver on ToR B. The congestion point is the leaf's egress
+  // toward ToR B — one routing hop past the senders' ToRs, where VLAN PCP
+  // has already been rewritten to 0. The traffic is lossless there ONLY if
+  // the priority survived the route.
+  Fabric fabric;
+  SwitchConfig cfg;
+  cfg.lossless[3] = true;
+  cfg.classify_mode = mode;
+  cfg.mmu.alpha_lossy = 1.0 / 64;  // misclassified traffic tail-drops readily
+  auto& tor_a = fabric.add_switch("torA", cfg, 3);
+  auto& tor_c = fabric.add_switch("torC", cfg, 3);
+  auto& tor_b = fabric.add_switch("torB", cfg, 2);
+  auto& leaf = fabric.add_switch("leaf", cfg, 3);
+  tor_a.add_local_subnet(Ipv4Prefix{Ipv4Addr::from_octets(10, 0, 0, 0), 24});
+  tor_c.add_local_subnet(Ipv4Prefix{Ipv4Addr::from_octets(10, 0, 2, 0), 24});
+  tor_b.add_local_subnet(Ipv4Prefix{Ipv4Addr::from_octets(10, 0, 1, 0), 24});
+  tor_a.add_route(Ipv4Prefix{Ipv4Addr{}, 0}, {2});
+  tor_c.add_route(Ipv4Prefix{Ipv4Addr{}, 0}, {2});
+  tor_b.add_route(Ipv4Prefix{Ipv4Addr{}, 0}, {1});
+  leaf.add_route(Ipv4Prefix{Ipv4Addr::from_octets(10, 0, 0, 0), 24}, {0});
+  leaf.add_route(Ipv4Prefix{Ipv4Addr::from_octets(10, 0, 1, 0), 24}, {1});
+  leaf.add_route(Ipv4Prefix{Ipv4Addr::from_octets(10, 0, 2, 0), 24}, {2});
+
+  HostConfig host_cfg;
+  host_cfg.lossless[3] = true;
+  if (mode == ClassifyMode::kVlanPcp) host_cfg.vlan_id = 100;
+  const L2PortMode port_mode =
+      mode == ClassifyMode::kVlanPcp ? L2PortMode::kTrunk : L2PortMode::kAccess;
+
+  std::vector<Host*> senders;
+  for (int i = 0; i < 4; ++i) {
+    Switch& tor = i < 2 ? tor_a : tor_c;
+    auto& h = fabric.add_host("tx" + std::to_string(i), host_cfg);
+    h.set_ip(Ipv4Addr::from_octets(10, 0, i < 2 ? 0 : 2, static_cast<std::uint8_t>(i % 2 + 1)));
+    fabric.attach_host(h, tor, i % 2, gbps(40), propagation_delay_for_meters(2));
+    tor.set_port_l2_mode(i % 2, port_mode);
+    senders.push_back(&h);
+  }
+  auto& rx = fabric.add_host("rx", host_cfg);
+  rx.set_ip(Ipv4Addr::from_octets(10, 0, 1, 1));
+  fabric.attach_host(rx, tor_b, 0, gbps(40), propagation_delay_for_meters(2));
+  tor_b.set_port_l2_mode(0, port_mode);
+  fabric.attach_switches(tor_a, 2, leaf, 0, gbps(40), propagation_delay_for_meters(20));
+  fabric.attach_switches(tor_b, 1, leaf, 1, gbps(40), propagation_delay_for_meters(20));
+  fabric.attach_switches(tor_c, 2, leaf, 2, gbps(40), propagation_delay_for_meters(20));
+
+  std::vector<std::unique_ptr<RdmaDemux>> demuxes;
+  std::vector<std::unique_ptr<RdmaStreamSource>> sources;
+  for (Host* h : senders) {
+    QpConfig qp;
+    qp.dcqcn = false;  // raw incast pressure
+    auto [qa, qb] = connect_qp_pair(*h, rx, qp);
+    (void)qb;
+    demuxes.push_back(std::make_unique<RdmaDemux>(*h));
+    sources.push_back(std::make_unique<RdmaStreamSource>(
+        *h, *demuxes.back(), qa,
+        RdmaStreamSource::Options{.message_bytes = 256 * kKiB, .max_outstanding = 2}));
+    sources.back()->start();
+  }
+  fabric.sim().run_until(milliseconds(20));
+
+  PriorityResult r;
+  for (Switch* sw : {&tor_a, &tor_b, &tor_c, &leaf}) {
+    for (int p = 0; p < sw->port_count(); ++p) {
+      // In VLAN mode the routed traffic arrives downstream as priority 0
+      // (lossy): its congestion drops land in ingress_drops there.
+      r.lossless_drops += sw->port(p).counters().ingress_drops +
+                          sw->port(p).counters().headroom_overflow_drops;
+    }
+  }
+  r.delivered_msgs = rx.rdma().stats().messages_received;
+  for (auto& s : sources) r.goodput_gbps += s->goodput_bps() / 1e9;
+  return r;
+}
+
+}  // namespace
+
+int main() {
+  bench::print_header("E14 / §3 — DSCP-based PFC vs the original VLAN-based PFC");
+
+  std::printf("\nproblem 1: PXE boot through trunk-mode ports\n\n");
+  const PxeResult vlan_pxe = run_pxe(ClassifyMode::kVlanPcp);
+  const PxeResult dscp_pxe = run_pxe(ClassifyMode::kDscp);
+  const std::vector<int> w{30, 16, 16};
+  bench::print_row({"metric", "VLAN-based", "DSCP-based"}, w);
+  bench::print_rule(w);
+  bench::print_row({"OS image bytes delivered", std::to_string(vlan_pxe.provisioned_bytes),
+                    std::to_string(dscp_pxe.provisioned_bytes)}, w);
+  bench::print_row({"frames dropped by port mode", std::to_string(vlan_pxe.dropped_frames),
+                    std::to_string(dscp_pxe.dropped_frames)}, w);
+  bench::print_row({"configured neighbor bytes", std::to_string(vlan_pxe.normal_bytes),
+                    std::to_string(dscp_pxe.normal_bytes)}, w);
+
+  std::printf("\nproblem 2: packet priority across subnet boundaries (4-to-1 incast\n"
+              "routed across a leaf; lossless only if the priority survives)\n\n");
+  const PriorityResult vlan_route = run_cross_subnet(ClassifyMode::kVlanPcp);
+  const PriorityResult dscp_route = run_cross_subnet(ClassifyMode::kDscp);
+  bench::print_row({"metric", "VLAN-based", "DSCP-based"}, w);
+  bench::print_rule(w);
+  bench::print_row({"RDMA packets dropped", std::to_string(vlan_route.lossless_drops),
+                    std::to_string(dscp_route.lossless_drops)}, w);
+  bench::print_row({"messages delivered", std::to_string(vlan_route.delivered_msgs),
+                    std::to_string(dscp_route.delivered_msgs)}, w);
+  bench::print_row({"goodput (Gb/s)", bench::fmt("%.2f", vlan_route.goodput_gbps),
+                    bench::fmt("%.2f", dscp_route.goodput_gbps)}, w);
+
+  const bool pxe_broken = vlan_pxe.provisioned_bytes == 0 && vlan_pxe.dropped_frames > 0;
+  const bool pxe_fixed = dscp_pxe.provisioned_bytes > 0 && dscp_pxe.dropped_frames == 0;
+  const bool priority_lost = vlan_route.lossless_drops > 0;
+  const bool priority_kept = dscp_route.lossless_drops == 0 && dscp_route.delivered_msgs > 0;
+  std::printf("\nVLAN mode breaks PXE boot: %s   DSCP mode keeps it working: %s\n"
+              "VLAN PCP lost across subnets (drops): %s   DSCP survives routing: %s\n",
+              pxe_broken ? "CONFIRMED" : "NOT REPRODUCED",
+              pxe_fixed ? "CONFIRMED" : "NOT REPRODUCED",
+              priority_lost ? "CONFIRMED" : "NOT REPRODUCED",
+              priority_kept ? "CONFIRMED" : "NOT REPRODUCED");
+  return (pxe_broken && pxe_fixed && priority_lost && priority_kept) ? 0 : 1;
+}

@@ -1,0 +1,149 @@
+// Micro-benchmarks (google-benchmark) for the hot paths of the simulator
+// and the wire codecs: event queue, ECMP hashing, MMU admission, DCQCN
+// updates, MTT cache, codec encode/decode, CRC32, percentile estimation.
+#include <benchmark/benchmark.h>
+
+#include "src/common/rng.h"
+#include "src/common/stats.h"
+#include "src/net/codec.h"
+#include "src/nic/dcqcn.h"
+#include "src/nic/mtt.h"
+#include "src/sim/simulator.h"
+#include "src/switch/mmu.h"
+
+namespace rocelab {
+namespace {
+
+void BM_EventQueueScheduleRun(benchmark::State& state) {
+  for (auto _ : state) {
+    Simulator sim;
+    int sink = 0;
+    for (int i = 0; i < 1000; ++i) {
+      sim.schedule_at(nanoseconds(i * 13 % 997), [&sink] { ++sink; });
+    }
+    sim.run();
+    benchmark::DoNotOptimize(sink);
+  }
+  state.SetItemsProcessed(state.iterations() * 1000);
+}
+BENCHMARK(BM_EventQueueScheduleRun);
+
+void BM_FiveTupleHash(benchmark::State& state) {
+  Packet pkt;
+  pkt.ip = Ipv4Header{Ipv4Addr{0x0a000001}, Ipv4Addr{0x0a000102}};
+  pkt.udp = UdpHeader{51234, kRoceUdpPort, 0};
+  std::uint64_t seed = 1;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(five_tuple_hash(pkt, seed++));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_FiveTupleHash);
+
+void BM_MmuAdmitRelease(benchmark::State& state) {
+  MmuConfig cfg;
+  std::array<bool, kNumPriorities> lossless{};
+  lossless[3] = true;
+  Mmu mmu(cfg, 32, lossless);
+  for (auto _ : state) {
+    const auto a = mmu.admit(3, 3, 1086);
+    mmu.release(3, 3, a.to_shared, a.to_headroom, a.to_reserved);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_MmuAdmitRelease);
+
+void BM_DcqcnCnpAndBytes(benchmark::State& state) {
+  Simulator sim;
+  DcqcnConfig cfg;
+  DcqcnRp rp(sim, cfg, gbps(40));
+  for (auto _ : state) {
+    rp.on_cnp();
+    rp.on_bytes_sent(1086);
+    benchmark::DoNotOptimize(rp.rate());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_DcqcnCnpAndBytes);
+
+void BM_MttAccess(benchmark::State& state) {
+  MttConfig cfg;
+  cfg.model_enabled = true;
+  MttCache cache(cfg);
+  std::int64_t addr = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(cache.access(addr));
+    addr = (addr + 4096 * 7919) % cfg.working_set;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_MttAccess);
+
+void BM_EncodeRoceFrameDscp(benchmark::State& state) {
+  Packet pkt;
+  pkt.kind = PacketKind::kRoceData;
+  pkt.payload_bytes = 1024;
+  pkt.frame_bytes = 1086;
+  pkt.priority = 3;
+  pkt.ip = Ipv4Header{Ipv4Addr{0x0a000001}, Ipv4Addr{0x0a000102}};
+  pkt.udp = UdpHeader{51234, kRoceUdpPort, 0};
+  pkt.bth = RoceBth{};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(encode_roce_frame(pkt, PfcMode::kDscpBased));
+  }
+  state.SetBytesProcessed(state.iterations() * 1086);
+}
+BENCHMARK(BM_EncodeRoceFrameDscp);
+
+void BM_DecodeRoceFrame(benchmark::State& state) {
+  Packet pkt;
+  pkt.kind = PacketKind::kRoceData;
+  pkt.payload_bytes = 1024;
+  pkt.frame_bytes = 1086;
+  pkt.priority = 3;
+  pkt.ip = Ipv4Header{Ipv4Addr{0x0a000001}, Ipv4Addr{0x0a000102}};
+  pkt.udp = UdpHeader{51234, kRoceUdpPort, 0};
+  pkt.bth = RoceBth{};
+  const Bytes frame = encode_roce_frame(pkt, PfcMode::kDscpBased);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(decode_roce_frame(frame));
+  }
+  state.SetBytesProcessed(state.iterations() * static_cast<std::int64_t>(frame.size()));
+}
+BENCHMARK(BM_DecodeRoceFrame);
+
+void BM_EncodePfcFrame(benchmark::State& state) {
+  PfcFrame pfc;
+  pfc.set(3, 0xffff);
+  const MacAddr src = MacAddr::from_u64(0x020000000001);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(encode_pfc_frame(pfc, src));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_EncodePfcFrame);
+
+void BM_Crc32_1KiB(benchmark::State& state) {
+  std::vector<std::uint8_t> data(1024, 0xa5);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(crc32_ieee(data));
+  }
+  state.SetBytesProcessed(state.iterations() * 1024);
+}
+BENCHMARK(BM_Crc32_1KiB);
+
+void BM_PercentileP99(benchmark::State& state) {
+  PercentileSampler sampler;
+  Rng rng(1);
+  for (int i = 0; i < 100000; ++i) sampler.add(rng.uniform(0, 1000));
+  for (auto _ : state) {
+    sampler.add(1.0);  // force re-sort each round: worst case
+    benchmark::DoNotOptimize(sampler.percentile(99));
+  }
+}
+BENCHMARK(BM_PercentileP99);
+
+}  // namespace
+}  // namespace rocelab
+
+BENCHMARK_MAIN();

@@ -1,0 +1,52 @@
+// Per-host callback demultiplexers: the NIC and TCP stack expose single
+// receive/completion callbacks; applications register per-QP / per-connection
+// handlers here.
+#pragma once
+
+#include <functional>
+#include <unordered_map>
+
+#include "src/nic/host.h"
+#include "src/tcp/tcp.h"
+
+namespace rocelab {
+
+class RdmaDemux {
+ public:
+  using RecvHandler = std::function<void(const RdmaRecv&)>;
+  using CompletionHandler = std::function<void(const RdmaCompletion&)>;
+
+  explicit RdmaDemux(Host& host) {
+    host.rdma().set_recv_cb([this](const RdmaRecv& r) {
+      if (auto it = recv_.find(r.qpn); it != recv_.end()) it->second(r);
+    });
+    host.rdma().set_completion_cb([this](const RdmaCompletion& c) {
+      if (auto it = completion_.find(c.qpn); it != completion_.end()) it->second(c);
+    });
+  }
+
+  void on_recv(std::uint32_t qpn, RecvHandler h) { recv_[qpn] = std::move(h); }
+  void on_completion(std::uint32_t qpn, CompletionHandler h) { completion_[qpn] = std::move(h); }
+
+ private:
+  std::unordered_map<std::uint32_t, RecvHandler> recv_;
+  std::unordered_map<std::uint32_t, CompletionHandler> completion_;
+};
+
+class TcpDemux {
+ public:
+  using RecvHandler = std::function<void(const TcpRecv&)>;
+
+  explicit TcpDemux(TcpStack& stack) {
+    stack.set_recv_cb([this](const TcpRecv& r) {
+      if (auto it = recv_.find(r.conn); it != recv_.end()) it->second(r);
+    });
+  }
+
+  void on_recv(TcpStack::ConnId conn, RecvHandler h) { recv_[conn] = std::move(h); }
+
+ private:
+  std::unordered_map<TcpStack::ConnId, RecvHandler> recv_;
+};
+
+}  // namespace rocelab

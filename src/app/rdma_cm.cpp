@@ -1,0 +1,117 @@
+#include "src/app/rdma_cm.h"
+
+namespace rocelab {
+
+namespace {
+// Field packing for the metadata datagrams:
+//   msg_id      = (type << 32) | service
+//   read_length = (requester qpn << 32) | responder qpn   (REP)
+//               = requester qpn                           (REQ)
+constexpr std::uint64_t type_of(std::uint64_t msg_id) { return msg_id >> 32; }
+constexpr std::uint32_t service_of(std::uint64_t msg_id) {
+  return static_cast<std::uint32_t>(msg_id & 0xffffffffu);
+}
+}  // namespace
+
+RdmaCm::RdmaCm(Host& host) : host_(host) {
+  host_.register_udp_handler(kCmUdpPort, [this](Packet pkt) { handle(std::move(pkt)); });
+}
+
+void RdmaCm::listen(std::uint32_t service, QpConfig qp_config, AcceptCb cb) {
+  listeners_[service] = Listener{qp_config, std::move(cb)};
+}
+
+void RdmaCm::connect(Ipv4Addr peer, std::uint32_t service, QpConfig qp_config, ConnectCb cb,
+                     Time retry_interval) {
+  const std::uint32_t local_qpn = host_.rdma().create_qp(qp_config);
+  const std::uint64_t token = next_token_++;
+  pending_[token] = PendingConnect{peer, service, local_qpn, std::move(cb), retry_interval, false};
+  retry(token);
+}
+
+void RdmaCm::retry(std::uint64_t token) {
+  auto it = pending_.find(token);
+  if (it == pending_.end() || it->second.done) return;
+  const PendingConnect& pc = it->second;
+  ++requests_sent_;
+  send_msg(pc.peer, MsgType::kReq, pc.service, pc.local_qpn);
+  host_.sim().schedule_in(pc.retry_interval, [this, token] { retry(token); });
+}
+
+void RdmaCm::send_msg(Ipv4Addr to, MsgType type, std::uint32_t service, std::uint32_t qpn) {
+  Packet pkt;
+  pkt.kind = PacketKind::kRaw;
+  pkt.payload_bytes = 64;  // CM datagrams are small control messages
+  pkt.frame_bytes = kEthHeaderBytes + kIpv4HeaderBytes + kUdpHeaderBytes + 64 + kEthFcsBytes;
+  Ipv4Header ip;
+  ip.src = host_.ip();
+  ip.dst = to;
+  ip.dscp = 1;  // lossy management class
+  ip.id = host_.next_ip_id();
+  pkt.ip = ip;
+  pkt.udp = UdpHeader{kCmUdpPort, kCmUdpPort, 0};
+  pkt.priority = 1;
+  pkt.msg_id = (static_cast<std::uint64_t>(type) << 32) | service;
+  pkt.read_length = static_cast<std::int64_t>(qpn);
+  pkt.created_at = host_.sim().now();
+  host_.send_frame(std::move(pkt));
+}
+
+void RdmaCm::handle(Packet pkt) {
+  if (!pkt.ip) return;
+  const auto type = static_cast<MsgType>(type_of(pkt.msg_id));
+  const std::uint32_t service = service_of(pkt.msg_id);
+
+  if (type == MsgType::kReq) {
+    auto lit = listeners_.find(service);
+    if (lit == listeners_.end()) return;  // no such service: ignore
+    const auto requester_qpn = static_cast<std::uint32_t>(pkt.read_length);
+    // Idempotence: a retried REQ must not create a second QP.
+    const std::uint64_t key =
+        (static_cast<std::uint64_t>(pkt.ip->src.value) << 24) | requester_qpn;
+    std::uint32_t local_qpn;
+    if (auto eit = established_.find(key); eit != established_.end()) {
+      local_qpn = eit->second;
+    } else {
+      local_qpn = host_.rdma().create_qp(lit->second.qp_config);
+      host_.rdma().connect_qp(local_qpn, pkt.ip->src, requester_qpn);
+      established_[key] = local_qpn;
+      ++accepted_;
+      if (lit->second.cb) lit->second.cb(local_qpn);
+    }
+    // REP carries both QPNs so the requester can match its pending entry.
+    Packet rep;
+    rep.kind = PacketKind::kRaw;
+    rep.payload_bytes = 64;
+    rep.frame_bytes = kEthHeaderBytes + kIpv4HeaderBytes + kUdpHeaderBytes + 64 + kEthFcsBytes;
+    Ipv4Header ip;
+    ip.src = host_.ip();
+    ip.dst = pkt.ip->src;
+    ip.dscp = 1;
+    ip.id = host_.next_ip_id();
+    rep.ip = ip;
+    rep.udp = UdpHeader{kCmUdpPort, kCmUdpPort, 0};
+    rep.priority = 1;
+    rep.msg_id = (static_cast<std::uint64_t>(MsgType::kRep) << 32) | service;
+    rep.read_length = (static_cast<std::int64_t>(requester_qpn) << 32) |
+                      static_cast<std::int64_t>(local_qpn);
+    rep.created_at = host_.sim().now();
+    host_.send_frame(std::move(rep));
+    return;
+  }
+
+  if (type == MsgType::kRep) {
+    const auto requester_qpn = static_cast<std::uint32_t>(pkt.read_length >> 32);
+    const auto responder_qpn = static_cast<std::uint32_t>(pkt.read_length & 0xffffffff);
+    for (auto& [token, pc] : pending_) {
+      (void)token;
+      if (pc.done || pc.local_qpn != requester_qpn || pc.service != service) continue;
+      pc.done = true;
+      host_.rdma().connect_qp(pc.local_qpn, pkt.ip->src, responder_qpn);
+      if (pc.cb) pc.cb(pc.local_qpn);
+      return;
+    }
+  }
+}
+
+}  // namespace rocelab

@@ -1,0 +1,77 @@
+// RDMA connection management: out-of-band QP establishment over UDP
+// datagrams, in the spirit of the RDMA CM. Production RoCEv2 deployments
+// (§5.1: "users specify which type of traffic they would like to put into
+// PFC protection ... based on the destination transport port") establish
+// queue pairs through an exchange like this rather than the in-process
+// shortcut `connect_qp_pair` the tests use.
+//
+// Protocol (datagrams on UDP port 4790):
+//   REQ {service, requester qpn}  ->  listener creates a QP, connects it,
+//   REP {service, responder qpn}  <-  requester connects its side, done.
+// REQs are retransmitted until a REP arrives (the fabric may drop raw
+// datagrams under congestion: they are lossy-class traffic).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <unordered_map>
+
+#include "src/nic/host.h"
+
+namespace rocelab {
+
+class RdmaCm {
+ public:
+  /// Datagrams for connection management ride this UDP destination port
+  /// (one below RoCEv2's 4791).
+  static constexpr std::uint16_t kCmUdpPort = 4790;
+
+  /// Fires on the active side when the QP is connected and ready.
+  using ConnectCb = std::function<void(std::uint32_t qpn)>;
+  /// Fires on the passive side for each accepted connection.
+  using AcceptCb = std::function<void(std::uint32_t qpn)>;
+
+  explicit RdmaCm(Host& host);
+
+  /// Passive side: accept connection requests for `service`, creating QPs
+  /// with `qp_config`.
+  void listen(std::uint32_t service, QpConfig qp_config, AcceptCb cb);
+
+  /// Active side: connect to `service` at `peer`. Retries the request
+  /// every `retry_interval` until the reply arrives.
+  void connect(Ipv4Addr peer, std::uint32_t service, QpConfig qp_config, ConnectCb cb,
+               Time retry_interval = milliseconds(1));
+
+  [[nodiscard]] std::int64_t requests_sent() const { return requests_sent_; }
+  [[nodiscard]] std::int64_t connections_accepted() const { return accepted_; }
+
+ private:
+  enum class MsgType : std::uint64_t { kReq = 1, kRep = 2 };
+  struct Listener {
+    QpConfig qp_config;
+    AcceptCb cb;
+  };
+  struct PendingConnect {
+    Ipv4Addr peer{};
+    std::uint32_t service = 0;
+    std::uint32_t local_qpn = 0;
+    ConnectCb cb;
+    Time retry_interval = 0;
+    bool done = false;
+  };
+
+  void handle(Packet pkt);
+  void send_msg(Ipv4Addr to, MsgType type, std::uint32_t service, std::uint32_t qpn);
+  void retry(std::uint64_t token);
+
+  Host& host_;
+  std::unordered_map<std::uint32_t, Listener> listeners_;          // by service
+  std::unordered_map<std::uint64_t, PendingConnect> pending_;      // by token
+  // Idempotence on the passive side: (peer ip, requester qpn) -> local qpn.
+  std::unordered_map<std::uint64_t, std::uint32_t> established_;
+  std::uint64_t next_token_ = 1;
+  std::int64_t requests_sent_ = 0;
+  std::int64_t accepted_ = 0;
+};
+
+}  // namespace rocelab

@@ -1,0 +1,199 @@
+#include "src/app/traffic.h"
+
+namespace rocelab {
+
+// --- RdmaStreamSource ---------------------------------------------------------
+
+RdmaStreamSource::RdmaStreamSource(Host& host, RdmaDemux& demux, std::uint32_t qpn,
+                                   Options opts)
+    : host_(host), qpn_(qpn), opts_(opts),
+      next_msg_id_((static_cast<std::uint64_t>(host.id()) << 40) |
+                   (static_cast<std::uint64_t>(qpn) << 20)) {
+  demux.on_completion(qpn_, [this](const RdmaCompletion& c) {
+    ++completed_;
+    completed_bytes_ += c.bytes;
+    latencies_us_.add(to_microseconds(c.completed_at - c.posted_at));
+    --outstanding_;
+    pump();
+  });
+}
+
+void RdmaStreamSource::start() {
+  started_ = true;
+  started_at_ = host_.sim().now();
+  pump();
+}
+
+void RdmaStreamSource::pump() {
+  if (!started_) return;
+  while (outstanding_ < opts_.max_outstanding &&
+         (opts_.stop_after_messages < 0 || posted_ < opts_.stop_after_messages)) {
+    const std::uint64_t id = next_msg_id_++;
+    switch (opts_.verb) {
+      case RdmaVerb::kSend:
+        host_.rdma().post_send(qpn_, opts_.message_bytes, id);
+        break;
+      case RdmaVerb::kWrite:
+        host_.rdma().post_write(qpn_, opts_.message_bytes, id);
+        break;
+      case RdmaVerb::kRead:
+        host_.rdma().post_read(qpn_, opts_.message_bytes, id);
+        break;
+    }
+    ++posted_;
+    ++outstanding_;
+  }
+}
+
+double RdmaStreamSource::goodput_bps() const {
+  const Time elapsed = host_.sim().now() - started_at_;
+  if (elapsed <= 0) return 0.0;
+  return static_cast<double>(completed_bytes_) * 8.0 / to_seconds(elapsed);
+}
+
+// --- RdmaEchoServer ------------------------------------------------------------
+
+RdmaEchoServer::RdmaEchoServer(Host& host, RdmaDemux& demux, std::uint32_t qpn,
+                               std::int64_t response_bytes) {
+  demux.on_recv(qpn, [this, &host, qpn, response_bytes](const RdmaRecv& r) {
+    ++served_;
+    if (response_bytes > 0) host.rdma().post_send(qpn, response_bytes, r.msg_id);
+  });
+}
+
+// --- RdmaIncastClient -------------------------------------------------------------
+
+RdmaIncastClient::RdmaIncastClient(Host& host, RdmaDemux& demux,
+                                   std::vector<std::uint32_t> qpns, Options opts)
+    : host_(host), qpns_(std::move(qpns)), opts_(opts) {
+  for (auto qpn : qpns_) {
+    demux.on_recv(qpn, [this](const RdmaRecv& r) {
+      auto it = pending_.find(r.msg_id);
+      if (it == pending_.end()) return;
+      if (--it->second.remaining == 0) {
+        latencies_us_.add(to_microseconds(host_.sim().now() - it->second.started));
+        pending_.erase(it);
+        ++completed_;
+        if (opts_.mean_interval == 0) issue_query();  // closed loop
+      }
+    });
+  }
+}
+
+void RdmaIncastClient::start() {
+  if (opts_.mean_interval == 0) {
+    issue_query();
+  } else {
+    schedule_next();
+  }
+}
+
+void RdmaIncastClient::schedule_next() {
+  if (opts_.stop_after_queries >= 0 && issued_ >= opts_.stop_after_queries) return;
+  const Time gap =
+      static_cast<Time>(host_.rng().exponential(static_cast<double>(opts_.mean_interval)));
+  host_.sim().schedule_in(gap, [this] {
+    issue_query();
+    schedule_next();
+  });
+}
+
+void RdmaIncastClient::issue_query() {
+  if (opts_.stop_after_queries >= 0 && issued_ >= opts_.stop_after_queries) return;
+  ++issued_;
+  const std::uint64_t id =
+      (static_cast<std::uint64_t>(host_.id()) << 40) | next_query_++;
+  pending_[id] = Pending{static_cast<int>(qpns_.size()), host_.sim().now()};
+  for (auto qpn : qpns_) host_.rdma().post_send(qpn, opts_.request_bytes, id);
+}
+
+// --- RdmaPingmesh ------------------------------------------------------------------
+
+RdmaPingmesh::RdmaPingmesh(Host& host, RdmaDemux& demux, std::vector<std::uint32_t> qpns,
+                           Options opts)
+    : host_(host), qpns_(std::move(qpns)), opts_(opts) {
+  for (auto qpn : qpns_) {
+    demux.on_recv(qpn, [this](const RdmaRecv& r) {
+      auto it = outstanding_.find(r.msg_id);
+      if (it == outstanding_.end()) return;
+      rtt_us_.add(to_microseconds(host_.sim().now() - it->second));
+      outstanding_.erase(it);
+    });
+  }
+}
+
+void RdmaPingmesh::start() {
+  running_ = true;
+  tick();
+}
+
+void RdmaPingmesh::tick() {
+  if (!running_ || qpns_.empty()) return;
+  const std::uint32_t qpn = qpns_[next_peer_];
+  next_peer_ = (next_peer_ + 1) % qpns_.size();
+  const std::uint64_t id =
+      (static_cast<std::uint64_t>(host_.id()) << 40) | (0x1ull << 36) | next_probe_++;
+  outstanding_[id] = host_.sim().now();
+  ++sent_;
+  host_.rdma().post_send(qpn, opts_.probe_bytes, id);
+  host_.sim().schedule_in(opts_.timeout, [this, id] {
+    if (outstanding_.erase(id) > 0) ++failed_;
+  });
+  host_.sim().schedule_in(opts_.interval, [this] { tick(); });
+}
+
+// --- TCP counterparts ----------------------------------------------------------------
+
+TcpEchoServer::TcpEchoServer(TcpStack& stack, TcpDemux& demux, TcpStack::ConnId conn,
+                             std::int64_t response_bytes) {
+  demux.on_recv(conn, [this, &stack, conn, response_bytes](const TcpRecv& r) {
+    ++served_;
+    if (response_bytes > 0) stack.send_message(conn, response_bytes, r.msg_id);
+  });
+}
+
+TcpIncastClient::TcpIncastClient(TcpStack& stack, TcpDemux& demux,
+                                 std::vector<TcpStack::ConnId> conns, Options opts)
+    : stack_(stack), conns_(std::move(conns)), opts_(opts) {
+  for (auto conn : conns_) {
+    demux.on_recv(conn, [this](const TcpRecv& r) {
+      auto it = pending_.find(r.msg_id);
+      if (it == pending_.end()) return;
+      if (--it->second.remaining == 0) {
+        latencies_us_.add(to_microseconds(stack_.host().sim().now() - it->second.started));
+        pending_.erase(it);
+        ++completed_;
+        if (opts_.mean_interval == 0) issue_query();
+      }
+    });
+  }
+}
+
+void TcpIncastClient::start() {
+  if (opts_.mean_interval == 0) {
+    issue_query();
+  } else {
+    schedule_next();
+  }
+}
+
+void TcpIncastClient::schedule_next() {
+  if (opts_.stop_after_queries >= 0 && issued_ >= opts_.stop_after_queries) return;
+  const Time gap = static_cast<Time>(
+      stack_.host().rng().exponential(static_cast<double>(opts_.mean_interval)));
+  stack_.host().sim().schedule_in(gap, [this] {
+    issue_query();
+    schedule_next();
+  });
+}
+
+void TcpIncastClient::issue_query() {
+  if (opts_.stop_after_queries >= 0 && issued_ >= opts_.stop_after_queries) return;
+  ++issued_;
+  const std::uint64_t id =
+      (static_cast<std::uint64_t>(stack_.host().id()) << 40) | next_query_++;
+  pending_[id] = Pending{static_cast<int>(conns_.size()), stack_.host().sim().now()};
+  for (auto conn : conns_) stack_.send_message(conn, opts_.request_bytes, id);
+}
+
+}  // namespace rocelab

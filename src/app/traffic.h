@@ -1,0 +1,182 @@
+// Traffic generators: a stream source that keeps a QP saturated with
+// fixed-size messages (the "send as fast as possible" workloads of §4.1 and
+// Fig. 7), echo servers, incast request/response clients (the many-to-one
+// pattern of §5.4 and §6.2), and RDMA Pingmesh (§5.3).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "src/app/demux.h"
+#include "src/common/stats.h"
+
+namespace rocelab {
+
+enum class RdmaVerb { kSend, kWrite, kRead };
+
+/// Posts `message_bytes` messages back-to-back, keeping `max_outstanding`
+/// in flight, exactly like the §4.1 livelock experiment senders.
+class RdmaStreamSource {
+ public:
+  struct Options {
+    std::int64_t message_bytes = 4 * kMiB;
+    int max_outstanding = 1;
+    RdmaVerb verb = RdmaVerb::kSend;
+    std::int64_t stop_after_messages = -1;  // -1 => run forever
+  };
+
+  RdmaStreamSource(Host& host, RdmaDemux& demux, std::uint32_t qpn, Options opts);
+  void start();
+
+  [[nodiscard]] std::int64_t completed_messages() const { return completed_; }
+  [[nodiscard]] std::int64_t completed_bytes() const { return completed_bytes_; }
+  [[nodiscard]] const PercentileSampler& latencies_us() const { return latencies_us_; }
+  /// Application goodput since start(), bits/second.
+  [[nodiscard]] double goodput_bps() const;
+
+ private:
+  void pump();
+
+  Host& host_;
+  std::uint32_t qpn_;
+  Options opts_;
+  std::int64_t posted_ = 0;
+  std::int64_t completed_ = 0;
+  std::int64_t completed_bytes_ = 0;
+  int outstanding_ = 0;
+  Time started_at_ = 0;
+  bool started_ = false;
+  std::uint64_t next_msg_id_;
+  PercentileSampler latencies_us_;
+};
+
+/// Responds to every received message on a QP with `response_bytes`
+/// (echoing the msg_id). response_bytes == 0 => pure sink.
+class RdmaEchoServer {
+ public:
+  RdmaEchoServer(Host& host, RdmaDemux& demux, std::uint32_t qpn, std::int64_t response_bytes);
+
+  [[nodiscard]] std::int64_t requests_served() const { return served_; }
+
+ private:
+  std::int64_t served_ = 0;
+};
+
+/// The incast ("chatty server") client: each query fans a small request out
+/// to every QP; the query completes when all responses arrive. Queries are
+/// issued on a Poisson process (open loop) or back-to-back (closed loop,
+/// mean_interval == 0).
+class RdmaIncastClient {
+ public:
+  struct Options {
+    std::int64_t request_bytes = 512;
+    Time mean_interval = microseconds(500);  // 0 => closed loop
+    std::int64_t stop_after_queries = -1;
+  };
+
+  RdmaIncastClient(Host& host, RdmaDemux& demux, std::vector<std::uint32_t> qpns, Options opts);
+  void start();
+
+  [[nodiscard]] const PercentileSampler& query_latencies_us() const { return latencies_us_; }
+  [[nodiscard]] std::int64_t queries_completed() const { return completed_; }
+
+ private:
+  void issue_query();
+  void schedule_next();
+
+  Host& host_;
+  std::vector<std::uint32_t> qpns_;
+  Options opts_;
+  std::uint64_t next_query_ = 1;
+  std::int64_t completed_ = 0;
+  std::int64_t issued_ = 0;
+  struct Pending {
+    int remaining;
+    Time started;
+  };
+  std::unordered_map<std::uint64_t, Pending> pending_;
+  PercentileSampler latencies_us_;
+};
+
+/// RDMA Pingmesh (§5.3): periodic 512-byte probes to a set of peers,
+/// logging RTT or a timeout error.
+class RdmaPingmesh {
+ public:
+  struct Options {
+    std::int64_t probe_bytes = 512;
+    Time interval = milliseconds(1);
+    Time timeout = milliseconds(100);
+  };
+
+  RdmaPingmesh(Host& host, RdmaDemux& demux, std::vector<std::uint32_t> qpns, Options opts);
+  void start();
+  void stop() { running_ = false; }
+
+  [[nodiscard]] const PercentileSampler& rtt_us() const { return rtt_us_; }
+  [[nodiscard]] std::int64_t probes_sent() const { return sent_; }
+  [[nodiscard]] std::int64_t probes_failed() const { return failed_; }
+  /// Begin a fresh RTT sample window (e.g. "before" vs "during" in Fig. 8).
+  void reset_samples() { rtt_us_.clear(); }
+
+ private:
+  void tick();
+
+  Host& host_;
+  std::vector<std::uint32_t> qpns_;
+  Options opts_;
+  bool running_ = false;
+  std::size_t next_peer_ = 0;
+  std::uint64_t next_probe_ = 1;
+  std::int64_t sent_ = 0;
+  std::int64_t failed_ = 0;
+  std::unordered_map<std::uint64_t, Time> outstanding_;
+  PercentileSampler rtt_us_;
+};
+
+// --- TCP counterparts (Fig. 6 baseline) ---------------------------------------
+
+class TcpEchoServer {
+ public:
+  TcpEchoServer(TcpStack& stack, TcpDemux& demux, TcpStack::ConnId conn,
+                std::int64_t response_bytes);
+
+  [[nodiscard]] std::int64_t requests_served() const { return served_; }
+
+ private:
+  std::int64_t served_ = 0;
+};
+
+class TcpIncastClient {
+ public:
+  struct Options {
+    std::int64_t request_bytes = 512;
+    Time mean_interval = microseconds(500);
+    std::int64_t stop_after_queries = -1;
+  };
+
+  TcpIncastClient(TcpStack& stack, TcpDemux& demux, std::vector<TcpStack::ConnId> conns,
+                  Options opts);
+  void start();
+
+  [[nodiscard]] const PercentileSampler& query_latencies_us() const { return latencies_us_; }
+  [[nodiscard]] std::int64_t queries_completed() const { return completed_; }
+
+ private:
+  void issue_query();
+  void schedule_next();
+
+  TcpStack& stack_;
+  std::vector<TcpStack::ConnId> conns_;
+  Options opts_;
+  std::uint64_t next_query_ = 1;
+  std::int64_t completed_ = 0;
+  std::int64_t issued_ = 0;
+  struct Pending {
+    int remaining;
+    Time started;
+  };
+  std::unordered_map<std::uint64_t, Pending> pending_;
+  PercentileSampler latencies_us_;
+};
+
+}  // namespace rocelab

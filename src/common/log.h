@@ -1,0 +1,38 @@
+// Minimal leveled logger. Simulation components log sparsely; experiments
+// set the level to control verbosity.
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <utility>
+
+namespace rocelab {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+class Log {
+ public:
+  static LogLevel& level() {
+    static LogLevel lvl = LogLevel::kWarn;
+    return lvl;
+  }
+
+  template <typename... Args>
+  static void write(LogLevel lvl, const char* tag, const char* fmt, Args&&... args) {
+    if (lvl < level()) return;
+    std::fprintf(stderr, "[%s] ", tag);
+    if constexpr (sizeof...(Args) == 0) {
+      std::fprintf(stderr, "%s", fmt);
+    } else {
+      std::fprintf(stderr, fmt, std::forward<Args>(args)...);  // NOLINT
+    }
+    std::fprintf(stderr, "\n");
+  }
+};
+
+#define ROCELAB_LOG_DEBUG(...) ::rocelab::Log::write(::rocelab::LogLevel::kDebug, "debug", __VA_ARGS__)
+#define ROCELAB_LOG_INFO(...) ::rocelab::Log::write(::rocelab::LogLevel::kInfo, "info", __VA_ARGS__)
+#define ROCELAB_LOG_WARN(...) ::rocelab::Log::write(::rocelab::LogLevel::kWarn, "warn", __VA_ARGS__)
+#define ROCELAB_LOG_ERROR(...) ::rocelab::Log::write(::rocelab::LogLevel::kError, "error", __VA_ARGS__)
+
+}  // namespace rocelab

@@ -1,0 +1,37 @@
+// Deterministic random number generation for reproducible experiments.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <random>
+
+namespace rocelab {
+
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 1) : engine_(seed) {}
+
+  /// Uniform integer in [lo, hi] inclusive.
+  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi) {
+    return std::uniform_int_distribution<std::int64_t>(lo, hi)(engine_);
+  }
+  /// Uniform double in [lo, hi).
+  double uniform(double lo = 0.0, double hi = 1.0) {
+    return std::uniform_real_distribution<double>(lo, hi)(engine_);
+  }
+  bool bernoulli(double p) { return std::bernoulli_distribution(p)(engine_); }
+  double exponential(double mean) {
+    return std::exponential_distribution<double>(1.0 / mean)(engine_);
+  }
+  double pareto(double scale, double shape) {
+    // Inverse-CDF sampling; heavy-tailed burst sizes.
+    const double u = uniform(1e-12, 1.0);
+    return scale / std::pow(u, 1.0 / shape);
+  }
+  std::mt19937_64& engine() { return engine_; }
+
+ private:
+  std::mt19937_64 engine_;
+};
+
+}  // namespace rocelab

@@ -1,0 +1,83 @@
+#include "src/common/stats.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace rocelab {
+
+void PercentileSampler::ensure_sorted() const {
+  if (!sorted_) {
+    std::sort(samples_.begin(), samples_.end());
+    sorted_ = true;
+  }
+}
+
+double PercentileSampler::percentile(double p) const {
+  if (samples_.empty()) throw std::logic_error("percentile of empty sampler");
+  if (p < 0 || p > 100) throw std::invalid_argument("percentile out of range");
+  ensure_sorted();
+  if (samples_.size() == 1) return samples_[0];
+  const double rank = p / 100.0 * static_cast<double>(samples_.size() - 1);
+  const auto lo = static_cast<std::size_t>(rank);
+  const auto hi = std::min(lo + 1, samples_.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return samples_[lo] * (1.0 - frac) + samples_[hi] * frac;
+}
+
+double PercentileSampler::mean() const {
+  if (samples_.empty()) throw std::logic_error("mean of empty sampler");
+  double sum = 0;
+  for (double v : samples_) sum += v;
+  return sum / static_cast<double>(samples_.size());
+}
+
+double PercentileSampler::min() const {
+  ensure_sorted();
+  if (samples_.empty()) throw std::logic_error("min of empty sampler");
+  return samples_.front();
+}
+
+double PercentileSampler::max() const {
+  ensure_sorted();
+  if (samples_.empty()) throw std::logic_error("max of empty sampler");
+  return samples_.back();
+}
+
+double PercentileSampler::stddev() const {
+  const double m = mean();
+  double acc = 0;
+  for (double v : samples_) acc += (v - m) * (v - m);
+  return std::sqrt(acc / static_cast<double>(samples_.size()));
+}
+
+Histogram::Histogram(double lo, double hi, std::size_t bins)
+    : lo_(lo), hi_(hi), width_((hi - lo) / static_cast<double>(bins)), counts_(bins, 0) {
+  if (bins == 0 || hi <= lo) throw std::invalid_argument("bad histogram bounds");
+}
+
+void Histogram::add(double v) {
+  ++total_;
+  if (v < lo_) {
+    ++underflow_;
+  } else if (v >= hi_) {
+    ++overflow_;
+  } else {
+    ++counts_[static_cast<std::size_t>((v - lo_) / width_)];
+  }
+}
+
+void IntervalSeries::add(Time at, double value) {
+  buckets_[at / width_] += value;
+  total_ += value;
+}
+
+double IntervalSeries::bucket_value(std::int64_t index) const {
+  auto it = buckets_.find(index);
+  return it == buckets_.end() ? 0.0 : it->second;
+}
+
+std::int64_t IntervalSeries::last_bucket() const {
+  return buckets_.empty() ? -1 : buckets_.rbegin()->first;
+}
+
+}  // namespace rocelab

@@ -1,0 +1,106 @@
+// Statistics helpers: percentile samplers, fixed-width histograms,
+// time-bucketed counter series (the 5-minute buckets of Fig. 9/10), and
+// windowed rate meters.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/common/units.h"
+
+namespace rocelab {
+
+/// Collects samples and answers percentile queries. Stores all samples;
+/// suitable for the sample counts our experiments produce (<= tens of
+/// millions of doubles).
+class PercentileSampler {
+ public:
+  void add(double v) { samples_.push_back(v); sorted_ = false; }
+  [[nodiscard]] std::size_t count() const { return samples_.size(); }
+  [[nodiscard]] bool empty() const { return samples_.empty(); }
+
+  /// p in [0,100]. Linear interpolation between closest ranks.
+  [[nodiscard]] double percentile(double p) const;
+  [[nodiscard]] double mean() const;
+  [[nodiscard]] double min() const;
+  [[nodiscard]] double max() const;
+  [[nodiscard]] double stddev() const;
+
+  void clear() { samples_.clear(); sorted_ = false; }
+
+  /// Raw samples (unspecified order).
+  [[nodiscard]] const std::vector<double>& samples() const { return samples_; }
+  /// Pool another sampler's samples into this one (e.g. aggregating
+  /// Pingmesh probers across servers, as §5.3's service does).
+  void merge(const PercentileSampler& other) {
+    samples_.insert(samples_.end(), other.samples_.begin(), other.samples_.end());
+    sorted_ = false;
+  }
+
+ private:
+  mutable std::vector<double> samples_;
+  mutable bool sorted_ = false;
+  void ensure_sorted() const;
+};
+
+/// Histogram over fixed-width bins in [lo, hi); under/overflow tracked.
+class Histogram {
+ public:
+  Histogram(double lo, double hi, std::size_t bins);
+
+  void add(double v);
+  [[nodiscard]] std::int64_t bin_count(std::size_t i) const { return counts_.at(i); }
+  [[nodiscard]] std::size_t bins() const { return counts_.size(); }
+  [[nodiscard]] double bin_lo(std::size_t i) const { return lo_ + static_cast<double>(i) * width_; }
+  [[nodiscard]] std::int64_t underflow() const { return underflow_; }
+  [[nodiscard]] std::int64_t overflow() const { return overflow_; }
+  [[nodiscard]] std::int64_t total() const { return total_; }
+
+ private:
+  double lo_, hi_, width_;
+  std::vector<std::int64_t> counts_;
+  std::int64_t underflow_ = 0, overflow_ = 0, total_ = 0;
+};
+
+/// A counter accumulated into fixed-duration time buckets, as the paper's
+/// monitoring system does with 5-minute PFC pause frame counts (Fig. 9b/10b).
+class IntervalSeries {
+ public:
+  explicit IntervalSeries(Time bucket_width) : width_(bucket_width) {}
+
+  void add(Time at, double value);
+  /// Bucket index -> accumulated value. Missing buckets are zero.
+  [[nodiscard]] const std::map<std::int64_t, double>& buckets() const { return buckets_; }
+  [[nodiscard]] double bucket_value(std::int64_t index) const;
+  [[nodiscard]] Time bucket_width() const { return width_; }
+  [[nodiscard]] double total() const { return total_; }
+  /// Largest bucket index seen, or -1 when empty.
+  [[nodiscard]] std::int64_t last_bucket() const;
+
+ private:
+  Time width_;
+  std::map<std::int64_t, double> buckets_;
+  double total_ = 0;
+};
+
+/// Exponentially weighted moving average.
+class Ewma {
+ public:
+  explicit Ewma(double gain) : gain_(gain) {}
+  void add(double v) {
+    value_ = seeded_ ? (1.0 - gain_) * value_ + gain_ * v : v;
+    seeded_ = true;
+  }
+  [[nodiscard]] double value() const { return value_; }
+  [[nodiscard]] bool seeded() const { return seeded_; }
+
+ private:
+  double gain_;
+  double value_ = 0;
+  bool seeded_ = false;
+};
+
+}  // namespace rocelab

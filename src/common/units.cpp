@@ -1,0 +1,41 @@
+#include "src/common/units.h"
+
+#include <cmath>
+#include <cstdio>
+
+namespace rocelab {
+
+namespace {
+std::string format_with_unit(double v, const char* unit) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.3g%s", v, unit);
+  return buf;
+}
+}  // namespace
+
+std::string format_time(Time t) {
+  const double a = std::abs(static_cast<double>(t));
+  if (a >= kSecond) return format_with_unit(to_seconds(t), "s");
+  if (a >= kMillisecond) return format_with_unit(to_milliseconds(t), "ms");
+  if (a >= kMicrosecond) return format_with_unit(to_microseconds(t), "us");
+  if (a >= kNanosecond) return format_with_unit(to_nanoseconds(t), "ns");
+  return format_with_unit(static_cast<double>(t), "ps");
+}
+
+std::string format_bandwidth(double bits_per_second) {
+  if (bits_per_second >= 1e12) return format_with_unit(bits_per_second / 1e12, "Tb/s");
+  if (bits_per_second >= 1e9) return format_with_unit(bits_per_second / 1e9, "Gb/s");
+  if (bits_per_second >= 1e6) return format_with_unit(bits_per_second / 1e6, "Mb/s");
+  if (bits_per_second >= 1e3) return format_with_unit(bits_per_second / 1e3, "Kb/s");
+  return format_with_unit(bits_per_second, "b/s");
+}
+
+std::string format_bytes(std::int64_t bytes) {
+  const double b = static_cast<double>(bytes);
+  if (b >= 1024.0 * 1024 * 1024) return format_with_unit(b / (1024.0 * 1024 * 1024), "GiB");
+  if (b >= 1024.0 * 1024) return format_with_unit(b / (1024.0 * 1024), "MiB");
+  if (b >= 1024.0) return format_with_unit(b / 1024.0, "KiB");
+  return format_with_unit(b, "B");
+}
+
+}  // namespace rocelab

@@ -1,0 +1,69 @@
+// Time, bandwidth, and size units used throughout the simulator.
+//
+// Time is kept as an integral count of picoseconds. At 40Gb/s one byte is
+// exactly 200ps, so all serialization times used by the paper's fabric
+// (10/25/40/50/100GbE) are exactly representable and event ordering is
+// deterministic with no floating point drift.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace rocelab {
+
+/// Simulated time in picoseconds.
+using Time = std::int64_t;
+
+inline constexpr Time kPicosecond = 1;
+inline constexpr Time kNanosecond = 1000;
+inline constexpr Time kMicrosecond = 1000 * kNanosecond;
+inline constexpr Time kMillisecond = 1000 * kMicrosecond;
+inline constexpr Time kSecond = 1000 * kMillisecond;
+
+constexpr Time picoseconds(std::int64_t v) { return v; }
+constexpr Time nanoseconds(std::int64_t v) { return v * kNanosecond; }
+constexpr Time microseconds(std::int64_t v) { return v * kMicrosecond; }
+constexpr Time milliseconds(std::int64_t v) { return v * kMillisecond; }
+constexpr Time seconds(std::int64_t v) { return v * kSecond; }
+
+constexpr double to_nanoseconds(Time t) { return static_cast<double>(t) / kNanosecond; }
+constexpr double to_microseconds(Time t) { return static_cast<double>(t) / kMicrosecond; }
+constexpr double to_milliseconds(Time t) { return static_cast<double>(t) / kMillisecond; }
+constexpr double to_seconds(Time t) { return static_cast<double>(t) / kSecond; }
+
+/// Link bandwidth in bits per second.
+using Bandwidth = std::int64_t;
+
+inline constexpr Bandwidth kBitPerSecond = 1;
+inline constexpr Bandwidth kKilobitPerSecond = 1000;
+inline constexpr Bandwidth kMegabitPerSecond = 1000 * kKilobitPerSecond;
+inline constexpr Bandwidth kGigabitPerSecond = 1000 * kMegabitPerSecond;
+
+constexpr Bandwidth gbps(std::int64_t v) { return v * kGigabitPerSecond; }
+constexpr Bandwidth mbps(std::int64_t v) { return v * kMegabitPerSecond; }
+
+/// Time to put `bytes` on the wire at `bw` bits/second.
+constexpr Time serialization_time(std::int64_t bytes, Bandwidth bw) {
+  // bytes*8 bits / (bw bits/s) seconds = bytes*8*1e12/bw picoseconds.
+  // 128-bit intermediate keeps this exact for any realistic byte count.
+  return static_cast<Time>(static_cast<__int128>(bytes) * 8 * kSecond / bw);
+}
+
+/// Speed of light propagation delay in copper/fiber: ~5ns per meter.
+constexpr Time propagation_delay_for_meters(double meters) {
+  return static_cast<Time>(meters * 5.0 * kNanosecond);
+}
+
+/// Bytes transferable in `t` at `bw` bits/second (exact integer math).
+constexpr std::int64_t bytes_in_time(Time t, Bandwidth bw) {
+  return static_cast<std::int64_t>(static_cast<__int128>(t) * bw / 8 / kSecond);
+}
+
+inline constexpr std::int64_t kKiB = 1024;
+inline constexpr std::int64_t kMiB = 1024 * kKiB;
+
+std::string format_time(Time t);
+std::string format_bandwidth(double bits_per_second);
+std::string format_bytes(std::int64_t bytes);
+
+}  // namespace rocelab

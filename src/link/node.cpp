@@ -1,0 +1,69 @@
+#include "src/link/node.h"
+
+#include <atomic>
+
+namespace rocelab {
+
+namespace {
+NodeId next_node_id() {
+  static std::atomic<NodeId> next{1};
+  return next.fetch_add(1);
+}
+}  // namespace
+
+Node::Node(Simulator& sim, std::string name)
+    : sim_(sim), name_(std::move(name)), id_(next_node_id()) {}
+
+EgressPort& Node::add_port() {
+  ports_.push_back(std::make_unique<EgressPort>(sim_, *this, port_count()));
+  return *ports_.back();
+}
+
+MacAddr Node::port_mac(int i) const {
+  // Locally administered unicast MAC: 02:00:<node id:3B>:<port:1B>.
+  return MacAddr::from_u64((0x020000000000ull) | (static_cast<std::uint64_t>(id_) << 8) |
+                           static_cast<std::uint64_t>(i & 0xff));
+}
+
+void Node::deliver(Packet pkt, int in_port) {
+  if (rx_tap) rx_tap(pkt, in_port);
+  auto& counters = port(in_port).counters();
+  if (pkt.kind == PacketKind::kPfcPause) {
+    PfcFrame frame = pkt.pfc.value_or(PfcFrame{});
+    for (int p = 0; p < kNumPriorities; ++p) {
+      if (!frame.enabled(p)) continue;
+      ++counters.rx_pause[static_cast<std::size_t>(p)];
+      port(in_port).receive_pause(p, frame.quanta[static_cast<std::size_t>(p)]);
+    }
+    on_pause_rx(in_port, frame);
+    return;  // pause frames are link-local, never forwarded
+  }
+  const auto prio = static_cast<std::size_t>(pkt.priority);
+  ++counters.rx_packets[prio];
+  counters.rx_bytes[prio] += pkt.frame_bytes;
+  handle_packet(std::move(pkt), in_port);
+}
+
+void Node::send_pause(int out_port, int prio, std::uint16_t quanta) {
+  if (!allow_pause_tx_) return;
+  last_pause_tx_ = sim_.now();
+  Packet pkt;
+  pkt.kind = PacketKind::kPfcPause;
+  pkt.frame_bytes = kPfcFrameBytes;
+  pkt.eth.dst = MacAddr::pfc_multicast();
+  pkt.eth.src = port_mac(out_port);
+  pkt.eth.ethertype = kEtherTypeMacControl;
+  PfcFrame frame;
+  frame.set(prio, quanta);
+  pkt.pfc = frame;
+  pkt.created_at = sim_.now();
+  port(out_port).enqueue_control(std::move(pkt));
+}
+
+void connect_nodes(Node& a, int port_a, Node& b, int port_b, Bandwidth bandwidth,
+                   Time prop_delay) {
+  a.port(port_a).connect(&b, port_b, bandwidth, prop_delay);
+  b.port(port_b).connect(&a, port_a, bandwidth, prop_delay);
+}
+
+}  // namespace rocelab

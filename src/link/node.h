@@ -1,0 +1,75 @@
+// Node: base class for every device (switch, host). Owns ports, assigns
+// per-port MAC addresses, counts ingress traffic, and strips link-local PFC
+// pause frames before they reach the subclass.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/link/port.h"
+#include "src/net/packet.h"
+#include "src/sim/simulator.h"
+
+namespace rocelab {
+
+using NodeId = std::uint32_t;
+
+class Node {
+ public:
+  Node(Simulator& sim, std::string name);
+  virtual ~Node() = default;
+  Node(const Node&) = delete;
+  Node& operator=(const Node&) = delete;
+
+  /// Entry point from the wire. Counts rx, intercepts PFC pause frames
+  /// (applying them to the egress side of `in_port`), then dispatches to
+  /// handle_packet().
+  void deliver(Packet pkt, int in_port);
+
+  EgressPort& add_port();
+  [[nodiscard]] EgressPort& port(int i) { return *ports_.at(static_cast<std::size_t>(i)); }
+  [[nodiscard]] const EgressPort& port(int i) const { return *ports_.at(static_cast<std::size_t>(i)); }
+  [[nodiscard]] int port_count() const { return static_cast<int>(ports_.size()); }
+
+  [[nodiscard]] MacAddr port_mac(int i) const;
+  [[nodiscard]] NodeId id() const { return id_; }
+  [[nodiscard]] const std::string& name() const { return name_; }
+  Simulator& sim() { return sim_; }
+
+  /// Send a PFC pause frame out of `out_port` for `prio` with `quanta`.
+  /// Used by switch MMU and NIC pause generation; honors pause masking
+  /// (the NIC watchdog disables generation via allow_pause_tx).
+  void send_pause(int out_port, int prio, std::uint16_t quanta);
+
+  /// Subclass hook: a pause frame arrived on `in_port` (already applied to
+  /// the port). The switch-side storm watchdog observes these.
+  virtual void on_pause_rx(int in_port, const PfcFrame& frame) { (void)in_port; (void)frame; }
+
+  /// When false, send_pause() becomes a no-op (NIC-side storm watchdog).
+  void set_allow_pause_tx(bool v) { allow_pause_tx_ = v; }
+  [[nodiscard]] bool allow_pause_tx() const { return allow_pause_tx_; }
+  /// Time of the most recent pause frame this node emitted, or -1.
+  [[nodiscard]] Time last_pause_tx() const { return last_pause_tx_; }
+
+  /// Non-invasive receive tap (e.g. pcap capture): sees every delivered
+  /// packet, including PFC pause frames, before it is processed.
+  std::function<void(const Packet&, int in_port)> rx_tap;
+
+ protected:
+  virtual void handle_packet(Packet pkt, int in_port) = 0;
+
+ private:
+  Simulator& sim_;
+  std::string name_;
+  NodeId id_;
+  bool allow_pause_tx_ = true;
+  Time last_pause_tx_ = -1;
+  std::vector<std::unique_ptr<EgressPort>> ports_;
+};
+
+/// Wire two nodes' ports together, full duplex, same speed both ways.
+void connect_nodes(Node& a, int port_a, Node& b, int port_b, Bandwidth bandwidth,
+                   Time prop_delay);
+
+}  // namespace rocelab

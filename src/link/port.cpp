@@ -1,0 +1,201 @@
+#include "src/link/port.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "src/link/node.h"
+
+namespace rocelab {
+
+namespace {
+constexpr std::int64_t kDwrrQuantumBytes = 1600;
+}
+
+EgressPort::EgressPort(Simulator& sim, Node& owner, int index)
+    : sim_(sim), owner_(owner), index_(index) {}
+
+void EgressPort::connect(Node* peer, int peer_port, Bandwidth bandwidth, Time prop_delay) {
+  peer_ = peer;
+  peer_port_ = peer_port;
+  bandwidth_ = bandwidth;
+  prop_delay_ = prop_delay;
+}
+
+MacAddr EgressPort::peer_mac() const {
+  if (peer_ == nullptr) throw std::logic_error("peer_mac on unconnected port");
+  return peer_->port_mac(peer_port_);
+}
+
+void EgressPort::enqueue(Packet pkt) {
+  const auto prio = static_cast<std::size_t>(pkt.priority);
+  queue_bytes_[prio] += pkt.frame_bytes;
+  total_bytes_ += pkt.frame_bytes;
+  queues_[prio].push_back(std::move(pkt));
+  try_send();
+}
+
+void EgressPort::enqueue_control(Packet pkt) {
+  control_.push_back(std::move(pkt));
+  try_send();
+}
+
+std::size_t EgressPort::flush_priority(int prio) {
+  const auto i = static_cast<std::size_t>(prio);
+  const std::size_t n = queues_[i].size();
+  for (auto& pkt : queues_[i]) {
+    if (on_dequeue) on_dequeue(pkt, prio);
+    ++counters_.egress_drops;
+  }
+  total_bytes_ -= queue_bytes_[i];
+  queue_bytes_[i] = 0;
+  deficit_[i] = 0;
+  queues_[i].clear();
+  return n;
+}
+
+void EgressPort::settle_pause(int prio) {
+  const auto i = static_cast<std::size_t>(prio);
+  if (pause_active_[i] && sim_.now() >= paused_until_[i]) {
+    counters_.paused_time[i] += paused_until_[i] - pause_started_[i];
+    pause_active_[i] = false;
+  }
+}
+
+bool EgressPort::paused(int prio) const {
+  const auto i = static_cast<std::size_t>(prio);
+  return pause_active_[i] && sim_.now() < paused_until_[i];
+}
+
+bool EgressPort::fully_blocked() const {
+  if (!control_.empty()) return false;
+  bool any_queued = false;
+  for (int p = 0; p < kNumPriorities; ++p) {
+    if (queues_[static_cast<std::size_t>(p)].empty()) continue;
+    any_queued = true;
+    if (!paused(p)) return false;
+  }
+  return any_queued;
+}
+
+void EgressPort::receive_pause(int prio, std::uint16_t quanta) {
+  const auto i = static_cast<std::size_t>(prio);
+  settle_pause(prio);
+  if (quanta == 0) {
+    // XON: resume immediately.
+    if (pause_active_[i]) {
+      counters_.paused_time[i] += sim_.now() - pause_started_[i];
+      pause_active_[i] = false;
+    }
+    try_send();
+    return;
+  }
+  const Time until = sim_.now() + static_cast<Time>(quanta) * quantum_time();
+  if (!pause_active_[i]) {
+    pause_active_[i] = true;
+  } else {
+    // Refresh while paused: bank the elapsed interval so monitoring sees
+    // in-progress pause time (§5.2 pause intervals).
+    counters_.paused_time[i] += sim_.now() - pause_started_[i];
+  }
+  pause_started_[i] = sim_.now();
+  paused_until_[i] = until;
+  // Kick the transmitter when the pause expires on its own.
+  sim_.schedule_at(until, [this, prio] {
+    settle_pause(prio);
+    try_send();
+  });
+}
+
+int EgressPort::pick_queue() {
+  // Strict-priority queues first, highest index wins (convention: the
+  // real-time class is configured strict at a high priority).
+  for (int p = kNumPriorities - 1; p >= 0; --p) {
+    const auto i = static_cast<std::size_t>(p);
+    if (qcfg_[i].strict && !queues_[i].empty() && !paused(p)) return p;
+  }
+  auto eligible = [this](int p) {
+    const auto i = static_cast<std::size_t>(p);
+    return !qcfg_[i].strict && !queues_[i].empty() && !paused(p);
+  };
+  int first_eligible = -1;
+  for (int p = 0; p < kNumPriorities; ++p) {
+    if (eligible(p)) {
+      first_eligible = p;
+      break;
+    }
+  }
+  if (first_eligible < 0) return -1;
+
+  // Deficit round robin: a queue receives its quantum once per visit of the
+  // round-robin pointer and is served for as long as its deficit covers the
+  // head-of-line packet.
+  for (int attempts = 0; attempts < 2 * kNumPriorities; ++attempts) {
+    const int p = rr_next_;
+    const auto i = static_cast<std::size_t>(p);
+    if (eligible(p)) {
+      const std::int64_t head = queues_[i].front().frame_bytes;
+      if (deficit_[i] >= head) return p;
+      if (!rr_granted_) {
+        rr_granted_ = true;
+        deficit_[i] += kDwrrQuantumBytes * std::max(1, qcfg_[i].weight);
+        if (deficit_[i] >= head) return p;
+      }
+    }
+    rr_next_ = (rr_next_ + 1) % kNumPriorities;
+    rr_granted_ = false;
+  }
+  // Degenerate configs (e.g. quantum never covering a jumbo head): don't
+  // wedge the port — serve the first eligible queue.
+  return first_eligible;
+}
+
+void EgressPort::try_send() {
+  if (busy_ || peer_ == nullptr) return;
+
+  Packet pkt;
+  bool is_control = false;
+  if (!control_.empty()) {
+    pkt = std::move(control_.front());
+    control_.pop_front();
+    is_control = true;
+  } else {
+    const int p = pick_queue();
+    if (p < 0) return;
+    const auto i = static_cast<std::size_t>(p);
+    pkt = std::move(queues_[i].front());
+    queues_[i].pop_front();
+    queue_bytes_[i] -= pkt.frame_bytes;
+    total_bytes_ -= pkt.frame_bytes;
+    deficit_[i] -= pkt.frame_bytes;
+    if (queues_[i].empty()) deficit_[i] = 0;
+    if (on_dequeue) on_dequeue(pkt, p);
+    pkt.charge.reset();  // this copy is leaving the device: release its share
+  }
+
+  const auto prio = static_cast<std::size_t>(pkt.priority);
+  if (is_control && pkt.kind == PacketKind::kPfcPause) {
+    for (int p = 0; p < kNumPriorities; ++p) {
+      if (pkt.pfc && pkt.pfc->enabled(p)) ++counters_.tx_pause[static_cast<std::size_t>(p)];
+    }
+  } else {
+    ++counters_.tx_packets[prio];
+    counters_.tx_bytes[prio] += pkt.frame_bytes;
+  }
+
+  const Time ser = serialization_time(pkt.frame_bytes + kWireOverheadBytes, bandwidth_);
+  busy_ = true;
+  sim_.schedule_in(ser, [this] {
+    busy_ = false;
+    try_send();
+  });
+  Node* peer = peer_;
+  const int peer_port = peer_port_;
+  sim_.schedule_in(ser + prop_delay_, [peer, peer_port, pkt = std::move(pkt)]() mutable {
+    peer->deliver(std::move(pkt), peer_port);
+  });
+  // Notify at dequeue time — this is when queue room actually appears.
+  // (Reentrant enqueues are safe: busy_ is already set.)
+  if (!is_control && on_drain) on_drain();
+}
+
+}  // namespace rocelab

@@ -1,0 +1,145 @@
+// EgressPort: one direction of a full-duplex link. Owns the eight
+// per-priority egress queues of Fig. 2, a control queue for PFC frames
+// (which bypass data and are never paused), per-priority PFC pause state,
+// and the transmit state machine (serialization + propagation delay).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <deque>
+#include <functional>
+
+#include "src/common/units.h"
+#include "src/net/packet.h"
+#include "src/sim/simulator.h"
+
+namespace rocelab {
+
+class Node;
+
+inline constexpr int kNumPriorities = 8;
+
+/// Per-port, per-priority counters mirroring §5.2's monitoring: pause frames
+/// sent/received, traffic sent/received, drops, and integrated pause
+/// intervals (which the paper asked ASIC vendors to add).
+struct PortCounters {
+  std::array<std::int64_t, kNumPriorities> tx_packets{};
+  std::array<std::int64_t, kNumPriorities> tx_bytes{};
+  std::array<std::int64_t, kNumPriorities> rx_packets{};
+  std::array<std::int64_t, kNumPriorities> rx_bytes{};
+  std::array<std::int64_t, kNumPriorities> tx_pause{};
+  std::array<std::int64_t, kNumPriorities> rx_pause{};
+  std::array<Time, kNumPriorities> paused_time{};  // total time egress was paused
+  std::int64_t ingress_drops = 0;        // MMU admission drops (lossy tail drop)
+  std::int64_t headroom_overflow_drops = 0;  // lossless drops: misconfiguration signal
+  std::int64_t egress_drops = 0;
+  std::int64_t arp_incomplete_drops = 0;  // the §4.2 deadlock-fix drop counter
+  std::int64_t mac_mismatch_drops = 0;    // router dropped frame not addressed to it
+
+  [[nodiscard]] std::int64_t total_tx_pause() const {
+    std::int64_t s = 0;
+    for (auto v : tx_pause) s += v;
+    return s;
+  }
+  [[nodiscard]] std::int64_t total_rx_pause() const {
+    std::int64_t s = 0;
+    for (auto v : rx_pause) s += v;
+    return s;
+  }
+  [[nodiscard]] std::int64_t total_tx_bytes() const {
+    std::int64_t s = 0;
+    for (auto v : tx_bytes) s += v;
+    return s;
+  }
+};
+
+class EgressPort {
+ public:
+  struct QueueConfig {
+    int weight = 1;       // DWRR weight among non-strict queues
+    bool strict = false;  // strict priority (the "real-time" class)
+  };
+
+  EgressPort(Simulator& sim, Node& owner, int index);
+  EgressPort(const EgressPort&) = delete;
+  EgressPort& operator=(const EgressPort&) = delete;
+
+  /// Wire this direction to a peer's ingress. Also called for the reverse
+  /// direction by `connect_nodes`.
+  void connect(Node* peer, int peer_port, Bandwidth bandwidth, Time prop_delay);
+  [[nodiscard]] bool connected() const { return peer_ != nullptr; }
+
+  void enqueue(Packet pkt);          // data path, queue chosen by pkt.priority
+  void enqueue_control(Packet pkt);  // PFC frames: strict, unpausable
+
+  /// Apply a received PFC pause for `prio`: quanta==0 resumes (XON).
+  void receive_pause(int prio, std::uint16_t quanta);
+
+  /// Drop everything queued at `prio` (switch watchdog discarding lossless
+  /// packets, §4.3). on_dequeue fires for each so owner accounting stays
+  /// consistent; drops are counted as egress_drops.
+  std::size_t flush_priority(int prio);
+  [[nodiscard]] bool paused(int prio) const;
+  /// True if every data priority with queued packets is paused (or empty).
+  [[nodiscard]] bool fully_blocked() const;
+
+  [[nodiscard]] std::int64_t queued_bytes(int prio) const { return queue_bytes_[static_cast<std::size_t>(prio)]; }
+  [[nodiscard]] std::int64_t total_queued_bytes() const { return total_bytes_; }
+  [[nodiscard]] std::size_t queued_packets(int prio) const { return queues_[static_cast<std::size_t>(prio)].size(); }
+  [[nodiscard]] std::size_t control_queued() const { return control_.size(); }
+
+  void set_queue_config(int prio, QueueConfig cfg) { qcfg_[static_cast<std::size_t>(prio)] = cfg; }
+  [[nodiscard]] const QueueConfig& queue_config(int prio) const { return qcfg_[static_cast<std::size_t>(prio)]; }
+
+  [[nodiscard]] Node* peer() const { return peer_; }
+  [[nodiscard]] int peer_port() const { return peer_port_; }
+  [[nodiscard]] MacAddr peer_mac() const;
+  [[nodiscard]] Bandwidth bandwidth() const { return bandwidth_; }
+  [[nodiscard]] Time prop_delay() const { return prop_delay_; }
+  [[nodiscard]] int index() const { return index_; }
+  [[nodiscard]] Node& owner() const { return owner_; }
+
+  PortCounters& counters() { return counters_; }
+  [[nodiscard]] const PortCounters& counters() const { return counters_; }
+
+  /// Invoked when a data packet starts transmission (leaves the queue).
+  /// Switches release MMU accounting here.
+  std::function<void(const Packet&, int prio)> on_dequeue;
+  /// Invoked after any dequeue; NIC QP schedulers use it as backpressure
+  /// relief to refill the (bounded) port queue.
+  std::function<void()> on_drain;
+
+  /// Time one PFC pause quantum lasts at this port's speed (512 bit times).
+  [[nodiscard]] Time quantum_time() const { return serialization_time(64, bandwidth_); }
+
+ private:
+  void try_send();
+  void settle_pause(int prio);
+  int pick_queue();
+
+  Simulator& sim_;
+  Node& owner_;
+  int index_;
+  Node* peer_ = nullptr;
+  int peer_port_ = -1;
+  Bandwidth bandwidth_ = gbps(40);
+  Time prop_delay_ = 0;
+
+  std::array<std::deque<Packet>, kNumPriorities> queues_;
+  std::deque<Packet> control_;
+  std::array<std::int64_t, kNumPriorities> queue_bytes_{};
+  std::int64_t total_bytes_ = 0;
+  std::array<QueueConfig, kNumPriorities> qcfg_{};
+  std::array<std::int64_t, kNumPriorities> deficit_{};
+  int rr_next_ = 0;
+  bool rr_granted_ = false;  // quantum already granted at rr_next_'s visit
+
+  std::array<Time, kNumPriorities> paused_until_{};
+  std::array<Time, kNumPriorities> pause_started_{};
+  std::array<bool, kNumPriorities> pause_active_{};
+
+  bool busy_ = false;
+  PortCounters counters_;
+};
+
+}  // namespace rocelab

@@ -1,0 +1,108 @@
+#include "src/monitor/monitor.h"
+
+namespace rocelab {
+
+namespace {
+std::int64_t node_rx_pause(const Node* n) {
+  std::int64_t total = 0;
+  for (int p = 0; p < n->port_count(); ++p) total += n->port(p).counters().total_rx_pause();
+  return total;
+}
+std::int64_t node_tx_pause(const Node* n) {
+  std::int64_t total = 0;
+  for (int p = 0; p < n->port_count(); ++p) total += n->port(p).counters().total_tx_pause();
+  return total;
+}
+}  // namespace
+
+PauseMonitor::PauseMonitor(Simulator& sim, std::vector<Node*> nodes, Time interval)
+    : sim_(sim), nodes_(std::move(nodes)), interval_(interval) {
+  for (Node* n : nodes_) {
+    rx_.emplace(n, IntervalSeries(interval_));
+    tx_.emplace(n, IntervalSeries(interval_));
+    last_rx_[n] = 0;
+    last_tx_[n] = 0;
+  }
+}
+
+void PauseMonitor::start() { sim_.schedule_in(interval_, [this] { tick(); }); }
+
+void PauseMonitor::tick() {
+  // Record the delta just *before* the bucket boundary so it lands in the
+  // bucket it accumulated in.
+  const Time at = sim_.now() - 1;
+  for (Node* n : nodes_) {
+    const std::int64_t rx = node_rx_pause(n);
+    const std::int64_t tx = node_tx_pause(n);
+    rx_.at(n).add(at, static_cast<double>(rx - last_rx_[n]));
+    tx_.at(n).add(at, static_cast<double>(tx - last_tx_[n]));
+    last_rx_[n] = rx;
+    last_tx_[n] = tx;
+  }
+  sim_.schedule_in(interval_, [this] { tick(); });
+}
+
+std::int64_t PauseMonitor::total_rx(const Node* n) const {
+  return static_cast<std::int64_t>(rx_.at(n).total());
+}
+std::int64_t PauseMonitor::total_tx(const Node* n) const {
+  return static_cast<std::int64_t>(tx_.at(n).total());
+}
+
+IntervalSeries PauseMonitor::aggregate_rx() const {
+  IntervalSeries agg(interval_);
+  for (const auto& [node, series] : rx_) {
+    (void)node;
+    for (const auto& [bucket, value] : series.buckets()) {
+      agg.add(bucket * interval_, value);
+    }
+  }
+  return agg;
+}
+
+int PauseMonitor::nodes_receiving_in_bucket(std::int64_t b) const {
+  int count = 0;
+  for (const auto& [node, series] : rx_) {
+    (void)node;
+    if (series.bucket_value(b) > 0) ++count;
+  }
+  return count;
+}
+
+ThroughputMonitor::ThroughputMonitor(Simulator& sim, std::vector<Host*> hosts, Time interval)
+    : sim_(sim), hosts_(std::move(hosts)), interval_(interval) {}
+
+void ThroughputMonitor::start() {
+  last_bytes_ = sum_bytes();
+  origin_bytes_ = last_bytes_;
+  sim_.schedule_in(interval_, [this] { tick(); });
+}
+
+std::int64_t ThroughputMonitor::sum_bytes() const {
+  std::int64_t total = 0;
+  for (Host* h : hosts_) {
+    total += h->rdma().stats().bytes_received + h->rdma().stats().bytes_completed;
+  }
+  return total;
+}
+
+void ThroughputMonitor::tick() {
+  const std::int64_t now_bytes = sum_bytes();
+  gbps_.push_back(static_cast<double>(now_bytes - last_bytes_) * 8.0 /
+                  to_seconds(interval_) / 1e9);
+  last_bytes_ = now_bytes;
+  sim_.schedule_in(interval_, [this] { tick(); });
+}
+
+double ThroughputMonitor::mean_gbps(std::size_t skip_first) const {
+  if (gbps_.size() <= skip_first) return 0.0;
+  double sum = 0;
+  for (std::size_t i = skip_first; i < gbps_.size(); ++i) sum += gbps_[i];
+  return sum / static_cast<double>(gbps_.size() - skip_first);
+}
+
+std::int64_t ThroughputMonitor::total_bytes() const { return sum_bytes() - origin_bytes_; }
+
+void ThroughputMonitor::reset_origin() { origin_bytes_ = sum_bytes(); }
+
+}  // namespace rocelab

@@ -1,0 +1,105 @@
+// Monitoring (§5.2): periodic snapshots of PFC pause-frame counters and
+// RDMA traffic counters into time-bucketed series — the data behind
+// Fig. 9(b) and Fig. 10(b) — plus an aggregate throughput monitor for
+// Fig. 7(b)-style curves.
+#pragma once
+
+#include <functional>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "src/common/stats.h"
+#include "src/nic/host.h"
+#include "src/sim/simulator.h"
+
+namespace rocelab {
+
+/// Tracks per-node PFC pause frames sent/received per interval.
+class PauseMonitor {
+ public:
+  PauseMonitor(Simulator& sim, std::vector<Node*> nodes, Time interval);
+  void start();
+
+  [[nodiscard]] const IntervalSeries& rx_series(const Node* n) const { return rx_.at(n); }
+  [[nodiscard]] const IntervalSeries& tx_series(const Node* n) const { return tx_.at(n); }
+  [[nodiscard]] std::int64_t total_rx(const Node* n) const;
+  [[nodiscard]] std::int64_t total_tx(const Node* n) const;
+  /// Aggregate pause frames received across all monitored nodes, bucketed.
+  [[nodiscard]] IntervalSeries aggregate_rx() const;
+  /// Number of monitored nodes that received pause frames in bucket `b`.
+  [[nodiscard]] int nodes_receiving_in_bucket(std::int64_t b) const;
+
+ private:
+  void tick();
+
+  Simulator& sim_;
+  std::vector<Node*> nodes_;
+  Time interval_;
+  std::unordered_map<const Node*, IntervalSeries> rx_;
+  std::unordered_map<const Node*, IntervalSeries> tx_;
+  std::unordered_map<const Node*, std::int64_t> last_rx_;
+  std::unordered_map<const Node*, std::int64_t> last_tx_;
+};
+
+/// Periodically samples any numeric probe (egress queue depth, MMU shared
+/// occupancy, QP rate, ...) into a percentile sampler plus a time series —
+/// the data behind the DCQCN marking curves and the §6.2 buffer analysis.
+class PeriodicSampler {
+ public:
+  using Probe = std::function<double()>;
+
+  PeriodicSampler(Simulator& sim, Probe probe, Time interval)
+      : sim_(sim), probe_(std::move(probe)), interval_(interval) {}
+
+  void start() { sim_.schedule_in(interval_, [this] { tick(); }); }
+  void stop() { running_ = false; }
+
+  [[nodiscard]] const PercentileSampler& samples() const { return samples_; }
+  [[nodiscard]] const std::vector<std::pair<Time, double>>& series() const { return series_; }
+  [[nodiscard]] double max_seen() const { return samples_.empty() ? 0.0 : samples_.max(); }
+
+ private:
+  void tick() {
+    if (!running_) return;
+    const double v = probe_();
+    samples_.add(v);
+    series_.emplace_back(sim_.now(), v);
+    sim_.schedule_in(interval_, [this] { tick(); });
+  }
+
+  Simulator& sim_;
+  Probe probe_;
+  Time interval_;
+  bool running_ = true;
+  PercentileSampler samples_;
+  std::vector<std::pair<Time, double>> series_;
+};
+
+/// Aggregate RDMA receive throughput across hosts per interval
+/// (frames/second and bits/second, as Fig. 7(b) plots).
+class ThroughputMonitor {
+ public:
+  ThroughputMonitor(Simulator& sim, std::vector<Host*> hosts, Time interval);
+  void start();
+
+  /// Aggregate delivered payload bits/second in the last completed interval.
+  [[nodiscard]] const std::vector<double>& interval_gbps() const { return gbps_; }
+  [[nodiscard]] double mean_gbps(std::size_t skip_first = 0) const;
+  [[nodiscard]] std::int64_t total_bytes() const;
+  /// Reset the accounting origin (e.g. after warmup).
+  void reset_origin();
+
+ private:
+  void tick();
+  [[nodiscard]] std::int64_t sum_bytes() const;
+
+  Simulator& sim_;
+  std::vector<Host*> hosts_;
+  Time interval_;
+  std::int64_t last_bytes_ = 0;
+  std::int64_t origin_bytes_ = 0;
+  std::vector<double> gbps_;
+};
+
+}  // namespace rocelab

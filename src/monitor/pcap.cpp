@@ -1,0 +1,88 @@
+#include "src/monitor/pcap.h"
+
+#include <stdexcept>
+
+namespace rocelab {
+
+namespace {
+
+void put_u32le(std::ofstream& out, std::uint32_t v) {
+  char b[4] = {static_cast<char>(v & 0xff), static_cast<char>((v >> 8) & 0xff),
+               static_cast<char>((v >> 16) & 0xff), static_cast<char>((v >> 24) & 0xff)};
+  out.write(b, 4);
+}
+void put_u16le(std::ofstream& out, std::uint16_t v) {
+  char b[2] = {static_cast<char>(v & 0xff), static_cast<char>((v >> 8) & 0xff)};
+  out.write(b, 2);
+}
+
+}  // namespace
+
+PcapWriter::PcapWriter(const std::string& path) : out_(path, std::ios::binary) {
+  if (!out_) throw std::runtime_error("cannot open pcap file: " + path);
+  put_u32le(out_, 0xa1b2c3d4);  // magic, microsecond timestamps
+  put_u16le(out_, 2);           // version major
+  put_u16le(out_, 4);           // version minor
+  put_u32le(out_, 0);           // thiszone
+  put_u32le(out_, 0);           // sigfigs
+  put_u32le(out_, 65535);       // snaplen
+  put_u32le(out_, 1);           // LINKTYPE_ETHERNET
+}
+
+PcapWriter::~PcapWriter() = default;
+
+void PcapWriter::write_frame(Time at, std::span<const std::uint8_t> frame) {
+  const auto usec = static_cast<std::uint64_t>(at / kMicrosecond);
+  put_u32le(out_, static_cast<std::uint32_t>(usec / 1000000));
+  put_u32le(out_, static_cast<std::uint32_t>(usec % 1000000));
+  put_u32le(out_, static_cast<std::uint32_t>(frame.size()));
+  put_u32le(out_, static_cast<std::uint32_t>(frame.size()));
+  out_.write(reinterpret_cast<const char*>(frame.data()),
+             static_cast<std::streamsize>(frame.size()));
+  ++frames_;
+}
+
+Bytes frame_bytes_for_capture(const Packet& pkt, PfcMode mode) {
+  switch (pkt.kind) {
+    case PacketKind::kPfcPause:
+      return encode_pfc_frame(pkt.pfc.value_or(PfcFrame{}), pkt.eth.src);
+    case PacketKind::kRoceData:
+    case PacketKind::kRoceReadReq:
+    case PacketKind::kRoceAck:
+    case PacketKind::kCnp:
+      return encode_roce_frame(pkt, mode);
+    case PacketKind::kTcp:
+    case PacketKind::kRaw: {
+      // Faithful Ethernet/IPv4 shell with a synthetic payload of the
+      // packet's true on-wire size.
+      Bytes out;
+      EthernetHeader eth = pkt.eth;
+      eth.ethertype = kEtherTypeIpv4;
+      if (mode == PfcMode::kDscpBased) eth.vlan.reset();
+      encode_ethernet(eth, out);
+      Ipv4Header ip = pkt.ip.value_or(Ipv4Header{});
+      const std::int64_t l2 = static_cast<std::int64_t>(out.size()) + kEthFcsBytes;
+      const std::int64_t ip_len = std::max<std::int64_t>(pkt.frame_bytes - l2, kIpv4HeaderBytes);
+      ip.total_length = static_cast<std::uint16_t>(ip_len);
+      encode_ipv4(ip, out);
+      out.insert(out.end(), static_cast<std::size_t>(ip_len - kIpv4HeaderBytes), 0x00);
+      const std::uint32_t fcs = crc32_ieee(out);
+      out.push_back(static_cast<std::uint8_t>(fcs >> 24));
+      out.push_back(static_cast<std::uint8_t>((fcs >> 16) & 0xff));
+      out.push_back(static_cast<std::uint8_t>((fcs >> 8) & 0xff));
+      out.push_back(static_cast<std::uint8_t>(fcs & 0xff));
+      return out;
+    }
+  }
+  return {};
+}
+
+PortTap::PortTap(Node& node, const std::string& path, PfcMode mode) : writer_(path) {
+  node.rx_tap = [this, mode, &node](const Packet& pkt, int in_port) {
+    (void)in_port;
+    const Bytes frame = frame_bytes_for_capture(pkt, mode);
+    if (!frame.empty()) writer_.write_frame(node.sim().now(), frame);
+  };
+}
+
+}  // namespace rocelab

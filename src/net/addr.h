@@ -1,0 +1,82 @@
+// MAC and IPv4 address value types.
+#pragma once
+
+#include <array>
+#include <compare>
+#include <cstdint>
+#include <functional>
+#include <string>
+
+namespace rocelab {
+
+struct MacAddr {
+  std::array<std::uint8_t, 6> bytes{};
+
+  auto operator<=>(const MacAddr&) const = default;
+
+  [[nodiscard]] bool is_broadcast() const {
+    return *this == broadcast();
+  }
+  [[nodiscard]] bool is_multicast() const { return (bytes[0] & 0x01) != 0; }
+  [[nodiscard]] std::uint64_t to_u64() const {
+    std::uint64_t v = 0;
+    for (auto b : bytes) v = (v << 8) | b;
+    return v;
+  }
+  static MacAddr from_u64(std::uint64_t v) {
+    MacAddr m;
+    for (int i = 5; i >= 0; --i) {
+      m.bytes[static_cast<std::size_t>(i)] = static_cast<std::uint8_t>(v & 0xff);
+      v >>= 8;
+    }
+    return m;
+  }
+  static MacAddr broadcast() { return MacAddr{{0xff, 0xff, 0xff, 0xff, 0xff, 0xff}}; }
+  /// 802.1Qbb PFC pause frames are addressed to this reserved multicast MAC.
+  static MacAddr pfc_multicast() { return MacAddr{{0x01, 0x80, 0xc2, 0x00, 0x00, 0x01}}; }
+
+  [[nodiscard]] std::string str() const;
+};
+
+struct Ipv4Addr {
+  std::uint32_t value = 0;  // host byte order
+
+  auto operator<=>(const Ipv4Addr&) const = default;
+
+  static constexpr Ipv4Addr from_octets(std::uint8_t a, std::uint8_t b, std::uint8_t c,
+                                        std::uint8_t d) {
+    return Ipv4Addr{(std::uint32_t{a} << 24) | (std::uint32_t{b} << 16) |
+                    (std::uint32_t{c} << 8) | std::uint32_t{d}};
+  }
+  [[nodiscard]] std::string str() const;
+};
+
+/// An IPv4 prefix for routing (longest-prefix match).
+struct Ipv4Prefix {
+  Ipv4Addr addr{};
+  int length = 0;  // 0..32
+
+  [[nodiscard]] bool contains(Ipv4Addr ip) const {
+    if (length == 0) return true;
+    const std::uint32_t mask = length >= 32 ? 0xffffffffu : ~((1u << (32 - length)) - 1);
+    return (ip.value & mask) == (addr.value & mask);
+  }
+  auto operator<=>(const Ipv4Prefix&) const = default;
+  [[nodiscard]] std::string str() const;
+};
+
+}  // namespace rocelab
+
+template <>
+struct std::hash<rocelab::MacAddr> {
+  std::size_t operator()(const rocelab::MacAddr& m) const noexcept {
+    return std::hash<std::uint64_t>{}(m.to_u64());
+  }
+};
+
+template <>
+struct std::hash<rocelab::Ipv4Addr> {
+  std::size_t operator()(const rocelab::Ipv4Addr& a) const noexcept {
+    return std::hash<std::uint32_t>{}(a.value);
+  }
+};

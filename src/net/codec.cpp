@@ -1,0 +1,283 @@
+#include "src/net/codec.h"
+
+#include <array>
+#include <cstring>
+
+namespace rocelab {
+
+namespace {
+
+void put_u8(Bytes& out, std::uint8_t v) { out.push_back(v); }
+void put_u16(Bytes& out, std::uint16_t v) {
+  out.push_back(static_cast<std::uint8_t>(v >> 8));
+  out.push_back(static_cast<std::uint8_t>(v & 0xff));
+}
+void put_u32(Bytes& out, std::uint32_t v) {
+  put_u16(out, static_cast<std::uint16_t>(v >> 16));
+  put_u16(out, static_cast<std::uint16_t>(v & 0xffff));
+}
+std::uint16_t get_u16(std::span<const std::uint8_t> in, std::size_t off) {
+  return static_cast<std::uint16_t>((in[off] << 8) | in[off + 1]);
+}
+std::uint32_t get_u32(std::span<const std::uint8_t> in, std::size_t off) {
+  return (static_cast<std::uint32_t>(get_u16(in, off)) << 16) | get_u16(in, off + 2);
+}
+
+const std::array<std::uint32_t, 256>& crc_table() {
+  static const auto table = [] {
+    std::array<std::uint32_t, 256> t{};
+    for (std::uint32_t i = 0; i < 256; ++i) {
+      std::uint32_t c = i;
+      for (int k = 0; k < 8; ++k) c = (c & 1) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+      t[i] = c;
+    }
+    return t;
+  }();
+  return table;
+}
+
+}  // namespace
+
+std::uint32_t crc32_ieee(std::span<const std::uint8_t> data) {
+  std::uint32_t c = 0xffffffffu;
+  for (auto b : data) c = crc_table()[(c ^ b) & 0xff] ^ (c >> 8);
+  return c ^ 0xffffffffu;
+}
+
+std::uint16_t ipv4_header_checksum(std::span<const std::uint8_t> header20) {
+  std::uint32_t sum = 0;
+  for (std::size_t i = 0; i + 1 < header20.size(); i += 2) {
+    if (i == 10) continue;  // checksum field itself
+    sum += get_u16(header20, i);
+  }
+  while (sum >> 16) sum = (sum & 0xffff) + (sum >> 16);
+  return static_cast<std::uint16_t>(~sum & 0xffff);
+}
+
+void encode_ethernet(const EthernetHeader& h, Bytes& out) {
+  out.insert(out.end(), h.dst.bytes.begin(), h.dst.bytes.end());
+  out.insert(out.end(), h.src.bytes.begin(), h.src.bytes.end());
+  if (h.vlan) {
+    put_u16(out, kEtherTypeVlan);
+    const std::uint16_t tci = static_cast<std::uint16_t>(
+        (std::uint16_t{h.vlan->pcp} << 13) | (std::uint16_t{h.vlan->dei} << 12) |
+        (h.vlan->vid & 0x0fff));
+    put_u16(out, tci);
+  }
+  put_u16(out, h.ethertype);
+}
+
+std::optional<DecodedEthernet> decode_ethernet(std::span<const std::uint8_t> in) {
+  if (in.size() < 14) return std::nullopt;
+  DecodedEthernet d;
+  std::memcpy(d.header.dst.bytes.data(), in.data(), 6);
+  std::memcpy(d.header.src.bytes.data(), in.data() + 6, 6);
+  std::size_t off = 12;
+  std::uint16_t et = get_u16(in, off);
+  off += 2;
+  if (et == kEtherTypeVlan) {
+    if (in.size() < 18) return std::nullopt;
+    const std::uint16_t tci = get_u16(in, off);
+    off += 2;
+    VlanTag tag;
+    tag.pcp = static_cast<std::uint8_t>(tci >> 13);
+    tag.dei = ((tci >> 12) & 1) != 0;
+    tag.vid = tci & 0x0fff;
+    d.header.vlan = tag;
+    et = get_u16(in, off);
+    off += 2;
+  }
+  d.header.ethertype = et;
+  d.consumed = off;
+  return d;
+}
+
+void encode_ipv4(const Ipv4Header& h, Bytes& out) {
+  const std::size_t start = out.size();
+  put_u8(out, 0x45);  // version 4, IHL 5
+  put_u8(out, static_cast<std::uint8_t>((h.dscp << 2) | static_cast<std::uint8_t>(h.ecn)));
+  put_u16(out, h.total_length);
+  put_u16(out, h.id);
+  put_u16(out, 0x4000);  // flags: DF, no fragment offset
+  put_u8(out, h.ttl);
+  put_u8(out, h.protocol);
+  put_u16(out, 0);  // checksum placeholder
+  put_u32(out, h.src.value);
+  put_u32(out, h.dst.value);
+  const std::uint16_t csum =
+      ipv4_header_checksum(std::span<const std::uint8_t>(out.data() + start, 20));
+  out[start + 10] = static_cast<std::uint8_t>(csum >> 8);
+  out[start + 11] = static_cast<std::uint8_t>(csum & 0xff);
+}
+
+std::optional<Ipv4Header> decode_ipv4(std::span<const std::uint8_t> in) {
+  if (in.size() < 20 || in[0] != 0x45) return std::nullopt;
+  if (ipv4_header_checksum(in.first(20)) != get_u16(in, 10)) return std::nullopt;
+  Ipv4Header h;
+  h.dscp = static_cast<std::uint8_t>(in[1] >> 2);
+  h.ecn = static_cast<Ecn>(in[1] & 0x03);
+  h.total_length = get_u16(in, 2);
+  h.id = get_u16(in, 4);
+  h.ttl = in[8];
+  h.protocol = in[9];
+  h.src.value = get_u32(in, 12);
+  h.dst.value = get_u32(in, 16);
+  return h;
+}
+
+void encode_udp(const UdpHeader& h, Bytes& out) {
+  put_u16(out, h.src_port);
+  put_u16(out, h.dst_port);
+  put_u16(out, h.length);
+  put_u16(out, 0);  // UDP checksum optional for IPv4; RoCEv2 relies on ICRC
+}
+
+std::optional<UdpHeader> decode_udp(std::span<const std::uint8_t> in) {
+  if (in.size() < 8) return std::nullopt;
+  UdpHeader h;
+  h.src_port = get_u16(in, 0);
+  h.dst_port = get_u16(in, 2);
+  h.length = get_u16(in, 4);
+  return h;
+}
+
+void encode_bth(const RoceBth& h, Bytes& out) {
+  put_u8(out, static_cast<std::uint8_t>(h.opcode));
+  // SE(1) | M(1) | PadCnt(2) | TVer(4): all zero in our encoding.
+  put_u8(out, 0);
+  put_u16(out, h.pkey);
+  put_u32(out, h.dest_qp & 0x00ffffffu);  // reserved byte + 24-bit QPN
+  put_u32(out, (static_cast<std::uint32_t>(h.ack_request) << 31) | (h.psn & 0x00ffffffu));
+}
+
+std::optional<RoceBth> decode_bth(std::span<const std::uint8_t> in) {
+  if (in.size() < 12) return std::nullopt;
+  RoceBth h;
+  h.opcode = static_cast<RoceOpcode>(in[0]);
+  h.pkey = get_u16(in, 2);
+  h.dest_qp = get_u32(in, 4) & 0x00ffffffu;
+  const std::uint32_t w = get_u32(in, 8);
+  h.ack_request = (w >> 31) != 0;
+  h.psn = w & 0x00ffffffu;
+  return h;
+}
+
+void encode_aeth(const RoceAeth& h, Bytes& out) {
+  put_u32(out, (static_cast<std::uint32_t>(h.syndrome) << 24) | (h.msn & 0x00ffffffu));
+}
+
+std::optional<RoceAeth> decode_aeth(std::span<const std::uint8_t> in) {
+  if (in.size() < 4) return std::nullopt;
+  const std::uint32_t w = get_u32(in, 0);
+  RoceAeth h;
+  h.syndrome = static_cast<AethSyndrome>(w >> 24);
+  h.msn = w & 0x00ffffffu;
+  return h;
+}
+
+Bytes encode_pfc_frame(const PfcFrame& pfc, MacAddr src) {
+  Bytes out;
+  out.reserve(64);
+  EthernetHeader eth;
+  eth.dst = MacAddr::pfc_multicast();
+  eth.src = src;
+  eth.ethertype = kEtherTypeMacControl;
+  encode_ethernet(eth, out);          // 14 bytes, never VLAN-tagged (Fig. 3)
+  put_u16(out, PfcFrame::kOpcode);    // MAC control opcode 0x0101
+  put_u16(out, pfc.class_enable);
+  for (auto q : pfc.quanta) put_u16(out, q);
+  while (out.size() < 60) out.push_back(0);  // pad to minimum frame size
+  put_u32(out, crc32_ieee(out));             // FCS
+  return out;
+}
+
+std::optional<PfcFrame> decode_pfc_frame(std::span<const std::uint8_t> frame) {
+  if (frame.size() != 64) return std::nullopt;
+  auto eth = decode_ethernet(frame);
+  if (!eth || eth->header.ethertype != kEtherTypeMacControl || eth->header.vlan) {
+    return std::nullopt;
+  }
+  if (eth->header.dst != MacAddr::pfc_multicast()) return std::nullopt;
+  if (crc32_ieee(frame.first(60)) != get_u32(frame, 60)) return std::nullopt;
+  std::size_t off = eth->consumed;
+  if (get_u16(frame, off) != PfcFrame::kOpcode) return std::nullopt;
+  off += 2;
+  PfcFrame pfc;
+  pfc.class_enable = get_u16(frame, off);
+  off += 2;
+  for (auto& q : pfc.quanta) {
+    q = get_u16(frame, off);
+    off += 2;
+  }
+  return pfc;
+}
+
+Bytes encode_roce_frame(const Packet& pkt, PfcMode mode) {
+  Bytes out;
+  out.reserve(static_cast<std::size_t>(pkt.frame_bytes));
+
+  EthernetHeader eth = pkt.eth;
+  Ipv4Header ip = pkt.ip.value_or(Ipv4Header{});
+  if (mode == PfcMode::kVlanBased) {
+    // Fig. 3(a): priority carried in the VLAN PCP, coupled to a VLAN ID.
+    if (!eth.vlan) eth.vlan = VlanTag{};
+    eth.vlan->pcp = static_cast<std::uint8_t>(pkt.priority & 0x7);
+  } else {
+    // Fig. 3(b): untagged; priority carried in DSCP.
+    eth.vlan.reset();
+    ip.dscp = static_cast<std::uint8_t>(pkt.priority);
+  }
+  eth.ethertype = kEtherTypeIpv4;
+
+  encode_ethernet(eth, out);
+  const std::size_t ip_start = out.size();
+  const RoceBth bth = pkt.bth.value_or(RoceBth{});
+  const std::size_t l4 = static_cast<std::size_t>(kUdpHeaderBytes + kBthBytes) +
+                         static_cast<std::size_t>(pkt.payload_bytes) +
+                         static_cast<std::size_t>(kIcrcBytes);
+  ip.total_length = static_cast<std::uint16_t>(kIpv4HeaderBytes + l4);
+  ip.protocol = kIpProtoUdp;
+  encode_ipv4(ip, out);
+
+  UdpHeader udp = pkt.udp.value_or(UdpHeader{});
+  udp.dst_port = kRoceUdpPort;
+  udp.length = static_cast<std::uint16_t>(l4);
+  encode_udp(udp, out);
+  encode_bth(bth, out);
+  out.insert(out.end(), static_cast<std::size_t>(pkt.payload_bytes), 0xab);
+
+  // ICRC: RoCEv2 invariant CRC over pseudo header + packet; we compute it
+  // over the bytes from the IP header on (fields RoCEv2 masks are already
+  // deterministic in our encoding).
+  put_u32(out, crc32_ieee(std::span<const std::uint8_t>(out.data() + ip_start,
+                                                        out.size() - ip_start)));
+  put_u32(out, crc32_ieee(out));  // Ethernet FCS over the whole frame
+  return out;
+}
+
+std::optional<DecodedRoceFrame> decode_roce_frame(std::span<const std::uint8_t> frame) {
+  auto eth = decode_ethernet(frame);
+  if (!eth || eth->header.ethertype != kEtherTypeIpv4) return std::nullopt;
+  std::size_t off = eth->consumed;
+  auto ip = decode_ipv4(frame.subspan(off));
+  if (!ip || ip->protocol != kIpProtoUdp) return std::nullopt;
+  off += static_cast<std::size_t>(kIpv4HeaderBytes);
+  auto udp = decode_udp(frame.subspan(off));
+  if (!udp || udp->dst_port != kRoceUdpPort) return std::nullopt;
+  off += static_cast<std::size_t>(kUdpHeaderBytes);
+  auto bth = decode_bth(frame.subspan(off));
+  if (!bth) return std::nullopt;
+  off += static_cast<std::size_t>(kBthBytes);
+  if (frame.size() < off + 8) return std::nullopt;  // ICRC + FCS
+
+  DecodedRoceFrame d;
+  d.eth = eth->header;
+  d.ip = *ip;
+  d.udp = *udp;
+  d.bth = *bth;
+  d.payload_bytes = frame.size() - off - 8;
+  d.fcs_ok = crc32_ieee(frame.first(frame.size() - 4)) == get_u32(frame, frame.size() - 4);
+  return d;
+}
+
+}  // namespace rocelab

@@ -1,0 +1,76 @@
+// Byte-exact wire encodings of the packet formats in Fig. 3 of the paper:
+// the PFC pause frame (same in both designs), VLAN-tagged data packets
+// (VLAN-based PFC), and untagged IP data packets carrying priority in DSCP
+// (DSCP-based PFC). Includes a real IPv4 header checksum and IEEE 802.3
+// CRC-32 FCS so the formats are verifiable, not just size-accurate.
+//
+// The simulator itself never serializes; these codecs validate formats
+// (tests) and serve the codec micro-benchmarks.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "src/net/headers.h"
+#include "src/net/packet.h"
+
+namespace rocelab {
+
+using Bytes = std::vector<std::uint8_t>;
+
+/// IEEE 802.3 CRC-32 (reflected, poly 0xEDB88320), as used by Ethernet FCS.
+[[nodiscard]] std::uint32_t crc32_ieee(std::span<const std::uint8_t> data);
+
+/// RFC 791 IPv4 header checksum over an encoded 20-byte header.
+[[nodiscard]] std::uint16_t ipv4_header_checksum(std::span<const std::uint8_t> header20);
+
+// --- field-level encoders -------------------------------------------------
+
+void encode_ethernet(const EthernetHeader& h, Bytes& out);  // 14 or 18 bytes
+void encode_ipv4(const Ipv4Header& h, Bytes& out);          // 20 bytes, checksum filled
+void encode_udp(const UdpHeader& h, Bytes& out);            // 8 bytes
+void encode_bth(const RoceBth& h, Bytes& out);              // 12 bytes
+void encode_aeth(const RoceAeth& h, Bytes& out);            // 4 bytes
+
+struct DecodedEthernet {
+  EthernetHeader header;
+  std::size_t consumed = 0;
+};
+[[nodiscard]] std::optional<DecodedEthernet> decode_ethernet(std::span<const std::uint8_t> in);
+[[nodiscard]] std::optional<Ipv4Header> decode_ipv4(std::span<const std::uint8_t> in);
+[[nodiscard]] std::optional<UdpHeader> decode_udp(std::span<const std::uint8_t> in);
+[[nodiscard]] std::optional<RoceBth> decode_bth(std::span<const std::uint8_t> in);
+[[nodiscard]] std::optional<RoceAeth> decode_aeth(std::span<const std::uint8_t> in);
+
+// --- frame-level encoders (Fig. 3) ----------------------------------------
+
+/// The 802.1Qbb pause frame: identical in VLAN-based and DSCP-based PFC.
+/// 64 bytes: dst 01:80:C2:00:00:01, ethertype 0x8808, opcode 0x0101,
+/// class-enable vector, 8 pause quanta, zero padding, FCS.
+[[nodiscard]] Bytes encode_pfc_frame(const PfcFrame& pfc, MacAddr src);
+[[nodiscard]] std::optional<PfcFrame> decode_pfc_frame(std::span<const std::uint8_t> frame);
+
+enum class PfcMode {
+  kVlanBased,  // Fig. 3(a): priority in VLAN PCP, data packets tagged
+  kDscpBased,  // Fig. 3(b): priority in IP DSCP, data packets untagged
+};
+
+/// Encode a full RoCEv2 data frame (Ethernet/[VLAN]/IPv4/UDP/BTH/payload/
+/// ICRC/FCS). In VLAN mode the priority rides in the PCP field; in DSCP
+/// mode it rides in the DSCP field and no tag is emitted.
+[[nodiscard]] Bytes encode_roce_frame(const Packet& pkt, PfcMode mode);
+
+struct DecodedRoceFrame {
+  EthernetHeader eth;
+  Ipv4Header ip;
+  UdpHeader udp;
+  RoceBth bth;
+  std::size_t payload_bytes = 0;
+  bool fcs_ok = false;
+};
+[[nodiscard]] std::optional<DecodedRoceFrame> decode_roce_frame(
+    std::span<const std::uint8_t> frame);
+
+}  // namespace rocelab

@@ -1,0 +1,187 @@
+// Protocol header value types for the formats of Fig. 2/3 of the paper:
+// Ethernet with and without 802.1Q VLAN tags, IPv4 (DSCP/ECN), UDP, the
+// 802.1Qbb PFC pause frame, and the RoCEv2 transport headers (BTH/AETH).
+//
+// The simulator moves these structs as metadata; `src/net/codec.h` provides
+// the byte-exact wire encodings.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <optional>
+
+#include "src/net/addr.h"
+
+namespace rocelab {
+
+// ---------------------------------------------------------------------------
+// Layer 2
+
+inline constexpr std::uint16_t kEtherTypeIpv4 = 0x0800;
+inline constexpr std::uint16_t kEtherTypeVlan = 0x8100;   // 802.1Q TPID
+inline constexpr std::uint16_t kEtherTypeMacControl = 0x8808;  // PFC pause
+
+/// 802.1Q tag: the original VLAN-based PFC carries priority in PCP, coupled
+/// with the VLAN ID (the coupling §3 of the paper breaks).
+struct VlanTag {
+  std::uint8_t pcp = 0;   // Priority Code Point, 3 bits
+  bool dei = false;       // Drop Eligible Indicator, 1 bit
+  std::uint16_t vid = 0;  // VLAN identifier, 12 bits
+  auto operator<=>(const VlanTag&) const = default;
+};
+
+struct EthernetHeader {
+  MacAddr dst{};
+  MacAddr src{};
+  std::optional<VlanTag> vlan;  // present only in VLAN-based PFC mode
+  std::uint16_t ethertype = kEtherTypeIpv4;
+  auto operator<=>(const EthernetHeader&) const = default;
+};
+
+/// 802.1Qbb Priority-based Flow Control pause frame. One quantum pauses for
+/// 512 bit-times on the receiving port's link. quanta==0 means resume (XON).
+struct PfcFrame {
+  static constexpr std::uint16_t kOpcode = 0x0101;
+  std::uint16_t class_enable = 0;          // bit i => quanta[i] is valid
+  std::array<std::uint16_t, 8> quanta{};   // pause time per priority
+
+  [[nodiscard]] bool enabled(int prio) const { return (class_enable >> prio) & 1; }
+  void set(int prio, std::uint16_t q) {
+    class_enable = static_cast<std::uint16_t>(class_enable | (1u << prio));
+    quanta[static_cast<std::size_t>(prio)] = q;
+  }
+  auto operator<=>(const PfcFrame&) const = default;
+};
+
+// ---------------------------------------------------------------------------
+// Layer 3 / 4
+
+inline constexpr std::uint8_t kIpProtoTcp = 6;
+inline constexpr std::uint8_t kIpProtoUdp = 17;
+
+/// ECN codepoints (RFC 3168), carried in the low 2 bits of the IPv4 TOS byte.
+enum class Ecn : std::uint8_t {
+  kNotEct = 0b00,
+  kEct1 = 0b01,
+  kEct0 = 0b10,
+  kCe = 0b11,  // congestion experienced (switch marks this)
+};
+
+struct Ipv4Header {
+  Ipv4Addr src{};
+  Ipv4Addr dst{};
+  std::uint8_t dscp = 0;  // 6 bits; DSCP-based PFC carries priority here
+  Ecn ecn = Ecn::kNotEct;
+  std::uint16_t id = 0;       // identification: NICs we model assign sequentially
+  std::uint8_t ttl = 64;
+  std::uint8_t protocol = kIpProtoUdp;
+  std::uint16_t total_length = 0;  // header + payload
+  auto operator<=>(const Ipv4Header&) const = default;
+};
+
+struct UdpHeader {
+  std::uint16_t src_port = 0;
+  std::uint16_t dst_port = 0;
+  std::uint16_t length = 0;
+  auto operator<=>(const UdpHeader&) const = default;
+};
+
+// ---------------------------------------------------------------------------
+// RoCEv2 transport
+
+/// RoCEv2 data packets are addressed to this well-known UDP port (§2).
+inline constexpr std::uint16_t kRoceUdpPort = 4791;
+
+enum class RoceOpcode : std::uint8_t {
+  kSendFirst = 0x00,
+  kSendMiddle = 0x01,
+  kSendLast = 0x02,
+  kSendOnly = 0x04,
+  kWriteFirst = 0x06,
+  kWriteMiddle = 0x07,
+  kWriteLast = 0x08,
+  kWriteOnly = 0x0a,
+  kReadRequest = 0x0c,
+  kReadResponseFirst = 0x0d,
+  kReadResponseMiddle = 0x0e,
+  kReadResponseLast = 0x0f,
+  kReadResponseOnly = 0x10,
+  kAcknowledge = 0x11,  // carries AETH: ACK or NAK
+  kCnp = 0x81,          // RoCEv2 congestion notification packet (DCQCN)
+};
+
+[[nodiscard]] constexpr bool is_read_response(RoceOpcode op) {
+  return op == RoceOpcode::kReadResponseFirst || op == RoceOpcode::kReadResponseMiddle ||
+         op == RoceOpcode::kReadResponseLast || op == RoceOpcode::kReadResponseOnly;
+}
+
+/// Base Transport Header (12 bytes on the wire).
+struct RoceBth {
+  RoceOpcode opcode = RoceOpcode::kSendOnly;
+  bool ack_request = false;
+  std::uint16_t pkey = 0xffff;
+  std::uint32_t dest_qp = 0;  // 24 bits
+  std::uint32_t psn = 0;      // 24 bits
+  auto operator<=>(const RoceBth&) const = default;
+};
+
+enum class AethSyndrome : std::uint8_t {
+  kAck = 0,
+  kNakPsnSequenceError = 1,  // receiver expected a smaller PSN: go-back trigger
+  kNakRemoteAccessError = 2,
+  /// Receiver-not-ready: a SEND arrived with no receive WQE posted; the
+  /// sender backs off and retries the message.
+  kRnrNak = 3,
+};
+
+/// ACK Extended Transport Header (4 bytes), carried by kAcknowledge packets.
+struct RoceAeth {
+  AethSyndrome syndrome = AethSyndrome::kAck;
+  std::uint32_t msn = 0;  // 24 bits: message sequence number / expected PSN for NAK
+  auto operator<=>(const RoceAeth&) const = default;
+};
+
+// ---------------------------------------------------------------------------
+// TCP (baseline transport; metadata only, no wire codec needed)
+
+struct TcpHeaderMeta {
+  std::uint16_t src_port = 0;
+  std::uint16_t dst_port = 0;
+  std::uint64_t seq = 0;      // byte sequence number of first payload byte
+  std::uint64_t ack = 0;      // cumulative ACK
+  std::int32_t payload = 0;   // payload bytes carried
+  bool syn = false;
+  bool fin = false;
+  bool ece = false;           // ECN echo
+  auto operator<=>(const TcpHeaderMeta&) const = default;
+};
+
+// ---------------------------------------------------------------------------
+// Wire size constants (bytes). RoCEv2 frame = Eth(14) + IP(20) + UDP(8) +
+// BTH(12) + payload + ICRC(4) + FCS(4); with the paper's 1024B payload this
+// is exactly the 1086-byte frame of Fig. 7.
+
+inline constexpr std::int64_t kEthHeaderBytes = 14;
+inline constexpr std::int64_t kVlanTagBytes = 4;
+inline constexpr std::int64_t kEthFcsBytes = 4;
+inline constexpr std::int64_t kIpv4HeaderBytes = 20;
+inline constexpr std::int64_t kUdpHeaderBytes = 8;
+inline constexpr std::int64_t kBthBytes = 12;
+inline constexpr std::int64_t kAethBytes = 4;
+inline constexpr std::int64_t kRethBytes = 16;   // RDMA extended header (WRITE/READ)
+inline constexpr std::int64_t kIcrcBytes = 4;
+inline constexpr std::int64_t kTcpHeaderBytes = 20;
+inline constexpr std::int64_t kPfcFrameBytes = 64;  // minimum Ethernet frame
+inline constexpr std::int64_t kMinEthFrameBytes = 64;
+/// Preamble + SFD + inter-frame gap occupy wire time but carry no frame bytes.
+inline constexpr std::int64_t kWireOverheadBytes = 20;
+
+inline constexpr std::int64_t kRoceDataOverheadBytes =
+    kEthHeaderBytes + kIpv4HeaderBytes + kUdpHeaderBytes + kBthBytes + kIcrcBytes + kEthFcsBytes;
+static_assert(kRoceDataOverheadBytes == 62);
+static_assert(kRoceDataOverheadBytes + 1024 == 1086, "paper's Fig. 7 frame size");
+
+inline constexpr std::int64_t kTcpFrameOverheadBytes =
+    kEthHeaderBytes + kIpv4HeaderBytes + kTcpHeaderBytes + kEthFcsBytes;
+
+}  // namespace rocelab

@@ -1,0 +1,56 @@
+#include "src/net/packet.h"
+
+#include <cstdio>
+
+namespace rocelab {
+
+std::uint64_t mix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+std::uint64_t five_tuple_hash(const Packet& p, std::uint64_t seed) {
+  std::uint64_t h = seed;
+  if (p.ip) {
+    h = mix64(h ^ p.ip->src.value);
+    h = mix64(h ^ p.ip->dst.value);
+    h = mix64(h ^ p.ip->protocol);
+  }
+  std::uint32_t sport = 0, dport = 0;
+  if (p.udp) {
+    sport = p.udp->src_port;
+    dport = p.udp->dst_port;
+  } else if (p.tcp) {
+    sport = p.tcp->src_port;
+    dport = p.tcp->dst_port;
+  }
+  h = mix64(h ^ (static_cast<std::uint64_t>(sport) << 16 | dport));
+  return h;
+}
+
+std::string Packet::summary() const {
+  const char* kind_name = "?";
+  switch (kind) {
+    case PacketKind::kRoceData: kind_name = "roce-data"; break;
+    case PacketKind::kRoceReadReq: kind_name = "roce-read-req"; break;
+    case PacketKind::kRoceAck: kind_name = "roce-ack"; break;
+    case PacketKind::kCnp: kind_name = "cnp"; break;
+    case PacketKind::kTcp: kind_name = "tcp"; break;
+    case PacketKind::kPfcPause: kind_name = "pfc-pause"; break;
+    case PacketKind::kRaw: kind_name = "raw"; break;
+  }
+  char buf[160];
+  if (ip) {
+    std::snprintf(buf, sizeof(buf), "%s %s->%s prio=%d bytes=%lld psn=%u", kind_name,
+                  ip->src.str().c_str(), ip->dst.str().c_str(), priority,
+                  static_cast<long long>(frame_bytes), bth ? bth->psn : 0);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%s %s->%s bytes=%lld", kind_name, eth.src.str().c_str(),
+                  eth.dst.str().c_str(), static_cast<long long>(frame_bytes));
+  }
+  return buf;
+}
+
+}  // namespace rocelab

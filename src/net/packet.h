@@ -1,0 +1,68 @@
+// The simulation packet: header metadata plus a virtual payload size.
+// Copyable — switch flooding duplicates packets; the shared buffer charge
+// token keeps MMU accounting correct across copies.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "src/common/units.h"
+#include "src/net/headers.h"
+
+namespace rocelab {
+
+enum class PacketKind : std::uint8_t {
+  kRoceData,     // SEND/WRITE segment or READ response segment
+  kRoceReadReq,  // READ request from requester to responder
+  kRoceAck,      // ACK/NAK (AETH)
+  kCnp,          // DCQCN congestion notification packet
+  kTcp,          // TCP segment
+  kPfcPause,     // 802.1Qbb pause frame (link-local, never forwarded)
+  kRaw,          // generic UDP datagram (probes, fillers)
+};
+
+struct Packet {
+  PacketKind kind = PacketKind::kRaw;
+  std::int64_t frame_bytes = kMinEthFrameBytes;  // on-wire size incl. FCS
+  std::int32_t payload_bytes = 0;
+
+  EthernetHeader eth;
+  std::optional<Ipv4Header> ip;
+  std::optional<UdpHeader> udp;
+  std::optional<RoceBth> bth;
+  std::optional<RoceAeth> aeth;
+  std::optional<TcpHeaderMeta> tcp;
+  std::optional<PfcFrame> pfc;
+
+  /// Traffic class / priority group, assigned by the ingress classifier of
+  /// each device from DSCP (or VLAN PCP in legacy mode).
+  int priority = 0;
+  /// Whether the classifier placed the packet in a lossless (PFC) class.
+  bool lossless = false;
+  /// Set when a switch flooded this copy (unknown MAC -> all ports).
+  bool flooded = false;
+
+  std::uint64_t msg_id = 0;    // application correlation id
+  std::int64_t read_length = 0;  // kRoceReadReq: bytes requested
+  Time created_at = 0;         // for latency accounting
+
+  /// Switch shared-buffer accounting token: released (RAII) when every copy
+  /// inside the owning switch is gone and the wire copy has departed.
+  std::shared_ptr<void> charge;
+  /// Ingress port at the device currently holding the packet (set by the
+  /// switch on admission; used for buffer-dependency diagnostics).
+  int mmu_in_port = -1;
+
+  [[nodiscard]] std::string summary() const;
+};
+
+/// Deterministic 5-tuple hash used for ECMP next-hop selection. `seed`
+/// differs per switch so consecutive tiers don't make correlated choices.
+[[nodiscard]] std::uint64_t five_tuple_hash(const Packet& p, std::uint64_t seed);
+
+/// splitmix64-style mixer, exposed for tests and flow-level ECMP analysis.
+[[nodiscard]] std::uint64_t mix64(std::uint64_t x);
+
+}  // namespace rocelab

@@ -1,0 +1,122 @@
+// NIC / host configuration: the server-side knobs of §5.1 — RoCEv2
+// enablement, PFC class setup, DCQCN parameters, loss recovery mode
+// (go-back-0 vs the paper's go-back-N fix), and the models behind the
+// slow-receiver symptom (MTT cache) and PFC storm watchdog.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <optional>
+
+#include "src/common/units.h"
+#include "src/link/port.h"
+
+namespace rocelab {
+
+/// DCQCN reaction-point / notification-point parameters (defaults follow
+/// the DCQCN paper the deployment uses for congestion control, §2).
+struct DcqcnConfig {
+  bool enabled = true;
+  double g = 1.0 / 256;                    // EWMA gain for alpha
+  Time alpha_timer = microseconds(55);     // alpha decay period without CNPs
+  Time increase_timer = microseconds(55);  // rate-increase timer period T
+  std::int64_t byte_counter = 10 * kMiB;   // rate-increase byte counter B
+  int fast_recovery_steps = 5;             // F
+  Bandwidth rai = mbps(40);                // additive increase step
+  Bandwidth rhai = mbps(200);              // hyper increase step
+  Bandwidth min_rate = mbps(40);           // rate floor (DCQCN's RMIN)
+  Time cnp_interval = microseconds(50);    // NP: at most one CNP per QP per interval
+};
+
+/// How the RDMA transport recovers from packet loss (§4.1).
+enum class LossRecovery {
+  kGoBack0,  // vendor's original: restart the message from packet 0 (livelock)
+  kGoBackN,  // the paper's fix: restart from the first dropped packet
+  /// §8.1 extension: the receiver buffers out-of-order packets and the
+  /// sender retransmits only the missing ones (the "more advanced
+  /// transport" the paper anticipates from programmable hardware).
+  kSelectiveRepeat,
+};
+
+/// Which congestion-control algorithm drives the per-QP rate (§2: the
+/// deployment uses DCQCN; the paper argues its lessons apply to TIMELY).
+enum class CcAlgorithm {
+  kDcqcn,   // ECN-marked -> CNP -> rate cut (the deployment's choice)
+  kTimely,  // RTT-gradient based, no switch support needed
+};
+
+/// TIMELY rate controller parameters (RTT-gradient congestion control).
+struct TimelyConfig {
+  Time t_low = microseconds(40);    // below: additive increase, ignore gradient
+  Time t_high = microseconds(400);  // above: multiplicative decrease
+  Time min_rtt = microseconds(10);  // gradient normalization
+  double ewma_gain = 0.3;           // RTT-difference EWMA weight
+  double beta = 0.8;                // decrease aggressiveness
+  Bandwidth rai = mbps(50);         // additive step
+  int hai_threshold = 5;            // consecutive low-RTT steps before HAI
+  Bandwidth min_rate = mbps(40);
+};
+
+/// NIC Memory Translation Table cache (§4.4). The NIC caches `entries`
+/// page translations; a miss stalls the receive pipeline for
+/// `miss_penalty` while the entry is fetched from host DRAM.
+struct MttConfig {
+  bool model_enabled = false;
+  int entries = 2048;
+  std::int64_t page_bytes = 4 * kKiB;        // the fix uses 2MB pages
+  std::int64_t working_set = 64 * kMiB;      // registered memory touched by WQEs
+  Time miss_penalty = microseconds(1);       // host DRAM round trip
+};
+
+struct QpConfig {
+  int priority = 3;                 // traffic class for data/ACK (lossless)
+  std::uint8_t dscp = 3;            // DSCP carried (== priority by default)
+  std::int32_t mtu_payload = 1024;  // per-packet payload (1086B frames, Fig. 7)
+  LossRecovery recovery = LossRecovery::kGoBackN;
+  Time retx_timeout = microseconds(500);
+  int ack_every = 16;               // request an ACK at least every N segments
+  bool dcqcn = true;                // congestion control enabled at all?
+  CcAlgorithm cc = CcAlgorithm::kDcqcn;  // which controller when enabled
+  TimelyConfig timely;
+  /// When true, incoming SENDs consume receive WQEs (post_recv); a SEND
+  /// arriving with none posted draws an RNR NAK and a sender back-off, as
+  /// in the InfiniBand verbs contract. Off by default: most simulation
+  /// workloads treat receive buffering as unlimited.
+  bool require_recv_wqes = false;
+  Time rnr_delay = microseconds(100);  // sender back-off after an RNR NAK
+};
+
+struct NicWatchdogConfig {
+  bool enabled = false;
+  Time check_interval = milliseconds(10);
+  /// §4.3: disable pause generation once the receive pipeline has been
+  /// stopped this long while pauses are being generated (default 100ms).
+  Time trigger_after = milliseconds(100);
+};
+
+struct HostConfig {
+  std::array<bool, kNumPriorities> lossless{};  // classes the NIC pauses for
+  std::int64_t rx_xoff_bytes = 96 * kKiB;       // NIC rx buffer XOFF threshold
+  std::int64_t rx_xon_bytes = 64 * kKiB;
+  /// Base per-packet receive processing time; must beat line rate or the
+  /// NIC itself becomes the bottleneck.
+  Time rx_base_processing = nanoseconds(100);
+  /// Cap on bytes the NIC keeps queued in its egress port per priority
+  /// (backpressure from the port to the QP schedulers).
+  std::int64_t tx_queue_cap = 32 * kKiB;
+  std::uint8_t cnp_dscp = 6;  // CNPs ride a (lossy) high-priority class
+  /// VLAN-based PFC deployments (§3): the NIC tags every frame with this
+  /// VLAN (PCP set per packet from its priority). Unset = untagged (DSCP
+  /// deployments, or a NIC in PXE boot with no VLAN configuration yet).
+  std::optional<std::uint16_t> vlan_id;
+  MttConfig mtt;
+  DcqcnConfig dcqcn;
+  NicWatchdogConfig watchdog;
+
+  HostConfig() {
+    lossless[3] = true;  // bulk RDMA class
+    lossless[4] = true;  // real-time RDMA class
+  }
+};
+
+}  // namespace rocelab

@@ -1,0 +1,84 @@
+#include "src/nic/dcqcn.h"
+
+#include <algorithm>
+
+namespace rocelab {
+
+DcqcnRp::DcqcnRp(Simulator& sim, DcqcnConfig cfg, Bandwidth line_rate)
+    : sim_(sim), cfg_(cfg), line_rate_(line_rate), rc_(line_rate), rt_(line_rate) {}
+
+DcqcnRp::~DcqcnRp() { disarm_timers(); }
+
+void DcqcnRp::on_cnp() {
+  ++cnps_;
+  if (!cfg_.enabled) return;
+  rt_ = rc_;
+  rc_ = static_cast<Bandwidth>(static_cast<double>(rc_) * (1.0 - alpha_ / 2.0));
+  rc_ = std::max(rc_, cfg_.min_rate);
+  alpha_ = (1.0 - cfg_.g) * alpha_ + cfg_.g;
+  t_stage_ = 0;
+  bc_stage_ = 0;
+  byte_acc_ = 0;
+  active_ = true;
+  disarm_timers();
+  arm_timers();
+}
+
+void DcqcnRp::on_bytes_sent(std::int64_t bytes) {
+  if (!active_) return;
+  byte_acc_ += bytes;
+  while (byte_acc_ >= cfg_.byte_counter) {
+    byte_acc_ -= cfg_.byte_counter;
+    ++bc_stage_;
+    increase_event();
+    if (!active_) return;
+  }
+}
+
+void DcqcnRp::increase_event() {
+  if (t_stage_ < cfg_.fast_recovery_steps && bc_stage_ < cfg_.fast_recovery_steps) {
+    // Fast recovery: converge halfway back to the target.
+  } else if (t_stage_ >= cfg_.fast_recovery_steps && bc_stage_ >= cfg_.fast_recovery_steps) {
+    rt_ = std::min<Bandwidth>(rt_ + cfg_.rhai, line_rate_);  // hyper increase
+  } else {
+    rt_ = std::min<Bandwidth>(rt_ + cfg_.rai, line_rate_);  // additive increase
+  }
+  rc_ = (rt_ + rc_) / 2;
+  // (rt + rc) / 2 asymptotes just below the line rate under integer math;
+  // snap within half an additive step and end recovery (stops the timers).
+  if (rc_ >= line_rate_ - cfg_.rai / 2) {
+    rc_ = line_rate_;
+    rt_ = line_rate_;
+    active_ = false;
+    disarm_timers();
+  }
+}
+
+void DcqcnRp::arm_timers() {
+  alpha_ev_ = sim_.schedule_in(cfg_.alpha_timer, [this] { on_alpha_timer(); });
+  inc_ev_ = sim_.schedule_in(cfg_.increase_timer, [this] { on_increase_timer(); });
+}
+
+void DcqcnRp::disarm_timers() {
+  sim_.cancel(alpha_ev_);
+  sim_.cancel(inc_ev_);
+  alpha_ev_ = kInvalidEventId;
+  inc_ev_ = kInvalidEventId;
+}
+
+void DcqcnRp::on_alpha_timer() {
+  if (!active_) return;
+  alpha_ *= (1.0 - cfg_.g);
+  alpha_ev_ = sim_.schedule_in(cfg_.alpha_timer, [this] { on_alpha_timer(); });
+}
+
+void DcqcnRp::on_increase_timer() {
+  if (!active_) return;
+  ++t_stage_;
+  increase_event();
+  if (active_) {
+    inc_ev_ = sim_.schedule_in(cfg_.increase_timer, [this] { on_increase_timer(); });
+  }
+}
+
+}  // namespace rocelab

@@ -1,0 +1,53 @@
+// DCQCN reaction point: per-QP rate control driven by CNPs (§2 "Need for
+// congestion control"). Multiplicative decrease with EWMA alpha on CNP;
+// fast recovery, additive increase, and hyper increase phases driven by a
+// timer and a byte counter.
+#pragma once
+
+#include "src/nic/config.h"
+#include "src/sim/simulator.h"
+
+namespace rocelab {
+
+class DcqcnRp {
+ public:
+  DcqcnRp(Simulator& sim, DcqcnConfig cfg, Bandwidth line_rate);
+  ~DcqcnRp();
+  DcqcnRp(const DcqcnRp&) = delete;
+  DcqcnRp& operator=(const DcqcnRp&) = delete;
+
+  /// Current sending rate for the QP's pacer.
+  [[nodiscard]] Bandwidth rate() const { return rc_; }
+  [[nodiscard]] double alpha() const { return alpha_; }
+  [[nodiscard]] bool in_recovery() const { return active_; }
+  [[nodiscard]] std::int64_t cnps_received() const { return cnps_; }
+
+  /// A CNP arrived for this QP: cut the rate, update alpha, reset the
+  /// increase state machine.
+  void on_cnp();
+  /// Data transmitted: advances the byte counter of the increase machine.
+  void on_bytes_sent(std::int64_t bytes);
+
+ private:
+  void increase_event();
+  void arm_timers();
+  void disarm_timers();
+  void on_alpha_timer();
+  void on_increase_timer();
+
+  Simulator& sim_;
+  DcqcnConfig cfg_;
+  Bandwidth line_rate_;
+  Bandwidth rc_;          // current rate
+  Bandwidth rt_;          // target rate
+  double alpha_ = 1.0;
+  bool active_ = false;   // true between a CNP and full recovery to line rate
+  int t_stage_ = 0;
+  int bc_stage_ = 0;
+  std::int64_t byte_acc_ = 0;
+  std::int64_t cnps_ = 0;
+  EventId alpha_ev_ = kInvalidEventId;
+  EventId inc_ev_ = kInvalidEventId;
+};
+
+}  // namespace rocelab

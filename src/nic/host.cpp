@@ -1,0 +1,191 @@
+#include "src/nic/host.h"
+
+#include "src/common/log.h"
+
+namespace rocelab {
+
+namespace {
+/// How often the storm-mode NIC refreshes its pause frames. A full XOFF
+/// quantum at 40GbE lasts ~839us; refreshing well inside that keeps the
+/// link continuously paused and emits the "thousands of pause frames per
+/// second" of §6.2.
+constexpr Time kStormPauseInterval = microseconds(400);
+}  // namespace
+
+Host::Host(Simulator& sim, std::string name, HostConfig cfg)
+    : Node(sim, std::move(name)), cfg_(cfg), rng_(0x405e ^ id()) {
+  auto& p = add_port();
+  p.on_drain = [this] { rdma_->on_port_drain(); };
+  if (cfg_.mtt.model_enabled) mtt_ = std::make_unique<MttCache>(cfg_.mtt);
+  rdma_ = std::make_unique<RdmaNic>(*this, cfg_);
+  if (cfg_.watchdog.enabled) {
+    this->sim().schedule_in(cfg_.watchdog.check_interval, [this] { watchdog_tick(); });
+  }
+}
+
+Host::~Host() = default;
+
+void Host::send_frame(Packet pkt) {
+  if (dead_) return;
+  pkt.eth.src = mac();
+  if (!port(0).connected()) return;
+  pkt.eth.dst = port(0).peer_mac();
+  if (cfg_.vlan_id && !pxe_boot_) {
+    // VLAN-based PFC deployment: carry the packet priority in the 802.1Q
+    // PCP (Fig. 3a). A NIC in PXE boot has no VLAN config: untagged.
+    pkt.eth.vlan = VlanTag{static_cast<std::uint8_t>(pkt.priority & 7), false, *cfg_.vlan_id};
+  } else {
+    pkt.eth.vlan.reset();
+  }
+  pkt.lossless = cfg_.lossless[static_cast<std::size_t>(pkt.priority & 7)];
+  port(0).enqueue(std::move(pkt));
+}
+
+bool Host::tx_has_room(int priority) const {
+  return port(0).queued_bytes(priority) < cfg_.tx_queue_cap;
+}
+
+void Host::handle_packet(Packet pkt, int in_port) {
+  (void)in_port;
+  if (dead_) return;
+  if (!pkt.eth.dst.is_broadcast() && pkt.eth.dst != mac()) return;  // flooded copy
+  if (storm_) return;  // §4.3: the receive pipeline is not handling packets
+
+  pkt.charge.reset();  // no switch accounting inside the host
+  pkt.mmu_in_port = -1;
+  rx_bytes_ += pkt.frame_bytes;
+  rx_queue_.push_back(std::move(pkt));
+  update_rx_pause();
+  if (!rx_processing_) process_next_rx();
+}
+
+Time Host::rx_processing_time(const Packet& pkt) {
+  Time t = cfg_.rx_base_processing;
+  if (mtt_ && (pkt.kind == PacketKind::kRoceData)) {
+    // WQE/buffer translation: random page within the registered region
+    // (§4.4). A miss stalls the pipeline for a DRAM round trip.
+    const std::int64_t addr = rng_.uniform_int(0, cfg_.mtt.working_set - 1);
+    if (!mtt_->access(addr)) t += cfg_.mtt.miss_penalty;
+  }
+  return t;
+}
+
+void Host::process_next_rx() {
+  if (rx_queue_.empty() || storm_) {
+    rx_processing_ = false;
+    return;
+  }
+  rx_processing_ = true;
+  const Time t = rx_processing_time(rx_queue_.front());
+  sim().schedule_in(t, [this] {
+    if (rx_queue_.empty()) {  // flushed meanwhile
+      rx_processing_ = false;
+      return;
+    }
+    Packet pkt = std::move(rx_queue_.front());
+    rx_queue_.pop_front();
+    rx_bytes_ -= pkt.frame_bytes;
+    last_rx_processed_ = sim().now();
+    update_rx_pause();
+    finish_rx(std::move(pkt));
+    process_next_rx();
+  });
+}
+
+void Host::finish_rx(Packet pkt) { dispatch(std::move(pkt)); }
+
+void Host::dispatch(Packet pkt) {
+  switch (pkt.kind) {
+    case PacketKind::kRoceData:
+    case PacketKind::kRoceReadReq:
+    case PacketKind::kRoceAck:
+    case PacketKind::kCnp:
+      rdma_->handle(std::move(pkt));
+      break;
+    case PacketKind::kTcp:
+      if (tcp_handler_) tcp_handler_(std::move(pkt));
+      break;
+    case PacketKind::kRaw: {
+      if (pkt.udp) {
+        auto it = udp_handlers_.find(pkt.udp->dst_port);
+        if (it != udp_handlers_.end()) {
+          it->second(std::move(pkt));
+          break;
+        }
+      }
+      if (raw_handler_) raw_handler_(std::move(pkt));
+      break;
+    }
+    case PacketKind::kPfcPause:
+      break;  // handled at the Node layer
+  }
+}
+
+// --- NIC PFC pause generation --------------------------------------------------
+
+void Host::update_rx_pause() {
+  if (!rx_pause_sent_ && rx_bytes_ >= cfg_.rx_xoff_bytes) {
+    rx_pause_sent_ = true;
+    send_rx_xoff();
+  } else if (rx_pause_sent_ && rx_bytes_ <= cfg_.rx_xon_bytes) {
+    rx_pause_sent_ = false;
+    sim().cancel(rx_pause_refresh_);
+    rx_pause_refresh_ = kInvalidEventId;
+    for (int p = 0; p < kNumPriorities; ++p) {
+      if (cfg_.lossless[static_cast<std::size_t>(p)]) send_pause(0, p, 0);
+    }
+  }
+}
+
+void Host::send_rx_xoff() {
+  for (int p = 0; p < kNumPriorities; ++p) {
+    if (cfg_.lossless[static_cast<std::size_t>(p)]) send_pause(0, p, 0xffff);
+  }
+  const Time refresh = 0xffff * port(0).quantum_time() / 2;
+  rx_pause_refresh_ = sim().schedule_in(refresh, [this] {
+    if (rx_pause_sent_) send_rx_xoff();
+  });
+}
+
+// --- §4.3 storm fault and NIC watchdog -------------------------------------------
+
+void Host::set_storm_mode(bool on) {
+  if (storm_ == on) return;
+  storm_ = on;
+  if (on) {
+    storm_tick();
+  } else {
+    sim().cancel(storm_ev_);
+    storm_ev_ = kInvalidEventId;
+    if (!rx_queue_.empty() && !rx_processing_) process_next_rx();
+  }
+}
+
+void Host::storm_tick() {
+  if (!storm_) return;
+  for (int p = 0; p < kNumPriorities; ++p) {
+    if (cfg_.lossless[static_cast<std::size_t>(p)]) send_pause(0, p, 0xffff);
+  }
+  storm_ev_ = sim().schedule_in(kStormPauseInterval, [this] { storm_tick(); });
+}
+
+void Host::watchdog_tick() {
+  // §4.3 NIC-side watchdog: the NIC micro-controller detects that the
+  // receive pipeline has been stopped for trigger_after while pause frames
+  // are being generated, and permanently disables pause generation.
+  if (allow_pause_tx()) {
+    const Time now = sim().now();
+    const bool pipeline_stopped =
+        (storm_ || rx_bytes_ > 0) && now - last_rx_processed_ >= cfg_.watchdog.trigger_after;
+    const bool generating_pauses =
+        last_pause_tx() >= 0 && now - last_pause_tx() <= 2 * cfg_.watchdog.check_interval;
+    if (pipeline_stopped && generating_pauses) {
+      set_allow_pause_tx(false);  // never re-enabled: the NIC is wedged (§4.3)
+      ++watchdog_trips_;
+      ROCELAB_LOG_INFO("%s: NIC watchdog disabled pause generation", name().c_str());
+    }
+  }
+  sim().schedule_in(cfg_.watchdog.check_interval, [this] { watchdog_tick(); });
+}
+
+}  // namespace rocelab

@@ -1,0 +1,113 @@
+// Host: a server with one NIC port. Models the NIC receive pipeline of
+// §4.3/§4.4 (bounded rx buffer that generates PFC pause frames, MTT cache
+// stalls, the storm fault, and the NIC-side watchdog), owns the RoCEv2
+// transport engine, and provides the frame send path used by RDMA and TCP.
+#pragma once
+
+#include <deque>
+#include <functional>
+#include <memory>
+#include <unordered_map>
+
+#include "src/common/rng.h"
+#include "src/link/node.h"
+#include "src/nic/config.h"
+#include "src/nic/mtt.h"
+#include "src/nic/rdma_nic.h"
+
+namespace rocelab {
+
+class Host : public Node {
+ public:
+  Host(Simulator& sim, std::string name, HostConfig cfg = {});
+  ~Host() override;
+
+  // --- identity --------------------------------------------------------------
+  void set_ip(Ipv4Addr ip) { ip_ = ip; }
+  [[nodiscard]] Ipv4Addr ip() const { return ip_; }
+  [[nodiscard]] MacAddr mac() const { return port_mac(0); }
+
+  [[nodiscard]] RdmaNic& rdma() { return *rdma_; }
+  [[nodiscard]] const HostConfig& config() const { return cfg_; }
+  HostConfig& mutable_config() { return cfg_; }
+
+  /// Other protocol engines (TCP stack, raw apps) register here.
+  using PacketHandler = std::function<void(Packet)>;
+  void set_tcp_handler(PacketHandler h) { tcp_handler_ = std::move(h); }
+  void set_raw_handler(PacketHandler h) { raw_handler_ = std::move(h); }
+  /// Raw (UDP) datagrams to this destination port go to `h` instead of the
+  /// generic raw handler — lets services (e.g. the RDMA connection manager)
+  /// coexist with raw apps.
+  void register_udp_handler(std::uint16_t port, PacketHandler h) {
+    udp_handlers_[port] = std::move(h);
+  }
+
+  // --- frame send path ---------------------------------------------------------
+  /// Fill in L2 (src = our MAC, dst = gateway) and transmit via port 0.
+  /// pkt.ip/priority must be set by the caller. Honors dead mode.
+  void send_frame(Packet pkt);
+  /// True if the egress queue for `priority` is under the tx cap; QP pacers
+  /// block on this and resume via the port's drain callback.
+  [[nodiscard]] bool tx_has_room(int priority) const;
+  /// Sequential IP ID, as the paper's NIC hardware assigns (§4.1).
+  std::uint16_t next_ip_id() { return ip_id_++; }
+
+  // --- fault injection (§4 experiments) ---------------------------------------
+  /// Dead server: receives nothing, sends nothing (its MAC table entry at
+  /// the ToR then ages out — the §4.2 deadlock ingredient).
+  void set_dead(bool dead) { dead_ = dead; }
+  [[nodiscard]] bool dead() const { return dead_; }
+  /// §4.3 storm bug: the receive pipeline stops and the NIC emits pause
+  /// frames continuously.
+  void set_storm_mode(bool on);
+  [[nodiscard]] bool storm_mode() const { return storm_; }
+  /// §3: a server going through PXE boot has no VLAN configuration on its
+  /// NIC — its frames go out untagged regardless of HostConfig::vlan_id.
+  void set_pxe_boot(bool on) { pxe_boot_ = on; }
+  [[nodiscard]] bool pxe_boot() const { return pxe_boot_; }
+
+  // --- observability -----------------------------------------------------------
+  [[nodiscard]] std::int64_t rx_queue_bytes() const { return rx_bytes_; }
+  [[nodiscard]] const MttCache* mtt() const { return mtt_ ? mtt_.get() : nullptr; }
+  [[nodiscard]] bool rx_pause_asserted() const { return rx_pause_sent_; }
+  [[nodiscard]] std::int64_t watchdog_trips() const { return watchdog_trips_; }
+  Rng& rng() { return rng_; }
+
+ protected:
+  void handle_packet(Packet pkt, int in_port) override;
+
+ private:
+  void process_next_rx();
+  void finish_rx(Packet pkt);
+  void dispatch(Packet pkt);
+  [[nodiscard]] Time rx_processing_time(const Packet& pkt);
+  void update_rx_pause();
+  void send_rx_xoff();
+  void storm_tick();
+  void watchdog_tick();
+
+  HostConfig cfg_;
+  Ipv4Addr ip_{};
+  std::unique_ptr<RdmaNic> rdma_;
+  std::unique_ptr<MttCache> mtt_;
+  PacketHandler tcp_handler_;
+  PacketHandler raw_handler_;
+  std::unordered_map<std::uint16_t, PacketHandler> udp_handlers_;
+  Rng rng_;
+  std::uint16_t ip_id_ = 0;
+
+  bool dead_ = false;
+  bool storm_ = false;
+  bool pxe_boot_ = false;
+  EventId storm_ev_ = kInvalidEventId;
+
+  std::deque<Packet> rx_queue_;
+  std::int64_t rx_bytes_ = 0;
+  bool rx_processing_ = false;
+  bool rx_pause_sent_ = false;
+  EventId rx_pause_refresh_ = kInvalidEventId;
+  Time last_rx_processed_ = 0;
+  std::int64_t watchdog_trips_ = 0;
+};
+
+}  // namespace rocelab

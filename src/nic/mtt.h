@@ -1,0 +1,56 @@
+// NIC Memory Translation Table cache (§4.4): 2K entries translating
+// virtual pages; misses stall the receive pipeline while the NIC fetches
+// the entry from host DRAM — the root cause of the slow-receiver symptom.
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <unordered_map>
+
+#include "src/nic/config.h"
+
+namespace rocelab {
+
+class MttCache {
+ public:
+  explicit MttCache(const MttConfig& cfg) : cfg_(cfg) {}
+
+  /// Translate an access at `address` (within the registered region).
+  /// Returns true on hit; on miss, inserts the page with LRU eviction.
+  bool access(std::int64_t address);
+
+  [[nodiscard]] std::int64_t hits() const { return hits_; }
+  [[nodiscard]] std::int64_t misses() const { return misses_; }
+  [[nodiscard]] double miss_rate() const {
+    const auto total = hits_ + misses_;
+    return total == 0 ? 0.0 : static_cast<double>(misses_) / static_cast<double>(total);
+  }
+  [[nodiscard]] std::size_t size() const { return map_.size(); }
+  [[nodiscard]] const MttConfig& config() const { return cfg_; }
+
+ private:
+  MttConfig cfg_;
+  std::list<std::int64_t> lru_;  // front = most recent page id
+  std::unordered_map<std::int64_t, std::list<std::int64_t>::iterator> map_;
+  std::int64_t hits_ = 0;
+  std::int64_t misses_ = 0;
+};
+
+inline bool MttCache::access(std::int64_t address) {
+  const std::int64_t page = address / cfg_.page_bytes;
+  if (auto it = map_.find(page); it != map_.end()) {
+    lru_.splice(lru_.begin(), lru_, it->second);
+    ++hits_;
+    return true;
+  }
+  ++misses_;
+  if (static_cast<int>(map_.size()) >= cfg_.entries) {
+    map_.erase(lru_.back());
+    lru_.pop_back();
+  }
+  lru_.push_front(page);
+  map_[page] = lru_.begin();
+  return false;
+}
+
+}  // namespace rocelab

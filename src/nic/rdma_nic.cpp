@@ -1,0 +1,564 @@
+#include "src/nic/rdma_nic.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "src/nic/host.h"
+
+namespace rocelab {
+
+namespace {
+/// Retransmission timeout backoff cap (1 << 3 = 8x).
+constexpr int kMaxBackoffShift = 3;
+}  // namespace
+
+RdmaNic::RdmaNic(Host& host, const HostConfig& cfg) : host_(host), cfg_(cfg) {}
+RdmaNic::~RdmaNic() = default;
+
+RdmaNic::Qp& RdmaNic::qp(std::uint32_t qpn) {
+  auto it = qps_.find(qpn);
+  if (it == qps_.end()) throw std::invalid_argument("unknown QP");
+  return *it->second;
+}
+const RdmaNic::Qp& RdmaNic::qp(std::uint32_t qpn) const {
+  auto it = qps_.find(qpn);
+  if (it == qps_.end()) throw std::invalid_argument("unknown QP");
+  return *it->second;
+}
+
+std::uint32_t RdmaNic::create_qp(QpConfig cfg) {
+  auto q = std::make_unique<Qp>();
+  q->qpn = next_qpn_++;
+  q->cfg = cfg;
+  // Random source UDP port per QP so distinct QPs take distinct ECMP paths (§2).
+  q->udp_sport = static_cast<std::uint16_t>(host_.rng().uniform_int(49152, 65535));
+  if (cfg.dcqcn) {
+    if (cfg.cc == CcAlgorithm::kDcqcn) {
+      q->rate = std::make_unique<DcqcnRp>(host_.sim(), cfg_.dcqcn, host_.port(0).bandwidth());
+    } else {
+      q->timely = std::make_unique<TimelyRp>(cfg.timely, host_.port(0).bandwidth());
+    }
+  }
+  const auto qpn = q->qpn;
+  qps_[qpn] = std::move(q);
+  return qpn;
+}
+
+void RdmaNic::connect_qp(std::uint32_t qpn, Ipv4Addr peer_ip, std::uint32_t peer_qpn) {
+  Qp& q = qp(qpn);
+  q.peer_ip = peer_ip;
+  q.peer_qpn = peer_qpn;
+  q.connected = true;
+}
+
+const QpConfig& RdmaNic::qp_config(std::uint32_t qpn) const { return qp(qpn).cfg; }
+
+std::int64_t RdmaNic::backlog_bytes(std::uint32_t qpn) const {
+  const Qp& q = qp(qpn);
+  std::int64_t total = 0;
+  for (const auto& w : q.pending) total += w.bytes;
+  for (const auto& m : q.inflight) total += m.wqe.bytes;
+  return total;
+}
+
+Bandwidth RdmaNic::current_rate(const Qp& q) const {
+  if (q.rate) return q.rate->rate();
+  if (q.timely) return q.timely->rate();
+  return host_.port(0).bandwidth();
+}
+
+Bandwidth RdmaNic::qp_rate(std::uint32_t qpn) const { return current_rate(qp(qpn)); }
+
+double RdmaNic::qp_alpha(std::uint32_t qpn) const {
+  const Qp& q = qp(qpn);
+  return q.rate ? q.rate->alpha() : 0.0;
+}
+
+// --- verbs ---------------------------------------------------------------------
+
+void RdmaNic::post_send(std::uint32_t qpn, std::int64_t bytes, std::uint64_t msg_id) {
+  post_message(qp(qpn), SendWqe{SendWqe::Kind::kSend, bytes, msg_id, host_.sim().now()});
+}
+
+void RdmaNic::post_write(std::uint32_t qpn, std::int64_t bytes, std::uint64_t msg_id) {
+  post_message(qp(qpn), SendWqe{SendWqe::Kind::kWrite, bytes, msg_id, host_.sim().now()});
+}
+
+void RdmaNic::post_read(std::uint32_t qpn, std::int64_t bytes, std::uint64_t msg_id) {
+  Qp& q = qp(qpn);
+  if (!q.connected) throw std::logic_error("post_read on unconnected QP");
+  q.reads[msg_id] = bytes;
+  q.read_posted_at[msg_id] = host_.sim().now();
+
+  Packet pkt = make_roce_packet(q, PacketKind::kRoceReadReq);
+  pkt.bth->opcode = RoceOpcode::kReadRequest;
+  pkt.read_length = bytes;
+  pkt.msg_id = msg_id;
+  pkt.frame_bytes = kRoceDataOverheadBytes + kRethBytes;
+  host_.send_frame(std::move(pkt));
+
+  // Requester-side reliability for the request itself: re-issue if the
+  // response has not completed within a generous timeout.
+  const Time timeout = 8 * q.cfg.retx_timeout;
+  host_.sim().schedule_in(timeout, [this, qpn, msg_id, bytes] {
+    Qp& qq = qp(qpn);
+    if (qq.reads.count(msg_id) == 0) return;  // completed
+    qq.reads.erase(msg_id);
+    const Time posted = qq.read_posted_at[msg_id];
+    qq.read_posted_at.erase(msg_id);
+    ++stats_.timeouts;
+    post_read(qpn, bytes, msg_id);
+    qq.read_posted_at[msg_id] = posted;  // keep the original post time
+  });
+}
+
+void RdmaNic::post_recv(std::uint32_t qpn, int count) {
+  if (count <= 0) throw std::invalid_argument("post_recv needs a positive count");
+  qp(qpn).recv_credits += count;
+}
+
+void RdmaNic::post_message(Qp& q, SendWqe wqe) {
+  if (!q.connected) throw std::logic_error("post on unconnected QP");
+  if (wqe.bytes <= 0) throw std::invalid_argument("message must have positive size");
+  q.pending.push_back(wqe);
+  arm_pacer(q);
+}
+
+// --- sender machinery -------------------------------------------------------------
+
+void RdmaNic::arm_pacer(Qp& q) {
+  if (q.pacer_ev != kInvalidEventId || q.blocked_on_port) return;
+  const Time at = std::max(host_.sim().now(), q.next_tx_time);
+  const auto qpn = q.qpn;
+  q.pacer_ev = host_.sim().schedule_at(at, [this, qpn] { pacer_fire(qpn); });
+}
+
+void RdmaNic::pacer_fire(std::uint32_t qpn) {
+  Qp& q = qp(qpn);
+  q.pacer_ev = kInvalidEventId;
+  if (transmit_next(q)) arm_pacer(q);
+}
+
+bool RdmaNic::transmit_next(Qp& q) {
+  // Start the next message if the cursor has caught up with new territory.
+  if (q.cursor_psn == q.next_new_psn) {
+    bool have_msg = false;
+    for (const auto& m : q.inflight) {
+      if (q.cursor_psn < m.end_psn) {
+        have_msg = true;
+        break;
+      }
+    }
+    if (!have_msg) {
+      if (q.pending.empty()) return false;  // idle
+      const SendWqe wqe = q.pending.front();
+      q.pending.pop_front();
+      const auto nseg = static_cast<std::uint64_t>(
+          (wqe.bytes + q.cfg.mtu_payload - 1) / q.cfg.mtu_payload);
+      q.inflight.push_back(InflightMsg{q.next_new_psn, q.next_new_psn + nseg, wqe});
+    }
+  }
+
+  // Locate the message containing the cursor.
+  const InflightMsg* msg = nullptr;
+  for (const auto& m : q.inflight) {
+    if (q.cursor_psn >= m.first_psn && q.cursor_psn < m.end_psn) {
+      msg = &m;
+      break;
+    }
+  }
+  if (msg == nullptr) return false;
+
+  if (!host_.tx_has_room(q.cfg.priority)) {
+    q.blocked_on_port = true;
+    blocked_qpns_.push_back(q.qpn);
+    return false;
+  }
+
+  Packet pkt = build_data_packet(q, *msg, q.cursor_psn, /*force_ack=*/false);
+
+  const bool is_retx = q.cursor_psn < q.next_new_psn;
+  ++q.cursor_psn;
+  q.next_new_psn = std::max(q.next_new_psn, q.cursor_psn);
+  ++stats_.data_packets_sent;
+  if (is_retx) ++stats_.data_packets_retx;
+
+  if (q.rate) q.rate->on_bytes_sent(pkt.frame_bytes);
+  if (q.timely && pkt.bth->ack_request && q.rtt_probes.size() < 64) {
+    q.rtt_probes.emplace_back(pkt.bth->psn + 1, host_.sim().now());
+  }
+  const Bandwidth rate = current_rate(q);
+  q.next_tx_time =
+      host_.sim().now() + serialization_time(pkt.frame_bytes + kWireOverheadBytes, rate);
+
+  host_.send_frame(std::move(pkt));
+  arm_retx(q);
+  return true;
+}
+
+Packet RdmaNic::build_data_packet(Qp& q, const InflightMsg& msg, std::uint64_t psn,
+                                  bool force_ack) {
+  const std::uint64_t seg = psn - msg.first_psn;
+  const std::uint64_t nseg = msg.end_psn - msg.first_psn;
+  const std::int64_t payload = std::min<std::int64_t>(
+      q.cfg.mtu_payload, msg.wqe.bytes - static_cast<std::int64_t>(seg) * q.cfg.mtu_payload);
+  const bool first = seg == 0;
+  const bool last = seg == nseg - 1;
+
+  Packet pkt = make_roce_packet(q, PacketKind::kRoceData);
+  pkt.payload_bytes = static_cast<std::int32_t>(payload);
+  pkt.frame_bytes = kRoceDataOverheadBytes + payload;
+  pkt.msg_id = msg.wqe.msg_id;
+  pkt.bth->psn = static_cast<std::uint32_t>(psn);
+  pkt.bth->ack_request = force_ack || last ||
+                         (seg % static_cast<std::uint64_t>(q.cfg.ack_every) ==
+                          static_cast<std::uint64_t>(q.cfg.ack_every) - 1);
+  switch (msg.wqe.kind) {
+    case SendWqe::Kind::kSend:
+      pkt.bth->opcode = nseg == 1 ? RoceOpcode::kSendOnly
+                        : first   ? RoceOpcode::kSendFirst
+                        : last    ? RoceOpcode::kSendLast
+                                  : RoceOpcode::kSendMiddle;
+      break;
+    case SendWqe::Kind::kWrite:
+      pkt.bth->opcode = nseg == 1 ? RoceOpcode::kWriteOnly
+                        : first   ? RoceOpcode::kWriteFirst
+                        : last    ? RoceOpcode::kWriteLast
+                                  : RoceOpcode::kWriteMiddle;
+      break;
+    case SendWqe::Kind::kReadResponse:
+      pkt.bth->opcode = nseg == 1 ? RoceOpcode::kReadResponseOnly
+                        : first   ? RoceOpcode::kReadResponseFirst
+                        : last    ? RoceOpcode::kReadResponseLast
+                                  : RoceOpcode::kReadResponseMiddle;
+      break;
+  }
+  return pkt;
+}
+
+void RdmaNic::retransmit_one(Qp& q, std::uint64_t psn) {
+  if (psn < q.una_psn) return;  // already acked
+  for (const auto& m : q.inflight) {
+    if (psn >= m.first_psn && psn < m.end_psn) {
+      // Prompt ACK on the hole-filling packet so the sender's window and
+      // the receiver's hole state advance immediately.
+      Packet pkt = build_data_packet(q, m, psn, /*force_ack=*/true);
+      ++stats_.data_packets_sent;
+      ++stats_.data_packets_retx;
+      if (q.rate) q.rate->on_bytes_sent(pkt.frame_bytes);
+      host_.send_frame(std::move(pkt));
+      arm_retx(q);
+      return;
+    }
+  }
+}
+
+void RdmaNic::arm_retx(Qp& q) {
+  host_.sim().cancel(q.retx_ev);
+  q.retx_ev = kInvalidEventId;
+  if (q.una_psn >= q.next_new_psn) return;  // nothing outstanding
+  const Time delay = q.cfg.retx_timeout
+                     << std::min(q.consecutive_timeouts, kMaxBackoffShift);
+  const auto qpn = q.qpn;
+  q.retx_ev = host_.sim().schedule_in(delay, [this, qpn] { on_retx_timeout(qpn); });
+}
+
+void RdmaNic::on_retx_timeout(std::uint32_t qpn) {
+  Qp& q = qp(qpn);
+  q.retx_ev = kInvalidEventId;
+  if (q.una_psn >= q.next_new_psn) return;
+  ++stats_.timeouts;
+  ++q.consecutive_timeouts;
+  go_back(q, q.una_psn);
+  arm_retx(q);
+}
+
+void RdmaNic::go_back(Qp& q, std::uint64_t psn) {
+  q.rtt_probes.clear();  // Karn's rule: never time across a retransmission
+  if (q.cfg.recovery == LossRecovery::kGoBackN ||
+      q.cfg.recovery == LossRecovery::kSelectiveRepeat) {
+    // §4.1 fix: restart from the first dropped packet.
+    q.cursor_psn = psn;
+  } else {
+    // Vendor's original go-back-0: restart the whole message containing psn.
+    q.cursor_psn = psn;
+    for (const auto& m : q.inflight) {
+      if (psn >= m.first_psn && psn < m.end_psn) {
+        q.cursor_psn = m.first_psn;
+        break;
+      }
+    }
+  }
+  arm_pacer(q);
+}
+
+void RdmaNic::advance_una(Qp& q, std::uint64_t msn) {
+  if (msn <= q.una_psn) return;
+  q.una_psn = msn;
+  q.cursor_psn = std::max(q.cursor_psn, q.una_psn);
+  q.consecutive_timeouts = 0;
+  while (!q.inflight.empty() && q.inflight.front().end_psn <= q.una_psn) {
+    const InflightMsg& m = q.inflight.front();
+    if (m.wqe.kind != SendWqe::Kind::kReadResponse) {
+      ++stats_.messages_completed;
+      stats_.bytes_completed += m.wqe.bytes;
+      if (completion_cb_) {
+        completion_cb_(RdmaCompletion{q.qpn, m.wqe.msg_id, m.wqe.bytes, m.wqe.posted_at,
+                                      host_.sim().now()});
+      }
+    }
+    q.inflight.pop_front();
+  }
+  arm_retx(q);  // progress: reset the timer
+}
+
+// --- receive side ---------------------------------------------------------------
+
+void RdmaNic::handle(Packet pkt) {
+  if (!pkt.bth) return;
+  auto it = qps_.find(pkt.bth->dest_qp);
+  if (it == qps_.end()) return;
+  Qp& q = *it->second;
+
+  switch (pkt.kind) {
+    case PacketKind::kRoceData:
+      handle_data(q, pkt);
+      break;
+    case PacketKind::kRoceAck:
+      handle_ack(q, pkt);
+      break;
+    case PacketKind::kRoceReadReq:
+      handle_read_req(q, pkt);
+      break;
+    case PacketKind::kCnp:
+      handle_cnp(q);
+      break;
+    default:
+      break;
+  }
+}
+
+void RdmaNic::maybe_send_cnp(Qp& q, const Packet& pkt) {
+  if (!pkt.ip || pkt.ip->ecn != Ecn::kCe) return;
+  const Time now = host_.sim().now();
+  if (now - q.last_cnp_time < cfg_.dcqcn.cnp_interval) return;
+  q.last_cnp_time = now;
+  Packet cnp = make_roce_packet(q, PacketKind::kCnp);
+  cnp.bth->opcode = RoceOpcode::kCnp;
+  cnp.frame_bytes = kRoceDataOverheadBytes;
+  cnp.ip->dscp = cfg_.cnp_dscp;
+  cnp.ip->ecn = Ecn::kNotEct;
+  cnp.priority = cfg_.cnp_dscp;
+  ++stats_.cnps_sent;
+  host_.send_frame(std::move(cnp));
+}
+
+void RdmaNic::deliver_in_order(Qp& q, const Qp::RxSeg& seg) {
+  const RoceOpcode op = seg.opcode;
+  const bool first = op == RoceOpcode::kSendFirst || op == RoceOpcode::kWriteFirst ||
+                     op == RoceOpcode::kReadResponseFirst || op == RoceOpcode::kSendOnly ||
+                     op == RoceOpcode::kWriteOnly || op == RoceOpcode::kReadResponseOnly;
+  const bool last = op == RoceOpcode::kSendLast || op == RoceOpcode::kWriteLast ||
+                    op == RoceOpcode::kReadResponseLast || op == RoceOpcode::kSendOnly ||
+                    op == RoceOpcode::kWriteOnly || op == RoceOpcode::kReadResponseOnly;
+  if (first) {
+    q.rx_msg_bytes = 0;
+    q.rx_msg_start = seg.created_at;
+  }
+  q.rx_msg_bytes += seg.payload;
+  if (!last) return;
+
+  if (is_read_response(op)) {
+    // READ completion at the requester.
+    auto rit = q.reads.find(seg.msg_id);
+    if (rit != q.reads.end()) {
+      const Time posted = q.read_posted_at[seg.msg_id];
+      ++stats_.messages_completed;
+      stats_.bytes_completed += q.rx_msg_bytes;
+      if (completion_cb_) {
+        completion_cb_(
+            RdmaCompletion{q.qpn, seg.msg_id, q.rx_msg_bytes, posted, host_.sim().now()});
+      }
+      q.reads.erase(rit);
+      q.read_posted_at.erase(seg.msg_id);
+    }
+  } else {
+    ++stats_.messages_received;
+    stats_.bytes_received += q.rx_msg_bytes;
+    if (recv_cb_) {
+      recv_cb_(RdmaRecv{q.qpn, seg.msg_id, q.rx_msg_bytes, q.rx_msg_start, host_.sim().now()});
+    }
+  }
+}
+
+void RdmaNic::handle_data(Qp& q, Packet& pkt) {
+  maybe_send_cnp(q, pkt);  // NP reacts to the mark even on out-of-order packets
+
+  const std::uint64_t psn = pkt.bth->psn;
+  const Qp::RxSeg seg{pkt.payload_bytes, pkt.bth->opcode, pkt.msg_id, pkt.created_at};
+  const bool selective = q.cfg.recovery == LossRecovery::kSelectiveRepeat;
+
+  if (psn == q.expected_psn) {
+    // Receive WQE contract: the FIRST packet of a SEND needs a posted
+    // receive buffer; otherwise the responder answers RNR NAK and does not
+    // advance (the sender backs off and retries the whole message).
+    const bool send_first = seg.opcode == RoceOpcode::kSendFirst ||
+                            seg.opcode == RoceOpcode::kSendOnly;
+    if (send_first && q.cfg.require_recv_wqes) {
+      if (q.recv_credits <= 0) {
+        ++stats_.rnr_naks_sent;
+        send_ack(q, AethSyndrome::kRnrNak);
+        return;
+      }
+      --q.recv_credits;
+    }
+    ++q.expected_psn;
+    q.nak_armed = true;
+    deliver_in_order(q, seg);
+    bool drained_ooo = false;
+    if (selective) {
+      // Drain buffered segments the hole was blocking.
+      auto it = q.rx_ooo.find(q.expected_psn);
+      while (it != q.rx_ooo.end()) {
+        deliver_in_order(q, it->second);
+        q.rx_ooo.erase(it);
+        ++q.expected_psn;
+        drained_ooo = true;
+        it = q.rx_ooo.find(q.expected_psn);
+      }
+      if (!q.rx_ooo.empty() && q.nak_armed) {
+        // Another hole remains: report it right away.
+        q.nak_armed = false;
+        send_ack(q, AethSyndrome::kNakPsnSequenceError);
+        return;
+      }
+    }
+    if (pkt.bth->ack_request || drained_ooo) send_ack(q, AethSyndrome::kAck);
+    return;
+  }
+
+  if (psn > q.expected_psn) {
+    if (selective && q.rx_ooo.size() < 4096) {
+      q.rx_ooo.emplace(psn, seg);  // buffer instead of dropping
+    } else {
+      ++stats_.out_of_order_drops;
+    }
+    // Gap: a packet was lost. NAK once per episode (§4.1).
+    if (q.nak_armed) {
+      q.nak_armed = false;
+      send_ack(q, AethSyndrome::kNakPsnSequenceError);
+    } else if (selective && pkt.bth->ack_request) {
+      send_ack(q, AethSyndrome::kAck);  // keep the sender's window fresh
+    }
+    return;
+  }
+  // Duplicate (psn < expected): the sender went back — re-arm NAK so a
+  // repeated loss of the expected packet triggers a fresh NAK instead of
+  // stalling until the retransmission timer (this is what keeps the §4.1
+  // livelock link "fully utilized with line rate" while goodput stays 0).
+  q.nak_armed = true;
+  if (pkt.bth->ack_request) send_ack(q, AethSyndrome::kAck);
+}
+
+void RdmaNic::handle_ack(Qp& q, const Packet& pkt) {
+  if (!pkt.aeth) return;
+  // TIMELY: RTT sample from the freshest probe this ACK covers.
+  if (q.timely) {
+    Time sent_at = -1;
+    while (!q.rtt_probes.empty() && q.rtt_probes.front().first <= pkt.aeth->msn) {
+      sent_at = q.rtt_probes.front().second;
+      q.rtt_probes.pop_front();
+    }
+    if (sent_at >= 0) q.timely->on_rtt_sample(host_.sim().now() - sent_at);
+  }
+  advance_una(q, pkt.aeth->msn);
+  if (pkt.aeth->syndrome == AethSyndrome::kNakPsnSequenceError) {
+    if (q.cfg.recovery == LossRecovery::kSelectiveRepeat) {
+      retransmit_one(q, pkt.aeth->msn);  // resend only the missing packet
+    } else {
+      go_back(q, pkt.aeth->msn);
+    }
+  } else if (pkt.aeth->syndrome == AethSyndrome::kRnrNak) {
+    // Receiver not ready: back off, then retry the message from its start.
+    ++stats_.rnr_naks_received;
+    const std::uint64_t msn = pkt.aeth->msn;
+    q.next_tx_time = std::max(q.next_tx_time, host_.sim().now() + q.cfg.rnr_delay);
+    const auto qpn = q.qpn;
+    host_.sim().schedule_in(q.cfg.rnr_delay, [this, qpn, msn] {
+      auto it = qps_.find(qpn);
+      if (it != qps_.end()) go_back(*it->second, msn);
+    });
+  }
+}
+
+void RdmaNic::handle_read_req(Qp& q, const Packet& pkt) {
+  post_message(q, SendWqe{SendWqe::Kind::kReadResponse, pkt.read_length, pkt.msg_id,
+                          pkt.created_at});
+}
+
+void RdmaNic::handle_cnp(Qp& q) {
+  ++stats_.cnps_received;
+  if (q.rate) q.rate->on_cnp();
+}
+
+void RdmaNic::send_ack(Qp& q, AethSyndrome syndrome) {
+  Packet ack = make_roce_packet(q, PacketKind::kRoceAck);
+  ack.bth->opcode = RoceOpcode::kAcknowledge;
+  ack.aeth = RoceAeth{syndrome, static_cast<std::uint32_t>(q.expected_psn)};
+  ack.frame_bytes = kRoceDataOverheadBytes + kAethBytes;
+  if (syndrome == AethSyndrome::kAck) {
+    ++stats_.acks_sent;
+  } else {
+    ++stats_.naks_sent;
+  }
+  host_.send_frame(std::move(ack));
+}
+
+Packet RdmaNic::make_roce_packet(const Qp& q, PacketKind kind) {
+  Packet pkt;
+  pkt.kind = kind;
+  pkt.created_at = host_.sim().now();
+  pkt.priority = q.cfg.priority;
+  Ipv4Header ip;
+  ip.src = host_.ip();
+  ip.dst = q.peer_ip;
+  ip.dscp = q.cfg.dscp;
+  ip.ecn = kind == PacketKind::kRoceData ? Ecn::kEct0 : Ecn::kNotEct;
+  ip.id = host_.next_ip_id();
+  pkt.ip = ip;
+  pkt.udp = UdpHeader{q.udp_sport, kRoceUdpPort, 0};
+  RoceBth bth;
+  bth.dest_qp = q.peer_qpn;
+  pkt.bth = bth;
+  return pkt;
+}
+
+void RdmaNic::on_port_drain() {
+  if (blocked_qpns_.empty()) return;
+  std::vector<std::uint32_t> blocked;
+  blocked.swap(blocked_qpns_);
+  for (auto qpn : blocked) {
+    auto it = qps_.find(qpn);
+    if (it == qps_.end()) continue;
+    Qp& q = *it->second;
+    q.blocked_on_port = false;
+    // Grab the freed slot synchronously: a QP whose pacer fires at the same
+    // timestamp as the drain would otherwise always win the tie and starve
+    // the blocked ones.
+    if (q.pacer_ev == kInvalidEventId && q.next_tx_time <= host_.sim().now()) {
+      pacer_fire(q.qpn);
+    } else {
+      arm_pacer(q);
+    }
+  }
+}
+
+std::pair<std::uint32_t, std::uint32_t> connect_qp_pair(Host& a, Host& b, QpConfig cfg) {
+  const auto qa = a.rdma().create_qp(cfg);
+  const auto qb = b.rdma().create_qp(cfg);
+  a.rdma().connect_qp(qa, b.ip(), qb);
+  b.rdma().connect_qp(qb, a.ip(), qa);
+  return {qa, qb};
+}
+
+}  // namespace rocelab

@@ -1,0 +1,197 @@
+// The RoCEv2 NIC transport engine: queue pairs, verbs (SEND/WRITE/READ),
+// PSN-sequenced reliable delivery with ACK/NAK, configurable go-back-0 /
+// go-back-N loss recovery (§4.1), per-QP DCQCN rate control, and the DCQCN
+// notification point (CNP generation on ECN marks).
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include <map>
+
+#include "src/common/units.h"
+#include "src/net/packet.h"
+#include "src/nic/config.h"
+#include "src/nic/dcqcn.h"
+#include "src/nic/timely.h"
+#include "src/sim/simulator.h"
+
+namespace rocelab {
+
+class Host;
+
+/// Sender-side completion of a verb (SEND/WRITE acked end-to-end, or READ
+/// data fully arrived).
+struct RdmaCompletion {
+  std::uint32_t qpn = 0;
+  std::uint64_t msg_id = 0;
+  std::int64_t bytes = 0;
+  Time posted_at = 0;
+  Time completed_at = 0;
+};
+
+/// Receiver-side arrival of a full message (SEND or WRITE).
+struct RdmaRecv {
+  std::uint32_t qpn = 0;
+  std::uint64_t msg_id = 0;
+  std::int64_t bytes = 0;
+  Time sent_at = 0;   // when the first packet of the message was created
+  Time received_at = 0;
+};
+
+struct RdmaNicStats {
+  std::int64_t data_packets_sent = 0;
+  std::int64_t data_packets_retx = 0;
+  std::int64_t acks_sent = 0;
+  std::int64_t naks_sent = 0;
+  std::int64_t rnr_naks_sent = 0;
+  std::int64_t rnr_naks_received = 0;
+  std::int64_t cnps_sent = 0;
+  std::int64_t cnps_received = 0;
+  std::int64_t messages_completed = 0;
+  std::int64_t bytes_completed = 0;     // sender goodput (acked)
+  std::int64_t messages_received = 0;
+  std::int64_t bytes_received = 0;      // receiver goodput (in-order delivered)
+  std::int64_t out_of_order_drops = 0;
+  std::int64_t timeouts = 0;
+};
+
+class RdmaNic {
+ public:
+  RdmaNic(Host& host, const HostConfig& cfg);
+  ~RdmaNic();
+  RdmaNic(const RdmaNic&) = delete;
+  RdmaNic& operator=(const RdmaNic&) = delete;
+
+  // --- verbs API -----------------------------------------------------------
+  std::uint32_t create_qp(QpConfig cfg);
+  void connect_qp(std::uint32_t qpn, Ipv4Addr peer_ip, std::uint32_t peer_qpn);
+  [[nodiscard]] const QpConfig& qp_config(std::uint32_t qpn) const;
+
+  void post_send(std::uint32_t qpn, std::int64_t bytes, std::uint64_t msg_id = 0);
+  void post_write(std::uint32_t qpn, std::int64_t bytes, std::uint64_t msg_id = 0);
+  void post_read(std::uint32_t qpn, std::int64_t bytes, std::uint64_t msg_id = 0);
+  /// Post `count` receive WQEs (only meaningful with
+  /// QpConfig::require_recv_wqes; each incoming SEND consumes one).
+  void post_recv(std::uint32_t qpn, int count);
+  [[nodiscard]] int recv_credits(std::uint32_t qpn) const { return qp(qpn).recv_credits; }
+
+  using CompletionCb = std::function<void(const RdmaCompletion&)>;
+  using RecvCb = std::function<void(const RdmaRecv&)>;
+  void set_completion_cb(CompletionCb cb) { completion_cb_ = std::move(cb); }
+  void set_recv_cb(RecvCb cb) { recv_cb_ = std::move(cb); }
+
+  /// Pending (posted but not completed) work on a QP, in bytes.
+  [[nodiscard]] std::int64_t backlog_bytes(std::uint32_t qpn) const;
+  [[nodiscard]] Bandwidth qp_rate(std::uint32_t qpn) const;
+  [[nodiscard]] double qp_alpha(std::uint32_t qpn) const;
+
+  [[nodiscard]] const RdmaNicStats& stats() const { return stats_; }
+
+  // --- wiring from Host ------------------------------------------------------
+  void handle(Packet pkt);     // a RoCE packet cleared the rx pipeline
+  void on_port_drain();        // tx queue drained below the cap: resume QPs
+
+ private:
+  struct SendWqe {
+    enum class Kind { kSend, kWrite, kReadResponse };
+    Kind kind = Kind::kSend;
+    std::int64_t bytes = 0;
+    std::uint64_t msg_id = 0;
+    Time posted_at = 0;
+  };
+  struct InflightMsg {
+    std::uint64_t first_psn = 0;
+    std::uint64_t end_psn = 0;  // one past the last PSN
+    SendWqe wqe;
+  };
+  struct Qp {
+    std::uint32_t qpn = 0;
+    QpConfig cfg;
+    Ipv4Addr peer_ip{};
+    std::uint32_t peer_qpn = 0;
+    std::uint16_t udp_sport = 0;
+    bool connected = false;
+
+    // Sender state.
+    std::deque<SendWqe> pending;      // posted, not yet started
+    std::deque<InflightMsg> inflight; // started, not fully acked
+    std::uint64_t next_new_psn = 0;   // first never-transmitted PSN
+    std::uint64_t cursor_psn = 0;     // next PSN to put on the wire
+    std::uint64_t una_psn = 0;        // cumulative acked
+    std::unique_ptr<DcqcnRp> rate;
+    Time next_tx_time = 0;
+    EventId pacer_ev = kInvalidEventId;
+    EventId retx_ev = kInvalidEventId;
+    bool blocked_on_port = false;
+    int consecutive_timeouts = 0;
+
+    // Receiver state.
+    std::uint64_t expected_psn = 0;
+    bool nak_armed = true;
+    std::int64_t rx_msg_bytes = 0;
+    Time rx_msg_start = 0;
+    Time last_cnp_time = -kSecond;
+    /// Selective repeat: out-of-order segments buffered until the holes
+    /// fill (bounded; overflow falls back to dropping).
+    struct RxSeg {
+      std::int32_t payload;
+      RoceOpcode opcode;
+      std::uint64_t msg_id;
+      Time created_at;
+    };
+    std::map<std::uint64_t, RxSeg> rx_ooo;
+    int recv_credits = 0;  // receive WQEs available (require_recv_wqes)
+
+    // TIMELY state: (first unacked psn after probe, tx time) pairs.
+    std::unique_ptr<TimelyRp> timely;
+    std::deque<std::pair<std::uint64_t, Time>> rtt_probes;
+
+    // Outstanding READ requests issued by this side: msg_id -> bytes.
+    std::unordered_map<std::uint64_t, std::int64_t> reads;
+    std::unordered_map<std::uint64_t, Time> read_posted_at;
+    EventId read_retx_ev = kInvalidEventId;
+  };
+
+  Qp& qp(std::uint32_t qpn);
+  const Qp& qp(std::uint32_t qpn) const;
+  void post_message(Qp& q, SendWqe wqe);
+  void arm_pacer(Qp& q);
+  void pacer_fire(std::uint32_t qpn);
+  bool transmit_next(Qp& q);
+  void arm_retx(Qp& q);
+  void on_retx_timeout(std::uint32_t qpn);
+  void go_back(Qp& q, std::uint64_t psn);
+  void advance_una(Qp& q, std::uint64_t msn);
+
+  [[nodiscard]] Bandwidth current_rate(const Qp& q) const;
+  Packet build_data_packet(Qp& q, const InflightMsg& msg, std::uint64_t psn, bool force_ack);
+  void retransmit_one(Qp& q, std::uint64_t psn);
+  void deliver_in_order(Qp& q, const Qp::RxSeg& seg);
+  void handle_data(Qp& q, Packet& pkt);
+  void handle_ack(Qp& q, const Packet& pkt);
+  void handle_read_req(Qp& q, const Packet& pkt);
+  void handle_cnp(Qp& q);
+  void maybe_send_cnp(Qp& q, const Packet& pkt);
+  void send_ack(Qp& q, AethSyndrome syndrome);
+  Packet make_roce_packet(const Qp& q, PacketKind kind);
+
+  Host& host_;
+  HostConfig cfg_;
+  std::unordered_map<std::uint32_t, std::unique_ptr<Qp>> qps_;
+  std::vector<std::uint32_t> blocked_qpns_;
+  std::uint32_t next_qpn_ = 1;
+  CompletionCb completion_cb_;
+  RecvCb recv_cb_;
+  RdmaNicStats stats_;
+};
+
+/// Create and connect a QP pair between two hosts with the same config.
+/// Returns {qpn on a, qpn on b}.
+std::pair<std::uint32_t, std::uint32_t> connect_qp_pair(Host& a, Host& b, QpConfig cfg);
+
+}  // namespace rocelab

@@ -1,0 +1,51 @@
+#include "src/nic/timely.h"
+
+#include <algorithm>
+
+namespace rocelab {
+
+void TimelyRp::clamp() {
+  rate_ = std::clamp(rate_, cfg_.min_rate, line_rate_);
+}
+
+void TimelyRp::on_rtt_sample(Time rtt) {
+  ++samples_;
+  if (prev_rtt_ < 0) {
+    prev_rtt_ = rtt;
+    return;
+  }
+  const double new_diff = static_cast<double>(rtt - prev_rtt_);
+  prev_rtt_ = rtt;
+  rtt_diff_ = (1.0 - cfg_.ewma_gain) * rtt_diff_ + cfg_.ewma_gain * new_diff;
+  const double gradient = rtt_diff_ / static_cast<double>(cfg_.min_rtt);
+
+  if (rtt < cfg_.t_low) {
+    // Far below target: probe aggressively; hyperactive increase after a
+    // streak of uncongested epochs.
+    ++low_rtt_streak_;
+    const int n = low_rtt_streak_ >= cfg_.hai_threshold ? 5 : 1;
+    rate_ += n * cfg_.rai;
+    clamp();
+    return;
+  }
+  if (rtt > cfg_.t_high) {
+    low_rtt_streak_ = 0;
+    const double cut =
+        1.0 - cfg_.beta * (1.0 - static_cast<double>(cfg_.t_high) / static_cast<double>(rtt));
+    rate_ = static_cast<Bandwidth>(static_cast<double>(rate_) * cut);
+    clamp();
+    return;
+  }
+  if (gradient <= 0) {
+    ++low_rtt_streak_;
+    const int n = low_rtt_streak_ >= cfg_.hai_threshold ? 5 : 1;
+    rate_ += n * cfg_.rai;
+  } else {
+    low_rtt_streak_ = 0;
+    rate_ = static_cast<Bandwidth>(static_cast<double>(rate_) *
+                                   (1.0 - cfg_.beta * std::min(gradient, 1.0)));
+  }
+  clamp();
+}
+
+}  // namespace rocelab

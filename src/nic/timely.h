@@ -1,0 +1,34 @@
+// TIMELY: RTT-gradient congestion control (the paper §2: "We believe the
+// lessons we have learned in this paper apply to the networks using TIMELY
+// as well"). Rate updates per RTT sample: additive increase below T_low,
+// multiplicative decrease above T_high, gradient-proportional reaction in
+// between, with hyperactive increase after repeated low-RTT epochs.
+#pragma once
+
+#include "src/nic/config.h"
+
+namespace rocelab {
+
+class TimelyRp {
+ public:
+  TimelyRp(TimelyConfig cfg, Bandwidth line_rate)
+      : cfg_(cfg), line_rate_(line_rate), rate_(line_rate) {}
+
+  [[nodiscard]] Bandwidth rate() const { return rate_; }
+  [[nodiscard]] std::int64_t samples() const { return samples_; }
+
+  void on_rtt_sample(Time rtt);
+
+ private:
+  void clamp();
+
+  TimelyConfig cfg_;
+  Bandwidth line_rate_;
+  Bandwidth rate_;
+  Time prev_rtt_ = -1;
+  double rtt_diff_ = 0.0;  // EWMA of consecutive RTT differences (ps)
+  int low_rtt_streak_ = 0;
+  std::int64_t samples_ = 0;
+};
+
+}  // namespace rocelab

@@ -1,0 +1,132 @@
+#include "src/rocev2/deployment.h"
+
+#include <cmath>
+
+namespace rocelab {
+
+namespace {
+bool lossless_enabled_at(SwitchTier tier, DeploymentStage stage) {
+  switch (stage) {
+    case DeploymentStage::kTorOnly: return tier == SwitchTier::kTor;
+    case DeploymentStage::kPodset: return tier != SwitchTier::kSpine;
+    case DeploymentStage::kFull: return true;
+  }
+  return true;
+}
+}  // namespace
+
+SwitchConfig make_switch_config(const QosPolicy& policy, SwitchTier tier,
+                                DeploymentStage stage) {
+  SwitchConfig cfg;
+  cfg.classify_mode = policy.classify_mode;
+  cfg.arp_policy = policy.arp_policy;
+  cfg.mmu.alpha = policy.alpha;
+  cfg.mmu.headroom_per_pg =
+      recommended_headroom(policy.link_bw, propagation_delay_for_meters(policy.max_cable_m),
+                           policy.mtu);
+  switch (tier) {
+    case SwitchTier::kTor: cfg.mmu.total_buffer = policy.tor_buffer; break;
+    case SwitchTier::kLeaf: cfg.mmu.total_buffer = policy.leaf_buffer; break;
+    case SwitchTier::kSpine: cfg.mmu.total_buffer = policy.spine_buffer; break;
+  }
+  if (lossless_enabled_at(tier, stage)) {
+    cfg.lossless[static_cast<std::size_t>(policy.bulk_class)] = true;
+    cfg.lossless[static_cast<std::size_t>(policy.realtime_class)] = true;
+  }
+  cfg.ecn[static_cast<std::size_t>(policy.bulk_class)] = policy.ecn;
+  cfg.ecn[static_cast<std::size_t>(policy.realtime_class)] = policy.ecn;
+  cfg.watchdog.enabled = policy.switch_watchdog && tier == SwitchTier::kTor;
+  return cfg;
+}
+
+HostConfig make_host_config(const QosPolicy& policy) {
+  HostConfig cfg;
+  cfg.lossless.fill(false);
+  cfg.lossless[static_cast<std::size_t>(policy.bulk_class)] = true;
+  cfg.lossless[static_cast<std::size_t>(policy.realtime_class)] = true;
+  cfg.dcqcn = policy.dcqcn;
+  cfg.watchdog.enabled = policy.nic_watchdog;
+  // §4.4 mitigation: large pages by default.
+  cfg.mtt.page_bytes = 2 * kMiB;
+  return cfg;
+}
+
+QpConfig make_qp_config(const QosPolicy& policy, bool realtime) {
+  QpConfig cfg;
+  cfg.priority = realtime ? policy.realtime_class : policy.bulk_class;
+  cfg.dscp = static_cast<std::uint8_t>(cfg.priority);
+  cfg.recovery = policy.recovery;
+  cfg.dcqcn = policy.dcqcn.enabled;
+  return cfg;
+}
+
+ClosParams make_clos_params(const QosPolicy& policy, DeploymentStage stage, int podsets,
+                            int leaves_per_podset, int tors_per_podset, int servers_per_tor,
+                            int spines) {
+  ClosParams p;
+  p.podsets = podsets;
+  p.leaves_per_podset = leaves_per_podset;
+  p.tors_per_podset = tors_per_podset;
+  p.servers_per_tor = servers_per_tor;
+  p.spines = spines;
+  p.link_bw = policy.link_bw;
+  p.tor_config = make_switch_config(policy, SwitchTier::kTor, stage);
+  p.leaf_config = make_switch_config(policy, SwitchTier::kLeaf, stage);
+  p.spine_config = make_switch_config(policy, SwitchTier::kSpine, stage);
+  p.host_config = make_host_config(policy);
+  return p;
+}
+
+SwitchTier tier_of(const Switch& sw) {
+  const std::string& n = sw.name();
+  if (n.rfind("leaf-", 0) == 0) return SwitchTier::kLeaf;
+  if (n.rfind("spine-", 0) == 0) return SwitchTier::kSpine;
+  return SwitchTier::kTor;
+}
+
+std::vector<ConfigDrift> check_switch_configs(const std::vector<Switch*>& switches,
+                                              const QosPolicy& policy, DeploymentStage stage) {
+  std::vector<ConfigDrift> drifts;
+  auto mismatch = [&drifts](const Switch& sw, std::string field, std::string expected,
+                            std::string actual) {
+    drifts.push_back(
+        ConfigDrift{sw.name(), std::move(field), std::move(expected), std::move(actual)});
+  };
+  for (Switch* sw : switches) {
+    const SwitchTier tier = tier_of(*sw);
+    const SwitchConfig want = make_switch_config(policy, tier, stage);
+    const SwitchConfig& got = sw->config();
+    if (std::abs(got.mmu.alpha - want.mmu.alpha) > 1e-12) {
+      mismatch(*sw, "mmu.alpha", std::to_string(want.mmu.alpha),
+               std::to_string(got.mmu.alpha));
+    }
+    for (int pg = 0; pg < kNumPriorities; ++pg) {
+      const auto i = static_cast<std::size_t>(pg);
+      if (got.lossless[i] != want.lossless[i]) {
+        mismatch(*sw, "lossless[" + std::to_string(pg) + "]",
+                 want.lossless[i] ? "true" : "false", got.lossless[i] ? "true" : "false");
+      }
+      if (got.ecn[i].enabled != want.ecn[i].enabled) {
+        mismatch(*sw, "ecn[" + std::to_string(pg) + "].enabled",
+                 want.ecn[i].enabled ? "true" : "false", got.ecn[i].enabled ? "true" : "false");
+      }
+    }
+    if (got.arp_policy != want.arp_policy) {
+      mismatch(*sw, "arp_policy",
+               want.arp_policy == ArpIncompletePolicy::kDropLossless ? "drop-lossless" : "flood",
+               got.arp_policy == ArpIncompletePolicy::kDropLossless ? "drop-lossless" : "flood");
+    }
+    if (got.watchdog.enabled != want.watchdog.enabled) {
+      mismatch(*sw, "watchdog.enabled", want.watchdog.enabled ? "true" : "false",
+               got.watchdog.enabled ? "true" : "false");
+    }
+    if (got.classify_mode != want.classify_mode) {
+      mismatch(*sw, "classify_mode",
+               want.classify_mode == ClassifyMode::kDscp ? "dscp" : "vlan-pcp",
+               got.classify_mode == ClassifyMode::kDscp ? "dscp" : "vlan-pcp");
+    }
+  }
+  return drifts;
+}
+
+}  // namespace rocelab

@@ -1,0 +1,76 @@
+// The paper's deployment layer as an API: a cluster-wide QoS policy (the
+// DSCP-based-PFC design of §3 plus the safety fixes of §4), per-tier switch
+// and host config generation, the staged enablement procedure of §6.1, and
+// the configuration-drift monitoring of §5.1.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "src/nic/config.h"
+#include "src/switch/config.h"
+#include "src/topo/clos.h"
+
+namespace rocelab {
+
+/// Cluster-wide desired state. One policy generates every switch and host
+/// configuration; §5.1's monitoring then checks running state against it.
+struct QosPolicy {
+  /// The two lossless classes §2 provisions (real-time + bulk).
+  int bulk_class = 3;
+  int realtime_class = 4;
+  ClassifyMode classify_mode = ClassifyMode::kDscp;  // §3: DSCP-based PFC
+  ArpIncompletePolicy arp_policy = ArpIncompletePolicy::kDropLossless;  // §4.2 fix
+  LossRecovery recovery = LossRecovery::kGoBackN;                       // §4.1 fix
+  bool switch_watchdog = true;  // §4.3 fix
+  bool nic_watchdog = true;     // §4.3 fix
+  double alpha = 1.0 / 16;      // §6.2: the value that works in production
+  std::int64_t tor_buffer = 12 * kMiB;
+  std::int64_t leaf_buffer = 12 * kMiB;
+  std::int64_t spine_buffer = 24 * kMiB;
+  EcnConfig ecn{true, 5 * kKiB, 200 * kKiB, 0.01};  // DCQCN marking
+  DcqcnConfig dcqcn;
+  Bandwidth link_bw = gbps(40);
+  double max_cable_m = 300.0;  // headroom sized for the worst link (§2)
+  std::int64_t mtu = 1086;
+};
+
+/// §6.1: the step-by-step onboarding procedure. PFC (lossless classes) is
+/// enabled progressively: ToR-level first, then within the podset, then up
+/// to the spines.
+enum class DeploymentStage {
+  kTorOnly,  // lossless on ToRs only
+  kPodset,   // lossless on ToRs + Leaves
+  kFull,     // lossless everywhere (production state)
+};
+
+enum class SwitchTier { kTor, kLeaf, kSpine };
+
+[[nodiscard]] SwitchConfig make_switch_config(const QosPolicy& policy, SwitchTier tier,
+                                              DeploymentStage stage = DeploymentStage::kFull);
+[[nodiscard]] HostConfig make_host_config(const QosPolicy& policy);
+[[nodiscard]] QpConfig make_qp_config(const QosPolicy& policy, bool realtime = false);
+
+/// Build ClosParams with per-tier configs derived from the policy.
+[[nodiscard]] ClosParams make_clos_params(const QosPolicy& policy, DeploymentStage stage,
+                                          int podsets, int leaves_per_podset,
+                                          int tors_per_podset, int servers_per_tor, int spines);
+
+/// §5.1 configuration monitoring: compare every switch's running config
+/// against the desired policy; return human-readable drift records. The
+/// Fig. 10 incident (α silently 1/64 on a new switch type) is exactly what
+/// this catches.
+struct ConfigDrift {
+  std::string node;
+  std::string field;
+  std::string expected;
+  std::string actual;
+};
+[[nodiscard]] std::vector<ConfigDrift> check_switch_configs(
+    const std::vector<Switch*>& switches, const QosPolicy& policy,
+    DeploymentStage stage = DeploymentStage::kFull);
+
+/// Infer the tier of a switch built by ClosFabric from its name.
+[[nodiscard]] SwitchTier tier_of(const Switch& sw);
+
+}  // namespace rocelab

@@ -1,0 +1,69 @@
+#include "src/sim/simulator.h"
+
+#include <stdexcept>
+
+namespace rocelab {
+
+EventId Simulator::schedule_at(Time at, Callback cb) {
+  if (at < now_) throw std::invalid_argument("schedule_at in the past");
+  const EventId id = next_id_++;
+  heap_.push(Entry{at, id, std::move(cb)});
+  return id;
+}
+
+void Simulator::cancel(EventId id) {
+  if (id != kInvalidEventId) cancelled_.insert(id);
+}
+
+bool Simulator::step() {
+  if (heap_.empty()) cancelled_.clear();  // purge stale cancellations
+  while (!heap_.empty()) {
+    // priority_queue::top() is const; the callback is moved out right before
+    // pop, which is safe because no other accessor observes the entry.
+    Entry& top = const_cast<Entry&>(heap_.top());
+    if (auto it = cancelled_.find(top.id); it != cancelled_.end()) {
+      cancelled_.erase(it);
+      heap_.pop();
+      continue;
+    }
+    now_ = top.at;
+    Callback cb = std::move(top.cb);
+    heap_.pop();
+    ++executed_;
+    cb();
+    return true;
+  }
+  cancelled_.clear();
+  return false;
+}
+
+void Simulator::run() {
+  stopped_ = false;
+  while (!stopped_ && step()) {
+  }
+}
+
+void Simulator::run_until(Time deadline) {
+  stopped_ = false;
+  while (!stopped_) {
+    // Peek for the next live event without executing past the deadline.
+    while (!heap_.empty()) {
+      const Entry& top = heap_.top();
+      if (auto it = cancelled_.find(top.id); it != cancelled_.end()) {
+        cancelled_.erase(it);
+        heap_.pop();
+        continue;
+      }
+      break;
+    }
+    if (heap_.empty()) {
+      cancelled_.clear();
+      break;
+    }
+    if (heap_.top().at > deadline) break;
+    step();
+  }
+  if (now_ < deadline) now_ = deadline;
+}
+
+}  // namespace rocelab

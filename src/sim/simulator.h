@@ -1,0 +1,78 @@
+// Discrete-event simulation core.
+//
+// A Simulator owns a priority queue of timestamped events. Components
+// schedule closures; insertion order breaks ties so execution is fully
+// deterministic. Events can be cancelled through the returned EventId.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_set>
+#include <vector>
+
+#include "src/common/units.h"
+
+namespace rocelab {
+
+using EventId = std::uint64_t;
+inline constexpr EventId kInvalidEventId = 0;
+
+class Simulator {
+ public:
+  using Callback = std::function<void()>;
+
+  Simulator() = default;
+  Simulator(const Simulator&) = delete;
+  Simulator& operator=(const Simulator&) = delete;
+
+  [[nodiscard]] Time now() const { return now_; }
+
+  /// Schedule `cb` to run at absolute time `at` (>= now). Returns an id
+  /// usable with cancel().
+  EventId schedule_at(Time at, Callback cb);
+  /// Schedule `cb` to run `delay` after now.
+  EventId schedule_in(Time delay, Callback cb) { return schedule_at(now_ + delay, std::move(cb)); }
+
+  /// Cancel a pending event. Cancelling an already-fired or unknown id is a
+  /// harmless no-op (timers race with the events that would cancel them).
+  void cancel(EventId id);
+
+  /// Run until the event queue drains or stop() is called.
+  void run();
+  /// Run until simulated time reaches `deadline` (events at exactly
+  /// `deadline` still execute), the queue drains, or stop() is called.
+  void run_until(Time deadline);
+  void stop() { stopped_ = true; }
+
+  /// Upper bound on live (non-cancelled) scheduled events. Exact whenever
+  /// every cancelled id was actually pending; stale cancellations (of
+  /// already-fired events) are purged whenever the queue drains.
+  [[nodiscard]] std::size_t pending_events() const {
+    return heap_.size() >= cancelled_.size() ? heap_.size() - cancelled_.size() : 0;
+  }
+  [[nodiscard]] std::uint64_t executed_events() const { return executed_; }
+
+ private:
+  struct Entry {
+    Time at;
+    EventId id;
+    Callback cb;
+  };
+  struct Later {
+    bool operator()(const Entry& a, const Entry& b) const {
+      return a.at != b.at ? a.at > b.at : a.id > b.id;
+    }
+  };
+
+  bool step();  // executes one event; false when queue empty
+
+  Time now_ = 0;
+  EventId next_id_ = 1;
+  std::uint64_t executed_ = 0;
+  bool stopped_ = false;
+  std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
+  std::unordered_set<EventId> cancelled_;
+};
+
+}  // namespace rocelab

@@ -1,0 +1,115 @@
+// Switch configuration: the QoS/PFC knobs §5.1 of the paper manages —
+// buffer reservation, DSCP classification, lossless classes, ECN marking,
+// dynamic buffer sharing (the α of §6.2), and the PFC storm watchdog.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "src/common/units.h"
+#include "src/link/port.h"
+
+namespace rocelab {
+
+/// RED/ECN marking profile per queue (DCQCN's marking at the switch).
+struct EcnConfig {
+  bool enabled = false;
+  std::int64_t kmin = 5 * kKiB;
+  std::int64_t kmax = 200 * kKiB;
+  double pmax = 0.01;
+};
+
+/// Shared-buffer memory management unit parameters.
+struct MmuConfig {
+  /// Total packet buffer. The paper's ToR/Leaf switches have 9MB or 12MB.
+  std::int64_t total_buffer = 12 * kMiB;
+  /// Headroom reserved per (ingress port, lossless PG) to absorb in-flight
+  /// bytes after XOFF (sized from cable length; see recommended_headroom).
+  std::int64_t headroom_per_pg = 100 * kKiB;
+  /// Guaranteed minimum per (ingress port, PG), carved out of the total
+  /// buffer. This is what keeps lossy classes (TCP) alive when lossless
+  /// classes occupy the shared pool — the §2 traffic isolation.
+  std::int64_t reserved_per_pg = 8 * kKiB;
+  /// Dynamic-threshold α for lossless PGs: a PG may keep allocating shared
+  /// buffer while its usage < α × (unallocated shared buffer). §6.2: 1/16
+  /// worked in production; a misconfigured 1/64 caused the Fig. 10 incident.
+  double alpha = 1.0 / 16;
+  /// α for lossy traffic classes (tail-drop on exceed).
+  double alpha_lossy = 1.0 / 8;
+  /// Hysteresis: XON resume once PG usage falls xon_offset below threshold.
+  std::int64_t xon_offset = 16 * kKiB;
+  /// Dynamic buffer sharing (true) vs static per-PG partition (§4.4 compares).
+  bool dynamic_shared = true;
+  /// Per-PG cap when dynamic_shared == false.
+  std::int64_t static_limit_per_pg = 96 * kKiB;
+};
+
+/// How the switch maps packets to priority groups (Fig. 3 designs).
+enum class ClassifyMode {
+  kDscp,     // DSCP-based PFC: priority from the IP DSCP field (§3)
+  kVlanPcp,  // original VLAN-based PFC: priority from the 802.1Q PCP
+};
+
+/// 802.1Q port mode (§3's operational problem #1): a trunk port only
+/// accepts tagged frames — which breaks PXE boot, whose NIC has no VLAN
+/// configuration yet; an access port only accepts untagged frames.
+enum class L2PortMode {
+  kAccess,
+  kTrunk,
+};
+
+/// What to do with a packet whose ARP entry is incomplete (IP→MAC known,
+/// MAC→port unknown). kFlood is standard Ethernet behaviour and the §4.2
+/// deadlock ingredient; kDropLossless is the paper's fix (option 3).
+enum class ArpIncompletePolicy {
+  kFlood,
+  kDropLossless,
+};
+
+struct WatchdogConfig {
+  bool enabled = false;
+  Time check_interval = milliseconds(10);
+  /// Trigger after this long of continuous pause + undrainable egress queue.
+  Time trigger_after = milliseconds(100);
+  /// Re-enable lossless mode after pauses have been absent this long (§4.3:
+  /// 200ms default).
+  Time reenable_after = milliseconds(200);
+};
+
+struct SwitchConfig {
+  MmuConfig mmu;
+  std::array<bool, kNumPriorities> lossless{};        // PG i lossless?
+  std::array<EcnConfig, kNumPriorities> ecn{};        // per-queue marking
+  std::array<int, kNumPriorities> dscp_to_pg{};       // DSCP/PCP -> PG map
+  ClassifyMode classify_mode = ClassifyMode::kDscp;
+  ArpIncompletePolicy arp_policy = ArpIncompletePolicy::kFlood;
+  WatchdogConfig watchdog;
+  /// §8.1 extension: per-packet load balancing ("per-packet routing for
+  /// better network utilization") instead of per-flow ECMP hashing. Breaks
+  /// in-order delivery — the transport must tolerate reordering.
+  bool packet_spray = false;
+  Time mac_table_timeout = minutes_5();
+  Time arp_table_timeout = hours_4();
+  std::uint64_t ecmp_seed = 0;  // 0 => derived from node id
+
+  static constexpr Time minutes_5() { return seconds(300); }
+  static constexpr Time hours_4() { return seconds(4 * 3600); }
+
+  SwitchConfig() {
+    for (int i = 0; i < kNumPriorities; ++i) dscp_to_pg[static_cast<std::size_t>(i)] = i;
+  }
+};
+
+/// Headroom a lossless PG needs so that no packet arriving during the PFC
+/// "gray period" is dropped (§2): bytes in flight over twice the propagation
+/// delay, plus one MTU in transit each way, plus the pause frame itself and
+/// the egress reaction time.
+[[nodiscard]] constexpr std::int64_t recommended_headroom(Bandwidth bw, Time prop_delay,
+                                                          std::int64_t mtu,
+                                                          Time reaction_time = nanoseconds(500)) {
+  const std::int64_t in_flight = bytes_in_time(2 * prop_delay + reaction_time, bw);
+  const std::int64_t pause_frame = kPfcFrameBytes + kWireOverheadBytes;
+  return in_flight + 2 * mtu + pause_frame;
+}
+
+}  // namespace rocelab

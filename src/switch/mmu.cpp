@@ -1,0 +1,98 @@
+#include "src/switch/mmu.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace rocelab {
+
+Mmu::Mmu(const MmuConfig& cfg, int num_ports, const std::array<bool, kNumPriorities>& lossless)
+    : cfg_(cfg), num_ports_(num_ports), lossless_(lossless),
+      pgs_(static_cast<std::size_t>(num_ports) * kNumPriorities) {
+  int lossless_pgs = 0;
+  for (bool b : lossless_) lossless_pgs += b ? 1 : 0;
+  const std::int64_t headroom_total =
+      static_cast<std::int64_t>(num_ports) * lossless_pgs * cfg_.headroom_per_pg;
+  const std::int64_t reserved_total =
+      static_cast<std::int64_t>(num_ports) * kNumPriorities * cfg_.reserved_per_pg;
+  shared_pool_ = cfg_.total_buffer - headroom_total - reserved_total;
+  if (shared_pool_ <= 0) {
+    // The paper's point about shallow buffers (§2): with too many lossless
+    // classes the headroom doesn't fit. Surface it loudly.
+    throw std::invalid_argument(
+        "MMU: headroom for lossless classes exceeds the total buffer; "
+        "reduce lossless classes or headroom (see paper §2)");
+  }
+}
+
+std::int64_t Mmu::threshold(int port, int pg) const {
+  (void)port;
+  const bool ll = lossless_[static_cast<std::size_t>(pg)];
+  if (!cfg_.dynamic_shared) return cfg_.static_limit_per_pg;
+  const double alpha = ll ? cfg_.alpha : cfg_.alpha_lossy;
+  const std::int64_t unallocated = shared_pool_ - shared_used_;
+  return static_cast<std::int64_t>(alpha * static_cast<double>(std::max<std::int64_t>(unallocated, 0)));
+}
+
+Mmu::Admission Mmu::admit(int port, int pg, std::int64_t bytes) {
+  Admission result;
+  auto& st = state(port, pg);
+  const bool ll = lossless_[static_cast<std::size_t>(pg)];
+
+  // Guaranteed per-PG minimum first: keeps lossy classes alive even when
+  // the shared pool is saturated by lossless traffic.
+  if (st.reserved + bytes <= cfg_.reserved_per_pg) {
+    st.reserved += bytes;
+    result.admitted = true;
+    result.to_reserved = bytes;
+    return result;
+  }
+
+  const std::int64_t thresh = threshold(port, pg);
+  const bool fits_shared = st.shared + bytes <= thresh && shared_used_ + bytes <= shared_pool_;
+  if (fits_shared) {
+    st.shared += bytes;
+    shared_used_ += bytes;
+    result.admitted = true;
+    result.to_shared = bytes;
+    return result;
+  }
+  if (!ll) return result;  // lossy: tail drop
+
+  // Lossless: spill into this PG's reserved headroom.
+  if (st.headroom + bytes <= cfg_.headroom_per_pg) {
+    st.headroom += bytes;
+    result.admitted = true;
+    result.to_headroom = bytes;
+    return result;
+  }
+  // Headroom overflow: a lossless drop. Only possible when headroom was
+  // under-provisioned for the link length — the misconfiguration §2 warns
+  // about. Callers count it.
+  return result;
+}
+
+void Mmu::release(int port, int pg, std::int64_t shared_bytes, std::int64_t headroom_bytes,
+                  std::int64_t reserved_bytes) {
+  auto& st = state(port, pg);
+  st.shared -= shared_bytes;
+  st.headroom -= headroom_bytes;
+  st.reserved -= reserved_bytes;
+  shared_used_ -= shared_bytes;
+  if (st.shared < 0 || st.headroom < 0 || st.reserved < 0 || shared_used_ < 0) {
+    throw std::logic_error("MMU release underflow");
+  }
+}
+
+bool Mmu::should_pause(int port, int pg) const {
+  const auto& st = state(port, pg);
+  return st.headroom > 0 || st.shared >= threshold(port, pg);
+}
+
+bool Mmu::should_resume(int port, int pg) const {
+  const auto& st = state(port, pg);
+  if (st.headroom > 0) return false;
+  const std::int64_t thresh = threshold(port, pg);
+  return st.shared + cfg_.xon_offset <= thresh || st.shared == 0;
+}
+
+}  // namespace rocelab

@@ -1,0 +1,84 @@
+// Shared-buffer MMU with per-(ingress port, priority group) accounting and
+// dynamic thresholds, modelling the commodity shared-buffer ASICs of the
+// paper. Implements the §6.2 rule: a PG may allocate shared buffer while
+// α × UB > B(p,i), where UB is the unallocated shared buffer.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "src/switch/config.h"
+
+namespace rocelab {
+
+class Mmu {
+ public:
+  Mmu(const MmuConfig& cfg, int num_ports,
+      const std::array<bool, kNumPriorities>& lossless);
+
+  struct Admission {
+    bool admitted = false;
+    std::int64_t to_shared = 0;
+    std::int64_t to_headroom = 0;
+    std::int64_t to_reserved = 0;
+  };
+
+  /// Admit `bytes` arriving on (port, pg). Lossless PGs overflow into their
+  /// headroom once past the dynamic threshold; lossy PGs are dropped.
+  Admission admit(int port, int pg, std::int64_t bytes);
+
+  /// Return a previous admission's bytes to their pools.
+  void release(int port, int pg, std::int64_t shared_bytes, std::int64_t headroom_bytes,
+               std::int64_t reserved_bytes = 0);
+
+  /// XOFF condition: the PG is at/over its dynamic threshold (or dipping
+  /// into headroom).
+  [[nodiscard]] bool should_pause(int port, int pg) const;
+  /// XON condition: usage fell xon_offset below the current threshold and
+  /// headroom has drained.
+  [[nodiscard]] bool should_resume(int port, int pg) const;
+
+  /// Current dynamic (or static) shared-pool threshold for one PG.
+  [[nodiscard]] std::int64_t threshold(int port, int pg) const;
+
+  [[nodiscard]] std::int64_t shared_used() const { return shared_used_; }
+  [[nodiscard]] std::int64_t shared_pool_size() const { return shared_pool_; }
+  [[nodiscard]] std::int64_t pg_shared(int port, int pg) const {
+    return state(port, pg).shared;
+  }
+  [[nodiscard]] std::int64_t pg_headroom(int port, int pg) const {
+    return state(port, pg).headroom;
+  }
+  [[nodiscard]] std::int64_t pg_reserved(int port, int pg) const {
+    return state(port, pg).reserved;
+  }
+  [[nodiscard]] std::int64_t pg_total(int port, int pg) const {
+    return state(port, pg).shared + state(port, pg).headroom + state(port, pg).reserved;
+  }
+  [[nodiscard]] const MmuConfig& config() const { return cfg_; }
+  /// Runtime tuning of the dynamic-threshold α (the §6.2 incident fix was
+  /// exactly such a live retune).
+  void set_alpha(double alpha) { cfg_.alpha = alpha; }
+
+ private:
+  struct PgState {
+    std::int64_t shared = 0;
+    std::int64_t headroom = 0;
+    std::int64_t reserved = 0;
+  };
+  [[nodiscard]] PgState& state(int port, int pg) {
+    return pgs_[static_cast<std::size_t>(port) * kNumPriorities + static_cast<std::size_t>(pg)];
+  }
+  [[nodiscard]] const PgState& state(int port, int pg) const {
+    return pgs_[static_cast<std::size_t>(port) * kNumPriorities + static_cast<std::size_t>(pg)];
+  }
+
+  MmuConfig cfg_;
+  int num_ports_;
+  std::array<bool, kNumPriorities> lossless_;
+  std::int64_t shared_pool_ = 0;  // total minus all reserved headroom
+  std::int64_t shared_used_ = 0;
+  std::vector<PgState> pgs_;
+};
+
+}  // namespace rocelab

@@ -1,0 +1,412 @@
+#include "src/switch/sw.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "src/common/log.h"
+
+namespace rocelab {
+
+/// RAII token for bytes admitted to the MMU. Copies of a flooded packet
+/// share one token; the buffer is released when the last copy leaves the
+/// switch. `alive` guards against tokens outliving the switch (packets
+/// still in flight in simulator closures when a test tears down).
+struct Switch::Charge {
+  Switch* sw;
+  std::shared_ptr<bool> alive;
+  int port;
+  int pg;
+  std::int64_t shared;
+  std::int64_t headroom;
+  std::int64_t reserved;
+
+  ~Charge() {
+    if (!*alive) return;
+    sw->mmu_->release(port, pg, shared, headroom, reserved);
+    sw->after_release(port, pg);
+  }
+};
+
+Switch::Switch(Simulator& sim, std::string name, SwitchConfig cfg, int num_ports)
+    : Node(sim, std::move(name)),
+      cfg_(cfg),
+      arp_(cfg.arp_table_timeout),
+      mac_(cfg.mac_table_timeout),
+      rng_(0x5317c4 ^ id()),
+      ecmp_seed_(cfg.ecmp_seed != 0 ? cfg.ecmp_seed : 0x9e3779b9ull * (id() + 1)) {
+  mmu_ = std::make_unique<Mmu>(cfg_.mmu, num_ports, cfg_.lossless);
+  roles_.assign(static_cast<std::size_t>(num_ports), PortRole::kFabric);
+  l2_modes_.assign(static_cast<std::size_t>(num_ports), L2PortMode::kAccess);
+  pause_sent_.assign(static_cast<std::size_t>(num_ports) * kNumPriorities, false);
+  pause_refresh_.assign(static_cast<std::size_t>(num_ports) * kNumPriorities, kInvalidEventId);
+  matrix_.assign(static_cast<std::size_t>(num_ports) * static_cast<std::size_t>(num_ports) *
+                     kNumPriorities,
+                 0);
+  watchdog_.assign(static_cast<std::size_t>(num_ports), WatchdogState{});
+  alive_ = std::make_shared<bool>(true);
+
+  for (int i = 0; i < num_ports; ++i) {
+    auto& p = add_port();
+    p.on_dequeue = [this, i](const Packet& pkt, int prio) {
+      if (pkt.mmu_in_port >= 0) {
+        matrix_[midx(pkt.mmu_in_port, i, prio)] -= pkt.frame_bytes;
+      }
+    };
+  }
+  if (cfg_.watchdog.enabled) {
+    watchdog_timer_ = this->sim().schedule_in(cfg_.watchdog.check_interval, [this] { watchdog_tick(); });
+  }
+}
+
+Switch::~Switch() { *alive_ = false; }
+
+void Switch::add_route(Ipv4Prefix prefix, std::vector<int> ports) {
+  routes_.push_back(Route{prefix, std::move(ports)});
+}
+
+void Switch::add_local_subnet(Ipv4Prefix prefix) { local_subnets_.push_back(prefix); }
+
+void Switch::classify(Packet& pkt) const {
+  int code = 0;
+  if (cfg_.classify_mode == ClassifyMode::kVlanPcp) {
+    code = pkt.eth.vlan ? pkt.eth.vlan->pcp : 0;
+  } else if (pkt.ip) {
+    code = pkt.ip->dscp;
+  }
+  const int pg = cfg_.dscp_to_pg[static_cast<std::size_t>(code & 0x7)];
+  pkt.priority = pg;
+  pkt.lossless = cfg_.lossless[static_cast<std::size_t>(pg)];
+}
+
+int Switch::route_lookup(const Packet& pkt) const {
+  if (!pkt.ip) return -1;
+  const Route* best = nullptr;
+  for (const auto& r : routes_) {
+    if (!r.prefix.contains(pkt.ip->dst)) continue;
+    if (best == nullptr || r.prefix.length > best->prefix.length) best = &r;
+  }
+  if (best == nullptr || best->ports.empty()) return -1;
+  if (best->ports.size() == 1) return best->ports[0];
+  if (cfg_.packet_spray) {
+    // §8.1: spray packets round-robin over the group (reorders flows).
+    return best->ports[spray_counter_++ % best->ports.size()];
+  }
+  const std::uint64_t h = five_tuple_hash(pkt, ecmp_seed_);
+  return best->ports[h % best->ports.size()];
+}
+
+void Switch::handle_packet(Packet pkt, int in_port) {
+  // L2 receive filter: we are an IP router on every port, so a frame not
+  // addressed to this port's MAC is dropped (flooded copies of §4.2 that
+  // escaped toward the fabric die here).
+  if (!pkt.eth.dst.is_broadcast() && pkt.eth.dst != port_mac(in_port)) {
+    ++port(in_port).counters().mac_mismatch_drops;
+    return;
+  }
+  // §3: 802.1Q port-mode admission on server-facing ports. A trunk port
+  // drops untagged frames (this is what breaks PXE boot in VLAN-based PFC
+  // deployments); an access port drops tagged ones.
+  if (roles_[static_cast<std::size_t>(in_port)] == PortRole::kServerFacing) {
+    const L2PortMode mode = l2_modes_[static_cast<std::size_t>(in_port)];
+    if ((mode == L2PortMode::kTrunk && !pkt.eth.vlan) ||
+        (mode == L2PortMode::kAccess && pkt.eth.vlan)) {
+      ++l2_mode_drops_;
+      return;
+    }
+  }
+
+  // Hardware MAC learning (§4.2): refreshed by every received packet.
+  mac_.learn(pkt.eth.src, in_port, sim().now());
+
+  if (drop_filter_ && drop_filter_(pkt)) {
+    ++filtered_drops_;
+    return;
+  }
+
+  classify(pkt);
+
+  // §4.3 watchdog: while lossless mode is disabled on a server-facing port,
+  // lossless packets *from* that port are discarded.
+  if (pkt.lossless && watchdog_[static_cast<std::size_t>(in_port)].disabled) {
+    ++port(in_port).counters().ingress_drops;
+    return;
+  }
+
+  // MMU admission on the ingress (port, PG).
+  const auto admission = mmu_->admit(in_port, pkt.priority, pkt.frame_bytes);
+  if (!admission.admitted) {
+    if (pkt.lossless) {
+      ++port(in_port).counters().headroom_overflow_drops;
+    } else {
+      ++port(in_port).counters().ingress_drops;
+    }
+    return;
+  }
+  pkt.mmu_in_port = in_port;
+  pkt.charge = std::shared_ptr<void>(new Charge{this, alive_, in_port, pkt.priority,
+                                                admission.to_shared, admission.to_headroom,
+                                                admission.to_reserved});
+  after_admit(in_port, pkt.priority);
+
+  forward(std::move(pkt), in_port);
+}
+
+void Switch::forward(Packet pkt, int in_port) {
+  if (!pkt.ip || pkt.ip->ttl <= 1) {
+    ++port(in_port).counters().ingress_drops;
+    return;
+  }
+  --pkt.ip->ttl;
+
+  // Locally attached subnet? Deliver via ARP + MAC table.
+  const Ipv4Prefix* local = nullptr;
+  for (const auto& s : local_subnets_) {
+    if (s.contains(pkt.ip->dst) && (local == nullptr || s.length > local->length)) local = &s;
+  }
+  if (local != nullptr) {
+    deliver_local(std::move(pkt), in_port, *local);
+    return;
+  }
+
+  const int out = route_lookup(pkt);
+  if (out < 0 || out == in_port) {
+    ++port(in_port).counters().ingress_drops;
+    return;
+  }
+  // §3's operational problem #2: when VLAN-based PFC traffic is routed
+  // across a subnet boundary, there is no standard way to preserve the
+  // PCP — the rewritten tag carries priority 0, so the packet loses its
+  // lossless class downstream. DSCP rides in the IP header and survives.
+  if (cfg_.classify_mode == ClassifyMode::kVlanPcp && pkt.eth.vlan) {
+    pkt.eth.vlan->pcp = 0;
+  }
+  pkt.eth.src = port_mac(out);
+  pkt.eth.dst = port(out).peer_mac();
+  enqueue_egress(std::move(pkt), out);
+}
+
+void Switch::deliver_local(Packet pkt, int in_port, Ipv4Prefix subnet) {
+  (void)subnet;
+  const auto mac = arp_.lookup(pkt.ip->dst, sim().now());
+  if (!mac) {
+    ++arp_miss_drops_;
+    return;
+  }
+  const auto out = mac_.lookup(*mac, sim().now());
+  if (!out) {
+    // Incomplete ARP entry (§4.2): IP→MAC known, MAC→port expired. Standard
+    // Ethernet floods; the paper's fix drops lossless packets instead.
+    if (cfg_.arp_policy == ArpIncompletePolicy::kDropLossless && pkt.lossless) {
+      ++port(in_port).counters().arp_incomplete_drops;
+      return;
+    }
+    pkt.eth.dst = *mac;
+    flood(std::move(pkt), in_port);
+    return;
+  }
+  pkt.eth.src = port_mac(*out);
+  pkt.eth.dst = *mac;
+  enqueue_egress(std::move(pkt), *out);
+}
+
+void Switch::flood(Packet pkt, int in_port) {
+  ++flood_events_;
+  for (int p = 0; p < port_count(); ++p) {
+    if (p == in_port || !port(p).connected()) continue;
+    Packet copy = pkt;  // copies share the MMU charge token
+    copy.flooded = true;
+    copy.eth.src = port_mac(p);
+    enqueue_egress(std::move(copy), p);
+  }
+}
+
+void Switch::ecn_mark(Packet& pkt, int out_port) const {
+  if (!pkt.ip || pkt.ip->ecn == Ecn::kNotEct || pkt.ip->ecn == Ecn::kCe) return;
+  const auto& ecn = cfg_.ecn[static_cast<std::size_t>(pkt.priority)];
+  if (!ecn.enabled) return;
+  const std::int64_t q = port(out_port).queued_bytes(pkt.priority);
+  if (q < ecn.kmin) return;
+  double p = 1.0;
+  if (q < ecn.kmax) {
+    p = ecn.pmax * static_cast<double>(q - ecn.kmin) / static_cast<double>(ecn.kmax - ecn.kmin);
+  }
+  if (rng_.bernoulli(p)) pkt.ip->ecn = Ecn::kCe;
+}
+
+void Switch::enqueue_egress(Packet pkt, int out_port) {
+  // §4.3 watchdog: lossless packets *to* a disabled port are discarded.
+  if (pkt.lossless && watchdog_[static_cast<std::size_t>(out_port)].disabled) {
+    ++port(out_port).counters().egress_drops;
+    return;
+  }
+  ecn_mark(pkt, out_port);
+  matrix_[midx(pkt.mmu_in_port, out_port, pkt.priority)] += pkt.frame_bytes;
+  port(out_port).enqueue(std::move(pkt));
+}
+
+// --- PFC generation ---------------------------------------------------------
+
+void Switch::after_admit(int in_port, int pg) {
+  if (!cfg_.lossless[static_cast<std::size_t>(pg)]) return;
+  const auto i = idx(in_port, pg);
+  if (!pause_sent_[i] && mmu_->should_pause(in_port, pg)) send_xoff(in_port, pg);
+}
+
+void Switch::after_release(int in_port, int pg) {
+  const auto i = idx(in_port, pg);
+  if (pause_sent_[i] && mmu_->should_resume(in_port, pg)) send_xon(in_port, pg);
+}
+
+void Switch::send_xoff(int port_index, int pg) {
+  const auto i = idx(port_index, pg);
+  pause_sent_[i] = true;
+  send_pause(port_index, pg, 0xffff);
+  const Time refresh = 0xffff * port(port_index).quantum_time() / 2;
+  pause_refresh_[i] = sim().schedule_in(refresh, [this, port_index, pg] {
+    refresh_pause(port_index, pg);
+  });
+}
+
+void Switch::refresh_pause(int port_index, int pg) {
+  const auto i = idx(port_index, pg);
+  if (!pause_sent_[i]) return;
+  if (mmu_->should_resume(port_index, pg)) {
+    send_xon(port_index, pg);
+    return;
+  }
+  send_pause(port_index, pg, 0xffff);
+  const Time refresh = 0xffff * port(port_index).quantum_time() / 2;
+  pause_refresh_[i] = sim().schedule_in(refresh, [this, port_index, pg] {
+    refresh_pause(port_index, pg);
+  });
+}
+
+void Switch::send_xon(int port_index, int pg) {
+  const auto i = idx(port_index, pg);
+  pause_sent_[i] = false;
+  sim().cancel(pause_refresh_[i]);
+  pause_refresh_[i] = kInvalidEventId;
+  send_pause(port_index, pg, 0);
+}
+
+// --- §4.3 switch-side watchdog ----------------------------------------------
+
+void Switch::on_pause_rx(int in_port, const PfcFrame& frame) {
+  auto& wd = watchdog_[static_cast<std::size_t>(in_port)];
+  wd.last_pause_rx = sim().now();
+  if (wd.disabled) {
+    // Lossless mode disabled: ignore pauses from the malfunctioning NIC.
+    for (int p = 0; p < kNumPriorities; ++p) {
+      if (frame.enabled(p)) port(in_port).receive_pause(p, 0);
+    }
+  }
+}
+
+void Switch::watchdog_tick() {
+  const Time now = sim().now();
+  for (int p = 0; p < port_count(); ++p) {
+    if (roles_[static_cast<std::size_t>(p)] != PortRole::kServerFacing) continue;
+    auto& wd = watchdog_[static_cast<std::size_t>(p)];
+    if (wd.disabled) {
+      if (wd.last_pause_rx >= 0 && now - wd.last_pause_rx >= cfg_.watchdog.reenable_after) {
+        wd.disabled = false;
+        wd.condition_since = -1;
+        ROCELAB_LOG_INFO("%s: watchdog re-enabled lossless mode on port %d", name().c_str(), p);
+      }
+      continue;
+    }
+    const bool paused_with_backlog = port(p).total_queued_bytes() > 0 && port(p).fully_blocked();
+    const bool receiving_pauses =
+        wd.last_pause_rx >= 0 && now - wd.last_pause_rx <= 2 * cfg_.watchdog.check_interval;
+    if (paused_with_backlog && receiving_pauses) {
+      if (wd.condition_since < 0) wd.condition_since = now;
+      if (now - wd.condition_since >= cfg_.watchdog.trigger_after) {
+        wd.disabled = true;
+        ++watchdog_trips_;
+        for (int prio = 0; prio < kNumPriorities; ++prio) {
+          if (!cfg_.lossless[static_cast<std::size_t>(prio)]) continue;
+          port(p).receive_pause(prio, 0);  // stop honoring the NIC's pauses
+          port(p).flush_priority(prio);    // discard what it wedged
+        }
+        ROCELAB_LOG_INFO("%s: watchdog disabled lossless mode on port %d", name().c_str(), p);
+      }
+    } else {
+      wd.condition_since = -1;
+    }
+  }
+  watchdog_timer_ = sim().schedule_in(cfg_.watchdog.check_interval, [this] { watchdog_tick(); });
+}
+
+// --- deadlock detection -------------------------------------------------------
+
+DeadlockReport detect_pfc_deadlock(std::span<Switch* const> switches) {
+  struct PortNode {
+    Switch* sw;
+    int port;
+  };
+  std::unordered_map<const Node*, Switch*> by_node;
+  for (Switch* s : switches) by_node[s] = s;
+
+  auto key = [](const Switch* s, int p) {
+    return (static_cast<std::uint64_t>(s->id()) << 16) | static_cast<std::uint64_t>(p);
+  };
+  std::unordered_map<std::uint64_t, std::vector<std::uint64_t>> edges;
+  std::unordered_map<std::uint64_t, PortNode> nodes;
+
+  for (Switch* s : switches) {
+    for (int in = 0; in < s->port_count(); ++in) {
+      if (!s->port(in).connected()) continue;
+      auto it = by_node.find(s->port(in).peer());
+      if (it == by_node.end()) continue;  // upstream is a host
+      Switch* up = it->second;
+      const int up_port = s->port(in).peer_port();
+      for (int pg = 0; pg < kNumPriorities; ++pg) {
+        if (!s->pause_asserted(in, pg)) continue;
+        const auto from = key(up, up_port);
+        nodes.emplace(from, PortNode{up, up_port});
+        for (int out = 0; out < s->port_count(); ++out) {
+          if (s->inflight_bytes(in, out, pg) <= 0) continue;
+          const auto to = key(s, out);
+          nodes.emplace(to, PortNode{s, out});
+          edges[from].push_back(to);
+        }
+      }
+    }
+  }
+
+  // Iterative DFS with colors, recording the cycle path.
+  std::unordered_map<std::uint64_t, int> color;  // 0 white, 1 gray, 2 black
+  std::vector<std::uint64_t> stack;
+  DeadlockReport report;
+
+  std::function<bool(std::uint64_t)> dfs = [&](std::uint64_t u) -> bool {
+    color[u] = 1;
+    stack.push_back(u);
+    for (auto v : edges[u]) {
+      const int c = color[v];
+      if (c == 1) {
+        // Found a cycle: emit it from the first occurrence of v.
+        auto it = std::find(stack.begin(), stack.end(), v);
+        for (; it != stack.end(); ++it) {
+          const auto& pn = nodes.at(*it);
+          report.cycle.emplace_back(pn.sw->name(), pn.port);
+        }
+        return true;
+      }
+      if (c == 0 && dfs(v)) return true;
+    }
+    stack.pop_back();
+    color[u] = 2;
+    return false;
+  };
+
+  for (const auto& [k, _] : nodes) {
+    if (color[k] == 0 && dfs(k)) {
+      report.deadlocked = true;
+      break;
+    }
+  }
+  return report;
+}
+
+}  // namespace rocelab

@@ -1,0 +1,160 @@
+// The switch: shared-buffer MMU admission with PFC generation, DSCP (or
+// VLAN PCP) classification, ECN marking, L3 longest-prefix ECMP forwarding,
+// ARP + MAC-learning delivery with Ethernet flooding on incomplete ARP
+// entries (§4.2), the deadlock fix, and the switch-side PFC storm watchdog
+// (§4.3).
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "src/common/rng.h"
+#include "src/link/node.h"
+#include "src/switch/config.h"
+#include "src/switch/mmu.h"
+#include "src/switch/tables.h"
+
+namespace rocelab {
+
+enum class PortRole { kFabric, kServerFacing };
+
+class Switch : public Node {
+ public:
+  Switch(Simulator& sim, std::string name, SwitchConfig cfg, int num_ports);
+  ~Switch() override;
+
+  // --- configuration surface (§5.1 "running configuration") ---------------
+  [[nodiscard]] const SwitchConfig& config() const { return cfg_; }
+  void set_ecn_config(int pg, EcnConfig ecn) { cfg_.ecn[static_cast<std::size_t>(pg)] = ecn; }
+  /// Live-retune the shared-buffer α (running config + MMU together).
+  void set_buffer_alpha(double alpha) {
+    cfg_.mmu.alpha = alpha;
+    mmu_->set_alpha(alpha);
+  }
+  void set_arp_policy(ArpIncompletePolicy p) { cfg_.arp_policy = p; }
+  void set_port_role(int port, PortRole role) { roles_[static_cast<std::size_t>(port)] = role; }
+  [[nodiscard]] PortRole port_role(int port) const { return roles_[static_cast<std::size_t>(port)]; }
+  /// §3: VLAN-based PFC forces server-facing ports into trunk mode; DSCP-
+  /// based PFC lets them stay in access mode (PXE boot keeps working).
+  void set_port_l2_mode(int port, L2PortMode mode) {
+    l2_modes_[static_cast<std::size_t>(port)] = mode;
+  }
+  [[nodiscard]] L2PortMode port_l2_mode(int port) const {
+    return l2_modes_[static_cast<std::size_t>(port)];
+  }
+  [[nodiscard]] std::int64_t l2_mode_drops() const { return l2_mode_drops_; }
+
+  // --- control plane -------------------------------------------------------
+  /// L3 route: packets matching `prefix` are ECMP-hashed over `ports`.
+  void add_route(Ipv4Prefix prefix, std::vector<int> ports);
+  /// Locally attached subnet, delivered via ARP + MAC table.
+  void add_local_subnet(Ipv4Prefix prefix);
+  ArpTable& arp_table() { return arp_; }
+  MacTable& mac_table() { return mac_; }
+  Mmu& mmu() { return *mmu_; }
+
+  // --- diagnostics ----------------------------------------------------------
+  /// True while this switch asserts PFC XOFF toward the upstream on
+  /// (ingress port, pg).
+  [[nodiscard]] bool pause_asserted(int port, int pg) const {
+    return pause_sent_[idx(port, pg)];
+  }
+  /// Bytes admitted on (in, pg) currently queued at egress `out`.
+  [[nodiscard]] std::int64_t inflight_bytes(int in, int out, int pg) const {
+    return matrix_[midx(in, out, pg)];
+  }
+  [[nodiscard]] bool lossless_disabled(int port) const {
+    return watchdog_[static_cast<std::size_t>(port)].disabled;
+  }
+  [[nodiscard]] std::int64_t watchdog_trips() const { return watchdog_trips_; }
+  [[nodiscard]] std::int64_t flood_events() const { return flood_events_; }
+  [[nodiscard]] std::int64_t arp_miss_drops() const { return arp_miss_drops_; }
+
+  /// Fault injection for §4.1: silently drop packets matching `pred`
+  /// (models FCS errors / switch bugs; the livelock experiment drops
+  /// packets whose IP ID has LSB 0xff).
+  void set_drop_filter(std::function<bool(const Packet&)> pred) { drop_filter_ = std::move(pred); }
+  [[nodiscard]] std::int64_t filtered_drops() const { return filtered_drops_; }
+
+  void on_pause_rx(int in_port, const PfcFrame& frame) override;
+
+ protected:
+  void handle_packet(Packet pkt, int in_port) override;
+
+ private:
+  struct Route {
+    Ipv4Prefix prefix;
+    std::vector<int> ports;
+  };
+  struct Charge;  // MMU accounting token (RAII)
+  struct WatchdogState {
+    bool disabled = false;
+    Time condition_since = -1;
+    Time last_pause_rx = -1;
+  };
+
+  [[nodiscard]] std::size_t idx(int port, int pg) const {
+    return static_cast<std::size_t>(port) * kNumPriorities + static_cast<std::size_t>(pg);
+  }
+  [[nodiscard]] std::size_t midx(int in, int out, int pg) const {
+    return (static_cast<std::size_t>(in) * static_cast<std::size_t>(port_count()) +
+            static_cast<std::size_t>(out)) * kNumPriorities + static_cast<std::size_t>(pg);
+  }
+
+  void classify(Packet& pkt) const;
+  [[nodiscard]] int route_lookup(const Packet& pkt) const;  // -1 if none
+  void forward(Packet pkt, int in_port);
+  void deliver_local(Packet pkt, int in_port, Ipv4Prefix subnet);
+  void flood(Packet pkt, int in_port);
+  void enqueue_egress(Packet pkt, int out_port);
+  void ecn_mark(Packet& pkt, int out_port) const;
+
+  void after_admit(int in_port, int pg);
+  void after_release(int in_port, int pg);
+  void send_xoff(int port, int pg);
+  void send_xon(int port, int pg);
+  void refresh_pause(int port, int pg);
+  void watchdog_tick();
+
+  SwitchConfig cfg_;
+  std::unique_ptr<Mmu> mmu_;
+  ArpTable arp_;
+  MacTable mac_;
+  std::vector<Route> routes_;
+  std::vector<Ipv4Prefix> local_subnets_;
+  std::vector<PortRole> roles_;
+  std::vector<L2PortMode> l2_modes_;
+  std::int64_t l2_mode_drops_ = 0;
+  mutable Rng rng_;
+  std::uint64_t ecmp_seed_;
+  mutable std::uint64_t spray_counter_ = 0;
+
+  std::vector<bool> pause_sent_;          // (port, pg)
+  std::vector<EventId> pause_refresh_;    // (port, pg)
+  std::vector<std::int64_t> matrix_;      // (in, out, pg) queued bytes
+  std::vector<WatchdogState> watchdog_;   // per port
+  std::int64_t watchdog_trips_ = 0;
+  std::int64_t flood_events_ = 0;
+  std::int64_t arp_miss_drops_ = 0;
+  std::function<bool(const Packet&)> drop_filter_;
+  std::int64_t filtered_drops_ = 0;
+  EventId watchdog_timer_ = kInvalidEventId;
+  /// Cleared in the destructor so in-flight Charge tokens become no-ops.
+  std::shared_ptr<bool> alive_;
+};
+
+/// Walk the PFC wait-for graph across `switches` and report whether a cycle
+/// of paused buffer dependencies exists (§4.2). Nodes are egress ports;
+/// there is an edge from a paused egress port to every egress port of the
+/// pausing switch that still holds bytes admitted on the paused link's
+/// ingress. A cycle means no pause in it can ever clear: deadlock.
+struct DeadlockReport {
+  bool deadlocked = false;
+  /// (switch name, egress port) sequence forming the cycle, if any.
+  std::vector<std::pair<std::string, int>> cycle;
+};
+[[nodiscard]] DeadlockReport detect_pfc_deadlock(std::span<Switch* const> switches);
+
+}  // namespace rocelab

@@ -1,0 +1,68 @@
+// The two forwarding tables of §4.2 with their disparate timeouts: the ARP
+// table (IP→MAC, CPU-maintained, 4h default) and the MAC address table
+// (MAC→port, hardware-learned, 5min default). Their mismatch creates the
+// "incomplete ARP entry" that triggers flooding.
+#pragma once
+
+#include <optional>
+#include <unordered_map>
+
+#include "src/common/units.h"
+#include "src/net/addr.h"
+
+namespace rocelab {
+
+/// MAC address table: learned from received packets' source MACs, aged out
+/// after `timeout` without refresh.
+class MacTable {
+ public:
+  explicit MacTable(Time timeout) : timeout_(timeout) {}
+
+  void learn(MacAddr mac, int port, Time now) { entries_[mac] = {port, now}; }
+  [[nodiscard]] std::optional<int> lookup(MacAddr mac, Time now) const {
+    auto it = entries_.find(mac);
+    if (it == entries_.end() || now - it->second.refreshed > timeout_) return std::nullopt;
+    return it->second.port;
+  }
+  /// Simulate aging out (e.g., a server that died `timeout` ago).
+  void expire(MacAddr mac) { entries_.erase(mac); }
+  void set_timeout(Time t) { timeout_ = t; }
+  [[nodiscard]] Time timeout() const { return timeout_; }
+  [[nodiscard]] std::size_t size() const { return entries_.size(); }
+
+ private:
+  struct Entry {
+    int port;
+    Time refreshed;
+  };
+  Time timeout_;
+  std::unordered_map<MacAddr, Entry> entries_;
+};
+
+/// ARP table: IP→MAC for directly attached subnets. Much longer timeout
+/// than the MAC table since refresh involves the switch CPU.
+class ArpTable {
+ public:
+  explicit ArpTable(Time timeout) : timeout_(timeout) {}
+
+  void install(Ipv4Addr ip, MacAddr mac, Time now) { entries_[ip] = {mac, now}; }
+  [[nodiscard]] std::optional<MacAddr> lookup(Ipv4Addr ip, Time now) const {
+    auto it = entries_.find(ip);
+    if (it == entries_.end() || now - it->second.refreshed > timeout_) return std::nullopt;
+    return it->second.mac;
+  }
+  void expire(Ipv4Addr ip) { entries_.erase(ip); }
+  void set_timeout(Time t) { timeout_ = t; }
+  [[nodiscard]] Time timeout() const { return timeout_; }
+  [[nodiscard]] std::size_t size() const { return entries_.size(); }
+
+ private:
+  struct Entry {
+    MacAddr mac;
+    Time refreshed;
+  };
+  Time timeout_;
+  std::unordered_map<Ipv4Addr, Entry> entries_;
+};
+
+}  // namespace rocelab

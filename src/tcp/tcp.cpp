@@ -1,0 +1,310 @@
+#include "src/tcp/tcp.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "src/nic/host.h"
+
+namespace rocelab {
+
+TcpStack::TcpStack(Host& host, TcpConfig defaults) : host_(host), defaults_(defaults) {
+  host_.set_tcp_handler([this](Packet pkt) { handle_segment(std::move(pkt)); });
+}
+
+TcpStack::~TcpStack() = default;
+
+TcpStack::Conn& TcpStack::conn(ConnId id) {
+  auto it = conns_.find(id);
+  if (it == conns_.end()) throw std::invalid_argument("unknown TCP connection");
+  return *it->second;
+}
+
+std::pair<TcpStack::ConnId, TcpStack::ConnId> TcpStack::connect_pair(TcpStack& a, TcpStack& b) {
+  return connect_pair(a, b, a.defaults_);
+}
+
+std::pair<TcpStack::ConnId, TcpStack::ConnId> TcpStack::connect_pair(TcpStack& a, TcpStack& b,
+                                                                     TcpConfig cfg) {
+  auto make = [&cfg](TcpStack& s) -> Conn& {
+    auto c = std::make_unique<Conn>();
+    c->id = s.next_id_++;
+    c->cfg = cfg;
+    c->local_port = s.next_port_++;
+    c->cwnd = cfg.initial_cwnd;
+    c->ssthresh = cfg.max_cwnd;
+    c->rto = cfg.initial_rto;
+    Conn& ref = *c;
+    s.by_port_[ref.local_port] = ref.id;
+    s.conns_[ref.id] = std::move(c);
+    return ref;
+  };
+  Conn& ca = make(a);
+  Conn& cb = make(b);
+  ca.remote_port = cb.local_port;
+  ca.remote_ip = b.host_.ip();
+  ca.peer_stack = &b;
+  ca.peer_conn = cb.id;
+  cb.remote_port = ca.local_port;
+  cb.remote_ip = a.host_.ip();
+  cb.peer_stack = &a;
+  cb.peer_conn = ca.id;
+  return {ca.id, cb.id};
+}
+
+Time TcpStack::kernel_delay(const KernelModel& k) {
+  Time t = k.base + static_cast<Time>(host_.rng().exponential(static_cast<double>(k.jitter_mean)));
+  if (host_.rng().bernoulli(k.spike_prob)) {
+    t += host_.rng().uniform_int(k.spike_min, k.spike_max);
+  }
+  return t;
+}
+
+std::int64_t TcpStack::connection_cwnd(ConnId id) const {
+  auto it = conns_.find(id);
+  if (it == conns_.end()) throw std::invalid_argument("unknown TCP connection");
+  return it->second->cwnd;
+}
+
+void TcpStack::send_message(ConnId id, std::int64_t bytes, std::uint64_t msg_id) {
+  if (bytes <= 0) throw std::invalid_argument("message must have positive size");
+  Conn& c = conn(id);
+  const Time now = host_.sim().now();
+  c.write_end += static_cast<std::uint64_t>(bytes);
+  c.tx_msgs.push_back(TcpMessage{c.write_end, bytes, msg_id, now});
+  // Message framing metadata is shared with the peer endpoint (both ends
+  // live in the simulator); the bytes themselves still flow through TCP.
+  c.peer_stack->conn(c.peer_conn).rx_msgs.push_back(TcpMessage{c.write_end, bytes, msg_id, now});
+  try_send(c);
+}
+
+void TcpStack::try_send(Conn& c) {
+  while (c.snd_nxt < c.write_end &&
+         static_cast<std::int64_t>(c.snd_nxt - c.snd_una) < c.cwnd) {
+    const std::int64_t window_left = c.cwnd - static_cast<std::int64_t>(c.snd_nxt - c.snd_una);
+    const std::int32_t len = static_cast<std::int32_t>(std::min<std::int64_t>(
+        {c.cfg.mss, static_cast<std::int64_t>(c.write_end - c.snd_nxt), window_left}));
+    if (len <= 0) break;
+    send_segment(c, c.snd_nxt, len, /*is_retx=*/false);
+    c.snd_nxt += static_cast<std::uint64_t>(len);
+  }
+}
+
+void TcpStack::send_segment(Conn& c, std::uint64_t seq, std::int32_t len, bool is_retx) {
+  Packet pkt;
+  pkt.kind = PacketKind::kTcp;
+  pkt.created_at = host_.sim().now();
+  pkt.priority = c.cfg.priority;
+  pkt.payload_bytes = len;
+  pkt.frame_bytes = kTcpFrameOverheadBytes + len;
+  Ipv4Header ip;
+  ip.src = host_.ip();
+  ip.dst = c.remote_ip;
+  ip.dscp = c.cfg.dscp;
+  ip.ecn = c.cfg.ecn_capable ? Ecn::kEct0 : Ecn::kNotEct;
+  ip.protocol = kIpProtoTcp;
+  ip.id = host_.next_ip_id();
+  pkt.ip = ip;
+  TcpHeaderMeta h;
+  h.src_port = c.local_port;
+  h.dst_port = c.remote_port;
+  h.seq = seq;
+  h.ack = c.rcv_nxt;
+  h.payload = len;
+  pkt.tcp = h;
+
+  ++stats_.data_segments_sent;
+  if (is_retx) ++stats_.retransmissions;
+
+  // Round-trip timing (Karn's rule: never time a retransmitted segment).
+  if (!is_retx && c.rtt_sent_at < 0) {
+    c.rtt_seq = seq + static_cast<std::uint64_t>(len);
+    c.rtt_sent_at = host_.sim().now();
+  }
+
+  // Kernel send path: per-segment cost + jitter, kept monotonic per
+  // connection so the kernel model itself never reorders the stream.
+  const Time out = std::max(host_.sim().now() + kernel_delay(c.cfg.kernel),
+                            c.last_kernel_out + nanoseconds(1));
+  c.last_kernel_out = out;
+  host_.sim().schedule_at(out, [this, pkt = std::move(pkt)]() mutable {
+    host_.send_frame(std::move(pkt));
+  });
+  arm_rto(c);
+}
+
+void TcpStack::send_ack(Conn& c) {
+  Packet pkt;
+  pkt.kind = PacketKind::kTcp;
+  pkt.created_at = host_.sim().now();
+  pkt.priority = c.cfg.priority;
+  pkt.frame_bytes = kMinEthFrameBytes;
+  Ipv4Header ip;
+  ip.src = host_.ip();
+  ip.dst = c.remote_ip;
+  ip.dscp = c.cfg.dscp;
+  ip.protocol = kIpProtoTcp;
+  ip.id = host_.next_ip_id();
+  pkt.ip = ip;
+  TcpHeaderMeta h;
+  h.src_port = c.local_port;
+  h.dst_port = c.remote_port;
+  h.seq = c.snd_nxt;
+  h.ack = c.rcv_nxt;
+  h.payload = 0;
+  pkt.tcp = h;
+  ++stats_.acks_sent;
+  // ACK generation is cheap relative to the data path: base cost only.
+  host_.sim().schedule_in(c.cfg.kernel.base / 4, [this, pkt = std::move(pkt)]() mutable {
+    host_.send_frame(std::move(pkt));
+  });
+}
+
+void TcpStack::handle_segment(Packet pkt) {
+  if (!pkt.tcp) return;
+  auto it = by_port_.find(pkt.tcp->dst_port);
+  if (it == by_port_.end()) return;
+  Conn& c = conn(it->second);
+  ++stats_.segments_received;
+  if (pkt.tcp->payload > 0) {
+    on_data(c, *pkt.tcp);
+  }
+  on_ack(c, *pkt.tcp);
+}
+
+void TcpStack::on_data(Conn& c, const TcpHeaderMeta& h) {
+  const std::uint64_t seq = h.seq;
+  const std::uint64_t end = seq + static_cast<std::uint64_t>(h.payload);
+  if (end <= c.rcv_nxt) {
+    send_ack(c);  // stale duplicate
+    return;
+  }
+  if (seq <= c.rcv_nxt) {
+    c.rcv_nxt = end;
+    // Merge any contiguous out-of-order runs.
+    auto it2 = c.ooo.begin();
+    while (it2 != c.ooo.end() && it2->first <= c.rcv_nxt) {
+      c.rcv_nxt = std::max(c.rcv_nxt, it2->second);
+      it2 = c.ooo.erase(it2);
+    }
+    deliver_ready(c);
+  } else {
+    c.ooo[seq] = std::max(c.ooo[seq], end);
+  }
+  send_ack(c);
+}
+
+void TcpStack::deliver_ready(Conn& c) {
+  while (!c.rx_msgs.empty() && c.rx_msgs.front().end_seq <= c.rcv_nxt) {
+    const TcpMessage m = c.rx_msgs.front();
+    c.rx_msgs.pop_front();
+    ++stats_.messages_delivered;
+    // Receive path kernel cost before the app sees the message; monotonic
+    // per connection, as a socket delivers in order.
+    const Time at = std::max(host_.sim().now() + kernel_delay(c.cfg.kernel),
+                             c.last_deliver_out + nanoseconds(1));
+    c.last_deliver_out = at;
+    const TcpRecv rec{c.id, m.msg_id, m.bytes, m.posted_at, at};
+    host_.sim().schedule_at(at, [this, rec] {
+      if (recv_cb_) recv_cb_(rec);
+    });
+  }
+}
+
+void TcpStack::on_ack(Conn& c, const TcpHeaderMeta& h) {
+  const std::uint64_t ack = h.ack;
+  if (ack > c.snd_nxt) return;  // nonsense
+  if (ack > c.snd_una) {
+    // RTT sample.
+    if (c.rtt_sent_at >= 0 && ack >= c.rtt_seq) {
+      rtt_sample(c, host_.sim().now() - c.rtt_sent_at);
+      c.rtt_sent_at = -1;
+    }
+    const std::int64_t acked = static_cast<std::int64_t>(ack - c.snd_una);
+    c.snd_una = ack;
+    c.backoff = 0;
+    c.dupacks = 0;
+    // Drop acked message records (sender side).
+    while (!c.tx_msgs.empty() && c.tx_msgs.front().end_seq <= c.snd_una) {
+      stats_.bytes_delivered += c.tx_msgs.front().bytes;
+      c.tx_msgs.pop_front();
+    }
+    if (c.fast_recovery) {
+      if (ack >= c.recover) {
+        c.fast_recovery = false;
+        c.cwnd = c.ssthresh;
+      } else {
+        // NewReno partial ACK: retransmit the next hole, deflate.
+        send_segment(c, c.snd_una,
+                     static_cast<std::int32_t>(std::min<std::uint64_t>(
+                         static_cast<std::uint64_t>(c.cfg.mss), c.write_end - c.snd_una)),
+                     /*is_retx=*/true);
+        c.cwnd = std::max<std::int64_t>(c.cwnd - acked + c.cfg.mss, c.cfg.mss);
+      }
+    } else if (c.cwnd < c.ssthresh) {
+      c.cwnd = std::min<std::int64_t>(c.cwnd + std::min<std::int64_t>(acked, c.cfg.mss),
+                                      c.cfg.max_cwnd);  // slow start
+    } else {
+      c.cwnd = std::min<std::int64_t>(
+          c.cwnd + std::max<std::int64_t>(1, c.cfg.mss * c.cfg.mss / c.cwnd), c.cfg.max_cwnd);
+    }
+    arm_rto(c);
+    try_send(c);
+    return;
+  }
+  if (ack == c.snd_una && c.snd_nxt > c.snd_una && h.payload == 0) {
+    ++c.dupacks;
+    if (c.dupacks == 3 && !c.fast_recovery) {
+      ++stats_.fast_retransmits;
+      c.ssthresh = std::max<std::int64_t>((c.snd_nxt - c.snd_una) / 2, 2 * c.cfg.mss);
+      send_segment(c, c.snd_una,
+                   static_cast<std::int32_t>(std::min<std::uint64_t>(
+                       static_cast<std::uint64_t>(c.cfg.mss), c.write_end - c.snd_una)),
+                   /*is_retx=*/true);
+      c.cwnd = c.ssthresh + 3 * c.cfg.mss;
+      c.fast_recovery = true;
+      c.recover = c.snd_nxt;
+    } else if (c.dupacks > 3) {
+      c.cwnd += c.cfg.mss;  // inflation
+      try_send(c);
+    }
+  }
+}
+
+void TcpStack::rtt_sample(Conn& c, Time r) {
+  if (c.srtt < 0) {
+    c.srtt = r;
+    c.rttvar = r / 2;
+  } else {
+    const Time err = std::abs(c.srtt - r);
+    c.rttvar = (3 * c.rttvar + err) / 4;
+    c.srtt = (7 * c.srtt + r) / 8;
+  }
+  c.rto = std::max(c.cfg.min_rto, c.srtt + 4 * c.rttvar);
+}
+
+void TcpStack::arm_rto(Conn& c) {
+  host_.sim().cancel(c.rto_ev);
+  c.rto_ev = kInvalidEventId;
+  if (c.snd_una >= c.snd_nxt) return;
+  const Time delay = c.rto << std::min(c.backoff, 6);
+  const ConnId id = c.id;
+  c.rto_ev = host_.sim().schedule_in(delay, [this, id] { on_rto(id); });
+}
+
+void TcpStack::on_rto(ConnId id) {
+  Conn& c = conn(id);
+  c.rto_ev = kInvalidEventId;
+  if (c.snd_una >= c.snd_nxt) return;
+  ++stats_.timeouts;
+  ++c.backoff;
+  c.ssthresh = std::max<std::int64_t>((c.snd_nxt - c.snd_una) / 2, 2 * c.cfg.mss);
+  c.cwnd = c.cfg.mss;
+  c.snd_nxt = c.snd_una;
+  c.dupacks = 0;
+  c.fast_recovery = false;
+  c.rtt_sent_at = -1;
+  try_send(c);
+  arm_rto(c);
+}
+
+}  // namespace rocelab

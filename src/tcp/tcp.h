@@ -1,0 +1,152 @@
+// TCP baseline: a NewReno-style stack with slow start, AIMD congestion
+// avoidance, fast retransmit/recovery, RTO with Karn backoff, and a kernel
+// latency model (per-segment processing cost, jitter, and rare multi-ms
+// scheduling spikes — the "kernel software latency" of §1/[21]).
+//
+// TCP rides a lossy traffic class: switches tail-drop it, and it recovers
+// via retransmission — exactly the behaviour Fig. 6 compares RDMA against.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <memory>
+#include <unordered_map>
+
+#include "src/common/units.h"
+#include "src/net/packet.h"
+#include "src/sim/simulator.h"
+
+namespace rocelab {
+
+class Host;
+
+struct KernelModel {
+  Time base = microseconds(15);          // per-segment syscall/stack cost
+  Time jitter_mean = microseconds(40);   // exponential jitter (softirq, locks)
+  double spike_prob = 3e-4;              // rare scheduling delay ([21]: up to tens of ms)
+  Time spike_min = milliseconds(1);
+  Time spike_max = milliseconds(8);
+};
+
+struct TcpConfig {
+  std::int32_t mss = 1460;
+  std::int64_t initial_cwnd = 10 * 1460;
+  std::int64_t max_cwnd = 1 * kMiB;      // receive window clamp
+  Time min_rto = milliseconds(5);
+  Time initial_rto = milliseconds(5);
+  int priority = 1;                      // lossy traffic class (§2: TCP isolated)
+  std::uint8_t dscp = 1;
+  bool ecn_capable = false;
+  KernelModel kernel;
+};
+
+struct TcpRecv {
+  std::uint32_t conn = 0;
+  std::uint64_t msg_id = 0;
+  std::int64_t bytes = 0;
+  Time posted_at = 0;
+  Time delivered_at = 0;
+};
+
+struct TcpStats {
+  std::int64_t data_segments_sent = 0;
+  std::int64_t acks_sent = 0;
+  std::int64_t segments_received = 0;
+  std::int64_t retransmissions = 0;
+  std::int64_t fast_retransmits = 0;
+  std::int64_t timeouts = 0;
+  std::int64_t bytes_delivered = 0;
+  std::int64_t messages_delivered = 0;
+};
+
+class TcpStack {
+ public:
+  using ConnId = std::uint32_t;
+  using RecvCb = std::function<void(const TcpRecv&)>;
+
+  explicit TcpStack(Host& host, TcpConfig defaults = {});
+  ~TcpStack();
+  TcpStack(const TcpStack&) = delete;
+  TcpStack& operator=(const TcpStack&) = delete;
+
+  /// Queue an application message on the connection byte stream. The
+  /// receiver's RecvCb fires when the last byte is delivered in order.
+  void send_message(ConnId conn, std::int64_t bytes, std::uint64_t msg_id = 0);
+  void set_recv_cb(RecvCb cb) { recv_cb_ = std::move(cb); }
+
+  [[nodiscard]] const TcpStats& stats() const { return stats_; }
+  [[nodiscard]] std::int64_t connection_cwnd(ConnId conn) const;
+  [[nodiscard]] Host& host() { return host_; }
+
+  /// Establish a connected pair between two hosts (handshake abstracted).
+  static std::pair<ConnId, ConnId> connect_pair(TcpStack& a, TcpStack& b);
+  static std::pair<ConnId, ConnId> connect_pair(TcpStack& a, TcpStack& b, TcpConfig cfg);
+
+ private:
+  struct TcpMessage {
+    std::uint64_t end_seq;
+    std::int64_t bytes;
+    std::uint64_t msg_id;
+    Time posted_at;
+  };
+  struct Conn {
+    std::uint32_t id = 0;
+    TcpConfig cfg;
+    std::uint16_t local_port = 0;
+    std::uint16_t remote_port = 0;
+    Ipv4Addr remote_ip{};
+    TcpStack* peer_stack = nullptr;
+    std::uint32_t peer_conn = 0;
+
+    // Sender state.
+    std::uint64_t snd_una = 0;
+    std::uint64_t snd_nxt = 0;
+    std::uint64_t write_end = 0;  // bytes the app has queued
+    std::int64_t cwnd = 0;
+    std::int64_t ssthresh = 0;
+    int dupacks = 0;
+    bool fast_recovery = false;
+    std::uint64_t recover = 0;
+    Time srtt = -1;
+    Time rttvar = 0;
+    Time rto = 0;
+    int backoff = 0;
+    std::uint64_t rtt_seq = 0;  // sequence being timed (Karn: one at a time)
+    Time rtt_sent_at = -1;
+    EventId rto_ev = kInvalidEventId;
+    Time last_kernel_out = 0;   // keeps kernel-delayed segments in order
+    Time last_deliver_out = 0;  // keeps app deliveries in order
+    std::deque<TcpMessage> tx_msgs;
+
+    // Receiver state.
+    std::uint64_t rcv_nxt = 0;
+    std::map<std::uint64_t, std::uint64_t> ooo;  // seq -> end
+    std::deque<TcpMessage> rx_msgs;
+  };
+
+  Conn& conn(ConnId id);
+  void handle_segment(Packet pkt);
+  void on_data(Conn& c, const TcpHeaderMeta& h);
+  void on_ack(Conn& c, const TcpHeaderMeta& h);
+  void try_send(Conn& c);
+  void send_segment(Conn& c, std::uint64_t seq, std::int32_t len, bool is_retx);
+  void send_ack(Conn& c);
+  void arm_rto(Conn& c);
+  void on_rto(ConnId id);
+  void rtt_sample(Conn& c, Time r);
+  [[nodiscard]] Time kernel_delay(const KernelModel& k);
+  void deliver_ready(Conn& c);
+
+  Host& host_;
+  TcpConfig defaults_;
+  std::unordered_map<ConnId, std::unique_ptr<Conn>> conns_;
+  std::unordered_map<std::uint16_t, ConnId> by_port_;
+  ConnId next_id_ = 1;
+  std::uint16_t next_port_ = 10000;
+  RecvCb recv_cb_;
+  TcpStats stats_;
+};
+
+}  // namespace rocelab

@@ -1,0 +1,119 @@
+#include "src/topo/clos.h"
+
+#include <stdexcept>
+#include <string>
+
+namespace rocelab {
+
+ClosFabric::ClosFabric(const ClosParams& p) : params_(p) {
+  if (p.spines > 0 && p.spines % p.leaves_per_podset != 0) {
+    throw std::invalid_argument("spines must be a multiple of leaves_per_podset");
+  }
+  const int spines_per_leaf = p.spines > 0 ? p.spines / p.leaves_per_podset : 0;
+  const Time server_delay = propagation_delay_for_meters(p.server_cable_m);
+  const Time tor_leaf_delay = propagation_delay_for_meters(p.tor_leaf_m);
+  const Time leaf_spine_delay = propagation_delay_for_meters(p.leaf_spine_m);
+
+  // --- create switches -------------------------------------------------------
+  servers_.resize(static_cast<std::size_t>(p.podsets));
+  tors_.resize(static_cast<std::size_t>(p.podsets));
+  leaves_.resize(static_cast<std::size_t>(p.podsets));
+  for (int ps = 0; ps < p.podsets; ++ps) {
+    for (int t = 0; t < p.tors_per_podset; ++t) {
+      auto& sw = fabric_.add_switch("tor-" + std::to_string(ps) + "-" + std::to_string(t),
+                                    p.tor_config, p.servers_per_tor + p.leaves_per_podset);
+      tors_[static_cast<std::size_t>(ps)].push_back(&sw);
+    }
+    for (int l = 0; l < p.leaves_per_podset; ++l) {
+      auto& sw = fabric_.add_switch("leaf-" + std::to_string(ps) + "-" + std::to_string(l),
+                                    p.leaf_config, p.tors_per_podset + spines_per_leaf);
+      leaves_[static_cast<std::size_t>(ps)].push_back(&sw);
+    }
+  }
+  for (int s = 0; s < p.spines; ++s) {
+    auto& sw = fabric_.add_switch("spine-" + std::to_string(s), p.spine_config, p.podsets);
+    spines_.push_back(&sw);
+  }
+
+  // --- servers + ToR <-> server wiring -----------------------------------------
+  for (int ps = 0; ps < p.podsets; ++ps) {
+    servers_[static_cast<std::size_t>(ps)].resize(static_cast<std::size_t>(p.tors_per_podset));
+    for (int t = 0; t < p.tors_per_podset; ++t) {
+      Switch& tor_sw = tor(ps, t);
+      tor_sw.add_local_subnet(Ipv4Prefix{Ipv4Addr::from_octets(10, static_cast<std::uint8_t>(ps),
+                                                               static_cast<std::uint8_t>(t), 0),
+                                         24});
+      for (int i = 0; i < p.servers_per_tor; ++i) {
+        auto& h = fabric_.add_host("srv-" + std::to_string(ps) + "-" + std::to_string(t) + "-" +
+                                       std::to_string(i),
+                                   p.host_config);
+        h.set_ip(server_ip(ps, t, i));
+        fabric_.attach_host(h, tor_sw, i, p.link_bw, server_delay);
+        servers_[static_cast<std::size_t>(ps)][static_cast<std::size_t>(t)].push_back(&h);
+      }
+    }
+  }
+
+  // --- ToR <-> Leaf wiring + routes ----------------------------------------------
+  for (int ps = 0; ps < p.podsets; ++ps) {
+    for (int t = 0; t < p.tors_per_podset; ++t) {
+      Switch& tor_sw = tor(ps, t);
+      std::vector<int> uplinks;
+      for (int l = 0; l < p.leaves_per_podset; ++l) {
+        const int tor_port = p.servers_per_tor + l;
+        fabric_.attach_switches(tor_sw, tor_port, leaf(ps, l), t, p.link_bw, tor_leaf_delay);
+        uplinks.push_back(tor_port);
+      }
+      tor_sw.add_route(Ipv4Prefix{Ipv4Addr{}, 0}, uplinks);  // default: up, ECMP
+    }
+    for (int l = 0; l < p.leaves_per_podset; ++l) {
+      Switch& leaf_sw = leaf(ps, l);
+      for (int t = 0; t < p.tors_per_podset; ++t) {
+        leaf_sw.add_route(Ipv4Prefix{Ipv4Addr::from_octets(10, static_cast<std::uint8_t>(ps),
+                                                           static_cast<std::uint8_t>(t), 0),
+                                     24},
+                          {t});
+      }
+    }
+  }
+
+  // --- Leaf <-> Spine wiring + routes ---------------------------------------------
+  if (p.spines > 0) {
+    for (int ps = 0; ps < p.podsets; ++ps) {
+      for (int l = 0; l < p.leaves_per_podset; ++l) {
+        Switch& leaf_sw = leaf(ps, l);
+        std::vector<int> uplinks;
+        for (int k = 0; k < spines_per_leaf; ++k) {
+          const int spine_index = l * spines_per_leaf + k;
+          const int leaf_port = p.tors_per_podset + k;
+          fabric_.attach_switches(leaf_sw, leaf_port, spine(spine_index), ps, p.link_bw,
+                                  leaf_spine_delay);
+          uplinks.push_back(leaf_port);
+        }
+        leaf_sw.add_route(Ipv4Prefix{Ipv4Addr{}, 0}, uplinks);  // default: up, ECMP
+      }
+    }
+    for (int s = 0; s < p.spines; ++s) {
+      for (int ps = 0; ps < p.podsets; ++ps) {
+        spine(s).add_route(
+            Ipv4Prefix{Ipv4Addr::from_octets(10, static_cast<std::uint8_t>(ps), 0, 0), 16}, {ps});
+      }
+    }
+  }
+}
+
+std::vector<const EgressPort*> ClosFabric::leaf_spine_ports() const {
+  std::vector<const EgressPort*> out;
+  const int spines_per_leaf =
+      params_.spines > 0 ? params_.spines / params_.leaves_per_podset : 0;
+  for (const auto& podset : leaves_) {
+    for (const Switch* leaf_sw : podset) {
+      for (int k = 0; k < spines_per_leaf; ++k) {
+        out.push_back(&leaf_sw->port(params_.tors_per_podset + k));
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace rocelab

@@ -1,0 +1,78 @@
+// Clos fabric builder matching §2 / Fig. 1 and the experiment topologies of
+// Fig. 7 (two podsets, three tiers) and Fig. 8 (one podset, two tiers).
+//
+// Structure per podset: `tors_per_podset` ToRs each with
+// `servers_per_tor` servers and one uplink to each of the podset's
+// `leaves_per_podset` Leaf switches. Each Leaf has `spines / leaves_per_podset`
+// uplinks; Spine k connects to leaf (k / spines_per_leaf) of every podset.
+// Routing is up-down: ToRs default-route over their leaf uplinks (ECMP),
+// leaves route podset subnets down and default-route over spines (ECMP),
+// spines route podset prefixes down. IPs: server i of ToR t in podset p is
+// 10.p.t.(i+1), subnet 10.p.t.0/24.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "src/topo/fabric.h"
+
+namespace rocelab {
+
+struct ClosParams {
+  int podsets = 2;
+  int leaves_per_podset = 4;
+  int tors_per_podset = 24;
+  int servers_per_tor = 24;
+  int spines = 64;  // 0 => two-tier fabric (no spine layer)
+  Bandwidth link_bw = gbps(40);
+  double server_cable_m = 2.0;
+  double tor_leaf_m = 20.0;
+  double leaf_spine_m = 300.0;
+  SwitchConfig tor_config;
+  SwitchConfig leaf_config;
+  SwitchConfig spine_config;
+  HostConfig host_config;
+};
+
+class ClosFabric {
+ public:
+  explicit ClosFabric(const ClosParams& params);
+
+  Fabric& fabric() { return fabric_; }
+  Simulator& sim() { return fabric_.sim(); }
+  [[nodiscard]] const ClosParams& params() const { return params_; }
+
+  [[nodiscard]] Host& server(int podset, int tor, int i) {
+    return *servers_[static_cast<std::size_t>(podset)][static_cast<std::size_t>(tor)]
+                    [static_cast<std::size_t>(i)];
+  }
+  [[nodiscard]] Switch& tor(int podset, int t) {
+    return *tors_[static_cast<std::size_t>(podset)][static_cast<std::size_t>(t)];
+  }
+  [[nodiscard]] Switch& leaf(int podset, int l) {
+    return *leaves_[static_cast<std::size_t>(podset)][static_cast<std::size_t>(l)];
+  }
+  [[nodiscard]] Switch& spine(int s) { return *spines_[static_cast<std::size_t>(s)]; }
+
+  [[nodiscard]] int num_servers() const {
+    return params_.podsets * params_.tors_per_podset * params_.servers_per_tor;
+  }
+  /// All leaf->spine EgressPorts (the Fig. 7 bottleneck links).
+  [[nodiscard]] std::vector<const EgressPort*> leaf_spine_ports() const;
+
+  static Ipv4Addr server_ip(int podset, int tor, int i) {
+    return Ipv4Addr::from_octets(10, static_cast<std::uint8_t>(podset),
+                                 static_cast<std::uint8_t>(tor),
+                                 static_cast<std::uint8_t>(i + 1));
+  }
+
+ private:
+  ClosParams params_;
+  Fabric fabric_;
+  std::vector<std::vector<std::vector<Host*>>> servers_;
+  std::vector<std::vector<Switch*>> tors_;
+  std::vector<std::vector<Switch*>> leaves_;
+  std::vector<Switch*> spines_;
+};
+
+}  // namespace rocelab

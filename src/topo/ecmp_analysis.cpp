@@ -1,0 +1,177 @@
+#include "src/topo/ecmp_analysis.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "src/net/packet.h"
+
+namespace rocelab {
+
+std::vector<double> max_min_rates(const std::vector<std::vector<int>>& flow_links,
+                                  const std::vector<double>& link_capacity) {
+  const std::size_t nf = flow_links.size();
+  const std::size_t nl = link_capacity.size();
+  std::vector<double> rate(nf, 0.0);
+  std::vector<bool> frozen(nf, false);
+  std::vector<double> cap_left(link_capacity);
+  std::vector<int> unfrozen_count(nl, 0);
+  for (std::size_t f = 0; f < nf; ++f) {
+    for (int l : flow_links[f]) ++unfrozen_count[static_cast<std::size_t>(l)];
+  }
+
+  std::size_t remaining = nf;
+  while (remaining > 0) {
+    // Find the tightest link.
+    double best_share = std::numeric_limits<double>::infinity();
+    std::size_t best_link = nl;
+    for (std::size_t l = 0; l < nl; ++l) {
+      if (unfrozen_count[l] == 0) continue;
+      const double share = cap_left[l] / unfrozen_count[l];
+      if (share < best_share) {
+        best_share = share;
+        best_link = l;
+      }
+    }
+    if (best_link == nl) break;  // flows with no links
+    // Freeze every unfrozen flow crossing it at the fair share.
+    for (std::size_t f = 0; f < nf; ++f) {
+      if (frozen[f]) continue;
+      bool on_link = false;
+      for (int l : flow_links[f]) {
+        if (static_cast<std::size_t>(l) == best_link) {
+          on_link = true;
+          break;
+        }
+      }
+      if (!on_link) continue;
+      frozen[f] = true;
+      rate[f] = best_share;
+      --remaining;
+      for (int l : flow_links[f]) {
+        cap_left[static_cast<std::size_t>(l)] -= best_share;
+        --unfrozen_count[static_cast<std::size_t>(l)];
+      }
+    }
+    cap_left[best_link] = 0;
+    unfrozen_count[best_link] = 0;
+  }
+  return rate;
+}
+
+std::vector<double> bottleneck_share_rates(const std::vector<std::vector<int>>& flow_links,
+                                           const std::vector<double>& link_capacity) {
+  std::vector<int> count(link_capacity.size(), 0);
+  for (const auto& links : flow_links) {
+    for (int l : links) ++count[static_cast<std::size_t>(l)];
+  }
+  std::vector<double> rate(flow_links.size(), 0.0);
+  for (std::size_t f = 0; f < flow_links.size(); ++f) {
+    double share = std::numeric_limits<double>::infinity();
+    for (int l : flow_links[f]) {
+      const auto i = static_cast<std::size_t>(l);
+      share = std::min(share, link_capacity[i] / count[i]);
+    }
+    rate[f] = flow_links[f].empty() ? 0.0 : share;
+  }
+  return rate;
+}
+
+EcmpAnalysisResult analyze_clos_ecmp(const EcmpAnalysisParams& p) {
+  // Directed link ids for one traffic direction (src podset -> dst podset):
+  //   src NIC            : per (src podset, tor, server)
+  //   ToR uplink         : per (src podset, tor, leaf)
+  //   leaf-spine up      : per (src podset, leaf, spine slot)
+  //   spine-leaf down    : per (dst podset, leaf, spine slot)
+  //   leaf-ToR down      : per (dst podset, tor, leaf)
+  //   dst NIC            : per (dst podset, tor, server)
+  // Both traffic directions exist when bidirectional; all ids are distinct
+  // because they are direction-qualified.
+  std::vector<double> caps;
+  std::vector<std::vector<int>> flows;
+  auto new_link = [&caps](Bandwidth bw) {
+    caps.push_back(static_cast<double>(bw) / 1e9);
+    return static_cast<int>(caps.size()) - 1;
+  };
+
+  struct DirIds {
+    std::vector<int> src_nic, dst_nic;       // [tor*servers + s]
+    std::vector<int> tor_up, tor_down;       // [tor*leaves + l]
+    std::vector<int> leaf_up, leaf_down;     // [leaf*spl + k]
+  };
+  const int dirs = p.bidirectional ? 2 : 1;
+  std::vector<DirIds> ids(static_cast<std::size_t>(dirs));
+  for (int d = 0; d < dirs; ++d) {
+    auto& v = ids[static_cast<std::size_t>(d)];
+    for (int i = 0; i < p.tor_pairs * p.servers_per_tor; ++i) {
+      v.src_nic.push_back(new_link(p.nic_bw));
+      v.dst_nic.push_back(new_link(p.nic_bw));
+    }
+    for (int i = 0; i < p.tor_pairs * p.leaves; ++i) {
+      v.tor_up.push_back(new_link(p.link_bw));
+      v.tor_down.push_back(new_link(p.link_bw));
+    }
+    for (int i = 0; i < p.leaves * p.spines_per_leaf; ++i) {
+      v.leaf_up.push_back(new_link(p.link_bw));
+      v.leaf_down.push_back(new_link(p.link_bw));
+    }
+  }
+
+  std::vector<double> leaf_spine_flow_count(
+      static_cast<std::size_t>(dirs * p.leaves * p.spines_per_leaf), 0.0);
+
+  std::uint64_t h = p.seed;
+  for (int d = 0; d < dirs; ++d) {
+    auto& v = ids[static_cast<std::size_t>(d)];
+    for (int t = 0; t < p.tor_pairs; ++t) {
+      for (int s = 0; s < p.servers_per_tor; ++s) {
+        for (int c = 0; c < p.conns_per_server; ++c) {
+          // Per-connection ECMP choices: leaf at the ToR, spine at the leaf.
+          // Independent hashes per tier model per-switch hash seeds.
+          h = mix64(h + 0x9e37);
+          const int leaf = static_cast<int>(h % static_cast<std::uint64_t>(p.leaves));
+          h = mix64(h);
+          const int k = static_cast<int>(h % static_cast<std::uint64_t>(p.spines_per_leaf));
+          const int srv = t * p.servers_per_tor + s;
+          const int tl = t * p.leaves + leaf;
+          const int lk = leaf * p.spines_per_leaf + k;
+          flows.push_back({v.src_nic[static_cast<std::size_t>(srv)],
+                           v.tor_up[static_cast<std::size_t>(tl)],
+                           v.leaf_up[static_cast<std::size_t>(lk)],
+                           v.leaf_down[static_cast<std::size_t>(lk)],
+                           v.tor_down[static_cast<std::size_t>(tl)],
+                           v.dst_nic[static_cast<std::size_t>(srv)]});
+          leaf_spine_flow_count[static_cast<std::size_t>(d * p.leaves * p.spines_per_leaf + lk)] +=
+              1.0;
+        }
+      }
+    }
+  }
+
+  const auto rates = bottleneck_share_rates(flows, caps);
+  const auto maxmin = max_min_rates(flows, caps);
+
+  EcmpAnalysisResult r;
+  r.total_connections = static_cast<int>(flows.size());
+  for (double x : rates) r.aggregate_bottleneck_gbps += x;
+  for (double x : maxmin) r.aggregate_maxmin_gbps += x;
+  // Uniform-rate model: the fabric-wide per-connection rate is the equal
+  // share of the single most-collided link.
+  double worst_share = std::numeric_limits<double>::infinity();
+  for (double x : rates) worst_share = std::min(worst_share, x);
+  r.aggregate_gbps = worst_share * static_cast<double>(flows.size());
+  // Fig. 7's capacity figure: the 128 leaf-spine links (64 per podset).
+  r.capacity_gbps = static_cast<double>(dirs * p.leaves * p.spines_per_leaf) *
+                    static_cast<double>(p.link_bw) / 1e9;
+  r.utilization = r.aggregate_gbps / r.capacity_gbps;
+  r.utilization_bottleneck = r.aggregate_bottleneck_gbps / r.capacity_gbps;
+  r.utilization_maxmin = r.aggregate_maxmin_gbps / r.capacity_gbps;
+  r.max_leaf_spine_flows =
+      *std::max_element(leaf_spine_flow_count.begin(), leaf_spine_flow_count.end());
+  r.min_leaf_spine_flows =
+      *std::min_element(leaf_spine_flow_count.begin(), leaf_spine_flow_count.end());
+  r.mean_per_server_gbps =
+      r.aggregate_gbps / static_cast<double>(dirs * p.tor_pairs * p.servers_per_tor);
+  return r;
+}
+
+}  // namespace rocelab

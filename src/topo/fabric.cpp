@@ -1,0 +1,55 @@
+#include "src/topo/fabric.h"
+
+#include <stdexcept>
+
+namespace rocelab {
+
+Host& Fabric::add_host(std::string name, HostConfig cfg) {
+  hosts_.push_back(std::make_unique<Host>(sim_, name, cfg));
+  hosts_by_name_[name] = hosts_.back().get();
+  return *hosts_.back();
+}
+
+Switch& Fabric::add_switch(std::string name, SwitchConfig cfg, int num_ports) {
+  switches_.push_back(std::make_unique<Switch>(sim_, name, cfg, num_ports));
+  switches_by_name_[name] = switches_.back().get();
+  return *switches_.back();
+}
+
+void Fabric::attach_host(Host& h, Switch& sw, int sw_port, Bandwidth bw, Time prop_delay) {
+  connect_nodes(h, 0, sw, sw_port, bw, prop_delay);
+  sw.set_port_role(sw_port, PortRole::kServerFacing);
+  sw.arp_table().install(h.ip(), h.mac(), sim_.now());
+  sw.mac_table().learn(h.mac(), sw_port, sim_.now());
+}
+
+void Fabric::attach_switches(Switch& a, int pa, Switch& b, int pb, Bandwidth bw,
+                             Time prop_delay) {
+  connect_nodes(a, pa, b, pb, bw, prop_delay);
+}
+
+void Fabric::kill_host(Host& h) {
+  h.set_dead(true);
+  if (!h.port(0).connected()) return;
+  auto* tor = dynamic_cast<Switch*>(h.port(0).peer());
+  if (tor != nullptr) tor->mac_table().expire(h.mac());
+}
+
+Host* Fabric::host_by_name(const std::string& name) const {
+  auto it = hosts_by_name_.find(name);
+  return it == hosts_by_name_.end() ? nullptr : it->second;
+}
+
+Switch* Fabric::switch_by_name(const std::string& name) const {
+  auto it = switches_by_name_.find(name);
+  return it == switches_by_name_.end() ? nullptr : it->second;
+}
+
+std::vector<Switch*> Fabric::switch_ptrs() const {
+  std::vector<Switch*> out;
+  out.reserve(switches_.size());
+  for (const auto& s : switches_) out.push_back(s.get());
+  return out;
+}
+
+}  // namespace rocelab

@@ -1,0 +1,54 @@
+// Fabric: owns the simulator and every node, and provides wiring helpers
+// (host attachment installs ARP entries, MAC entries, port roles, and the
+// gateway convention).
+#pragma once
+
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "src/nic/host.h"
+#include "src/sim/simulator.h"
+#include "src/switch/sw.h"
+
+namespace rocelab {
+
+class Fabric {
+ public:
+  Fabric() = default;
+  Fabric(const Fabric&) = delete;
+  Fabric& operator=(const Fabric&) = delete;
+
+  Simulator& sim() { return sim_; }
+
+  Host& add_host(std::string name, HostConfig cfg = {});
+  Switch& add_switch(std::string name, SwitchConfig cfg, int num_ports);
+
+  /// Wire a host's port 0 to `sw_port`, mark the port server-facing, and
+  /// install the host's ARP + MAC entries at the switch.
+  void attach_host(Host& h, Switch& sw, int sw_port, Bandwidth bw, Time prop_delay);
+
+  /// Wire two switches.
+  void attach_switches(Switch& a, int pa, Switch& b, int pb, Bandwidth bw, Time prop_delay);
+
+  /// Kill a server (§4.2 "dead server"): it stops sending/receiving and —
+  /// as if the 5-minute MAC aging elapsed — its MAC table entry at the ToR
+  /// disappears while the 4-hour ARP entry stays.
+  void kill_host(Host& h);
+
+  [[nodiscard]] const std::vector<std::unique_ptr<Host>>& hosts() const { return hosts_; }
+  [[nodiscard]] const std::vector<std::unique_ptr<Switch>>& switches() const { return switches_; }
+  [[nodiscard]] Host* host_by_name(const std::string& name) const;
+  [[nodiscard]] Switch* switch_by_name(const std::string& name) const;
+  [[nodiscard]] std::vector<Switch*> switch_ptrs() const;
+
+ private:
+  Simulator sim_;
+  std::vector<std::unique_ptr<Host>> hosts_;
+  std::vector<std::unique_ptr<Switch>> switches_;
+  std::unordered_map<std::string, Host*> hosts_by_name_;
+  std::unordered_map<std::string, Switch*> switches_by_name_;
+};
+
+}  // namespace rocelab

@@ -1,0 +1,283 @@
+// E11 — the packet formats of Fig. 2/3, byte-exact.
+#include <gtest/gtest.h>
+
+#include "src/net/codec.h"
+
+namespace rocelab {
+namespace {
+
+Packet sample_roce_packet(int priority = 3) {
+  Packet pkt;
+  pkt.kind = PacketKind::kRoceData;
+  pkt.payload_bytes = 1024;
+  pkt.frame_bytes = 1086;
+  pkt.priority = priority;
+  Ipv4Header ip;
+  ip.src = Ipv4Addr::from_octets(10, 0, 0, 1);
+  ip.dst = Ipv4Addr::from_octets(10, 0, 1, 2);
+  ip.ttl = 64;
+  ip.id = 0x1234;
+  ip.ecn = Ecn::kEct0;
+  pkt.ip = ip;
+  pkt.udp = UdpHeader{51234, kRoceUdpPort, 0};
+  RoceBth bth;
+  bth.opcode = RoceOpcode::kSendMiddle;
+  bth.dest_qp = 0x00abcd;
+  bth.psn = 0x123456;
+  bth.ack_request = true;
+  pkt.bth = bth;
+  return pkt;
+}
+
+TEST(Crc32, KnownVector) {
+  // CRC-32 of "123456789" is 0xCBF43926 (IEEE 802.3).
+  const std::uint8_t data[] = {'1', '2', '3', '4', '5', '6', '7', '8', '9'};
+  EXPECT_EQ(crc32_ieee(data), 0xCBF43926u);
+}
+
+TEST(Crc32, EmptyIsZero) {
+  EXPECT_EQ(crc32_ieee(std::span<const std::uint8_t>{}), 0u);
+}
+
+TEST(Ipv4Checksum, RfcExample) {
+  // Example header from RFC 1071 discussions: verify our checksum makes the
+  // decoded header validate.
+  Ipv4Header h;
+  h.src = Ipv4Addr::from_octets(192, 168, 0, 1);
+  h.dst = Ipv4Addr::from_octets(192, 168, 0, 199);
+  h.total_length = 60;
+  h.ttl = 64;
+  h.protocol = kIpProtoUdp;
+  Bytes out;
+  encode_ipv4(h, out);
+  ASSERT_EQ(out.size(), 20u);
+  const auto decoded = decode_ipv4(out);
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(decoded->src, h.src);
+  EXPECT_EQ(decoded->dst, h.dst);
+}
+
+TEST(Ipv4Codec, CorruptChecksumRejected) {
+  Ipv4Header h;
+  h.src = Ipv4Addr::from_octets(1, 2, 3, 4);
+  h.dst = Ipv4Addr::from_octets(5, 6, 7, 8);
+  Bytes out;
+  encode_ipv4(h, out);
+  out[15] ^= 0xff;  // corrupt source address
+  EXPECT_FALSE(decode_ipv4(out).has_value());
+}
+
+TEST(Ipv4Codec, DscpAndEcnRoundTrip) {
+  for (int dscp = 0; dscp < 64; dscp += 9) {
+    for (auto ecn : {Ecn::kNotEct, Ecn::kEct0, Ecn::kEct1, Ecn::kCe}) {
+      Ipv4Header h;
+      h.dscp = static_cast<std::uint8_t>(dscp);
+      h.ecn = ecn;
+      Bytes out;
+      encode_ipv4(h, out);
+      const auto d = decode_ipv4(out);
+      ASSERT_TRUE(d.has_value());
+      EXPECT_EQ(d->dscp, dscp);
+      EXPECT_EQ(d->ecn, ecn);
+    }
+  }
+}
+
+TEST(EthernetCodec, UntaggedRoundTrip) {
+  EthernetHeader h;
+  h.dst = MacAddr::from_u64(0x020000000102);
+  h.src = MacAddr::from_u64(0x020000000203);
+  h.ethertype = kEtherTypeIpv4;
+  Bytes out;
+  encode_ethernet(h, out);
+  EXPECT_EQ(out.size(), 14u);  // no VLAN tag
+  const auto d = decode_ethernet(out);
+  ASSERT_TRUE(d.has_value());
+  EXPECT_EQ(d->header, h);
+  EXPECT_EQ(d->consumed, 14u);
+}
+
+TEST(EthernetCodec, VlanTaggedRoundTrip) {
+  EthernetHeader h;
+  h.dst = MacAddr::from_u64(1);
+  h.src = MacAddr::from_u64(2);
+  h.vlan = VlanTag{5, true, 0x123};
+  h.ethertype = kEtherTypeIpv4;
+  Bytes out;
+  encode_ethernet(h, out);
+  EXPECT_EQ(out.size(), 18u);  // 802.1Q adds 4 bytes
+  // TPID must be 0x8100 at offset 12.
+  EXPECT_EQ(out[12], 0x81);
+  EXPECT_EQ(out[13], 0x00);
+  const auto d = decode_ethernet(out);
+  ASSERT_TRUE(d.has_value());
+  ASSERT_TRUE(d->header.vlan.has_value());
+  EXPECT_EQ(d->header.vlan->pcp, 5);
+  EXPECT_TRUE(d->header.vlan->dei);
+  EXPECT_EQ(d->header.vlan->vid, 0x123);
+}
+
+TEST(EthernetCodec, TruncatedRejected) {
+  Bytes tiny(10, 0);
+  EXPECT_FALSE(decode_ethernet(tiny).has_value());
+}
+
+TEST(BthCodec, RoundTrip) {
+  RoceBth h;
+  h.opcode = RoceOpcode::kReadResponseLast;
+  h.dest_qp = 0x00fedc;
+  h.psn = 0x00abcdef & 0x00ffffff;
+  h.ack_request = true;
+  Bytes out;
+  encode_bth(h, out);
+  EXPECT_EQ(out.size(), static_cast<std::size_t>(kBthBytes));
+  const auto d = decode_bth(out);
+  ASSERT_TRUE(d.has_value());
+  EXPECT_EQ(d->opcode, h.opcode);
+  EXPECT_EQ(d->dest_qp, h.dest_qp);
+  EXPECT_EQ(d->psn, h.psn);
+  EXPECT_TRUE(d->ack_request);
+}
+
+TEST(AethCodec, RoundTrip) {
+  for (auto syn : {AethSyndrome::kAck, AethSyndrome::kNakPsnSequenceError}) {
+    RoceAeth h{syn, 0x00123456};
+    Bytes out;
+    encode_aeth(h, out);
+    EXPECT_EQ(out.size(), static_cast<std::size_t>(kAethBytes));
+    const auto d = decode_aeth(out);
+    ASSERT_TRUE(d.has_value());
+    EXPECT_EQ(d->syndrome, syn);
+    EXPECT_EQ(d->msn, h.msn);
+  }
+}
+
+// --- the PFC pause frame (identical in both Fig. 3 designs) -----------------
+
+TEST(PfcFrame, GoldenLayout) {
+  PfcFrame pfc;
+  pfc.set(3, 0xffff);
+  const Bytes frame = encode_pfc_frame(pfc, MacAddr::from_u64(0x020000000001));
+  ASSERT_EQ(frame.size(), 64u);  // minimum Ethernet frame
+  // Destination: reserved multicast 01:80:C2:00:00:01.
+  EXPECT_EQ(frame[0], 0x01);
+  EXPECT_EQ(frame[1], 0x80);
+  EXPECT_EQ(frame[2], 0xc2);
+  EXPECT_EQ(frame[5], 0x01);
+  // EtherType 0x8808 (MAC control), opcode 0x0101 (PFC).
+  EXPECT_EQ(frame[12], 0x88);
+  EXPECT_EQ(frame[13], 0x08);
+  EXPECT_EQ(frame[14], 0x01);
+  EXPECT_EQ(frame[15], 0x01);
+  // Class-enable vector has only bit 3.
+  EXPECT_EQ(frame[16], 0x00);
+  EXPECT_EQ(frame[17], 0x08);
+  // Quanta for priority 3 at offset 18 + 3*2.
+  EXPECT_EQ(frame[24], 0xff);
+  EXPECT_EQ(frame[25], 0xff);
+}
+
+TEST(PfcFrame, NeverVlanTagged) {
+  // §3's key observation: pause frames carry no VLAN tag in either design.
+  PfcFrame pfc;
+  pfc.set(0, 1);
+  const Bytes frame = encode_pfc_frame(pfc, MacAddr::from_u64(7));
+  const auto eth = decode_ethernet(frame);
+  ASSERT_TRUE(eth.has_value());
+  EXPECT_FALSE(eth->header.vlan.has_value());
+}
+
+TEST(PfcFrame, RoundTripAllPriorities) {
+  PfcFrame pfc;
+  for (int p = 0; p < 8; ++p) {
+    if (p % 2 == 0) pfc.set(p, static_cast<std::uint16_t>(p * 1000 + 1));
+  }
+  const Bytes frame = encode_pfc_frame(pfc, MacAddr::from_u64(9));
+  const auto d = decode_pfc_frame(frame);
+  ASSERT_TRUE(d.has_value());
+  EXPECT_EQ(*d, pfc);
+}
+
+TEST(PfcFrame, CorruptFcsRejected) {
+  PfcFrame pfc;
+  pfc.set(4, 100);
+  Bytes frame = encode_pfc_frame(pfc, MacAddr::from_u64(9));
+  frame[20] ^= 0x01;
+  EXPECT_FALSE(decode_pfc_frame(frame).has_value());
+}
+
+TEST(PfcFrame, WrongSizeRejected) {
+  Bytes frame(63, 0);
+  EXPECT_FALSE(decode_pfc_frame(frame).has_value());
+}
+
+// --- VLAN-based vs DSCP-based data packets (Fig. 3a vs 3b) -------------------
+
+TEST(RoceFrame, DscpModeIsUntaggedAndCarriesPriorityInDscp) {
+  const Packet pkt = sample_roce_packet(4);
+  const Bytes frame = encode_roce_frame(pkt, PfcMode::kDscpBased);
+  EXPECT_EQ(frame.size(), 1086u);  // the Fig. 7 frame size, exactly
+  const auto d = decode_roce_frame(frame);
+  ASSERT_TRUE(d.has_value());
+  EXPECT_FALSE(d->eth.vlan.has_value());
+  EXPECT_EQ(d->ip.dscp, 4);
+  EXPECT_TRUE(d->fcs_ok);
+  EXPECT_EQ(d->payload_bytes, 1024u);
+  EXPECT_EQ(d->udp.dst_port, kRoceUdpPort);
+}
+
+TEST(RoceFrame, VlanModeIsTaggedAndCarriesPriorityInPcp) {
+  const Packet pkt = sample_roce_packet(4);
+  const Bytes frame = encode_roce_frame(pkt, PfcMode::kVlanBased);
+  EXPECT_EQ(frame.size(), 1090u);  // +4 bytes of 802.1Q tag
+  const auto d = decode_roce_frame(frame);
+  ASSERT_TRUE(d.has_value());
+  ASSERT_TRUE(d->eth.vlan.has_value());
+  EXPECT_EQ(d->eth.vlan->pcp, 4);
+  EXPECT_TRUE(d->fcs_ok);
+}
+
+TEST(RoceFrame, TransportFieldsSurvive) {
+  const Packet pkt = sample_roce_packet();
+  const auto d = decode_roce_frame(encode_roce_frame(pkt, PfcMode::kDscpBased));
+  ASSERT_TRUE(d.has_value());
+  EXPECT_EQ(d->bth.opcode, RoceOpcode::kSendMiddle);
+  EXPECT_EQ(d->bth.dest_qp, 0x00abcdu);
+  EXPECT_EQ(d->bth.psn, 0x123456u);
+  EXPECT_TRUE(d->bth.ack_request);
+  EXPECT_EQ(d->ip.id, 0x1234);
+}
+
+TEST(RoceFrame, BitFlipBreaksFcs) {
+  Bytes frame = encode_roce_frame(sample_roce_packet(), PfcMode::kDscpBased);
+  frame[100] ^= 0x40;
+  const auto d = decode_roce_frame(frame);
+  // The IP checksum may or may not catch it depending on offset; the FCS
+  // always does.
+  if (d.has_value()) {
+    EXPECT_FALSE(d->fcs_ok);
+  }
+}
+
+class RoceFramePriorities : public ::testing::TestWithParam<int> {};
+
+TEST_P(RoceFramePriorities, PriorityPlacementPerMode) {
+  const int prio = GetParam();
+  const Packet pkt = sample_roce_packet(prio);
+  const auto dscp = decode_roce_frame(encode_roce_frame(pkt, PfcMode::kDscpBased));
+  const auto vlan = decode_roce_frame(encode_roce_frame(pkt, PfcMode::kVlanBased));
+  ASSERT_TRUE(dscp.has_value());
+  ASSERT_TRUE(vlan.has_value());
+  EXPECT_EQ(dscp->ip.dscp, prio);
+  EXPECT_EQ(vlan->eth.vlan->pcp, prio);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllPriorities, RoceFramePriorities, ::testing::Range(0, 8));
+
+TEST(FrameSizes, PaperConstants) {
+  EXPECT_EQ(kRoceDataOverheadBytes, 62);
+  EXPECT_EQ(kRoceDataOverheadBytes + 1024, 1086);  // Fig. 7 frame
+}
+
+}  // namespace
+}  // namespace rocelab

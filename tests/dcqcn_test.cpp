@@ -1,0 +1,184 @@
+// DCQCN reaction point state machine and end-to-end NP behaviour.
+#include <gtest/gtest.h>
+
+#include "src/app/demux.h"
+#include "src/app/traffic.h"
+#include "src/nic/dcqcn.h"
+#include "tests/testutil.h"
+
+namespace rocelab {
+namespace {
+
+using testing::StarTopology;
+
+TEST(DcqcnRp, StartsAtLineRate) {
+  Simulator sim;
+  DcqcnRp rp(sim, DcqcnConfig{}, gbps(40));
+  EXPECT_EQ(rp.rate(), gbps(40));
+  EXPECT_FALSE(rp.in_recovery());
+}
+
+TEST(DcqcnRp, FirstCnpHalvesRate) {
+  Simulator sim;
+  DcqcnRp rp(sim, DcqcnConfig{}, gbps(40));
+  rp.on_cnp();
+  // alpha starts at 1: Rc *= (1 - 1/2).
+  EXPECT_EQ(rp.rate(), gbps(40) / 2);
+  EXPECT_TRUE(rp.in_recovery());
+}
+
+TEST(DcqcnRp, RepeatedCnpsFloorAtMinRate) {
+  Simulator sim;
+  DcqcnConfig cfg;
+  DcqcnRp rp(sim, cfg, gbps(40));
+  for (int i = 0; i < 100; ++i) rp.on_cnp();
+  EXPECT_EQ(rp.rate(), cfg.min_rate);
+}
+
+TEST(DcqcnRp, AlphaUpdatesOnCnpAndDecaysWithout) {
+  Simulator sim;
+  DcqcnConfig cfg;
+  DcqcnRp rp(sim, cfg, gbps(40));
+  rp.on_cnp();
+  const double a0 = rp.alpha();
+  EXPECT_NEAR(a0, 1.0, 1e-9);  // (1-g)*1 + g == 1
+  // Without further CNPs the alpha timer decays it.
+  sim.run_until(cfg.alpha_timer * 20);
+  EXPECT_LT(rp.alpha(), a0);
+}
+
+TEST(DcqcnRp, FastRecoveryConvergesTowardTarget) {
+  Simulator sim;
+  DcqcnConfig cfg;
+  DcqcnRp rp(sim, cfg, gbps(40));
+  rp.on_cnp();  // Rt=40G, Rc=20G
+  const Bandwidth rc0 = rp.rate();
+  // Each increase-timer event in fast recovery: Rc = (Rt + Rc) / 2.
+  sim.run_until(cfg.increase_timer + microseconds(1));
+  EXPECT_GT(rp.rate(), rc0);
+  sim.run_until(5 * cfg.increase_timer + microseconds(1));
+  EXPECT_GT(rp.rate(), gbps(38));  // ~Rt after 5 halvings
+}
+
+TEST(DcqcnRp, FullRecoveryDisarmsTimers) {
+  Simulator sim;
+  DcqcnConfig cfg;
+  DcqcnRp rp(sim, cfg, gbps(40));
+  rp.on_cnp();
+  sim.run_until(seconds(1));
+  EXPECT_EQ(rp.rate(), gbps(40));
+  EXPECT_FALSE(rp.in_recovery());
+  EXPECT_EQ(sim.pending_events(), 0u);  // no timer churn while idle
+}
+
+TEST(DcqcnRp, ByteCounterDrivesIncreaseWhenSendingFast) {
+  Simulator sim;
+  DcqcnConfig cfg;
+  cfg.increase_timer = seconds(10);  // neutralize the timer path
+  DcqcnRp rp(sim, cfg, gbps(40));
+  rp.on_cnp();
+  const Bandwidth rc0 = rp.rate();
+  rp.on_bytes_sent(cfg.byte_counter);  // one full byte-counter epoch
+  EXPECT_GT(rp.rate(), rc0);
+}
+
+TEST(DcqcnRp, HyperIncreaseAfterBothStagesPassF) {
+  Simulator sim;
+  DcqcnConfig cfg;
+  cfg.rai = mbps(40);
+  cfg.rhai = mbps(400);
+  DcqcnRp rp(sim, cfg, gbps(40));
+  for (int i = 0; i < 50; ++i) rp.on_cnp();  // floor the rate
+  // Drive both the timer stage and the byte stage past F.
+  for (int i = 0; i < cfg.fast_recovery_steps + 3; ++i) rp.on_bytes_sent(cfg.byte_counter);
+  const Bandwidth before = rp.rate();
+  sim.run_until((cfg.fast_recovery_steps + 3) * cfg.increase_timer);
+  EXPECT_GT(rp.rate(), before);
+}
+
+TEST(DcqcnRp, DisabledConfigIgnoresCnps) {
+  Simulator sim;
+  DcqcnConfig cfg;
+  cfg.enabled = false;
+  DcqcnRp rp(sim, cfg, gbps(40));
+  rp.on_cnp();
+  EXPECT_EQ(rp.rate(), gbps(40));
+  EXPECT_EQ(rp.cnps_received(), 1);  // still counted
+}
+
+// --- end-to-end NP/RP behaviour ---------------------------------------------
+
+TEST(DcqcnEndToEnd, IncastGeneratesCnpsAndCutsRates) {
+  SwitchConfig cfg = testing::basic_switch_config();
+  cfg.ecn[3] = EcnConfig{true, 20 * kKiB, 100 * kKiB, 0.05};
+  StarTopology topo(4, cfg);
+  std::vector<std::unique_ptr<RdmaDemux>> demuxes;
+  std::vector<std::unique_ptr<RdmaStreamSource>> sources;
+  std::vector<std::uint32_t> qpns;
+  for (int i = 0; i < 3; ++i) {
+    auto [qa, qb] = connect_qp_pair(*topo.hosts[static_cast<std::size_t>(i)], *topo.hosts[3],
+                                    QpConfig{});
+    (void)qb;
+    qpns.push_back(qa);
+    demuxes.push_back(std::make_unique<RdmaDemux>(*topo.hosts[static_cast<std::size_t>(i)]));
+    sources.push_back(std::make_unique<RdmaStreamSource>(
+        *topo.hosts[static_cast<std::size_t>(i)], *demuxes.back(), qa,
+        RdmaStreamSource::Options{.message_bytes = 256 * kKiB, .max_outstanding = 2}));
+    sources.back()->start();
+  }
+  topo.sim().run_until(milliseconds(5));
+  std::int64_t cnps = 0;
+  for (int i = 0; i < 3; ++i) {
+    cnps += topo.hosts[static_cast<std::size_t>(i)]->rdma().stats().cnps_received;
+    EXPECT_LT(topo.hosts[static_cast<std::size_t>(i)]->rdma().qp_rate(qpns[static_cast<std::size_t>(i)]),
+              gbps(40));
+  }
+  EXPECT_GT(cnps, 0);
+  EXPECT_EQ(topo.hosts[3]->rdma().stats().cnps_sent, cnps);
+}
+
+TEST(DcqcnEndToEnd, CnpRateLimitedPerInterval) {
+  SwitchConfig cfg = testing::basic_switch_config();
+  cfg.ecn[3] = EcnConfig{true, 1 * kKiB, 2 * kKiB, 1.0};  // mark everything
+  StarTopology topo(3, cfg);
+  QpConfig qp;  // DCQCN on
+  auto [q1, q1b] = connect_qp_pair(*topo.hosts[0], *topo.hosts[2], qp);
+  auto [q2, q2b] = connect_qp_pair(*topo.hosts[1], *topo.hosts[2], qp);
+  (void)q1b; (void)q2b;
+  topo.hosts[0]->rdma().post_send(q1, 512 * kKiB, 1);
+  topo.hosts[1]->rdma().post_send(q2, 512 * kKiB, 2);
+  const Time window = milliseconds(4);
+  topo.sim().run_until(window);
+  // Even with 100% marking, NP sends at most one CNP per QP per 50us.
+  const std::int64_t max_cnps = 2 * (window / DcqcnConfig{}.cnp_interval + 1);
+  EXPECT_LE(topo.hosts[2]->rdma().stats().cnps_sent, max_cnps);
+}
+
+TEST(DcqcnEndToEnd, FairnessAcrossCompetingFlows) {
+  SwitchConfig cfg = testing::basic_switch_config();
+  StarTopology topo(5, cfg);
+  std::vector<std::unique_ptr<RdmaDemux>> demuxes;
+  std::vector<std::unique_ptr<RdmaStreamSource>> sources;
+  for (int i = 0; i < 4; ++i) {
+    auto [qa, qb] = connect_qp_pair(*topo.hosts[static_cast<std::size_t>(i)], *topo.hosts[4],
+                                    QpConfig{});
+    (void)qb;
+    demuxes.push_back(std::make_unique<RdmaDemux>(*topo.hosts[static_cast<std::size_t>(i)]));
+    sources.push_back(std::make_unique<RdmaStreamSource>(
+        *topo.hosts[static_cast<std::size_t>(i)], *demuxes.back(), qa,
+        RdmaStreamSource::Options{.message_bytes = 128 * kKiB, .max_outstanding = 2}));
+    sources.back()->start();
+  }
+  topo.sim().run_until(milliseconds(30));
+  double sum = 0, sum_sq = 0;
+  for (auto& s : sources) {
+    sum += s->goodput_bps();
+    sum_sq += s->goodput_bps() * s->goodput_bps();
+  }
+  const double jain = sum * sum / (4 * sum_sq);
+  EXPECT_GT(jain, 0.85);
+  EXPECT_GT(sum, 25e9);  // bottleneck mostly utilized
+}
+
+}  // namespace
+}  // namespace rocelab

@@ -1,0 +1,128 @@
+// The rocev2 deployment layer: per-tier config generation, staged
+// enablement (§6.1), and §5.1 configuration-drift monitoring.
+#include <gtest/gtest.h>
+
+#include "src/rocev2/deployment.h"
+
+namespace rocelab {
+namespace {
+
+TEST(Deployment, FullStageEnablesLosslessEverywhere) {
+  QosPolicy policy;
+  for (SwitchTier tier : {SwitchTier::kTor, SwitchTier::kLeaf, SwitchTier::kSpine}) {
+    const auto cfg = make_switch_config(policy, tier, DeploymentStage::kFull);
+    EXPECT_TRUE(cfg.lossless[static_cast<std::size_t>(policy.bulk_class)]);
+    EXPECT_TRUE(cfg.lossless[static_cast<std::size_t>(policy.realtime_class)]);
+  }
+}
+
+TEST(Deployment, TorOnlyStageKeepsFabricLossy) {
+  QosPolicy policy;
+  const auto tor = make_switch_config(policy, SwitchTier::kTor, DeploymentStage::kTorOnly);
+  const auto leaf = make_switch_config(policy, SwitchTier::kLeaf, DeploymentStage::kTorOnly);
+  const auto spine = make_switch_config(policy, SwitchTier::kSpine, DeploymentStage::kTorOnly);
+  EXPECT_TRUE(tor.lossless[3]);
+  EXPECT_FALSE(leaf.lossless[3]);
+  EXPECT_FALSE(spine.lossless[3]);
+}
+
+TEST(Deployment, PodsetStageStopsAtSpine) {
+  QosPolicy policy;
+  const auto leaf = make_switch_config(policy, SwitchTier::kLeaf, DeploymentStage::kPodset);
+  const auto spine = make_switch_config(policy, SwitchTier::kSpine, DeploymentStage::kPodset);
+  EXPECT_TRUE(leaf.lossless[3]);
+  EXPECT_FALSE(spine.lossless[3]);
+}
+
+TEST(Deployment, WatchdogOnlyOnServerFacingTier) {
+  QosPolicy policy;
+  EXPECT_TRUE(make_switch_config(policy, SwitchTier::kTor).watchdog.enabled);
+  EXPECT_FALSE(make_switch_config(policy, SwitchTier::kLeaf).watchdog.enabled);
+}
+
+TEST(Deployment, HeadroomSizedFromPolicyCable) {
+  QosPolicy policy;
+  policy.max_cable_m = 300;
+  const auto far = make_switch_config(policy, SwitchTier::kTor).mmu.headroom_per_pg;
+  policy.max_cable_m = 20;
+  const auto near = make_switch_config(policy, SwitchTier::kTor).mmu.headroom_per_pg;
+  EXPECT_GT(far, near);
+}
+
+TEST(Deployment, HostConfigReflectsPolicy) {
+  QosPolicy policy;
+  const auto host = make_host_config(policy);
+  EXPECT_TRUE(host.lossless[3]);
+  EXPECT_TRUE(host.lossless[4]);
+  EXPECT_FALSE(host.lossless[1]);
+  EXPECT_TRUE(host.watchdog.enabled);
+  EXPECT_EQ(host.mtt.page_bytes, 2 * kMiB);  // §4.4 large-page mitigation
+}
+
+TEST(Deployment, QpConfigClasses) {
+  QosPolicy policy;
+  const auto bulk = make_qp_config(policy, false);
+  const auto rt = make_qp_config(policy, true);
+  EXPECT_EQ(bulk.priority, policy.bulk_class);
+  EXPECT_EQ(rt.priority, policy.realtime_class);
+  EXPECT_EQ(bulk.recovery, LossRecovery::kGoBackN);
+}
+
+TEST(Deployment, TierInferredFromName) {
+  Simulator sim;
+  Switch tor(sim, "tor-0-3", SwitchConfig{}, 2);
+  Switch leaf(sim, "leaf-1-0", SwitchConfig{}, 2);
+  Switch spine(sim, "spine-17", SwitchConfig{}, 2);
+  EXPECT_EQ(tier_of(tor), SwitchTier::kTor);
+  EXPECT_EQ(tier_of(leaf), SwitchTier::kLeaf);
+  EXPECT_EQ(tier_of(spine), SwitchTier::kSpine);
+}
+
+TEST(ConfigMonitor, CleanFabricHasNoDrift) {
+  QosPolicy policy;
+  ClosParams params = make_clos_params(policy, DeploymentStage::kFull, 1, 2, 2, 2, 0);
+  ClosFabric clos(params);
+  EXPECT_TRUE(check_switch_configs(clos.fabric().switch_ptrs(), policy).empty());
+}
+
+TEST(ConfigMonitor, DetectsAlphaDrift) {
+  QosPolicy policy;
+  ClosParams params = make_clos_params(policy, DeploymentStage::kFull, 1, 2, 2, 2, 0);
+  ClosFabric clos(params);
+  clos.tor(0, 1).set_buffer_alpha(1.0 / 64);  // the Fig. 10 incident
+  const auto drifts = check_switch_configs(clos.fabric().switch_ptrs(), policy);
+  ASSERT_EQ(drifts.size(), 1u);
+  EXPECT_EQ(drifts[0].node, "tor-0-1");
+  EXPECT_EQ(drifts[0].field, "mmu.alpha");
+}
+
+TEST(ConfigMonitor, DetectsArpPolicyDrift) {
+  QosPolicy policy;
+  ClosParams params = make_clos_params(policy, DeploymentStage::kFull, 1, 2, 2, 2, 0);
+  ClosFabric clos(params);
+  clos.tor(0, 0).set_arp_policy(ArpIncompletePolicy::kFlood);  // fix rolled back!
+  const auto drifts = check_switch_configs(clos.fabric().switch_ptrs(), policy);
+  ASSERT_EQ(drifts.size(), 1u);
+  EXPECT_EQ(drifts[0].field, "arp_policy");
+  EXPECT_EQ(drifts[0].expected, "drop-lossless");
+  EXPECT_EQ(drifts[0].actual, "flood");
+}
+
+TEST(ConfigMonitor, StageAwareExpectations) {
+  QosPolicy policy;
+  // Built for kPodset but checked against kFull: spines missing lossless.
+  ClosParams params = make_clos_params(policy, DeploymentStage::kPodset, 2, 2, 2, 2, 4);
+  ClosFabric clos(params);
+  EXPECT_TRUE(
+      check_switch_configs(clos.fabric().switch_ptrs(), policy, DeploymentStage::kPodset)
+          .empty());
+  const auto drifts =
+      check_switch_configs(clos.fabric().switch_ptrs(), policy, DeploymentStage::kFull);
+  EXPECT_FALSE(drifts.empty());
+  for (const auto& d : drifts) {
+    EXPECT_EQ(d.node.rfind("spine-", 0), 0u) << d.node;
+  }
+}
+
+}  // namespace
+}  // namespace rocelab

@@ -1,0 +1,242 @@
+// The §8.1 extension features: selective-repeat recovery, per-packet
+// spraying, and the TIMELY rate controller.
+#include <gtest/gtest.h>
+
+#include "src/app/demux.h"
+#include "src/app/traffic.h"
+#include "src/nic/timely.h"
+#include "tests/testutil.h"
+
+namespace rocelab {
+namespace {
+
+using testing::StarTopology;
+
+QpConfig sr_qp() {
+  QpConfig qp;
+  qp.recovery = LossRecovery::kSelectiveRepeat;
+  qp.dcqcn = false;
+  return qp;
+}
+
+TEST(SelectiveRepeat, SingleDropRetransmitsExactlyOnePacket) {
+  StarTopology topo(2);
+  int dropped = 0;
+  topo.sw().set_drop_filter([&dropped](const Packet& p) {
+    if (p.kind == PacketKind::kRoceData && p.bth->psn == 5 && dropped == 0) {
+      ++dropped;
+      return true;
+    }
+    return false;
+  });
+  auto [qa, qb] = connect_qp_pair(*topo.hosts[0], *topo.hosts[1], sr_qp());
+  (void)qb;
+  topo.hosts[0]->rdma().post_send(qa, 40 * 1024, 1);
+  topo.sim().run_until(milliseconds(5));
+  EXPECT_EQ(topo.hosts[0]->rdma().stats().messages_completed, 1);
+  EXPECT_EQ(topo.hosts[1]->rdma().stats().bytes_received, 40 * 1024);
+  // ONLY the dropped packet was retransmitted.
+  EXPECT_EQ(topo.hosts[0]->rdma().stats().data_packets_retx, 1);
+  // Nothing was discarded at the receiver (buffered instead).
+  EXPECT_EQ(topo.hosts[1]->rdma().stats().out_of_order_drops, 0);
+}
+
+TEST(SelectiveRepeat, MultipleScatteredDropsRecover) {
+  StarTopology topo(2);
+  std::set<std::uint32_t> to_drop{3, 9, 17, 18, 31};
+  topo.sw().set_drop_filter([&to_drop](const Packet& p) {
+    if (p.kind == PacketKind::kRoceData && to_drop.count(p.bth->psn) > 0) {
+      to_drop.erase(p.bth->psn);
+      return true;
+    }
+    return false;
+  });
+  auto [qa, qb] = connect_qp_pair(*topo.hosts[0], *topo.hosts[1], sr_qp());
+  (void)qb;
+  topo.hosts[0]->rdma().post_send(qa, 40 * 1024, 1);
+  topo.sim().run_until(milliseconds(10));
+  EXPECT_EQ(topo.hosts[0]->rdma().stats().messages_completed, 1);
+  EXPECT_EQ(topo.hosts[1]->rdma().stats().bytes_received, 40 * 1024);
+  EXPECT_LE(topo.hosts[0]->rdma().stats().data_packets_retx, 8);
+}
+
+TEST(SelectiveRepeat, BeatsGoBackNOnRetransmissionVolume) {
+  for (LossRecovery rec : {LossRecovery::kGoBackN, LossRecovery::kSelectiveRepeat}) {
+    StarTopology topo(2);
+    auto rng = std::make_shared<Rng>(5);
+    topo.sw().set_drop_filter([rng](const Packet& p) {
+      return p.kind == PacketKind::kRoceData && rng->bernoulli(0.01);
+    });
+    QpConfig qp = sr_qp();
+    qp.recovery = rec;
+    auto [qa, qb] = connect_qp_pair(*topo.hosts[0], *topo.hosts[1], qp);
+    (void)qb;
+    RdmaDemux demux(*topo.hosts[0]);
+    RdmaStreamSource src(*topo.hosts[0], demux, qa,
+                         {.message_bytes = 256 * kKiB, .max_outstanding = 2});
+    src.start();
+    topo.sim().run_until(milliseconds(20));
+    const auto& st = topo.hosts[0]->rdma().stats();
+    const double frac =
+        static_cast<double>(st.data_packets_retx) / static_cast<double>(st.data_packets_sent);
+    if (rec == LossRecovery::kSelectiveRepeat) {
+      EXPECT_LT(frac, 0.05);  // ~ the loss rate
+      EXPECT_GT(src.goodput_bps(), 25e9);
+    } else {
+      EXPECT_GT(frac, 0.05);  // go-back-N wastes up to RTT x C per drop
+    }
+  }
+}
+
+TEST(SelectiveRepeat, ToleratesReorderingFromSpraying) {
+  Fabric fabric;
+  SwitchConfig cfg;
+  cfg.lossless[3] = true;
+  cfg.packet_spray = true;
+  auto& s1 = fabric.add_switch("s1", cfg, 4);
+  auto& s2 = fabric.add_switch("s2", cfg, 4);
+  s1.add_local_subnet(Ipv4Prefix{Ipv4Addr::from_octets(10, 0, 0, 0), 24});
+  s2.add_local_subnet(Ipv4Prefix{Ipv4Addr::from_octets(10, 0, 1, 0), 24});
+  s1.add_route(Ipv4Prefix{Ipv4Addr::from_octets(10, 0, 1, 0), 24}, {2, 3});
+  s2.add_route(Ipv4Prefix{Ipv4Addr::from_octets(10, 0, 0, 0), 24}, {2, 3});
+  fabric.attach_switches(s1, 2, s2, 2, gbps(10), propagation_delay_for_meters(2));
+  fabric.attach_switches(s1, 3, s2, 3, gbps(10), propagation_delay_for_meters(300));
+  HostConfig hc;
+  hc.lossless[3] = true;
+  auto& a = fabric.add_host("a", hc);
+  auto& b = fabric.add_host("b", hc);
+  a.set_ip(Ipv4Addr::from_octets(10, 0, 0, 1));
+  b.set_ip(Ipv4Addr::from_octets(10, 0, 1, 1));
+  fabric.attach_host(a, s1, 0, gbps(40), propagation_delay_for_meters(2));
+  fabric.attach_host(b, s2, 0, gbps(40), propagation_delay_for_meters(2));
+  auto [qa, qb] = connect_qp_pair(a, b, sr_qp());
+  (void)qb;
+  a.rdma().post_send(qa, 256 * 1024, 1);
+  fabric.sim().run_until(milliseconds(10));
+  // Delivered completely despite heavy reordering, with zero receiver-side
+  // discards (everything buffered).
+  EXPECT_EQ(b.rdma().stats().bytes_received, 256 * 1024);
+  EXPECT_EQ(b.rdma().stats().out_of_order_drops, 0);
+}
+
+TEST(PacketSpray, UsesAllPathsOfTheGroup) {
+  Fabric fabric;
+  SwitchConfig cfg;
+  cfg.lossless[3] = true;
+  cfg.packet_spray = true;
+  auto& s1 = fabric.add_switch("s1", cfg, 6);
+  auto& s2 = fabric.add_switch("s2", cfg, 6);
+  s1.add_local_subnet(Ipv4Prefix{Ipv4Addr::from_octets(10, 0, 0, 0), 24});
+  s2.add_local_subnet(Ipv4Prefix{Ipv4Addr::from_octets(10, 0, 1, 0), 24});
+  s1.add_route(Ipv4Prefix{Ipv4Addr::from_octets(10, 0, 1, 0), 24}, {2, 3, 4, 5});
+  s2.add_route(Ipv4Prefix{Ipv4Addr::from_octets(10, 0, 0, 0), 24}, {2, 3, 4, 5});
+  for (int p = 2; p < 6; ++p) fabric.attach_switches(s1, p, s2, p, gbps(40), nanoseconds(100));
+  HostConfig hc;
+  hc.lossless[3] = true;
+  auto& a = fabric.add_host("a", hc);
+  auto& b = fabric.add_host("b", hc);
+  a.set_ip(Ipv4Addr::from_octets(10, 0, 0, 1));
+  b.set_ip(Ipv4Addr::from_octets(10, 0, 1, 1));
+  fabric.attach_host(a, s1, 0, gbps(40), nanoseconds(10));
+  fabric.attach_host(b, s2, 0, gbps(40), nanoseconds(10));
+  auto [qa, qb] = connect_qp_pair(a, b, sr_qp());
+  (void)qb;
+  a.rdma().post_send(qa, 256 * 1024, 1);
+  fabric.sim().run_until(milliseconds(5));
+  int used = 0;
+  std::int64_t min_pkts = 1 << 30, max_pkts = 0;
+  for (int p = 2; p < 6; ++p) {
+    const auto n = s1.port(p).counters().tx_packets[3];
+    if (n > 0) ++used;
+    min_pkts = std::min(min_pkts, n);
+    max_pkts = std::max(max_pkts, n);
+  }
+  EXPECT_EQ(used, 4);
+  EXPECT_LE(max_pkts - min_pkts, 2);  // round robin is near-perfectly even
+}
+
+TEST(Timely, StartsAtLineRateAndNeedsTwoSamples) {
+  TimelyRp rp(TimelyConfig{}, gbps(40));
+  EXPECT_EQ(rp.rate(), gbps(40));
+  rp.on_rtt_sample(microseconds(100));  // first sample only seeds prev_rtt
+  EXPECT_EQ(rp.rate(), gbps(40));
+}
+
+TEST(Timely, HighRttCutsMultiplicatively) {
+  TimelyConfig cfg;
+  TimelyRp rp(cfg, gbps(40));
+  rp.on_rtt_sample(microseconds(100));
+  rp.on_rtt_sample(cfg.t_high * 2);
+  EXPECT_LT(rp.rate(), gbps(40));
+  const Bandwidth after_one = rp.rate();
+  rp.on_rtt_sample(cfg.t_high * 2);
+  EXPECT_LT(rp.rate(), after_one);
+}
+
+TEST(Timely, LowRttIncreasesAdditively) {
+  TimelyConfig cfg;
+  TimelyRp rp(cfg, gbps(40));
+  // Cut first, then recover.
+  rp.on_rtt_sample(microseconds(100));
+  for (int i = 0; i < 10; ++i) rp.on_rtt_sample(cfg.t_high * 3);
+  const Bandwidth low = rp.rate();
+  for (int i = 0; i < 10; ++i) rp.on_rtt_sample(cfg.t_low / 2);
+  EXPECT_GT(rp.rate(), low);
+}
+
+TEST(Timely, NeverBelowMinOrAboveLine) {
+  TimelyConfig cfg;
+  TimelyRp rp(cfg, gbps(40));
+  rp.on_rtt_sample(microseconds(10));
+  for (int i = 0; i < 200; ++i) rp.on_rtt_sample(milliseconds(10));
+  EXPECT_EQ(rp.rate(), cfg.min_rate);
+  for (int i = 0; i < 100000; ++i) rp.on_rtt_sample(microseconds(5));
+  EXPECT_EQ(rp.rate(), gbps(40));
+}
+
+TEST(Timely, GradientReactsBetweenThresholds) {
+  TimelyConfig cfg;
+  TimelyRp rp(cfg, gbps(40));
+  const Time mid = (cfg.t_low + cfg.t_high) / 2;
+  rp.on_rtt_sample(mid);
+  // Rising RTT inside the band: positive gradient, rate decreases.
+  rp.on_rtt_sample(mid + microseconds(40));
+  rp.on_rtt_sample(mid + microseconds(80));
+  EXPECT_LT(rp.rate(), gbps(40));
+}
+
+TEST(TimelyEndToEnd, ControlsIncastWithoutEcn) {
+  // TIMELY needs no switch ECN support: disable marking entirely.
+  SwitchConfig cfg = testing::basic_switch_config();
+  cfg.ecn[3] = EcnConfig{};
+  StarTopology topo(5, cfg);
+  std::vector<std::unique_ptr<RdmaDemux>> demuxes;
+  std::vector<std::unique_ptr<RdmaStreamSource>> sources;
+  for (int i = 0; i < 4; ++i) {
+    QpConfig qp;
+    qp.cc = CcAlgorithm::kTimely;
+    auto [qa, qb] = connect_qp_pair(*topo.hosts[static_cast<std::size_t>(i)], *topo.hosts[4], qp);
+    (void)qb;
+    demuxes.push_back(std::make_unique<RdmaDemux>(*topo.hosts[static_cast<std::size_t>(i)]));
+    sources.push_back(std::make_unique<RdmaStreamSource>(
+        *topo.hosts[static_cast<std::size_t>(i)], *demuxes.back(), qa,
+        RdmaStreamSource::Options{.message_bytes = 128 * kKiB, .max_outstanding = 2}));
+    sources.back()->start();
+  }
+  topo.sim().run_until(milliseconds(20));
+  // No CNPs were ever sent (no ECN), yet the incast made progress and the
+  // rates came off the line rate.
+  EXPECT_EQ(topo.hosts[4]->rdma().stats().cnps_sent, 0);
+  double total = 0;
+  for (auto& s : sources) total += s->goodput_bps();
+  EXPECT_GT(total, 10e9);
+  // Queue stayed PFC-free or nearly so (TIMELY reacted to RTT).
+  std::int64_t pauses = 0;
+  for (int p = 0; p < topo.sw().port_count(); ++p) {
+    pauses += topo.sw().port(p).counters().total_tx_pause();
+  }
+  EXPECT_LT(pauses, 100);
+}
+
+}  // namespace
+}  // namespace rocelab

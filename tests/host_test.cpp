@@ -1,0 +1,184 @@
+// Host / NIC receive pipeline: pause generation, MTT slow receiver (§4.4),
+// storm mode + NIC watchdog (§4.3), dead mode, IP ID assignment.
+#include <gtest/gtest.h>
+
+#include "src/app/demux.h"
+#include "src/app/traffic.h"
+#include "src/nic/mtt.h"
+#include "tests/testutil.h"
+
+namespace rocelab {
+namespace {
+
+using testing::StarTopology;
+using testing::basic_host_config;
+
+TEST(MttCache, LruEviction) {
+  MttConfig cfg;
+  cfg.entries = 2;
+  cfg.page_bytes = 4096;
+  MttCache cache(cfg);
+  EXPECT_FALSE(cache.access(0));          // page 0: miss
+  EXPECT_FALSE(cache.access(4096));       // page 1: miss
+  EXPECT_TRUE(cache.access(100));         // page 0: hit (and becomes MRU)
+  EXPECT_FALSE(cache.access(2 * 4096));   // page 2: miss, evicts page 1
+  EXPECT_TRUE(cache.access(0));           // page 0 survived
+  EXPECT_FALSE(cache.access(4096));       // page 1 was evicted
+  EXPECT_EQ(cache.size(), 2u);
+}
+
+TEST(MttCache, MissRateTracking) {
+  MttConfig cfg;
+  cfg.entries = 1024;
+  MttCache cache(cfg);
+  cache.access(0);
+  cache.access(1);  // same page
+  EXPECT_DOUBLE_EQ(cache.miss_rate(), 0.5);
+}
+
+TEST(MttCache, LargePagesCoverWorkingSet) {
+  // §4.4's fix: with 2MB pages, 2K entries cover 4GB >> any working set.
+  MttConfig cfg;
+  cfg.entries = 2048;
+  cfg.page_bytes = 2 * kMiB;
+  cfg.working_set = 64 * kMiB;
+  MttCache cache(cfg);
+  Rng rng(1);
+  // Warm up, then measure.
+  for (int i = 0; i < 4096; ++i) cache.access(rng.uniform_int(0, cfg.working_set - 1));
+  const auto misses_before = cache.misses();
+  for (int i = 0; i < 4096; ++i) cache.access(rng.uniform_int(0, cfg.working_set - 1));
+  EXPECT_EQ(cache.misses(), misses_before);  // fully resident
+}
+
+TEST(Host, SequentialIpIds) {
+  StarTopology topo(1);
+  Host& h = *topo.hosts[0];
+  const auto first = h.next_ip_id();
+  EXPECT_EQ(h.next_ip_id(), static_cast<std::uint16_t>(first + 1));
+  EXPECT_EQ(h.next_ip_id(), static_cast<std::uint16_t>(first + 2));
+}
+
+TEST(Host, DeadHostNeitherSendsNorReceives) {
+  StarTopology topo(2);
+  QpConfig qp;
+  qp.dcqcn = false;
+  auto [qa, qb] = connect_qp_pair(*topo.hosts[0], *topo.hosts[1], qp);
+  topo.hosts[1]->set_dead(true);
+  topo.hosts[0]->rdma().post_send(qa, 4096, 1);
+  topo.hosts[1]->rdma().post_send(qb, 4096, 2);
+  topo.sim().run_until(milliseconds(1));
+  EXPECT_EQ(topo.hosts[1]->rdma().stats().messages_received, 0);
+  EXPECT_EQ(topo.hosts[0]->rdma().stats().messages_received, 0);
+}
+
+TEST(Host, SlowReceiverPausesAndFastReceiverDoesNot) {
+  for (bool slow : {true, false}) {
+    HostConfig rx_cfg = basic_host_config();
+    rx_cfg.mtt.model_enabled = slow;
+    rx_cfg.mtt.page_bytes = 4 * kKiB;
+    rx_cfg.mtt.miss_penalty = microseconds(1);
+    StarTopology topo(2, testing::basic_switch_config(), rx_cfg);
+    QpConfig qp;
+    qp.dcqcn = false;
+    auto [qa, qb] = connect_qp_pair(*topo.hosts[0], *topo.hosts[1], qp);
+    (void)qb;
+    RdmaDemux demux(*topo.hosts[0]);
+    RdmaStreamSource src(*topo.hosts[0], demux, qa,
+                         {.message_bytes = 256 * kKiB, .max_outstanding = 2});
+    src.start();
+    topo.sim().run_until(milliseconds(5));
+    const auto pauses = topo.hosts[1]->port(0).counters().total_tx_pause();
+    if (slow) {
+      EXPECT_GT(pauses, 0) << "slow receiver must pause";
+      EXPECT_LT(src.goodput_bps(), 20e9);
+    } else {
+      EXPECT_EQ(pauses, 0) << "fast receiver must not pause";
+      EXPECT_GT(src.goodput_bps(), 30e9);
+    }
+  }
+}
+
+TEST(Host, StormModeEmitsContinuousPauses) {
+  StarTopology topo(2);
+  topo.hosts[1]->set_storm_mode(true);
+  topo.sim().run_until(milliseconds(10));
+  // "More than two thousand pause frames per second" (§6.2): 10ms => > 20.
+  EXPECT_GT(topo.hosts[1]->port(0).counters().total_tx_pause(), 20);
+  EXPECT_TRUE(topo.sw().port(1).paused(3));
+}
+
+TEST(Host, StormStopsWhenRepaired) {
+  StarTopology topo(2);
+  topo.hosts[1]->set_storm_mode(true);
+  topo.sim().run_until(milliseconds(5));
+  topo.hosts[1]->set_storm_mode(false);
+  const auto pauses_at_repair = topo.hosts[1]->port(0).counters().total_tx_pause();
+  topo.sim().run_until(milliseconds(10));
+  EXPECT_EQ(topo.hosts[1]->port(0).counters().total_tx_pause(), pauses_at_repair);
+}
+
+TEST(Host, NicWatchdogDisablesPauseGenerationPermanently) {
+  HostConfig cfg = basic_host_config();
+  cfg.watchdog.enabled = true;
+  cfg.watchdog.check_interval = milliseconds(2);
+  cfg.watchdog.trigger_after = milliseconds(10);
+  StarTopology topo(2, testing::basic_switch_config(), cfg);
+  topo.hosts[1]->set_storm_mode(true);
+  topo.sim().run_until(milliseconds(30));
+  EXPECT_EQ(topo.hosts[1]->watchdog_trips(), 1);
+  EXPECT_FALSE(topo.hosts[1]->allow_pause_tx());
+  const auto pauses = topo.hosts[1]->port(0).counters().total_tx_pause();
+  topo.sim().run_until(milliseconds(60));
+  // §4.3: the NIC watchdog never re-enables pause generation.
+  EXPECT_EQ(topo.hosts[1]->port(0).counters().total_tx_pause(), pauses);
+}
+
+TEST(Host, NicWatchdogIdleNicNeverTrips) {
+  HostConfig cfg = basic_host_config();
+  cfg.watchdog.enabled = true;
+  cfg.watchdog.check_interval = milliseconds(2);
+  cfg.watchdog.trigger_after = milliseconds(10);
+  StarTopology topo(2, testing::basic_switch_config(), cfg);
+  topo.sim().run_until(milliseconds(50));
+  EXPECT_EQ(topo.hosts[1]->watchdog_trips(), 0);
+  EXPECT_TRUE(topo.hosts[1]->allow_pause_tx());
+}
+
+TEST(Host, RxPauseHysteresis) {
+  // Saturate a host whose pipeline is slightly too slow, then stop; the
+  // pause must assert and eventually clear (XON) when the queue drains.
+  HostConfig cfg = basic_host_config();
+  cfg.rx_base_processing = nanoseconds(400);  // 1086B arrives every ~221ns
+  cfg.rx_xoff_bytes = 32 * kKiB;
+  cfg.rx_xon_bytes = 16 * kKiB;
+  StarTopology topo(2, testing::basic_switch_config(), cfg);
+  QpConfig qp;
+  qp.dcqcn = false;
+  auto [qa, qb] = connect_qp_pair(*topo.hosts[0], *topo.hosts[1], qp);
+  (void)qb;
+  topo.hosts[0]->rdma().post_send(qa, 512 * kKiB, 1);
+  topo.sim().run_until(milliseconds(1));
+  EXPECT_GT(topo.hosts[1]->port(0).counters().total_tx_pause(), 0);
+  topo.sim().run_until(milliseconds(30));
+  EXPECT_FALSE(topo.hosts[1]->rx_pause_asserted());
+  EXPECT_EQ(topo.hosts[1]->rx_queue_bytes(), 0);
+  EXPECT_EQ(topo.hosts[1]->rdma().stats().messages_received, 1);
+}
+
+TEST(Host, FloodedCopyIgnoredByWrongHost) {
+  StarTopology topo(3);
+  topo.fabric->kill_host(*topo.hosts[1]);
+  QpConfig qp;
+  qp.dcqcn = false;
+  auto [qa, qb] = connect_qp_pair(*topo.hosts[0], *topo.hosts[1], qp);
+  (void)qb;
+  topo.hosts[0]->rdma().post_send(qa, 2048, 1);
+  topo.sim().run_until(milliseconds(1));
+  // host 2 received flooded frames on the wire but must not deliver them.
+  EXPECT_GT(topo.hosts[2]->port(0).counters().rx_packets[3], 0);
+  EXPECT_EQ(topo.hosts[2]->rdma().stats().messages_received, 0);
+}
+
+}  // namespace
+}  // namespace rocelab

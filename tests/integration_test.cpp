@@ -1,0 +1,220 @@
+// Cross-module integration scenarios: the paper's safety incidents at test
+// scale, staged deployment, and RDMA/TCP coexistence on a Clos fabric.
+#include <gtest/gtest.h>
+
+#include "src/app/demux.h"
+#include "src/app/traffic.h"
+#include "src/monitor/monitor.h"
+#include "src/rocev2/deployment.h"
+#include "tests/testutil.h"
+
+namespace rocelab {
+namespace {
+
+TEST(Integration, PfcDeadlockFormsWithFloodingAndNotWithFix) {
+  // Compressed version of the Fig. 4 scenario (see bench/fig_deadlock.cpp
+  // for the full reproduction with the paper's exact port map).
+  for (ArpIncompletePolicy policy :
+       {ArpIncompletePolicy::kFlood, ArpIncompletePolicy::kDropLossless}) {
+    Fabric fabric;
+    SwitchConfig cfg;
+    cfg.lossless[3] = true;
+    cfg.arp_policy = policy;
+    auto& t0 = fabric.add_switch("T0", cfg, 4);
+    auto& t1 = fabric.add_switch("T1", cfg, 7);
+    auto& la = fabric.add_switch("La", cfg, 2);
+    auto& lb = fabric.add_switch("Lb", cfg, 2);
+    HostConfig hc;
+    hc.lossless[3] = true;
+    auto mk = [&](const char* n, std::uint8_t c, std::uint8_t d) -> Host& {
+      auto& h = fabric.add_host(n, hc);
+      h.set_ip(Ipv4Addr::from_octets(10, 0, c, d));
+      return h;
+    };
+    Host& s1 = mk("S1", 0, 1);
+    Host& s2 = mk("S2", 0, 2);
+    Host& s3 = mk("S3", 1, 1);
+    Host& s4 = mk("S4", 1, 2);
+    Host& s5 = mk("S5", 1, 3);
+    Host& s6 = mk("S6", 1, 4);
+    Host& s7 = mk("S7", 1, 5);
+    const Time c2 = propagation_delay_for_meters(2);
+    t0.add_local_subnet({Ipv4Addr::from_octets(10, 0, 0, 0), 24});
+    t1.add_local_subnet({Ipv4Addr::from_octets(10, 0, 1, 0), 24});
+    fabric.attach_host(s1, t0, 0, gbps(40), c2);
+    fabric.attach_host(s2, t0, 1, gbps(40), c2);
+    fabric.attach_host(s3, t1, 0, gbps(40), c2);
+    fabric.attach_host(s4, t1, 1, gbps(40), c2);
+    fabric.attach_host(s5, t1, 2, gbps(40), c2);
+    fabric.attach_host(s6, t1, 5, gbps(40), c2);
+    fabric.attach_host(s7, t1, 6, gbps(40), c2);
+    fabric.attach_switches(t0, 2, la, 0, gbps(40), c2);
+    fabric.attach_switches(t0, 3, lb, 0, gbps(40), c2);
+    fabric.attach_switches(t1, 3, la, 1, gbps(40), c2);
+    fabric.attach_switches(t1, 4, lb, 1, gbps(40), c2);
+    t0.add_route({Ipv4Addr::from_octets(10, 0, 1, 0), 24}, {2});
+    t1.add_route({Ipv4Addr::from_octets(10, 0, 0, 0), 24}, {4});
+    la.add_route({Ipv4Addr::from_octets(10, 0, 0, 0), 24}, {0});
+    la.add_route({Ipv4Addr::from_octets(10, 0, 1, 0), 24}, {1});
+    lb.add_route({Ipv4Addr::from_octets(10, 0, 0, 0), 24}, {0});
+    lb.add_route({Ipv4Addr::from_octets(10, 0, 1, 0), 24}, {1});
+    fabric.kill_host(s2);
+    fabric.kill_host(s3);
+
+    QpConfig dead_cfg;
+    dead_cfg.dcqcn = false;
+    dead_cfg.retx_timeout = microseconds(100);
+    QpConfig live_cfg;
+    live_cfg.dcqcn = false;
+    auto [purple, x0] = connect_qp_pair(s1, s3, dead_cfg);
+    auto [black, x1] = connect_qp_pair(s1, s5, live_cfg);
+    auto [blue, x2] = connect_qp_pair(s4, s2, dead_cfg);
+    auto [i6, x3] = connect_qp_pair(s6, s5, live_cfg);
+    auto [i7, x4] = connect_qp_pair(s7, s5, live_cfg);
+    (void)x0; (void)x1; (void)x2; (void)x3; (void)x4;
+    RdmaDemux d1(s1), d4(s4), d6(s6), d7(s7);
+    RdmaStreamSource sp(s1, d1, purple, {.message_bytes = 16 * kMiB, .max_outstanding = 1});
+    RdmaStreamSource sb(s1, d1, black, {.message_bytes = 1 * kMiB, .max_outstanding = 1});
+    RdmaStreamSource su(s4, d4, blue, {.message_bytes = 16 * kMiB, .max_outstanding = 1});
+    RdmaStreamSource s6s(s6, d6, i6, {.message_bytes = 1 * kMiB, .max_outstanding = 2});
+    RdmaStreamSource s7s(s7, d7, i7, {.message_bytes = 1 * kMiB, .max_outstanding = 2});
+    sp.start(); sb.start(); su.start(); s6s.start(); s7s.start();
+
+    fabric.sim().run_until(milliseconds(80));
+    std::vector<Switch*> switches{&t0, &t1, &la, &lb};
+    const auto report = detect_pfc_deadlock(switches);
+    if (policy == ArpIncompletePolicy::kFlood) {
+      EXPECT_TRUE(report.deadlocked);
+      EXPECT_GE(report.cycle.size(), 4u);
+    } else {
+      EXPECT_FALSE(report.deadlocked);
+    }
+  }
+}
+
+TEST(Integration, StormConfinedByBothWatchdogs) {
+  QosPolicy policy;
+  policy.nic_watchdog = true;
+  policy.switch_watchdog = true;
+  ClosParams params = make_clos_params(policy, DeploymentStage::kFull, 1, 2, 2, 2, 0);
+  // Speed the watchdogs up for a compact test.
+  params.tor_config.watchdog.check_interval = milliseconds(1);
+  params.tor_config.watchdog.trigger_after = milliseconds(5);
+  params.tor_config.watchdog.reenable_after = milliseconds(10);
+  params.host_config.watchdog.check_interval = milliseconds(1);
+  params.host_config.watchdog.trigger_after = milliseconds(5);
+  ClosFabric clos(params);
+
+  Host& victim = clos.server(0, 0, 0);
+  Host& a = clos.server(0, 0, 1);
+  Host& b = clos.server(0, 1, 1);
+  QpConfig qp = make_qp_config(policy);
+  auto [qa, qb] = connect_qp_pair(a, b, qp);
+  (void)qb;
+  RdmaDemux demux(a);
+  RdmaStreamSource innocent(a, demux, qa, {.message_bytes = 64 * kKiB, .max_outstanding = 2});
+  innocent.start();
+  // Traffic into the victim so its ToR port backs up.
+  auto [qv, qv2] = connect_qp_pair(b, victim, qp);
+  (void)qv2;
+  b.rdma().post_send(qv, 1 * kMiB, 1);
+
+  victim.set_storm_mode(true);
+  clos.sim().run_until(milliseconds(50));
+
+  EXPECT_GE(victim.watchdog_trips() + clos.tor(0, 0).watchdog_trips(), 1);
+  // The innocent flow kept going (storm confined).
+  const auto completed_mid = innocent.completed_messages();
+  clos.sim().run_until(milliseconds(60));
+  EXPECT_GT(innocent.completed_messages(), completed_mid);
+}
+
+TEST(Integration, StagedDeploymentTorOnlyKeepsFabricLossy) {
+  QosPolicy policy;
+  ClosParams params = make_clos_params(policy, DeploymentStage::kTorOnly, 1, 2, 2, 2, 0);
+  ClosFabric clos(params);
+  // RDMA still works (it does not REQUIRE lossless to deliver, only to
+  // guarantee no congestion drops).
+  QpConfig qp = make_qp_config(policy);
+  auto [qa, qb] = connect_qp_pair(clos.server(0, 0, 0), clos.server(0, 1, 0), qp);
+  (void)qb;
+  clos.server(0, 0, 0).rdma().post_send(qa, 64 * 1024, 1);
+  clos.sim().run_until(milliseconds(5));
+  EXPECT_EQ(clos.server(0, 1, 0).rdma().stats().messages_received, 1);
+  // Leaves are lossy at this stage: they never generate PFC.
+  for (int l = 0; l < 2; ++l) {
+    for (int p = 0; p < clos.leaf(0, l).port_count(); ++p) {
+      EXPECT_EQ(clos.leaf(0, l).port(p).counters().total_tx_pause(), 0);
+    }
+  }
+}
+
+TEST(Integration, PingmeshMeasuresAcrossClos) {
+  QosPolicy policy;
+  ClosParams params = make_clos_params(policy, DeploymentStage::kFull, 2, 2, 2, 2, 4);
+  ClosFabric clos(params);
+  Host& a = clos.server(0, 0, 0);
+  Host& b = clos.server(1, 1, 1);
+  RdmaDemux da(a), db(b);
+  auto [pq, tq] = connect_qp_pair(a, b, make_qp_config(policy));
+  RdmaEchoServer echo(b, db, tq, 512);
+  RdmaPingmesh ping(a, da, {pq},
+                    RdmaPingmesh::Options{.probe_bytes = 512, .interval = microseconds(100),
+                                          .timeout = milliseconds(10)});
+  ping.start();
+  clos.sim().run_until(milliseconds(5));
+  EXPECT_GT(ping.rtt_us().count(), 30u);
+  EXPECT_EQ(ping.probes_failed(), 0);
+  // Five hops each way at short cables: a handful of microseconds.
+  EXPECT_LT(ping.rtt_us().percentile(99), 50.0);
+}
+
+TEST(Integration, IncastClientCompletesQueries) {
+  QosPolicy policy;
+  ClosParams params = make_clos_params(policy, DeploymentStage::kFull, 1, 2, 2, 4, 0);
+  ClosFabric clos(params);
+  Host& client = clos.server(0, 0, 0);
+  RdmaDemux dc(client);
+  std::vector<std::unique_ptr<RdmaDemux>> demuxes;
+  std::vector<std::unique_ptr<RdmaEchoServer>> echoes;
+  std::vector<std::uint32_t> qpns;
+  for (int s = 0; s < 4; ++s) {
+    Host& server = clos.server(0, 1, s);
+    auto [cq, sq] = connect_qp_pair(client, server, make_qp_config(policy));
+    demuxes.push_back(std::make_unique<RdmaDemux>(server));
+    echoes.push_back(std::make_unique<RdmaEchoServer>(server, *demuxes.back(), sq, 8 * kKiB));
+    qpns.push_back(cq);
+  }
+  RdmaIncastClient incast(client, dc, qpns,
+                          RdmaIncastClient::Options{.request_bytes = 512,
+                                                    .mean_interval = 0,  // closed loop
+                                                    .stop_after_queries = 50});
+  incast.start();
+  clos.sim().run_until(milliseconds(20));
+  EXPECT_EQ(incast.queries_completed(), 50);
+  EXPECT_GT(incast.query_latencies_us().percentile(50), 0);
+}
+
+TEST(Integration, VlanModeFabricStillDelivers) {
+  // §3: the original VLAN-based PFC works (it just doesn't scale
+  // operationally) — the simulator supports it for comparison.
+  SwitchConfig cfg = testing::basic_switch_config();
+  cfg.classify_mode = ClassifyMode::kVlanPcp;
+  HostConfig hc = testing::basic_host_config();
+  hc.vlan_id = 7;  // the VLAN deployment: NIC tags frames with the PCP
+  testing::StarTopology topo(2, cfg, hc);
+  topo.sw().set_port_l2_mode(0, L2PortMode::kTrunk);
+  topo.sw().set_port_l2_mode(1, L2PortMode::kTrunk);
+  QpConfig qp;
+  qp.dcqcn = false;
+  auto [qa, qb] = connect_qp_pair(*topo.hosts[0], *topo.hosts[1], qp);
+  (void)qb;
+  topo.hosts[0]->rdma().post_send(qa, 16 * 1024, 1);
+  topo.sim().run_until(milliseconds(1));
+  // RDMA traffic classified by PCP into the lossless class and delivered.
+  EXPECT_EQ(topo.hosts[1]->rdma().stats().messages_received, 1);
+  EXPECT_GT(topo.sw().port(1).counters().tx_packets[3], 0);
+}
+
+}  // namespace
+}  // namespace rocelab

@@ -1,0 +1,218 @@
+// Shared-buffer MMU: dynamic thresholds (the §6.2 alpha), headroom,
+// reserved minimums, XOFF/XON conditions, and conservation properties.
+#include <gtest/gtest.h>
+
+#include "src/common/rng.h"
+#include "src/switch/mmu.h"
+
+namespace rocelab {
+namespace {
+
+std::array<bool, kNumPriorities> lossless3() {
+  std::array<bool, kNumPriorities> l{};
+  l[3] = true;
+  return l;
+}
+
+MmuConfig small_cfg() {
+  MmuConfig cfg;
+  cfg.total_buffer = 2 * kMiB;
+  cfg.headroom_per_pg = 64 * kKiB;
+  cfg.reserved_per_pg = 4 * kKiB;
+  cfg.alpha = 0.5;
+  cfg.alpha_lossy = 0.5;
+  cfg.xon_offset = 16 * kKiB;
+  return cfg;
+}
+
+TEST(Mmu, SharedPoolExcludesHeadroomAndReserved) {
+  const MmuConfig cfg = small_cfg();
+  Mmu mmu(cfg, 4, lossless3());
+  // 4 ports * 1 lossless class * 64KB headroom + 4 ports * 8 PGs * 4KB.
+  EXPECT_EQ(mmu.shared_pool_size(),
+            cfg.total_buffer - 4 * 64 * kKiB - 4 * 8 * 4 * kKiB);
+}
+
+TEST(Mmu, ThrowsWhenHeadroomExceedsBuffer) {
+  MmuConfig cfg = small_cfg();
+  cfg.headroom_per_pg = 1 * kMiB;  // 4 ports x 1MB > 2MB total
+  EXPECT_THROW(Mmu(cfg, 4, lossless3()), std::invalid_argument);
+}
+
+TEST(Mmu, ReservedAdmittedFirst) {
+  Mmu mmu(small_cfg(), 4, lossless3());
+  const auto a = mmu.admit(0, 1, 1000);  // lossy PG
+  EXPECT_TRUE(a.admitted);
+  EXPECT_EQ(a.to_reserved, 1000);
+  EXPECT_EQ(a.to_shared, 0);
+  EXPECT_EQ(mmu.shared_used(), 0);
+}
+
+TEST(Mmu, OverflowsToSharedAfterReserved) {
+  Mmu mmu(small_cfg(), 4, lossless3());
+  mmu.admit(0, 1, 4 * kKiB);  // fills the reserved quota
+  const auto a = mmu.admit(0, 1, 1000);
+  EXPECT_TRUE(a.admitted);
+  EXPECT_EQ(a.to_shared, 1000);
+}
+
+TEST(Mmu, DynamicThresholdShrinksAsPoolFills) {
+  Mmu mmu(small_cfg(), 4, lossless3());
+  const auto t0 = mmu.threshold(0, 3);
+  mmu.admit(0, 3, 4 * kKiB);          // reserved, no effect on threshold
+  EXPECT_EQ(mmu.threshold(0, 3), t0);
+  mmu.admit(0, 3, 200 * kKiB);        // shared
+  EXPECT_LT(mmu.threshold(0, 3), t0);
+}
+
+TEST(Mmu, LossyDropsAtThreshold) {
+  MmuConfig cfg = small_cfg();
+  cfg.alpha_lossy = 1.0 / 64;
+  Mmu mmu(cfg, 4, lossless3());
+  mmu.admit(0, 1, cfg.reserved_per_pg);  // exhaust reserve
+  std::int64_t admitted = 0;
+  for (int i = 0; i < 10000; ++i) {
+    const auto a = mmu.admit(0, 1, 1086);
+    if (!a.admitted) break;
+    admitted += 1086;
+  }
+  // Converges to roughly alpha/(1+alpha) of the pool.
+  const double limit = static_cast<double>(mmu.shared_pool_size()) / 65.0;
+  EXPECT_NEAR(static_cast<double>(admitted), limit, 3 * 1086);
+}
+
+TEST(Mmu, LosslessSpillsToHeadroomInsteadOfDropping) {
+  MmuConfig cfg = small_cfg();
+  cfg.alpha = 1.0 / 256;  // tiny dynamic threshold
+  Mmu mmu(cfg, 4, lossless3());
+  mmu.admit(0, 3, cfg.reserved_per_pg);
+  // Fill past the dynamic threshold but within the 64KB headroom.
+  std::int64_t headroom = 0;
+  for (int i = 0; i < 50; ++i) {
+    const auto a = mmu.admit(0, 3, 1086);
+    ASSERT_TRUE(a.admitted);
+    headroom += a.to_headroom;
+  }
+  EXPECT_GT(headroom, 0);
+  EXPECT_EQ(mmu.pg_headroom(0, 3), headroom);
+}
+
+TEST(Mmu, HeadroomOverflowFinallyDrops) {
+  MmuConfig cfg = small_cfg();
+  cfg.alpha = 1.0 / 256;
+  cfg.headroom_per_pg = 4 * kKiB;
+  Mmu mmu(cfg, 4, lossless3());
+  bool dropped = false;
+  for (int i = 0; i < 10000 && !dropped; ++i) {
+    dropped = !mmu.admit(0, 3, 1086).admitted;
+  }
+  EXPECT_TRUE(dropped);
+}
+
+TEST(Mmu, ShouldPauseWhenHeadroomInUse) {
+  MmuConfig cfg = small_cfg();
+  cfg.alpha = 1.0 / 256;
+  Mmu mmu(cfg, 4, lossless3());
+  EXPECT_FALSE(mmu.should_pause(0, 3));
+  for (int i = 0; i < 60; ++i) mmu.admit(0, 3, 1086);
+  EXPECT_TRUE(mmu.should_pause(0, 3));
+}
+
+TEST(Mmu, ResumeRequiresHysteresisAndEmptyHeadroom) {
+  MmuConfig cfg = small_cfg();
+  Mmu mmu(cfg, 4, lossless3());
+  // Fill shared beyond threshold.
+  std::vector<Mmu::Admission> admissions;
+  for (int i = 0; i < 2000; ++i) {
+    const auto a = mmu.admit(0, 3, 1086);
+    if (!a.admitted) break;
+    admissions.push_back(a);
+    if (mmu.should_pause(0, 3)) break;
+  }
+  ASSERT_TRUE(mmu.should_pause(0, 3));
+  EXPECT_FALSE(mmu.should_resume(0, 3));
+  // Release everything: must be resumable again.
+  for (const auto& a : admissions) mmu.release(0, 3, a.to_shared, a.to_headroom, a.to_reserved);
+  EXPECT_TRUE(mmu.should_resume(0, 3));
+}
+
+TEST(Mmu, ReleaseUnderflowThrows) {
+  Mmu mmu(small_cfg(), 4, lossless3());
+  EXPECT_THROW(mmu.release(0, 3, 100, 0, 0), std::logic_error);
+}
+
+TEST(Mmu, StaticModeUsesFixedLimit) {
+  MmuConfig cfg = small_cfg();
+  cfg.dynamic_shared = false;
+  cfg.static_limit_per_pg = 10 * kKiB;
+  Mmu mmu(cfg, 4, lossless3());
+  EXPECT_EQ(mmu.threshold(0, 3), 10 * kKiB);
+  mmu.admit(0, 3, 500 * kKiB);  // big admission
+  EXPECT_EQ(mmu.threshold(0, 3), 10 * kKiB);  // unchanged
+}
+
+TEST(Mmu, SetAlphaTakesEffect) {
+  Mmu mmu(small_cfg(), 4, lossless3());
+  const auto t_before = mmu.threshold(0, 3);
+  mmu.set_alpha(1.0 / 64);
+  EXPECT_LT(mmu.threshold(0, 3), t_before);
+}
+
+TEST(Mmu, PortsAccountedIndependently) {
+  Mmu mmu(small_cfg(), 4, lossless3());
+  mmu.admit(0, 3, 100 * kKiB);
+  EXPECT_GT(mmu.pg_total(0, 3), 0);
+  EXPECT_EQ(mmu.pg_total(1, 3), 0);
+}
+
+/// Property: after any random admit/release sequence fully unwinds, all
+/// pools return to zero (buffer conservation).
+class MmuConservation : public ::testing::TestWithParam<int> {};
+
+TEST_P(MmuConservation, FullDrainRestoresPools) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()));
+  std::array<bool, kNumPriorities> lossless{};
+  lossless[3] = true;
+  lossless[4] = true;
+  MmuConfig cfg;
+  cfg.total_buffer = 12 * kMiB;
+  cfg.headroom_per_pg = 20 * kKiB;
+  Mmu mmu(cfg, 16, lossless);
+
+  struct Rec {
+    int port, pg;
+    Mmu::Admission a;
+  };
+  std::vector<Rec> live;
+  for (int step = 0; step < 20000; ++step) {
+    if (live.empty() || rng.bernoulli(0.55)) {
+      const int port = static_cast<int>(rng.uniform_int(0, 15));
+      const int pg = static_cast<int>(rng.uniform_int(0, 7));
+      const auto bytes = rng.uniform_int(64, 9216);
+      const auto a = mmu.admit(port, pg, bytes);
+      if (a.admitted) live.push_back({port, pg, a});
+    } else {
+      const auto idx = static_cast<std::size_t>(rng.uniform_int(0, static_cast<std::int64_t>(live.size()) - 1));
+      const Rec r = live[idx];
+      live[idx] = live.back();
+      live.pop_back();
+      mmu.release(r.port, r.pg, r.a.to_shared, r.a.to_headroom, r.a.to_reserved);
+    }
+    // Invariant at every step: shared usage never exceeds the pool.
+    ASSERT_LE(mmu.shared_used(), mmu.shared_pool_size());
+    ASSERT_GE(mmu.shared_used(), 0);
+  }
+  for (const Rec& r : live) mmu.release(r.port, r.pg, r.a.to_shared, r.a.to_headroom, r.a.to_reserved);
+  EXPECT_EQ(mmu.shared_used(), 0);
+  for (int port = 0; port < 16; ++port) {
+    for (int pg = 0; pg < kNumPriorities; ++pg) {
+      EXPECT_EQ(mmu.pg_total(port, pg), 0) << port << "/" << pg;
+      EXPECT_TRUE(mmu.should_resume(port, pg));
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MmuConservation, ::testing::Range(1, 7));
+
+}  // namespace
+}  // namespace rocelab

@@ -1,0 +1,220 @@
+// EgressPort: PFC pause state machine, scheduling (strict + DWRR), control
+// bypass, flush, and counters.
+#include <gtest/gtest.h>
+
+#include "src/link/node.h"
+#include "src/sim/simulator.h"
+
+namespace rocelab {
+namespace {
+
+/// Sink node that records everything it receives.
+class SinkNode : public Node {
+ public:
+  SinkNode(Simulator& sim, std::string name) : Node(sim, std::move(name)) { add_port(); }
+  std::vector<Packet> received;
+
+ protected:
+  void handle_packet(Packet pkt, int in_port) override {
+    (void)in_port;
+    received.push_back(std::move(pkt));
+  }
+};
+
+class SourceNode : public Node {
+ public:
+  SourceNode(Simulator& sim, std::string name) : Node(sim, std::move(name)) { add_port(); }
+
+ protected:
+  void handle_packet(Packet, int) override {}
+};
+
+Packet data_packet(int priority, std::int64_t bytes = 1086) {
+  Packet pkt;
+  pkt.kind = PacketKind::kRaw;
+  pkt.frame_bytes = bytes;
+  pkt.priority = priority;
+  pkt.eth.dst = MacAddr::broadcast();
+  return pkt;
+}
+
+struct PortFixture : ::testing::Test {
+  Simulator sim;
+  SourceNode src{sim, "src"};
+  SinkNode dst{sim, "dst"};
+
+  PortFixture() { connect_nodes(src, 0, dst, 0, gbps(40), nanoseconds(10)); }
+};
+
+TEST_F(PortFixture, DeliversPacketWithSerializationAndPropagation) {
+  src.port(0).enqueue(data_packet(0, 1086));
+  sim.run();
+  ASSERT_EQ(dst.received.size(), 1u);
+  // (1086 + 20 wire overhead) bytes * 200ps + 10ns propagation.
+  EXPECT_EQ(sim.now(), (1086 + 20) * 200 + nanoseconds(10));
+}
+
+TEST_F(PortFixture, BackToBackPacketsSerialize) {
+  src.port(0).enqueue(data_packet(0));
+  src.port(0).enqueue(data_packet(0));
+  sim.run();
+  EXPECT_EQ(dst.received.size(), 2u);
+  EXPECT_EQ(sim.now(), 2 * (1086 + 20) * 200 + nanoseconds(10));
+}
+
+TEST_F(PortFixture, PauseBlocksOnlyThatPriority) {
+  src.port(0).receive_pause(3, 0xffff);
+  src.port(0).enqueue(data_packet(3));
+  src.port(0).enqueue(data_packet(1));
+  sim.run_until(microseconds(10));
+  ASSERT_EQ(dst.received.size(), 1u);
+  EXPECT_EQ(dst.received[0].priority, 1);
+  EXPECT_TRUE(src.port(0).paused(3));
+  EXPECT_EQ(src.port(0).queued_bytes(3), 1086);
+}
+
+TEST_F(PortFixture, PauseExpiresAfterQuanta) {
+  src.port(0).receive_pause(3, 100);  // 100 quanta = 100 * 512 bit times
+  src.port(0).enqueue(data_packet(3));
+  const Time quantum = src.port(0).quantum_time();
+  sim.run();
+  EXPECT_EQ(dst.received.size(), 1u);
+  EXPECT_GE(sim.now(), 100 * quantum);
+}
+
+TEST_F(PortFixture, XonResumesImmediately) {
+  src.port(0).receive_pause(3, 0xffff);
+  src.port(0).enqueue(data_packet(3));
+  sim.schedule_at(microseconds(5), [&] { src.port(0).receive_pause(3, 0); });
+  // Well before the 0xffff pause would expire on its own (~839us).
+  sim.run_until(microseconds(10));
+  EXPECT_EQ(dst.received.size(), 1u);
+}
+
+TEST_F(PortFixture, PausedTimeAccounted) {
+  src.port(0).receive_pause(3, 0xffff);
+  sim.schedule_at(microseconds(50), [&] { src.port(0).receive_pause(3, 0); });
+  sim.run();
+  EXPECT_EQ(src.port(0).counters().paused_time[3], microseconds(50));
+}
+
+TEST_F(PortFixture, ControlFramesBypassPausedData) {
+  for (int p = 0; p < kNumPriorities; ++p) src.port(0).receive_pause(p, 0xffff);
+  src.port(0).enqueue(data_packet(3));
+  src.send_pause(0, 5, 7);  // control frame out the paused port
+  sim.run_until(microseconds(2));
+  // The pause frame got through; the data did not.
+  EXPECT_EQ(dst.port(0).counters().rx_pause[5], 1);
+  EXPECT_EQ(dst.received.size(), 0u);
+}
+
+TEST_F(PortFixture, FullyBlockedSemantics) {
+  EXPECT_FALSE(src.port(0).fully_blocked());  // nothing queued
+  src.port(0).receive_pause(3, 0xffff);
+  src.port(0).enqueue(data_packet(0, 9216));  // keeps the port busy a while
+  src.port(0).enqueue(data_packet(3));
+  EXPECT_TRUE(src.port(0).fully_blocked());  // only the paused queue holds data
+  src.port(0).enqueue(data_packet(1));  // unpaused priority queued behind busy port
+  EXPECT_FALSE(src.port(0).fully_blocked());
+}
+
+TEST_F(PortFixture, StrictPriorityWinsOverDwrr) {
+  // Pause everything, enqueue in "wrong" order, then release: the strict
+  // queue must win.
+  src.port(0).set_queue_config(6, EgressPort::QueueConfig{1, true});
+  for (int p = 0; p < kNumPriorities; ++p) src.port(0).receive_pause(p, 0xffff);
+  src.port(0).enqueue(data_packet(1));
+  src.port(0).enqueue(data_packet(6));
+  // Release highest first so both queues are sendable when transmission
+  // resumes (XON itself kicks the transmitter).
+  for (int p = kNumPriorities - 1; p >= 0; --p) src.port(0).receive_pause(p, 0);
+  sim.run();
+  ASSERT_EQ(dst.received.size(), 2u);
+  EXPECT_EQ(dst.received[0].priority, 6);
+}
+
+TEST_F(PortFixture, DwrrWeightsShareBandwidth) {
+  src.port(0).set_queue_config(1, EgressPort::QueueConfig{1, false});
+  src.port(0).set_queue_config(3, EgressPort::QueueConfig{3, false});
+  for (int i = 0; i < 400; ++i) {
+    src.port(0).enqueue(data_packet(1, 1000));
+    src.port(0).enqueue(data_packet(3, 1000));
+  }
+  // Run for a fixed window, then compare delivered shares.
+  sim.run_until(microseconds(60));
+  std::int64_t p1 = 0, p3 = 0;
+  for (const auto& pkt : dst.received) {
+    if (pkt.priority == 1) ++p1;
+    if (pkt.priority == 3) ++p3;
+  }
+  ASSERT_GT(p1, 0);
+  const double ratio = static_cast<double>(p3) / static_cast<double>(p1);
+  EXPECT_NEAR(ratio, 3.0, 0.6);
+}
+
+TEST_F(PortFixture, FlushPriorityDropsAndCounts) {
+  src.port(0).receive_pause(2, 0xffff);
+  src.port(0).enqueue(data_packet(2));
+  src.port(0).enqueue(data_packet(2));
+  sim.run_until(microseconds(1));
+  int dequeue_calls = 0;
+  src.port(0).on_dequeue = [&](const Packet&, int) { ++dequeue_calls; };
+  EXPECT_EQ(src.port(0).flush_priority(2), 2u);
+  EXPECT_EQ(src.port(0).queued_bytes(2), 0);
+  EXPECT_EQ(dequeue_calls, 2);
+  EXPECT_EQ(src.port(0).counters().egress_drops, 2);
+}
+
+TEST_F(PortFixture, TxCountersPerPriority) {
+  src.port(0).enqueue(data_packet(5, 500));
+  sim.run();
+  EXPECT_EQ(src.port(0).counters().tx_packets[5], 1);
+  EXPECT_EQ(src.port(0).counters().tx_bytes[5], 500);
+  EXPECT_EQ(dst.port(0).counters().rx_packets[5], 1);
+  EXPECT_EQ(dst.port(0).counters().rx_bytes[5], 500);
+}
+
+TEST_F(PortFixture, PauseCountersBothSides) {
+  src.send_pause(0, 3, 0xffff);
+  sim.run_until(microseconds(1));  // delivered, not yet expired
+  EXPECT_EQ(src.port(0).counters().tx_pause[3], 1);
+  EXPECT_EQ(dst.port(0).counters().rx_pause[3], 1);
+  // And the pause applied to the receiver's egress side of that port.
+  EXPECT_TRUE(dst.port(0).paused(3));
+}
+
+TEST_F(PortFixture, PauseTxSuppressedByWatchdogFlag) {
+  src.set_allow_pause_tx(false);
+  src.send_pause(0, 3, 0xffff);
+  sim.run();
+  EXPECT_EQ(dst.port(0).counters().rx_pause[3], 0);
+}
+
+TEST_F(PortFixture, OnDrainFires) {
+  int drains = 0;
+  src.port(0).on_drain = [&] { ++drains; };
+  src.port(0).enqueue(data_packet(0));
+  src.port(0).enqueue(data_packet(0));
+  sim.run();
+  EXPECT_EQ(drains, 2);
+}
+
+TEST(NodeMac, UniquePerNodeAndPort) {
+  Simulator sim;
+  SourceNode a(sim, "a"), b(sim, "b");
+  EXPECT_NE(a.port_mac(0), b.port_mac(0));
+  SinkNode c(sim, "c");
+  EXPECT_NE(c.port_mac(0), a.port_mac(0));
+}
+
+TEST(NodeMac, PeerMacVisibleAfterWiring) {
+  Simulator sim;
+  SourceNode a(sim, "a");
+  SinkNode b(sim, "b");
+  connect_nodes(a, 0, b, 0, gbps(40), 0);
+  EXPECT_EQ(a.port(0).peer_mac(), b.port_mac(0));
+  EXPECT_EQ(b.port(0).peer_mac(), a.port_mac(0));
+}
+
+}  // namespace
+}  // namespace rocelab

@@ -1,0 +1,200 @@
+// Third property battery: randomized codec round-trips, DCQCN convergence,
+// selective-repeat integrity under combined faults, and simulator stress.
+#include <gtest/gtest.h>
+
+#include "src/app/demux.h"
+#include "src/app/traffic.h"
+#include "src/net/codec.h"
+#include "tests/testutil.h"
+
+namespace rocelab {
+namespace {
+
+using testing::StarTopology;
+
+class CodecFuzz : public ::testing::TestWithParam<int> {};
+
+TEST_P(CodecFuzz, RandomRoceFramesRoundTripBothModes) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()));
+  for (int i = 0; i < 200; ++i) {
+    Packet pkt;
+    pkt.kind = PacketKind::kRoceData;
+    pkt.payload_bytes = static_cast<std::int32_t>(rng.uniform_int(0, 4096));
+    pkt.frame_bytes = kRoceDataOverheadBytes + pkt.payload_bytes;
+    pkt.priority = static_cast<int>(rng.uniform_int(0, 7));
+    Ipv4Header ip;
+    ip.src.value = static_cast<std::uint32_t>(rng.uniform_int(0, 0xffffffffLL));
+    ip.dst.value = static_cast<std::uint32_t>(rng.uniform_int(0, 0xffffffffLL));
+    ip.id = static_cast<std::uint16_t>(rng.uniform_int(0, 0xffff));
+    ip.ttl = static_cast<std::uint8_t>(rng.uniform_int(1, 255));
+    ip.ecn = static_cast<Ecn>(rng.uniform_int(0, 3));
+    pkt.ip = ip;
+    pkt.udp = UdpHeader{static_cast<std::uint16_t>(rng.uniform_int(1, 0xffff)), kRoceUdpPort, 0};
+    RoceBth bth;
+    bth.opcode = RoceOpcode::kSendMiddle;
+    bth.dest_qp = static_cast<std::uint32_t>(rng.uniform_int(0, 0xffffff));
+    bth.psn = static_cast<std::uint32_t>(rng.uniform_int(0, 0xffffff));
+    bth.ack_request = rng.bernoulli(0.5);
+    pkt.bth = bth;
+
+    for (PfcMode mode : {PfcMode::kDscpBased, PfcMode::kVlanBased}) {
+      const Bytes frame = encode_roce_frame(pkt, mode);
+      const auto d = decode_roce_frame(frame);
+      ASSERT_TRUE(d.has_value()) << "i=" << i;
+      EXPECT_TRUE(d->fcs_ok);
+      EXPECT_EQ(d->ip.src, ip.src);
+      EXPECT_EQ(d->ip.dst, ip.dst);
+      EXPECT_EQ(d->ip.id, ip.id);
+      EXPECT_EQ(d->bth.dest_qp, bth.dest_qp);
+      EXPECT_EQ(d->bth.psn, bth.psn);
+      EXPECT_EQ(d->bth.ack_request, bth.ack_request);
+      EXPECT_EQ(d->payload_bytes, static_cast<std::size_t>(pkt.payload_bytes));
+      if (mode == PfcMode::kDscpBased) {
+        EXPECT_EQ(d->ip.dscp, pkt.priority);
+      } else {
+        ASSERT_TRUE(d->eth.vlan.has_value());
+        EXPECT_EQ(d->eth.vlan->pcp, pkt.priority);
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CodecFuzz, ::testing::Range(1, 5));
+
+class CodecCorruption : public ::testing::TestWithParam<int> {};
+
+TEST_P(CodecCorruption, SingleBitFlipsNeverPassTheFcs) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 77);
+  Packet pkt;
+  pkt.kind = PacketKind::kRoceData;
+  pkt.payload_bytes = 256;
+  pkt.frame_bytes = kRoceDataOverheadBytes + 256;
+  pkt.priority = 3;
+  pkt.ip = Ipv4Header{Ipv4Addr{0x0a000001}, Ipv4Addr{0x0a000102}};
+  pkt.udp = UdpHeader{50001, kRoceUdpPort, 0};
+  pkt.bth = RoceBth{};
+  const Bytes clean = encode_roce_frame(pkt, PfcMode::kDscpBased);
+  for (int i = 0; i < 100; ++i) {
+    Bytes frame = clean;
+    const auto byte = static_cast<std::size_t>(
+        rng.uniform_int(0, static_cast<std::int64_t>(frame.size()) - 1));
+    frame[byte] ^= static_cast<std::uint8_t>(1 << rng.uniform_int(0, 7));
+    const auto d = decode_roce_frame(frame);
+    // Either a header decoder rejects the frame outright or the FCS flags it.
+    if (d.has_value()) {
+      EXPECT_FALSE(d->fcs_ok) << "flip at byte " << byte;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CodecCorruption, ::testing::Range(1, 4));
+
+class DcqcnConvergence : public ::testing::TestWithParam<int> {};
+
+TEST_P(DcqcnConvergence, IncastConvergesToFairEfficientShares) {
+  // Property over fan-in: after convergence time, DCQCN incast is both
+  // efficient (>60% of bottleneck) and fair (Jain > 0.9), with bounded
+  // queues and no lossless drops.
+  const int senders = GetParam();
+  SwitchConfig cfg = testing::basic_switch_config();
+  cfg.ecn[3] = EcnConfig{true, 5 * kKiB, 200 * kKiB, 0.01};
+  StarTopology topo(senders + 1, cfg);
+  Host& rx = *topo.hosts[static_cast<std::size_t>(senders)];
+  std::vector<std::unique_ptr<RdmaDemux>> demuxes;
+  std::vector<std::unique_ptr<RdmaStreamSource>> sources;
+  for (int i = 0; i < senders; ++i) {
+    auto [qa, qb] = connect_qp_pair(*topo.hosts[static_cast<std::size_t>(i)], rx, QpConfig{});
+    (void)qb;
+    demuxes.push_back(std::make_unique<RdmaDemux>(*topo.hosts[static_cast<std::size_t>(i)]));
+    sources.push_back(std::make_unique<RdmaStreamSource>(
+        *topo.hosts[static_cast<std::size_t>(i)], *demuxes.back(), qa,
+        RdmaStreamSource::Options{.message_bytes = 64 * kKiB, .max_outstanding = 2}));
+    sources.back()->start();
+  }
+  topo.sim().run_until(milliseconds(40));
+  double sum = 0, sum_sq = 0;
+  for (auto& s : sources) {
+    sum += s->goodput_bps();
+    sum_sq += s->goodput_bps() * s->goodput_bps();
+  }
+  const double jain = sum * sum / (senders * sum_sq);
+  EXPECT_GT(sum, 24e9) << senders << " senders";
+  EXPECT_GT(jain, 0.90) << senders << " senders";
+  std::int64_t drops = 0;
+  for (int p = 0; p < topo.sw().port_count(); ++p) {
+    drops += topo.sw().port(p).counters().headroom_overflow_drops;
+  }
+  EXPECT_EQ(drops, 0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Fanin, DcqcnConvergence, ::testing::Values(2, 3, 5, 12));
+
+class SelectiveRepeatIntegrity : public ::testing::TestWithParam<double> {};
+
+TEST_P(SelectiveRepeatIntegrity, DeliversExactlyOnceUnderAnyLoss) {
+  const double loss = GetParam();
+  StarTopology topo(2);
+  auto rng = std::make_shared<Rng>(static_cast<std::uint64_t>(loss * 1e6) + 3);
+  topo.sw().set_drop_filter([rng, loss](const Packet& p) {
+    (void)p;
+    return rng->bernoulli(loss);  // ALL packet types, including ACKs/NAKs
+  });
+  QpConfig qp;
+  qp.dcqcn = false;
+  qp.recovery = LossRecovery::kSelectiveRepeat;
+  qp.retx_timeout = microseconds(200);
+  auto [qa, qb] = connect_qp_pair(*topo.hosts[0], *topo.hosts[1], qp);
+  std::vector<int> delivered(15, 0);
+  RdmaDemux demux(*topo.hosts[1]);
+  demux.on_recv(qb, [&](const RdmaRecv& r) { ++delivered[r.msg_id]; });
+  for (std::uint64_t m = 0; m < 15; ++m) {
+    topo.hosts[0]->rdma().post_send(qa, 12 * 1024, m);
+  }
+  topo.sim().run_until(milliseconds(500));
+  for (int m = 0; m < 15; ++m) {
+    EXPECT_EQ(delivered[static_cast<std::size_t>(m)], 1) << "msg " << m;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(LossRates, SelectiveRepeatIntegrity,
+                         ::testing::Values(0.001, 0.01, 0.05));
+
+TEST(SimulatorStress, MillionsOfEventsStayOrdered) {
+  Simulator sim;
+  Rng rng(9);
+  Time last = -1;
+  std::int64_t count = 0;
+  std::function<void()> check = [&] {
+    EXPECT_GE(sim.now(), last);
+    last = sim.now();
+    ++count;
+    if (count < 300000) {
+      sim.schedule_in(rng.uniform_int(0, 1000), check);
+      if (count % 7 == 0) sim.schedule_in(rng.uniform_int(0, 5000), check);
+    }
+  };
+  for (int i = 0; i < 10; ++i) sim.schedule_at(rng.uniform_int(0, 100), check);
+  sim.run();
+  EXPECT_GE(count, 300000);
+  EXPECT_EQ(sim.pending_events(), 0u);
+}
+
+TEST(FabricStress, RepeatedBuildTeardownLeaksNothingObservable) {
+  // Charges in flight at teardown must not crash (the alive-guard).
+  for (int round = 0; round < 20; ++round) {
+    StarTopology topo(3);
+    QpConfig qp;
+    qp.dcqcn = false;
+    auto [qa, qb] = connect_qp_pair(*topo.hosts[0], *topo.hosts[2], qp);
+    auto [qc, qd] = connect_qp_pair(*topo.hosts[1], *topo.hosts[2], qp);
+    (void)qb; (void)qd;
+    topo.hosts[0]->rdma().post_send(qa, 256 * 1024, 1);
+    topo.hosts[1]->rdma().post_send(qc, 256 * 1024, 2);
+    // Stop mid-flight: packets are queued in switch buffers and events.
+    topo.sim().run_until(microseconds(20 + round));
+  }
+  SUCCEED();
+}
+
+}  // namespace
+}  // namespace rocelab

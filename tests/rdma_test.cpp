@@ -1,0 +1,271 @@
+// RoCEv2 transport: segmentation, ACK/NAK, go-back-0 vs go-back-N (§4.1),
+// retransmission timers, READ, and multi-QP behaviour.
+#include <gtest/gtest.h>
+
+#include "src/app/demux.h"
+#include "src/app/traffic.h"
+#include "tests/testutil.h"
+
+namespace rocelab {
+namespace {
+
+using testing::StarTopology;
+
+QpConfig lab_qp() {
+  QpConfig qp;
+  qp.dcqcn = false;
+  return qp;
+}
+
+TEST(RdmaTransport, SegmentsTo1086ByteFrames) {
+  StarTopology topo(2);
+  auto [qa, qb] = connect_qp_pair(*topo.hosts[0], *topo.hosts[1], lab_qp());
+  (void)qb;
+  topo.hosts[0]->rdma().post_send(qa, 10 * 1024, 1);  // 10 full + 1 partial
+  topo.sim().run_until(milliseconds(1));
+  EXPECT_EQ(topo.hosts[0]->rdma().stats().data_packets_sent, 10);
+  EXPECT_EQ(topo.hosts[1]->rdma().stats().bytes_received, 10 * 1024);
+}
+
+TEST(RdmaTransport, WriteBehavesLikeSend) {
+  StarTopology topo(2);
+  auto [qa, qb] = connect_qp_pair(*topo.hosts[0], *topo.hosts[1], lab_qp());
+  (void)qb;
+  std::int64_t got = 0;
+  RdmaDemux demux(*topo.hosts[1]);
+  demux.on_recv(qb, [&](const RdmaRecv& r) { got = r.bytes; });
+  topo.hosts[0]->rdma().post_write(qa, 3000, 9);
+  topo.sim().run_until(milliseconds(1));
+  EXPECT_EQ(got, 3000);
+  EXPECT_EQ(topo.hosts[0]->rdma().stats().messages_completed, 1);
+}
+
+TEST(RdmaTransport, ReadPullsDataFromResponder) {
+  StarTopology topo(2);
+  auto [qa, qb] = connect_qp_pair(*topo.hosts[0], *topo.hosts[1], lab_qp());
+  (void)qb;
+  RdmaCompletion done{};
+  RdmaDemux demux(*topo.hosts[0]);
+  demux.on_completion(qa, [&](const RdmaCompletion& c) { done = c; });
+  topo.hosts[0]->rdma().post_read(qa, 64 * 1024, 77);
+  topo.sim().run_until(milliseconds(2));
+  EXPECT_EQ(done.msg_id, 77u);
+  EXPECT_EQ(done.bytes, 64 * 1024);
+  // Data flowed from the responder, so B's NIC transmitted the packets.
+  EXPECT_GT(topo.hosts[1]->rdma().stats().data_packets_sent, 60);
+}
+
+TEST(RdmaTransport, MessagesCompleteInOrder) {
+  StarTopology topo(2);
+  auto [qa, qb] = connect_qp_pair(*topo.hosts[0], *topo.hosts[1], lab_qp());
+  (void)qb;
+  std::vector<std::uint64_t> completed;
+  RdmaDemux demux(*topo.hosts[0]);
+  demux.on_completion(qa, [&](const RdmaCompletion& c) { completed.push_back(c.msg_id); });
+  for (std::uint64_t m = 1; m <= 5; ++m) topo.hosts[0]->rdma().post_send(qa, 8 * 1024, m);
+  topo.sim().run_until(milliseconds(2));
+  EXPECT_EQ(completed, (std::vector<std::uint64_t>{1, 2, 3, 4, 5}));
+}
+
+TEST(RdmaTransport, ZeroOrNegativeSizeThrows) {
+  StarTopology topo(2);
+  auto [qa, qb] = connect_qp_pair(*topo.hosts[0], *topo.hosts[1], lab_qp());
+  (void)qb;
+  EXPECT_THROW(topo.hosts[0]->rdma().post_send(qa, 0, 1), std::invalid_argument);
+  EXPECT_THROW(topo.hosts[0]->rdma().post_send(qa, -5, 1), std::invalid_argument);
+}
+
+TEST(RdmaTransport, PostOnUnconnectedQpThrows) {
+  StarTopology topo(2);
+  const auto qpn = topo.hosts[0]->rdma().create_qp(lab_qp());
+  EXPECT_THROW(topo.hosts[0]->rdma().post_send(qpn, 100, 1), std::logic_error);
+}
+
+TEST(RdmaTransport, UnknownQpThrows) {
+  StarTopology topo(2);
+  EXPECT_THROW(topo.hosts[0]->rdma().post_send(999, 100, 1), std::invalid_argument);
+}
+
+TEST(RdmaLoss, GoBackNRecoversSingleDrop) {
+  StarTopology topo(2);
+  // Drop exactly one data packet.
+  int dropped = 0;
+  topo.sw().set_drop_filter([&dropped](const Packet& p) {
+    if (p.kind == PacketKind::kRoceData && p.bth->psn == 5 && dropped == 0) {
+      ++dropped;
+      return true;
+    }
+    return false;
+  });
+  QpConfig qp = lab_qp();
+  qp.recovery = LossRecovery::kGoBackN;
+  auto [qa, qb] = connect_qp_pair(*topo.hosts[0], *topo.hosts[1], qp);
+  (void)qb;
+  topo.hosts[0]->rdma().post_send(qa, 20 * 1024, 1);
+  topo.sim().run_until(milliseconds(5));
+  EXPECT_EQ(topo.hosts[0]->rdma().stats().messages_completed, 1);
+  EXPECT_EQ(topo.hosts[1]->rdma().stats().bytes_received, 20 * 1024);
+  EXPECT_EQ(topo.hosts[1]->rdma().stats().naks_sent, 1);
+  // Go-back-N resends from PSN 5 only: at most ~RTT worth of dups.
+  EXPECT_LE(topo.hosts[0]->rdma().stats().data_packets_retx, 15);
+}
+
+TEST(RdmaLoss, GoBack0RestartsWholeMessage) {
+  StarTopology topo(2);
+  int dropped = 0;
+  topo.sw().set_drop_filter([&dropped](const Packet& p) {
+    if (p.kind == PacketKind::kRoceData && p.bth->psn == 5 && dropped == 0) {
+      ++dropped;
+      return true;
+    }
+    return false;
+  });
+  QpConfig qp = lab_qp();
+  qp.recovery = LossRecovery::kGoBack0;
+  auto [qa, qb] = connect_qp_pair(*topo.hosts[0], *topo.hosts[1], qp);
+  (void)qb;
+  topo.hosts[0]->rdma().post_send(qa, 20 * 1024, 1);  // PSNs 0..19
+  topo.sim().run_until(milliseconds(5));
+  EXPECT_EQ(topo.hosts[0]->rdma().stats().messages_completed, 1);
+  // Restarted from packet 0: at least the 5 pre-drop packets retransmitted.
+  EXPECT_GE(topo.hosts[0]->rdma().stats().data_packets_retx, 5);
+}
+
+TEST(RdmaLoss, TailDropRecoveredByTimeout) {
+  StarTopology topo(2);
+  int dropped = 0;
+  topo.sw().set_drop_filter([&dropped](const Packet& p) {
+    // Drop the LAST packet of the message once: no later packet triggers a
+    // NAK, so only the retransmission timer can recover.
+    if (p.kind == PacketKind::kRoceData && p.bth->psn == 9 && dropped == 0) {
+      ++dropped;
+      return true;
+    }
+    return false;
+  });
+  QpConfig qp = lab_qp();
+  qp.retx_timeout = microseconds(100);
+  auto [qa, qb] = connect_qp_pair(*topo.hosts[0], *topo.hosts[1], qp);
+  (void)qb;
+  topo.hosts[0]->rdma().post_send(qa, 10 * 1024, 1);
+  topo.sim().run_until(milliseconds(5));
+  EXPECT_EQ(topo.hosts[0]->rdma().stats().messages_completed, 1);
+  EXPECT_GT(topo.hosts[0]->rdma().stats().timeouts, 0);
+}
+
+TEST(RdmaLoss, LostAckRecovered) {
+  StarTopology topo(2);
+  int dropped = 0;
+  topo.sw().set_drop_filter([&dropped](const Packet& p) {
+    if (p.kind == PacketKind::kRoceAck && dropped < 1) {
+      ++dropped;
+      return true;
+    }
+    return false;
+  });
+  QpConfig qp = lab_qp();
+  qp.retx_timeout = microseconds(100);
+  auto [qa, qb] = connect_qp_pair(*topo.hosts[0], *topo.hosts[1], qp);
+  (void)qb;
+  topo.hosts[0]->rdma().post_send(qa, 4 * 1024, 1);
+  topo.sim().run_until(milliseconds(5));
+  EXPECT_EQ(topo.hosts[0]->rdma().stats().messages_completed, 1);
+}
+
+TEST(RdmaLoss, DuplicatesDoNotDoubleDeliver) {
+  StarTopology topo(2);
+  int dropped = 0;
+  topo.sw().set_drop_filter([&dropped](const Packet& p) {
+    if (p.kind == PacketKind::kRoceData && p.bth->psn == 2 && dropped == 0) {
+      ++dropped;
+      return true;
+    }
+    return false;
+  });
+  QpConfig qp = lab_qp();
+  qp.recovery = LossRecovery::kGoBack0;  // maximizes duplicates
+  auto [qa, qb] = connect_qp_pair(*topo.hosts[0], *topo.hosts[1], qp);
+  (void)qb;
+  int recv_count = 0;
+  std::int64_t recv_bytes = 0;
+  RdmaDemux demux(*topo.hosts[1]);
+  demux.on_recv(qb, [&](const RdmaRecv& r) {
+    ++recv_count;
+    recv_bytes += r.bytes;
+  });
+  topo.hosts[0]->rdma().post_send(qa, 10 * 1024, 1);
+  topo.sim().run_until(milliseconds(5));
+  EXPECT_EQ(recv_count, 1);
+  EXPECT_EQ(recv_bytes, 10 * 1024);
+}
+
+TEST(RdmaLoss, NakSuppressedToOnePerEpisode) {
+  StarTopology topo(2);
+  int dropped = 0;
+  topo.sw().set_drop_filter([&dropped](const Packet& p) {
+    if (p.kind == PacketKind::kRoceData && p.bth->psn == 3 && dropped == 0) {
+      ++dropped;
+      return true;
+    }
+    return false;
+  });
+  auto [qa, qb] = connect_qp_pair(*topo.hosts[0], *topo.hosts[1], lab_qp());
+  (void)qb;
+  topo.hosts[0]->rdma().post_send(qa, 40 * 1024, 1);  // many packets follow the gap
+  topo.sim().run_until(milliseconds(5));
+  EXPECT_EQ(topo.hosts[1]->rdma().stats().naks_sent, 1);
+  EXPECT_GT(topo.hosts[1]->rdma().stats().out_of_order_drops, 1);
+}
+
+TEST(RdmaQp, MultipleQpsShareTheNicFairly) {
+  StarTopology topo(3);
+  QpConfig qp = lab_qp();
+  auto [q1, q1b] = connect_qp_pair(*topo.hosts[0], *topo.hosts[1], qp);
+  auto [q2, q2b] = connect_qp_pair(*topo.hosts[0], *topo.hosts[2], qp);
+  (void)q1b; (void)q2b;
+  RdmaDemux demux(*topo.hosts[0]);
+  RdmaStreamSource s1(*topo.hosts[0], demux, q1, {.message_bytes = 64 * kKiB, .max_outstanding = 2});
+  RdmaStreamSource s2(*topo.hosts[0], demux, q2, {.message_bytes = 64 * kKiB, .max_outstanding = 2});
+  s1.start();
+  s2.start();
+  topo.sim().run_until(milliseconds(10));
+  const double g1 = s1.goodput_bps();
+  const double g2 = s2.goodput_bps();
+  EXPECT_GT(g1, 10e9);
+  EXPECT_GT(g2, 10e9);
+  EXPECT_NEAR(g1 / g2, 1.0, 0.25);
+}
+
+TEST(RdmaQp, DistinctUdpSourcePorts) {
+  StarTopology topo(2);
+  auto& nic = topo.hosts[0]->rdma();
+  // Registered source ports should differ across QPs (ECMP spreading, §2).
+  std::set<std::uint32_t> qpns;
+  for (int i = 0; i < 8; ++i) qpns.insert(nic.create_qp(lab_qp()));
+  EXPECT_EQ(qpns.size(), 8u);
+}
+
+TEST(RdmaQp, BacklogTracksPendingWork) {
+  StarTopology topo(2);
+  // Pause the host's egress so nothing escapes.
+  topo.hosts[0]->port(0).receive_pause(3, 0xffff);
+  auto [qa, qb] = connect_qp_pair(*topo.hosts[0], *topo.hosts[1], lab_qp());
+  (void)qb;
+  topo.hosts[0]->rdma().post_send(qa, 100 * 1024, 1);
+  EXPECT_EQ(topo.hosts[0]->rdma().backlog_bytes(qa), 100 * 1024);
+}
+
+TEST(RdmaAck, PeriodicAcksBoundSenderUncertainty) {
+  StarTopology topo(2);
+  QpConfig qp = lab_qp();
+  qp.ack_every = 4;
+  auto [qa, qb] = connect_qp_pair(*topo.hosts[0], *topo.hosts[1], qp);
+  (void)qb;
+  topo.hosts[0]->rdma().post_send(qa, 32 * 1024, 1);  // 32 packets
+  topo.sim().run_until(milliseconds(2));
+  // With ack_every=4 over 32 packets: 8 acks.
+  EXPECT_GE(topo.hosts[1]->rdma().stats().acks_sent, 8);
+}
+
+}  // namespace
+}  // namespace rocelab

@@ -1,0 +1,134 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "src/sim/simulator.h"
+
+namespace rocelab {
+namespace {
+
+TEST(Simulator, ExecutesInTimeOrder) {
+  Simulator sim;
+  std::vector<int> order;
+  sim.schedule_at(nanoseconds(30), [&] { order.push_back(3); });
+  sim.schedule_at(nanoseconds(10), [&] { order.push_back(1); });
+  sim.schedule_at(nanoseconds(20), [&] { order.push_back(2); });
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(sim.now(), nanoseconds(30));
+}
+
+TEST(Simulator, TiesExecuteInInsertionOrder) {
+  Simulator sim;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    sim.schedule_at(nanoseconds(5), [&order, i] { order.push_back(i); });
+  }
+  sim.run();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[static_cast<std::size_t>(i)], i);
+}
+
+TEST(Simulator, ScheduleInIsRelative) {
+  Simulator sim;
+  Time fired_at = -1;
+  sim.schedule_at(microseconds(1), [&] {
+    sim.schedule_in(microseconds(2), [&] { fired_at = sim.now(); });
+  });
+  sim.run();
+  EXPECT_EQ(fired_at, microseconds(3));
+}
+
+TEST(Simulator, SchedulingInThePastThrows) {
+  Simulator sim;
+  sim.schedule_at(microseconds(10), [] {});
+  sim.run();
+  EXPECT_THROW(sim.schedule_at(microseconds(5), [] {}), std::invalid_argument);
+}
+
+TEST(Simulator, CancelPreventsExecution) {
+  Simulator sim;
+  bool fired = false;
+  const EventId id = sim.schedule_at(nanoseconds(10), [&] { fired = true; });
+  sim.cancel(id);
+  sim.run();
+  EXPECT_FALSE(fired);
+}
+
+TEST(Simulator, CancelUnknownIdIsNoOp) {
+  Simulator sim;
+  sim.cancel(12345);
+  sim.cancel(kInvalidEventId);
+  bool fired = false;
+  sim.schedule_at(1, [&] { fired = true; });
+  sim.run();
+  EXPECT_TRUE(fired);
+}
+
+TEST(Simulator, CancelFromWithinEvent) {
+  Simulator sim;
+  bool fired = false;
+  const EventId victim = sim.schedule_at(nanoseconds(20), [&] { fired = true; });
+  sim.schedule_at(nanoseconds(10), [&] { sim.cancel(victim); });
+  sim.run();
+  EXPECT_FALSE(fired);
+}
+
+TEST(Simulator, RunUntilStopsAtDeadline) {
+  Simulator sim;
+  int count = 0;
+  for (int i = 1; i <= 10; ++i) {
+    sim.schedule_at(microseconds(i), [&] { ++count; });
+  }
+  sim.run_until(microseconds(5));
+  EXPECT_EQ(count, 5);  // events at exactly the deadline still execute
+  EXPECT_EQ(sim.now(), microseconds(5));
+  sim.run_until(microseconds(20));
+  EXPECT_EQ(count, 10);
+  EXPECT_EQ(sim.now(), microseconds(20));  // clock advances to deadline
+}
+
+TEST(Simulator, RunUntilAdvancesClockEvenWithoutEvents) {
+  Simulator sim;
+  sim.run_until(milliseconds(7));
+  EXPECT_EQ(sim.now(), milliseconds(7));
+}
+
+TEST(Simulator, StopHaltsRun) {
+  Simulator sim;
+  int count = 0;
+  sim.schedule_at(1, [&] {
+    ++count;
+    sim.stop();
+  });
+  sim.schedule_at(2, [&] { ++count; });
+  sim.run();
+  EXPECT_EQ(count, 1);
+  sim.run();  // resumes
+  EXPECT_EQ(count, 2);
+}
+
+TEST(Simulator, EventsCanScheduleEvents) {
+  Simulator sim;
+  int depth = 0;
+  std::function<void()> recurse = [&] {
+    if (++depth < 100) sim.schedule_in(nanoseconds(1), recurse);
+  };
+  sim.schedule_at(0, recurse);
+  sim.run();
+  EXPECT_EQ(depth, 100);
+  EXPECT_EQ(sim.executed_events(), 100u);
+}
+
+TEST(Simulator, PendingEventsAccountsForCancellations) {
+  Simulator sim;
+  const EventId a = sim.schedule_at(1, [] {});
+  sim.schedule_at(2, [] {});
+  EXPECT_EQ(sim.pending_events(), 2u);
+  sim.cancel(a);
+  EXPECT_EQ(sim.pending_events(), 1u);
+  sim.run();
+  EXPECT_EQ(sim.pending_events(), 0u);
+}
+
+}  // namespace
+}  // namespace rocelab

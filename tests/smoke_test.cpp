@@ -1,0 +1,68 @@
+// End-to-end smoke tests: the basic data path works before anything else.
+#include <gtest/gtest.h>
+
+#include "tests/testutil.h"
+
+namespace rocelab {
+namespace {
+
+using testing::StarTopology;
+
+TEST(Smoke, RdmaSendDeliversOneMessage) {
+  StarTopology topo(2);
+  Host& a = *topo.hosts[0];
+  Host& b = *topo.hosts[1];
+
+  QpConfig qp_cfg;
+  auto [qa, qb] = connect_qp_pair(a, b, qp_cfg);
+  (void)qb;
+
+  RdmaDemux demux_b(b);
+  std::int64_t got_bytes = 0;
+  demux_b.on_recv(qb, [&](const RdmaRecv& r) { got_bytes = r.bytes; });
+
+  a.rdma().post_send(qa, 100 * 1024, 42);
+  topo.sim().run_until(milliseconds(10));
+
+  EXPECT_EQ(got_bytes, 100 * 1024);
+  EXPECT_EQ(b.rdma().stats().messages_received, 1);
+  EXPECT_EQ(a.rdma().stats().messages_completed, 1);
+}
+
+TEST(Smoke, RdmaStreamSaturatesLink) {
+  StarTopology topo(2);
+  Host& a = *topo.hosts[0];
+  Host& b = *topo.hosts[1];
+  auto [qa, qb] = connect_qp_pair(a, b, QpConfig{});
+  (void)qb;
+
+  RdmaDemux demux_a(a);
+  RdmaStreamSource src(a, demux_a, qa,
+                       RdmaStreamSource::Options{.message_bytes = 1 * kMiB, .max_outstanding = 4});
+  src.start();
+  topo.sim().run_until(milliseconds(20));
+
+  // 40Gb/s with ~6% header overhead => goodput near 37 Gb/s.
+  EXPECT_GT(src.goodput_bps(), 30e9);
+  EXPECT_LT(src.goodput_bps(), 40e9);
+}
+
+TEST(Smoke, TcpDeliversMessages) {
+  StarTopology topo(2);
+  Host& a = *topo.hosts[0];
+  Host& b = *topo.hosts[1];
+  TcpStack sa(a), sb(b);
+  auto [ca, cb] = TcpStack::connect_pair(sa, sb);
+  (void)ca;
+
+  TcpDemux demux_b(sb);
+  std::int64_t got = 0;
+  demux_b.on_recv(cb, [&](const TcpRecv& r) { got += r.bytes; });
+
+  sa.send_message(ca, 256 * 1024, 1);
+  topo.sim().run_until(milliseconds(100));
+  EXPECT_EQ(got, 256 * 1024);
+}
+
+}  // namespace
+}  // namespace rocelab

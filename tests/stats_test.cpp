@@ -1,0 +1,172 @@
+#include <gtest/gtest.h>
+
+#include "src/common/rng.h"
+#include "src/common/stats.h"
+
+namespace rocelab {
+namespace {
+
+TEST(PercentileSampler, BasicPercentiles) {
+  PercentileSampler s;
+  for (int i = 1; i <= 100; ++i) s.add(i);
+  EXPECT_DOUBLE_EQ(s.percentile(0), 1);
+  EXPECT_DOUBLE_EQ(s.percentile(100), 100);
+  EXPECT_NEAR(s.percentile(50), 50.5, 0.01);
+  EXPECT_NEAR(s.percentile(99), 99.01, 0.01);
+}
+
+TEST(PercentileSampler, SingleSample) {
+  PercentileSampler s;
+  s.add(42);
+  EXPECT_DOUBLE_EQ(s.percentile(0), 42);
+  EXPECT_DOUBLE_EQ(s.percentile(50), 42);
+  EXPECT_DOUBLE_EQ(s.percentile(100), 42);
+}
+
+TEST(PercentileSampler, EmptyThrows) {
+  PercentileSampler s;
+  EXPECT_THROW((void)s.percentile(50), std::logic_error);
+  EXPECT_THROW((void)s.mean(), std::logic_error);
+}
+
+TEST(PercentileSampler, OutOfRangeThrows) {
+  PercentileSampler s;
+  s.add(1);
+  EXPECT_THROW((void)s.percentile(-1), std::invalid_argument);
+  EXPECT_THROW((void)s.percentile(101), std::invalid_argument);
+}
+
+TEST(PercentileSampler, MeanMinMaxStddev) {
+  PercentileSampler s;
+  for (double v : {2.0, 4.0, 6.0, 8.0}) s.add(v);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 8.0);
+  EXPECT_NEAR(s.stddev(), std::sqrt(5.0), 1e-9);
+}
+
+TEST(PercentileSampler, AddAfterQueryResorts) {
+  PercentileSampler s;
+  s.add(10);
+  s.add(20);
+  EXPECT_DOUBLE_EQ(s.percentile(100), 20);
+  s.add(5);
+  EXPECT_DOUBLE_EQ(s.percentile(0), 5);
+}
+
+TEST(PercentileSampler, Merge) {
+  PercentileSampler a, b;
+  a.add(1);
+  a.add(2);
+  b.add(3);
+  b.add(4);
+  a.merge(b);
+  EXPECT_EQ(a.count(), 4u);
+  EXPECT_DOUBLE_EQ(a.percentile(100), 4);
+}
+
+TEST(PercentileSampler, ClearResets) {
+  PercentileSampler s;
+  s.add(1);
+  s.clear();
+  EXPECT_TRUE(s.empty());
+}
+
+TEST(Histogram, Binning) {
+  Histogram h(0, 100, 10);
+  h.add(5);    // bin 0
+  h.add(15);   // bin 1
+  h.add(95);   // bin 9
+  h.add(-1);   // underflow
+  h.add(100);  // overflow (hi is exclusive)
+  EXPECT_EQ(h.bin_count(0), 1);
+  EXPECT_EQ(h.bin_count(1), 1);
+  EXPECT_EQ(h.bin_count(9), 1);
+  EXPECT_EQ(h.underflow(), 1);
+  EXPECT_EQ(h.overflow(), 1);
+  EXPECT_EQ(h.total(), 5);
+  EXPECT_DOUBLE_EQ(h.bin_lo(1), 10.0);
+}
+
+TEST(Histogram, InvalidBoundsThrow) {
+  EXPECT_THROW(Histogram(10, 10, 5), std::invalid_argument);
+  EXPECT_THROW(Histogram(0, 10, 0), std::invalid_argument);
+}
+
+TEST(IntervalSeries, Buckets) {
+  IntervalSeries s(milliseconds(10));
+  s.add(milliseconds(5), 1);
+  s.add(milliseconds(9), 2);
+  s.add(milliseconds(15), 4);
+  EXPECT_DOUBLE_EQ(s.bucket_value(0), 3);
+  EXPECT_DOUBLE_EQ(s.bucket_value(1), 4);
+  EXPECT_DOUBLE_EQ(s.bucket_value(2), 0);
+  EXPECT_DOUBLE_EQ(s.total(), 7);
+  EXPECT_EQ(s.last_bucket(), 1);
+}
+
+TEST(IntervalSeries, EmptyLastBucket) {
+  IntervalSeries s(milliseconds(1));
+  EXPECT_EQ(s.last_bucket(), -1);
+}
+
+TEST(Ewma, ConvergesTowardInput) {
+  Ewma e(0.5);
+  e.add(10);
+  EXPECT_DOUBLE_EQ(e.value(), 10);  // first sample seeds
+  e.add(20);
+  EXPECT_DOUBLE_EQ(e.value(), 15);
+  e.add(20);
+  EXPECT_DOUBLE_EQ(e.value(), 17.5);
+}
+
+TEST(Rng, Deterministic) {
+  Rng a(7), b(7);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.uniform_int(0, 1 << 30), b.uniform_int(0, 1 << 30));
+  }
+}
+
+TEST(Rng, UniformIntBounds) {
+  Rng r(1);
+  for (int i = 0; i < 1000; ++i) {
+    const auto v = r.uniform_int(5, 9);
+    EXPECT_GE(v, 5);
+    EXPECT_LE(v, 9);
+  }
+}
+
+TEST(Rng, ExponentialMean) {
+  Rng r(3);
+  double sum = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) sum += r.exponential(100.0);
+  EXPECT_NEAR(sum / n, 100.0, 3.0);
+}
+
+TEST(Rng, BernoulliProbability) {
+  Rng r(5);
+  int hits = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) hits += r.bernoulli(0.25) ? 1 : 0;
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.25, 0.02);
+}
+
+class PercentileMonotone : public ::testing::TestWithParam<int> {};
+
+TEST_P(PercentileMonotone, PercentilesNonDecreasing) {
+  Rng r(static_cast<std::uint64_t>(GetParam()));
+  PercentileSampler s;
+  for (int i = 0; i < 1000; ++i) s.add(r.uniform(0, 1e6));
+  double prev = -1;
+  for (double p : {0.0, 10.0, 25.0, 50.0, 75.0, 90.0, 99.0, 99.9, 100.0}) {
+    const double v = s.percentile(p);
+    EXPECT_GE(v, prev) << "p=" << p;
+    prev = v;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PercentileMonotone, ::testing::Range(1, 6));
+
+}  // namespace
+}  // namespace rocelab

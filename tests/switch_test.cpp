@@ -1,0 +1,417 @@
+// Switch: classification, L3 ECMP forwarding, ARP/MAC delivery + flooding,
+// the §4.2 fix, ECN marking, PFC generation, and the §4.3 watchdog.
+#include <gtest/gtest.h>
+
+#include "src/app/demux.h"
+#include "src/app/traffic.h"
+#include "tests/testutil.h"
+
+namespace rocelab {
+namespace {
+
+using testing::StarTopology;
+using testing::basic_host_config;
+using testing::basic_switch_config;
+
+TEST(SwitchForwarding, LocalSubnetDelivery) {
+  StarTopology topo(3);
+  auto [qa, qb] = connect_qp_pair(*topo.hosts[0], *topo.hosts[2], QpConfig{});
+  (void)qb;
+  topo.hosts[0]->rdma().post_send(qa, 4096, 1);
+  topo.sim().run_until(milliseconds(1));
+  EXPECT_EQ(topo.hosts[2]->rdma().stats().messages_received, 1);
+  EXPECT_EQ(topo.hosts[1]->rdma().stats().messages_received, 0);
+}
+
+TEST(SwitchForwarding, TtlExpiredDropped) {
+  StarTopology topo(2);
+  Packet pkt;
+  pkt.kind = PacketKind::kRaw;
+  pkt.frame_bytes = 100;
+  Ipv4Header ip;
+  ip.src = topo.hosts[0]->ip();
+  ip.dst = topo.hosts[1]->ip();
+  ip.ttl = 1;  // decremented to 0 at the switch
+  pkt.ip = ip;
+  pkt.priority = 1;
+  topo.hosts[0]->send_frame(std::move(pkt));
+  topo.sim().run_until(milliseconds(1));
+  EXPECT_EQ(topo.sw().port(1).counters().tx_packets[1], 0);
+}
+
+TEST(SwitchForwarding, MacMismatchDroppedAtRouterPort) {
+  StarTopology topo(2);
+  Packet pkt;
+  pkt.kind = PacketKind::kRaw;
+  pkt.frame_bytes = 100;
+  pkt.eth.dst = MacAddr::from_u64(0xdeadbeef);  // not the switch port's MAC
+  Ipv4Header ip;
+  ip.src = topo.hosts[0]->ip();
+  ip.dst = topo.hosts[1]->ip();
+  pkt.ip = ip;
+  topo.hosts[0]->port(0).enqueue(std::move(pkt));
+  topo.sim().run_until(milliseconds(1));
+  EXPECT_EQ(topo.sw().port(0).counters().mac_mismatch_drops, 1);
+}
+
+TEST(SwitchForwarding, ArpMissDropped) {
+  StarTopology topo(2);
+  topo.sw().arp_table().expire(topo.hosts[1]->ip());
+  auto [qa, qb] = connect_qp_pair(*topo.hosts[0], *topo.hosts[1], QpConfig{});
+  (void)qb;
+  topo.hosts[0]->rdma().post_send(qa, 1024, 1);
+  topo.sim().run_until(milliseconds(1));
+  EXPECT_GT(topo.sw().arp_miss_drops(), 0);
+  EXPECT_EQ(topo.hosts[1]->rdma().stats().messages_received, 0);
+}
+
+TEST(SwitchFlooding, IncompleteArpFloodsToAllOtherPorts) {
+  StarTopology topo(4);
+  topo.fabric->kill_host(*topo.hosts[1]);  // MAC gone, ARP stays
+  QpConfig qp;
+  qp.dcqcn = false;
+  auto [qa, qb] = connect_qp_pair(*topo.hosts[0], *topo.hosts[1], qp);
+  (void)qb;
+  topo.hosts[0]->rdma().post_send(qa, 1024, 1);
+  topo.sim().run_until(milliseconds(1));
+  EXPECT_GT(topo.sw().flood_events(), 0);
+  // Flood copies left on every port except the ingress (port 0).
+  EXPECT_GT(topo.sw().port(2).counters().tx_packets[3], 0);
+  EXPECT_GT(topo.sw().port(3).counters().tx_packets[3], 0);
+}
+
+TEST(SwitchFlooding, DropLosslessPolicyPreventsFlooding) {
+  SwitchConfig cfg = basic_switch_config();
+  cfg.arp_policy = ArpIncompletePolicy::kDropLossless;
+  StarTopology topo(4, cfg);
+  topo.fabric->kill_host(*topo.hosts[1]);
+  QpConfig qp;
+  qp.dcqcn = false;
+  auto [qa, qb] = connect_qp_pair(*topo.hosts[0], *topo.hosts[1], qp);
+  (void)qb;
+  topo.hosts[0]->rdma().post_send(qa, 1024, 1);
+  topo.sim().run_until(milliseconds(1));
+  EXPECT_EQ(topo.sw().flood_events(), 0);
+  EXPECT_GT(topo.sw().port(0).counters().arp_incomplete_drops, 0);
+}
+
+TEST(SwitchFlooding, LossyPacketsStillFloodUnderFixPolicy) {
+  SwitchConfig cfg = basic_switch_config();
+  cfg.arp_policy = ArpIncompletePolicy::kDropLossless;
+  StarTopology topo(3, cfg);
+  topo.fabric->kill_host(*topo.hosts[1]);
+  Packet pkt;
+  pkt.kind = PacketKind::kRaw;
+  pkt.frame_bytes = 100;
+  Ipv4Header ip;
+  ip.src = topo.hosts[0]->ip();
+  ip.dst = topo.hosts[1]->ip();
+  ip.dscp = 1;  // lossy class
+  pkt.ip = ip;
+  pkt.priority = 1;
+  topo.hosts[0]->send_frame(std::move(pkt));
+  topo.sim().run_until(milliseconds(1));
+  EXPECT_EQ(topo.sw().flood_events(), 1);
+}
+
+TEST(SwitchClassifier, DscpSelectsPriorityAndLossless) {
+  StarTopology topo(2);
+  Packet pkt;
+  pkt.kind = PacketKind::kRaw;
+  pkt.frame_bytes = 200;
+  Ipv4Header ip;
+  ip.src = topo.hosts[0]->ip();
+  ip.dst = topo.hosts[1]->ip();
+  ip.dscp = 3;
+  pkt.ip = ip;
+  pkt.priority = 3;
+  topo.hosts[0]->send_frame(std::move(pkt));
+  topo.sim().run_until(milliseconds(1));
+  EXPECT_EQ(topo.sw().port(1).counters().tx_packets[3], 1);
+}
+
+TEST(SwitchClassifier, VlanPcpMode) {
+  SwitchConfig cfg = basic_switch_config();
+  cfg.classify_mode = ClassifyMode::kVlanPcp;
+  HostConfig hc = basic_host_config();
+  hc.vlan_id = 100;  // VLAN deployment: NIC tags frames
+  StarTopology topo(2, cfg, hc);
+  topo.sw().set_port_l2_mode(0, L2PortMode::kTrunk);
+  topo.sw().set_port_l2_mode(1, L2PortMode::kTrunk);
+  Packet pkt;
+  pkt.kind = PacketKind::kRaw;
+  pkt.frame_bytes = 200;
+  Ipv4Header ip;
+  ip.src = topo.hosts[0]->ip();
+  ip.dst = topo.hosts[1]->ip();
+  ip.dscp = 1;  // must be ignored in VLAN mode
+  pkt.ip = ip;
+  pkt.priority = 5;  // carried in the PCP by the host NIC
+  topo.hosts[0]->send_frame(std::move(pkt));
+  topo.sim().run_until(milliseconds(1));
+  EXPECT_EQ(topo.sw().port(1).counters().tx_packets[5], 1);
+}
+
+TEST(SwitchL2Mode, TrunkDropsUntaggedAccessDropsTagged) {
+  SwitchConfig cfg = basic_switch_config();
+  cfg.classify_mode = ClassifyMode::kVlanPcp;
+  HostConfig hc = basic_host_config();
+  hc.vlan_id = 100;
+  StarTopology topo(2, cfg, hc);
+  topo.sw().set_port_l2_mode(0, L2PortMode::kTrunk);
+  // Host 0 in PXE boot: untagged frames into a trunk port are dropped.
+  topo.hosts[0]->set_pxe_boot(true);
+  Packet pkt;
+  pkt.kind = PacketKind::kRaw;
+  pkt.frame_bytes = 200;
+  Ipv4Header ip;
+  ip.src = topo.hosts[0]->ip();
+  ip.dst = topo.hosts[1]->ip();
+  pkt.ip = ip;
+  topo.hosts[0]->send_frame(std::move(pkt));
+  topo.sim().run_until(milliseconds(1));
+  EXPECT_EQ(topo.sw().l2_mode_drops(), 1);
+  // Host 1's port stayed access mode: its tagged frames are dropped too.
+  Packet pkt2;
+  pkt2.kind = PacketKind::kRaw;
+  pkt2.frame_bytes = 200;
+  Ipv4Header ip2;
+  ip2.src = topo.hosts[1]->ip();
+  ip2.dst = topo.hosts[0]->ip();
+  pkt2.ip = ip2;
+  topo.hosts[1]->send_frame(std::move(pkt2));
+  topo.sim().run_until(milliseconds(2));
+  EXPECT_EQ(topo.sw().l2_mode_drops(), 2);
+}
+
+TEST(SwitchL2Mode, PcpClearedWhenRoutedAcrossSubnets) {
+  // §3 problem 2: the PCP does not survive L3 routing; DSCP does.
+  Fabric fabric;
+  SwitchConfig cfg = basic_switch_config();
+  cfg.classify_mode = ClassifyMode::kVlanPcp;
+  auto& sa = fabric.add_switch("sa", cfg, 2);
+  auto& sb = fabric.add_switch("sb", cfg, 2);
+  sa.add_local_subnet(Ipv4Prefix{Ipv4Addr::from_octets(10, 0, 0, 0), 24});
+  sb.add_local_subnet(Ipv4Prefix{Ipv4Addr::from_octets(10, 0, 1, 0), 24});
+  sa.add_route(Ipv4Prefix{Ipv4Addr::from_octets(10, 0, 1, 0), 24}, {1});
+  sb.add_route(Ipv4Prefix{Ipv4Addr::from_octets(10, 0, 0, 0), 24}, {1});
+  fabric.attach_switches(sa, 1, sb, 1, gbps(40), nanoseconds(100));
+  HostConfig hc = basic_host_config();
+  hc.vlan_id = 100;
+  auto& a = fabric.add_host("a", hc);
+  auto& b = fabric.add_host("b", hc);
+  a.set_ip(Ipv4Addr::from_octets(10, 0, 0, 1));
+  b.set_ip(Ipv4Addr::from_octets(10, 0, 1, 1));
+  fabric.attach_host(a, sa, 0, gbps(40), nanoseconds(10));
+  fabric.attach_host(b, sb, 0, gbps(40), nanoseconds(10));
+  sa.set_port_l2_mode(0, L2PortMode::kTrunk);
+  sb.set_port_l2_mode(0, L2PortMode::kTrunk);
+  Packet pkt;
+  pkt.kind = PacketKind::kRaw;
+  pkt.frame_bytes = 200;
+  Ipv4Header ip;
+  ip.src = a.ip();
+  ip.dst = b.ip();
+  ip.dscp = 5;
+  pkt.ip = ip;
+  pkt.priority = 5;
+  a.send_frame(std::move(pkt));
+  fabric.sim().run_until(milliseconds(1));
+  // sa classified it as 5; sb saw PCP 0 after routing.
+  EXPECT_EQ(sa.port(1).counters().tx_packets[5], 1);
+  EXPECT_EQ(sb.port(0).counters().tx_packets[0], 1);
+  EXPECT_EQ(sb.port(0).counters().tx_packets[5], 0);
+}
+
+TEST(SwitchEcn, MarksAboveKminUnderCongestion) {
+  SwitchConfig cfg = basic_switch_config();
+  cfg.ecn[3] = EcnConfig{true, 10 * kKiB, 40 * kKiB, 1.0};  // aggressive marking
+  StarTopology topo(3, cfg);
+  // 2 senders incast into host 2: queue builds past kmin.
+  QpConfig qp;
+  qp.dcqcn = false;  // don't let the rate back off; keep the queue deep
+  auto [q1, q1b] = connect_qp_pair(*topo.hosts[0], *topo.hosts[2], qp);
+  auto [q2, q2b] = connect_qp_pair(*topo.hosts[1], *topo.hosts[2], qp);
+  (void)q1b; (void)q2b;
+  topo.hosts[0]->rdma().post_send(q1, 1 * kMiB, 1);
+  topo.hosts[1]->rdma().post_send(q2, 1 * kMiB, 2);
+  topo.sim().run_until(milliseconds(2));
+  EXPECT_GT(topo.hosts[2]->rdma().stats().cnps_sent, 0);
+}
+
+TEST(SwitchEcn, NoMarkingWhenDisabled) {
+  SwitchConfig cfg = basic_switch_config();
+  cfg.ecn[3] = EcnConfig{};  // disabled
+  StarTopology topo(3, cfg);
+  QpConfig qp;
+  qp.dcqcn = false;
+  auto [q1, q1b] = connect_qp_pair(*topo.hosts[0], *topo.hosts[2], qp);
+  auto [q2, q2b] = connect_qp_pair(*topo.hosts[1], *topo.hosts[2], qp);
+  (void)q1b; (void)q2b;
+  topo.hosts[0]->rdma().post_send(q1, 1 * kMiB, 1);
+  topo.hosts[1]->rdma().post_send(q2, 1 * kMiB, 2);
+  topo.sim().run_until(milliseconds(2));
+  EXPECT_EQ(topo.hosts[2]->rdma().stats().cnps_sent, 0);
+}
+
+TEST(SwitchPfc, IncastTriggersPauseAndNoLosslessDrops) {
+  SwitchConfig cfg = basic_switch_config();
+  cfg.mmu.alpha = 1.0 / 64;  // pause easily
+  StarTopology topo(5, cfg);
+  QpConfig qp;
+  qp.dcqcn = false;
+  std::vector<std::unique_ptr<RdmaDemux>> demuxes;
+  std::vector<std::unique_ptr<RdmaStreamSource>> sources;
+  for (int i = 0; i < 4; ++i) {
+    auto [qa, qb] = connect_qp_pair(*topo.hosts[static_cast<std::size_t>(i)], *topo.hosts[4], qp);
+    (void)qb;
+    demuxes.push_back(std::make_unique<RdmaDemux>(*topo.hosts[static_cast<std::size_t>(i)]));
+    sources.push_back(std::make_unique<RdmaStreamSource>(
+        *topo.hosts[static_cast<std::size_t>(i)], *demuxes.back(), qa,
+        RdmaStreamSource::Options{.message_bytes = 256 * kKiB, .max_outstanding = 2}));
+    sources.back()->start();
+  }
+  topo.sim().run_until(milliseconds(10));
+  std::int64_t pauses = 0, lossless_drops = 0;
+  for (int p = 0; p < topo.sw().port_count(); ++p) {
+    pauses += topo.sw().port(p).counters().total_tx_pause();
+    lossless_drops += topo.sw().port(p).counters().headroom_overflow_drops;
+  }
+  EXPECT_GT(pauses, 0);
+  EXPECT_EQ(lossless_drops, 0);  // PFC protected everything
+  // And traffic still flowed.
+  EXPECT_GT(topo.hosts[4]->rdma().stats().bytes_received, 0);
+}
+
+TEST(SwitchPfc, XonEventuallyReleasesPause) {
+  SwitchConfig cfg = basic_switch_config();
+  cfg.mmu.alpha = 1.0 / 64;
+  StarTopology topo(3, cfg);
+  QpConfig qp;
+  qp.dcqcn = false;
+  auto [q1, q1b] = connect_qp_pair(*topo.hosts[0], *topo.hosts[2], qp);
+  auto [q2, q2b] = connect_qp_pair(*topo.hosts[1], *topo.hosts[2], qp);
+  (void)q1b; (void)q2b;
+  topo.hosts[0]->rdma().post_send(q1, 512 * kKiB, 1);
+  topo.hosts[1]->rdma().post_send(q2, 512 * kKiB, 2);
+  topo.sim().run_until(milliseconds(20));
+  // Traffic has long finished: no pause may remain asserted.
+  for (int p = 0; p < topo.sw().port_count(); ++p) {
+    for (int pg = 0; pg < kNumPriorities; ++pg) {
+      EXPECT_FALSE(topo.sw().pause_asserted(p, pg)) << p << "/" << pg;
+    }
+  }
+  EXPECT_EQ(topo.hosts[2]->rdma().stats().messages_received, 2);
+}
+
+TEST(SwitchDropFilter, CountsAndDrops) {
+  StarTopology topo(2);
+  topo.sw().set_drop_filter([](const Packet& p) { return p.kind == PacketKind::kRoceData; });
+  QpConfig qp;
+  qp.dcqcn = false;
+  qp.retx_timeout = milliseconds(100);  // don't retransmit within the test
+  auto [qa, qb] = connect_qp_pair(*topo.hosts[0], *topo.hosts[1], qp);
+  (void)qb;
+  topo.hosts[0]->rdma().post_send(qa, 10 * 1024, 1);
+  topo.sim().run_until(milliseconds(5));
+  EXPECT_GT(topo.sw().filtered_drops(), 0);
+  EXPECT_EQ(topo.hosts[1]->rdma().stats().messages_received, 0);
+}
+
+TEST(SwitchWatchdog, DisablesAndReenablesLosslessMode) {
+  SwitchConfig cfg = basic_switch_config();
+  cfg.watchdog.enabled = true;
+  cfg.watchdog.check_interval = milliseconds(2);
+  cfg.watchdog.trigger_after = milliseconds(10);
+  cfg.watchdog.reenable_after = milliseconds(20);
+  StarTopology topo(3, cfg);
+  Host& victim = *topo.hosts[2];
+
+  QpConfig qp;
+  qp.dcqcn = false;
+  qp.retx_timeout = microseconds(200);
+  auto [qa, qb] = connect_qp_pair(*topo.hosts[0], victim, qp);
+  (void)qb;
+  RdmaDemux demux(*topo.hosts[0]);
+  RdmaStreamSource src(*topo.hosts[0], demux, qa,
+                       RdmaStreamSource::Options{.message_bytes = 128 * kKiB,
+                                                 .max_outstanding = 2});
+  src.start();
+  topo.sim().schedule_at(milliseconds(1), [&] { victim.set_storm_mode(true); });
+  topo.sim().run_until(milliseconds(40));
+  EXPECT_GT(topo.sw().watchdog_trips(), 0);
+  EXPECT_TRUE(topo.sw().lossless_disabled(2));
+
+  // Server "repaired": storm stops, pauses disappear, lossless re-enabled.
+  victim.set_storm_mode(false);
+  topo.sim().run_until(milliseconds(100));
+  EXPECT_FALSE(topo.sw().lossless_disabled(2));
+}
+
+TEST(SwitchEcmp, FlowsStickToOnePath) {
+  // Two parallel paths between two switches; all packets of one 5-tuple
+  // must take the same one.
+  Fabric fabric;
+  SwitchConfig cfg = basic_switch_config();
+  auto& s1 = fabric.add_switch("s1", cfg, 4);
+  auto& s2 = fabric.add_switch("s2", cfg, 4);
+  s1.add_local_subnet(Ipv4Prefix{Ipv4Addr::from_octets(10, 0, 0, 0), 24});
+  s2.add_local_subnet(Ipv4Prefix{Ipv4Addr::from_octets(10, 0, 1, 0), 24});
+  s1.add_route(Ipv4Prefix{Ipv4Addr::from_octets(10, 0, 1, 0), 24}, {2, 3});
+  s2.add_route(Ipv4Prefix{Ipv4Addr::from_octets(10, 0, 0, 0), 24}, {2, 3});
+  fabric.attach_switches(s1, 2, s2, 2, gbps(40), nanoseconds(100));
+  fabric.attach_switches(s1, 3, s2, 3, gbps(40), nanoseconds(100));
+  HostConfig hc = basic_host_config();
+  auto& a = fabric.add_host("a", hc);
+  auto& b = fabric.add_host("b", hc);
+  a.set_ip(Ipv4Addr::from_octets(10, 0, 0, 1));
+  b.set_ip(Ipv4Addr::from_octets(10, 0, 1, 1));
+  fabric.attach_host(a, s1, 0, gbps(40), nanoseconds(10));
+  fabric.attach_host(b, s2, 0, gbps(40), nanoseconds(10));
+
+  auto [qa, qb] = connect_qp_pair(a, b, QpConfig{});
+  (void)qb;
+  a.rdma().post_send(qa, 100 * 1024, 1);
+  fabric.sim().run_until(milliseconds(2));
+  const auto p2 = s1.port(2).counters().tx_packets[3];
+  const auto p3 = s1.port(3).counters().tx_packets[3];
+  EXPECT_GT(p2 + p3, 50);
+  EXPECT_TRUE(p2 == 0 || p3 == 0) << "flow split across paths: " << p2 << "/" << p3;
+  EXPECT_EQ(b.rdma().stats().messages_received, 1);
+}
+
+TEST(SwitchEcmp, ManyQpsSpreadAcrossPaths) {
+  // Same topology, many QPs: the random UDP source ports must spread them.
+  Fabric fabric;
+  SwitchConfig cfg = basic_switch_config();
+  auto& s1 = fabric.add_switch("s1", cfg, 6);
+  auto& s2 = fabric.add_switch("s2", cfg, 6);
+  s1.add_local_subnet(Ipv4Prefix{Ipv4Addr::from_octets(10, 0, 0, 0), 24});
+  s2.add_local_subnet(Ipv4Prefix{Ipv4Addr::from_octets(10, 0, 1, 0), 24});
+  s1.add_route(Ipv4Prefix{Ipv4Addr::from_octets(10, 0, 1, 0), 24}, {2, 3, 4, 5});
+  s2.add_route(Ipv4Prefix{Ipv4Addr::from_octets(10, 0, 0, 0), 24}, {2, 3, 4, 5});
+  for (int p = 2; p < 6; ++p) fabric.attach_switches(s1, p, s2, p, gbps(40), nanoseconds(100));
+  HostConfig hc = basic_host_config();
+  auto& a = fabric.add_host("a", hc);
+  auto& b = fabric.add_host("b", hc);
+  a.set_ip(Ipv4Addr::from_octets(10, 0, 0, 1));
+  b.set_ip(Ipv4Addr::from_octets(10, 0, 1, 1));
+  fabric.attach_host(a, s1, 0, gbps(40), nanoseconds(10));
+  fabric.attach_host(b, s2, 0, gbps(40), nanoseconds(10));
+
+  for (int i = 0; i < 32; ++i) {
+    auto [qa, qb] = connect_qp_pair(a, b, QpConfig{});
+    (void)qb;
+    a.rdma().post_send(qa, 8 * 1024, static_cast<std::uint64_t>(i));
+  }
+  fabric.sim().run_until(milliseconds(5));
+  int used_paths = 0;
+  for (int p = 2; p < 6; ++p) {
+    if (s1.port(p).counters().tx_packets[3] > 0) ++used_paths;
+  }
+  EXPECT_GE(used_paths, 3);  // 32 QPs over 4 paths: all or nearly all used
+  EXPECT_EQ(b.rdma().stats().messages_received, 32);
+}
+
+}  // namespace
+}  // namespace rocelab

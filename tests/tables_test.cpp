@@ -1,0 +1,70 @@
+// MAC / ARP tables: the disparate-timeout behaviour at the root of §4.2.
+#include <gtest/gtest.h>
+
+#include "src/switch/tables.h"
+
+namespace rocelab {
+namespace {
+
+const MacAddr kMac = MacAddr::from_u64(0x020000000042);
+const Ipv4Addr kIp = Ipv4Addr::from_octets(10, 0, 1, 5);
+
+TEST(MacTable, LearnAndLookup) {
+  MacTable t(seconds(300));
+  t.learn(kMac, 7, 0);
+  EXPECT_EQ(t.lookup(kMac, seconds(1)), 7);
+}
+
+TEST(MacTable, EntryAgesOut) {
+  MacTable t(seconds(300));
+  t.learn(kMac, 7, 0);
+  EXPECT_TRUE(t.lookup(kMac, seconds(300)).has_value());
+  EXPECT_FALSE(t.lookup(kMac, seconds(301)).has_value());
+}
+
+TEST(MacTable, RefreshExtendsLifetime) {
+  MacTable t(seconds(300));
+  t.learn(kMac, 7, 0);
+  t.learn(kMac, 7, seconds(200));  // hardware refresh on traffic
+  EXPECT_TRUE(t.lookup(kMac, seconds(450)).has_value());
+}
+
+TEST(MacTable, LearnMovesPort) {
+  MacTable t(seconds(300));
+  t.learn(kMac, 7, 0);
+  t.learn(kMac, 9, seconds(1));
+  EXPECT_EQ(t.lookup(kMac, seconds(2)), 9);
+}
+
+TEST(MacTable, ExplicitExpire) {
+  MacTable t(seconds(300));
+  t.learn(kMac, 7, 0);
+  t.expire(kMac);
+  EXPECT_FALSE(t.lookup(kMac, 1).has_value());
+}
+
+TEST(ArpTable, InstallLookupExpire) {
+  ArpTable t(seconds(4 * 3600));
+  t.install(kIp, kMac, 0);
+  EXPECT_EQ(t.lookup(kIp, seconds(3600)), kMac);
+  EXPECT_FALSE(t.lookup(kIp, seconds(4 * 3600 + 1)).has_value());
+  t.install(kIp, kMac, 0);
+  t.expire(kIp);
+  EXPECT_FALSE(t.lookup(kIp, 1).has_value());
+}
+
+TEST(Tables, DisparateTimeoutsCreateIncompleteArpWindow) {
+  // §4.2: MAC timeout (5min) << ARP timeout (4h). A dead server's MAC entry
+  // disappears while the ARP entry survives -> the "incomplete ARP entry"
+  // that triggers flooding.
+  MacTable mac(seconds(300));
+  ArpTable arp(seconds(4 * 3600));
+  mac.learn(kMac, 3, 0);
+  arp.install(kIp, kMac, 0);
+  const Time t = seconds(600);  // 10 minutes after the server died
+  EXPECT_TRUE(arp.lookup(kIp, t).has_value());
+  EXPECT_FALSE(mac.lookup(kMac, t).has_value());
+}
+
+}  // namespace
+}  // namespace rocelab

@@ -1,0 +1,218 @@
+// TCP baseline: stream delivery, congestion control, loss recovery, and
+// the kernel latency model.
+#include <gtest/gtest.h>
+
+#include "src/app/demux.h"
+#include "src/app/traffic.h"
+#include "tests/testutil.h"
+
+namespace rocelab {
+namespace {
+
+using testing::StarTopology;
+
+TcpConfig quiet_kernel() {
+  TcpConfig cfg;
+  cfg.kernel.base = microseconds(1);
+  cfg.kernel.jitter_mean = microseconds(1);
+  cfg.kernel.spike_prob = 0;
+  return cfg;
+}
+
+struct TcpPair {
+  StarTopology topo{2};
+  TcpStack a;
+  TcpStack b;
+  TcpDemux demux_b;
+  TcpStack::ConnId ca, cb;
+
+  explicit TcpPair(TcpConfig cfg = quiet_kernel())
+      : a(*topo.hosts[0], cfg), b(*topo.hosts[1], cfg), demux_b(b) {
+    std::tie(ca, cb) = TcpStack::connect_pair(a, b, cfg);
+  }
+};
+
+TEST(Tcp, DeliversSingleMessage) {
+  TcpPair p;
+  std::int64_t got = 0;
+  p.demux_b.on_recv(p.cb, [&](const TcpRecv& r) { got = r.bytes; });
+  p.a.send_message(p.ca, 100000, 1);
+  p.topo.sim().run_until(milliseconds(50));
+  EXPECT_EQ(got, 100000);
+  EXPECT_EQ(p.b.stats().messages_delivered, 1);
+}
+
+TEST(Tcp, MessagesDeliveredInOrder) {
+  TcpPair p;
+  std::vector<std::uint64_t> order;
+  p.demux_b.on_recv(p.cb, [&](const TcpRecv& r) { order.push_back(r.msg_id); });
+  for (std::uint64_t m = 1; m <= 4; ++m) p.a.send_message(p.ca, 5000, m);
+  p.topo.sim().run_until(milliseconds(50));
+  EXPECT_EQ(order, (std::vector<std::uint64_t>{1, 2, 3, 4}));
+}
+
+TEST(Tcp, RejectsNonPositiveMessage) {
+  TcpPair p;
+  EXPECT_THROW(p.a.send_message(p.ca, 0, 1), std::invalid_argument);
+}
+
+TEST(Tcp, SlowStartGrowsCwnd) {
+  TcpPair p;
+  const auto cwnd0 = p.a.connection_cwnd(p.ca);
+  p.a.send_message(p.ca, 512 * 1024, 1);
+  p.topo.sim().run_until(milliseconds(20));
+  EXPECT_GT(p.a.connection_cwnd(p.ca), cwnd0);
+}
+
+TEST(Tcp, BidirectionalTraffic) {
+  TcpPair p;
+  TcpDemux demux_a(p.a);
+  std::int64_t got_a = 0, got_b = 0;
+  demux_a.on_recv(p.ca, [&](const TcpRecv& r) { got_a += r.bytes; });
+  p.demux_b.on_recv(p.cb, [&](const TcpRecv& r) { got_b += r.bytes; });
+  p.a.send_message(p.ca, 50000, 1);
+  p.b.send_message(p.cb, 70000, 2);
+  p.topo.sim().run_until(milliseconds(50));
+  EXPECT_EQ(got_b, 50000);
+  EXPECT_EQ(got_a, 70000);
+}
+
+TEST(Tcp, RecoversFromSingleLossViaFastRetransmit) {
+  TcpPair p;
+  int dropped = 0;
+  p.topo.sw().set_drop_filter([&dropped](const Packet& pkt) {
+    if (pkt.kind == PacketKind::kTcp && pkt.tcp->payload > 0 && pkt.tcp->seq == 5 * 1460 &&
+        dropped == 0) {
+      ++dropped;
+      return true;
+    }
+    return false;
+  });
+  std::int64_t got = 0;
+  p.demux_b.on_recv(p.cb, [&](const TcpRecv& r) { got = r.bytes; });
+  p.a.send_message(p.ca, 100 * 1460, 1);
+  p.topo.sim().run_until(milliseconds(100));
+  EXPECT_EQ(got, 100 * 1460);
+  EXPECT_EQ(dropped, 1);
+  EXPECT_GE(p.a.stats().fast_retransmits, 1);
+  EXPECT_EQ(p.a.stats().timeouts, 0);  // dup-ACKs recovered it, no RTO
+}
+
+TEST(Tcp, RecoversTailLossViaRto) {
+  TcpPair p;
+  int dropped = 0;
+  p.topo.sw().set_drop_filter([&dropped](const Packet& pkt) {
+    // Drop the final segment once: no dup-ACK generator behind it.
+    if (pkt.kind == PacketKind::kTcp && pkt.tcp->payload > 0 &&
+        pkt.tcp->seq + static_cast<std::uint64_t>(pkt.tcp->payload) == 10000 && dropped == 0) {
+      ++dropped;
+      return true;
+    }
+    return false;
+  });
+  std::int64_t got = 0;
+  p.demux_b.on_recv(p.cb, [&](const TcpRecv& r) { got = r.bytes; });
+  p.a.send_message(p.ca, 10000, 1);
+  p.topo.sim().run_until(milliseconds(100));
+  EXPECT_EQ(got, 10000);
+  EXPECT_GE(p.a.stats().timeouts, 1);
+}
+
+TEST(Tcp, SurvivesRandomLoss) {
+  TcpPair p;
+  auto rng = std::make_shared<Rng>(11);
+  p.topo.sw().set_drop_filter([rng](const Packet& pkt) {
+    return pkt.kind == PacketKind::kTcp && rng->bernoulli(0.005);
+  });
+  std::int64_t got = 0;
+  p.demux_b.on_recv(p.cb, [&](const TcpRecv& r) { got += r.bytes; });
+  for (int m = 0; m < 8; ++m) p.a.send_message(p.ca, 200000, static_cast<std::uint64_t>(m));
+  p.topo.sim().run_until(seconds(2));
+  EXPECT_EQ(got, 8 * 200000);
+}
+
+TEST(Tcp, LossReducesCwnd) {
+  TcpPair p;
+  p.a.send_message(p.ca, 64 * kMiB, 1);  // long enough to still be running
+  p.topo.sim().run_until(milliseconds(10));
+  const auto cwnd_before = p.a.connection_cwnd(p.ca);
+  int dropped = 0;
+  p.topo.sw().set_drop_filter([&dropped](const Packet& pkt) {
+    if (pkt.kind == PacketKind::kTcp && pkt.tcp->payload > 0 && dropped < 3) {
+      ++dropped;
+      return true;
+    }
+    return false;
+  });
+  p.topo.sim().run_until(milliseconds(30));
+  EXPECT_LT(p.a.connection_cwnd(p.ca), cwnd_before);
+}
+
+TEST(Tcp, KernelModelDoesNotReorderStream) {
+  TcpConfig jittery;
+  jittery.kernel.base = microseconds(5);
+  jittery.kernel.jitter_mean = microseconds(50);  // heavy jitter
+  jittery.kernel.spike_prob = 0.01;
+  TcpPair p(jittery);
+  std::int64_t got = 0;
+  p.demux_b.on_recv(p.cb, [&](const TcpRecv& r) { got += r.bytes; });
+  for (int m = 0; m < 4; ++m) p.a.send_message(p.ca, 100000, static_cast<std::uint64_t>(m));
+  p.topo.sim().run_until(seconds(1));
+  EXPECT_EQ(got, 400000);
+  // No loss in the fabric: jitter alone must never trigger recovery. A
+  // multi-ms spike may cause a spurious RTO (real TCPs do this too), whose
+  // duplicate segments can then echo back as dup-ACKs — so fast
+  // retransmits are only forbidden when no spurious RTO occurred.
+  if (p.a.stats().timeouts == 0) {
+    EXPECT_EQ(p.a.stats().fast_retransmits, 0);
+  }
+}
+
+TEST(Tcp, TwoConnectionsShareBottleneck) {
+  StarTopology topo(3);
+  TcpStack a(*topo.hosts[0], quiet_kernel());
+  TcpStack b(*topo.hosts[1], quiet_kernel());
+  TcpStack c(*topo.hosts[2], quiet_kernel());
+  TcpDemux dc(c);
+  auto [a_conn, ca_conn] = TcpStack::connect_pair(a, c, quiet_kernel());
+  auto [b_conn, cb_conn] = TcpStack::connect_pair(b, c, quiet_kernel());
+  (void)ca_conn; (void)cb_conn;
+  for (int m = 0; m < 20; ++m) {
+    a.send_message(a_conn, 1 * kMiB, static_cast<std::uint64_t>(m));
+    b.send_message(b_conn, 1 * kMiB, static_cast<std::uint64_t>(100 + m));
+  }
+  topo.sim().run_until(milliseconds(50));
+  const auto da = a.stats().bytes_delivered;
+  const auto db = b.stats().bytes_delivered;
+  EXPECT_GT(da, 0);
+  EXPECT_GT(db, 0);
+  // Rough fairness at a shared 40G bottleneck.
+  EXPECT_LT(static_cast<double>(std::max(da, db)) / static_cast<double>(std::min(da, db)), 3.0);
+}
+
+TEST(Tcp, IsolatedFromRdmaClass) {
+  // TCP (lossy class 1) and RDMA (lossless class 3) share a port; an RDMA
+  // blast must not stop TCP from making progress (§2 coexistence).
+  StarTopology topo(3);
+  TcpStack a(*topo.hosts[0], quiet_kernel());
+  TcpStack c(*topo.hosts[2], quiet_kernel());
+  TcpDemux dc(c);
+  auto [conn_a, conn_c] = TcpStack::connect_pair(a, c, quiet_kernel());
+  std::int64_t got = 0;
+  dc.on_recv(conn_c, [&](const TcpRecv& r) { got += r.bytes; });
+
+  QpConfig qp;
+  auto [qa, qb] = connect_qp_pair(*topo.hosts[1], *topo.hosts[2], qp);
+  (void)qb;
+  RdmaDemux demux(*topo.hosts[1]);
+  RdmaStreamSource blast(*topo.hosts[1], demux, qa,
+                         {.message_bytes = 256 * kKiB, .max_outstanding = 2});
+  blast.start();
+
+  for (int m = 0; m < 4; ++m) a.send_message(conn_a, 100000, static_cast<std::uint64_t>(m));
+  topo.sim().run_until(milliseconds(50));
+  EXPECT_EQ(got, 400000);
+}
+
+}  // namespace
+}  // namespace rocelab

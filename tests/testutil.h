@@ -1,0 +1,53 @@
+// Shared helpers for building small test topologies.
+#pragma once
+
+#include <memory>
+
+#include "src/app/demux.h"
+#include "src/app/traffic.h"
+#include "src/topo/fabric.h"
+
+namespace rocelab::testing {
+
+/// A switch config with one lossless RDMA class (priority 3), ECN enabled,
+/// and sane buffer defaults for 40GbE short links.
+inline SwitchConfig basic_switch_config() {
+  SwitchConfig cfg;
+  cfg.lossless[3] = true;
+  cfg.mmu.total_buffer = 12 * kMiB;
+  cfg.mmu.headroom_per_pg = recommended_headroom(gbps(40), propagation_delay_for_meters(20), 1086);
+  cfg.ecn[3] = EcnConfig{true, 50 * kKiB, 400 * kKiB, 0.01};
+  return cfg;
+}
+
+inline HostConfig basic_host_config() {
+  HostConfig cfg;
+  cfg.lossless.fill(false);
+  cfg.lossless[3] = true;
+  return cfg;
+}
+
+/// N hosts hanging off one switch ("star"), IPs 10.0.0.1..N, subnet
+/// 10.0.0.0/24.
+struct StarTopology {
+  std::unique_ptr<Fabric> fabric = std::make_unique<Fabric>();
+  std::vector<Host*> hosts;
+
+  explicit StarTopology(int n, SwitchConfig sw_cfg = basic_switch_config(),
+                        HostConfig host_cfg = basic_host_config(),
+                        Bandwidth bw = gbps(40)) {
+    auto& sw = fabric->add_switch("sw", sw_cfg, n);
+    sw.add_local_subnet(Ipv4Prefix{Ipv4Addr::from_octets(10, 0, 0, 0), 24});
+    for (int i = 0; i < n; ++i) {
+      auto& h = fabric->add_host("h" + std::to_string(i), host_cfg);
+      h.set_ip(Ipv4Addr::from_octets(10, 0, 0, static_cast<std::uint8_t>(i + 1)));
+      fabric->attach_host(h, sw, i, bw, propagation_delay_for_meters(2));
+      hosts.push_back(&h);
+    }
+  }
+
+  Simulator& sim() { return fabric->sim(); }
+  Switch& sw() { return *fabric->switch_ptrs()[0]; }
+};
+
+}  // namespace rocelab::testing

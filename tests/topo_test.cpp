@@ -1,0 +1,202 @@
+// Clos builder invariants and ECMP flow-level analysis.
+#include <gtest/gtest.h>
+
+#include "src/app/demux.h"
+#include "src/app/traffic.h"
+#include "src/rocev2/deployment.h"
+#include "src/topo/clos.h"
+#include "src/topo/ecmp_analysis.h"
+
+namespace rocelab {
+namespace {
+
+ClosParams small_clos() {
+  QosPolicy policy;
+  policy.max_cable_m = 20.0;
+  return make_clos_params(policy, DeploymentStage::kFull, /*podsets=*/2, /*leaves=*/2,
+                          /*tors=*/2, /*servers=*/2, /*spines=*/4);
+}
+
+TEST(Clos, BuilderCountsAndWiring) {
+  ClosFabric clos(small_clos());
+  EXPECT_EQ(clos.num_servers(), 8);
+  EXPECT_EQ(clos.fabric().hosts().size(), 8u);
+  // 2 podsets x (2 ToRs + 2 leaves) + 4 spines = 12 switches.
+  EXPECT_EQ(clos.fabric().switches().size(), 12u);
+  // Every ToR: 2 server ports + 2 uplinks, all wired.
+  for (int ps = 0; ps < 2; ++ps) {
+    for (int t = 0; t < 2; ++t) {
+      Switch& tor = clos.tor(ps, t);
+      EXPECT_EQ(tor.port_count(), 4);
+      for (int p = 0; p < 4; ++p) EXPECT_TRUE(tor.port(p).connected());
+      EXPECT_EQ(tor.port_role(0), PortRole::kServerFacing);
+      EXPECT_EQ(tor.port_role(2), PortRole::kFabric);
+    }
+  }
+  // Spines have one port per podset.
+  EXPECT_EQ(clos.spine(0).port_count(), 2);
+  EXPECT_EQ(clos.leaf_spine_ports().size(), 2u * 2 * 2);  // podsets x leaves x spl
+}
+
+TEST(Clos, ServerIpScheme) {
+  ClosFabric clos(small_clos());
+  EXPECT_EQ(clos.server(1, 0, 1).ip(), Ipv4Addr::from_octets(10, 1, 0, 2));
+  EXPECT_EQ(ClosFabric::server_ip(0, 3, 0), Ipv4Addr::from_octets(10, 0, 3, 1));
+}
+
+TEST(Clos, InvalidSpineDivisibilityThrows) {
+  ClosParams p = small_clos();
+  p.spines = 5;  // not divisible by leaves_per_podset=2
+  EXPECT_THROW(ClosFabric{p}, std::invalid_argument);
+}
+
+TEST(Clos, AllPairsReachableAcrossPodsets) {
+  ClosFabric clos(small_clos());
+  QpConfig qp;
+  qp.dcqcn = false;
+  int expected = 0;
+  for (int t = 0; t < 2; ++t) {
+    for (int s = 0; s < 2; ++s) {
+      Host& a = clos.server(0, t, s);
+      Host& b = clos.server(1, 1 - t, 1 - s);  // cross podset, different indices
+      auto [qa, qb] = connect_qp_pair(a, b, qp);
+      (void)qb;
+      a.rdma().post_send(qa, 4096, static_cast<std::uint64_t>(++expected));
+      }
+  }
+  clos.sim().run_until(milliseconds(5));
+  std::int64_t received = 0;
+  for (const auto& h : clos.fabric().hosts()) {
+    received += h->rdma().stats().messages_received;
+  }
+  EXPECT_EQ(received, expected);
+}
+
+TEST(Clos, IntraPodsetTrafficStaysBelowSpines) {
+  ClosFabric clos(small_clos());
+  QpConfig qp;
+  qp.dcqcn = false;
+  // ToR 0 -> ToR 1 within podset 0: up-down via a leaf, never a spine.
+  auto [qa, qb] = connect_qp_pair(clos.server(0, 0, 0), clos.server(0, 1, 0), qp);
+  (void)qb;
+  clos.server(0, 0, 0).rdma().post_send(qa, 64 * 1024, 1);
+  clos.sim().run_until(milliseconds(2));
+  EXPECT_EQ(clos.server(0, 1, 0).rdma().stats().messages_received, 1);
+  for (int s = 0; s < 4; ++s) {
+    for (int p = 0; p < clos.spine(s).port_count(); ++p) {
+      for (int pg = 0; pg < kNumPriorities; ++pg) {
+        EXPECT_EQ(clos.spine(s).port(p).counters().tx_packets[static_cast<std::size_t>(pg)], 0);
+      }
+    }
+  }
+}
+
+TEST(Clos, SameTorTrafficStaysLocal) {
+  ClosFabric clos(small_clos());
+  QpConfig qp;
+  qp.dcqcn = false;
+  auto [qa, qb] = connect_qp_pair(clos.server(0, 0, 0), clos.server(0, 0, 1), qp);
+  (void)qb;
+  clos.server(0, 0, 0).rdma().post_send(qa, 16 * 1024, 1);
+  clos.sim().run_until(milliseconds(1));
+  EXPECT_EQ(clos.server(0, 0, 1).rdma().stats().messages_received, 1);
+  // Leaf saw nothing.
+  for (int l = 0; l < 2; ++l) {
+    EXPECT_EQ(clos.leaf(0, l).port(0).counters().tx_packets[3], 0);
+  }
+}
+
+TEST(Clos, TwoTierFabricWithoutSpines) {
+  QosPolicy policy;
+  ClosParams p = make_clos_params(policy, DeploymentStage::kFull, 1, 4, 2, 4, 0);
+  ClosFabric clos(p);
+  EXPECT_EQ(clos.fabric().switches().size(), 6u);  // 2 ToRs + 4 leaves
+  QpConfig qp;
+  qp.dcqcn = false;
+  auto [qa, qb] = connect_qp_pair(clos.server(0, 0, 0), clos.server(0, 1, 3), qp);
+  (void)qb;
+  clos.server(0, 0, 0).rdma().post_send(qa, 32 * 1024, 1);
+  clos.sim().run_until(milliseconds(2));
+  EXPECT_EQ(clos.server(0, 1, 3).rdma().stats().messages_received, 1);
+}
+
+TEST(Clos, KillHostExpiresMacButKeepsArp) {
+  ClosFabric clos(small_clos());
+  Host& victim = clos.server(0, 0, 0);
+  Switch& tor = clos.tor(0, 0);
+  clos.fabric().kill_host(victim);
+  EXPECT_FALSE(tor.mac_table().lookup(victim.mac(), clos.sim().now()).has_value());
+  EXPECT_TRUE(tor.arp_table().lookup(victim.ip(), clos.sim().now()).has_value());
+}
+
+// --- flow-level ECMP analysis ---------------------------------------------------
+
+TEST(MaxMin, SingleLinkEqualShare) {
+  const auto rates = max_min_rates({{0}, {0}, {0}, {0}}, {40.0});
+  for (double r : rates) EXPECT_DOUBLE_EQ(r, 10.0);
+}
+
+TEST(MaxMin, BottleneckRespectedAndWorkConserving) {
+  // Flow 0 crosses both links; flow 1 only link 1 (cap 10).
+  const auto rates = max_min_rates({{0, 1}, {1}}, {40.0, 10.0});
+  EXPECT_DOUBLE_EQ(rates[0], 5.0);
+  EXPECT_DOUBLE_EQ(rates[1], 5.0);
+}
+
+TEST(MaxMin, UnequalBottlenecksRedistribute) {
+  // Link 0 cap 40 shared by flows {0,1}; flow 1 also limited by link 1 cap 4.
+  const auto rates = max_min_rates({{0}, {0, 1}}, {40.0, 4.0});
+  EXPECT_DOUBLE_EQ(rates[1], 4.0);
+  EXPECT_DOUBLE_EQ(rates[0], 36.0);  // max-min reclaims the slack
+}
+
+TEST(MaxMin, NoLinksMeansZeroRate) {
+  const auto rates = max_min_rates({{}}, {});
+  EXPECT_DOUBLE_EQ(rates[0], 0.0);
+}
+
+TEST(BottleneckShare, DoesNotRedistribute) {
+  const auto rates = bottleneck_share_rates({{0}, {0, 1}}, {40.0, 4.0});
+  EXPECT_DOUBLE_EQ(rates[0], 20.0);  // equal share of link 0, no reclaim
+  EXPECT_DOUBLE_EQ(rates[1], 4.0);
+}
+
+TEST(EcmpAnalysis, CapacityLinkAndConnectionCounts) {
+  EcmpAnalysisParams p;
+  const auto r = analyze_clos_ecmp(p);
+  EXPECT_EQ(r.total_connections, 2 * 24 * 8 * 8);  // 3072, paper says 3074
+  EXPECT_NEAR(r.capacity_gbps, 5120.0, 1.0);       // 128 x 40G
+  EXPECT_GT(r.max_leaf_spine_flows, r.min_leaf_spine_flows);
+}
+
+TEST(EcmpAnalysis, UtilizationNearPaper60Percent) {
+  double total = 0;
+  for (int seed = 1; seed <= 5; ++seed) {
+    EcmpAnalysisParams p;
+    p.seed = static_cast<std::uint64_t>(seed);
+    total += analyze_clos_ecmp(p).utilization;
+  }
+  const double mean = total / 5;
+  EXPECT_GT(mean, 0.45);
+  EXPECT_LT(mean, 0.80);
+}
+
+TEST(EcmpAnalysis, OrderingOfModels) {
+  EcmpAnalysisParams p;
+  const auto r = analyze_clos_ecmp(p);
+  // uniform <= bottleneck-share <= max-min <= capacity.
+  EXPECT_LE(r.aggregate_gbps, r.aggregate_bottleneck_gbps + 1e-6);
+  EXPECT_LE(r.aggregate_bottleneck_gbps, r.aggregate_maxmin_gbps + 1e-6);
+  EXPECT_LE(r.aggregate_maxmin_gbps, r.capacity_gbps + 1e-6);
+}
+
+TEST(EcmpAnalysis, UnidirectionalHalvesEverything) {
+  EcmpAnalysisParams p;
+  p.bidirectional = false;
+  const auto r = analyze_clos_ecmp(p);
+  EXPECT_EQ(r.total_connections, 24 * 8 * 8);
+  EXPECT_NEAR(r.capacity_gbps, 2560.0, 1.0);
+}
+
+}  // namespace
+}  // namespace rocelab

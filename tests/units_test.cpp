@@ -1,0 +1,104 @@
+#include <gtest/gtest.h>
+
+#include "src/common/units.h"
+#include "src/switch/config.h"
+
+namespace rocelab {
+namespace {
+
+TEST(Units, TimeConstructors) {
+  EXPECT_EQ(nanoseconds(1), 1000);
+  EXPECT_EQ(microseconds(1), 1000 * 1000);
+  EXPECT_EQ(milliseconds(1), 1000LL * 1000 * 1000);
+  EXPECT_EQ(seconds(1), 1000LL * 1000 * 1000 * 1000);
+}
+
+TEST(Units, TimeConversions) {
+  EXPECT_DOUBLE_EQ(to_microseconds(microseconds(5)), 5.0);
+  EXPECT_DOUBLE_EQ(to_milliseconds(microseconds(1500)), 1.5);
+  EXPECT_DOUBLE_EQ(to_seconds(milliseconds(250)), 0.25);
+  EXPECT_DOUBLE_EQ(to_nanoseconds(picoseconds(1500)), 1.5);
+}
+
+TEST(Units, SerializationTimeAt40G) {
+  // 40Gb/s = 5 bytes/ns = 1 byte per 200ps.
+  EXPECT_EQ(serialization_time(1, gbps(40)), 200);
+  EXPECT_EQ(serialization_time(1086, gbps(40)), 1086 * 200);
+}
+
+TEST(Units, SerializationTimeAt100GAndOddRates) {
+  EXPECT_EQ(serialization_time(1000, gbps(100)), 80 * 1000);
+  // 7 Gb/s: 1000 bytes = 8000 bits / 7e9 = 1142857ps (floor).
+  EXPECT_EQ(serialization_time(1000, gbps(7)), 8000LL * kSecond / gbps(7) / 1);
+}
+
+TEST(Units, SerializationTimeLargeNoOverflow) {
+  // 1 TiB at 40G: ~3.8 hours; must not overflow int64 picoseconds.
+  const Time t = serialization_time(1LL << 40, gbps(40));
+  EXPECT_GT(t, 0);
+  EXPECT_EQ(t, (1LL << 40) * 200);
+}
+
+TEST(Units, PropagationDelay) {
+  EXPECT_EQ(propagation_delay_for_meters(1), nanoseconds(5));
+  EXPECT_EQ(propagation_delay_for_meters(300), nanoseconds(1500));
+  EXPECT_EQ(propagation_delay_for_meters(0), 0);
+}
+
+TEST(Units, BytesInTime) {
+  EXPECT_EQ(bytes_in_time(microseconds(1), gbps(40)), 5000);
+  EXPECT_EQ(bytes_in_time(picoseconds(200), gbps(40)), 1);
+}
+
+TEST(Units, FormatTime) {
+  EXPECT_EQ(format_time(microseconds(5)), "5us");
+  EXPECT_EQ(format_time(milliseconds(12)), "12ms");
+  EXPECT_EQ(format_time(seconds(2)), "2s");
+  EXPECT_EQ(format_time(nanoseconds(3)), "3ns");
+}
+
+TEST(Units, FormatBandwidth) {
+  EXPECT_EQ(format_bandwidth(40e9), "40Gb/s");
+  EXPECT_EQ(format_bandwidth(3.0e12), "3Tb/s");
+  EXPECT_EQ(format_bandwidth(350e6), "350Mb/s");
+}
+
+TEST(Units, FormatBytes) {
+  EXPECT_EQ(format_bytes(12 * kMiB), "12MiB");
+  EXPECT_EQ(format_bytes(512), "512B");
+  EXPECT_EQ(format_bytes(9 * kKiB / 2), "4.5KiB");
+}
+
+TEST(Headroom, GrowsWithDistance) {
+  const auto h2 = recommended_headroom(gbps(40), propagation_delay_for_meters(2), 1086);
+  const auto h300 = recommended_headroom(gbps(40), propagation_delay_for_meters(300), 1086);
+  EXPECT_GT(h300, h2);
+  // 2 x 300m propagation alone is 3us = 15KB at 40G.
+  EXPECT_GE(h300, 15000);
+}
+
+TEST(Headroom, GrowsWithBandwidthAndMtu) {
+  const Time prop = propagation_delay_for_meters(100);
+  EXPECT_GT(recommended_headroom(gbps(100), prop, 1086),
+            recommended_headroom(gbps(40), prop, 1086));
+  EXPECT_GT(recommended_headroom(gbps(40), prop, 9216),
+            recommended_headroom(gbps(40), prop, 1086));
+}
+
+class SerializationRoundTrip : public ::testing::TestWithParam<std::int64_t> {};
+
+TEST_P(SerializationRoundTrip, TimeMatchesBytes) {
+  const std::int64_t bytes = GetParam();
+  for (Bandwidth bw : {gbps(10), gbps(25), gbps(40), gbps(50), gbps(100)}) {
+    const Time t = serialization_time(bytes, bw);
+    // bytes_in_time inverts serialization_time to within one byte.
+    EXPECT_NEAR(static_cast<double>(bytes_in_time(t, bw)), static_cast<double>(bytes), 1.0)
+        << "bw=" << bw << " bytes=" << bytes;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, SerializationRoundTrip,
+                         ::testing::Values(64, 512, 1086, 1500, 9216, 65536, 4 * kMiB));
+
+}  // namespace
+}  // namespace rocelab

@@ -1,0 +1,319 @@
+// rocelab_sim — scenario runner for the rocelab fabric simulator.
+//
+// Builds a topology, applies the paper's QoS policy (with overridable
+// knobs), drives a workload, optionally injects the paper's faults, and
+// prints a monitoring report: goodput, latency percentiles, pause frames,
+// drops, and config drift.
+//
+// Examples:
+//   rocelab_sim --topology clos3 --workload stream --duration-ms 20
+//   rocelab_sim --topology clos2 --workload incast --alpha 0.015625
+//   rocelab_sim --topology star --servers 8 --workload incast --no-dcqcn
+//   rocelab_sim --topology clos2 --workload pingmesh --storm-at-ms 10
+//   rocelab_sim --topology star --workload stream --recovery sr --loss 0.001
+//   rocelab_sim --topology clos2 --workload stream --pcap /tmp/tap.pcap
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <unordered_map>
+#include <string>
+
+#include "src/app/demux.h"
+#include "src/app/traffic.h"
+#include "src/monitor/monitor.h"
+#include "src/monitor/pcap.h"
+#include "src/rocev2/deployment.h"
+
+using namespace rocelab;
+
+namespace {
+
+struct Options {
+  std::string topology = "clos2";  // star | clos2 | clos3
+  std::string workload = "stream";  // stream | incast | pingmesh
+  int servers = 8;     // per ToR (clos) or total (star)
+  int tors = 2;
+  int leaves = 2;
+  int spines = 4;
+  int podsets = 2;
+  long duration_ms = 20;
+  double alpha = 1.0 / 16;
+  bool dcqcn = true;
+  bool spray = false;
+  std::string recovery = "gbn";  // gbn | gb0 | sr
+  double loss = 0.0;
+  long storm_at_ms = -1;
+  std::string pcap_path;
+
+  static Options parse(int argc, char** argv);
+};
+
+[[noreturn]] void usage() {
+  std::fprintf(stderr,
+               "usage: rocelab_sim [--topology star|clos2|clos3] [--workload "
+               "stream|incast|pingmesh]\n"
+               "  [--servers N] [--tors N] [--leaves N] [--spines N] [--podsets N]\n"
+               "  [--duration-ms N] [--alpha X] [--no-dcqcn] [--spray]\n"
+               "  [--recovery gbn|gb0|sr] [--loss P] [--storm-at-ms N] [--pcap FILE]\n");
+  std::exit(2);
+}
+
+Options Options::parse(int argc, char** argv) {
+  Options o;
+  auto need = [&](int& i) -> const char* {
+    if (i + 1 >= argc) usage();
+    return argv[++i];
+  };
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    if (a == "--topology") o.topology = need(i);
+    else if (a == "--workload") o.workload = need(i);
+    else if (a == "--servers") o.servers = std::atoi(need(i));
+    else if (a == "--tors") o.tors = std::atoi(need(i));
+    else if (a == "--leaves") o.leaves = std::atoi(need(i));
+    else if (a == "--spines") o.spines = std::atoi(need(i));
+    else if (a == "--podsets") o.podsets = std::atoi(need(i));
+    else if (a == "--duration-ms") o.duration_ms = std::atol(need(i));
+    else if (a == "--alpha") o.alpha = std::atof(need(i));
+    else if (a == "--no-dcqcn") o.dcqcn = false;
+    else if (a == "--spray") o.spray = true;
+    else if (a == "--recovery") o.recovery = need(i);
+    else if (a == "--loss") o.loss = std::atof(need(i));
+    else if (a == "--storm-at-ms") o.storm_at_ms = std::atol(need(i));
+    else if (a == "--pcap") o.pcap_path = need(i);
+    else if (a == "--help" || a == "-h") usage();
+    else {
+      std::fprintf(stderr, "unknown option: %s\n", a.c_str());
+      usage();
+    }
+  }
+  return o;
+}
+
+struct Scenario {
+  std::unique_ptr<ClosFabric> clos;   // clos topologies
+  std::unique_ptr<Fabric> star;       // star topology
+  std::vector<Host*> hosts;
+  std::vector<Switch*> switches;
+  Simulator* sim = nullptr;
+};
+
+Scenario build(const Options& o, const QosPolicy& policy) {
+  Scenario s;
+  if (o.topology == "star") {
+    s.star = std::make_unique<Fabric>();
+    SwitchConfig cfg = make_switch_config(policy, SwitchTier::kTor);
+    cfg.packet_spray = o.spray;
+    auto& sw = s.star->add_switch("tor-0-0", cfg, o.servers);
+    sw.add_local_subnet(Ipv4Prefix{Ipv4Addr::from_octets(10, 0, 0, 0), 24});
+    for (int i = 0; i < o.servers; ++i) {
+      auto& h = s.star->add_host("srv-" + std::to_string(i), make_host_config(policy));
+      h.set_ip(Ipv4Addr::from_octets(10, 0, 0, static_cast<std::uint8_t>(i + 1)));
+      s.star->attach_host(h, sw, i, policy.link_bw, propagation_delay_for_meters(2));
+      s.hosts.push_back(&h);
+    }
+    s.switches = s.star->switch_ptrs();
+    s.sim = &s.star->sim();
+    return s;
+  }
+  const bool three_tier = o.topology == "clos3";
+  ClosParams params = make_clos_params(policy, DeploymentStage::kFull,
+                                       three_tier ? o.podsets : 1, o.leaves, o.tors, o.servers,
+                                       three_tier ? o.spines : 0);
+  params.tor_config.mmu.alpha = o.alpha;
+  params.leaf_config.mmu.alpha = o.alpha;
+  params.spine_config.mmu.alpha = o.alpha;
+  params.tor_config.packet_spray = o.spray;
+  params.leaf_config.packet_spray = o.spray;
+  params.spine_config.packet_spray = o.spray;
+  s.clos = std::make_unique<ClosFabric>(params);
+  for (const auto& h : s.clos->fabric().hosts()) s.hosts.push_back(h.get());
+  s.switches = s.clos->fabric().switch_ptrs();
+  s.sim = &s.clos->sim();
+  return s;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Options o = Options::parse(argc, argv);
+
+  QosPolicy policy;
+  policy.alpha = o.alpha;
+  policy.dcqcn.enabled = o.dcqcn;
+  policy.recovery = o.recovery == "gb0"  ? LossRecovery::kGoBack0
+                    : o.recovery == "sr" ? LossRecovery::kSelectiveRepeat
+                                         : LossRecovery::kGoBackN;
+  Scenario s = build(o, policy);
+  std::printf("topology %s: %zu hosts, %zu switches | workload %s | %ldms\n",
+              o.topology.c_str(), s.hosts.size(), s.switches.size(), o.workload.c_str(),
+              o.duration_ms);
+
+  if (o.loss > 0) {
+    for (Switch* sw : s.switches) {
+      auto rng = std::make_shared<Rng>(sw->id());
+      sw->set_drop_filter([rng, p = o.loss](const Packet& pkt) {
+        return pkt.kind == PacketKind::kRoceData && rng->bernoulli(p);
+      });
+    }
+  }
+  std::unique_ptr<PortTap> tap;
+  if (!o.pcap_path.empty()) {
+    tap = std::make_unique<PortTap>(*s.switches.front(), o.pcap_path);
+    std::printf("pcap tap on %s -> %s\n", s.switches.front()->name().c_str(),
+                o.pcap_path.c_str());
+  }
+
+  // --- workload ------------------------------------------------------------------
+  std::unordered_map<Host*, std::unique_ptr<RdmaDemux>> demuxes;
+  std::vector<std::unique_ptr<RdmaStreamSource>> sources;
+  std::vector<std::unique_ptr<RdmaEchoServer>> echoes;
+  std::vector<std::unique_ptr<RdmaIncastClient>> incasts;
+  std::vector<std::unique_ptr<RdmaPingmesh>> pings;
+  // Exactly one demux per host: it owns the NIC's receive/completion
+  // callbacks, so creating a second one would silently disconnect the first.
+  auto demux_of = [&](Host& h) -> RdmaDemux& {
+    auto& slot = demuxes[&h];
+    if (!slot) slot = std::make_unique<RdmaDemux>(h);
+    return *slot;
+  };
+  const QpConfig qp = make_qp_config(policy);
+
+  if (o.workload == "stream") {
+    // Ring of streams: host i -> host (i + n/2) % n, 2 QPs each.
+    const std::size_t n = s.hosts.size();
+    for (std::size_t i = 0; i < n; ++i) {
+      Host& src = *s.hosts[i];
+      Host& dst = *s.hosts[(i + n / 2) % n];
+      if (&src == &dst) continue;
+      auto& dm = demux_of(src);
+      for (int k = 0; k < 2; ++k) {
+        auto [qa, qb] = connect_qp_pair(src, dst, qp);
+        (void)qb;
+        sources.push_back(std::make_unique<RdmaStreamSource>(
+            src, dm, qa,
+            RdmaStreamSource::Options{.message_bytes = 128 * kKiB, .max_outstanding = 2}));
+        sources.back()->start();
+      }
+    }
+  } else if (o.workload == "incast") {
+    // Everyone queries 8 random peers; responses incast back.
+    Rng rng(11);
+    for (Host* h : s.hosts) {
+      std::vector<std::uint32_t> qpns;
+      auto& dm = demux_of(*h);
+      for (int f = 0; f < 8; ++f) {
+        Host* peer = s.hosts[static_cast<std::size_t>(
+            rng.uniform_int(0, static_cast<std::int64_t>(s.hosts.size()) - 1))];
+        if (peer == h) continue;
+        auto [cq, sq] = connect_qp_pair(*h, *peer, qp);
+        echoes.push_back(std::make_unique<RdmaEchoServer>(*peer, demux_of(*peer), sq, 32 * kKiB));
+        qpns.push_back(cq);
+      }
+      incasts.push_back(std::make_unique<RdmaIncastClient>(
+          *h, dm, qpns,
+          RdmaIncastClient::Options{.request_bytes = 512, .mean_interval = milliseconds(2)}));
+      incasts.back()->start();
+    }
+  } else if (o.workload == "pingmesh") {
+    const std::size_t n = s.hosts.size();
+    for (std::size_t i = 0; i < n; ++i) {
+      Host& a = *s.hosts[i];
+      Host& b = *s.hosts[(i + n / 2) % n];
+      if (&a == &b) continue;
+      auto [pq, tq] = connect_qp_pair(a, b, make_qp_config(policy, /*realtime=*/true));
+      echoes.push_back(std::make_unique<RdmaEchoServer>(b, demux_of(b), tq, 512));
+      pings.push_back(std::make_unique<RdmaPingmesh>(
+          a, demux_of(a), std::vector<std::uint32_t>{pq},
+          RdmaPingmesh::Options{.probe_bytes = 512, .interval = microseconds(250),
+                                .timeout = milliseconds(10)}));
+      pings.back()->start();
+    }
+  } else {
+    std::fprintf(stderr, "unknown workload: %s\n", o.workload.c_str());
+    return 2;
+  }
+
+  if (o.storm_at_ms >= 0) {
+    s.sim->schedule_at(milliseconds(o.storm_at_ms),
+                       [&] { s.hosts.front()->set_storm_mode(true); });
+    std::printf("fault: %s enters PFC storm mode at t=%ldms\n",
+                s.hosts.front()->name().c_str(), o.storm_at_ms);
+  }
+
+  ThroughputMonitor tput(*s.sim, s.hosts, milliseconds(1));
+  tput.start();
+  s.sim->run_until(milliseconds(o.duration_ms));
+
+  // --- report ---------------------------------------------------------------------
+  std::printf("\n=== report (t = %s) ===\n", format_time(s.sim->now()).c_str());
+  std::printf("delivered goodput: %.2f Gb/s aggregate (%s total)\n",
+              tput.mean_gbps(1), format_bytes(tput.total_bytes()).c_str());
+
+  std::int64_t pauses_tx = 0, lossless_drops = 0, lossy_drops = 0;
+  for (Switch* sw : s.switches) {
+    for (int p = 0; p < sw->port_count(); ++p) {
+      pauses_tx += sw->port(p).counters().total_tx_pause();
+      lossless_drops += sw->port(p).counters().headroom_overflow_drops;
+      lossy_drops += sw->port(p).counters().ingress_drops;
+    }
+  }
+  std::printf("switch pause frames sent: %lld | lossless drops: %lld | lossy drops: %lld\n",
+              static_cast<long long>(pauses_tx), static_cast<long long>(lossless_drops),
+              static_cast<long long>(lossy_drops));
+
+  std::int64_t retx = 0, timeouts = 0, cnps = 0;
+  for (Host* h : s.hosts) {
+    retx += h->rdma().stats().data_packets_retx;
+    timeouts += h->rdma().stats().timeouts;
+    cnps += h->rdma().stats().cnps_received;
+  }
+  std::printf("transport: %lld retransmissions, %lld timeouts, %lld CNPs\n",
+              static_cast<long long>(retx), static_cast<long long>(timeouts),
+              static_cast<long long>(cnps));
+
+  if (!sources.empty()) {
+    PercentileSampler lat;
+    for (auto& src : sources) lat.merge(src->latencies_us());
+    if (!lat.empty()) {
+      std::printf("message latency us: p50 %.0f  p99 %.0f  p99.9 %.0f (%zu msgs)\n",
+                  lat.percentile(50), lat.percentile(99), lat.percentile(99.9), lat.count());
+    }
+  }
+  if (!incasts.empty()) {
+    PercentileSampler lat;
+    std::int64_t queries = 0;
+    for (auto& c : incasts) {
+      lat.merge(c->query_latencies_us());
+      queries += c->queries_completed();
+    }
+    if (!lat.empty()) {
+      std::printf("query latency us: p50 %.0f  p99 %.0f  p99.9 %.0f (%lld queries)\n",
+                  lat.percentile(50), lat.percentile(99), lat.percentile(99.9),
+                  static_cast<long long>(queries));
+    }
+  }
+  if (!pings.empty()) {
+    PercentileSampler rtt;
+    std::int64_t failed = 0;
+    for (auto& p : pings) {
+      rtt.merge(p->rtt_us());
+      failed += p->probes_failed();
+    }
+    if (!rtt.empty()) {
+      std::printf("pingmesh RTT us: p50 %.0f  p99 %.0f  p99.9 %.0f (%zu probes, %lld failed)\n",
+                  rtt.percentile(50), rtt.percentile(99), rtt.percentile(99.9), rtt.count(),
+                  static_cast<long long>(failed));
+    }
+  }
+
+  const auto drift = check_switch_configs(s.switches, policy);
+  std::printf("config drift records: %zu\n", drift.size());
+  for (const auto& d : drift) {
+    std::printf("  %s %s: expected %s, running %s\n", d.node.c_str(), d.field.c_str(),
+                d.expected.c_str(), d.actual.c_str());
+  }
+  if (tap) std::printf("pcap frames captured: %lld\n",
+                       static_cast<long long>(tap->frames_captured()));
+  return 0;
+}
