@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_dcqcn.dir/abl_dcqcn.cpp.o"
+  "CMakeFiles/abl_dcqcn.dir/abl_dcqcn.cpp.o.d"
+  "abl_dcqcn"
+  "abl_dcqcn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_dcqcn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

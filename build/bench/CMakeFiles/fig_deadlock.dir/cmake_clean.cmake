@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig_deadlock.dir/fig_deadlock.cpp.o"
+  "CMakeFiles/fig_deadlock.dir/fig_deadlock.cpp.o.d"
+  "fig_deadlock"
+  "fig_deadlock.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig_deadlock.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig_dscp_vs_vlan.dir/fig_dscp_vs_vlan.cpp.o"
+  "CMakeFiles/fig_dscp_vs_vlan.dir/fig_dscp_vs_vlan.cpp.o.d"
+  "fig_dscp_vs_vlan"
+  "fig_dscp_vs_vlan.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig_dscp_vs_vlan.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig_dscp_vs_vlan.
+# This may be replaced when dependencies are built.

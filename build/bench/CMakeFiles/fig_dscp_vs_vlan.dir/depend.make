@@ -1,0 +1,2 @@
+# Empty dependencies file for fig_dscp_vs_vlan.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig_incident_alpha.dir/fig_incident_alpha.cpp.o"
+  "CMakeFiles/fig_incident_alpha.dir/fig_incident_alpha.cpp.o.d"
+  "fig_incident_alpha"
+  "fig_incident_alpha.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig_incident_alpha.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig_incident_storm.dir/fig_incident_storm.cpp.o"
+  "CMakeFiles/fig_incident_storm.dir/fig_incident_storm.cpp.o.d"
+  "fig_incident_storm"
+  "fig_incident_storm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig_incident_storm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig_latency_service.dir/fig_latency_service.cpp.o"
+  "CMakeFiles/fig_latency_service.dir/fig_latency_service.cpp.o.d"
+  "fig_latency_service"
+  "fig_latency_service.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig_latency_service.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig_latency_vs_load.dir/fig_latency_vs_load.cpp.o"
+  "CMakeFiles/fig_latency_vs_load.dir/fig_latency_vs_load.cpp.o.d"
+  "fig_latency_vs_load"
+  "fig_latency_vs_load.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig_latency_vs_load.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig_livelock.dir/fig_livelock.cpp.o"
+  "CMakeFiles/fig_livelock.dir/fig_livelock.cpp.o.d"
+  "fig_livelock"
+  "fig_livelock.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig_livelock.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

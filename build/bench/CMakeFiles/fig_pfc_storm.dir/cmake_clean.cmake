@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig_pfc_storm.dir/fig_pfc_storm.cpp.o"
+  "CMakeFiles/fig_pfc_storm.dir/fig_pfc_storm.cpp.o.d"
+  "fig_pfc_storm"
+  "fig_pfc_storm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig_pfc_storm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig_pfc_storm.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig_slow_receiver.dir/fig_slow_receiver.cpp.o"
+  "CMakeFiles/fig_slow_receiver.dir/fig_slow_receiver.cpp.o.d"
+  "fig_slow_receiver"
+  "fig_slow_receiver.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig_slow_receiver.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

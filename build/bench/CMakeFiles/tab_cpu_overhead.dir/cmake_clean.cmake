@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab_cpu_overhead.dir/tab_cpu_overhead.cpp.o"
+  "CMakeFiles/tab_cpu_overhead.dir/tab_cpu_overhead.cpp.o.d"
+  "tab_cpu_overhead"
+  "tab_cpu_overhead.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab_cpu_overhead.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

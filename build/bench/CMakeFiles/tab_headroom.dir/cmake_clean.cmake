@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab_headroom.dir/tab_headroom.cpp.o"
+  "CMakeFiles/tab_headroom.dir/tab_headroom.cpp.o.d"
+  "tab_headroom"
+  "tab_headroom.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab_headroom.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/incast_service.dir/incast_service.cpp.o"
+  "CMakeFiles/incast_service.dir/incast_service.cpp.o.d"
+  "incast_service"
+  "incast_service.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/incast_service.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

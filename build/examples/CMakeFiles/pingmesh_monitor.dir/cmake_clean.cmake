@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pingmesh_monitor.dir/pingmesh_monitor.cpp.o"
+  "CMakeFiles/pingmesh_monitor.dir/pingmesh_monitor.cpp.o.d"
+  "pingmesh_monitor"
+  "pingmesh_monitor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pingmesh_monitor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,41 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/app/rdma_cm.cpp" "src/CMakeFiles/rocelab.dir/app/rdma_cm.cpp.o" "gcc" "src/CMakeFiles/rocelab.dir/app/rdma_cm.cpp.o.d"
+  "/root/repo/src/app/traffic.cpp" "src/CMakeFiles/rocelab.dir/app/traffic.cpp.o" "gcc" "src/CMakeFiles/rocelab.dir/app/traffic.cpp.o.d"
+  "/root/repo/src/common/stats.cpp" "src/CMakeFiles/rocelab.dir/common/stats.cpp.o" "gcc" "src/CMakeFiles/rocelab.dir/common/stats.cpp.o.d"
+  "/root/repo/src/common/units.cpp" "src/CMakeFiles/rocelab.dir/common/units.cpp.o" "gcc" "src/CMakeFiles/rocelab.dir/common/units.cpp.o.d"
+  "/root/repo/src/link/node.cpp" "src/CMakeFiles/rocelab.dir/link/node.cpp.o" "gcc" "src/CMakeFiles/rocelab.dir/link/node.cpp.o.d"
+  "/root/repo/src/link/port.cpp" "src/CMakeFiles/rocelab.dir/link/port.cpp.o" "gcc" "src/CMakeFiles/rocelab.dir/link/port.cpp.o.d"
+  "/root/repo/src/monitor/monitor.cpp" "src/CMakeFiles/rocelab.dir/monitor/monitor.cpp.o" "gcc" "src/CMakeFiles/rocelab.dir/monitor/monitor.cpp.o.d"
+  "/root/repo/src/monitor/pcap.cpp" "src/CMakeFiles/rocelab.dir/monitor/pcap.cpp.o" "gcc" "src/CMakeFiles/rocelab.dir/monitor/pcap.cpp.o.d"
+  "/root/repo/src/net/addr.cpp" "src/CMakeFiles/rocelab.dir/net/addr.cpp.o" "gcc" "src/CMakeFiles/rocelab.dir/net/addr.cpp.o.d"
+  "/root/repo/src/net/codec.cpp" "src/CMakeFiles/rocelab.dir/net/codec.cpp.o" "gcc" "src/CMakeFiles/rocelab.dir/net/codec.cpp.o.d"
+  "/root/repo/src/net/packet.cpp" "src/CMakeFiles/rocelab.dir/net/packet.cpp.o" "gcc" "src/CMakeFiles/rocelab.dir/net/packet.cpp.o.d"
+  "/root/repo/src/nic/dcqcn.cpp" "src/CMakeFiles/rocelab.dir/nic/dcqcn.cpp.o" "gcc" "src/CMakeFiles/rocelab.dir/nic/dcqcn.cpp.o.d"
+  "/root/repo/src/nic/host.cpp" "src/CMakeFiles/rocelab.dir/nic/host.cpp.o" "gcc" "src/CMakeFiles/rocelab.dir/nic/host.cpp.o.d"
+  "/root/repo/src/nic/rdma_nic.cpp" "src/CMakeFiles/rocelab.dir/nic/rdma_nic.cpp.o" "gcc" "src/CMakeFiles/rocelab.dir/nic/rdma_nic.cpp.o.d"
+  "/root/repo/src/nic/timely.cpp" "src/CMakeFiles/rocelab.dir/nic/timely.cpp.o" "gcc" "src/CMakeFiles/rocelab.dir/nic/timely.cpp.o.d"
+  "/root/repo/src/rocev2/deployment.cpp" "src/CMakeFiles/rocelab.dir/rocev2/deployment.cpp.o" "gcc" "src/CMakeFiles/rocelab.dir/rocev2/deployment.cpp.o.d"
+  "/root/repo/src/sim/simulator.cpp" "src/CMakeFiles/rocelab.dir/sim/simulator.cpp.o" "gcc" "src/CMakeFiles/rocelab.dir/sim/simulator.cpp.o.d"
+  "/root/repo/src/switch/mmu.cpp" "src/CMakeFiles/rocelab.dir/switch/mmu.cpp.o" "gcc" "src/CMakeFiles/rocelab.dir/switch/mmu.cpp.o.d"
+  "/root/repo/src/switch/sw.cpp" "src/CMakeFiles/rocelab.dir/switch/sw.cpp.o" "gcc" "src/CMakeFiles/rocelab.dir/switch/sw.cpp.o.d"
+  "/root/repo/src/tcp/tcp.cpp" "src/CMakeFiles/rocelab.dir/tcp/tcp.cpp.o" "gcc" "src/CMakeFiles/rocelab.dir/tcp/tcp.cpp.o.d"
+  "/root/repo/src/topo/clos.cpp" "src/CMakeFiles/rocelab.dir/topo/clos.cpp.o" "gcc" "src/CMakeFiles/rocelab.dir/topo/clos.cpp.o.d"
+  "/root/repo/src/topo/ecmp_analysis.cpp" "src/CMakeFiles/rocelab.dir/topo/ecmp_analysis.cpp.o" "gcc" "src/CMakeFiles/rocelab.dir/topo/ecmp_analysis.cpp.o.d"
+  "/root/repo/src/topo/fabric.cpp" "src/CMakeFiles/rocelab.dir/topo/fabric.cpp.o" "gcc" "src/CMakeFiles/rocelab.dir/topo/fabric.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

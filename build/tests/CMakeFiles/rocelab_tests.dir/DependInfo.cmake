@@ -1,0 +1,43 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/addr_test.cpp" "tests/CMakeFiles/rocelab_tests.dir/addr_test.cpp.o" "gcc" "tests/CMakeFiles/rocelab_tests.dir/addr_test.cpp.o.d"
+  "/root/repo/tests/codec_test.cpp" "tests/CMakeFiles/rocelab_tests.dir/codec_test.cpp.o" "gcc" "tests/CMakeFiles/rocelab_tests.dir/codec_test.cpp.o.d"
+  "/root/repo/tests/coverage2_test.cpp" "tests/CMakeFiles/rocelab_tests.dir/coverage2_test.cpp.o" "gcc" "tests/CMakeFiles/rocelab_tests.dir/coverage2_test.cpp.o.d"
+  "/root/repo/tests/dcqcn_test.cpp" "tests/CMakeFiles/rocelab_tests.dir/dcqcn_test.cpp.o" "gcc" "tests/CMakeFiles/rocelab_tests.dir/dcqcn_test.cpp.o.d"
+  "/root/repo/tests/deployment_test.cpp" "tests/CMakeFiles/rocelab_tests.dir/deployment_test.cpp.o" "gcc" "tests/CMakeFiles/rocelab_tests.dir/deployment_test.cpp.o.d"
+  "/root/repo/tests/extensions_test.cpp" "tests/CMakeFiles/rocelab_tests.dir/extensions_test.cpp.o" "gcc" "tests/CMakeFiles/rocelab_tests.dir/extensions_test.cpp.o.d"
+  "/root/repo/tests/host_test.cpp" "tests/CMakeFiles/rocelab_tests.dir/host_test.cpp.o" "gcc" "tests/CMakeFiles/rocelab_tests.dir/host_test.cpp.o.d"
+  "/root/repo/tests/integration_test.cpp" "tests/CMakeFiles/rocelab_tests.dir/integration_test.cpp.o" "gcc" "tests/CMakeFiles/rocelab_tests.dir/integration_test.cpp.o.d"
+  "/root/repo/tests/mmu_test.cpp" "tests/CMakeFiles/rocelab_tests.dir/mmu_test.cpp.o" "gcc" "tests/CMakeFiles/rocelab_tests.dir/mmu_test.cpp.o.d"
+  "/root/repo/tests/monitor_test.cpp" "tests/CMakeFiles/rocelab_tests.dir/monitor_test.cpp.o" "gcc" "tests/CMakeFiles/rocelab_tests.dir/monitor_test.cpp.o.d"
+  "/root/repo/tests/port_test.cpp" "tests/CMakeFiles/rocelab_tests.dir/port_test.cpp.o" "gcc" "tests/CMakeFiles/rocelab_tests.dir/port_test.cpp.o.d"
+  "/root/repo/tests/property2_test.cpp" "tests/CMakeFiles/rocelab_tests.dir/property2_test.cpp.o" "gcc" "tests/CMakeFiles/rocelab_tests.dir/property2_test.cpp.o.d"
+  "/root/repo/tests/property_test.cpp" "tests/CMakeFiles/rocelab_tests.dir/property_test.cpp.o" "gcc" "tests/CMakeFiles/rocelab_tests.dir/property_test.cpp.o.d"
+  "/root/repo/tests/rdma_test.cpp" "tests/CMakeFiles/rocelab_tests.dir/rdma_test.cpp.o" "gcc" "tests/CMakeFiles/rocelab_tests.dir/rdma_test.cpp.o.d"
+  "/root/repo/tests/robustness_test.cpp" "tests/CMakeFiles/rocelab_tests.dir/robustness_test.cpp.o" "gcc" "tests/CMakeFiles/rocelab_tests.dir/robustness_test.cpp.o.d"
+  "/root/repo/tests/services_test.cpp" "tests/CMakeFiles/rocelab_tests.dir/services_test.cpp.o" "gcc" "tests/CMakeFiles/rocelab_tests.dir/services_test.cpp.o.d"
+  "/root/repo/tests/sim_test.cpp" "tests/CMakeFiles/rocelab_tests.dir/sim_test.cpp.o" "gcc" "tests/CMakeFiles/rocelab_tests.dir/sim_test.cpp.o.d"
+  "/root/repo/tests/smoke_test.cpp" "tests/CMakeFiles/rocelab_tests.dir/smoke_test.cpp.o" "gcc" "tests/CMakeFiles/rocelab_tests.dir/smoke_test.cpp.o.d"
+  "/root/repo/tests/stats_test.cpp" "tests/CMakeFiles/rocelab_tests.dir/stats_test.cpp.o" "gcc" "tests/CMakeFiles/rocelab_tests.dir/stats_test.cpp.o.d"
+  "/root/repo/tests/switch_test.cpp" "tests/CMakeFiles/rocelab_tests.dir/switch_test.cpp.o" "gcc" "tests/CMakeFiles/rocelab_tests.dir/switch_test.cpp.o.d"
+  "/root/repo/tests/tables_test.cpp" "tests/CMakeFiles/rocelab_tests.dir/tables_test.cpp.o" "gcc" "tests/CMakeFiles/rocelab_tests.dir/tables_test.cpp.o.d"
+  "/root/repo/tests/tcp_test.cpp" "tests/CMakeFiles/rocelab_tests.dir/tcp_test.cpp.o" "gcc" "tests/CMakeFiles/rocelab_tests.dir/tcp_test.cpp.o.d"
+  "/root/repo/tests/topo_test.cpp" "tests/CMakeFiles/rocelab_tests.dir/topo_test.cpp.o" "gcc" "tests/CMakeFiles/rocelab_tests.dir/topo_test.cpp.o.d"
+  "/root/repo/tests/units_test.cpp" "tests/CMakeFiles/rocelab_tests.dir/units_test.cpp.o" "gcc" "tests/CMakeFiles/rocelab_tests.dir/units_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/rocelab.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

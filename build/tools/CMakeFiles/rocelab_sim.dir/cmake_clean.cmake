@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rocelab_sim.dir/rocelab_sim.cpp.o"
+  "CMakeFiles/rocelab_sim.dir/rocelab_sim.cpp.o.d"
+  "rocelab_sim"
+  "rocelab_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rocelab_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
