@@ -15,6 +15,7 @@ constexpr std::uint32_t service_of(std::uint64_t msg_id) {
 
 RdmaCm::RdmaCm(Host& host) : host_(host) {
   host_.register_udp_handler(kCmUdpPort, [this](Packet pkt) { handle(std::move(pkt)); });
+  host_.rdma().add_qp_error_cb([this](std::uint32_t qpn) { on_qp_error(qpn); });
 }
 
 void RdmaCm::listen(std::uint32_t service, QpConfig qp_config, AcceptCb cb) {
@@ -25,17 +26,40 @@ void RdmaCm::connect(Ipv4Addr peer, std::uint32_t service, QpConfig qp_config, C
                      Time retry_interval) {
   const std::uint32_t local_qpn = host_.rdma().create_qp(qp_config);
   const std::uint64_t token = next_token_++;
-  pending_[token] = PendingConnect{peer, service, local_qpn, std::move(cb), retry_interval, false};
+  pending_[token] =
+      PendingConnect{peer, service, local_qpn, std::move(cb), retry_interval, 0, false};
+  active_[local_qpn] = Established{peer, service, qp_config, pending_[token].cb, retry_interval};
   retry(token);
 }
 
 void RdmaCm::retry(std::uint64_t token) {
   auto it = pending_.find(token);
   if (it == pending_.end() || it->second.done) return;
-  const PendingConnect& pc = it->second;
+  PendingConnect& pc = it->second;
   ++requests_sent_;
   send_msg(pc.peer, MsgType::kReq, pc.service, pc.local_qpn);
-  host_.sim().schedule_in(pc.retry_interval, [this, token] { retry(token); });
+  // Exponential backoff: double the gap per unanswered REQ, capped so a
+  // long peer outage does not push the next attempt arbitrarily far out.
+  Time gap = pc.retry_interval;
+  for (int i = 0; i < pc.attempts && gap < pc.retry_interval * kMaxBackoffFactor; ++i) gap *= 2;
+  if (gap > pc.retry_interval * kMaxBackoffFactor) gap = pc.retry_interval * kMaxBackoffFactor;
+  ++pc.attempts;
+  host_.sim().schedule_in(gap, [this, token] { retry(token); });
+}
+
+void RdmaCm::on_qp_error(std::uint32_t qpn) {
+  if (!auto_reconnect_) return;
+  auto it = active_.find(qpn);
+  if (it == active_.end()) return;  // not a CM-managed active-side QP
+  const Established rec = it->second;
+  active_.erase(it);
+  ++reconnects_;
+  // The errored QP is reset and abandoned; a fresh connect() runs the full
+  // REQ/REP handshake (with backoff) and hands the application the new QPN.
+  // The passive side sees a new requester QPN, so idempotence does not
+  // short-circuit it into the dead pairing.
+  host_.rdma().reset_qp(qpn);
+  connect(rec.peer, rec.service, rec.qp_config, rec.cb, rec.retry_interval);
 }
 
 void RdmaCm::send_msg(Ipv4Addr to, MsgType type, std::uint32_t service, std::uint32_t qpn) {
@@ -49,7 +73,11 @@ void RdmaCm::send_msg(Ipv4Addr to, MsgType type, std::uint32_t service, std::uin
   ip.dscp = 1;  // lossy management class
   ip.id = host_.next_ip_id();
   pkt.ip = ip;
-  pkt.udp = UdpHeader{kCmUdpPort, kCmUdpPort, 0};
+  // The source port rotates per datagram so retries re-hash onto different
+  // ECMP paths — a REQ stuck behind a blackholed link escapes on the next
+  // attempt instead of hashing into the same hole forever.
+  const auto sport = static_cast<std::uint16_t>(kCmUdpPort + 1 + (next_sport_++ % 1024));
+  pkt.udp = UdpHeader{sport, kCmUdpPort, 0};
   pkt.priority = 1;
   pkt.msg_id = (static_cast<std::uint64_t>(type) << 32) | service;
   pkt.read_length = static_cast<std::int64_t>(qpn);

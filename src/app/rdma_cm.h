@@ -37,13 +37,27 @@ class RdmaCm {
   /// with `qp_config`.
   void listen(std::uint32_t service, QpConfig qp_config, AcceptCb cb);
 
-  /// Active side: connect to `service` at `peer`. Retries the request
-  /// every `retry_interval` until the reply arrives.
+  /// Active side: connect to `service` at `peer`. The REQ is retried with
+  /// exponential backoff, starting at `retry_interval` and doubling up to
+  /// `kMaxBackoffFactor`× — a connect outlives even a multi-second peer
+  /// outage without flooding the management class.
   void connect(Ipv4Addr peer, std::uint32_t service, QpConfig qp_config, ConnectCb cb,
                Time retry_interval = milliseconds(1));
 
+  /// When enabled (the default), a CM-established QP that hits retry
+  /// exhaustion (QpConfig::retry_limit) is torn down and re-established
+  /// from scratch: fresh QP, REQ/REP handshake with backoff, and the
+  /// original ConnectCb fires again with the new QPN once the peer is back.
+  /// Requires retry_limit > 0 on the QP config, else QPs never error.
+  void set_auto_reconnect(bool on) { auto_reconnect_ = on; }
+
   [[nodiscard]] std::int64_t requests_sent() const { return requests_sent_; }
   [[nodiscard]] std::int64_t connections_accepted() const { return accepted_; }
+  /// Established connections re-created after a QP error.
+  [[nodiscard]] std::int64_t reconnects() const { return reconnects_; }
+
+  /// REQ retry backoff cap, as a multiple of the initial retry interval.
+  static constexpr int kMaxBackoffFactor = 64;
 
  private:
   enum class MsgType : std::uint64_t { kReq = 1, kRep = 2 };
@@ -56,22 +70,37 @@ class RdmaCm {
     std::uint32_t service = 0;
     std::uint32_t local_qpn = 0;
     ConnectCb cb;
-    Time retry_interval = 0;
+    Time retry_interval = 0;  // initial interval; doubles per unanswered REQ
+    int attempts = 0;
     bool done = false;
+  };
+  /// Book-keeping for a live active-side connection so it can be rebuilt.
+  struct Established {
+    Ipv4Addr peer{};
+    std::uint32_t service = 0;
+    QpConfig qp_config;
+    ConnectCb cb;
+    Time retry_interval = 0;
   };
 
   void handle(Packet pkt);
   void send_msg(Ipv4Addr to, MsgType type, std::uint32_t service, std::uint32_t qpn);
   void retry(std::uint64_t token);
+  void on_qp_error(std::uint32_t qpn);
 
   Host& host_;
   std::unordered_map<std::uint32_t, Listener> listeners_;          // by service
   std::unordered_map<std::uint64_t, PendingConnect> pending_;      // by token
   // Idempotence on the passive side: (peer ip, requester qpn) -> local qpn.
   std::unordered_map<std::uint64_t, std::uint32_t> established_;
+  // Active-side connections eligible for auto-reconnect, by local qpn.
+  std::unordered_map<std::uint32_t, Established> active_;
+  bool auto_reconnect_ = true;
   std::uint64_t next_token_ = 1;
+  std::uint64_t next_sport_ = 0;  // rotating source port for path diversity
   std::int64_t requests_sent_ = 0;
   std::int64_t accepted_ = 0;
+  std::int64_t reconnects_ = 0;
 };
 
 }  // namespace rocelab

@@ -116,8 +116,11 @@ RdmaPingmesh::RdmaPingmesh(Host& host, RdmaDemux& demux, std::vector<std::uint32
     demux.on_recv(qpn, [this](const RdmaRecv& r) {
       auto it = outstanding_.find(r.msg_id);
       if (it == outstanding_.end()) return;
-      rtt_us_.add(to_microseconds(host_.sim().now() - it->second));
+      const Time rtt = host_.sim().now() - it->second.sent_at;
+      const std::uint32_t probed = it->second.qpn;
       outstanding_.erase(it);
+      rtt_us_.add(to_microseconds(rtt));
+      record(probed, true, rtt);
     });
   }
 }
@@ -127,18 +130,37 @@ void RdmaPingmesh::start() {
   tick();
 }
 
+void RdmaPingmesh::record(std::uint32_t qpn, bool ok, Time rtt) {
+  auto& ps = peer_stats_[qpn];
+  if (ok) {
+    ps.consecutive_failed = 0;
+  } else {
+    ++failed_;
+    ++ps.failed;
+    ++ps.consecutive_failed;
+  }
+  if (probe_cb_) probe_cb_(qpn, ok, rtt);
+}
+
 void RdmaPingmesh::tick() {
   if (!running_ || qpns_.empty()) return;
   const std::uint32_t qpn = qpns_[next_peer_];
   next_peer_ = (next_peer_ + 1) % qpns_.size();
-  const std::uint64_t id =
-      (static_cast<std::uint64_t>(host_.id()) << 40) | (0x1ull << 36) | next_probe_++;
-  outstanding_[id] = host_.sim().now();
   ++sent_;
-  host_.rdma().post_send(qpn, opts_.probe_bytes, id);
-  host_.sim().schedule_in(opts_.timeout, [this, id] {
-    if (outstanding_.erase(id) > 0) ++failed_;
-  });
+  ++peer_stats_[qpn].sent;
+  if (host_.rdma().qp_errored(qpn)) {
+    // The transport already declared this peer dead; probing a wedged QP
+    // would throw, so score the probe lost without touching the wire.
+    record(qpn, false, opts_.timeout);
+  } else {
+    const std::uint64_t id =
+        (static_cast<std::uint64_t>(host_.id()) << 40) | (0x1ull << 36) | next_probe_++;
+    outstanding_[id] = Outstanding{host_.sim().now(), qpn};
+    host_.rdma().post_send(qpn, opts_.probe_bytes, id);
+    host_.sim().schedule_in(opts_.timeout, [this, id, qpn] {
+      if (outstanding_.erase(id) > 0) record(qpn, false, opts_.timeout);
+    });
+  }
   host_.sim().schedule_in(opts_.interval, [this] { tick(); });
 }
 

@@ -5,6 +5,8 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
+#include <unordered_map>
 #include <vector>
 
 #include "src/app/demux.h"
@@ -99,7 +101,10 @@ class RdmaIncastClient {
 };
 
 /// RDMA Pingmesh (§5.3): periodic 512-byte probes to a set of peers,
-/// logging RTT or a timeout error.
+/// logging RTT or a timeout error. Per-peer accounting feeds the fault
+/// plane's FailureDetector: a probe callback fires per outcome with the
+/// probed QPN, so an observer can track consecutive losses to one peer
+/// while the mesh as a whole stays healthy.
 class RdmaPingmesh {
  public:
   struct Options {
@@ -108,18 +113,40 @@ class RdmaPingmesh {
     Time timeout = milliseconds(100);
   };
 
+  /// Per-peer (per-QP) probe health, for detector consumption.
+  struct PeerStats {
+    std::int64_t sent = 0;
+    std::int64_t failed = 0;
+    int consecutive_failed = 0;  // resets on each success
+  };
+
+  /// ok=true carries the measured RTT; ok=false means the probe timed out
+  /// (rtt is the configured timeout in that case).
+  using ProbeCb = std::function<void(std::uint32_t qpn, bool ok, Time rtt)>;
+
   RdmaPingmesh(Host& host, RdmaDemux& demux, std::vector<std::uint32_t> qpns, Options opts);
   void start();
   void stop() { running_ = false; }
+  void set_probe_cb(ProbeCb cb) { probe_cb_ = std::move(cb); }
 
   [[nodiscard]] const PercentileSampler& rtt_us() const { return rtt_us_; }
   [[nodiscard]] std::int64_t probes_sent() const { return sent_; }
   [[nodiscard]] std::int64_t probes_failed() const { return failed_; }
+  [[nodiscard]] const PeerStats& peer_stats(std::uint32_t qpn) const {
+    static const PeerStats kEmpty{};
+    auto it = peer_stats_.find(qpn);
+    return it == peer_stats_.end() ? kEmpty : it->second;
+  }
   /// Begin a fresh RTT sample window (e.g. "before" vs "during" in Fig. 8).
   void reset_samples() { rtt_us_.clear(); }
 
  private:
+  struct Outstanding {
+    Time sent_at = 0;
+    std::uint32_t qpn = 0;
+  };
   void tick();
+  void record(std::uint32_t qpn, bool ok, Time rtt);
 
   Host& host_;
   std::vector<std::uint32_t> qpns_;
@@ -129,7 +156,9 @@ class RdmaPingmesh {
   std::uint64_t next_probe_ = 1;
   std::int64_t sent_ = 0;
   std::int64_t failed_ = 0;
-  std::unordered_map<std::uint64_t, Time> outstanding_;
+  std::unordered_map<std::uint64_t, Outstanding> outstanding_;
+  std::unordered_map<std::uint32_t, PeerStats> peer_stats_;
+  ProbeCb probe_cb_;
   PercentileSampler rtt_us_;
 };
 

@@ -1,0 +1,115 @@
+#include "src/faults/auditor.h"
+
+#include <sstream>
+
+#include "src/common/log.h"
+
+namespace rocelab {
+
+const char* to_string(InvariantAuditor::Kind kind) {
+  switch (kind) {
+    case InvariantAuditor::Kind::kPfcDeadlock: return "pfc_deadlock";
+    case InvariantAuditor::Kind::kByteConservation: return "byte_conservation";
+    case InvariantAuditor::Kind::kPauseStorm: return "pause_storm";
+  }
+  return "unknown";
+}
+
+InvariantAuditor::InvariantAuditor(Simulator& sim, std::vector<Switch*> switches,
+                                   std::vector<Host*> hosts)
+    : InvariantAuditor(sim, std::move(switches), std::move(hosts), Options{}) {}
+
+InvariantAuditor::InvariantAuditor(Simulator& sim, std::vector<Switch*> switches,
+                                   std::vector<Host*> hosts, Options opts)
+    : sim_(sim), switches_(std::move(switches)), hosts_(std::move(hosts)), opts_(opts) {}
+
+void InvariantAuditor::start() {
+  if (running_) return;
+  running_ = true;
+  // Seed the per-host pause baselines so pre-start history is not flagged.
+  for (const Host* h : hosts_) {
+    StormState st;
+    st.last_pause_count = h->port(0).counters().total_tx_pause();
+    storm_[h] = st;
+  }
+  sim_.schedule_in(opts_.interval, [this] { tick(); });
+}
+
+void InvariantAuditor::flag(Kind kind, const std::string& node, std::string detail) {
+  violations_.push_back(Violation{sim_.now(), kind, node, std::move(detail)});
+  ROCELAB_LOG_INFO("auditor: %s at %s: %s", to_string(kind), node.c_str(),
+                   violations_.back().detail.c_str());
+}
+
+void InvariantAuditor::tick() {
+  if (!running_) return;
+  ++checks_run_;
+
+  // 1. PFC deadlock (§4.2): must never exist, faults or not.
+  const DeadlockReport dl = detect_pfc_deadlock(switches_);
+  if (dl.deadlocked) {
+    if (!deadlock_flagged_) {
+      deadlock_flagged_ = true;
+      std::ostringstream os;
+      os << "cycle:";
+      for (const auto& [sw, port] : dl.cycle) os << ' ' << sw << ':' << port;
+      flag(Kind::kPfcDeadlock, dl.cycle.empty() ? "?" : dl.cycle.front().first, os.str());
+    }
+  } else {
+    deadlock_flagged_ = false;
+  }
+
+  // 2. Byte conservation: per-switch matrix vs actual egress queues, and
+  //    MMU shared-pool counter vs per-PG recomputation.
+  for (Switch* sw : switches_) {
+    const std::int64_t matrix = sw->matrix_queued_total();
+    const std::int64_t queued = sw->egress_queued_total();
+    if (matrix != queued) {
+      std::ostringstream os;
+      os << "matrix " << matrix << " != egress " << queued;
+      flag(Kind::kByteConservation, sw->name(), os.str());
+    }
+    const std::int64_t pool = sw->mmu().shared_used();
+    const std::int64_t recomputed = sw->mmu().recomputed_shared_used();
+    if (pool != recomputed) {
+      std::ostringstream os;
+      os << "mmu shared " << pool << " != recomputed " << recomputed;
+      flag(Kind::kByteConservation, sw->name(), os.str());
+    }
+  }
+
+  // 3. Sustained host pause emission (§4.3 storm symptom). One flag per
+  //    episode; a quiet window resets the streak.
+  for (const Host* h : hosts_) {
+    auto& st = storm_[h];
+    const std::int64_t now_count = h->port(0).counters().total_tx_pause();
+    if (now_count > st.last_pause_count) {
+      st.quiet_streak = 0;
+      ++st.active_windows;
+      if (st.active_windows >= opts_.storm_windows && !st.flagged) {
+        st.flagged = true;
+        std::ostringstream os;
+        os << st.active_windows << " consecutive pausing windows";
+        flag(Kind::kPauseStorm, h->name(), os.str());
+      }
+    } else if (++st.quiet_streak >= 2) {
+      // A storming NIC refreshes its XOFF on a timer that may straddle an
+      // audit window, so one quiet window is not the all-clear; two is.
+      st.active_windows = 0;
+      st.flagged = false;
+    }
+    st.last_pause_count = now_count;
+  }
+
+  sim_.schedule_in(opts_.interval, [this] { tick(); });
+}
+
+std::int64_t InvariantAuditor::count(Kind kind) const {
+  std::int64_t n = 0;
+  for (const auto& v : violations_) {
+    if (v.kind == kind) ++n;
+  }
+  return n;
+}
+
+}  // namespace rocelab

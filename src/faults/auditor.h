@@ -1,0 +1,86 @@
+// InvariantAuditor: an always-on monitor that sweeps the fabric every
+// `interval` and records violations of invariants that must hold no matter
+// what faults are in flight:
+//
+//   kPfcDeadlock       — the PFC wait-for graph has a cycle (§4.2). A
+//                        correctly configured fabric must never deadlock,
+//                        chaos or not.
+//   kByteConservation  — a switch's (in, out, pg) matrix disagrees with the
+//                        bytes actually queued at its egress ports, or the
+//                        MMU's shared-pool counter disagrees with the per-PG
+//                        recomputation. Either means buffer accounting
+//                        leaked or double-released — the class of bug that
+//                        turns into a slow buffer exhaustion in production.
+//   kPauseStorm        — a host emitted pause frames in `storm_windows`
+//                        consecutive audit windows (§4.3's symptom). This is
+//                        a flag, not necessarily a bug: chaos soaks expect
+//                        it exactly while a NIC storm is injected.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "src/nic/host.h"
+#include "src/sim/simulator.h"
+#include "src/switch/sw.h"
+
+namespace rocelab {
+
+class InvariantAuditor {
+ public:
+  enum class Kind { kPfcDeadlock, kByteConservation, kPauseStorm };
+
+  struct Options {
+    Time interval = microseconds(200);
+    /// Consecutive windows with host pause-frame emission before flagging.
+    int storm_windows = 5;
+  };
+
+  struct Violation {
+    Time at = 0;
+    Kind kind{};
+    std::string node;
+    std::string detail;
+  };
+
+  InvariantAuditor(Simulator& sim, std::vector<Switch*> switches, std::vector<Host*> hosts);
+  InvariantAuditor(Simulator& sim, std::vector<Switch*> switches, std::vector<Host*> hosts,
+                   Options opts);
+
+  void start();
+  void stop() { running_ = false; }
+
+  [[nodiscard]] const std::vector<Violation>& violations() const { return violations_; }
+  [[nodiscard]] std::int64_t count(Kind kind) const;
+  /// Deadlock + conservation — the "must be zero" set for any healthy run.
+  [[nodiscard]] std::int64_t hard_violations() const {
+    return count(Kind::kPfcDeadlock) + count(Kind::kByteConservation);
+  }
+  [[nodiscard]] std::int64_t checks_run() const { return checks_run_; }
+
+ private:
+  void tick();
+  void flag(Kind kind, const std::string& node, std::string detail);
+
+  Simulator& sim_;
+  std::vector<Switch*> switches_;
+  std::vector<Host*> hosts_;
+  Options opts_;
+  bool running_ = false;
+  bool deadlock_flagged_ = false;  // one violation per deadlock episode
+  std::vector<Violation> violations_;
+  std::int64_t checks_run_ = 0;
+  struct StormState {
+    std::int64_t last_pause_count = 0;
+    int active_windows = 0;
+    int quiet_streak = 0;  // storm pause refreshes may straddle windows
+    bool flagged = false;  // one violation per storm episode
+  };
+  std::unordered_map<const Host*, StormState> storm_;
+};
+
+[[nodiscard]] const char* to_string(InvariantAuditor::Kind kind);
+
+}  // namespace rocelab

@@ -1,0 +1,116 @@
+#include "src/faults/chaos.h"
+
+#include <sstream>
+
+#include "src/common/log.h"
+
+namespace rocelab {
+
+const char* to_string(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::kLinkDown: return "link_down";
+    case FaultKind::kLinkUp: return "link_up";
+    case FaultKind::kSwitchReboot: return "switch_reboot";
+    case FaultKind::kSwitchRecover: return "switch_recover";
+    case FaultKind::kHostDeath: return "host_death";
+    case FaultKind::kHostRevival: return "host_revival";
+    case FaultKind::kNicStormStart: return "nic_storm_start";
+    case FaultKind::kNicStormStop: return "nic_storm_stop";
+    case FaultKind::kAlphaDrift: return "alpha_drift";
+    case FaultKind::kEcnDisable: return "ecn_disable";
+  }
+  return "unknown";
+}
+
+ChaosEngine::ChaosEngine(Fabric& fabric, std::uint64_t seed)
+    : fabric_(fabric), seed_(seed), rng_(seed) {}
+
+void ChaosEngine::record(FaultKind kind, const std::string& target, std::string detail) {
+  journal_.push_back(FaultRecord{fabric_.sim().now(), kind, target, std::move(detail)});
+  ROCELAB_LOG_INFO("chaos: %s %s %s", to_string(kind), target.c_str(),
+                   journal_.back().detail.c_str());
+}
+
+void ChaosEngine::link_flap(Node& node, int port, Time down_at, Time up_at) {
+  const std::string detail = "port " + std::to_string(port);
+  fabric_.sim().schedule_at(down_at, [this, &node, port, detail] {
+    node.set_link_up(port, false);
+    record(FaultKind::kLinkDown, node.name(), detail);
+  });
+  fabric_.sim().schedule_at(up_at, [this, &node, port, detail] {
+    node.set_link_up(port, true);
+    record(FaultKind::kLinkUp, node.name(), detail);
+  });
+}
+
+void ChaosEngine::switch_reboot(Switch& sw, Time at, Time recover_at, bool reinstall_entries) {
+  fabric_.sim().schedule_at(at, [this, &sw] {
+    // Links die first (in-flight and queued frames are lost on the wire),
+    // then the control plane forgets everything it learned.
+    for (int p = 0; p < sw.port_count(); ++p) sw.set_link_up(p, false);
+    sw.reboot();
+    record(FaultKind::kSwitchReboot, sw.name());
+  });
+  fabric_.sim().schedule_at(recover_at, [this, &sw, reinstall_entries] {
+    for (int p = 0; p < sw.port_count(); ++p) sw.set_link_up(p, true);
+    if (reinstall_entries) fabric_.reinstall_host_entries(sw);
+    record(FaultKind::kSwitchRecover, sw.name(),
+           reinstall_entries ? "entries reinstalled" : "tables cold");
+  });
+}
+
+void ChaosEngine::host_death(Host& h, Time at, Time revive_at) {
+  fabric_.sim().schedule_at(at, [this, &h] {
+    fabric_.kill_host(h);
+    record(FaultKind::kHostDeath, h.name());
+  });
+  if (revive_at >= 0) {
+    fabric_.sim().schedule_at(revive_at, [this, &h] {
+      fabric_.revive_host(h);
+      record(FaultKind::kHostRevival, h.name());
+    });
+  }
+}
+
+void ChaosEngine::nic_storm(Host& h, Time at, Time stop_at) {
+  fabric_.sim().schedule_at(at, [this, &h] {
+    h.set_storm_mode(true);
+    record(FaultKind::kNicStormStart, h.name());
+  });
+  fabric_.sim().schedule_at(stop_at, [this, &h] {
+    h.set_storm_mode(false);
+    record(FaultKind::kNicStormStop, h.name());
+  });
+}
+
+void ChaosEngine::alpha_drift(Switch& sw, Time at, double alpha) {
+  fabric_.sim().schedule_at(at, [this, &sw, alpha] {
+    sw.set_buffer_alpha(alpha);
+    std::ostringstream os;
+    os << "alpha " << alpha;
+    record(FaultKind::kAlphaDrift, sw.name(), os.str());
+  });
+}
+
+void ChaosEngine::ecn_disable(Switch& sw, Time at) {
+  fabric_.sim().schedule_at(at, [this, &sw] {
+    for (int pg = 0; pg < kNumPriorities; ++pg) {
+      EcnConfig off = sw.config().ecn[static_cast<std::size_t>(pg)];
+      off.enabled = false;
+      sw.set_ecn_config(pg, off);
+    }
+    record(FaultKind::kEcnDisable, sw.name());
+  });
+}
+
+std::string ChaosEngine::journal_text() const {
+  std::ostringstream os;
+  for (const auto& r : journal_) {
+    os << r.at << ' ' << to_string(r.kind) << ' ' << r.target;
+    if (!r.detail.empty()) os << ' ' << r.detail;
+    os << '\n';
+  }
+  return os.str();
+}
+
+}  // namespace rocelab

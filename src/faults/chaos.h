@@ -1,0 +1,84 @@
+// ChaosEngine: a seeded, deterministic schedule of timed fault and heal
+// events against a live Fabric — link flaps, switch reboots, host deaths,
+// NIC pause storms, and config drift (the operational failure modes of
+// §4 and §6). Every injected event is journalled at fire time; the same
+// seed and schedule produce a byte-identical journal, so soak tests can
+// assert both on fabric behaviour and on the exact fault sequence.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/common/rng.h"
+#include "src/topo/fabric.h"
+
+namespace rocelab {
+
+enum class FaultKind {
+  kLinkDown,
+  kLinkUp,
+  kSwitchReboot,
+  kSwitchRecover,
+  kHostDeath,
+  kHostRevival,
+  kNicStormStart,
+  kNicStormStop,
+  kAlphaDrift,
+  kEcnDisable,
+};
+
+[[nodiscard]] const char* to_string(FaultKind kind);
+
+/// One injected event, recorded when it actually fires.
+struct FaultRecord {
+  Time at = 0;
+  FaultKind kind{};
+  std::string target;  // node name
+  std::string detail;  // e.g. "port 4", "alpha 0.015625"
+};
+
+class ChaosEngine {
+ public:
+  ChaosEngine(Fabric& fabric, std::uint64_t seed);
+
+  // --- schedule builders (all times absolute sim time) ----------------------
+  /// Take the full-duplex link at (node, port) down at `down_at` and back up
+  /// at `up_at`.
+  void link_flap(Node& node, int port, Time down_at, Time up_at);
+  /// Power-cycle `sw` at `at`: every wired link goes down and the control
+  /// plane reboots (tables flushed, MMU reset). At `recover_at` the links
+  /// return and, when `reinstall_entries`, the management plane re-installs
+  /// the ARP/MAC entries of directly attached hosts.
+  void switch_reboot(Switch& sw, Time at, Time recover_at, bool reinstall_entries = true);
+  /// Kill the host at `at` (§4.2 dead-server semantics via Fabric); revive
+  /// at `revive_at` (pass a negative revive_at to leave it dead).
+  void host_death(Host& h, Time at, Time revive_at);
+  /// §4.3 NIC pause storm between `at` and `stop_at`.
+  void nic_storm(Host& h, Time at, Time stop_at);
+  /// Config drift: silently retune the shared-buffer α (the §6.2 incident).
+  void alpha_drift(Switch& sw, Time at, double alpha);
+  /// Config drift: ECN marking disabled on every queue (DCQCN loses its
+  /// congestion signal; PFC alone must hold the fabric together).
+  void ecn_disable(Switch& sw, Time at);
+
+  /// The deterministic generator for randomized schedules. Callers draw
+  /// fault times/targets from this so one seed fixes the whole scenario.
+  Rng& rng() { return rng_; }
+  [[nodiscard]] std::uint64_t seed() const { return seed_; }
+
+  [[nodiscard]] const std::vector<FaultRecord>& journal() const { return journal_; }
+  /// One line per fired event, raw integer timestamps — byte-identical
+  /// across runs with the same seed and schedule.
+  [[nodiscard]] std::string journal_text() const;
+
+ private:
+  void record(FaultKind kind, const std::string& target, std::string detail = {});
+
+  Fabric& fabric_;
+  std::uint64_t seed_;
+  Rng rng_;
+  std::vector<FaultRecord> journal_;
+};
+
+}  // namespace rocelab

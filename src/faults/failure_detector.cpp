@@ -1,0 +1,37 @@
+#include "src/faults/failure_detector.h"
+
+namespace rocelab {
+
+FailureDetector::FailureDetector() : FailureDetector(Options{}) {}
+
+void FailureDetector::observe(Time now, std::uint32_t peer, bool ok) {
+  auto& st = peers_[peer];
+  if (ok) {
+    st.consecutive_failed = 0;
+    ++st.consecutive_ok;
+    if (st.alarmed && st.consecutive_ok >= opts_.clear_after) {
+      st.alarmed = false;
+      ++cleared_;
+      history_.push_back(AlarmEvent{now, peer, false});
+    }
+  } else {
+    st.consecutive_ok = 0;
+    ++st.consecutive_failed;
+    if (!st.alarmed && st.consecutive_failed >= opts_.raise_after) {
+      st.alarmed = true;
+      ++raised_;
+      history_.push_back(AlarmEvent{now, peer, true});
+    }
+  }
+}
+
+int FailureDetector::active_alarms() const {
+  int n = 0;
+  for (const auto& [peer, st] : peers_) {
+    (void)peer;
+    if (st.alarmed) ++n;
+  }
+  return n;
+}
+
+}  // namespace rocelab

@@ -1,0 +1,60 @@
+// FailureDetector: turns per-peer probe outcomes (from RdmaPingmesh, §5.3)
+// into raise/clear alarms. An alarm raises after `raise_after` consecutive
+// lost probes to one peer and clears after `clear_after` consecutive
+// successes — the hysteresis keeps one congestion-dropped probe from paging
+// anyone, while a dead link/host/switch path alarms within a few intervals.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "src/common/units.h"
+
+namespace rocelab {
+
+class FailureDetector {
+ public:
+  struct Options {
+    int raise_after = 3;  // consecutive probe losses before alarming
+    int clear_after = 2;  // consecutive successes before the all-clear
+  };
+
+  struct AlarmEvent {
+    Time at = 0;
+    std::uint32_t peer = 0;  // the probing QPN identifying the peer path
+    bool raised = false;     // false = cleared
+  };
+
+  FailureDetector();  // default Options
+  explicit FailureDetector(Options opts) : opts_(opts) {}
+
+  /// Feed one probe outcome. Wire directly to RdmaPingmesh::set_probe_cb:
+  ///   pingmesh.set_probe_cb([&](uint32_t qpn, bool ok, Time) {
+  ///     detector.observe(now, qpn, ok); });
+  void observe(Time now, std::uint32_t peer, bool ok);
+
+  [[nodiscard]] bool alarmed(std::uint32_t peer) const {
+    auto it = peers_.find(peer);
+    return it != peers_.end() && it->second.alarmed;
+  }
+  [[nodiscard]] int active_alarms() const;
+  [[nodiscard]] std::int64_t alarms_raised() const { return raised_; }
+  [[nodiscard]] std::int64_t alarms_cleared() const { return cleared_; }
+  [[nodiscard]] const std::vector<AlarmEvent>& history() const { return history_; }
+
+ private:
+  struct PeerState {
+    int consecutive_failed = 0;
+    int consecutive_ok = 0;
+    bool alarmed = false;
+  };
+
+  Options opts_;
+  std::unordered_map<std::uint32_t, PeerState> peers_;
+  std::vector<AlarmEvent> history_;
+  std::int64_t raised_ = 0;
+  std::int64_t cleared_ = 0;
+};
+
+}  // namespace rocelab

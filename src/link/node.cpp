@@ -44,6 +44,17 @@ void Node::deliver(Packet pkt, int in_port) {
   handle_packet(std::move(pkt), in_port);
 }
 
+void Node::set_link_up(int port_index, bool up) {
+  auto& p = port(port_index);
+  if (!p.connected() || p.link_up() == up) return;
+  Node* peer = p.peer();
+  const int peer_port = p.peer_port();
+  p.set_up(up);
+  peer->port(peer_port).set_up(up);
+  on_link_change(port_index, up);
+  peer->on_link_change(peer_port, up);
+}
+
 void Node::send_pause(int out_port, int prio, std::uint16_t quanta) {
   if (!allow_pause_tx_) return;
   last_pause_tx_ = sim_.now();

@@ -46,6 +46,18 @@ class Node {
   /// the port). The switch-side storm watchdog observes these.
   virtual void on_pause_rx(int in_port, const PfcFrame& frame) { (void)in_port; (void)frame; }
 
+  /// Take the full-duplex link at `port` down (or back up). Both directions
+  /// change together: queued and in-flight packets are lost, PFC pause state
+  /// clears, and both endpoints get their on_link_change() hook. No-op on an
+  /// unwired port or when the state already matches.
+  void set_link_up(int port, bool up);
+  [[nodiscard]] bool link_up(int port) const { return this->port(port).link_up(); }
+
+  /// Subclass hook: the link at `port` changed state (fires on both
+  /// endpoints). Switches use it to drop stale PFC bookkeeping so routing
+  /// fails over cleanly.
+  virtual void on_link_change(int port, bool up) { (void)port; (void)up; }
+
   /// When false, send_pause() becomes a no-op (NIC-side storm watchdog).
   void set_allow_pause_tx(bool v) { allow_pause_tx_ = v; }
   [[nodiscard]] bool allow_pause_tx() const { return allow_pause_tx_; }

@@ -27,6 +27,14 @@ MacAddr EgressPort::peer_mac() const {
 }
 
 void EgressPort::enqueue(Packet pkt) {
+  if (!link_up_) {
+    // Link is down: the packet is lost at the port. on_dequeue keeps the
+    // owner's (in, out, pg) accounting consistent; the MMU charge is
+    // released when the packet destructs.
+    if (on_dequeue) on_dequeue(pkt, pkt.priority);
+    ++counters_.link_down_drops;
+    return;
+  }
   const auto prio = static_cast<std::size_t>(pkt.priority);
   queue_bytes_[prio] += pkt.frame_bytes;
   total_bytes_ += pkt.frame_bytes;
@@ -35,8 +43,36 @@ void EgressPort::enqueue(Packet pkt) {
 }
 
 void EgressPort::enqueue_control(Packet pkt) {
+  if (!link_up_) {
+    ++counters_.link_down_drops;
+    return;
+  }
   control_.push_back(std::move(pkt));
   try_send();
+}
+
+void EgressPort::set_up(bool up) {
+  if (link_up_ == up) return;
+  link_up_ = up;
+  ++link_epoch_;
+  if (!up) {
+    // Drop everything queued and reset PFC pause state: a pause that was
+    // asserted across this link is meaningless once the link is gone.
+    for (int p = 0; p < kNumPriorities; ++p) {
+      const auto i = static_cast<std::size_t>(p);
+      counters_.link_down_drops += static_cast<std::int64_t>(queues_[i].size());
+      counters_.egress_drops -= static_cast<std::int64_t>(queues_[i].size());
+      flush_priority(p);
+      if (pause_active_[i]) {
+        counters_.paused_time[i] += sim_.now() - pause_started_[i];
+        pause_active_[i] = false;
+      }
+    }
+    counters_.link_down_drops += static_cast<std::int64_t>(control_.size());
+    control_.clear();
+  } else {
+    try_send();
+  }
 }
 
 std::size_t EgressPort::flush_priority(int prio) {
@@ -150,7 +186,7 @@ int EgressPort::pick_queue() {
 }
 
 void EgressPort::try_send() {
-  if (busy_ || peer_ == nullptr) return;
+  if (busy_ || peer_ == nullptr || !link_up_) return;
 
   Packet pkt;
   bool is_control = false;
@@ -188,11 +224,16 @@ void EgressPort::try_send() {
     busy_ = false;
     try_send();
   });
-  Node* peer = peer_;
-  const int peer_port = peer_port_;
-  sim_.schedule_in(ser + prop_delay_, [peer, peer_port, pkt = std::move(pkt)]() mutable {
-    peer->deliver(std::move(pkt), peer_port);
-  });
+  // Delivery is gated on the link epoch: if the link goes down (and maybe
+  // back up) while the packet is in flight, the packet is lost.
+  sim_.schedule_in(ser + prop_delay_,
+                   [this, epoch = link_epoch_, pkt = std::move(pkt)]() mutable {
+                     if (!link_up_ || epoch != link_epoch_ || peer_ == nullptr) {
+                       ++counters_.link_down_drops;
+                       return;
+                     }
+                     peer_->deliver(std::move(pkt), peer_port_);
+                   });
   // Notify at dequeue time — this is when queue room actually appears.
   // (Reentrant enqueues are safe: busy_ is already set.)
   if (!is_control && on_drain) on_drain();

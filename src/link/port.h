@@ -35,6 +35,7 @@ struct PortCounters {
   std::int64_t egress_drops = 0;
   std::int64_t arp_incomplete_drops = 0;  // the §4.2 deadlock-fix drop counter
   std::int64_t mac_mismatch_drops = 0;    // router dropped frame not addressed to it
+  std::int64_t link_down_drops = 0;       // queued/in-flight bytes lost to a link fault
 
   [[nodiscard]] std::int64_t total_tx_pause() const {
     std::int64_t s = 0;
@@ -68,6 +69,15 @@ class EgressPort {
   /// direction by `connect_nodes`.
   void connect(Node* peer, int peer_port, Bandwidth bandwidth, Time prop_delay);
   [[nodiscard]] bool connected() const { return peer_ != nullptr; }
+
+  /// Link fault plane. Downing this direction drops everything queued
+  /// (data and control), clears PFC pause state, and loses packets already
+  /// on the wire (they belong to a dead epoch when they would arrive).
+  /// Use Node::set_link_up to take both directions down symmetrically.
+  void set_up(bool up);
+  [[nodiscard]] bool link_up() const { return link_up_; }
+  /// True if the port can carry traffic right now: wired and link up.
+  [[nodiscard]] bool usable() const { return peer_ != nullptr && link_up_; }
 
   void enqueue(Packet pkt);          // data path, queue chosen by pkt.priority
   void enqueue_control(Packet pkt);  // PFC frames: strict, unpausable
@@ -124,6 +134,10 @@ class EgressPort {
   int peer_port_ = -1;
   Bandwidth bandwidth_ = gbps(40);
   Time prop_delay_ = 0;
+  bool link_up_ = true;
+  /// Bumped on every up/down transition; in-flight deliveries from an older
+  /// epoch are discarded (the photons died with the link).
+  std::uint64_t link_epoch_ = 0;
 
   std::array<std::deque<Packet>, kNumPriorities> queues_;
   std::deque<Packet> control_;

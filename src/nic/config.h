@@ -74,6 +74,11 @@ struct QpConfig {
   std::int32_t mtu_payload = 1024;  // per-packet payload (1086B frames, Fig. 7)
   LossRecovery recovery = LossRecovery::kGoBackN;
   Time retx_timeout = microseconds(500);
+  /// Consecutive retransmission timeouts before the QP transitions to the
+  /// error state and fires the NIC's qp-error callback (the IB "retry
+  /// exhausted" completion). 0 = retry forever (legacy behaviour; most
+  /// experiments want the fabric, not the transport, to give up).
+  int retry_limit = 0;
   int ack_every = 16;               // request an ACK at least every N segments
   bool dcqcn = true;                // congestion control enabled at all?
   CcAlgorithm cc = CcAlgorithm::kDcqcn;  // which controller when enabled

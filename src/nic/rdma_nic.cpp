@@ -118,6 +118,7 @@ void RdmaNic::post_recv(std::uint32_t qpn, int count) {
 }
 
 void RdmaNic::post_message(Qp& q, SendWqe wqe) {
+  if (q.error) throw std::logic_error("post on errored QP (reset it first)");
   if (!q.connected) throw std::logic_error("post on unconnected QP");
   if (wqe.bytes <= 0) throw std::invalid_argument("message must have positive size");
   q.pending.push_back(wqe);
@@ -127,7 +128,7 @@ void RdmaNic::post_message(Qp& q, SendWqe wqe) {
 // --- sender machinery -------------------------------------------------------------
 
 void RdmaNic::arm_pacer(Qp& q) {
-  if (q.pacer_ev != kInvalidEventId || q.blocked_on_port) return;
+  if (q.pacer_ev != kInvalidEventId || q.blocked_on_port || q.error) return;
   const Time at = std::max(host_.sim().now(), q.next_tx_time);
   const auto qpn = q.qpn;
   q.pacer_ev = host_.sim().schedule_at(at, [this, qpn] { pacer_fire(qpn); });
@@ -136,6 +137,7 @@ void RdmaNic::arm_pacer(Qp& q) {
 void RdmaNic::pacer_fire(std::uint32_t qpn) {
   Qp& q = qp(qpn);
   q.pacer_ev = kInvalidEventId;
+  if (q.error) return;
   if (transmit_next(q)) arm_pacer(q);
 }
 
@@ -254,23 +256,84 @@ void RdmaNic::retransmit_one(Qp& q, std::uint64_t psn) {
 }
 
 void RdmaNic::arm_retx(Qp& q) {
-  host_.sim().cancel(q.retx_ev);
-  q.retx_ev = kInvalidEventId;
+  // The timer tracks the OLDEST unacked packet: once armed it must not be
+  // refreshed by further transmissions, or a blackholed QP that keeps being
+  // fed new work would reset its own timeout forever and never detect the
+  // loss. It restarts only on ack progress (restart_retx) or on the
+  // timeout itself.
+  if (q.retx_ev != kInvalidEventId) return;
   if (q.una_psn >= q.next_new_psn) return;  // nothing outstanding
-  const Time delay = q.cfg.retx_timeout
+  // A throttled QP solicits its next ACK only after clocking out up to
+  // ack_every more packets at its own rate — that self-clocking delay is
+  // expected silence, not loss, so it extends the timeout. (At line rate
+  // it is negligible; at DCQCN/TIMELY floor rates it dominates.)
+  const Time self_clock = serialization_time(
+      static_cast<std::int64_t>(q.cfg.ack_every) *
+          (q.cfg.mtu_payload + kRoceDataOverheadBytes),
+      current_rate(q));
+  const Time delay = (q.cfg.retx_timeout + self_clock)
                      << std::min(q.consecutive_timeouts, kMaxBackoffShift);
   const auto qpn = q.qpn;
   q.retx_ev = host_.sim().schedule_in(delay, [this, qpn] { on_retx_timeout(qpn); });
+}
+
+void RdmaNic::restart_retx(Qp& q) {
+  host_.sim().cancel(q.retx_ev);
+  q.retx_ev = kInvalidEventId;
+  arm_retx(q);
 }
 
 void RdmaNic::on_retx_timeout(std::uint32_t qpn) {
   Qp& q = qp(qpn);
   q.retx_ev = kInvalidEventId;
   if (q.una_psn >= q.next_new_psn) return;
+  // PFC gate: when our own egress is XOFF'd for this priority — or the
+  // oldest unacked packet may still be sitting in the local port queue —
+  // the silence is flow control, not loss. Lossless fabrics pause, they
+  // don't drop; firing go-back-N here would retransmit packets that were
+  // never lost and melt an incast. Hold the retry state machine instead
+  // (it resumes once the pause clears and the queue drains).
+  const EgressPort& out = host_.port(0);
+  if (out.paused(q.cfg.priority) || out.queued_bytes(q.cfg.priority) > 0) {
+    arm_retx(q);
+    return;
+  }
   ++stats_.timeouts;
   ++q.consecutive_timeouts;
+  if (q.cfg.retry_limit > 0 && q.consecutive_timeouts >= q.cfg.retry_limit) {
+    // Retry exhausted: the QP enters the error state and goes quiet. The
+    // application heals through the qp-error callback (the RDMA CM tears
+    // the QP down and re-establishes a fresh one via REQ/REP).
+    q.error = true;
+    host_.sim().cancel(q.pacer_ev);
+    q.pacer_ev = kInvalidEventId;
+    ++stats_.qp_errors;
+    for (const auto& cb : error_cbs_) cb(qpn);
+    return;
+  }
   go_back(q, q.una_psn);
   arm_retx(q);
+}
+
+void RdmaNic::reset_qp(std::uint32_t qpn) {
+  Qp& q = qp(qpn);
+  host_.sim().cancel(q.pacer_ev);
+  host_.sim().cancel(q.retx_ev);
+  host_.sim().cancel(q.read_retx_ev);
+  q.pacer_ev = q.retx_ev = q.read_retx_ev = kInvalidEventId;
+  q.pending.clear();
+  q.inflight.clear();
+  q.next_new_psn = q.cursor_psn = q.una_psn = 0;
+  q.expected_psn = 0;
+  q.nak_armed = true;
+  q.rx_ooo.clear();
+  q.rtt_probes.clear();
+  q.reads.clear();
+  q.read_posted_at.clear();
+  q.consecutive_timeouts = 0;
+  q.blocked_on_port = false;
+  q.error = false;
+  q.connected = false;
 }
 
 void RdmaNic::go_back(Qp& q, std::uint64_t psn) {
@@ -309,7 +372,7 @@ void RdmaNic::advance_una(Qp& q, std::uint64_t msn) {
     }
     q.inflight.pop_front();
   }
-  arm_retx(q);  // progress: reset the timer
+  restart_retx(q);  // progress: time the next-oldest unacked packet afresh
 }
 
 // --- receive side ---------------------------------------------------------------
@@ -319,6 +382,7 @@ void RdmaNic::handle(Packet pkt) {
   auto it = qps_.find(pkt.bth->dest_qp);
   if (it == qps_.end()) return;
   Qp& q = *it->second;
+  if (q.error) return;  // wedged until reset; late packets must not revive it
 
   switch (pkt.kind) {
     case PacketKind::kRoceData:

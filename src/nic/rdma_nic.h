@@ -58,6 +58,7 @@ struct RdmaNicStats {
   std::int64_t bytes_received = 0;      // receiver goodput (in-order delivered)
   std::int64_t out_of_order_drops = 0;
   std::int64_t timeouts = 0;
+  std::int64_t qp_errors = 0;  // QPs that exhausted their retry budget
 };
 
 class RdmaNic {
@@ -84,6 +85,20 @@ class RdmaNic {
   using RecvCb = std::function<void(const RdmaRecv&)>;
   void set_completion_cb(CompletionCb cb) { completion_cb_ = std::move(cb); }
   void set_recv_cb(RecvCb cb) { recv_cb_ = std::move(cb); }
+
+  /// Fires when a QP exhausts QpConfig::retry_limit consecutive timeouts
+  /// and enters the error state (it stops transmitting; pending work is
+  /// frozen until reset_qp). Multiple observers may register — the RDMA CM
+  /// uses one slot for automatic reconnection, tests another.
+  using QpErrorCb = std::function<void(std::uint32_t qpn)>;
+  void add_qp_error_cb(QpErrorCb cb) { error_cbs_.push_back(std::move(cb)); }
+  [[nodiscard]] bool qp_errored(std::uint32_t qpn) const { return qp(qpn).error; }
+  [[nodiscard]] bool qp_connected(std::uint32_t qpn) const { return qp(qpn).connected; }
+
+  /// Return a QP to a fresh, unconnected state: timers cancelled, send and
+  /// receive state cleared, error flag dropped. The application (or the CM)
+  /// re-connects it — or abandons it — afterwards.
+  void reset_qp(std::uint32_t qpn);
 
   /// Pending (posted but not completed) work on a QP, in bytes.
   [[nodiscard]] std::int64_t backlog_bytes(std::uint32_t qpn) const;
@@ -129,6 +144,7 @@ class RdmaNic {
     EventId retx_ev = kInvalidEventId;
     bool blocked_on_port = false;
     int consecutive_timeouts = 0;
+    bool error = false;  // retry budget exhausted; QP is wedged until reset
 
     // Receiver state.
     std::uint64_t expected_psn = 0;
@@ -164,6 +180,7 @@ class RdmaNic {
   void pacer_fire(std::uint32_t qpn);
   bool transmit_next(Qp& q);
   void arm_retx(Qp& q);
+  void restart_retx(Qp& q);
   void on_retx_timeout(std::uint32_t qpn);
   void go_back(Qp& q, std::uint64_t psn);
   void advance_una(Qp& q, std::uint64_t msn);
@@ -187,6 +204,7 @@ class RdmaNic {
   std::uint32_t next_qpn_ = 1;
   CompletionCb completion_cb_;
   RecvCb recv_cb_;
+  std::vector<QpErrorCb> error_cbs_;
   RdmaNicStats stats_;
 };
 

@@ -56,6 +56,14 @@ class Mmu {
     return state(port, pg).shared + state(port, pg).headroom + state(port, pg).reserved;
   }
   [[nodiscard]] const MmuConfig& config() const { return cfg_; }
+  /// Audit hook: recompute shared-pool usage from per-PG state. Must equal
+  /// shared_used() at all times; a mismatch means the buffer accounting
+  /// leaked or double-released (the InvariantAuditor checks this).
+  [[nodiscard]] std::int64_t recomputed_shared_used() const {
+    std::int64_t s = 0;
+    for (const auto& pg : pgs_) s += pg.shared;
+    return s;
+  }
   /// Runtime tuning of the dynamic-threshold α (the §6.2 incident fix was
   /// exactly such a live retune).
   void set_alpha(double alpha) { cfg_.alpha = alpha; }

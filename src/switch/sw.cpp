@@ -86,13 +86,33 @@ int Switch::route_lookup(const Packet& pkt) const {
     if (best == nullptr || r.prefix.length > best->prefix.length) best = &r;
   }
   if (best == nullptr || best->ports.empty()) return -1;
-  if (best->ports.size() == 1) return best->ports[0];
+  auto usable = [this](int p) { return port(p).usable(); };
+  if (best->ports.size() == 1) return usable(best->ports[0]) ? best->ports[0] : -1;
   if (cfg_.packet_spray) {
-    // §8.1: spray packets round-robin over the group (reorders flows).
-    return best->ports[spray_counter_++ % best->ports.size()];
+    // §8.1: spray packets round-robin over the group (reorders flows),
+    // skipping members whose link is down.
+    for (std::size_t tries = 0; tries < best->ports.size(); ++tries) {
+      const int p = best->ports[spray_counter_++ % best->ports.size()];
+      if (usable(p)) {
+        if (tries > 0) ++route_failovers_;
+        return p;
+      }
+    }
+    return -1;
   }
   const std::uint64_t h = five_tuple_hash(pkt, ecmp_seed_);
-  return best->ports[h % best->ports.size()];
+  const int primary = best->ports[h % best->ports.size()];
+  if (usable(primary)) return primary;
+  // Self-healing ECMP: the hashed member is down — re-hash over survivors
+  // so the flow moves (deterministically) to a live path.
+  std::vector<int> survivors;
+  survivors.reserve(best->ports.size());
+  for (int p : best->ports) {
+    if (usable(p)) survivors.push_back(p);
+  }
+  if (survivors.empty()) return -1;
+  ++route_failovers_;
+  return survivors[h % survivors.size()];
 }
 
 void Switch::handle_packet(Packet pkt, int in_port) {
@@ -170,6 +190,7 @@ void Switch::forward(Packet pkt, int in_port) {
 
   const int out = route_lookup(pkt);
   if (out < 0 || out == in_port) {
+    ++no_route_drops_;
     ++port(in_port).counters().ingress_drops;
     return;
   }
@@ -192,7 +213,15 @@ void Switch::deliver_local(Packet pkt, int in_port, Ipv4Prefix subnet) {
     ++arp_miss_drops_;
     return;
   }
-  const auto out = mac_.lookup(*mac, sim().now());
+  auto out = mac_.lookup(*mac, sim().now());
+  if (out && !port(*out).usable()) {
+    // Learned port's link is dead: fail over as if the entry had aged out.
+    // Expire it so the table re-learns the live port when the host moves
+    // (or the link heals and the host transmits again).
+    mac_.expire(*mac);
+    ++route_failovers_;
+    out.reset();
+  }
   if (!out) {
     // Incomplete ARP entry (§4.2): IP→MAC known, MAC→port expired. Standard
     // Ethernet floods; the paper's fix drops lossless packets instead.
@@ -212,7 +241,7 @@ void Switch::deliver_local(Packet pkt, int in_port, Ipv4Prefix subnet) {
 void Switch::flood(Packet pkt, int in_port) {
   ++flood_events_;
   for (int p = 0; p < port_count(); ++p) {
-    if (p == in_port || !port(p).connected()) continue;
+    if (p == in_port || !port(p).usable()) continue;
     Packet copy = pkt;  // copies share the MMU charge token
     copy.flooded = true;
     copy.eth.src = port_mac(p);
@@ -287,6 +316,43 @@ void Switch::send_xon(int port_index, int pg) {
   sim().cancel(pause_refresh_[i]);
   pause_refresh_[i] = kInvalidEventId;
   send_pause(port_index, pg, 0);
+}
+
+// --- fault plane ------------------------------------------------------------
+
+void Switch::on_link_change(int port_index, bool up) {
+  if (up) return;  // next MMU admission re-asserts XOFF if still needed
+  // The link died: any pause we asserted across it is gone, and the storm
+  // watchdog must restart its observation from scratch.
+  for (int pg = 0; pg < kNumPriorities; ++pg) {
+    const auto i = idx(port_index, pg);
+    if (pause_sent_[i]) {
+      pause_sent_[i] = false;
+      sim().cancel(pause_refresh_[i]);
+      pause_refresh_[i] = kInvalidEventId;
+    }
+  }
+  watchdog_[static_cast<std::size_t>(port_index)] = WatchdogState{};
+}
+
+void Switch::reboot() {
+  ++reboots_;
+  arp_.clear();
+  mac_.clear();
+  for (int p = 0; p < port_count(); ++p) {
+    for (int prio = 0; prio < kNumPriorities; ++prio) port(p).flush_priority(prio);
+    for (int pg = 0; pg < kNumPriorities; ++pg) {
+      const auto i = idx(p, pg);
+      if (pause_sent_[i]) {
+        pause_sent_[i] = false;
+        sim().cancel(pause_refresh_[i]);
+        pause_refresh_[i] = kInvalidEventId;
+        send_pause(p, pg, 0);  // release the upstream if the link is still up
+      }
+    }
+    watchdog_[static_cast<std::size_t>(p)] = WatchdogState{};
+  }
+  ROCELAB_LOG_INFO("%s: rebooted (tables flushed, MMU reset)", name().c_str());
 }
 
 // --- §4.3 switch-side watchdog ----------------------------------------------

@@ -71,6 +71,32 @@ class Switch : public Node {
   [[nodiscard]] std::int64_t watchdog_trips() const { return watchdog_trips_; }
   [[nodiscard]] std::int64_t flood_events() const { return flood_events_; }
   [[nodiscard]] std::int64_t arp_miss_drops() const { return arp_miss_drops_; }
+  /// Packets steered away from a down/disconnected ECMP member (or a local
+  /// delivery whose learned port died) onto a surviving path.
+  [[nodiscard]] std::int64_t route_failovers() const { return route_failovers_; }
+  /// Packets with no usable output at all (blackholed until reconvergence).
+  [[nodiscard]] std::int64_t no_route_drops() const { return no_route_drops_; }
+  [[nodiscard]] std::int64_t reboots() const { return reboots_; }
+  /// Total bytes the (in, out, pg) matrix believes are queued at egress.
+  /// The InvariantAuditor checks this against the ports' actual queues.
+  [[nodiscard]] std::int64_t matrix_queued_total() const {
+    std::int64_t s = 0;
+    for (auto v : matrix_) s += v;
+    return s;
+  }
+  /// Total data bytes actually sitting in egress queues.
+  [[nodiscard]] std::int64_t egress_queued_total() const {
+    std::int64_t s = 0;
+    for (int p = 0; p < port_count(); ++p) s += port(p).total_queued_bytes();
+    return s;
+  }
+
+  /// Power-cycle the control and data planes: ARP and MAC tables flushed,
+  /// every egress queue dropped (MMU occupancy drains as the per-packet
+  /// charges release), PFC pause assertions and watchdog state reset.
+  /// Links are NOT touched — the ChaosEngine downs them separately so both
+  /// endpoints see the flap.
+  void reboot();
 
   /// Fault injection for §4.1: silently drop packets matching `pred`
   /// (models FCS errors / switch bugs; the livelock experiment drops
@@ -79,6 +105,7 @@ class Switch : public Node {
   [[nodiscard]] std::int64_t filtered_drops() const { return filtered_drops_; }
 
   void on_pause_rx(int in_port, const PfcFrame& frame) override;
+  void on_link_change(int port, bool up) override;
 
  protected:
   void handle_packet(Packet pkt, int in_port) override;
@@ -138,6 +165,9 @@ class Switch : public Node {
   std::int64_t watchdog_trips_ = 0;
   std::int64_t flood_events_ = 0;
   std::int64_t arp_miss_drops_ = 0;
+  mutable std::int64_t route_failovers_ = 0;  // bumped inside const route_lookup
+  std::int64_t no_route_drops_ = 0;
+  std::int64_t reboots_ = 0;
   std::function<bool(const Packet&)> drop_filter_;
   std::int64_t filtered_drops_ = 0;
   EventId watchdog_timer_ = kInvalidEventId;

@@ -26,6 +26,8 @@ class MacTable {
   }
   /// Simulate aging out (e.g., a server that died `timeout` ago).
   void expire(MacAddr mac) { entries_.erase(mac); }
+  /// Drop every entry (switch reboot: hardware-learned state is volatile).
+  void clear() { entries_.clear(); }
   void set_timeout(Time t) { timeout_ = t; }
   [[nodiscard]] Time timeout() const { return timeout_; }
   [[nodiscard]] std::size_t size() const { return entries_.size(); }
@@ -52,6 +54,8 @@ class ArpTable {
     return it->second.mac;
   }
   void expire(Ipv4Addr ip) { entries_.erase(ip); }
+  /// Drop every entry (switch reboot: the CPU's cache does not survive).
+  void clear() { entries_.clear(); }
   void set_timeout(Time t) { timeout_ = t; }
   [[nodiscard]] Time timeout() const { return timeout_; }
   [[nodiscard]] std::size_t size() const { return entries_.size(); }

@@ -21,6 +21,7 @@ void Fabric::attach_host(Host& h, Switch& sw, int sw_port, Bandwidth bw, Time pr
   sw.set_port_role(sw_port, PortRole::kServerFacing);
   sw.arp_table().install(h.ip(), h.mac(), sim_.now());
   sw.mac_table().learn(h.mac(), sw_port, sim_.now());
+  attachments_.push_back(Attachment{&h, &sw, sw_port});
 }
 
 void Fabric::attach_switches(Switch& a, int pa, Switch& b, int pb, Bandwidth bw,
@@ -33,6 +34,21 @@ void Fabric::kill_host(Host& h) {
   if (!h.port(0).connected()) return;
   auto* tor = dynamic_cast<Switch*>(h.port(0).peer());
   if (tor != nullptr) tor->mac_table().expire(h.mac());
+}
+
+void Fabric::revive_host(Host& h) {
+  h.set_dead(false);
+  if (!h.port(0).connected()) return;
+  auto* tor = dynamic_cast<Switch*>(h.port(0).peer());
+  if (tor != nullptr) tor->mac_table().learn(h.mac(), h.port(0).peer_port(), sim_.now());
+}
+
+void Fabric::reinstall_host_entries(Switch& sw) {
+  for (const auto& a : attachments_) {
+    if (a.sw != &sw) continue;
+    sw.arp_table().install(a.host->ip(), a.host->mac(), sim_.now());
+    sw.mac_table().learn(a.host->mac(), a.sw_port, sim_.now());
+  }
 }
 
 Host* Fabric::host_by_name(const std::string& name) const {

@@ -37,6 +37,14 @@ class Fabric {
   /// disappears while the 4-hour ARP entry stays.
   void kill_host(Host& h);
 
+  /// Undo kill_host: the server comes back and — as its first frames are
+  /// learned — its MAC entry reappears at the ToR.
+  void revive_host(Host& h);
+
+  /// Re-install the ARP + MAC entries of every host attached to `sw`, as
+  /// the management plane would after the switch reboots with empty tables.
+  void reinstall_host_entries(Switch& sw);
+
   [[nodiscard]] const std::vector<std::unique_ptr<Host>>& hosts() const { return hosts_; }
   [[nodiscard]] const std::vector<std::unique_ptr<Switch>>& switches() const { return switches_; }
   [[nodiscard]] Host* host_by_name(const std::string& name) const;
@@ -44,7 +52,14 @@ class Fabric {
   [[nodiscard]] std::vector<Switch*> switch_ptrs() const;
 
  private:
+  struct Attachment {
+    Host* host = nullptr;
+    Switch* sw = nullptr;
+    int sw_port = -1;
+  };
+
   Simulator sim_;
+  std::vector<Attachment> attachments_;
   std::vector<std::unique_ptr<Host>> hosts_;
   std::vector<std::unique_ptr<Switch>> switches_;
   std::unordered_map<std::string, Host*> hosts_by_name_;

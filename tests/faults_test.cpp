@@ -1,0 +1,578 @@
+// Fault-plane tests: link up/down semantics, ECMP failover, RDMA CM
+// reconnection, the ChaosEngine + FailureDetector + InvariantAuditor
+// triad, and the headline chaos soak on a three-tier Clos.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "src/app/rdma_cm.h"
+#include "src/app/traffic.h"
+#include "src/faults/auditor.h"
+#include "src/faults/chaos.h"
+#include "src/faults/failure_detector.h"
+#include "src/rocev2/deployment.h"
+#include "src/topo/clos.h"
+#include "tests/testutil.h"
+
+namespace rocelab {
+namespace {
+
+using testing::StarTopology;
+using testing::basic_host_config;
+using testing::basic_switch_config;
+
+ClosParams small_clos() {
+  QosPolicy policy;
+  policy.max_cable_m = 20.0;
+  policy.link_bw = gbps(10);  // keep soak event counts manageable
+  return make_clos_params(policy, DeploymentStage::kFull, /*podsets=*/2, /*leaves=*/2,
+                          /*tors=*/2, /*servers=*/2, /*spines=*/4);
+}
+
+// --- link fault plane --------------------------------------------------------------
+
+TEST(LinkFault, DownDropsTrafficThenRetxHealsAfterUp) {
+  StarTopology topo(2);
+  QpConfig qp;
+  qp.dcqcn = false;
+  qp.retx_timeout = microseconds(300);
+  auto [qa, qb] = connect_qp_pair(*topo.hosts[0], *topo.hosts[1], qp);
+  (void)qb;
+  RdmaDemux demux(*topo.hosts[0]);
+  RdmaStreamSource src(*topo.hosts[0], demux, qa,
+                       RdmaStreamSource::Options{.message_bytes = 64 * kKiB,
+                                                 .max_outstanding = 2});
+  src.start();
+  topo.sim().run_until(milliseconds(1));
+  const auto before = topo.hosts[1]->rdma().stats().messages_received;
+  EXPECT_GT(before, 0);
+
+  // Down the switch<->h1 link. Both directions die together.
+  topo.sw().set_link_up(1, false);
+  EXPECT_FALSE(topo.sw().link_up(1));
+  EXPECT_FALSE(topo.hosts[1]->link_up(0));
+  topo.sim().run_until(milliseconds(2));
+  const auto during = topo.hosts[1]->rdma().stats().messages_received;
+  // The switch keeps forwarding into the dead port; everything is counted.
+  EXPECT_GT(topo.sw().port(1).counters().link_down_drops, 0);
+  // Buffer accounting survives the drops (on_dequeue unwound the matrix).
+  EXPECT_EQ(topo.sw().matrix_queued_total(), topo.sw().egress_queued_total());
+  EXPECT_EQ(topo.sw().mmu().shared_used(), topo.sw().mmu().recomputed_shared_used());
+
+  topo.sw().set_link_up(1, true);
+  EXPECT_TRUE(topo.hosts[1]->link_up(0));
+  topo.sim().run_until(milliseconds(5));
+  EXPECT_GT(topo.hosts[1]->rdma().stats().messages_received, during)
+      << "go-back-N did not resume after the link healed";
+}
+
+TEST(LinkFault, SetLinkUpIsIdempotentAndIgnoresUnwiredPorts) {
+  Fabric fabric;
+  auto& sw = fabric.add_switch("sw", basic_switch_config(), 2);
+  // Port 1 is unwired: set_link_up must be a no-op, not a crash.
+  sw.set_link_up(1, false);
+  EXPECT_TRUE(sw.port(1).link_up());  // unchanged: no peer to coordinate with
+  auto& h = fabric.add_host("h", basic_host_config());
+  h.set_ip(Ipv4Addr::from_octets(10, 0, 0, 1));
+  sw.add_local_subnet(Ipv4Prefix{Ipv4Addr::from_octets(10, 0, 0, 0), 24});
+  fabric.attach_host(h, sw, 0, gbps(40), nanoseconds(10));
+  sw.set_link_up(0, false);
+  sw.set_link_up(0, false);  // repeat: no double-count, no flapping
+  EXPECT_FALSE(sw.link_up(0));
+  sw.set_link_up(0, true);
+  EXPECT_TRUE(sw.link_up(0));
+  EXPECT_TRUE(h.link_up(0));
+}
+
+// --- ECMP failover + CM reconnect (acceptance: ToR uplink down) -------------------
+
+TEST(Failover, TorUplinkDownReroutesAndCmReconnectsVictims) {
+  ClosFabric clos(small_clos());
+  auto& sim = clos.sim();
+
+  // Services live on the two servers under ToR(0,0); clients are the four
+  // podset-1 servers. Forward data flows INTO ToR(0,0), so roughly half the
+  // flows hash through leaf(0,0) and blackhole when the uplink dies — the
+  // recovery path is retry-exhaustion -> CM reconnect -> fresh UDP source
+  // port -> new ECMP hash.
+  QpConfig qp;
+  qp.dcqcn = false;
+  qp.retx_timeout = microseconds(300);
+  qp.retry_limit = 3;
+
+  std::vector<std::unique_ptr<RdmaCm>> cms;
+  std::vector<std::unique_ptr<RdmaDemux>> demuxes;
+  for (const auto& h : clos.fabric().hosts()) {
+    demuxes.push_back(std::make_unique<RdmaDemux>(*h));
+    cms.push_back(std::make_unique<RdmaCm>(*h));
+  }
+  auto index_of = [&](Host& h) {
+    for (std::size_t i = 0; i < clos.fabric().hosts().size(); ++i) {
+      if (clos.fabric().hosts()[i].get() == &h) return i;
+    }
+    throw std::logic_error("unknown host");
+  };
+
+  // Passive side: accept on both ToR(0,0) servers.
+  for (int s = 0; s < 2; ++s) {
+    cms[index_of(clos.server(0, 0, s))]->listen(/*service=*/1, qp, nullptr);
+  }
+
+  struct Client {
+    Host* host = nullptr;
+    std::uint32_t qpn = 0;
+    std::int64_t completed = 0;
+  };
+  std::vector<Client> clients(4);
+  int c = 0;
+  for (int t = 0; t < 2; ++t) {
+    for (int s = 0; s < 2; ++s) {
+      Client& cl = clients[static_cast<std::size_t>(c)];
+      cl.host = &clos.server(1, t, s);
+      const std::size_t hi = index_of(*cl.host);
+      RdmaDemux& dm = *demuxes[hi];
+      cms[hi]->connect(
+          ClosFabric::server_ip(0, 0, c % 2), 1, qp,
+          [&cl, &dm](std::uint32_t qpn) {
+            cl.qpn = qpn;
+            dm.on_completion(qpn, [&cl](const RdmaCompletion&) { ++cl.completed; });
+          },
+          microseconds(300));
+      ++c;
+    }
+  }
+
+  // Each client posts 16KiB every 200us while its QP is usable.
+  std::function<void()> pump = [&] {
+    for (Client& cl : clients) {
+      if (cl.qpn != 0 && cl.host->rdma().qp_connected(cl.qpn) &&
+          !cl.host->rdma().qp_errored(cl.qpn)) {
+        cl.host->rdma().post_send(cl.qpn, 16 * kKiB, 0);
+      }
+    }
+    sim.schedule_in(microseconds(200), pump);
+  };
+  sim.schedule_in(microseconds(100), pump);
+
+  sim.run_until(milliseconds(2));
+  for (const Client& cl : clients) EXPECT_GT(cl.completed, 0) << "did not establish";
+
+  // Fault: ToR(0,0) loses its uplink to leaf(0,0).
+  Switch& tor = clos.tor(0, 0);
+  tor.set_link_up(/*port=*/2, false);
+
+  // Detection + reconnect window.
+  sim.run_until(milliseconds(20));
+  EXPECT_GT(tor.route_failovers(), 0) << "surviving uplink was not used";
+  // The remote leaf really did blackhole flows (no local survivor there).
+  EXPECT_GT(clos.leaf(0, 0).no_route_drops(), 0);
+
+  std::int64_t reconnects = 0, qp_errors = 0;
+  for (const auto& cm : cms) reconnects += cm->reconnects();
+  for (const auto& h : clos.fabric().hosts()) qp_errors += h->rdma().stats().qp_errors;
+  EXPECT_GE(qp_errors, 1) << "no flow was blackholed: topology assumption broken";
+  EXPECT_GE(reconnects, 1);
+
+  // Zero blackholed after the detection window: every client makes fresh
+  // progress with the uplink still down.
+  std::vector<std::int64_t> at_20;
+  for (const Client& cl : clients) at_20.push_back(cl.completed);
+  sim.run_until(milliseconds(25));
+  for (std::size_t i = 0; i < clients.size(); ++i) {
+    EXPECT_GT(clients[i].completed, at_20[i]) << "client " << i << " still blackholed";
+  }
+}
+
+// --- chaos engine ------------------------------------------------------------------
+
+TEST(Chaos, JournalIsByteIdenticalForSameSeed) {
+  auto run = [](std::uint64_t seed) {
+    StarTopology topo(3);
+    ChaosEngine chaos(*topo.fabric, seed);
+    for (int i = 0; i < 3; ++i) {
+      const Time down = microseconds(chaos.rng().uniform_int(100, 2000));
+      const Time up = down + microseconds(chaos.rng().uniform_int(50, 500));
+      chaos.link_flap(topo.sw(), static_cast<int>(chaos.rng().uniform_int(0, 2)), down, up);
+    }
+    chaos.host_death(*topo.hosts[2], microseconds(2500), microseconds(3000));
+    chaos.nic_storm(*topo.hosts[1], microseconds(2600), microseconds(2900));
+    topo.sim().run_until(milliseconds(5));
+    return chaos.journal_text();
+  };
+  const std::string a = run(7);
+  EXPECT_FALSE(a.empty());
+  EXPECT_EQ(a, run(7)) << "same seed must give a byte-identical fault journal";
+  EXPECT_NE(a, run(8)) << "different seed should give a different schedule";
+}
+
+TEST(Chaos, ConfigDriftIsAppliedAndJournalled) {
+  StarTopology topo(2);
+  ChaosEngine chaos(*topo.fabric, 1);
+  chaos.alpha_drift(topo.sw(), microseconds(100), 1.0 / 64);
+  chaos.ecn_disable(topo.sw(), microseconds(200));
+  topo.sim().run_until(milliseconds(1));
+  EXPECT_DOUBLE_EQ(topo.sw().config().mmu.alpha, 1.0 / 64);
+  for (int pg = 0; pg < kNumPriorities; ++pg) {
+    EXPECT_FALSE(topo.sw().config().ecn[static_cast<std::size_t>(pg)].enabled);
+  }
+  ASSERT_EQ(chaos.journal().size(), 2u);
+  EXPECT_EQ(chaos.journal()[0].kind, FaultKind::kAlphaDrift);
+  EXPECT_EQ(chaos.journal()[1].kind, FaultKind::kEcnDisable);
+}
+
+TEST(Chaos, SwitchRebootFlushesTablesAndRecoversWithReinstall) {
+  StarTopology topo(2);
+  QpConfig qp;
+  qp.dcqcn = false;
+  qp.retx_timeout = microseconds(300);
+  auto [qa, qb] = connect_qp_pair(*topo.hosts[0], *topo.hosts[1], qp);
+  (void)qb;
+  ChaosEngine chaos(*topo.fabric, 1);
+  chaos.switch_reboot(topo.sw(), milliseconds(1), milliseconds(2));
+  RdmaDemux demux(*topo.hosts[0]);
+  RdmaStreamSource src(*topo.hosts[0], demux, qa,
+                       RdmaStreamSource::Options{.message_bytes = 32 * kKiB,
+                                                 .max_outstanding = 2});
+  src.start();
+  topo.sim().run_until(microseconds(1500));
+  EXPECT_EQ(topo.sw().reboots(), 1);
+  EXPECT_FALSE(
+      topo.sw().mac_table().lookup(topo.hosts[1]->mac(), topo.sim().now()).has_value());
+  topo.sim().run_until(milliseconds(6));
+  // Entries reinstalled at recovery; go-back-N pushes traffic through again.
+  EXPECT_TRUE(
+      topo.sw().mac_table().lookup(topo.hosts[1]->mac(), topo.sim().now()).has_value());
+  EXPECT_GT(topo.hosts[1]->rdma().stats().messages_received, 1);
+}
+
+// --- failure detector --------------------------------------------------------------
+
+TEST(FailureDetectorTest, RaiseAndClearHysteresis) {
+  FailureDetector det(FailureDetector::Options{.raise_after = 3, .clear_after = 2});
+  det.observe(1, 7, false);
+  det.observe(2, 7, false);
+  EXPECT_FALSE(det.alarmed(7)) << "two losses must not alarm yet";
+  det.observe(3, 7, true);  // streak broken
+  det.observe(4, 7, false);
+  det.observe(5, 7, false);
+  EXPECT_FALSE(det.alarmed(7));
+  det.observe(6, 7, false);
+  EXPECT_TRUE(det.alarmed(7));
+  EXPECT_EQ(det.alarms_raised(), 1);
+  EXPECT_EQ(det.active_alarms(), 1);
+  det.observe(7, 7, true);
+  EXPECT_TRUE(det.alarmed(7)) << "one success must not clear";
+  det.observe(8, 7, true);
+  EXPECT_FALSE(det.alarmed(7));
+  EXPECT_EQ(det.alarms_cleared(), 1);
+  ASSERT_EQ(det.history().size(), 2u);
+  EXPECT_TRUE(det.history()[0].raised);
+  EXPECT_EQ(det.history()[0].at, 6);
+  EXPECT_FALSE(det.history()[1].raised);
+}
+
+TEST(Pingmesh, PerPeerAccountingUnderInjectedLoss) {
+  StarTopology topo(3);
+  QpConfig qp;
+  qp.dcqcn = false;
+  auto [q1, e1] = connect_qp_pair(*topo.hosts[0], *topo.hosts[1], qp);
+  auto [q2, e2] = connect_qp_pair(*topo.hosts[0], *topo.hosts[2], qp);
+  RdmaDemux d0(*topo.hosts[0]);
+  RdmaDemux d1(*topo.hosts[1]);
+  RdmaDemux d2(*topo.hosts[2]);
+  RdmaEchoServer echo1(*topo.hosts[1], d1, e1, 512);
+  RdmaEchoServer echo2(*topo.hosts[2], d2, e2, 512);
+  RdmaPingmesh ping(*topo.hosts[0], d0, {q1, q2},
+                    RdmaPingmesh::Options{.probe_bytes = 512, .interval = microseconds(100),
+                                          .timeout = microseconds(400)});
+  FailureDetector det;
+  ping.set_probe_cb([&](std::uint32_t qpn, bool ok, Time) {
+    det.observe(topo.sim().now(), qpn, ok);
+  });
+  ping.start();
+  topo.sim().run_until(milliseconds(1));
+  EXPECT_EQ(ping.probes_failed(), 0);
+
+  // Black-hole all RoCE data toward h1: its probes die, h2's keep working.
+  const Ipv4Addr h1_ip = topo.hosts[1]->ip();
+  topo.sw().set_drop_filter([h1_ip](const Packet& p) {
+    return p.kind == PacketKind::kRoceData && p.ip && p.ip->dst == h1_ip;
+  });
+  topo.sim().run_until(milliseconds(4));
+  EXPECT_GT(ping.peer_stats(q1).failed, 0);
+  EXPECT_GE(ping.peer_stats(q1).consecutive_failed, 3);
+  EXPECT_EQ(ping.peer_stats(q2).failed, 0);
+  EXPECT_TRUE(det.alarmed(q1));
+  EXPECT_FALSE(det.alarmed(q2));
+
+  // Repair: the backlog drains, fresh probes succeed, the alarm clears.
+  topo.sw().set_drop_filter({});
+  topo.sim().run_until(milliseconds(8));
+  EXPECT_EQ(ping.peer_stats(q1).consecutive_failed, 0);
+  EXPECT_FALSE(det.alarmed(q1));
+  EXPECT_EQ(det.alarms_cleared(), 1);
+  // Global and per-peer accounting agree.
+  EXPECT_EQ(ping.probes_sent(), ping.peer_stats(q1).sent + ping.peer_stats(q2).sent);
+  EXPECT_EQ(ping.probes_failed(), ping.peer_stats(q1).failed + ping.peer_stats(q2).failed);
+}
+
+// --- CM reconnect unit (no fabric fault: NIC error injected via dead peer) --------
+
+TEST(RdmaCmReconnect, ReestablishesAfterRetryExhaustion) {
+  StarTopology topo(2);
+  QpConfig qp;
+  qp.dcqcn = false;
+  qp.retx_timeout = microseconds(200);
+  qp.retry_limit = 3;
+  RdmaCm cm_client(*topo.hosts[0]);
+  RdmaCm cm_server(*topo.hosts[1]);
+  cm_server.listen(9, qp, nullptr);
+  std::vector<std::uint32_t> qpns;
+  cm_client.connect(topo.hosts[1]->ip(), 9, qp,
+                    [&](std::uint32_t qpn) { qpns.push_back(qpn); }, microseconds(200));
+  topo.sim().run_until(milliseconds(1));
+  ASSERT_EQ(qpns.size(), 1u);
+
+  // Peer dies mid-connection; in-flight work exhausts the retry budget.
+  topo.fabric->kill_host(*topo.hosts[1]);
+  topo.hosts[0]->rdma().post_send(qpns[0], 8 * kKiB, 1);
+  topo.sim().run_until(milliseconds(4));
+  EXPECT_EQ(topo.hosts[0]->rdma().stats().qp_errors, 1);
+  EXPECT_EQ(cm_client.reconnects(), 1);
+  EXPECT_EQ(qpns.size(), 1u) << "reconnect must not complete against a dead peer";
+
+  // Peer returns: the backed-off REQ loop completes with a fresh QP.
+  topo.fabric->revive_host(*topo.hosts[1]);
+  topo.sim().run_until(milliseconds(30));
+  ASSERT_EQ(qpns.size(), 2u);
+  EXPECT_NE(qpns[0], qpns[1]);
+  // The new QP carries traffic end-to-end.
+  RdmaDemux d0(*topo.hosts[0]);
+  std::int64_t completed = 0;
+  d0.on_completion(qpns[1], [&](const RdmaCompletion&) { ++completed; });
+  topo.hosts[0]->rdma().post_send(qpns[1], 8 * kKiB, 2);
+  topo.sim().run_until(milliseconds(35));
+  EXPECT_EQ(completed, 1);
+}
+
+// --- invariant auditor -------------------------------------------------------------
+
+TEST(Auditor, QuietFabricHasNoViolations) {
+  StarTopology topo(3);
+  std::vector<Switch*> sws = topo.fabric->switch_ptrs();
+  std::vector<Host*> hosts = topo.hosts;
+  InvariantAuditor auditor(topo.sim(), sws, hosts,
+                           InvariantAuditor::Options{.interval = microseconds(100)});
+  auditor.start();
+  QpConfig qp;
+  auto [qa, qb] = connect_qp_pair(*topo.hosts[0], *topo.hosts[1], qp);
+  (void)qb;
+  topo.hosts[0]->rdma().post_send(qa, 256 * kKiB, 1);
+  topo.sim().run_until(milliseconds(5));
+  EXPECT_GT(auditor.checks_run(), 10);
+  EXPECT_EQ(auditor.hard_violations(), 0);
+  EXPECT_TRUE(auditor.violations().empty());
+}
+
+TEST(Auditor, FlagsSustainedPauseStorm) {
+  HostConfig hc = basic_host_config();
+  StarTopology topo(2, basic_switch_config(), hc);
+  std::vector<Host*> hosts = topo.hosts;
+  InvariantAuditor auditor(
+      topo.sim(), topo.fabric->switch_ptrs(), hosts,
+      InvariantAuditor::Options{.interval = microseconds(200), .storm_windows = 3});
+  auditor.start();
+  topo.sim().schedule_at(microseconds(500), [&] { topo.hosts[1]->set_storm_mode(true); });
+  topo.sim().run_until(milliseconds(3));
+  EXPECT_GE(auditor.count(InvariantAuditor::Kind::kPauseStorm), 1);
+  EXPECT_EQ(auditor.hard_violations(), 0) << "a storm is not a deadlock";
+}
+
+// --- switch watchdog edges (satellite) --------------------------------------------
+
+TEST(SwitchWatchdogEdge, SecondStormTripsAgainAndTrafficResumes) {
+  SwitchConfig cfg = basic_switch_config();
+  cfg.watchdog.enabled = true;
+  cfg.watchdog.check_interval = milliseconds(1);
+  cfg.watchdog.trigger_after = milliseconds(5);
+  cfg.watchdog.reenable_after = milliseconds(10);
+  StarTopology topo(3, cfg, basic_host_config(), gbps(10));
+  Host& victim = *topo.hosts[2];
+
+  QpConfig qp;
+  qp.dcqcn = false;
+  qp.retx_timeout = microseconds(500);
+  auto [qa, qb] = connect_qp_pair(*topo.hosts[0], victim, qp);
+  (void)qb;
+  RdmaDemux demux(*topo.hosts[0]);
+  RdmaStreamSource src(*topo.hosts[0], demux, qa,
+                       RdmaStreamSource::Options{.message_bytes = 64 * kKiB,
+                                                 .max_outstanding = 2});
+  src.start();
+
+  topo.sim().schedule_at(milliseconds(1), [&] { victim.set_storm_mode(true); });
+  topo.sim().run_until(milliseconds(10));
+  EXPECT_EQ(topo.sw().watchdog_trips(), 1);
+  EXPECT_TRUE(topo.sw().lossless_disabled(2));
+
+  // While the storm persists the port must stay disabled, not oscillate.
+  topo.sim().run_until(milliseconds(14));
+  EXPECT_TRUE(topo.sw().lossless_disabled(2));
+  EXPECT_EQ(topo.sw().watchdog_trips(), 1);
+
+  victim.set_storm_mode(false);
+  topo.sim().run_until(milliseconds(30));
+  EXPECT_FALSE(topo.sw().lossless_disabled(2));
+
+  // Second storm after re-enable: a fresh trip, not a latched state.
+  victim.set_storm_mode(true);
+  topo.sim().run_until(milliseconds(42));
+  EXPECT_EQ(topo.sw().watchdog_trips(), 2);
+  EXPECT_TRUE(topo.sw().lossless_disabled(2));
+
+  victim.set_storm_mode(false);
+  topo.sim().run_until(milliseconds(60));
+  EXPECT_FALSE(topo.sw().lossless_disabled(2));
+  const auto before = victim.rdma().stats().messages_received;
+  topo.sim().run_until(milliseconds(70));
+  EXPECT_GT(victim.rdma().stats().messages_received, before)
+      << "traffic did not resume after the watchdog re-enabled lossless mode";
+}
+
+// --- the headline chaos soak -------------------------------------------------------
+
+TEST(ChaosSoak, ClosSurvivesFaultScheduleWithZeroHardViolations) {
+  ClosFabric clos(small_clos());
+  Fabric& fabric = clos.fabric();
+  auto& sim = clos.sim();
+
+  std::vector<Host*> hosts;
+  for (const auto& h : fabric.hosts()) hosts.push_back(h.get());
+  std::vector<std::unique_ptr<RdmaDemux>> demuxes;
+  for (Host* h : hosts) demuxes.push_back(std::make_unique<RdmaDemux>(*h));
+  auto demux_of = [&](Host& h) -> RdmaDemux& {
+    for (std::size_t i = 0; i < hosts.size(); ++i) {
+      if (hosts[i] == &h) return *demuxes[i];
+    }
+    throw std::logic_error("unknown host");
+  };
+
+  QosPolicy policy;
+  // Three cross-podset streams. Targets: (1,0,0), the storm host (1,1,0),
+  // and back across to (0,1,0). The dead host (0,1,1) carries only probes.
+  struct StreamPair {
+    Host* src;
+    Host* dst;
+  };
+  const std::vector<StreamPair> pairs = {
+      {&clos.server(0, 0, 0), &clos.server(1, 0, 0)},
+      {&clos.server(0, 0, 1), &clos.server(1, 1, 0)},
+      {&clos.server(1, 1, 1), &clos.server(0, 1, 0)},
+  };
+  std::vector<std::unique_ptr<RdmaStreamSource>> streams;
+  for (const auto& p : pairs) {
+    auto [qs, qd] = connect_qp_pair(*p.src, *p.dst, make_qp_config(policy));
+    (void)qd;
+    streams.push_back(std::make_unique<RdmaStreamSource>(
+        *p.src, demux_of(*p.src), qs,
+        RdmaStreamSource::Options{.message_bytes = 64 * kKiB, .max_outstanding = 4}));
+    streams.back()->start();
+  }
+
+  // Pingmesh from (0,0,0) to the victim host and a healthy cross-podset peer.
+  Host& prober = clos.server(0, 0, 0);
+  Host& victim = clos.server(0, 1, 1);
+  Host& healthy = clos.server(1, 0, 0);
+  auto [pq1, pe1] = connect_qp_pair(prober, victim, make_qp_config(policy, true));
+  auto [pq2, pe2] = connect_qp_pair(prober, healthy, make_qp_config(policy, true));
+  RdmaEchoServer echo1(victim, demux_of(victim), pe1, 512);
+  RdmaEchoServer echo2(healthy, demux_of(healthy), pe2, 512);
+  RdmaPingmesh ping(prober, demux_of(prober), {pq1, pq2},
+                    RdmaPingmesh::Options{.probe_bytes = 512, .interval = microseconds(100),
+                                          .timeout = microseconds(500)});
+  FailureDetector detector;
+  ping.set_probe_cb(
+      [&](std::uint32_t qpn, bool ok, Time) { detector.observe(sim.now(), qpn, ok); });
+  ping.start();
+
+  // Always-on invariant auditor.
+  InvariantAuditor auditor(sim, fabric.switch_ptrs(), hosts,
+                           InvariantAuditor::Options{.interval = microseconds(200)});
+  auditor.start();
+
+  // The fault schedule: 3 link flaps, a leaf reboot, a host death, a NIC
+  // pause storm — overlapping, all healed by 24ms.
+  ChaosEngine chaos(fabric, /*seed=*/1234);
+  chaos.link_flap(clos.tor(0, 0), /*port=*/2, milliseconds(9), milliseconds(10));
+  chaos.link_flap(clos.leaf(1, 0), /*port=*/2, milliseconds(11), milliseconds(12));
+  chaos.link_flap(clos.tor(1, 1), /*port=*/3, milliseconds(13), milliseconds(14));
+  chaos.switch_reboot(clos.leaf(0, 1), milliseconds(15), milliseconds(17));
+  chaos.host_death(victim, milliseconds(18), milliseconds(22));
+  chaos.nic_storm(clos.server(1, 1, 0), milliseconds(20), milliseconds(24));
+
+  // Baseline throughput: 3ms..9ms.
+  auto total_bytes = [&] {
+    std::int64_t s = 0;
+    for (const auto& st : streams) s += st->completed_bytes();
+    return s;
+  };
+  sim.run_until(milliseconds(3));
+  const std::int64_t base_start = total_bytes();
+  sim.run_until(milliseconds(9));
+  const std::int64_t base_end = total_bytes();
+  const double baseline_rate =
+      static_cast<double>(base_end - base_start) / to_seconds(milliseconds(6));
+  ASSERT_GT(baseline_rate, 0.0);
+
+  // Ride out the fault window, then measure recovery: 32ms..40ms.
+  sim.run_until(milliseconds(32));
+  const std::int64_t rec_start = total_bytes();
+  sim.run_until(milliseconds(40));
+  const std::int64_t rec_end = total_bytes();
+  const double recovery_rate =
+      static_cast<double>(rec_end - rec_start) / to_seconds(milliseconds(8));
+
+  // 1. The schedule actually ran.
+  auto count_kind = [&](FaultKind k) {
+    std::int64_t n = 0;
+    for (const auto& r : chaos.journal()) {
+      if (r.kind == k) ++n;
+    }
+    return n;
+  };
+  EXPECT_EQ(count_kind(FaultKind::kLinkDown), 3);
+  EXPECT_EQ(count_kind(FaultKind::kSwitchReboot), 1);
+  EXPECT_EQ(count_kind(FaultKind::kHostDeath), 1);
+  EXPECT_EQ(count_kind(FaultKind::kNicStormStart), 1);
+
+  // 2. Zero hard invariant violations across the whole soak.
+  EXPECT_GT(auditor.checks_run(), 100);
+  EXPECT_EQ(auditor.hard_violations(), 0) << [&] {
+    std::string s;
+    for (const auto& v : auditor.violations()) {
+      s += to_string(v.kind);
+      s += " @ " + v.node + ": " + v.detail + "\n";
+    }
+    return s;
+  }();
+
+  // 3. Traffic kept flowing and recovered to >= 80% of baseline.
+  EXPECT_GE(recovery_rate, 0.8 * baseline_rate)
+      << "recovered " << recovery_rate / 1e9 << " Gbps vs baseline " << baseline_rate / 1e9;
+
+  // 4. Routing failed over around the downed links.
+  std::int64_t failovers = 0;
+  for (Switch* sw : fabric.switch_ptrs()) failovers += sw->route_failovers();
+  EXPECT_GT(failovers, 0);
+
+  // 5. The detector saw the dead host and gave the all-clear after revival.
+  EXPECT_GE(detector.alarms_raised(), 1);
+  EXPECT_GE(detector.alarms_cleared(), 1);
+  EXPECT_FALSE(detector.alarmed(pq1));
+  // The probed path to the dead host really did fail during the window.
+  EXPECT_GT(ping.peer_stats(pq1).failed, 0);
+}
+
+}  // namespace
+}  // namespace rocelab

@@ -1,0 +1,22 @@
+#!/usr/bin/env bash
+# CI entry point: build and run the full test suite twice — once plain,
+# once under ASan+UBSan (ROCELAB_SANITIZE=ON). Fails on the first error.
+set -euo pipefail
+
+repo="$(cd "$(dirname "$0")/.." && pwd)"
+jobs="$(nproc 2>/dev/null || echo 4)"
+
+run_suite() {
+  local build_dir="$1"; shift
+  cmake -B "$build_dir" -S "$repo" "$@"
+  cmake --build "$build_dir" -j "$jobs"
+  ctest --test-dir "$build_dir" --output-on-failure
+}
+
+echo "=== plain build ==="
+run_suite "$repo/build"
+
+echo "=== sanitizer build (ASan+UBSan) ==="
+run_suite "$repo/build-asan" -DROCELAB_SANITIZE=ON
+
+echo "CI OK"

@@ -12,7 +12,9 @@
 //   rocelab_sim --topology clos2 --workload pingmesh --storm-at-ms 10
 //   rocelab_sim --topology star --workload stream --recovery sr --loss 0.001
 //   rocelab_sim --topology clos2 --workload stream --pcap /tmp/tap.pcap
+#include <cstdint>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <memory>
 #include <unordered_map>
@@ -44,6 +46,9 @@ struct Options {
   double loss = 0.0;
   long storm_at_ms = -1;
   std::string pcap_path;
+  /// Master seed for every source of scenario randomness (workload peer
+  /// placement, loss sampling). Same seed + same flags => same run.
+  std::uint64_t seed = 1;
 
   static Options parse(int argc, char** argv);
 };
@@ -54,7 +59,8 @@ struct Options {
                "stream|incast|pingmesh]\n"
                "  [--servers N] [--tors N] [--leaves N] [--spines N] [--podsets N]\n"
                "  [--duration-ms N] [--alpha X] [--no-dcqcn] [--spray]\n"
-               "  [--recovery gbn|gb0|sr] [--loss P] [--storm-at-ms N] [--pcap FILE]\n");
+               "  [--recovery gbn|gb0|sr] [--loss P] [--storm-at-ms N] [--pcap FILE]\n"
+               "  [--seed N]\n");
   std::exit(2);
 }
 
@@ -81,6 +87,7 @@ Options Options::parse(int argc, char** argv) {
     else if (a == "--loss") o.loss = std::atof(need(i));
     else if (a == "--storm-at-ms") o.storm_at_ms = std::atol(need(i));
     else if (a == "--pcap") o.pcap_path = need(i);
+    else if (a == "--seed") o.seed = static_cast<std::uint64_t>(std::strtoull(need(i), nullptr, 10));
     else if (a == "--help" || a == "-h") usage();
     else {
       std::fprintf(stderr, "unknown option: %s\n", a.c_str());
@@ -145,13 +152,13 @@ int main(int argc, char** argv) {
                     : o.recovery == "sr" ? LossRecovery::kSelectiveRepeat
                                          : LossRecovery::kGoBackN;
   Scenario s = build(o, policy);
-  std::printf("topology %s: %zu hosts, %zu switches | workload %s | %ldms\n",
+  std::printf("topology %s: %zu hosts, %zu switches | workload %s | %ldms | seed %llu\n",
               o.topology.c_str(), s.hosts.size(), s.switches.size(), o.workload.c_str(),
-              o.duration_ms);
+              o.duration_ms, static_cast<unsigned long long>(o.seed));
 
   if (o.loss > 0) {
     for (Switch* sw : s.switches) {
-      auto rng = std::make_shared<Rng>(sw->id());
+      auto rng = std::make_shared<Rng>(o.seed ^ (0x9e3779b97f4a7c15ull * sw->id()));
       sw->set_drop_filter([rng, p = o.loss](const Packet& pkt) {
         return pkt.kind == PacketKind::kRoceData && rng->bernoulli(p);
       });
@@ -198,7 +205,7 @@ int main(int argc, char** argv) {
     }
   } else if (o.workload == "incast") {
     // Everyone queries 8 random peers; responses incast back.
-    Rng rng(11);
+    Rng rng(o.seed);
     for (Host* h : s.hosts) {
       std::vector<std::uint32_t> qpns;
       auto& dm = demux_of(*h);
