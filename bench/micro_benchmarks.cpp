@@ -3,6 +3,10 @@
 // updates, MTT cache, codec encode/decode, CRC32, percentile estimation.
 #include <benchmark/benchmark.h>
 
+#include <atomic>
+#include <cstdlib>
+#include <new>
+
 #include "src/common/rng.h"
 #include "src/common/stats.h"
 #include "src/net/codec.h"
@@ -11,20 +15,54 @@
 #include "src/sim/simulator.h"
 #include "src/switch/mmu.h"
 
+// Global allocation counter so the event-queue benchmark can report heap
+// allocations per event — the perf gate's "zero per-event allocations on the
+// fire path" claim, measured rather than asserted.
+namespace {
+std::atomic<std::uint64_t> g_allocs{0};
+}  // namespace
+
+// GCC flags free() here because it cannot see that the replacement operator
+// new above allocates with malloc; the pairing is in fact correct.
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wmismatched-new-delete"
+void* operator new(std::size_t n) {
+  g_allocs.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(n)) return p;
+  throw std::bad_alloc();
+}
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+#pragma GCC diagnostic pop
+
 namespace rocelab {
 namespace {
 
 void BM_EventQueueScheduleRun(benchmark::State& state) {
-  for (auto _ : state) {
-    Simulator sim;
-    int sink = 0;
+  // Steady state: one persistent simulator, rounds of 1000 events scheduled
+  // and drained. After warm-up the slab and heap are at capacity, so the
+  // schedule->fire path should do zero heap allocations per event.
+  Simulator sim;
+  int sink = 0;
+  auto round = [&] {
+    const Time base = sim.now();
     for (int i = 0; i < 1000; ++i) {
-      sim.schedule_at(nanoseconds(i * 13 % 997), [&sink] { ++sink; });
+      sim.schedule_at(base + nanoseconds(i * 13 % 997 + 1), [&sink] { ++sink; });
     }
     sim.run();
+  };
+  round();  // warm the slab outside the measured region
+  const std::uint64_t allocs_before = g_allocs.load(std::memory_order_relaxed);
+  std::uint64_t events = 0;
+  for (auto _ : state) {
+    round();
+    events += 1000;
     benchmark::DoNotOptimize(sink);
   }
-  state.SetItemsProcessed(state.iterations() * 1000);
+  const std::uint64_t allocs = g_allocs.load(std::memory_order_relaxed) - allocs_before;
+  state.SetItemsProcessed(static_cast<std::int64_t>(events));
+  state.counters["heap_allocs_per_event"] =
+      benchmark::Counter(static_cast<double>(allocs) / static_cast<double>(events));
 }
 BENCHMARK(BM_EventQueueScheduleRun);
 
@@ -39,6 +77,21 @@ void BM_FiveTupleHash(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations());
 }
 BENCHMARK(BM_FiveTupleHash);
+
+void BM_FiveTupleHashColdCache(benchmark::State& state) {
+  // Worst case for the flow-tuple cache: every hash re-extracts the tuple
+  // (this is what each switch paid per packet before caching).
+  Packet pkt;
+  pkt.ip = Ipv4Header{Ipv4Addr{0x0a000001}, Ipv4Addr{0x0a000102}};
+  pkt.udp = UdpHeader{51234, kRoceUdpPort, 0};
+  std::uint64_t seed = 1;
+  for (auto _ : state) {
+    pkt.invalidate_flow_cache();
+    benchmark::DoNotOptimize(five_tuple_hash(pkt, seed++));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_FiveTupleHashColdCache);
 
 void BM_MmuAdmitRelease(benchmark::State& state) {
   MmuConfig cfg;

@@ -1,0 +1,241 @@
+// Perf gate: a fixed seeded Clos macro workload that measures the simulator
+// core's throughput (events/sec, wall-clock per simulated second, peak RSS)
+// and emits a determinism digest of the final fabric counters.
+//
+// The digest is the contract: any change to the event core or the packet
+// pipeline must leave it byte-identical for the same workload — optimizations
+// may only change how fast the answer is computed, never the answer. CI runs
+// this as a smoke (small window, run twice, digests must match) and writes
+// BENCH_simcore.json at the repo root so the perf trajectory accumulates.
+//
+// Usage:
+//   perf_gate [--ms N] [--json PATH] [--twice] [--expect-digest HEX]
+//   env: ROCELAB_PERFGATE_MS overrides the default window (--ms wins).
+#include <sys/resource.h>
+
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "src/app/demux.h"
+#include "src/app/traffic.h"
+#include "src/monitor/digest.h"
+#include "src/rocev2/deployment.h"
+
+using namespace rocelab;
+
+namespace {
+
+struct GateResult {
+  std::uint64_t events = 0;
+  std::uint64_t scheduled = 0;     // total schedule_at calls
+  std::uint64_t final_pending = 0;
+  std::size_t heap_entries = 0;    // live + stale entries at deadline
+  double wall_s = 0;
+  double cpu_s = 0;  // process CPU time: stable even when the box is busy
+  double sim_s = 0;
+  std::uint64_t digest = 0;
+  std::int64_t messages_completed = 0;
+  std::int64_t bytes_received = 0;
+};
+
+double cpu_seconds() {
+  struct rusage ru{};
+  getrusage(RUSAGE_SELF, &ru);
+  auto tv = [](const timeval& t) {
+    return static_cast<double>(t.tv_sec) + static_cast<double>(t.tv_usec) * 1e-6;
+  };
+  return tv(ru.ru_utime) + tv(ru.ru_stime);
+}
+
+/// The fixed workload: a 3-tier Clos (2 podsets x 2 leaves x 3 ToRs x 4
+/// servers, 4 spines) carrying saturating cross-podset streams, an RDMA
+/// pingmesh, and a small incast — the three traffic shapes every experiment
+/// in the paper is built from.
+GateResult run_workload(Time window) {
+  QosPolicy policy;
+  const int tors = 3, servers = 4;
+  ClosParams params =
+      make_clos_params(policy, DeploymentStage::kFull, /*podsets=*/2, /*leaves=*/2, tors,
+                       servers, /*spines=*/4);
+  ClosFabric clos(params);
+
+  std::vector<std::unique_ptr<RdmaDemux>> demuxes;
+  std::vector<std::unique_ptr<RdmaStreamSource>> sources;
+  std::vector<std::unique_ptr<RdmaEchoServer>> echoes;
+
+  auto demux_for = [&](Host& h) -> RdmaDemux& {
+    demuxes.push_back(std::make_unique<RdmaDemux>(h));
+    return *demuxes.back();
+  };
+
+  // Saturating streams: every server pairs with its mirror in the other
+  // podset, both directions, 2 QPs each.
+  for (int t = 0; t < tors; ++t) {
+    for (int s = 0; s < servers; ++s) {
+      for (int dir = 0; dir < 2; ++dir) {
+        Host& src = clos.server(dir, t, s);
+        Host& dst = clos.server(1 - dir, t, s);
+        RdmaDemux& demux = demux_for(src);
+        for (int q = 0; q < 2; ++q) {
+          auto [qa, qb] = connect_qp_pair(src, dst, make_qp_config(policy));
+          (void)qb;
+          sources.push_back(std::make_unique<RdmaStreamSource>(
+              src, demux, qa,
+              RdmaStreamSource::Options{.message_bytes = 32 * kKiB, .max_outstanding = 2}));
+          sources.back()->start();
+        }
+      }
+    }
+  }
+
+  // Pingmesh: server (0,0,0) probes server (1,t,0) of every remote ToR on
+  // the real-time class.
+  Host& prober = clos.server(0, 0, 0);
+  RdmaDemux& prober_demux = demux_for(prober);
+  std::vector<std::uint32_t> probe_qpns;
+  for (int t = 0; t < tors; ++t) {
+    auto [qa, qb] = connect_qp_pair(prober, clos.server(1, t, 0),
+                                    make_qp_config(policy, /*realtime=*/true));
+    (void)qb;
+    probe_qpns.push_back(qa);
+  }
+  RdmaPingmesh pingmesh(prober, prober_demux, probe_qpns,
+                        RdmaPingmesh::Options{.interval = microseconds(100)});
+  pingmesh.start();
+
+  // Incast: server (0,1,1) fans 512B queries to one responder per remote ToR.
+  Host& client = clos.server(0, 1, 1);
+  RdmaDemux& client_demux = demux_for(client);
+  std::vector<std::uint32_t> incast_qpns;
+  for (int t = 0; t < tors; ++t) {
+    Host& responder = clos.server(1, t, 3);
+    auto [qa, qb] = connect_qp_pair(client, responder, make_qp_config(policy));
+    echoes.push_back(std::make_unique<RdmaEchoServer>(responder, demux_for(responder), qb,
+                                                      /*response_bytes=*/4 * kKiB));
+    incast_qpns.push_back(qa);
+  }
+  RdmaIncastClient incast(client, client_demux, incast_qpns,
+                          RdmaIncastClient::Options{.mean_interval = microseconds(100)});
+  incast.start();
+
+  const double cpu0 = cpu_seconds();
+  const auto wall0 = std::chrono::steady_clock::now();
+  clos.sim().run_until(window);
+  const auto wall1 = std::chrono::steady_clock::now();
+  const double cpu1 = cpu_seconds();
+
+  GateResult r;
+  r.events = clos.sim().executed_events();
+  r.scheduled = clos.sim().scheduled_events();
+  r.final_pending = clos.sim().pending_events();
+  r.heap_entries = clos.sim().queued_entries();
+  r.wall_s = std::chrono::duration<double>(wall1 - wall0).count();
+  r.cpu_s = cpu1 - cpu0;
+  r.sim_s = to_seconds(window);
+  r.digest = counters_digest(clos.fabric());
+  for (const auto& h : clos.fabric().hosts()) {
+    r.messages_completed += h->rdma().stats().messages_completed;
+    r.bytes_received += h->rdma().stats().bytes_received;
+  }
+  return r;
+}
+
+long peak_rss_kib() {
+  struct rusage ru{};
+  getrusage(RUSAGE_SELF, &ru);
+  return ru.ru_maxrss;  // KiB on Linux
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  long ms = bench::env_int("ROCELAB_PERFGATE_MS", 10);
+  std::string json_path;
+  std::string expect_digest;
+  bool twice = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--ms") == 0 && i + 1 < argc) {
+      ms = std::atol(argv[++i]);
+    } else if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+      json_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--expect-digest") == 0 && i + 1 < argc) {
+      expect_digest = argv[++i];
+    } else if (std::strcmp(argv[i], "--twice") == 0) {
+      twice = true;
+    } else {
+      std::fprintf(stderr,
+                   "usage: perf_gate [--ms N] [--json PATH] [--twice] [--expect-digest HEX]\n");
+      return 2;
+    }
+  }
+
+  bench::print_header("perf gate — seeded Clos macro workload");
+  const GateResult r = run_workload(milliseconds(ms));
+  const double events_per_sec = static_cast<double>(r.events) / r.wall_s;
+  const double wall_per_sim_s = r.wall_s / r.sim_s;
+  const long rss = peak_rss_kib();
+
+  std::printf("window: %ld ms simulated   wall: %.3f s   cpu: %.3f s\n", ms, r.wall_s, r.cpu_s);
+  std::printf("events: %llu (%llu scheduled; %.0f pending, %zu heap entries at deadline)\n",
+              static_cast<unsigned long long>(r.events),
+              static_cast<unsigned long long>(r.scheduled), static_cast<double>(r.final_pending),
+              r.heap_entries);
+  std::printf("events/sec: %.3fM (%.3fM per cpu-sec)   wall-clock per simulated second: %.2f\n",
+              events_per_sec / 1e6, static_cast<double>(r.events) / r.cpu_s / 1e6,
+              wall_per_sim_s);
+  std::printf("peak RSS: %.1f MiB\n", static_cast<double>(rss) / 1024.0);
+  std::printf("messages completed: %lld   bytes received: %lld\n",
+              static_cast<long long>(r.messages_completed),
+              static_cast<long long>(r.bytes_received));
+  std::printf("determinism digest: %s\n", digest_hex(r.digest).c_str());
+
+  bool ok = true;
+  if (twice) {
+    const GateResult r2 = run_workload(milliseconds(ms));
+    const bool same = r2.digest == r.digest && r2.events == r.events;
+    std::printf("second run digest:  %s (%s)\n", digest_hex(r2.digest).c_str(),
+                same ? "MATCH" : "MISMATCH");
+    ok = ok && same;
+  }
+  if (!expect_digest.empty()) {
+    const bool same = digest_hex(r.digest) == expect_digest;
+    std::printf("expected digest:    %s (%s)\n", expect_digest.c_str(),
+                same ? "MATCH" : "MISMATCH");
+    ok = ok && same;
+  }
+
+  if (!json_path.empty()) {
+    std::FILE* f = std::fopen(json_path.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "perf_gate: cannot write %s\n", json_path.c_str());
+      return 1;
+    }
+    std::fprintf(f,
+                 "{\n"
+                 "  \"bench\": \"simcore_perf_gate\",\n"
+                 "  \"workload\": \"clos 2x2x3x4 + 4 spines, streams + pingmesh + incast\",\n"
+                 "  \"sim_ms\": %ld,\n"
+                 "  \"events\": %llu,\n"
+                 "  \"wall_seconds\": %.6f,\n"
+                 "  \"cpu_seconds\": %.6f,\n"
+                 "  \"events_per_sec\": %.0f,\n"
+                 "  \"events_per_cpu_sec\": %.0f,\n"
+                 "  \"wall_per_sim_second\": %.3f,\n"
+                 "  \"peak_rss_mib\": %.1f,\n"
+                 "  \"messages_completed\": %lld,\n"
+                 "  \"determinism_digest\": \"%s\"\n"
+                 "}\n",
+                 ms, static_cast<unsigned long long>(r.events), r.wall_s, r.cpu_s,
+                 events_per_sec, static_cast<double>(r.events) / r.cpu_s,
+                 wall_per_sim_s, static_cast<double>(rss) / 1024.0,
+                 static_cast<long long>(r.messages_completed), digest_hex(r.digest).c_str());
+    std::fclose(f);
+    std::printf("wrote %s\n", json_path.c_str());
+  }
+  return ok ? 0 : 1;
+}

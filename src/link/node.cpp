@@ -1,35 +1,32 @@
 #include "src/link/node.h"
 
-#include <atomic>
-
 namespace rocelab {
 
-namespace {
-NodeId next_node_id() {
-  static std::atomic<NodeId> next{1};
-  return next.fetch_add(1);
-}
-}  // namespace
-
+// Node ids come from the owning Simulator so that identically constructed
+// fabrics — even within one process — get identical ids, and therefore
+// identical MACs, ECMP seeds, and RNG streams.
 Node::Node(Simulator& sim, std::string name)
-    : sim_(sim), name_(std::move(name)), id_(next_node_id()) {}
+    : sim_(sim), name_(std::move(name)), id_(sim.allocate_node_id()) {}
 
 EgressPort& Node::add_port() {
+  // Locally administered unicast MAC: 02:00:<node id:3B>:<port:1B>.
+  // Precomputed here so the forwarding path reads a cached value.
+  macs_.push_back(MacAddr::from_u64((0x020000000000ull) |
+                                    (static_cast<std::uint64_t>(id_) << 8) |
+                                    static_cast<std::uint64_t>(port_count() & 0xff)));
   ports_.push_back(std::make_unique<EgressPort>(sim_, *this, port_count()));
   return *ports_.back();
 }
 
 MacAddr Node::port_mac(int i) const {
-  // Locally administered unicast MAC: 02:00:<node id:3B>:<port:1B>.
-  return MacAddr::from_u64((0x020000000000ull) | (static_cast<std::uint64_t>(id_) << 8) |
-                           static_cast<std::uint64_t>(i & 0xff));
+  return macs_.at(static_cast<std::size_t>(i));
 }
 
-void Node::deliver(Packet pkt, int in_port) {
-  if (rx_tap) rx_tap(pkt, in_port);
+void Node::deliver(PooledPacket pp, int in_port) {
+  if (rx_tap) rx_tap(*pp, in_port);
   auto& counters = port(in_port).counters();
-  if (pkt.kind == PacketKind::kPfcPause) {
-    PfcFrame frame = pkt.pfc.value_or(PfcFrame{});
+  if (pp->kind == PacketKind::kPfcPause) {
+    PfcFrame frame = pp->pfc.value_or(PfcFrame{});
     for (int p = 0; p < kNumPriorities; ++p) {
       if (!frame.enabled(p)) continue;
       ++counters.rx_pause[static_cast<std::size_t>(p)];
@@ -38,10 +35,10 @@ void Node::deliver(Packet pkt, int in_port) {
     on_pause_rx(in_port, frame);
     return;  // pause frames are link-local, never forwarded
   }
-  const auto prio = static_cast<std::size_t>(pkt.priority);
+  const auto prio = static_cast<std::size_t>(pp->priority);
   ++counters.rx_packets[prio];
-  counters.rx_bytes[prio] += pkt.frame_bytes;
-  handle_packet(std::move(pkt), in_port);
+  counters.rx_bytes[prio] += pp->frame_bytes;
+  handle_packet(std::move(pp), in_port);
 }
 
 void Node::set_link_up(int port_index, bool up) {

@@ -9,6 +9,7 @@
 
 #include "src/link/port.h"
 #include "src/net/packet.h"
+#include "src/net/packet_pool.h"
 #include "src/sim/simulator.h"
 
 namespace rocelab {
@@ -25,7 +26,7 @@ class Node {
   /// Entry point from the wire. Counts rx, intercepts PFC pause frames
   /// (applying them to the egress side of `in_port`), then dispatches to
   /// handle_packet().
-  void deliver(Packet pkt, int in_port);
+  void deliver(PooledPacket pp, int in_port);
 
   EgressPort& add_port();
   [[nodiscard]] EgressPort& port(int i) { return *ports_.at(static_cast<std::size_t>(i)); }
@@ -69,7 +70,10 @@ class Node {
   std::function<void(const Packet&, int in_port)> rx_tap;
 
  protected:
-  virtual void handle_packet(Packet pkt, int in_port) = 0;
+  /// Box-threaded: the packet rides in one pooled box from the moment it
+  /// is enqueued until it is consumed; every layer hands the 8-byte box
+  /// along instead of copying (or even moving) the 200+-byte Packet.
+  virtual void handle_packet(PooledPacket pp, int in_port) = 0;
 
  private:
   Simulator& sim_;
@@ -78,6 +82,7 @@ class Node {
   bool allow_pause_tx_ = true;
   Time last_pause_tx_ = -1;
   std::vector<std::unique_ptr<EgressPort>> ports_;
+  std::vector<MacAddr> macs_;  // per-port MACs, precomputed in add_port()
 };
 
 /// Wire two nodes' ports together, full duplex, same speed both ways.

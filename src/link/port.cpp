@@ -1,9 +1,11 @@
 #include "src/link/port.h"
 
 #include <algorithm>
+#include <bit>
 #include <stdexcept>
 
 #include "src/link/node.h"
+#include "src/net/packet_pool.h"
 
 namespace rocelab {
 
@@ -19,26 +21,24 @@ void EgressPort::connect(Node* peer, int peer_port, Bandwidth bandwidth, Time pr
   peer_port_ = peer_port;
   bandwidth_ = bandwidth;
   prop_delay_ = prop_delay;
+  peer_mac_ = peer->port_mac(peer_port);
+  ps_per_byte_ = (8 * kSecond) % bandwidth == 0 ? (8 * kSecond) / bandwidth : 0;
 }
 
-MacAddr EgressPort::peer_mac() const {
-  if (peer_ == nullptr) throw std::logic_error("peer_mac on unconnected port");
-  return peer_->port_mac(peer_port_);
-}
-
-void EgressPort::enqueue(Packet pkt) {
+void EgressPort::enqueue(PooledPacket pp) {
   if (!link_up_) {
     // Link is down: the packet is lost at the port. on_dequeue keeps the
     // owner's (in, out, pg) accounting consistent; the MMU charge is
     // released when the packet destructs.
-    if (on_dequeue) on_dequeue(pkt, pkt.priority);
+    if (on_dequeue) on_dequeue(*pp, pp->priority);
     ++counters_.link_down_drops;
     return;
   }
-  const auto prio = static_cast<std::size_t>(pkt.priority);
-  queue_bytes_[prio] += pkt.frame_bytes;
-  total_bytes_ += pkt.frame_bytes;
-  queues_[prio].push_back(std::move(pkt));
+  const auto prio = static_cast<std::size_t>(pp->priority);
+  queue_bytes_[prio] += pp->frame_bytes;
+  total_bytes_ += pp->frame_bytes;
+  queues_[prio].push_back(std::move(pp));
+  nonempty_ |= 1u << prio;
   try_send();
 }
 
@@ -47,7 +47,7 @@ void EgressPort::enqueue_control(Packet pkt) {
     ++counters_.link_down_drops;
     return;
   }
-  control_.push_back(std::move(pkt));
+  control_.push_back(acquire_pooled_packet(std::move(pkt)));
   try_send();
 }
 
@@ -78,14 +78,15 @@ void EgressPort::set_up(bool up) {
 std::size_t EgressPort::flush_priority(int prio) {
   const auto i = static_cast<std::size_t>(prio);
   const std::size_t n = queues_[i].size();
-  for (auto& pkt : queues_[i]) {
-    if (on_dequeue) on_dequeue(pkt, prio);
+  for (auto& pp : queues_[i]) {
+    if (on_dequeue) on_dequeue(*pp, prio);
     ++counters_.egress_drops;
   }
   total_bytes_ -= queue_bytes_[i];
   queue_bytes_[i] = 0;
   deficit_[i] = 0;
   queues_[i].clear();
+  nonempty_ &= ~(1u << static_cast<unsigned>(prio));
   return n;
 }
 
@@ -145,40 +146,52 @@ void EgressPort::receive_pause(int prio, std::uint16_t quanta) {
 int EgressPort::pick_queue() {
   // Strict-priority queues first, highest index wins (convention: the
   // real-time class is configured strict at a high priority).
-  for (int p = kNumPriorities - 1; p >= 0; --p) {
-    const auto i = static_cast<std::size_t>(p);
-    if (qcfg_[i].strict && !queues_[i].empty() && !paused(p)) return p;
+  std::uint32_t strict_avail = nonempty_ & strict_mask_;
+  while (strict_avail != 0) {
+    const int p = 31 - std::countl_zero(strict_avail);
+    if (!paused(p)) return p;
+    strict_avail &= ~(1u << static_cast<unsigned>(p));
   }
-  auto eligible = [this](int p) {
-    const auto i = static_cast<std::size_t>(p);
-    return !qcfg_[i].strict && !queues_[i].empty() && !paused(p);
-  };
-  int first_eligible = -1;
-  for (int p = 0; p < kNumPriorities; ++p) {
-    if (eligible(p)) {
-      first_eligible = p;
-      break;
-    }
+  // Eligible = non-strict, non-empty, not paused. Pause state cannot change
+  // inside this call, so the mask is computed once up front.
+  std::uint32_t elig = 0;
+  for (std::uint32_t m = nonempty_ & ~strict_mask_; m != 0; m &= m - 1) {
+    const int p = std::countr_zero(m);
+    if (!paused(p)) elig |= 1u << static_cast<unsigned>(p);
   }
-  if (first_eligible < 0) return -1;
+  if (elig == 0) return -1;
+  const int first_eligible = std::countr_zero(elig);
 
   // Deficit round robin: a queue receives its quantum once per visit of the
   // round-robin pointer and is served for as long as its deficit covers the
-  // head-of-line packet.
-  for (int attempts = 0; attempts < 2 * kNumPriorities; ++attempts) {
-    const int p = rr_next_;
-    const auto i = static_cast<std::size_t>(p);
-    if (eligible(p)) {
-      const std::int64_t head = queues_[i].front().frame_bytes;
-      if (deficit_[i] >= head) return p;
-      if (!rr_granted_) {
-        rr_granted_ = true;
-        deficit_[i] += kDwrrQuantumBytes * std::max(1, qcfg_[i].weight);
-        if (deficit_[i] >= head) return p;
-      }
+  // head-of-line packet. A visit to an ineligible queue only advances the
+  // pointer and clears the grant flag, so runs of them are applied in one
+  // jump — state after the jump is identical to stepping through them.
+  int attempts = 0;
+  while (attempts < 2 * kNumPriorities) {
+    if (((elig >> static_cast<unsigned>(rr_next_)) & 1u) == 0) {
+      const auto r = static_cast<unsigned>(rr_next_);
+      const std::uint32_t rot =
+          ((elig >> r) | (elig << (static_cast<unsigned>(kNumPriorities) - r))) & 0xffu;
+      int dist = std::countr_zero(rot);  // >= 1: bit 0 of rot is rr_next_'s, known clear
+      const int budget = 2 * kNumPriorities - attempts;
+      if (dist > budget) dist = budget;  // don't visit past the attempt cap
+      attempts += dist;
+      rr_next_ = (rr_next_ + dist) % kNumPriorities;
+      rr_granted_ = false;
+      continue;  // re-check the cap before the eligible visit
+    }
+    const auto i = static_cast<std::size_t>(rr_next_);
+    const std::int64_t head = queues_[i].front()->frame_bytes;
+    if (deficit_[i] >= head) return rr_next_;
+    if (!rr_granted_) {
+      rr_granted_ = true;
+      deficit_[i] += kDwrrQuantumBytes * std::max(1, qcfg_[i].weight);
+      if (deficit_[i] >= head) return rr_next_;
     }
     rr_next_ = (rr_next_ + 1) % kNumPriorities;
     rr_granted_ = false;
+    ++attempts;
   }
   // Degenerate configs (e.g. quantum never covering a jumbo head): don't
   // wedge the port — serve the first eligible queue.
@@ -187,52 +200,60 @@ int EgressPort::pick_queue() {
 
 void EgressPort::try_send() {
   if (busy_ || peer_ == nullptr || !link_up_) return;
+  // Fast path for the common "kicked while empty" case (every dequeue fires
+  // on_drain, which often finds nothing new to send).
+  if (control_.empty() && total_bytes_ == 0) return;
 
-  Packet pkt;
+  PooledPacket pp;
   bool is_control = false;
   if (!control_.empty()) {
-    pkt = std::move(control_.front());
+    pp = std::move(control_.front());
     control_.pop_front();
     is_control = true;
   } else {
     const int p = pick_queue();
     if (p < 0) return;
     const auto i = static_cast<std::size_t>(p);
-    pkt = std::move(queues_[i].front());
+    pp = std::move(queues_[i].front());
     queues_[i].pop_front();
-    queue_bytes_[i] -= pkt.frame_bytes;
-    total_bytes_ -= pkt.frame_bytes;
-    deficit_[i] -= pkt.frame_bytes;
-    if (queues_[i].empty()) deficit_[i] = 0;
-    if (on_dequeue) on_dequeue(pkt, p);
-    pkt.charge.reset();  // this copy is leaving the device: release its share
+    queue_bytes_[i] -= pp->frame_bytes;
+    total_bytes_ -= pp->frame_bytes;
+    deficit_[i] -= pp->frame_bytes;
+    if (queues_[i].empty()) {
+      deficit_[i] = 0;
+      nonempty_ &= ~(1u << i);
+    }
+    if (on_dequeue) on_dequeue(*pp, p);
+    pp->charge.reset();  // this copy is leaving the device: release its share
   }
 
-  const auto prio = static_cast<std::size_t>(pkt.priority);
-  if (is_control && pkt.kind == PacketKind::kPfcPause) {
+  const auto prio = static_cast<std::size_t>(pp->priority);
+  if (is_control && pp->kind == PacketKind::kPfcPause) {
     for (int p = 0; p < kNumPriorities; ++p) {
-      if (pkt.pfc && pkt.pfc->enabled(p)) ++counters_.tx_pause[static_cast<std::size_t>(p)];
+      if (pp->pfc && pp->pfc->enabled(p)) ++counters_.tx_pause[static_cast<std::size_t>(p)];
     }
   } else {
     ++counters_.tx_packets[prio];
-    counters_.tx_bytes[prio] += pkt.frame_bytes;
+    counters_.tx_bytes[prio] += pp->frame_bytes;
   }
 
-  const Time ser = serialization_time(pkt.frame_bytes + kWireOverheadBytes, bandwidth_);
+  const Time ser = ser_time(pp->frame_bytes + kWireOverheadBytes);
   busy_ = true;
   sim_.schedule_in(ser, [this] {
     busy_ = false;
     try_send();
   });
   // Delivery is gated on the link epoch: if the link goes down (and maybe
-  // back up) while the packet is in flight, the packet is lost.
+  // back up) while the packet is in flight, the packet is lost. The packet
+  // rides in a pooled box so the closure stays inside the event core's
+  // inline buffer (no per-packet allocation on the transmit path).
   sim_.schedule_in(ser + prop_delay_,
-                   [this, epoch = link_epoch_, pkt = std::move(pkt)]() mutable {
+                   [this, epoch = link_epoch_, pp = std::move(pp)]() mutable {
                      if (!link_up_ || epoch != link_epoch_ || peer_ == nullptr) {
                        ++counters_.link_down_drops;
                        return;
                      }
-                     peer_->deliver(std::move(pkt), peer_port_);
+                     peer_->deliver(std::move(pp), peer_port_);
                    });
   // Notify at dequeue time — this is when queue room actually appears.
   // (Reentrant enqueues are safe: busy_ is already set.)

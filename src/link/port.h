@@ -8,9 +8,11 @@
 #include <cstdint>
 #include <deque>
 #include <functional>
+#include <stdexcept>
 
 #include "src/common/units.h"
 #include "src/net/packet.h"
+#include "src/net/packet_pool.h"
 #include "src/sim/simulator.h"
 
 namespace rocelab {
@@ -79,7 +81,11 @@ class EgressPort {
   /// True if the port can carry traffic right now: wired and link up.
   [[nodiscard]] bool usable() const { return peer_ != nullptr && link_up_; }
 
-  void enqueue(Packet pkt);          // data path, queue chosen by pkt.priority
+  /// Data path; the queue is chosen by the packet's priority. The pooled
+  /// overload is the real one — a packet is boxed once when it first
+  /// enters a queue and rides the same box across all later hops.
+  void enqueue(PooledPacket pp);
+  void enqueue(Packet pkt) { enqueue(acquire_pooled_packet(std::move(pkt))); }
   void enqueue_control(Packet pkt);  // PFC frames: strict, unpausable
 
   /// Apply a received PFC pause for `prio`: quanta==0 resumes (XON).
@@ -98,12 +104,22 @@ class EgressPort {
   [[nodiscard]] std::size_t queued_packets(int prio) const { return queues_[static_cast<std::size_t>(prio)].size(); }
   [[nodiscard]] std::size_t control_queued() const { return control_.size(); }
 
-  void set_queue_config(int prio, QueueConfig cfg) { qcfg_[static_cast<std::size_t>(prio)] = cfg; }
+  void set_queue_config(int prio, QueueConfig cfg) {
+    qcfg_[static_cast<std::size_t>(prio)] = cfg;
+    if (cfg.strict) {
+      strict_mask_ |= 1u << static_cast<unsigned>(prio);
+    } else {
+      strict_mask_ &= ~(1u << static_cast<unsigned>(prio));
+    }
+  }
   [[nodiscard]] const QueueConfig& queue_config(int prio) const { return qcfg_[static_cast<std::size_t>(prio)]; }
 
   [[nodiscard]] Node* peer() const { return peer_; }
   [[nodiscard]] int peer_port() const { return peer_port_; }
-  [[nodiscard]] MacAddr peer_mac() const;
+  [[nodiscard]] MacAddr peer_mac() const {
+    if (peer_ == nullptr) throw std::logic_error("peer_mac on unconnected port");
+    return peer_mac_;
+  }
   [[nodiscard]] Bandwidth bandwidth() const { return bandwidth_; }
   [[nodiscard]] Time prop_delay() const { return prop_delay_; }
   [[nodiscard]] int index() const { return index_; }
@@ -120,12 +136,19 @@ class EgressPort {
   std::function<void()> on_drain;
 
   /// Time one PFC pause quantum lasts at this port's speed (512 bit times).
-  [[nodiscard]] Time quantum_time() const { return serialization_time(64, bandwidth_); }
+  [[nodiscard]] Time quantum_time() const { return ser_time(64); }
 
  private:
   void try_send();
   void settle_pause(int prio);
   int pick_queue();
+
+  /// serialization_time() for this port's speed, via a cached multiplier
+  /// when the rate divides 8e12 exactly (every real link speed does); the
+  /// generic 128-bit division only runs for odd test-only rates.
+  [[nodiscard]] Time ser_time(std::int64_t bytes) const {
+    return ps_per_byte_ != 0 ? bytes * ps_per_byte_ : serialization_time(bytes, bandwidth_);
+  }
 
   Simulator& sim_;
   Node& owner_;
@@ -134,15 +157,24 @@ class EgressPort {
   int peer_port_ = -1;
   Bandwidth bandwidth_ = gbps(40);
   Time prop_delay_ = 0;
+  MacAddr peer_mac_{};   // cached at connect(); node ids and MACs are immutable
+  Time ps_per_byte_ = 0; // 0 when bandwidth_ does not divide 8e12 exactly
   bool link_up_ = true;
   /// Bumped on every up/down transition; in-flight deliveries from an older
   /// epoch are discarded (the photons died with the link).
   std::uint64_t link_epoch_ = 0;
 
-  std::array<std::deque<Packet>, kNumPriorities> queues_;
-  std::deque<Packet> control_;
+  // Queues hold pooled boxes: queue churn and the transmit closure move a
+  // pointer, not a 200+-byte Packet.
+  std::array<std::deque<PooledPacket>, kNumPriorities> queues_;
+  std::deque<PooledPacket> control_;
   std::array<std::int64_t, kNumPriorities> queue_bytes_{};
   std::int64_t total_bytes_ = 0;
+  /// Bit p set iff queues_[p] is non-empty; mirrors the deques exactly so
+  /// the scheduler scans a word instead of eight deque headers.
+  std::uint32_t nonempty_ = 0;
+  /// Bit p set iff qcfg_[p].strict.
+  std::uint32_t strict_mask_ = 0;
   std::array<QueueConfig, kNumPriorities> qcfg_{};
   std::array<std::int64_t, kNumPriorities> deficit_{};
   int rr_next_ = 0;

@@ -1,0 +1,77 @@
+#include "src/monitor/digest.h"
+
+#include <cstdio>
+
+#include "src/topo/fabric.h"
+
+namespace rocelab {
+
+namespace {
+
+void add_port_counters(CounterDigest& d, const EgressPort& port) {
+  const PortCounters& c = port.counters();
+  for (int p = 0; p < kNumPriorities; ++p) {
+    const auto i = static_cast<std::size_t>(p);
+    d.add_i64(c.tx_packets[i]);
+    d.add_i64(c.tx_bytes[i]);
+    d.add_i64(c.rx_packets[i]);
+    d.add_i64(c.rx_bytes[i]);
+    d.add_i64(c.tx_pause[i]);
+    d.add_i64(c.rx_pause[i]);
+    d.add_i64(c.paused_time[i]);
+  }
+  d.add_i64(c.ingress_drops);
+  d.add_i64(c.headroom_overflow_drops);
+  d.add_i64(c.egress_drops);
+  d.add_i64(c.arp_incomplete_drops);
+  d.add_i64(c.mac_mismatch_drops);
+  d.add_i64(c.link_down_drops);
+}
+
+}  // namespace
+
+std::uint64_t counters_digest(const Fabric& fabric) {
+  CounterDigest d;
+  for (const auto& sw : fabric.switches()) {
+    for (int p = 0; p < sw->port_count(); ++p) add_port_counters(d, sw->port(p));
+    d.add_i64(sw->flood_events());
+    d.add_i64(sw->arp_miss_drops());
+    d.add_i64(sw->route_failovers());
+    d.add_i64(sw->no_route_drops());
+    d.add_i64(sw->filtered_drops());
+    d.add_i64(sw->watchdog_trips());
+    d.add_i64(sw->l2_mode_drops());
+    d.add_i64(sw->reboots());
+    d.add_i64(sw->matrix_queued_total());
+  }
+  for (const auto& h : fabric.hosts()) {
+    for (int p = 0; p < h->port_count(); ++p) add_port_counters(d, h->port(p));
+    const RdmaNicStats& s = h->rdma().stats();
+    d.add_i64(s.data_packets_sent);
+    d.add_i64(s.data_packets_retx);
+    d.add_i64(s.acks_sent);
+    d.add_i64(s.naks_sent);
+    d.add_i64(s.rnr_naks_sent);
+    d.add_i64(s.rnr_naks_received);
+    d.add_i64(s.cnps_sent);
+    d.add_i64(s.cnps_received);
+    d.add_i64(s.messages_completed);
+    d.add_i64(s.bytes_completed);
+    d.add_i64(s.messages_received);
+    d.add_i64(s.bytes_received);
+    d.add_i64(s.out_of_order_drops);
+    d.add_i64(s.timeouts);
+    d.add_i64(s.qp_errors);
+    d.add_i64(h->rx_queue_bytes());
+    d.add_i64(h->watchdog_trips());
+  }
+  return d.value();
+}
+
+std::string digest_hex(std::uint64_t digest) {
+  char buf[20];
+  std::snprintf(buf, sizeof(buf), "%016llx", static_cast<unsigned long long>(digest));
+  return buf;
+}
+
+}  // namespace rocelab

@@ -1,0 +1,40 @@
+// Determinism digest: an order-sensitive FNV-1a hash over every observable
+// counter in a fabric (port counters, switch-level drop/flood/failover
+// counters, NIC transport stats). Two runs of the same seeded workload must
+// produce the same digest; the perf gate asserts this across optimization
+// changes and CI asserts it across repeated runs.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace rocelab {
+
+class Fabric;
+
+/// Incremental FNV-1a (64-bit) over a stream of integers.
+class CounterDigest {
+ public:
+  void add(std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) {
+      h_ ^= (v >> (8 * i)) & 0xff;
+      h_ *= 0x100000001b3ull;
+    }
+  }
+  void add_i64(std::int64_t v) { add(static_cast<std::uint64_t>(v)); }
+
+  [[nodiscard]] std::uint64_t value() const { return h_; }
+
+ private:
+  std::uint64_t h_ = 0xcbf29ce484222325ull;
+};
+
+/// Digest of all final counters of `fabric`, in construction order: for each
+/// switch every port's counters plus the switch-level counters, then for
+/// each host its port counters and RDMA NIC stats. Excludes wall-clock and
+/// event-count metrics so the digest captures observable behaviour only.
+[[nodiscard]] std::uint64_t counters_digest(const Fabric& fabric);
+
+[[nodiscard]] std::string digest_hex(std::uint64_t digest);
+
+}  // namespace rocelab

@@ -11,23 +11,38 @@ std::uint64_t mix64(std::uint64_t x) {
   return x ^ (x >> 31);
 }
 
-std::uint64_t five_tuple_hash(const Packet& p, std::uint64_t seed) {
-  std::uint64_t h = seed;
-  if (p.ip) {
-    h = mix64(h ^ p.ip->src.value);
-    h = mix64(h ^ p.ip->dst.value);
-    h = mix64(h ^ p.ip->protocol);
+Packet::FlowTuple Packet::extract_flow_tuple() const {
+  FlowTuple t;
+  if (ip) {
+    t.has_ip = true;
+    t.src = ip->src.value;
+    t.dst = ip->dst.value;
+    t.proto = ip->protocol;
   }
   std::uint32_t sport = 0, dport = 0;
-  if (p.udp) {
-    sport = p.udp->src_port;
-    dport = p.udp->dst_port;
-  } else if (p.tcp) {
-    sport = p.tcp->src_port;
-    dport = p.tcp->dst_port;
+  if (udp) {
+    sport = udp->src_port;
+    dport = udp->dst_port;
+  } else if (tcp) {
+    sport = tcp->src_port;
+    dport = tcp->dst_port;
   }
-  h = mix64(h ^ (static_cast<std::uint64_t>(sport) << 16 | dport));
-  return h;
+  t.ports = sport << 16 | dport;
+  return t;
+}
+
+std::uint64_t five_tuple_hash(const Packet& p, std::uint64_t seed) {
+  // Seed is mixed in sequentially, so the result cannot be cached across
+  // switches — only the tuple extraction is (see Packet::flow_tuple). The
+  // mix chain below is bit-identical to the original optional-probing form.
+  const Packet::FlowTuple& t = p.flow_tuple();
+  std::uint64_t h = seed;
+  if (t.has_ip) {
+    h = mix64(h ^ t.src);
+    h = mix64(h ^ t.dst);
+    h = mix64(h ^ t.proto);
+  }
+  return mix64(h ^ t.ports);
 }
 
 std::string Packet::summary() const {

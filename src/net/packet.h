@@ -55,7 +55,37 @@ struct Packet {
   /// switch on admission; used for buffer-dependency diagnostics).
   int mmu_in_port = -1;
 
+  /// The fields five_tuple_hash() actually feeds into the mixer, extracted
+  /// once per packet. ECMP hashes the same packet at every tier (with a
+  /// different per-switch seed); caching the extraction skips the repeated
+  /// std::optional probing without changing any hash value.
+  struct FlowTuple {
+    std::uint32_t src = 0;
+    std::uint32_t dst = 0;
+    std::uint32_t ports = 0;  // (sport << 16) | dport; UDP preferred over TCP
+    std::uint8_t proto = 0;
+    bool has_ip = false;
+  };
+
+  /// Memoized flow-tuple extraction. Copies carry the cache (headers travel
+  /// with them). Code that mutates ip/udp/tcp after the packet has been
+  /// hashed must call invalidate_flow_cache().
+  [[nodiscard]] const FlowTuple& flow_tuple() const {
+    if (!flow_cached_) {
+      flow_cache_ = extract_flow_tuple();
+      flow_cached_ = true;
+    }
+    return flow_cache_;
+  }
+  void invalidate_flow_cache() { flow_cached_ = false; }
+
   [[nodiscard]] std::string summary() const;
+
+ private:
+  [[nodiscard]] FlowTuple extract_flow_tuple() const;
+
+  mutable FlowTuple flow_cache_;
+  mutable bool flow_cached_ = false;
 };
 
 /// Deterministic 5-tuple hash used for ECMP next-hop selection. `seed`

@@ -1,0 +1,82 @@
+#include "src/net/packet_pool.h"
+
+#include <vector>
+
+#if defined(__SANITIZE_ADDRESS__)
+#define ROCELAB_PACKET_POOL_DISABLED 1
+#elif defined(__has_feature)
+#if __has_feature(address_sanitizer)
+#define ROCELAB_PACKET_POOL_DISABLED 1
+#endif
+#endif
+
+namespace rocelab {
+
+namespace {
+
+// Bounded so a transient burst (e.g. an incast fan-in) does not pin memory
+// for the rest of the run.
+constexpr std::size_t kMaxIdle = 4096;
+
+struct FreeList {
+  std::vector<Packet*> idle;
+  ~FreeList() {
+    for (Packet* p : idle) delete p;
+  }
+};
+
+FreeList& free_list() {
+  thread_local FreeList fl;
+  return fl;
+}
+
+}  // namespace
+
+namespace detail {
+
+void release_pooled_packet(Packet* p) noexcept {
+  if (p == nullptr) return;
+#ifdef ROCELAB_PACKET_POOL_DISABLED
+  delete p;
+#else
+  // Reset before pooling: the MMU charge (and anything else the packet
+  // holds) is released now, exactly when an unpooled Packet would destruct.
+  // Destroy + placement-new is markedly cheaper than move-assigning a
+  // default Packet (no member-by-member engaged checks).
+  p->~Packet();
+  ::new (static_cast<void*>(p)) Packet();
+  FreeList& fl = free_list();
+  if (fl.idle.size() < kMaxIdle) {
+    fl.idle.push_back(p);
+  } else {
+    delete p;
+  }
+#endif
+}
+
+}  // namespace detail
+
+PooledPacket acquire_pooled_packet(Packet&& pkt) {
+#ifdef ROCELAB_PACKET_POOL_DISABLED
+  return PooledPacket(new Packet(std::move(pkt)));
+#else
+  FreeList& fl = free_list();
+  if (!fl.idle.empty()) {
+    Packet* p = fl.idle.back();
+    fl.idle.pop_back();
+    *p = std::move(pkt);
+    return PooledPacket(p);
+  }
+  return PooledPacket(new Packet(std::move(pkt)));
+#endif
+}
+
+std::size_t packet_pool_idle_count() {
+#ifdef ROCELAB_PACKET_POOL_DISABLED
+  return 0;
+#else
+  return free_list().idle.size();
+#endif
+}
+
+}  // namespace rocelab

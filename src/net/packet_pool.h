@@ -1,0 +1,40 @@
+// PacketPool: a thread-local free list of heap Packets for closures that
+// carry a packet across simulated time (wire flight, delayed TCP delivery).
+//
+// A Packet is too large for InlineCallback's inline buffer, so a closure
+// capturing one by value would fall back to a per-event heap allocation —
+// exactly the cost the event core eliminated. Boxing the packet in a
+// PooledPacket keeps the closure small (one pointer) and recycles the box,
+// so the steady-state transmit path performs no allocations at all.
+//
+// Recycling is disabled under AddressSanitizer: pooled storage would mask
+// use-after-free bugs that a plain new/delete cycle lets ASan catch.
+#pragma once
+
+#include <memory>
+
+#include "src/net/packet.h"
+
+namespace rocelab {
+
+namespace detail {
+void release_pooled_packet(Packet* p) noexcept;
+}  // namespace detail
+
+struct PacketPoolDeleter {
+  void operator()(Packet* p) const noexcept { detail::release_pooled_packet(p); }
+};
+
+/// Owning handle to a pooled Packet. Destruction resets the packet (dropping
+/// its MMU charge and headers at the normal time) and returns the storage to
+/// the pool.
+using PooledPacket = std::unique_ptr<Packet, PacketPoolDeleter>;
+
+/// Move `pkt` into pooled storage (recycled if available, freshly allocated
+/// otherwise).
+[[nodiscard]] PooledPacket acquire_pooled_packet(Packet&& pkt);
+
+/// Number of boxes currently idle in this thread's pool (test hook).
+[[nodiscard]] std::size_t packet_pool_idle_count();
+
+}  // namespace rocelab

@@ -45,16 +45,16 @@ bool Host::tx_has_room(int priority) const {
   return port(0).queued_bytes(priority) < cfg_.tx_queue_cap;
 }
 
-void Host::handle_packet(Packet pkt, int in_port) {
+void Host::handle_packet(PooledPacket pp, int in_port) {
   (void)in_port;
   if (dead_) return;
-  if (!pkt.eth.dst.is_broadcast() && pkt.eth.dst != mac()) return;  // flooded copy
+  if (!pp->eth.dst.is_broadcast() && pp->eth.dst != mac()) return;  // flooded copy
   if (storm_) return;  // §4.3: the receive pipeline is not handling packets
 
-  pkt.charge.reset();  // no switch accounting inside the host
-  pkt.mmu_in_port = -1;
-  rx_bytes_ += pkt.frame_bytes;
-  rx_queue_.push_back(std::move(pkt));
+  pp->charge.reset();  // no switch accounting inside the host
+  pp->mmu_in_port = -1;
+  rx_bytes_ += pp->frame_bytes;
+  rx_queue_.push_back(std::move(pp));
   update_rx_pause();
   if (!rx_processing_) process_next_rx();
 }
@@ -76,18 +76,18 @@ void Host::process_next_rx() {
     return;
   }
   rx_processing_ = true;
-  const Time t = rx_processing_time(rx_queue_.front());
+  const Time t = rx_processing_time(*rx_queue_.front());
   sim().schedule_in(t, [this] {
     if (rx_queue_.empty()) {  // flushed meanwhile
       rx_processing_ = false;
       return;
     }
-    Packet pkt = std::move(rx_queue_.front());
+    PooledPacket pp = std::move(rx_queue_.front());
     rx_queue_.pop_front();
-    rx_bytes_ -= pkt.frame_bytes;
+    rx_bytes_ -= pp->frame_bytes;
     last_rx_processed_ = sim().now();
     update_rx_pause();
-    finish_rx(std::move(pkt));
+    finish_rx(std::move(*pp));
     process_next_rx();
   });
 }

@@ -74,7 +74,7 @@ class Host : public Node {
   Rng& rng() { return rng_; }
 
  protected:
-  void handle_packet(Packet pkt, int in_port) override;
+  void handle_packet(PooledPacket pp, int in_port) override;
 
  private:
   void process_next_rx();
@@ -101,7 +101,7 @@ class Host : public Node {
   bool pxe_boot_ = false;
   EventId storm_ev_ = kInvalidEventId;
 
-  std::deque<Packet> rx_queue_;
+  std::deque<PooledPacket> rx_queue_;
   std::int64_t rx_bytes_ = 0;
   bool rx_processing_ = false;
   bool rx_pause_sent_ = false;

@@ -1,0 +1,122 @@
+// InlineCallback: a move-only callable with small-buffer optimization, used
+// as the simulator's event callback type. Closures up to kInlineBytes are
+// stored inline (zero heap traffic on the schedule/fire path); larger ones
+// fall back to a single heap box. Unlike std::function it accepts move-only
+// closures, so packets can be threaded through timer events without copies.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace rocelab {
+
+class InlineCallback {
+ public:
+  /// Sized so every hot-path closure in the simulator (a `this` pointer plus
+  /// a few ints, a pooled packet handle, or a std::function) stays inline.
+  static constexpr std::size_t kInlineBytes = 48;
+
+  InlineCallback() noexcept = default;
+
+  template <typename F>
+    requires(!std::is_same_v<std::remove_cvref_t<F>, InlineCallback> &&
+             std::is_invocable_r_v<void, std::remove_cvref_t<F>&>)
+  InlineCallback(F&& f) {  // NOLINT(google-explicit-constructor): callable adoption
+    using D = std::remove_cvref_t<F>;
+    if constexpr (sizeof(D) <= kInlineBytes && alignof(D) <= alignof(std::max_align_t) &&
+                  std::is_nothrow_move_constructible_v<D>) {
+      ::new (static_cast<void*>(buf_)) D(std::forward<F>(f));
+      ops_ = ops_for<D>();
+    } else {
+      ::new (static_cast<void*>(buf_)) Boxed<D>{std::make_unique<D>(std::forward<F>(f))};
+      ops_ = ops_for<Boxed<D>>();
+    }
+  }
+
+  InlineCallback(InlineCallback&& other) noexcept : ops_(other.ops_) {
+    if (ops_ != nullptr) {
+      ops_->relocate(other.buf_, buf_);
+      other.ops_ = nullptr;
+    }
+  }
+
+  InlineCallback& operator=(InlineCallback&& other) noexcept {
+    if (this != &other) {
+      reset();
+      ops_ = other.ops_;
+      if (ops_ != nullptr) {
+        ops_->relocate(other.buf_, buf_);
+        other.ops_ = nullptr;
+      }
+    }
+    return *this;
+  }
+
+  InlineCallback(const InlineCallback&) = delete;
+  InlineCallback& operator=(const InlineCallback&) = delete;
+
+  ~InlineCallback() { reset(); }
+
+  void reset() noexcept {
+    if (ops_ != nullptr) {
+      ops_->destroy(buf_);
+      ops_ = nullptr;
+    }
+  }
+
+  void operator()() { ops_->invoke(buf_); }
+
+  /// Fire path: move the closure out of this object, invoke it, destroy it —
+  /// one virtual dispatch instead of three (move, call, destruct). Leaves
+  /// this callback empty. The move-out matters: the caller's storage may be
+  /// reused by whatever the closure schedules.
+  void consume_and_invoke() {
+    const Ops* ops = ops_;
+    ops_ = nullptr;
+    ops->fire(buf_);
+  }
+
+  [[nodiscard]] explicit operator bool() const noexcept { return ops_ != nullptr; }
+
+ private:
+  struct Ops {
+    void (*invoke)(void*);
+    void (*fire)(void* src);                          // move out, invoke, destroy
+    void (*relocate)(void* src, void* dst) noexcept;  // move-construct dst, destroy src
+    void (*destroy)(void*) noexcept;
+  };
+
+  /// Heap fallback for closures that exceed the inline buffer: the box
+  /// itself (one pointer) is stored inline.
+  template <typename D>
+  struct Boxed {
+    std::unique_ptr<D> ptr;
+    void operator()() { (*ptr)(); }
+  };
+
+  template <typename D>
+  static const Ops* ops_for() noexcept {
+    static constexpr Ops ops{
+        [](void* o) { (*static_cast<D*>(o))(); },
+        [](void* src) {
+          D local(std::move(*static_cast<D*>(src)));
+          static_cast<D*>(src)->~D();
+          local();
+        },
+        [](void* src, void* dst) noexcept {
+          ::new (dst) D(std::move(*static_cast<D*>(src)));
+          static_cast<D*>(src)->~D();
+        },
+        [](void* o) noexcept { static_cast<D*>(o)->~D(); },
+    };
+    return &ops;
+  }
+
+  alignas(std::max_align_t) unsigned char buf_[kInlineBytes];
+  const Ops* ops_ = nullptr;
+};
+
+}  // namespace rocelab

@@ -1,40 +1,163 @@
 #include "src/sim/simulator.h"
 
+#include <algorithm>
 #include <stdexcept>
 
 namespace rocelab {
 
+void Simulator::heap_push(HeapKey key, HeapRef ref) {
+  std::size_t i = keys_.size();
+  keys_.push_back(key);  // placeholder; the hole migrates up
+  refs_.push_back(ref);
+  while (i > 0) {
+    const std::size_t parent = (i - 1) >> 2;
+    if (!earlier(key, keys_[parent])) break;
+    keys_[i] = keys_[parent];
+    refs_[i] = refs_[parent];
+    i = parent;
+  }
+  keys_[i] = key;
+  refs_[i] = ref;
+}
+
+void Simulator::heap_pop_front() {
+  const HeapKey last_key = keys_.back();
+  const HeapRef last_ref = refs_.back();
+  keys_.pop_back();
+  refs_.pop_back();
+  const std::size_t n = keys_.size();
+  if (n == 0) return;
+  // Bottom-up variant: walk the min-child path all the way to a leaf
+  // without comparing against `last` (it came from the bottom, so it
+  // almost always belongs near a leaf — comparing at every level buys an
+  // early exit that rarely triggers and costs a hard-to-predict branch),
+  // then bubble `last` up from the leaf hole. The final arrangement can
+  // differ from the top-down variant's, but any valid heap pops the same
+  // sequence: the order is strict and total, so the minimum is unique.
+  std::size_t i = 0;
+  for (;;) {
+    const std::size_t first_child = 4 * i + 1;
+    if (first_child >= n) break;
+    std::size_t min_child = first_child;
+    const std::size_t end = std::min(first_child + 4, n);
+    for (std::size_t c = first_child + 1; c < end; ++c) {
+      if (earlier(keys_[c], keys_[min_child])) min_child = c;
+    }
+    keys_[i] = keys_[min_child];
+    refs_[i] = refs_[min_child];
+    i = min_child;
+  }
+  while (i > 0) {
+    const std::size_t parent = (i - 1) >> 2;
+    if (!earlier(last_key, keys_[parent])) break;
+    keys_[i] = keys_[parent];
+    refs_[i] = refs_[parent];
+    i = parent;
+  }
+  keys_[i] = last_key;
+  refs_[i] = last_ref;
+}
+
+void Simulator::sift_down(std::size_t i) {
+  const std::size_t n = keys_.size();
+  const HeapKey key = keys_[i];
+  const HeapRef ref = refs_[i];
+  std::size_t hole = i;
+  for (;;) {
+    const std::size_t first_child = 4 * hole + 1;
+    if (first_child >= n) break;
+    std::size_t min_child = first_child;
+    const std::size_t end = std::min(first_child + 4, n);
+    for (std::size_t c = first_child + 1; c < end; ++c) {
+      if (earlier(keys_[c], keys_[min_child])) min_child = c;
+    }
+    if (!earlier(keys_[min_child], key)) break;
+    keys_[hole] = keys_[min_child];
+    refs_[hole] = refs_[min_child];
+    hole = min_child;
+  }
+  keys_[hole] = key;
+  refs_[hole] = ref;
+}
+
+void Simulator::compact_heap() {
+  // Filter stale entries in place, releasing their slot reservations.
+  std::size_t w = 0;
+  for (std::size_t r = 0; r < keys_.size(); ++r) {
+    const HeapRef ref = refs_[r];
+    if (slots_[ref.slot].gen != ref.gen) {
+      free_.push_back(ref.slot);
+      continue;
+    }
+    keys_[w] = keys_[r];
+    refs_[w] = ref;
+    ++w;
+  }
+  keys_.resize(w);
+  refs_.resize(w);
+  // Floyd heapify, last internal node first. The resulting arrangement may
+  // differ from incremental pushes, but pop order doesn't: the order is
+  // strict and total, so every valid heap yields the same sequence.
+  if (w > 1) {
+    for (std::size_t i = (w - 2) / 4 + 1; i-- > 0;) sift_down(i);
+  }
+}
+
 EventId Simulator::schedule_at(Time at, Callback cb) {
   if (at < now_) throw std::invalid_argument("schedule_at in the past");
-  const EventId id = next_id_++;
-  heap_.push(Entry{at, id, std::move(cb)});
-  return id;
+  // Amortized O(1): a compaction pass runs at most once per ~live_/2
+  // schedules, and each pass is linear in the heap size.
+  if (keys_.size() >= 128 && keys_.size() - live_ > live_) compact_heap();
+  std::uint32_t slot;
+  if (!free_.empty()) {
+    slot = free_.back();
+    free_.pop_back();
+  } else {
+    slot = static_cast<std::uint32_t>(slots_.size());
+    slots_.emplace_back();
+  }
+  Slot& s = slots_[slot];
+  s.cb = std::move(cb);
+  heap_push(make_key(at, seq_++), HeapRef{slot, s.gen});
+  ++live_;
+  return encode(slot, s.gen);
 }
 
 void Simulator::cancel(EventId id) {
-  if (id != kInvalidEventId) cancelled_.insert(id);
+  const std::uint64_t slot_plus1 = id >> 32;
+  if (slot_plus1 == 0 || slot_plus1 > slots_.size()) return;  // invalid/foreign id
+  Slot& s = slots_[static_cast<std::size_t>(slot_plus1 - 1)];
+  if (s.gen != static_cast<std::uint32_t>(id)) return;  // already fired or cancelled
+  ++s.gen;       // retire the id; the heap entry is now stale
+  s.cb.reset();  // release captured resources right away
+  --live_;
+}
+
+bool Simulator::purge_stale_top() {
+  while (!keys_.empty()) {
+    const HeapRef top = refs_.front();
+    if (slots_[top.slot].gen == top.gen) return true;
+    free_.push_back(top.slot);  // the stale entry owned the slot reservation
+    heap_pop_front();
+  }
+  return false;
 }
 
 bool Simulator::step() {
-  if (heap_.empty()) cancelled_.clear();  // purge stale cancellations
-  while (!heap_.empty()) {
-    // priority_queue::top() is const; the callback is moved out right before
-    // pop, which is safe because no other accessor observes the entry.
-    Entry& top = const_cast<Entry&>(heap_.top());
-    if (auto it = cancelled_.find(top.id); it != cancelled_.end()) {
-      cancelled_.erase(it);
-      heap_.pop();
-      continue;
-    }
-    now_ = top.at;
-    Callback cb = std::move(top.cb);
-    heap_.pop();
-    ++executed_;
-    cb();
-    return true;
-  }
-  cancelled_.clear();
-  return false;
+  if (!purge_stale_top()) return false;
+  const HeapKey key = keys_.front();
+  const HeapRef item = refs_.front();
+  heap_pop_front();
+  Slot& s = slots_[item.slot];
+  now_ = key_time(key);
+  ++s.gen;  // retire the id before invoking: cancel-from-within is a no-op
+  free_.push_back(item.slot);
+  --live_;
+  ++executed_;
+  // Moves the closure out (slot storage may be reused reentrantly by
+  // whatever it schedules), invokes, destroys — one dispatch.
+  s.cb.consume_and_invoke();
+  return true;
 }
 
 void Simulator::run() {
@@ -46,21 +169,8 @@ void Simulator::run() {
 void Simulator::run_until(Time deadline) {
   stopped_ = false;
   while (!stopped_) {
-    // Peek for the next live event without executing past the deadline.
-    while (!heap_.empty()) {
-      const Entry& top = heap_.top();
-      if (auto it = cancelled_.find(top.id); it != cancelled_.end()) {
-        cancelled_.erase(it);
-        heap_.pop();
-        continue;
-      }
-      break;
-    }
-    if (heap_.empty()) {
-      cancelled_.clear();
-      break;
-    }
-    if (heap_.top().at > deadline) break;
+    if (!purge_stale_top()) break;
+    if (key_time(keys_.front()) > deadline) break;
     step();
   }
   if (now_ < deadline) now_ = deadline;

@@ -3,24 +3,37 @@
 // A Simulator owns a priority queue of timestamped events. Components
 // schedule closures; insertion order breaks ties so execution is fully
 // deterministic. Events can be cancelled through the returned EventId.
+//
+// Internals are built for the hot path:
+//  - Callbacks are InlineCallback (small-buffer optimized, move-only): the
+//    common [this, a-few-ints] closures never touch the heap.
+//  - Event storage is a slab of slots recycled through a free list; the heap
+//    itself orders 24-byte PODs, so sift-down moves no closures.
+//  - Cancellation is a generation tag bump on the slot: O(1), no hashing on
+//    the fire path, and the closure is destroyed at cancel time. The stale
+//    heap entry is skimmed off lazily when it reaches the top.
+// Tie-breaking by a monotonically increasing sequence number preserves the
+// seed-stable FIFO-within-timestamp order of the original implementation.
 #pragma once
 
 #include <cstdint>
-#include <functional>
-#include <queue>
-#include <unordered_set>
 #include <vector>
 
 #include "src/common/units.h"
+#include "src/sim/inline_callback.h"
 
 namespace rocelab {
 
+/// Opaque handle to a scheduled event: (slot+1) in the high 32 bits, the
+/// slot's generation in the low 32. Zero is never a valid id, and ids are
+/// never reused (slot reuse bumps the generation), so cancelling a stale id
+/// is always a harmless no-op.
 using EventId = std::uint64_t;
 inline constexpr EventId kInvalidEventId = 0;
 
 class Simulator {
  public:
-  using Callback = std::function<void()>;
+  using Callback = InlineCallback;
 
   Simulator() = default;
   Simulator(const Simulator&) = delete;
@@ -36,6 +49,7 @@ class Simulator {
 
   /// Cancel a pending event. Cancelling an already-fired or unknown id is a
   /// harmless no-op (timers race with the events that would cancel them).
+  /// The closure is destroyed immediately, releasing anything it captured.
   void cancel(EventId id);
 
   /// Run until the event queue drains or stop() is called.
@@ -45,34 +59,82 @@ class Simulator {
   void run_until(Time deadline);
   void stop() { stopped_ = true; }
 
-  /// Upper bound on live (non-cancelled) scheduled events. Exact whenever
-  /// every cancelled id was actually pending; stale cancellations (of
-  /// already-fired events) are purged whenever the queue drains.
-  [[nodiscard]] std::size_t pending_events() const {
-    return heap_.size() >= cancelled_.size() ? heap_.size() - cancelled_.size() : 0;
-  }
+  /// Exact count of live (scheduled and not cancelled or fired) events.
+  [[nodiscard]] std::size_t pending_events() const { return live_; }
   [[nodiscard]] std::uint64_t executed_events() const { return executed_; }
+  /// Total schedule_at calls so far (fired + cancelled + pending).
+  [[nodiscard]] std::uint64_t scheduled_events() const { return seq_ - 1; }
+  /// Heap entries, live and stale-cancelled; minus pending_events() this is
+  /// the lazy-cancel debt the queue is currently carrying.
+  [[nodiscard]] std::size_t queued_entries() const { return keys_.size(); }
+
+  /// Hand out device ids. Per-simulator (not process-global) so that two
+  /// fabrics built in the same process — e.g. the perf gate's determinism
+  /// double-run — assign identical ids, MACs, and derived seeds.
+  [[nodiscard]] std::uint32_t allocate_node_id() { return next_node_id_++; }
 
  private:
-  struct Entry {
-    Time at;
-    EventId id;
+  /// One recyclable unit of event storage. A slot is owned by exactly one
+  /// heap entry from schedule until that entry pops (fired or stale); cancel
+  /// disarms the slot (gen bump + closure destruction) but leaves the
+  /// reservation to the pending heap entry.
+  struct Slot {
     Callback cb;
+    std::uint32_t gen = 0;
   };
-  struct Later {
-    bool operator()(const Entry& a, const Entry& b) const {
-      return a.at != b.at ? a.at > b.at : a.id > b.id;
-    }
+  /// The heap is stored structure-of-arrays: the ordering key in one array,
+  /// the slot reference it carries in a parallel one. Sift comparisons only
+  /// ever touch keys_, so a 4-child scan reads one cache line instead of
+  /// two; refs_ is touched once per level to mirror moves.
+  ///
+  /// The key packs (time << 64) | seq into one 128-bit integer: time is
+  /// non-negative (schedule_at rejects the past) and seq is unique, so
+  /// unsigned lexicographic order on the packed value IS the event order —
+  /// time first, insertion sequence as the tie-break — and earlier()
+  /// compiles to a single branchless wide compare.
+  using HeapKey = unsigned __int128;
+  static HeapKey make_key(Time at, std::uint64_t seq) {
+    return (static_cast<HeapKey>(static_cast<std::uint64_t>(at)) << 64) | seq;
+  }
+  static Time key_time(HeapKey k) { return static_cast<Time>(static_cast<std::uint64_t>(k >> 64)); }
+  struct HeapRef {
+    std::uint32_t slot;
+    std::uint32_t gen;
   };
+  /// Strict total order on events: the minimum — and therefore the pop
+  /// order — is fully determined regardless of the heap's arrangement.
+  static bool earlier(HeapKey a, HeapKey b) { return a < b; }
+
+  static EventId encode(std::uint32_t slot, std::uint32_t gen) {
+    return (static_cast<EventId>(slot) + 1) << 32 | gen;
+  }
+
+  // 4-ary min-heap: half the sift-down depth of a binary heap and the four
+  // children's keys share a cache line, which is where event-queue time goes.
+  void heap_push(HeapKey key, HeapRef ref);
+  void heap_pop_front();
+  void sift_down(std::size_t i);
+  /// Drop stale (cancelled) entries and re-heapify. Far-future timers that
+  /// were cancelled otherwise linger until their time arrives, and the dead
+  /// weight deepens every sift; compaction caps it at ~50% of the heap.
+  void compact_heap();
 
   bool step();  // executes one event; false when queue empty
+  /// Skim cancelled entries off the heap top, releasing their slots.
+  /// Returns true if a live event remains at the top. Shared by step() and
+  /// run_until() so the lazy-cancel policy lives in exactly one place.
+  bool purge_stale_top();
 
   Time now_ = 0;
-  EventId next_id_ = 1;
+  std::uint64_t seq_ = 1;  // insertion order; tie-breaks equal timestamps
   std::uint64_t executed_ = 0;
+  std::size_t live_ = 0;
   bool stopped_ = false;
-  std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
-  std::unordered_set<EventId> cancelled_;
+  std::uint32_t next_node_id_ = 1;
+  std::vector<HeapKey> keys_;  // heap order lives here
+  std::vector<HeapRef> refs_;  // parallel array: refs_[i] belongs to keys_[i]
+  std::vector<Slot> slots_;
+  std::vector<std::uint32_t> free_;
 };
 
 }  // namespace rocelab

@@ -2,10 +2,59 @@
 
 #include <algorithm>
 #include <unordered_map>
+#include <vector>
 
 #include "src/common/log.h"
 
+#if defined(__SANITIZE_ADDRESS__)
+#define ROCELAB_CHARGE_POOL_DISABLED 1
+#elif defined(__has_feature)
+#if __has_feature(address_sanitizer)
+#define ROCELAB_CHARGE_POOL_DISABLED 1
+#endif
+#endif
+
 namespace rocelab {
+
+namespace {
+
+/// Freelist allocator for the Charge control block: one is allocated per
+/// admitted packet, so the malloc/free pair on that path is worth pooling.
+/// Recycling is disabled under ASan so lifetime bugs stay visible.
+template <typename T>
+struct ChargeAlloc {
+  using value_type = T;
+  ChargeAlloc() = default;
+  template <class U>
+  ChargeAlloc(const ChargeAlloc<U>&) {}  // NOLINT(google-explicit-constructor)
+
+  static inline thread_local std::vector<void*> free_list;
+  static constexpr std::size_t kMaxIdle = 4096;
+
+  T* allocate(std::size_t n) {
+#if !defined(ROCELAB_CHARGE_POOL_DISABLED)
+    if (n == 1 && !free_list.empty()) {
+      void* p = free_list.back();
+      free_list.pop_back();
+      return static_cast<T*>(p);
+    }
+#endif
+    return static_cast<T*>(::operator new(n * sizeof(T)));
+  }
+  void deallocate(T* p, std::size_t n) {
+#if !defined(ROCELAB_CHARGE_POOL_DISABLED)
+    if (n == 1 && free_list.size() < kMaxIdle) {
+      free_list.push_back(p);
+      return;
+    }
+#endif
+    ::operator delete(p);
+  }
+  bool operator==(const ChargeAlloc&) const { return true; }
+  bool operator!=(const ChargeAlloc&) const { return false; }
+};
+
+}  // namespace
 
 /// RAII token for bytes admitted to the MMU. Copies of a flooded packet
 /// share one token; the buffer is released when the last copy leaves the
@@ -19,6 +68,16 @@ struct Switch::Charge {
   std::int64_t shared;
   std::int64_t headroom;
   std::int64_t reserved;
+
+  Charge(Switch* sw_in, std::shared_ptr<bool> alive_in, int port_in, int pg_in,
+         std::int64_t shared_in, std::int64_t headroom_in, std::int64_t reserved_in)
+      : sw(sw_in),
+        alive(std::move(alive_in)),
+        port(port_in),
+        pg(pg_in),
+        shared(shared_in),
+        headroom(headroom_in),
+        reserved(reserved_in) {}
 
   ~Charge() {
     if (!*alive) return;
@@ -115,7 +174,8 @@ int Switch::route_lookup(const Packet& pkt) const {
   return survivors[h % survivors.size()];
 }
 
-void Switch::handle_packet(Packet pkt, int in_port) {
+void Switch::handle_packet(PooledPacket pp, int in_port) {
+  Packet& pkt = *pp;
   // L2 receive filter: we are an IP router on every port, so a frame not
   // addressed to this port's MAC is dropped (flooded copies of §4.2 that
   // escaped toward the fabric die here).
@@ -163,15 +223,17 @@ void Switch::handle_packet(Packet pkt, int in_port) {
     return;
   }
   pkt.mmu_in_port = in_port;
-  pkt.charge = std::shared_ptr<void>(new Charge{this, alive_, in_port, pkt.priority,
-                                                admission.to_shared, admission.to_headroom,
-                                                admission.to_reserved});
+  // allocate_shared: one pooled allocation for token + control block.
+  pkt.charge = std::allocate_shared<Charge>(ChargeAlloc<Charge>{}, this, alive_, in_port,
+                                            pkt.priority, admission.to_shared,
+                                            admission.to_headroom, admission.to_reserved);
   after_admit(in_port, pkt.priority);
 
-  forward(std::move(pkt), in_port);
+  forward(std::move(pp), in_port);
 }
 
-void Switch::forward(Packet pkt, int in_port) {
+void Switch::forward(PooledPacket pp, int in_port) {
+  Packet& pkt = *pp;
   if (!pkt.ip || pkt.ip->ttl <= 1) {
     ++port(in_port).counters().ingress_drops;
     return;
@@ -184,7 +246,7 @@ void Switch::forward(Packet pkt, int in_port) {
     if (s.contains(pkt.ip->dst) && (local == nullptr || s.length > local->length)) local = &s;
   }
   if (local != nullptr) {
-    deliver_local(std::move(pkt), in_port, *local);
+    deliver_local(std::move(pp), in_port, *local);
     return;
   }
 
@@ -203,10 +265,11 @@ void Switch::forward(Packet pkt, int in_port) {
   }
   pkt.eth.src = port_mac(out);
   pkt.eth.dst = port(out).peer_mac();
-  enqueue_egress(std::move(pkt), out);
+  enqueue_egress(std::move(pp), out);
 }
 
-void Switch::deliver_local(Packet pkt, int in_port, Ipv4Prefix subnet) {
+void Switch::deliver_local(PooledPacket pp, int in_port, Ipv4Prefix subnet) {
+  Packet& pkt = *pp;
   (void)subnet;
   const auto mac = arp_.lookup(pkt.ip->dst, sim().now());
   if (!mac) {
@@ -230,21 +293,21 @@ void Switch::deliver_local(Packet pkt, int in_port, Ipv4Prefix subnet) {
       return;
     }
     pkt.eth.dst = *mac;
-    flood(std::move(pkt), in_port);
+    flood(std::move(pp), in_port);
     return;
   }
   pkt.eth.src = port_mac(*out);
   pkt.eth.dst = *mac;
-  enqueue_egress(std::move(pkt), *out);
+  enqueue_egress(std::move(pp), *out);
 }
 
-void Switch::flood(Packet pkt, int in_port) {
+void Switch::flood(PooledPacket pp, int in_port) {
   ++flood_events_;
   for (int p = 0; p < port_count(); ++p) {
     if (p == in_port || !port(p).usable()) continue;
-    Packet copy = pkt;  // copies share the MMU charge token
-    copy.flooded = true;
-    copy.eth.src = port_mac(p);
+    PooledPacket copy = acquire_pooled_packet(Packet(*pp));  // copies share the MMU charge token
+    copy->flooded = true;
+    copy->eth.src = port_mac(p);
     enqueue_egress(std::move(copy), p);
   }
 }
@@ -262,7 +325,8 @@ void Switch::ecn_mark(Packet& pkt, int out_port) const {
   if (rng_.bernoulli(p)) pkt.ip->ecn = Ecn::kCe;
 }
 
-void Switch::enqueue_egress(Packet pkt, int out_port) {
+void Switch::enqueue_egress(PooledPacket pp, int out_port) {
+  Packet& pkt = *pp;
   // §4.3 watchdog: lossless packets *to* a disabled port are discarded.
   if (pkt.lossless && watchdog_[static_cast<std::size_t>(out_port)].disabled) {
     ++port(out_port).counters().egress_drops;
@@ -270,7 +334,7 @@ void Switch::enqueue_egress(Packet pkt, int out_port) {
   }
   ecn_mark(pkt, out_port);
   matrix_[midx(pkt.mmu_in_port, out_port, pkt.priority)] += pkt.frame_bytes;
-  port(out_port).enqueue(std::move(pkt));
+  port(out_port).enqueue(std::move(pp));
 }
 
 // --- PFC generation ---------------------------------------------------------

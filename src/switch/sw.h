@@ -108,7 +108,7 @@ class Switch : public Node {
   void on_link_change(int port, bool up) override;
 
  protected:
-  void handle_packet(Packet pkt, int in_port) override;
+  void handle_packet(PooledPacket pp, int in_port) override;
 
  private:
   struct Route {
@@ -132,10 +132,10 @@ class Switch : public Node {
 
   void classify(Packet& pkt) const;
   [[nodiscard]] int route_lookup(const Packet& pkt) const;  // -1 if none
-  void forward(Packet pkt, int in_port);
-  void deliver_local(Packet pkt, int in_port, Ipv4Prefix subnet);
-  void flood(Packet pkt, int in_port);
-  void enqueue_egress(Packet pkt, int out_port);
+  void forward(PooledPacket pp, int in_port);
+  void deliver_local(PooledPacket pp, int in_port, Ipv4Prefix subnet);
+  void flood(PooledPacket pp, int in_port);
+  void enqueue_egress(PooledPacket pp, int out_port);
   void ecn_mark(Packet& pkt, int out_port) const;
 
   void after_admit(int in_port, int pg);

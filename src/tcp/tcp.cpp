@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "src/net/packet_pool.h"
 #include "src/nic/host.h"
 
 namespace rocelab {
@@ -126,8 +127,8 @@ void TcpStack::send_segment(Conn& c, std::uint64_t seq, std::int32_t len, bool i
   const Time out = std::max(host_.sim().now() + kernel_delay(c.cfg.kernel),
                             c.last_kernel_out + nanoseconds(1));
   c.last_kernel_out = out;
-  host_.sim().schedule_at(out, [this, pkt = std::move(pkt)]() mutable {
-    host_.send_frame(std::move(pkt));
+  host_.sim().schedule_at(out, [this, pp = acquire_pooled_packet(std::move(pkt))]() mutable {
+    host_.send_frame(std::move(*pp));
   });
   arm_rto(c);
 }
@@ -154,8 +155,8 @@ void TcpStack::send_ack(Conn& c) {
   pkt.tcp = h;
   ++stats_.acks_sent;
   // ACK generation is cheap relative to the data path: base cost only.
-  host_.sim().schedule_in(c.cfg.kernel.base / 4, [this, pkt = std::move(pkt)]() mutable {
-    host_.send_frame(std::move(pkt));
+  host_.sim().schedule_in(c.cfg.kernel.base / 4, [this, pp = acquire_pooled_packet(std::move(pkt))]() mutable {
+    host_.send_frame(std::move(*pp));
   });
 }
 

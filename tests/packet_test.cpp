@@ -1,0 +1,172 @@
+// Packet metadata: summary() rendering, the ECMP five-tuple hash and its
+// memoized flow-tuple cache, the pooled-packet free list, and cross-fabric
+// determinism of the counter digest.
+#include <gtest/gtest.h>
+
+#include <utility>
+
+#include "src/monitor/digest.h"
+#include "src/net/packet.h"
+#include "src/net/packet_pool.h"
+#include "tests/testutil.h"
+
+namespace rocelab {
+namespace {
+
+using testing::StarTopology;
+
+Packet udp_packet() {
+  Packet pkt;
+  pkt.kind = PacketKind::kRaw;
+  pkt.ip = Ipv4Header{};
+  pkt.ip->src = Ipv4Addr::from_octets(10, 0, 0, 1);
+  pkt.ip->dst = Ipv4Addr::from_octets(10, 0, 0, 2);
+  pkt.ip->protocol = kIpProtoUdp;
+  pkt.udp = UdpHeader{4791, 4791, 0};
+  return pkt;
+}
+
+TEST(PacketSummary, WithIpHeader) {
+  Packet pkt = udp_packet();
+  pkt.kind = PacketKind::kRoceData;
+  pkt.priority = 3;
+  pkt.frame_bytes = 1086;
+  pkt.bth = RoceBth{};
+  pkt.bth->psn = 42;
+  const std::string s = pkt.summary();
+  EXPECT_NE(s.find("roce-data"), std::string::npos) << s;
+  EXPECT_NE(s.find("10.0.0.1->10.0.0.2"), std::string::npos) << s;
+  EXPECT_NE(s.find("prio=3"), std::string::npos) << s;
+  EXPECT_NE(s.find("bytes=1086"), std::string::npos) << s;
+  EXPECT_NE(s.find("psn=42"), std::string::npos) << s;
+}
+
+TEST(PacketSummary, WithoutIpFallsBackToMacs) {
+  Packet pkt;  // no ip header at all (e.g. a PFC pause frame)
+  pkt.kind = PacketKind::kPfcPause;
+  pkt.frame_bytes = 64;
+  pkt.eth.src = MacAddr::from_u64(0x020000000101ull);
+  pkt.eth.dst = MacAddr::pfc_multicast();
+  const std::string s = pkt.summary();
+  EXPECT_NE(s.find("pfc-pause"), std::string::npos) << s;
+  EXPECT_NE(s.find("bytes=64"), std::string::npos) << s;
+  EXPECT_EQ(s.find("psn"), std::string::npos) << s;
+}
+
+TEST(FiveTupleHash, NoHeadersDegeneratesToMixedSeed) {
+  // A headerless packet has no IP fields and ports == 0: the chain reduces
+  // to a single mix of the seed.
+  Packet pkt;
+  EXPECT_EQ(five_tuple_hash(pkt, 0x1234u), mix64(0x1234u ^ 0u));
+}
+
+TEST(FiveTupleHash, PrefersUdpPortsOverTcp) {
+  Packet pkt = udp_packet();
+  Packet with_tcp = udp_packet();
+  with_tcp.tcp = TcpHeaderMeta{};
+  with_tcp.tcp->src_port = 999;
+  with_tcp.tcp->dst_port = 888;
+  // UDP ports win when both header kinds are present.
+  EXPECT_EQ(five_tuple_hash(pkt, 7), five_tuple_hash(with_tcp, 7));
+
+  Packet tcp_only = udp_packet();
+  tcp_only.udp.reset();
+  tcp_only.tcp = TcpHeaderMeta{};
+  tcp_only.tcp->src_port = 4791;
+  tcp_only.tcp->dst_port = 4791;
+  // Same port values through TCP hash identically (only values are mixed).
+  EXPECT_EQ(five_tuple_hash(pkt, 7), five_tuple_hash(tcp_only, 7));
+}
+
+TEST(FiveTupleHash, IpWithoutPortsStillMixesAddresses) {
+  Packet pkt = udp_packet();
+  pkt.udp.reset();  // ip present, no L4 header: ports word is zero
+  Packet other = udp_packet();
+  other.udp.reset();
+  other.ip->dst = Ipv4Addr::from_octets(10, 0, 0, 3);
+  EXPECT_NE(five_tuple_hash(pkt, 7), five_tuple_hash(other, 7));
+  EXPECT_NE(five_tuple_hash(pkt, 7), five_tuple_hash(Packet{}, 7));
+}
+
+TEST(FiveTupleHash, SeedChangesHash) {
+  Packet pkt = udp_packet();
+  EXPECT_NE(five_tuple_hash(pkt, 1), five_tuple_hash(pkt, 2));
+}
+
+TEST(FiveTupleHash, CacheMustBeInvalidatedAfterHeaderMutation) {
+  Packet pkt = udp_packet();
+  const std::uint64_t before = five_tuple_hash(pkt, 7);  // warms the cache
+  pkt.ip->dst = Ipv4Addr::from_octets(10, 0, 0, 99);
+  // Documented contract: without invalidation the memoized tuple is stale.
+  EXPECT_EQ(five_tuple_hash(pkt, 7), before);
+  pkt.invalidate_flow_cache();
+  Packet fresh = udp_packet();
+  fresh.ip->dst = Ipv4Addr::from_octets(10, 0, 0, 99);
+  EXPECT_EQ(five_tuple_hash(pkt, 7), five_tuple_hash(fresh, 7));
+  EXPECT_NE(five_tuple_hash(pkt, 7), before);
+}
+
+TEST(PacketPool, BoxPreservesContents) {
+  Packet pkt = udp_packet();
+  pkt.priority = 5;
+  pkt.frame_bytes = 1500;
+  PooledPacket pp = acquire_pooled_packet(std::move(pkt));
+  ASSERT_TRUE(pp);
+  EXPECT_EQ(pp->priority, 5);
+  EXPECT_EQ(pp->frame_bytes, 1500);
+  ASSERT_TRUE(pp->ip);
+  EXPECT_EQ(pp->ip->dst, Ipv4Addr::from_octets(10, 0, 0, 2));
+}
+
+TEST(PacketPool, ReleaseReturnsBoxToPool) {
+  [[maybe_unused]] const std::size_t idle_before = packet_pool_idle_count();
+  {
+    PooledPacket pp = acquire_pooled_packet(udp_packet());
+    ASSERT_TRUE(pp);
+  }
+#if defined(__SANITIZE_ADDRESS__)
+  // Recycling is disabled under ASan; the box is freed outright.
+  EXPECT_EQ(packet_pool_idle_count(), 0u);
+#else
+  EXPECT_GE(packet_pool_idle_count(), idle_before);
+  // A fresh acquire drains the pool rather than allocating.
+  const std::size_t idle_mid = packet_pool_idle_count();
+  if (idle_mid > 0) {
+    PooledPacket pp = acquire_pooled_packet(Packet{});
+    EXPECT_EQ(packet_pool_idle_count(), idle_mid - 1);
+  }
+#endif
+}
+
+TEST(PacketPool, RecycledBoxIsReset) {
+  Packet pkt = udp_packet();
+  pkt.priority = 6;
+  { PooledPacket pp = acquire_pooled_packet(std::move(pkt)); }
+  PooledPacket pp2 = acquire_pooled_packet(Packet{});
+  // Whether or not the storage was recycled, the box must hold a
+  // default-constructed packet, not leftovers.
+  EXPECT_EQ(pp2->priority, 0);
+  EXPECT_FALSE(pp2->ip);
+  EXPECT_FALSE(pp2->udp);
+}
+
+// Two identically built fabrics in one process must produce identical
+// counter digests: node ids (and the MACs, ECMP seeds, and RNG streams
+// derived from them) are allocated per-Simulator, not process-globally.
+TEST(Determinism, TwoFabricsInOneProcessSameDigest) {
+  auto run_one = [] {
+    StarTopology topo(2);
+    QpConfig qp;
+    auto [qa, qb] = connect_qp_pair(*topo.hosts[0], *topo.hosts[1], qp);
+    (void)qb;
+    topo.hosts[0]->rdma().post_send(qa, 64 * kKiB, 1);
+    topo.sim().run_until(milliseconds(2));
+    return counters_digest(*topo.fabric);
+  };
+  const std::uint64_t first = run_one();
+  const std::uint64_t second = run_one();
+  EXPECT_EQ(digest_hex(first), digest_hex(second));
+}
+
+}  // namespace
+}  // namespace rocelab

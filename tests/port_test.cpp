@@ -15,9 +15,9 @@ class SinkNode : public Node {
   std::vector<Packet> received;
 
  protected:
-  void handle_packet(Packet pkt, int in_port) override {
+  void handle_packet(PooledPacket pp, int in_port) override {
     (void)in_port;
-    received.push_back(std::move(pkt));
+    received.push_back(std::move(*pp));
   }
 };
 
@@ -26,7 +26,7 @@ class SourceNode : public Node {
   SourceNode(Simulator& sim, std::string name) : Node(sim, std::move(name)) { add_port(); }
 
  protected:
-  void handle_packet(Packet, int) override {}
+  void handle_packet(PooledPacket, int) override {}
 };
 
 Packet data_packet(int priority, std::int64_t bytes = 1086) {

@@ -1,5 +1,8 @@
 #include <gtest/gtest.h>
 
+#include <array>
+#include <memory>
+#include <utility>
 #include <vector>
 
 #include "src/sim/simulator.h"
@@ -128,6 +131,129 @@ TEST(Simulator, PendingEventsAccountsForCancellations) {
   EXPECT_EQ(sim.pending_events(), 1u);
   sim.run();
   EXPECT_EQ(sim.pending_events(), 0u);
+}
+
+TEST(Simulator, PendingEventsExactAfterStaleCancel) {
+  // Cancelling an already-fired id must not disturb the count — the stale
+  // entry is gone; only the two live events remain.
+  Simulator sim;
+  const EventId fired = sim.schedule_at(1, [] {});
+  sim.run();
+  sim.cancel(fired);  // stale: no-op
+  sim.schedule_at(2, [] {});
+  sim.schedule_at(3, [] {});
+  EXPECT_EQ(sim.pending_events(), 2u);
+}
+
+TEST(Simulator, CancelAfterFireDoesNotKillSlotReuse) {
+  // The storage slot of a fired event is recycled for the next schedule.
+  // A late cancel() of the *old* id must not cancel the *new* event that
+  // happens to occupy the same slot (generation tags make ids unique).
+  Simulator sim;
+  const EventId old_id = sim.schedule_at(1, [] {});
+  sim.run();
+  bool fired = false;
+  const EventId new_id = sim.schedule_at(2, [&] { fired = true; });
+  EXPECT_NE(old_id, new_id);
+  sim.cancel(old_id);  // stale id aimed at a reused slot: must be a no-op
+  sim.run();
+  EXPECT_TRUE(fired);
+}
+
+TEST(Simulator, DoubleCancelThenReuseIsSafe) {
+  Simulator sim;
+  bool fired = false;
+  const EventId id = sim.schedule_at(nanoseconds(10), [&] { fired = true; });
+  sim.cancel(id);
+  sim.cancel(id);  // second cancel of the same id: no-op
+  const EventId id2 = sim.schedule_at(nanoseconds(5), [&] { fired = true; });
+  sim.cancel(id);  // still aimed at the retired generation: no-op
+  sim.run();
+  EXPECT_TRUE(fired);
+  (void)id2;
+}
+
+TEST(Simulator, ScheduleAtNowRunsAfterCurrentEvent) {
+  // An event scheduled at the current timestamp from inside an event runs
+  // in this same timestep, after everything already queued at that time.
+  Simulator sim;
+  std::vector<int> order;
+  sim.schedule_at(nanoseconds(10), [&] {
+    order.push_back(1);
+    sim.schedule_at(sim.now(), [&] { order.push_back(3); });
+  });
+  sim.schedule_at(nanoseconds(10), [&] { order.push_back(2); });
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(sim.now(), nanoseconds(10));
+}
+
+TEST(Simulator, InterleavedRunUntilDeadlines) {
+  // run_until must be resumable at arbitrary deadlines, including deadlines
+  // between events and deadlines that land exactly on an event, with
+  // events scheduled between the calls.
+  Simulator sim;
+  std::vector<int> fired;
+  sim.schedule_at(microseconds(2), [&] { fired.push_back(2); });
+  sim.schedule_at(microseconds(6), [&] { fired.push_back(6); });
+  sim.run_until(microseconds(1));
+  EXPECT_TRUE(fired.empty());
+  sim.run_until(microseconds(2));  // lands exactly on an event
+  EXPECT_EQ(fired, (std::vector<int>{2}));
+  sim.schedule_at(microseconds(4), [&] { fired.push_back(4); });
+  sim.run_until(microseconds(5));
+  EXPECT_EQ(fired, (std::vector<int>{2, 4}));
+  sim.run_until(microseconds(10));
+  EXPECT_EQ(fired, (std::vector<int>{2, 4, 6}));
+  EXPECT_EQ(sim.now(), microseconds(10));
+}
+
+TEST(Simulator, MoveOnlyCallback) {
+  // The event core accepts move-only closures (std::function could not).
+  Simulator sim;
+  auto payload = std::make_unique<int>(41);
+  int result = 0;
+  sim.schedule_at(1, [p = std::move(payload), &result] { result = *p + 1; });
+  sim.run();
+  EXPECT_EQ(result, 42);
+}
+
+TEST(Simulator, LargeCaptureFallsBackToHeapBox) {
+  // Closures bigger than the inline buffer still work (boxed path).
+  Simulator sim;
+  std::array<std::uint64_t, 16> big{};
+  big[15] = 7;
+  std::uint64_t out = 0;
+  sim.schedule_at(1, [big, &out] { out = big[15]; });
+  sim.run();
+  EXPECT_EQ(out, 7u);
+}
+
+TEST(Simulator, SeededRunsProduceIdenticalExecutionOrder) {
+  // Differential determinism: two identically seeded runs must execute the
+  // same events in the same order, including ties, cancellations, and
+  // events scheduled from within events.
+  auto trace = [] {
+    Simulator sim;
+    std::vector<std::pair<Time, int>> log;
+    std::vector<EventId> ids;
+    for (int i = 0; i < 200; ++i) {
+      const Time at = nanoseconds((i * 37) % 50 + 1);
+      ids.push_back(sim.schedule_at(at, [&log, &sim, i] {
+        log.emplace_back(sim.now(), i);
+      }));
+    }
+    for (int i = 0; i < 200; i += 3) sim.cancel(ids[static_cast<std::size_t>(i)]);
+    sim.schedule_at(nanoseconds(25), [&] {
+      sim.schedule_in(nanoseconds(5), [&log, &sim] { log.emplace_back(sim.now(), -1); });
+    });
+    sim.run();
+    return log;
+  };
+  const auto a = trace();
+  const auto b = trace();
+  EXPECT_EQ(a, b);
+  EXPECT_FALSE(a.empty());
 }
 
 }  // namespace

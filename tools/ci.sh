@@ -16,6 +16,12 @@ run_suite() {
 echo "=== plain build ==="
 run_suite "$repo/build"
 
+echo "=== perf gate (plain build only) ==="
+# Smoke-run the macro benchmark on the seeded Clos workload: asserts the
+# determinism digest twice in-process and records throughput at the repo
+# root. Skipped in the sanitizer pass — instrumented numbers are noise.
+"$repo/build/bench/perf_gate" --ms 10 --twice --json "$repo/BENCH_simcore.json"
+
 echo "=== sanitizer build (ASan+UBSan) ==="
 run_suite "$repo/build-asan" -DROCELAB_SANITIZE=ON
 
