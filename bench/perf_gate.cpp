@@ -9,8 +9,13 @@
 // BENCH_simcore.json at the repo root so the perf trajectory accumulates.
 //
 // Usage:
-//   perf_gate [--ms N] [--json PATH] [--twice] [--expect-digest HEX]
+//   perf_gate [--ms N] [--json PATH] [--twice] [--expect-digest HEX] [--gray-noop]
 //   env: ROCELAB_PERFGATE_MS overrides the default window (--ms wins).
+//
+// --gray-noop re-runs the workload with the whole gray-failure plane
+// installed but disabled (a LinkImpairment on every port, a QpFaultSpec on
+// every NIC) and requires the digest to stay byte-identical: constructing
+// the fault plane must cost zero RNG draws and zero behaviour.
 #include <sys/resource.h>
 
 #include <chrono>
@@ -23,6 +28,7 @@
 #include "bench/bench_util.h"
 #include "src/app/demux.h"
 #include "src/app/traffic.h"
+#include "src/link/impairment.h"
 #include "src/monitor/digest.h"
 #include "src/rocev2/deployment.h"
 
@@ -56,13 +62,36 @@ double cpu_seconds() {
 /// servers, 4 spines) carrying saturating cross-podset streams, an RDMA
 /// pingmesh, and a small incast — the three traffic shapes every experiment
 /// in the paper is built from.
-GateResult run_workload(Time window) {
+GateResult run_workload(Time window, bool gray_noop = false) {
   QosPolicy policy;
   const int tors = 3, servers = 4;
   ClosParams params =
       make_clos_params(policy, DeploymentStage::kFull, /*podsets=*/2, /*leaves=*/2, tors,
                        servers, /*spines=*/4);
   ClosFabric clos(params);
+
+  if (gray_noop) {
+    // Install the entire gray-failure plane, disabled. If any of this ever
+    // costs an RNG draw or an event, the digest comparison below catches it.
+    LinkImpairment imp;
+    imp.enabled = false;
+    imp.fcs_drop_rate = 0.5;
+    imp.blackhole = true;
+    imp.added_delay = milliseconds(1);
+    imp.jitter = microseconds(100);
+    QpFaultSpec spec;
+    spec.enabled = false;
+    spec.drop_rate = 0.5;
+    spec.reorder_rate = 0.5;
+    spec.dup_ack_rate = 0.5;
+    for (auto* sw : clos.fabric().switch_ptrs()) {
+      for (int p = 0; p < sw->port_count(); ++p) sw->port(p).set_impairment(imp);
+    }
+    for (const auto& h : clos.fabric().hosts()) {
+      for (int p = 0; p < h->port_count(); ++p) h->port(p).set_impairment(imp);
+      for (std::uint32_t qpn = 1; qpn <= 4; ++qpn) h->rdma().set_qp_fault(qpn, spec);
+    }
+  }
 
   std::vector<std::unique_ptr<RdmaDemux>> demuxes;
   std::vector<std::unique_ptr<RdmaStreamSource>> sources;
@@ -158,6 +187,7 @@ int main(int argc, char** argv) {
   std::string json_path;
   std::string expect_digest;
   bool twice = false;
+  bool gray_noop = false;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--ms") == 0 && i + 1 < argc) {
       ms = std::atol(argv[++i]);
@@ -167,9 +197,12 @@ int main(int argc, char** argv) {
       expect_digest = argv[++i];
     } else if (std::strcmp(argv[i], "--twice") == 0) {
       twice = true;
+    } else if (std::strcmp(argv[i], "--gray-noop") == 0) {
+      gray_noop = true;
     } else {
       std::fprintf(stderr,
-                   "usage: perf_gate [--ms N] [--json PATH] [--twice] [--expect-digest HEX]\n");
+                   "usage: perf_gate [--ms N] [--json PATH] [--twice] [--expect-digest HEX] "
+                   "[--gray-noop]\n");
       return 2;
     }
   }
@@ -205,6 +238,13 @@ int main(int argc, char** argv) {
   if (!expect_digest.empty()) {
     const bool same = digest_hex(r.digest) == expect_digest;
     std::printf("expected digest:    %s (%s)\n", expect_digest.c_str(),
+                same ? "MATCH" : "MISMATCH");
+    ok = ok && same;
+  }
+  if (gray_noop) {
+    const GateResult rg = run_workload(milliseconds(ms), /*gray_noop=*/true);
+    const bool same = rg.digest == r.digest && rg.events == r.events;
+    std::printf("gray-noop digest:   %s (%s)\n", digest_hex(rg.digest).c_str(),
                 same ? "MATCH" : "MISMATCH");
     ok = ok && same;
   }

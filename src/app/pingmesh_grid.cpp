@@ -1,0 +1,113 @@
+#include "src/app/pingmesh_grid.h"
+
+#include <cstdio>
+#include <sstream>
+#include <stdexcept>
+
+#include "src/nic/rdma_nic.h"
+
+namespace rocelab {
+
+PingmeshGrid::PingmeshGrid(std::vector<Host*> hosts, std::vector<RdmaDemux*> demuxes,
+                           Options opts)
+    : hosts_(std::move(hosts)), opts_(opts), n_(static_cast<int>(hosts_.size())) {
+  if (demuxes.size() != hosts_.size()) {
+    throw std::invalid_argument("PingmeshGrid: one demux per host required");
+  }
+  cells_.resize(static_cast<std::size_t>(n_) * static_cast<std::size_t>(n_));
+  fwd_qpn_.assign(cells_.size(), 0);
+  echo_qpn_.assign(cells_.size(), 0);
+  qpn_to_dst_.resize(hosts_.size());
+
+  // One dedicated QP pair per ordered (src, dst): the request and response
+  // flows get their own UDP source ports, i.e. their own ECMP paths.
+  for (int i = 0; i < n_; ++i) {
+    std::vector<std::uint32_t> probe_qpns;
+    for (int j = 0; j < n_; ++j) {
+      if (i == j) continue;
+      auto [qf, qe] = connect_qp_pair(*hosts_[static_cast<std::size_t>(i)],
+                                      *hosts_[static_cast<std::size_t>(j)], opts_.qp);
+      fwd_qpn_[idx(i, j)] = qf;
+      echo_qpn_[idx(i, j)] = qe;
+      qpn_to_dst_[static_cast<std::size_t>(i)][qf] = j;
+      probe_qpns.push_back(qf);
+      echoes_.push_back(std::make_unique<RdmaEchoServer>(
+          *hosts_[static_cast<std::size_t>(j)], *demuxes[static_cast<std::size_t>(j)], qe,
+          opts_.probe.probe_bytes));
+    }
+    auto mesh = std::make_unique<RdmaPingmesh>(*hosts_[static_cast<std::size_t>(i)],
+                                               *demuxes[static_cast<std::size_t>(i)],
+                                               std::move(probe_qpns), opts_.probe);
+    mesh->set_probe_cb([this, i](std::uint32_t qpn, bool ok, Time rtt) {
+      const auto& map = qpn_to_dst_[static_cast<std::size_t>(i)];
+      auto it = map.find(qpn);
+      if (it == map.end()) return;
+      Cell& c = cells_[idx(i, it->second)];
+      ++c.sent;
+      if (ok) {
+        c.rtt_sum_us += static_cast<double>(rtt) / static_cast<double>(kMicrosecond);
+        ++c.rtt_samples;
+      } else {
+        ++c.failed;
+      }
+      if (outcome_cb_) outcome_cb_(i, it->second, ok, rtt);
+    });
+    meshes_.push_back(std::move(mesh));
+  }
+}
+
+void PingmeshGrid::start() {
+  for (auto& m : meshes_) m->start();
+}
+
+void PingmeshGrid::stop() {
+  for (auto& m : meshes_) m->stop();
+}
+
+bool PingmeshGrid::reachable(int src, int dst) const {
+  if (src == dst) return true;
+  if (hosts_[static_cast<std::size_t>(src)]->rdma().qp_errored(fwd_qpn_[idx(src, dst)])) {
+    return false;
+  }
+  const Cell& c = cells_[idx(src, dst)];
+  if (c.sent == 0) return true;  // no evidence against it yet
+  return c.loss_rate() < opts_.unreachable_loss;
+}
+
+bool PingmeshGrid::asymmetric() const {
+  for (int i = 0; i < n_; ++i) {
+    for (int j = i + 1; j < n_; ++j) {
+      if (reachable(i, j) != reachable(j, i)) return true;
+    }
+  }
+  return false;
+}
+
+std::string PingmeshGrid::matrix_text() const {
+  std::ostringstream os;
+  for (int i = 0; i < n_; ++i) {
+    for (int j = 0; j < n_; ++j) {
+      char buf[16];
+      if (i == j) {
+        std::snprintf(buf, sizeof buf, "   -- ");
+      } else if (hosts_[static_cast<std::size_t>(i)]->rdma().qp_errored(fwd_qpn_[idx(i, j)])) {
+        std::snprintf(buf, sizeof buf, "  ERR ");
+      } else {
+        std::snprintf(buf, sizeof buf, "%5.2f ", cell(i, j).loss_rate());
+      }
+      os << buf;
+    }
+    os << '\n';
+  }
+  return os.str();
+}
+
+std::uint16_t PingmeshGrid::probe_sport(int src, int dst) const {
+  return hosts_[static_cast<std::size_t>(src)]->rdma().qp_sport(fwd_qpn_[idx(src, dst)]);
+}
+
+std::uint16_t PingmeshGrid::echo_sport(int src, int dst) const {
+  return hosts_[static_cast<std::size_t>(dst)]->rdma().qp_sport(echo_qpn_[idx(src, dst)]);
+}
+
+}  // namespace rocelab

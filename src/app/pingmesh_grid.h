@@ -1,0 +1,92 @@
+// PingmeshGrid: the full NxN RDMA Pingmesh of §5.3/§6 — one prober per
+// host, one dedicated QP pair per *ordered* host pair. Because request and
+// response flows of a pair carry different UDP source ports (and each
+// direction of every link is an independent EgressPort), the resulting
+// reachability/latency matrix is genuinely directional: a one-way blackhole
+// shows up as an asymmetric matrix, which is the §6 tell that separates
+// "host down" from "one direction of one path is gone".
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "src/app/traffic.h"
+
+namespace rocelab {
+
+class PingmeshGrid {
+ public:
+  struct Options {
+    RdmaPingmesh::Options probe;  // per-prober interval/timeout/bytes
+    QpConfig qp;                  // config for every probe QP
+    /// cell loss fraction above which reachable() reports false.
+    double unreachable_loss = 0.5;
+  };
+
+  /// One demux per host, same order as `hosts` (the grid shares the hosts'
+  /// existing demuxes rather than clobbering their NIC callbacks).
+  PingmeshGrid(std::vector<Host*> hosts, std::vector<RdmaDemux*> demuxes, Options opts);
+  void start();
+  void stop();
+
+  struct Cell {
+    std::int64_t sent = 0;
+    std::int64_t failed = 0;
+    double rtt_sum_us = 0.0;
+    std::int64_t rtt_samples = 0;
+    [[nodiscard]] double loss_rate() const {
+      return sent == 0 ? 0.0 : static_cast<double>(failed) / static_cast<double>(sent);
+    }
+    [[nodiscard]] double mean_rtt_us() const {
+      return rtt_samples == 0 ? 0.0 : rtt_sum_us / static_cast<double>(rtt_samples);
+    }
+  };
+
+  [[nodiscard]] int size() const { return n_; }
+  [[nodiscard]] const Cell& cell(int src, int dst) const { return cells_[idx(src, dst)]; }
+  /// src->dst counts as reachable while probes are getting through and the
+  /// probing QP has not wedged (a blackholed QP exhausts its retries and
+  /// errors out — that *is* the unreachability signal).
+  [[nodiscard]] bool reachable(int src, int dst) const;
+  /// True iff some ordered pair disagrees with its mirror — the asymmetric-
+  /// partition signature.
+  [[nodiscard]] bool asymmetric() const;
+  /// Loss-rate matrix, rows = source ("--" on the diagonal, "ERR" for a
+  /// wedged probing QP).
+  [[nodiscard]] std::string matrix_text() const;
+
+  /// ECMP identities of a pair's two flows: the request (src-side QP) and
+  /// response (dst-side echo QP) source ports — what trace_route and the
+  /// GrayFailureLocalizer need to walk the actual paths.
+  [[nodiscard]] std::uint16_t probe_sport(int src, int dst) const;
+  [[nodiscard]] std::uint16_t echo_sport(int src, int dst) const;
+  [[nodiscard]] Host& host(int i) const { return *hosts_[static_cast<std::size_t>(i)]; }
+
+  /// Fires once per probe outcome with the (src, dst) indices — feed this
+  /// to GrayFailureLocalizer::observe.
+  using OutcomeCb = std::function<void(int src, int dst, bool ok, Time rtt)>;
+  void set_outcome_cb(OutcomeCb cb) { outcome_cb_ = std::move(cb); }
+
+ private:
+  [[nodiscard]] std::size_t idx(int src, int dst) const {
+    return static_cast<std::size_t>(src) * static_cast<std::size_t>(n_) +
+           static_cast<std::size_t>(dst);
+  }
+
+  std::vector<Host*> hosts_;
+  Options opts_;
+  int n_ = 0;
+  std::vector<Cell> cells_;
+  std::vector<std::uint32_t> fwd_qpn_;   // (src, dst) -> probing QPN on src
+  std::vector<std::uint32_t> echo_qpn_;  // (src, dst) -> echo QPN on dst
+  std::vector<std::unordered_map<std::uint32_t, int>> qpn_to_dst_;  // per src host
+  std::vector<std::unique_ptr<RdmaPingmesh>> meshes_;               // one per src host
+  std::vector<std::unique_ptr<RdmaEchoServer>> echoes_;
+  OutcomeCb outcome_cb_;
+};
+
+}  // namespace rocelab

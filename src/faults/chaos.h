@@ -7,10 +7,12 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <string>
 #include <vector>
 
 #include "src/common/rng.h"
+#include "src/link/impairment.h"
 #include "src/topo/fabric.h"
 
 namespace rocelab {
@@ -26,6 +28,12 @@ enum class FaultKind {
   kNicStormStop,
   kAlphaDrift,
   kEcnDisable,
+  kLinkImpair,       // gray-failure plane: per-direction impairment installed
+  kLinkImpairClear,
+  kQpFaultStart,     // per-QP fault campaign at a NIC
+  kQpFaultStop,
+  kDropFilterSet,    // Switch::set_drop_filter, now journalled
+  kDropFilterClear,
 };
 
 [[nodiscard]] const char* to_string(FaultKind kind);
@@ -62,6 +70,20 @@ class ChaosEngine {
   /// congestion signal; PFC alone must hold the fabric together).
   void ecn_disable(Switch& sw, Time at);
 
+  // --- gray-failure plane ----------------------------------------------------
+  /// Install impairment `imp` on (node, port)'s egress direction at `at`
+  /// (the reverse direction is untouched — asymmetric by construction);
+  /// clear it at `clear_at`, or pass a negative time to leave it installed.
+  void impair_link(Node& node, int port, const LinkImpairment& imp, Time at, Time clear_at = -1);
+  /// Per-QP fault campaign against `qpn` on h's NIC receive path between
+  /// `at` and `stop_at` (negative stop_at => runs to the end).
+  void qp_fault(Host& h, std::uint32_t qpn, const QpFaultSpec& spec, Time at, Time stop_at = -1);
+  /// Journalled drop-filter install (bare Switch::set_drop_filter bypasses
+  /// the journal): `what` describes the predicate in the journal line.
+  /// Cleared at `clear_at` unless negative.
+  void drop_filter(Switch& sw, std::function<bool(const Packet&)> pred, const std::string& what,
+                   Time at, Time clear_at = -1);
+
   /// The deterministic generator for randomized schedules. Callers draw
   /// fault times/targets from this so one seed fixes the whole scenario.
   Rng& rng() { return rng_; }
@@ -71,6 +93,8 @@ class ChaosEngine {
   /// One line per fired event, raw integer timestamps — byte-identical
   /// across runs with the same seed and schedule.
   [[nodiscard]] std::string journal_text() const;
+  /// FNV-1a over journal_text(): the soak target's golden-hash handle.
+  [[nodiscard]] std::uint64_t journal_hash() const;
 
  private:
   void record(FaultKind kind, const std::string& target, std::string detail = {});

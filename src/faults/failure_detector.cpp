@@ -6,13 +6,27 @@ FailureDetector::FailureDetector() : FailureDetector(Options{}) {}
 
 void FailureDetector::observe(Time now, std::uint32_t peer, bool ok) {
   auto& st = peers_[peer];
+  if (opts_.loss_window > 0) {
+    st.window.push_back(!ok);
+    if (!ok) ++st.window_losses;
+    if (static_cast<int>(st.window.size()) > opts_.loss_window) {
+      if (st.window.front()) --st.window_losses;
+      st.window.pop_front();
+    }
+  }
   if (ok) {
     st.consecutive_failed = 0;
     ++st.consecutive_ok;
-    if (st.alarmed && st.consecutive_ok >= opts_.clear_after) {
+    // Clearing needs both straight successes AND (when the rate trigger is
+    // on) a quiet window, so a flapping peer cannot bounce the alarm.
+    const bool rate_quiet =
+        opts_.loss_window == 0 ||
+        static_cast<double>(st.window_losses) <=
+            opts_.clear_loss_rate * static_cast<double>(st.window.size());
+    if (st.alarmed && st.consecutive_ok >= opts_.clear_after && rate_quiet) {
       st.alarmed = false;
       ++cleared_;
-      history_.push_back(AlarmEvent{now, peer, false});
+      history_.push_back(AlarmEvent{now, peer, false, Reason::kConsecutive});
     }
   } else {
     st.consecutive_ok = 0;
@@ -20,9 +34,26 @@ void FailureDetector::observe(Time now, std::uint32_t peer, bool ok) {
     if (!st.alarmed && st.consecutive_failed >= opts_.raise_after) {
       st.alarmed = true;
       ++raised_;
-      history_.push_back(AlarmEvent{now, peer, true});
+      history_.push_back(AlarmEvent{now, peer, true, Reason::kConsecutive});
+    }
+    // Gray trigger: the loss *rate* over a full window crosses the line even
+    // though losses never run `raise_after` deep (§5.2 sub-threshold loss).
+    if (!st.alarmed && opts_.loss_window > 0 &&
+        static_cast<int>(st.window.size()) >= opts_.loss_window &&
+        static_cast<double>(st.window_losses) >=
+            opts_.raise_loss_rate * static_cast<double>(st.window.size())) {
+      st.alarmed = true;
+      ++raised_;
+      history_.push_back(AlarmEvent{now, peer, true, Reason::kLossRate});
     }
   }
+}
+
+double FailureDetector::loss_rate(std::uint32_t peer) const {
+  auto it = peers_.find(peer);
+  if (it == peers_.end() || it->second.window.empty()) return 0.0;
+  return static_cast<double>(it->second.window_losses) /
+         static_cast<double>(it->second.window.size());
 }
 
 int FailureDetector::active_alarms() const {

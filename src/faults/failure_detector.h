@@ -1,11 +1,18 @@
 // FailureDetector: turns per-peer probe outcomes (from RdmaPingmesh, §5.3)
-// into raise/clear alarms. An alarm raises after `raise_after` consecutive
-// lost probes to one peer and clears after `clear_after` consecutive
-// successes — the hysteresis keeps one congestion-dropped probe from paging
-// anyone, while a dead link/host/switch path alarms within a few intervals.
+// into raise/clear alarms. Two independent triggers:
+//  - consecutive losses: `raise_after` lost probes in a row (a dead
+//    link/host/switch path alarms within a few intervals);
+//  - windowed loss *rate*: a gray, lossy-but-up path (§5.2) never loses
+//    enough probes in a row to trip the consecutive logic, but its loss
+//    fraction over the last `loss_window` probes gives it away.
+// Hysteresis on both: one congestion-dropped probe pages no one, and an
+// alarm only clears after `clear_after` straight successes AND (when the
+// window is enabled) the windowed rate has fallen back below
+// `clear_loss_rate` — a flapping peer cannot bounce the alarm.
 #pragma once
 
 #include <cstdint>
+#include <deque>
 #include <unordered_map>
 #include <vector>
 
@@ -18,12 +25,20 @@ class FailureDetector {
   struct Options {
     int raise_after = 3;  // consecutive probe losses before alarming
     int clear_after = 2;  // consecutive successes before the all-clear
+    /// Sliding window (in probes) for the loss-rate trigger; 0 disables it
+    /// and preserves the pure consecutive-loss behaviour exactly.
+    int loss_window = 0;
+    double raise_loss_rate = 0.25;  // alarm when window loss fraction >= this
+    double clear_loss_rate = 0.05;  // all-clear requires fraction <= this
   };
+
+  enum class Reason { kConsecutive, kLossRate };
 
   struct AlarmEvent {
     Time at = 0;
     std::uint32_t peer = 0;  // the probing QPN identifying the peer path
     bool raised = false;     // false = cleared
+    Reason reason = Reason::kConsecutive;  // which trigger raised it
   };
 
   FailureDetector();  // default Options
@@ -38,6 +53,9 @@ class FailureDetector {
     auto it = peers_.find(peer);
     return it != peers_.end() && it->second.alarmed;
   }
+  /// Loss fraction over the current window for `peer` (0 when the window is
+  /// disabled or empty) — the gray-failure severity signal.
+  [[nodiscard]] double loss_rate(std::uint32_t peer) const;
   [[nodiscard]] int active_alarms() const;
   [[nodiscard]] std::int64_t alarms_raised() const { return raised_; }
   [[nodiscard]] std::int64_t alarms_cleared() const { return cleared_; }
@@ -48,6 +66,8 @@ class FailureDetector {
     int consecutive_failed = 0;
     int consecutive_ok = 0;
     bool alarmed = false;
+    std::deque<bool> window;  // true = loss, newest at the back
+    int window_losses = 0;
   };
 
   Options opts_;

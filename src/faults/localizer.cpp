@@ -1,0 +1,89 @@
+#include "src/faults/localizer.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+
+namespace rocelab {
+
+void GrayFailureLocalizer::observe(const Host& src, const Host& dst, std::uint16_t fwd_sport,
+                                   std::uint16_t rsp_sport, bool ok) {
+  ++observed_;
+  for (const auto& hops : {trace_route(fabric_, src, dst, fwd_sport),
+                           trace_route(fabric_, dst, src, rsp_sport)}) {
+    for (const TraceHop& h : hops) {
+      LinkTally& t = tallies_[{h.node->name(), h.port}];
+      ++t.total;
+      if (!ok) ++t.failed;
+    }
+  }
+}
+
+std::vector<GrayFailureLocalizer::Suspect> GrayFailureLocalizer::rank(int min_probes) const {
+  std::map<std::pair<std::string, int>, Suspect> suspects;
+  for (const auto& [key, tally] : tallies_) {
+    if (tally.total < min_probes) continue;
+    Suspect s;
+    s.node = key.first;
+    s.port = key.second;
+    s.failed_probes = tally.failed;
+    s.total_probes = tally.total;
+    s.score = static_cast<double>(tally.failed) / static_cast<double>(tally.total);
+    if (tally.failed > 0) s.evidence = "probe-loss";
+    suspects.emplace(key, std::move(s));
+  }
+
+  // Counter evidence: FCS errors are counted at the *receiving* port of a
+  // direction, so attribute them back to the transmitting (peer) side —
+  // the suspect is the link direction, named by its sender. §5.2 treats any
+  // non-zero FCS count as a bad cable, so the evidence is binary.
+  auto scan_node = [&](const Node& n) {
+    for (int p = 0; p < n.port_count(); ++p) {
+      const EgressPort& rx = n.port(p);
+      const std::int64_t fcs = rx.counters().fcs_errors;
+      if (fcs == 0 || !rx.connected()) continue;
+      const std::pair<std::string, int> key{rx.peer()->name(), rx.peer_port()};
+      Suspect& s = suspects[key];
+      s.node = key.first;
+      s.port = key.second;
+      s.fcs_errors = fcs;
+      s.score = std::max(s.score, 1.0);
+      s.evidence = s.evidence.empty() ? "fcs-counter" : s.evidence + "+fcs-counter";
+    }
+  };
+  for (const auto& sw : fabric_.switches()) scan_node(*sw);
+  for (const auto& h : fabric_.hosts()) scan_node(*h);
+
+  std::vector<Suspect> out;
+  out.reserve(suspects.size());
+  for (auto& [key, s] : suspects) {
+    (void)key;
+    if (s.score > 0.0) out.push_back(std::move(s));
+  }
+  std::sort(out.begin(), out.end(), [](const Suspect& a, const Suspect& b) {
+    if (a.score != b.score) return a.score > b.score;
+    if (a.failed_probes != b.failed_probes) return a.failed_probes > b.failed_probes;
+    if (a.fcs_errors != b.fcs_errors) return a.fcs_errors > b.fcs_errors;
+    if (a.node != b.node) return a.node < b.node;
+    return a.port < b.port;
+  });
+  return out;
+}
+
+std::string GrayFailureLocalizer::report(int top_n) const {
+  std::ostringstream os;
+  const auto ranked = rank();
+  const int n = std::min<int>(top_n, static_cast<int>(ranked.size()));
+  for (int i = 0; i < n; ++i) {
+    const Suspect& s = ranked[static_cast<std::size_t>(i)];
+    char line[256];
+    std::snprintf(line, sizeof line, "%d. %s:%d score=%.3f probes=%lld/%lld fcs=%lld [%s]\n",
+                  i + 1, s.node.c_str(), s.port, s.score,
+                  static_cast<long long>(s.failed_probes), static_cast<long long>(s.total_probes),
+                  static_cast<long long>(s.fcs_errors), s.evidence.c_str());
+    os << line;
+  }
+  return os.str();
+}
+
+}  // namespace rocelab

@@ -1,0 +1,67 @@
+// GrayFailureLocalizer: §6-style incident localization. RDMA Pingmesh says
+// *which host pairs* hurt; the localizer turns that into *which link*.
+// Each probe outcome is charged to every directed link on the probe's
+// request and response paths (computed exactly via trace_route — ECMP is a
+// known function of the 5-tuple); links are then ranked by the share of
+// traced probes through them that failed, merged with the per-port FCS
+// counters (§5.2: any FCS errors on a link mean the cable is bad). A
+// one-way blackhole scores 1.0 on probe evidence alone — it never carries
+// a success — while a 1e-3 lossy link, whose probes mostly succeed after
+// retransmission, is caught by its counter trail.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "src/topo/trace.h"
+
+namespace rocelab {
+
+class GrayFailureLocalizer {
+ public:
+  explicit GrayFailureLocalizer(const Fabric& fabric) : fabric_(fabric) {}
+
+  /// Feed one pingmesh probe outcome. `fwd_sport` identifies the request
+  /// flow (src->dst), `rsp_sport` the response flow (dst->src) — both paths
+  /// carried the probe, so both are charged with the outcome.
+  void observe(const Host& src, const Host& dst, std::uint16_t fwd_sport,
+               std::uint16_t rsp_sport, bool ok);
+
+  struct Suspect {
+    std::string node;  // transmitting end; (node, port) names the direction
+    int port = -1;
+    double score = 0.0;  // max(probe-loss share, FCS evidence)
+    std::int64_t failed_probes = 0;
+    std::int64_t total_probes = 0;
+    std::int64_t fcs_errors = 0;  // observed at the receiving end
+    std::string evidence;         // "probe-loss", "fcs-counter", or both
+  };
+
+  /// Suspect directed links, worst first. Probe evidence needs at least
+  /// `min_probes` traced probes over a link before its loss share counts
+  /// (one unlucky probe must not outrank a steady signal); FCS evidence is
+  /// binary and needs no minimum.
+  [[nodiscard]] std::vector<Suspect> rank(int min_probes = 1) const;
+
+  /// Human-readable top-N ranking for incident reports.
+  [[nodiscard]] std::string report(int top_n = 5) const;
+
+  [[nodiscard]] std::int64_t probes_observed() const { return observed_; }
+
+ private:
+  struct LinkTally {
+    std::int64_t failed = 0;
+    std::int64_t total = 0;
+  };
+
+  const Fabric& fabric_;
+  // Keyed by (node name, port), not pointers: deterministic iteration order
+  // makes rank() byte-stable across runs.
+  std::map<std::pair<std::string, int>, LinkTally> tallies_;
+  std::int64_t observed_ = 0;
+};
+
+}  // namespace rocelab

@@ -1,0 +1,57 @@
+// LinkImpairment: the gray-failure model for one direction of a link.
+// §5.2's hardest faults are not link-down events but links that stay up
+// while corrupting frames (surfaced only by FCS counters), adding latency,
+// or silently dropping one direction / a subset of ECMP flows. Impairments
+// are installed per EgressPort — i.e. per direction of a full-duplex link —
+// so asymmetric partitions are first-class.
+#pragma once
+
+#include <cstdint>
+
+#include "src/common/units.h"
+
+namespace rocelab {
+
+/// Configuration of one impaired link direction. All randomness is drawn
+/// from a private generator seeded by `seed`, so behaviour is byte-identical
+/// per seed; a constructed-but-disabled impairment draws nothing, which the
+/// determinism gate relies on (installing the plane must not perturb a run).
+struct LinkImpairment {
+  bool enabled = true;
+  /// Probability a frame is corrupted on the wire and discarded by the
+  /// receiver's FCS check — counted rx-side as PortCounters::fcs_errors,
+  /// the counter §5.2 watches for lossy-but-up cables.
+  double fcs_drop_rate = 0.0;
+  /// Extra one-way latency on every frame (degraded optics, a flaky
+  /// retimer), plus uniform jitter in [0, jitter].
+  Time added_delay = 0;
+  Time jitter = 0;
+  /// Drop every frame in this direction while the reverse direction (and
+  /// link-up status) stay healthy: an asymmetric partition.
+  bool blackhole = false;
+  /// ECMP-hash-correlated flow blackhole: drop exactly the 5-tuples whose
+  /// keyed hash falls below this fraction — a corrupted forwarding entry
+  /// that only some flows hit (the §6 localization scenario). Non-IP frames
+  /// (PFC pause) are unaffected.
+  double flow_blackhole_frac = 0.0;
+  /// Seed for the impairment's private RNG and the flow-subset hash key.
+  std::uint64_t seed = 1;
+
+  /// Whether this impairment changes any packet's fate or timing.
+  [[nodiscard]] bool active() const {
+    return enabled && (fcs_drop_rate > 0.0 || added_delay > 0 || jitter > 0 || blackhole ||
+                       flow_blackhole_frac > 0.0);
+  }
+};
+
+/// Ground-truth tallies of what an installed impairment actually did —
+/// the simulator's answer key, deliberately separate from the counters the
+/// detection plane is allowed to look at.
+struct ImpairmentStats {
+  std::int64_t fcs_drops = 0;        // frames corrupted (also counted rx-side)
+  std::int64_t blackhole_drops = 0;  // frames lost to the one-way blackhole
+  std::int64_t flow_drops = 0;       // frames lost to the flow blackhole
+  std::int64_t delayed = 0;          // frames given extra delay/jitter
+};
+
+}  // namespace rocelab

@@ -51,6 +51,15 @@ void EgressPort::enqueue_control(Packet pkt) {
   try_send();
 }
 
+void EgressPort::set_impairment(const LinkImpairment& imp) {
+  impair_ = std::make_unique<ImpairState>(imp);
+}
+
+const ImpairmentStats& EgressPort::impairment_stats() const {
+  static const ImpairmentStats kEmpty{};
+  return impair_ != nullptr ? impair_->stats : kEmpty;
+}
+
 void EgressPort::set_up(bool up) {
   if (link_up_ == up) return;
   link_up_ = up;
@@ -243,18 +252,63 @@ void EgressPort::try_send() {
     busy_ = false;
     try_send();
   });
-  // Delivery is gated on the link epoch: if the link goes down (and maybe
-  // back up) while the packet is in flight, the packet is lost. The packet
-  // rides in a pooled box so the closure stays inside the event core's
-  // inline buffer (no per-packet allocation on the transmit path).
-  sim_.schedule_in(ser + prop_delay_,
-                   [this, epoch = link_epoch_, pp = std::move(pp)]() mutable {
-                     if (!link_up_ || epoch != link_epoch_ || peer_ == nullptr) {
-                       ++counters_.link_down_drops;
-                       return;
-                     }
-                     peer_->deliver(std::move(pp), peer_port_);
-                   });
+
+  // Gray-failure impairment (§5.2), decided at transmit time so the wire
+  // occupancy and tx counters above are unchanged — the sending side looks
+  // healthy, which is exactly what makes these faults gray. Inactive (or
+  // merely constructed-but-disabled) impairments draw no randomness.
+  bool eaten = false;       // blackholed: the frame never reaches the peer
+  bool fcs_corrupt = false; // arrives, but the receiver's FCS check fails
+  Time extra = 0;           // added one-way delay + jitter
+  if (impair_ != nullptr && impair_->cfg.active()) {
+    ImpairState& im = *impair_;
+    if (im.cfg.blackhole) {
+      ++im.stats.blackhole_drops;
+      ++counters_.impairment_drops;
+      eaten = true;
+    } else if (im.cfg.flow_blackhole_frac > 0.0 && pp->ip &&
+               static_cast<double>(five_tuple_hash(*pp, im.flow_key)) * 0x1.0p-64 <
+                   im.cfg.flow_blackhole_frac) {
+      ++im.stats.flow_drops;
+      ++counters_.impairment_drops;
+      eaten = true;
+    } else {
+      if (im.cfg.fcs_drop_rate > 0.0 && im.rng.bernoulli(im.cfg.fcs_drop_rate)) {
+        ++im.stats.fcs_drops;
+        fcs_corrupt = true;
+      }
+      if (im.cfg.added_delay > 0 || im.cfg.jitter > 0) {
+        extra = im.cfg.added_delay +
+                (im.cfg.jitter > 0 ? im.rng.uniform_int(0, im.cfg.jitter) : 0);
+        ++im.stats.delayed;
+      }
+    }
+  }
+
+  if (eaten) {
+    // Nothing to schedule: the frame occupied the wire for `ser` and died.
+  } else if (fcs_corrupt) {
+    // The corrupted frame still arrives — into the receiver's FCS check,
+    // which discards it and bumps the rx-side error counter the monitoring
+    // plane watches. The payload box is released here at tx time.
+    sim_.schedule_in(ser + prop_delay_ + extra, [this, epoch = link_epoch_] {
+      if (!link_up_ || epoch != link_epoch_ || peer_ == nullptr) return;
+      ++peer_->port(peer_port_).counters().fcs_errors;
+    });
+  } else {
+    // Delivery is gated on the link epoch: if the link goes down (and maybe
+    // back up) while the packet is in flight, the packet is lost. The packet
+    // rides in a pooled box so the closure stays inside the event core's
+    // inline buffer (no per-packet allocation on the transmit path).
+    sim_.schedule_in(ser + prop_delay_ + extra,
+                     [this, epoch = link_epoch_, pp = std::move(pp)]() mutable {
+                       if (!link_up_ || epoch != link_epoch_ || peer_ == nullptr) {
+                         ++counters_.link_down_drops;
+                         return;
+                       }
+                       peer_->deliver(std::move(pp), peer_port_);
+                     });
+  }
   // Notify at dequeue time — this is when queue room actually appears.
   // (Reentrant enqueues are safe: busy_ is already set.)
   if (!is_control && on_drain) on_drain();

@@ -8,9 +8,12 @@
 #include <cstdint>
 #include <deque>
 #include <functional>
+#include <memory>
 #include <stdexcept>
 
+#include "src/common/rng.h"
 #include "src/common/units.h"
+#include "src/link/impairment.h"
 #include "src/net/packet.h"
 #include "src/net/packet_pool.h"
 #include "src/sim/simulator.h"
@@ -38,6 +41,9 @@ struct PortCounters {
   std::int64_t arp_incomplete_drops = 0;  // the §4.2 deadlock-fix drop counter
   std::int64_t mac_mismatch_drops = 0;    // router dropped frame not addressed to it
   std::int64_t link_down_drops = 0;       // queued/in-flight bytes lost to a link fault
+  std::int64_t fcs_errors = 0;            // rx frames failing the FCS check (§5.2 gray signal)
+  std::int64_t impairment_drops = 0;      // tx frames lost to a blackhole impairment
+  std::int64_t filtered_drops = 0;        // rx frames eaten by Switch::set_drop_filter
 
   [[nodiscard]] std::int64_t total_tx_pause() const {
     std::int64_t s = 0;
@@ -87,6 +93,18 @@ class EgressPort {
   void enqueue(PooledPacket pp);
   void enqueue(Packet pkt) { enqueue(acquire_pooled_packet(std::move(pkt))); }
   void enqueue_control(Packet pkt);  // PFC frames: strict, unpausable
+
+  /// Gray-failure plane (§5.2): install an impairment on this direction
+  /// only — the reverse direction is a different EgressPort, so asymmetric
+  /// faults come for free. Replaces any previous impairment (fresh RNG).
+  /// Drops decided here leave tx counters and wire occupancy untouched, so
+  /// the tx side looks perfectly healthy — exactly what makes these faults
+  /// gray. Install/clear through ChaosEngine::impair_link to journal it.
+  void set_impairment(const LinkImpairment& imp);
+  void clear_impairment() { impair_.reset(); }
+  /// True if an installed impairment is actually changing behaviour.
+  [[nodiscard]] bool impaired() const { return impair_ != nullptr && impair_->cfg.active(); }
+  [[nodiscard]] const ImpairmentStats& impairment_stats() const;
 
   /// Apply a received PFC pause for `prio`: quanta==0 resumes (XON).
   void receive_pause(int prio, std::uint16_t quanta);
@@ -186,6 +204,19 @@ class EgressPort {
 
   bool busy_ = false;
   PortCounters counters_;
+
+  /// Impairment state lives behind a pointer: the healthy hot path pays one
+  /// null check, and a constructed-but-disabled impairment draws no RNG (the
+  /// determinism gate asserts the digest is unchanged in that case).
+  struct ImpairState {
+    LinkImpairment cfg;
+    Rng rng;
+    std::uint64_t flow_key;  // per-impairment key for the flow-subset hash
+    ImpairmentStats stats;
+    explicit ImpairState(const LinkImpairment& c)
+        : cfg(c), rng(c.seed), flow_key(mix64(c.seed ^ 0x9e3779b97f4a7c15ull)) {}
+  };
+  std::unique_ptr<ImpairState> impair_;
 };
 
 }  // namespace rocelab

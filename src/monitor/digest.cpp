@@ -26,6 +26,9 @@ void add_port_counters(CounterDigest& d, const EgressPort& port) {
   d.add_i64(c.arp_incomplete_drops);
   d.add_i64(c.mac_mismatch_drops);
   d.add_i64(c.link_down_drops);
+  d.add_i64(c.fcs_errors);
+  d.add_i64(c.impairment_drops);
+  d.add_i64(c.filtered_drops);
 }
 
 }  // namespace
@@ -62,6 +65,9 @@ std::uint64_t counters_digest(const Fabric& fabric) {
     d.add_i64(s.out_of_order_drops);
     d.add_i64(s.timeouts);
     d.add_i64(s.qp_errors);
+    d.add_i64(s.injected_drops);
+    d.add_i64(s.injected_reorders);
+    d.add_i64(s.injected_dup_acks);
     d.add_i64(h->rx_queue_bytes());
     d.add_i64(h->watchdog_trips());
   }

@@ -1,0 +1,90 @@
+#include "src/monitor/health.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+
+namespace rocelab {
+
+namespace {
+
+PortHealth health_of(const Node& n, int p) {
+  const PortCounters& c = n.port(p).counters();
+  PortHealth h;
+  h.node = n.name();
+  h.port = p;
+  for (int prio = 0; prio < kNumPriorities; ++prio) {
+    h.rx_packets += c.rx_packets[static_cast<std::size_t>(prio)];
+  }
+  h.fcs_errors = c.fcs_errors;
+  h.mmu_drops = c.ingress_drops + c.headroom_overflow_drops;
+  h.egress_drops = c.egress_drops;
+  h.filtered_drops = c.filtered_drops;
+  h.impairment_drops = c.impairment_drops;
+  h.link_down_drops = c.link_down_drops;
+  return h;
+}
+
+}  // namespace
+
+std::vector<PortHealth> collect_port_health(const Fabric& fabric) {
+  std::vector<PortHealth> out;
+  for (const auto& sw : fabric.switches()) {
+    for (int p = 0; p < sw->port_count(); ++p) out.push_back(health_of(*sw, p));
+  }
+  for (const auto& h : fabric.hosts()) {
+    for (int p = 0; p < h->port_count(); ++p) out.push_back(health_of(*h, p));
+  }
+  return out;
+}
+
+std::string port_health_dump(const Fabric& fabric, bool only_unclean) {
+  std::ostringstream os;
+  os << "node:port            rx_pkts      fcs      mmu   egress filtered   impair linkdown\n";
+  for (const PortHealth& h : collect_port_health(fabric)) {
+    if (only_unclean && h.clean()) continue;
+    char id[64];
+    std::snprintf(id, sizeof id, "%s:%d", h.node.c_str(), h.port);
+    char line[256];
+    std::snprintf(line, sizeof line, "%-18s %9lld %8lld %8lld %8lld %8lld %8lld %8lld\n", id,
+                  static_cast<long long>(h.rx_packets), static_cast<long long>(h.fcs_errors),
+                  static_cast<long long>(h.mmu_drops), static_cast<long long>(h.egress_drops),
+                  static_cast<long long>(h.filtered_drops),
+                  static_cast<long long>(h.impairment_drops),
+                  static_cast<long long>(h.link_down_drops));
+    os << line;
+  }
+  return os.str();
+}
+
+void LinkHealthMonitor::start() {
+  if (running_) return;
+  running_ = true;
+  fabric_.sim().schedule_in(opts_.interval, [this] { tick(); });
+}
+
+bool LinkHealthMonitor::is_flagged(const std::string& node, int port) const {
+  return std::find(flagged_.begin(), flagged_.end(), std::make_pair(node, port)) !=
+         flagged_.end();
+}
+
+void LinkHealthMonitor::tick() {
+  if (!running_) return;
+  ++windows_;
+  auto scan = [this](const Node& n) {
+    for (int p = 0; p < n.port_count(); ++p) {
+      const std::pair<std::string, int> key{n.name(), p};
+      const std::int64_t cur = n.port(p).counters().fcs_errors;
+      std::int64_t& last = last_fcs_[key];
+      if (cur - last >= opts_.fcs_alarm_per_window && !is_flagged(key.first, key.second)) {
+        flagged_.push_back(key);
+      }
+      last = cur;
+    }
+  };
+  for (const auto& sw : fabric_.switches()) scan(*sw);
+  for (const auto& h : fabric_.hosts()) scan(*h);
+  fabric_.sim().schedule_in(opts_.interval, [this] { tick(); });
+}
+
+}  // namespace rocelab

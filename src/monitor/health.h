@@ -1,0 +1,84 @@
+// Link-health monitoring (§5.2): the per-port error/drop accounting the
+// paper's management plane watches to catch lossy-but-up links. Two
+// surfaces: a one-shot dump of every drop class per (node, port) — MMU
+// drops next to FCS errors, injected drop-filter hits, and impairment
+// ground truth — and a periodic watcher that flags ports whose FCS-error
+// count moves within a window (the paper's rule: any FCS errors on a link
+// mean the cable is bad, replace it).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "src/topo/fabric.h"
+
+namespace rocelab {
+
+/// One row per (node, port): everything §5.2 graphs, in one place.
+struct PortHealth {
+  std::string node;
+  int port = -1;
+  std::int64_t rx_packets = 0;        // all priorities
+  std::int64_t fcs_errors = 0;        // rx frames failing the FCS check
+  std::int64_t mmu_drops = 0;         // ingress + headroom-overflow drops
+  std::int64_t egress_drops = 0;
+  std::int64_t filtered_drops = 0;    // Switch::set_drop_filter hits at this port
+  std::int64_t impairment_drops = 0;  // tx-side blackhole ground truth
+  std::int64_t link_down_drops = 0;
+
+  /// FCS errors per received frame — the gray-failure severity signal.
+  [[nodiscard]] double fcs_rate() const {
+    const std::int64_t seen = rx_packets + fcs_errors;
+    return seen == 0 ? 0.0 : static_cast<double>(fcs_errors) / static_cast<double>(seen);
+  }
+  [[nodiscard]] bool clean() const {
+    return fcs_errors == 0 && mmu_drops == 0 && egress_drops == 0 && filtered_drops == 0 &&
+           impairment_drops == 0 && link_down_drops == 0;
+  }
+};
+
+/// Every (node, port) of the fabric, switches first then hosts, in a
+/// deterministic order.
+[[nodiscard]] std::vector<PortHealth> collect_port_health(const Fabric& fabric);
+
+/// Table dump; with only_unclean (the default) healthy ports are skipped so
+/// the output reads like an incident report.
+[[nodiscard]] std::string port_health_dump(const Fabric& fabric, bool only_unclean = true);
+
+/// Periodic FCS watcher: every `interval` it diffs each port's FCS counter
+/// and flags ports whose per-window delta reaches `fcs_alarm_per_window`.
+/// Deliberately counter-driven — it sees exactly what a production NMS
+/// polling switch counters would see, independent of the pingmesh plane.
+class LinkHealthMonitor {
+ public:
+  struct Options {
+    Time interval = milliseconds(1);
+    std::int64_t fcs_alarm_per_window = 1;  // §5.2: any FCS errors => bad cable
+  };
+
+  LinkHealthMonitor(Fabric& fabric, Options opts) : fabric_(fabric), opts_(opts) {}
+  void start();
+  void stop() { running_ = false; }
+
+  /// Flagged (node name, port) pairs, in flag order.
+  [[nodiscard]] const std::vector<std::pair<std::string, int>>& flagged() const {
+    return flagged_;
+  }
+  [[nodiscard]] bool is_flagged(const std::string& node, int port) const;
+  [[nodiscard]] std::int64_t windows() const { return windows_; }
+
+ private:
+  void tick();
+
+  Fabric& fabric_;
+  Options opts_;
+  bool running_ = false;
+  std::int64_t windows_ = 0;
+  std::map<std::pair<std::string, int>, std::int64_t> last_fcs_;
+  std::vector<std::pair<std::string, int>> flagged_;
+};
+
+}  // namespace rocelab

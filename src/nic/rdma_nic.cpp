@@ -377,8 +377,56 @@ void RdmaNic::advance_una(Qp& q, std::uint64_t msn) {
 
 // --- receive side ---------------------------------------------------------------
 
+void RdmaNic::set_qp_fault(std::uint32_t qpn, const QpFaultSpec& spec) {
+  qp_faults_.erase(qpn);  // replace = fresh RNG, fresh stats
+  qp_faults_.emplace(qpn, QpFaultInjector(spec));
+}
+
+const QpFaultStats& RdmaNic::qp_fault_stats(std::uint32_t qpn) const {
+  static const QpFaultStats kEmpty{};
+  auto it = qp_faults_.find(qpn);
+  return it == qp_faults_.end() ? kEmpty : it->second.stats;
+}
+
 void RdmaNic::handle(Packet pkt) {
   if (!pkt.bth) return;
+  // Per-QP fault injection sits between the rx pipeline and the transport:
+  // only packets addressed to a targeted QPN are touched, and a NIC with no
+  // injectors installed pays a single emptiness check.
+  if (!qp_faults_.empty()) {
+    auto fit = qp_faults_.find(pkt.bth->dest_qp);
+    if (fit != qp_faults_.end() && fit->second.spec.enabled) {
+      QpFaultInjector& inj = fit->second;
+      if (pkt.kind == PacketKind::kRoceData) {
+        if (inj.spec.drop_rate > 0.0 && inj.rng.bernoulli(inj.spec.drop_rate)) {
+          ++inj.stats.drops;
+          ++stats_.injected_drops;
+          return;
+        }
+        if (inj.spec.reorder_rate > 0.0 && inj.rng.bernoulli(inj.spec.reorder_rate)) {
+          // Held back, then re-injected past the injector (a held packet
+          // must not be re-dropped or re-held).
+          ++inj.stats.reorders;
+          ++stats_.injected_reorders;
+          host_.sim().schedule_in(inj.spec.reorder_delay,
+                                  [this, pkt = std::move(pkt)]() mutable {
+                                    dispatch(std::move(pkt));
+                                  });
+          return;
+        }
+      } else if (pkt.kind == PacketKind::kRoceAck) {
+        if (inj.spec.dup_ack_rate > 0.0 && inj.rng.bernoulli(inj.spec.dup_ack_rate)) {
+          ++inj.stats.dup_acks;
+          ++stats_.injected_dup_acks;
+          dispatch(pkt);  // the duplicate; the original follows below
+        }
+      }
+    }
+  }
+  dispatch(std::move(pkt));
+}
+
+void RdmaNic::dispatch(Packet pkt) {
   auto it = qps_.find(pkt.bth->dest_qp);
   if (it == qps_.end()) return;
   Qp& q = *it->second;

@@ -13,6 +13,7 @@
 
 #include <map>
 
+#include "src/common/rng.h"
 #include "src/common/units.h"
 #include "src/net/packet.h"
 #include "src/nic/config.h"
@@ -43,6 +44,27 @@ struct RdmaRecv {
   Time received_at = 0;
 };
 
+/// Per-QP fault injection on the NIC receive path: the "which packet drops
+/// matters" knob (Mittal et al., PAPERS.md) the link-level plane can't give
+/// — packets for one target QPN are dropped, held back (reordered), or
+/// ACK-duplicated before the transport sees them, while every other QP on
+/// the NIC is untouched. Seeded; a constructed-but-disabled spec draws no
+/// randomness, so installing one cannot perturb a deterministic run.
+struct QpFaultSpec {
+  bool enabled = true;
+  double drop_rate = 0.0;     // drop incoming data segments
+  double reorder_rate = 0.0;  // hold an incoming data segment for reorder_delay
+  Time reorder_delay = microseconds(20);
+  double dup_ack_rate = 0.0;  // deliver an incoming ACK/NAK a second time
+  std::uint64_t seed = 1;
+};
+
+struct QpFaultStats {
+  std::int64_t drops = 0;
+  std::int64_t reorders = 0;
+  std::int64_t dup_acks = 0;
+};
+
 struct RdmaNicStats {
   std::int64_t data_packets_sent = 0;
   std::int64_t data_packets_retx = 0;
@@ -59,6 +81,9 @@ struct RdmaNicStats {
   std::int64_t out_of_order_drops = 0;
   std::int64_t timeouts = 0;
   std::int64_t qp_errors = 0;  // QPs that exhausted their retry budget
+  std::int64_t injected_drops = 0;     // per-QP fault plane: data segments eaten
+  std::int64_t injected_reorders = 0;  // data segments delivered late
+  std::int64_t injected_dup_acks = 0;  // ACKs delivered twice
 };
 
 class RdmaNic {
@@ -106,6 +131,18 @@ class RdmaNic {
   [[nodiscard]] double qp_alpha(std::uint32_t qpn) const;
 
   [[nodiscard]] const RdmaNicStats& stats() const { return stats_; }
+
+  // --- per-QP fault injection ------------------------------------------------
+  /// Install (or replace) a fault injector targeting `qpn` on this NIC's
+  /// receive path; the QPN need not exist yet. Install/remove through
+  /// ChaosEngine::qp_fault to journal the campaign.
+  void set_qp_fault(std::uint32_t qpn, const QpFaultSpec& spec);
+  void clear_qp_fault(std::uint32_t qpn) { qp_faults_.erase(qpn); }
+  [[nodiscard]] const QpFaultStats& qp_fault_stats(std::uint32_t qpn) const;
+
+  /// The UDP source port a QP stamps on its packets — the ECMP identity of
+  /// its flow, needed to trace the QP's path through the fabric.
+  [[nodiscard]] std::uint16_t qp_sport(std::uint32_t qpn) const { return qp(qpn).udp_sport; }
 
   // --- wiring from Host ------------------------------------------------------
   void handle(Packet pkt);     // a RoCE packet cleared the rx pipeline
@@ -173,8 +210,16 @@ class RdmaNic {
     EventId read_retx_ev = kInvalidEventId;
   };
 
+  struct QpFaultInjector {
+    QpFaultSpec spec;
+    Rng rng;
+    QpFaultStats stats;
+    explicit QpFaultInjector(const QpFaultSpec& s) : spec(s), rng(s.seed) {}
+  };
+
   Qp& qp(std::uint32_t qpn);
   const Qp& qp(std::uint32_t qpn) const;
+  void dispatch(Packet pkt);  // post-injection receive path
   void post_message(Qp& q, SendWqe wqe);
   void arm_pacer(Qp& q);
   void pacer_fire(std::uint32_t qpn);
@@ -200,6 +245,7 @@ class RdmaNic {
   Host& host_;
   HostConfig cfg_;
   std::unordered_map<std::uint32_t, std::unique_ptr<Qp>> qps_;
+  std::unordered_map<std::uint32_t, QpFaultInjector> qp_faults_;
   std::vector<std::uint32_t> blocked_qpns_;
   std::uint32_t next_qpn_ = 1;
   CompletionCb completion_cb_;

@@ -137,7 +137,7 @@ void Switch::classify(Packet& pkt) const {
   pkt.lossless = cfg_.lossless[static_cast<std::size_t>(pg)];
 }
 
-int Switch::route_lookup(const Packet& pkt) const {
+int Switch::route_lookup(const Packet& pkt, bool count_failover) const {
   if (!pkt.ip) return -1;
   const Route* best = nullptr;
   for (const auto& r : routes_) {
@@ -149,14 +149,20 @@ int Switch::route_lookup(const Packet& pkt) const {
   if (best->ports.size() == 1) return usable(best->ports[0]) ? best->ports[0] : -1;
   if (cfg_.packet_spray) {
     // §8.1: spray packets round-robin over the group (reorders flows),
-    // skipping members whose link is down.
+    // skipping members whose link is down. A trace probe (count_failover ==
+    // false) peeks at the next pick without consuming it.
+    std::uint64_t ctr = spray_counter_;
     for (std::size_t tries = 0; tries < best->ports.size(); ++tries) {
-      const int p = best->ports[spray_counter_++ % best->ports.size()];
+      const int p = best->ports[ctr++ % best->ports.size()];
       if (usable(p)) {
-        if (tries > 0) ++route_failovers_;
+        if (count_failover) {
+          spray_counter_ = ctr;
+          if (tries > 0) ++route_failovers_;
+        }
         return p;
       }
     }
+    if (count_failover) spray_counter_ = ctr;
     return -1;
   }
   const std::uint64_t h = five_tuple_hash(pkt, ecmp_seed_);
@@ -170,7 +176,7 @@ int Switch::route_lookup(const Packet& pkt) const {
     if (usable(p)) survivors.push_back(p);
   }
   if (survivors.empty()) return -1;
-  ++route_failovers_;
+  if (count_failover) ++route_failovers_;
   return survivors[h % survivors.size()];
 }
 
@@ -199,7 +205,11 @@ void Switch::handle_packet(PooledPacket pp, int in_port) {
   mac_.learn(pkt.eth.src, in_port, sim().now());
 
   if (drop_filter_ && drop_filter_(pkt)) {
+    // Attributed to the ingress port so the Monitor dump shows *where* the
+    // injected loss bites, next to the MMU drop classes; the switch-level
+    // total stays for existing callers.
     ++filtered_drops_;
+    ++port(in_port).counters().filtered_drops;
     return;
   }
 

@@ -104,6 +104,12 @@ class Switch : public Node {
   void set_drop_filter(std::function<bool(const Packet&)> pred) { drop_filter_ = std::move(pred); }
   [[nodiscard]] std::int64_t filtered_drops() const { return filtered_drops_; }
 
+  /// Side-effect-free routing probe for path tracing (pingmesh
+  /// localization): the exact egress the forwarding path would pick for
+  /// `pkt` under current ECMP/link state, without bumping route_failovers_
+  /// — tracing a path must not perturb the determinism digest.
+  [[nodiscard]] int route_port(const Packet& pkt) const { return route_lookup(pkt, false); }
+
   void on_pause_rx(int in_port, const PfcFrame& frame) override;
   void on_link_change(int port, bool up) override;
 
@@ -131,7 +137,7 @@ class Switch : public Node {
   }
 
   void classify(Packet& pkt) const;
-  [[nodiscard]] int route_lookup(const Packet& pkt) const;  // -1 if none
+  [[nodiscard]] int route_lookup(const Packet& pkt, bool count_failover = true) const;  // -1 if none
   void forward(PooledPacket pp, int in_port);
   void deliver_local(PooledPacket pp, int in_port, Ipv4Prefix subnet);
   void flood(PooledPacket pp, int in_port);

@@ -68,4 +68,11 @@ std::vector<Switch*> Fabric::switch_ptrs() const {
   return out;
 }
 
+int Fabric::attachment_port(const Switch& sw, const Host& h) const {
+  for (const auto& a : attachments_) {
+    if (a.sw == &sw && a.host == &h) return a.sw_port;
+  }
+  return -1;
+}
+
 }  // namespace rocelab

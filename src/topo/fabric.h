@@ -50,6 +50,9 @@ class Fabric {
   [[nodiscard]] Host* host_by_name(const std::string& name) const;
   [[nodiscard]] Switch* switch_by_name(const std::string& name) const;
   [[nodiscard]] std::vector<Switch*> switch_ptrs() const;
+  /// The switch port `h` is attached at, or -1 if `h` is not attached to
+  /// `sw` (path tracing uses this for the final ToR->server hop).
+  [[nodiscard]] int attachment_port(const Switch& sw, const Host& h) const;
 
  private:
   struct Attachment {

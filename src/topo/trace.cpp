@@ -1,0 +1,52 @@
+#include "src/topo/trace.h"
+
+#include <sstream>
+
+namespace rocelab {
+
+std::vector<TraceHop> trace_route(const Fabric& fabric, const Host& src, const Host& dst,
+                                  std::uint16_t sport) {
+  // A metadata-only probe carrying exactly the fields five_tuple_hash
+  // consumes, built the way RdmaNic::make_roce_packet stamps real traffic
+  // (same protocol default, dport 4791) so every ECMP decision matches.
+  Packet probe;
+  probe.kind = PacketKind::kRoceData;
+  Ipv4Header ip;
+  ip.src = src.ip();
+  ip.dst = dst.ip();
+  probe.ip = ip;
+  probe.udp = UdpHeader{sport, kRoceUdpPort, 0};
+
+  std::vector<TraceHop> hops;
+  const Node* at = &src;
+  int out = 0;  // hosts transmit on their single port 0
+  // Bounded walk: a Clos path is <= 2*tiers hops; 16 guards against routing
+  // loops from inconsistent tables ever wedging the tracer.
+  for (int i = 0; i < 16; ++i) {
+    hops.push_back(TraceHop{at, out});
+    const EgressPort& egress = at->port(out);
+    if (!egress.connected()) break;
+    Node* next = egress.peer();
+    if (next == static_cast<const Node*>(&dst)) break;  // delivered
+    auto* sw = dynamic_cast<Switch*>(next);
+    if (sw == nullptr) break;  // landed on a host that is not dst: mis-route
+    // Local delivery wins over L3 routing, as in Switch::forward.
+    int nxt = fabric.attachment_port(*sw, dst);
+    if (nxt < 0) nxt = sw->route_port(probe);
+    if (nxt < 0) break;  // routing blackhole (no usable member)
+    at = next;
+    out = nxt;
+  }
+  return hops;
+}
+
+std::string trace_text(const std::vector<TraceHop>& hops) {
+  std::ostringstream os;
+  for (std::size_t i = 0; i < hops.size(); ++i) {
+    if (i > 0) os << " -> ";
+    os << hops[i].node->name() << ':' << hops[i].port;
+  }
+  return os.str();
+}
+
+}  // namespace rocelab

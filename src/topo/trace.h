@@ -1,0 +1,38 @@
+// trace_route: the deterministic hop sequence a flow takes through the
+// fabric. Because ECMP here (as in production) is a pure function of the
+// 5-tuple and each switch's hash seed, the control plane can compute any
+// flow's path exactly — the property §6's localization workflow leans on
+// when triangulating pingmesh failures onto physical links.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/topo/fabric.h"
+
+namespace rocelab {
+
+/// One directed hop: `node` transmits on egress `port`. The (node, port)
+/// pair names one direction of a physical link — the granularity at which
+/// gray failures live.
+struct TraceHop {
+  const Node* node = nullptr;
+  int port = -1;
+  bool operator==(const TraceHop&) const = default;
+};
+
+/// Egress-hop sequence a RoCE flow from `src` to `dst` with UDP source port
+/// `sport` takes under the *current* routing and link state. Mirrors the
+/// forwarding path exactly — same per-switch ECMP hash, same local-delivery
+/// precedence — but with zero side effects (no failover counters, no spray
+/// pointer movement), so tracing never perturbs the determinism digest.
+/// The final hop is the ToR port facing `dst`; the trace stops early if
+/// routing blackholes the flow.
+[[nodiscard]] std::vector<TraceHop> trace_route(const Fabric& fabric, const Host& src,
+                                                const Host& dst, std::uint16_t sport);
+
+/// "host-a:0 -> tor-0:5 -> leaf-1:2" — for logs and localizer reports.
+[[nodiscard]] std::string trace_text(const std::vector<TraceHop>& hops);
+
+}  // namespace rocelab

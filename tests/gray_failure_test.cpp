@@ -1,0 +1,545 @@
+// Gray-failure plane tests: LinkImpairment (FCS loss, delay/jitter, one-way
+// and flow blackholes), per-QP fault injection, the FailureDetector loss-
+// rate window, exact path tracing, pingmesh-grid asymmetry, localization,
+// journal completeness, and the zero-perturbation determinism guard.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/app/pingmesh_grid.h"
+#include "src/app/traffic.h"
+#include "src/faults/chaos.h"
+#include "src/faults/failure_detector.h"
+#include "src/faults/localizer.h"
+#include "src/monitor/digest.h"
+#include "src/monitor/health.h"
+#include "src/rocev2/deployment.h"
+#include "src/topo/clos.h"
+#include "src/topo/trace.h"
+#include "tests/testutil.h"
+
+namespace rocelab {
+namespace {
+
+using testing::StarTopology;
+using testing::basic_host_config;
+using testing::basic_switch_config;
+
+ClosParams small_clos() {
+  QosPolicy policy;
+  policy.max_cable_m = 20.0;
+  policy.link_bw = gbps(10);
+  return make_clos_params(policy, DeploymentStage::kFull, /*podsets=*/2, /*leaves=*/2,
+                          /*tors=*/2, /*servers=*/2, /*spines=*/4);
+}
+
+QpConfig plain_qp() {
+  QpConfig qp;
+  qp.dcqcn = false;
+  qp.retx_timeout = microseconds(300);
+  return qp;
+}
+
+// --- LinkImpairment ---------------------------------------------------------------
+
+TEST(LinkImpairment, FcsLossCountsAtReceiverAndTransportRecovers) {
+  StarTopology topo(2);
+  auto [qa, qb] = connect_qp_pair(*topo.hosts[0], *topo.hosts[1], plain_qp());
+  (void)qb;
+  RdmaDemux demux(*topo.hosts[0]);
+  RdmaStreamSource src(*topo.hosts[0], demux, qa,
+                       RdmaStreamSource::Options{.message_bytes = 64 * kKiB,
+                                                 .max_outstanding = 2});
+  src.start();
+
+  LinkImpairment imp;
+  imp.fcs_drop_rate = 0.02;
+  imp.seed = 7;
+  topo.sw().port(1).set_impairment(imp);  // sw -> h1 direction only
+  EXPECT_TRUE(topo.sw().port(1).impaired());
+
+  topo.sim().run_until(milliseconds(10));
+  const ImpairmentStats& st = topo.sw().port(1).impairment_stats();
+  EXPECT_GT(st.fcs_drops, 0);
+  // Corrupted frames are discarded (and counted) by the *receiver's* FCS
+  // check — the tx side looks clean, exactly the §5.2 gray signature. (A
+  // frame can still be on the wire at the cutoff, hence <=.)
+  EXPECT_GT(topo.hosts[1]->port(0).counters().fcs_errors, 0);
+  EXPECT_LE(topo.hosts[1]->port(0).counters().fcs_errors, st.fcs_drops);
+  EXPECT_EQ(topo.sw().port(1).counters().fcs_errors, 0);
+  // Go-back-N repaired the holes: data flows despite the lossy cable.
+  EXPECT_GT(topo.hosts[0]->rdma().stats().data_packets_retx, 0);
+  EXPECT_GT(topo.hosts[1]->rdma().stats().messages_received, 0);
+}
+
+TEST(LinkImpairment, OneWayBlackholeIsAsymmetric) {
+  StarTopology topo(2);
+  QpConfig qp = plain_qp();
+  auto [qa, qb] = connect_qp_pair(*topo.hosts[0], *topo.hosts[1], qp);
+  (void)qa;
+  RdmaDemux demux(*topo.hosts[1]);
+  RdmaStreamSource src(*topo.hosts[1], demux, qb,
+                       RdmaStreamSource::Options{.message_bytes = 16 * kKiB,
+                                                 .max_outstanding = 1});
+  src.start();
+
+  // Kill h0's *transmit* direction only: h0 hears everything, says nothing.
+  LinkImpairment imp;
+  imp.blackhole = true;
+  topo.hosts[0]->port(0).set_impairment(imp);
+
+  topo.sim().run_until(milliseconds(5));
+  // Data from h1 arrives and is delivered in order at h0...
+  EXPECT_GT(topo.hosts[0]->rdma().stats().messages_received, 0);
+  // ...but every ACK died on h0's egress, so h1 completes nothing.
+  EXPECT_EQ(topo.hosts[1]->rdma().stats().messages_completed, 0);
+  EXPECT_GT(topo.hosts[0]->port(0).counters().impairment_drops, 0);
+  EXPECT_GT(topo.hosts[0]->port(0).impairment_stats().blackhole_drops, 0);
+}
+
+TEST(LinkImpairment, FlowBlackholeKillsDeterministicSubset) {
+  auto run = [](std::vector<bool>& starved) {
+    StarTopology topo(2);
+    QpConfig qp = plain_qp();
+    qp.retx_timeout = microseconds(200);
+    std::vector<std::uint32_t> qpns;
+    for (int i = 0; i < 8; ++i) {
+      auto [qa, qb] = connect_qp_pair(*topo.hosts[0], *topo.hosts[1], qp);
+      (void)qb;
+      qpns.push_back(qa);
+    }
+    RdmaDemux demux(*topo.hosts[0]);
+    std::vector<std::unique_ptr<RdmaStreamSource>> sources;
+    for (auto qpn : qpns) {
+      sources.push_back(std::make_unique<RdmaStreamSource>(
+          *topo.hosts[0], demux, qpn,
+          RdmaStreamSource::Options{.message_bytes = 8 * kKiB, .max_outstanding = 1}));
+      sources.back()->start();
+    }
+    LinkImpairment imp;
+    imp.flow_blackhole_frac = 0.5;
+    imp.seed = 11;
+    topo.sw().port(1).set_impairment(imp);
+    topo.sim().run_until(milliseconds(10));
+    EXPECT_GT(topo.sw().port(1).impairment_stats().flow_drops, 0);
+    // A blackholed flow never completes a message: every retransmission
+    // carries the same 5-tuple, so it hits the same hash bucket forever.
+    for (auto& s : sources) starved.push_back(s->completed_messages() == 0);
+  };
+
+  std::vector<bool> first, second;
+  run(first);
+  run(second);
+  // The killed subset is a property of the 5-tuples and the seed: non-empty,
+  // not everything, and identical run to run.
+  const auto dead = static_cast<std::size_t>(std::count(first.begin(), first.end(), true));
+  EXPECT_GT(dead, 0u);
+  EXPECT_LT(dead, first.size());
+  EXPECT_EQ(first, second);
+}
+
+TEST(LinkImpairment, DelayAndJitterStretchRttWithoutLoss) {
+  auto mean_rtt = [](bool impaired) {
+    StarTopology topo(2);
+    QpConfig qp = plain_qp();
+    auto [qa, qb] = connect_qp_pair(*topo.hosts[0], *topo.hosts[1], qp);
+    RdmaDemux d0(*topo.hosts[0]);
+    RdmaDemux d1(*topo.hosts[1]);
+    RdmaEchoServer echo(*topo.hosts[1], d1, qb, 512);
+    RdmaPingmesh mesh(*topo.hosts[0], d0, {qa}, RdmaPingmesh::Options{
+        .probe_bytes = 512, .interval = microseconds(100), .timeout = milliseconds(10)});
+    if (impaired) {
+      LinkImpairment imp;
+      imp.added_delay = microseconds(5);
+      imp.jitter = microseconds(2);
+      imp.seed = 3;
+      topo.sw().port(1).set_impairment(imp);
+    }
+    mesh.start();
+    topo.sim().run_until(milliseconds(5));
+    EXPECT_EQ(mesh.probes_failed(), 0);
+    return mesh.rtt_us().mean();
+  };
+  const double base = mean_rtt(false);
+  const double slow = mean_rtt(true);
+  // One impaired direction adds >= 5us one-way to every probe.
+  EXPECT_GE(slow, base + 5.0);
+}
+
+// Satellite: the determinism guard. Installing the whole gray plane
+// *disabled* must not shift a single counter or timestamp.
+TEST(LinkImpairment, DisabledPlaneLeavesDigestUnchanged) {
+  auto run = [](bool install_disabled) {
+    StarTopology topo(3);
+    QpConfig qp = plain_qp();
+    auto [qa, qb] = connect_qp_pair(*topo.hosts[0], *topo.hosts[1], qp);
+    auto [qc, qd] = connect_qp_pair(*topo.hosts[2], *topo.hosts[1], qp);
+    (void)qb;
+    (void)qd;
+    RdmaDemux d0(*topo.hosts[0]);
+    RdmaDemux d2(*topo.hosts[2]);
+    RdmaStreamSource s0(*topo.hosts[0], d0, qa,
+                        RdmaStreamSource::Options{.message_bytes = 32 * kKiB,
+                                                  .max_outstanding = 2});
+    RdmaStreamSource s2(*topo.hosts[2], d2, qc,
+                        RdmaStreamSource::Options{.message_bytes = 32 * kKiB,
+                                                  .max_outstanding = 2});
+    s0.start();
+    s2.start();
+    if (install_disabled) {
+      LinkImpairment imp;
+      imp.enabled = false;
+      imp.fcs_drop_rate = 0.5;  // would be catastrophic if it ever fired
+      imp.blackhole = true;
+      imp.added_delay = milliseconds(1);
+      for (int p = 0; p < topo.sw().port_count(); ++p) topo.sw().port(p).set_impairment(imp);
+      for (auto* h : topo.hosts) h->port(0).set_impairment(imp);
+      QpFaultSpec spec;
+      spec.enabled = false;
+      spec.drop_rate = 0.5;
+      spec.dup_ack_rate = 0.5;
+      for (auto* h : topo.hosts) h->rdma().set_qp_fault(1, spec);
+    }
+    topo.sim().run_until(milliseconds(8));
+    return counters_digest(*topo.fabric);
+  };
+  EXPECT_EQ(run(false), run(true));
+}
+
+// --- per-QP fault injection -------------------------------------------------------
+
+TEST(QpFaultInjection, CampaignHitsOneQpAndLeavesBystandersUntouched) {
+  struct Result {
+    RdmaNicStats victim_tx;      // h0 (victim sender)
+    QpFaultStats injected;       // at h1 (victim receiver): data drop/reorder
+    QpFaultStats injected_acks;  // at h0 (victim sender): dup ACKs
+    std::int64_t victim_done = 0;
+    std::int64_t bystander_done = 0;
+    std::int64_t bystander_rx_bytes = 0;
+    std::uint64_t digest = 0;
+  };
+  auto run = [](bool campaign) {
+    StarTopology topo(4);
+    QpConfig qp = plain_qp();
+    auto [victim_q, victim_dst] = connect_qp_pair(*topo.hosts[0], *topo.hosts[1], qp);
+    auto [bystander_q, be] = connect_qp_pair(*topo.hosts[2], *topo.hosts[3], qp);
+    (void)be;
+    RdmaDemux d0(*topo.hosts[0]);
+    RdmaDemux d2(*topo.hosts[2]);
+    RdmaStreamSource victim(*topo.hosts[0], d0, victim_q,
+                            RdmaStreamSource::Options{.message_bytes = 32 * kKiB,
+                                                      .max_outstanding = 2});
+    RdmaStreamSource bystander(*topo.hosts[2], d2, bystander_q,
+                               RdmaStreamSource::Options{.message_bytes = 32 * kKiB,
+                                                         .max_outstanding = 2});
+    victim.start();
+    bystander.start();
+    if (campaign) {
+      // The campaign targets one connection, end to end: data packets are
+      // dropped/reordered where they arrive (h1's NIC, the responder QPN)
+      // and the responder's ACKs are duplicated where *they* arrive (h0's
+      // NIC, the requester QPN).
+      QpFaultSpec spec;
+      spec.drop_rate = 0.05;
+      spec.reorder_rate = 0.05;
+      spec.reorder_delay = microseconds(30);
+      spec.seed = 21;
+      topo.hosts[1]->rdma().set_qp_fault(victim_dst, spec);
+      QpFaultSpec ack_spec;
+      ack_spec.dup_ack_rate = 0.10;
+      ack_spec.seed = 22;
+      topo.hosts[0]->rdma().set_qp_fault(victim_q, ack_spec);
+    }
+    topo.sim().run_until(milliseconds(10));
+    Result r;
+    r.victim_tx = topo.hosts[0]->rdma().stats();
+    r.injected = topo.hosts[1]->rdma().qp_fault_stats(victim_dst);
+    r.injected_acks = topo.hosts[0]->rdma().qp_fault_stats(victim_q);
+    r.victim_done = victim.completed_messages();
+    r.bystander_done = bystander.completed_messages();
+    r.bystander_rx_bytes = topo.hosts[3]->rdma().stats().bytes_received;
+    r.digest = counters_digest(*topo.fabric);
+    return r;
+  };
+
+  const Result clean = run(false);
+  const Result hit = run(true);
+  const Result hit2 = run(true);
+
+  // The campaign actually fired, through all three mechanisms.
+  EXPECT_GT(hit.injected.drops, 0);
+  EXPECT_GT(hit.injected.reorders, 0);
+  EXPECT_GT(hit.injected_acks.dup_acks, 0);
+  // Injected drops forced go-back-N recovery on the victim QP (NAKs and/or
+  // timeouts -> retransmissions), which still made forward progress.
+  EXPECT_EQ(clean.victim_tx.data_packets_retx, 0);
+  EXPECT_GT(hit.victim_tx.data_packets_retx, 0);
+  EXPECT_GT(hit.victim_done, 0);
+  EXPECT_LE(hit.victim_done, clean.victim_done);
+  // Bystander QPs never noticed: same completions, same bytes, to the byte.
+  EXPECT_EQ(hit.bystander_done, clean.bystander_done);
+  EXPECT_EQ(hit.bystander_rx_bytes, clean.bystander_rx_bytes);
+  // And the whole run is seeded-deterministic: same campaign, same digest.
+  EXPECT_EQ(hit.digest, hit2.digest);
+  EXPECT_NE(hit.digest, clean.digest);
+}
+
+// --- FailureDetector loss-rate window ---------------------------------------------
+
+// A flappy peer losing 2 of every 3 probes never trips raise_after=3; only
+// the windowed rate alarm sees it (that is the satellite's point).
+TEST(FailureDetectorWindow, FlappyPeerBelowConsecutiveThresholdRaisesRateAlarm) {
+  FailureDetector::Options opts;
+  opts.raise_after = 3;
+  opts.clear_after = 2;
+  opts.loss_window = 12;
+  opts.raise_loss_rate = 0.5;
+  opts.clear_loss_rate = 0.1;
+  FailureDetector det(opts);
+
+  Time t = 0;
+  for (int i = 0; i < 15; ++i) {  // L L ok L L ok ... : rate 2/3
+    det.observe(t += 1, 1, (i % 3) == 2);
+  }
+  ASSERT_TRUE(det.alarmed(1));
+  ASSERT_EQ(det.alarms_raised(), 1);
+  EXPECT_EQ(det.history().front().reason, FailureDetector::Reason::kLossRate);
+  EXPECT_GE(det.loss_rate(1), 0.5);
+
+  // Clear hysteresis: two straight successes are NOT enough while the
+  // window is still hot; the alarm clears exactly once, when the rate has
+  // drained below clear_loss_rate.
+  det.observe(t += 1, 1, true);
+  det.observe(t += 1, 1, true);
+  EXPECT_TRUE(det.alarmed(1)) << "cleared while the window was still lossy";
+  for (int i = 0; i < 12; ++i) det.observe(t += 1, 1, true);
+  EXPECT_FALSE(det.alarmed(1));
+  EXPECT_EQ(det.alarms_raised(), 1);
+  EXPECT_EQ(det.alarms_cleared(), 1);
+}
+
+TEST(FailureDetectorWindow, LegacyConsecutiveBehaviourUnchangedWhenWindowOff) {
+  FailureDetector det(FailureDetector::Options{.raise_after = 3, .clear_after = 2});
+  Time t = 0;
+  for (int i = 0; i < 300; ++i) det.observe(t += 1, 1, (i % 3) == 2);
+  EXPECT_FALSE(det.alarmed(1));
+  EXPECT_EQ(det.alarms_raised(), 0);
+}
+
+TEST(FailureDetectorWindow, ConsecutiveTriggerStillFiresWithWindowEnabled) {
+  FailureDetector::Options opts;
+  opts.raise_after = 3;
+  opts.loss_window = 100;  // far from full when the burst hits
+  FailureDetector det(opts);
+  Time t = 0;
+  det.observe(t += 1, 7, true);
+  for (int i = 0; i < 3; ++i) det.observe(t += 1, 7, false);
+  ASSERT_TRUE(det.alarmed(7));
+  EXPECT_EQ(det.history().back().reason, FailureDetector::Reason::kConsecutive);
+}
+
+// --- path tracing -----------------------------------------------------------------
+
+TEST(TraceRoute, MirrorsEcmpWithoutSideEffects) {
+  ClosFabric clos(small_clos());
+  const Host& src = clos.server(0, 0, 0);
+  const Host& dst = clos.server(1, 1, 1);
+
+  std::int64_t failovers_before = 0;
+  for (auto* sw : clos.fabric().switch_ptrs()) failovers_before += sw->route_failovers();
+
+  const auto hops = trace_route(clos.fabric(), src, dst, /*sport=*/0x1234);
+  // host -> tor -> leaf -> spine -> leaf -> tor -> (attached server)
+  ASSERT_EQ(hops.size(), 6u);
+  EXPECT_EQ(hops.front().node, static_cast<const Node*>(&src));
+  EXPECT_EQ(hops.front().port, 0);
+  EXPECT_EQ(hops.back().node, static_cast<const Node*>(&clos.tor(1, 1)));
+  EXPECT_EQ(hops.back().port, clos.fabric().attachment_port(clos.tor(1, 1), dst));
+  // Deterministic, and different sports may take different spines.
+  EXPECT_EQ(hops, trace_route(clos.fabric(), src, dst, 0x1234));
+
+  std::int64_t failovers_after = 0;
+  for (auto* sw : clos.fabric().switch_ptrs()) failovers_after += sw->route_failovers();
+  EXPECT_EQ(failovers_before, failovers_after) << "tracing perturbed forwarding state";
+
+  // Intra-rack: two hops, host then ToR.
+  const auto local = trace_route(clos.fabric(), src, clos.server(0, 0, 1), 0x1234);
+  ASSERT_EQ(local.size(), 2u);
+  EXPECT_EQ(local.back().node, static_cast<const Node*>(&clos.tor(0, 0)));
+  EXPECT_FALSE(trace_text(local).empty());
+}
+
+// --- journal completeness ---------------------------------------------------------
+
+TEST(ChaosJournal, GrayFaultKindsAreJournalledAndByteIdentical) {
+  auto run = [](std::string& text, std::uint64_t& hash) {
+    StarTopology topo(3);
+    QpConfig qp = plain_qp();
+    auto [qa, qb] = connect_qp_pair(*topo.hosts[0], *topo.hosts[1], qp);
+    (void)qa;
+    ChaosEngine chaos(*topo.fabric, /*seed=*/42);
+    LinkImpairment imp;
+    imp.fcs_drop_rate = 1e-3;
+    imp.seed = 5;
+    chaos.impair_link(topo.sw(), 1, imp, microseconds(100), microseconds(900));
+    QpFaultSpec spec;
+    spec.drop_rate = 0.1;
+    spec.seed = 6;
+    chaos.qp_fault(*topo.hosts[1], qb, spec, microseconds(200), microseconds(800));
+    chaos.drop_filter(topo.sw(), [](const Packet& p) { return p.ip && (p.ip->id & 0xff) == 0xff; },
+                      "ip_id lsb 0xff", microseconds(300), microseconds(700));
+    topo.sim().run_until(milliseconds(1));
+    text = chaos.journal_text();
+    hash = chaos.journal_hash();
+  };
+  std::string t1, t2;
+  std::uint64_t h1 = 0, h2 = 0;
+  run(t1, h1);
+  run(t2, h2);
+  EXPECT_EQ(t1, t2);
+  EXPECT_EQ(h1, h2);
+  for (const char* kind : {"link_impair", "link_impair_clear", "qp_fault_start", "qp_fault_stop",
+                           "drop_filter_set", "drop_filter_clear"}) {
+    EXPECT_NE(t1.find(kind), std::string::npos) << "journal is missing " << kind << ":\n" << t1;
+  }
+}
+
+// --- monitor surfacing ------------------------------------------------------------
+
+TEST(LinkHealth, MonitorFlagsLossyPortAndDumpShowsFilteredDrops) {
+  StarTopology topo(2);
+  auto [qa, qb] = connect_qp_pair(*topo.hosts[0], *topo.hosts[1], plain_qp());
+  (void)qb;
+  RdmaDemux demux(*topo.hosts[0]);
+  RdmaStreamSource src(*topo.hosts[0], demux, qa,
+                       RdmaStreamSource::Options{.message_bytes = 64 * kKiB,
+                                                 .max_outstanding = 2});
+  src.start();
+  LinkImpairment imp;
+  imp.fcs_drop_rate = 0.01;
+  imp.seed = 9;
+  topo.sw().port(1).set_impairment(imp);
+  // Injected switch loss, to land in the same dump as the MMU counters.
+  topo.sw().set_drop_filter([](const Packet& p) { return p.ip && (p.ip->id % 199) == 0; });
+
+  LinkHealthMonitor mon(*topo.fabric, LinkHealthMonitor::Options{.interval = milliseconds(1)});
+  mon.start();
+  topo.sim().run_until(milliseconds(10));
+
+  // FCS errors land at h1's side of the sw->h1 direction; the watcher
+  // flags that port and nothing else.
+  EXPECT_TRUE(mon.is_flagged("h1", 0));
+  EXPECT_EQ(mon.flagged().size(), 1u);
+  EXPECT_GE(mon.windows(), 9);
+
+  // Per-port attribution of drop-filter hits (previously switch-global).
+  EXPECT_GT(topo.sw().port(0).counters().filtered_drops, 0);
+  EXPECT_EQ(topo.sw().port(0).counters().filtered_drops + topo.sw().port(1).counters().filtered_drops,
+            topo.sw().filtered_drops());
+
+  const std::string dump = port_health_dump(*topo.fabric);
+  EXPECT_NE(dump.find("h1:0"), std::string::npos) << dump;
+  EXPECT_NE(dump.find("sw:0"), std::string::npos) << dump;
+  bool found = false;
+  for (const PortHealth& h : collect_port_health(*topo.fabric)) {
+    if (h.node == "h1" && h.port == 0) {
+      found = true;
+      EXPECT_GT(h.fcs_errors, 0);
+      EXPECT_GT(h.fcs_rate(), 0.0);
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+// --- the acceptance integration: blackhole + lossy link on a 2-podset Clos --------
+
+TEST(GrayLocalization, PingmeshMatrixAsymmetricAndLocalizerRanksImpairedLinks) {
+  ClosFabric clos(small_clos());
+  Fabric& fabric = clos.fabric();
+
+  // Probers: every server (8 of them) -> dense path coverage, so healthy
+  // links all carry successful probes and cannot tie with the faulty ones.
+  std::vector<Host*> hosts;
+  std::vector<std::unique_ptr<RdmaDemux>> demux_store;
+  std::vector<RdmaDemux*> demuxes;
+  for (int ps = 0; ps < 2; ++ps) {
+    for (int t = 0; t < 2; ++t) {
+      for (int i = 0; i < 2; ++i) {
+        hosts.push_back(&clos.server(ps, t, i));
+        demux_store.push_back(std::make_unique<RdmaDemux>(clos.server(ps, t, i)));
+        demuxes.push_back(demux_store.back().get());
+      }
+    }
+  }
+
+  PingmeshGrid::Options gopts;
+  gopts.probe = RdmaPingmesh::Options{.probe_bytes = 512,
+                                      .interval = microseconds(50),
+                                      .timeout = microseconds(400)};
+  gopts.qp = plain_qp();
+  gopts.qp.retx_timeout = microseconds(150);
+  gopts.qp.retry_limit = 3;
+  PingmeshGrid grid(hosts, demuxes, gopts);
+
+  GrayFailureLocalizer localizer(fabric);
+  grid.set_outcome_cb([&](int src, int dst, bool ok, Time) {
+    localizer.observe(grid.host(src), grid.host(dst), grid.probe_sport(src, dst),
+                      grid.echo_sport(src, dst), ok);
+  });
+
+  // The two faces of one bad cable between tor-0-0 and leaf-0-0:
+  //  - up direction   tor-0-0:2 -> leaf-0-0: one-way blackhole (asymmetric
+  //    partition: flows hashed onto this uplink die, the reverse lives);
+  //  - down direction leaf-0-0:0 -> tor-0-0: 1e-3 FCS loss (lossy-but-up).
+  LinkImpairment blackhole;
+  blackhole.blackhole = true;
+  clos.tor(0, 0).port(2).set_impairment(blackhole);
+  LinkImpairment lossy;
+  lossy.fcs_drop_rate = 1e-3;
+  lossy.seed = 13;
+  clos.leaf(0, 0).port(0).set_impairment(lossy);
+
+  // Background load across the fabric keeps the lossy downlink busy enough
+  // for its FCS counter to move (probes alone are thin at 1e-3).
+  std::vector<std::unique_ptr<RdmaStreamSource>> streams;
+  for (int t = 0; t < 2; ++t) {
+    for (int i = 0; i < 2; ++i) {
+      Host& peer = clos.server(1, t, i);
+      auto [q, e] = connect_qp_pair(peer, clos.server(0, 0, i), plain_qp());
+      (void)e;
+      const std::size_t di = static_cast<std::size_t>(4 + t * 2 + i);  // peer's demux index
+      streams.push_back(std::make_unique<RdmaStreamSource>(
+          peer, *demuxes[di], q,
+          RdmaStreamSource::Options{.message_bytes = 32 * kKiB, .max_outstanding = 2}));
+      streams.back()->start();
+    }
+  }
+
+  grid.start();
+  fabric.sim().run_until(milliseconds(20));
+
+  // Detection: the reachability matrix is asymmetric — some (i, j) is dark
+  // while (j, i) still answers.
+  EXPECT_TRUE(grid.asymmetric()) << grid.matrix_text();
+
+  // Ground truth moved.
+  EXPECT_GT(clos.tor(0, 0).port(2).impairment_stats().blackhole_drops, 0);
+  EXPECT_GT(clos.tor(0, 0).port(2).counters().fcs_errors, 0)
+      << "lossy downlink FCS counter (rx side at tor-0-0:2) never moved";
+
+  // Localization: both impaired directions are the top-2 suspects.
+  const auto ranked = localizer.rank(/*min_probes=*/3);
+  ASSERT_GE(ranked.size(), 2u) << localizer.report();
+  std::vector<std::pair<std::string, int>> top = {{ranked[0].node, ranked[0].port},
+                                                  {ranked[1].node, ranked[1].port}};
+  const std::pair<std::string, int> want_blackhole{clos.tor(0, 0).name(), 2};
+  const std::pair<std::string, int> want_lossy{clos.leaf(0, 0).name(), 0};
+  EXPECT_TRUE(std::find(top.begin(), top.end(), want_blackhole) != top.end())
+      << localizer.report();
+  EXPECT_TRUE(std::find(top.begin(), top.end(), want_lossy) != top.end()) << localizer.report();
+}
+
+}  // namespace
+}  // namespace rocelab

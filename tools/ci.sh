@@ -18,11 +18,22 @@ run_suite "$repo/build"
 
 echo "=== perf gate (plain build only) ==="
 # Smoke-run the macro benchmark on the seeded Clos workload: asserts the
-# determinism digest twice in-process and records throughput at the repo
-# root. Skipped in the sanitizer pass — instrumented numbers are noise.
-"$repo/build/bench/perf_gate" --ms 10 --twice --json "$repo/BENCH_simcore.json"
+# determinism digest twice in-process, asserts a disabled gray-failure
+# plane leaves it byte-identical (--gray-noop), and records throughput at
+# the repo root. Skipped in the sanitizer pass — instrumented numbers are
+# noise.
+"$repo/build/bench/perf_gate" --ms 10 --twice --gray-noop --json "$repo/BENCH_simcore.json"
 
 echo "=== sanitizer build (ASan+UBSan) ==="
 run_suite "$repo/build-asan" -DROCELAB_SANITIZE=ON
+
+echo "=== gray-failure soak (ASan build) ==="
+# Seeded gray-fault schedule (lossy link, one-way + flow blackholes, per-QP
+# campaign, drop filter) on the 2-podset Clos. Must finish with zero hard
+# invariant violations, and the chaos journal must replay to the golden
+# hash — injection timestamps are scheduled times, so the hash is stable
+# across build flavours.
+"$repo/build-asan/tools/gray_soak" --seed 2016 --ms 30 \
+  --expect-journal 03da797857e53f56
 
 echo "CI OK"

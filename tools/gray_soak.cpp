@@ -1,0 +1,206 @@
+// Gray-failure soak: a seeded chaos schedule of *gray* faults — lossy-but-up
+// links, one-way blackholes, flow blackholes, per-QP drop/reorder/dup-ACK
+// campaigns, drop filters — over a 2-podset Clos with streams and a
+// pingmesh, audited end to end. The run fails (nonzero exit) if:
+//   - the InvariantAuditor records any hard violation (PFC deadlock or
+//     buffer-accounting drift), or
+//   - the chaos journal hash differs from --expect-journal (when given):
+//     the schedule is a pure function of the seed, so a stable golden hash
+//     proves the whole injection plane replays byte-identically — including
+//     under ASan, where CI runs this.
+//
+// Usage: gray_soak [--seed N] [--ms N] [--expect-journal HEX] [--print-health]
+#include <cinttypes>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "src/app/demux.h"
+#include "src/app/traffic.h"
+#include "src/faults/auditor.h"
+#include "src/faults/chaos.h"
+#include "src/faults/failure_detector.h"
+#include "src/monitor/digest.h"
+#include "src/monitor/health.h"
+#include "src/rocev2/deployment.h"
+#include "src/topo/clos.h"
+
+using namespace rocelab;
+
+namespace {
+
+ClosParams soak_clos() {
+  QosPolicy policy;
+  policy.max_cable_m = 20.0;
+  policy.link_bw = gbps(10);
+  return make_clos_params(policy, DeploymentStage::kFull, /*podsets=*/2, /*leaves=*/2,
+                          /*tors=*/2, /*servers=*/2, /*spines=*/4);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::uint64_t seed = 2016;
+  long ms = 30;
+  std::string expect_journal;
+  bool print_health = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--seed") == 0 && i + 1 < argc) {
+      seed = std::strtoull(argv[++i], nullptr, 0);
+    } else if (std::strcmp(argv[i], "--ms") == 0 && i + 1 < argc) {
+      ms = std::atol(argv[++i]);
+    } else if (std::strcmp(argv[i], "--expect-journal") == 0 && i + 1 < argc) {
+      expect_journal = argv[++i];
+    } else if (std::strcmp(argv[i], "--print-health") == 0) {
+      print_health = true;
+    } else {
+      std::fprintf(stderr,
+                   "usage: gray_soak [--seed N] [--ms N] [--expect-journal HEX] "
+                   "[--print-health]\n");
+      return 2;
+    }
+  }
+
+  ClosFabric clos(soak_clos());
+  Fabric& fabric = clos.fabric();
+  auto& sim = clos.sim();
+
+  std::vector<Host*> hosts;
+  for (const auto& h : fabric.hosts()) hosts.push_back(h.get());
+  std::vector<std::unique_ptr<RdmaDemux>> demuxes;
+  for (Host* h : hosts) demuxes.push_back(std::make_unique<RdmaDemux>(*h));
+  auto demux_of = [&](Host& h) -> RdmaDemux& {
+    for (std::size_t i = 0; i < hosts.size(); ++i) {
+      if (hosts[i] == &h) return *demuxes[i];
+    }
+    throw std::logic_error("unknown host");
+  };
+
+  QosPolicy policy;
+  // Cross-podset streams through every ToR, so each gray fault below sits
+  // on a live path.
+  struct StreamPair {
+    Host* src;
+    Host* dst;
+  };
+  const std::vector<StreamPair> pairs = {
+      {&clos.server(0, 0, 0), &clos.server(1, 0, 0)},
+      {&clos.server(0, 1, 0), &clos.server(1, 1, 0)},
+      {&clos.server(1, 0, 1), &clos.server(0, 0, 1)},
+      {&clos.server(1, 1, 1), &clos.server(0, 1, 1)},
+  };
+  std::vector<std::unique_ptr<RdmaStreamSource>> streams;
+  std::vector<std::uint32_t> victim_qpns;  // dst-side QPNs for the QP campaign
+  for (const auto& p : pairs) {
+    auto [qs, qd] = connect_qp_pair(*p.src, *p.dst, make_qp_config(policy));
+    victim_qpns.push_back(qd);
+    streams.push_back(std::make_unique<RdmaStreamSource>(
+        *p.src, demux_of(*p.src), qs,
+        RdmaStreamSource::Options{.message_bytes = 32 * kKiB, .max_outstanding = 2}));
+    streams.back()->start();
+  }
+
+  // Pingmesh with the windowed loss-rate detector watching it.
+  Host& prober = clos.server(0, 0, 0);
+  std::vector<std::uint32_t> probe_qpns;
+  std::vector<std::unique_ptr<RdmaEchoServer>> echoes;
+  for (int ps = 0; ps < 2; ++ps) {
+    Host& peer = clos.server(ps, 1, 1);
+    auto [pq, pe] = connect_qp_pair(prober, peer, make_qp_config(policy, /*realtime=*/true));
+    probe_qpns.push_back(pq);
+    echoes.push_back(std::make_unique<RdmaEchoServer>(peer, demux_of(peer), pe, 512));
+  }
+  RdmaPingmesh ping(prober, demux_of(prober), probe_qpns,
+                    RdmaPingmesh::Options{.probe_bytes = 512, .interval = microseconds(100),
+                                          .timeout = microseconds(500)});
+  FailureDetector detector(FailureDetector::Options{
+      .raise_after = 3, .clear_after = 2, .loss_window = 20, .raise_loss_rate = 0.3});
+  ping.set_probe_cb(
+      [&](std::uint32_t qpn, bool ok, Time) { detector.observe(sim.now(), qpn, ok); });
+  ping.start();
+
+  InvariantAuditor auditor(sim, fabric.switch_ptrs(), hosts,
+                           InvariantAuditor::Options{.interval = microseconds(200)});
+  auditor.start();
+
+  // The gray schedule, all derived from --seed so the journal is a pure
+  // function of it. Every fault class the plane supports, overlapping.
+  ChaosEngine chaos(fabric, seed);
+  {
+    LinkImpairment lossy;
+    lossy.fcs_drop_rate = 1e-3;
+    lossy.seed = static_cast<std::uint64_t>(chaos.rng().uniform_int(1, 1'000'000'000));
+    chaos.impair_link(clos.leaf(0, 0), /*port=*/0, lossy, milliseconds(2), milliseconds(20));
+
+    LinkImpairment blackhole;
+    blackhole.blackhole = true;
+    chaos.impair_link(clos.tor(1, 0), /*port=*/2, blackhole, milliseconds(5), milliseconds(9));
+
+    LinkImpairment flows;
+    flows.flow_blackhole_frac = 0.3;
+    flows.seed = static_cast<std::uint64_t>(chaos.rng().uniform_int(1, 1'000'000'000));
+    chaos.impair_link(clos.spine(0), /*port=*/0, flows, milliseconds(7), milliseconds(13));
+
+    LinkImpairment jitter;
+    jitter.added_delay = microseconds(3);
+    jitter.jitter = microseconds(2);
+    jitter.seed = static_cast<std::uint64_t>(chaos.rng().uniform_int(1, 1'000'000'000));
+    chaos.impair_link(clos.leaf(1, 1), /*port=*/1, jitter, milliseconds(4), milliseconds(16));
+
+    QpFaultSpec spec;
+    spec.drop_rate = 0.05;
+    spec.reorder_rate = 0.05;
+    spec.dup_ack_rate = 0.05;
+    spec.seed = static_cast<std::uint64_t>(chaos.rng().uniform_int(1, 1'000'000'000));
+    chaos.qp_fault(*pairs[0].dst, victim_qpns[0], spec, milliseconds(6), milliseconds(18));
+
+    chaos.drop_filter(
+        clos.tor(0, 1), [](const Packet& p) { return p.ip && (p.ip->id % 251) == 0; },
+        "ip_id %% 251 == 0", milliseconds(8), milliseconds(14));
+  }
+
+  sim.run_until(milliseconds(ms));
+
+  std::int64_t completed = 0;
+  for (const auto& s : streams) completed += s->completed_messages();
+  const std::uint64_t jhash = chaos.journal_hash();
+
+  std::printf("gray_soak: seed=%" PRIu64 " sim=%ld ms\n", seed, ms);
+  std::printf("faults journalled: %zu   journal hash: %s\n", chaos.journal().size(),
+              digest_hex(jhash).c_str());
+  std::printf("stream messages completed: %lld   probes sent: %lld (failed %lld)\n",
+              static_cast<long long>(completed), static_cast<long long>(ping.probes_sent()),
+              static_cast<long long>(ping.probes_failed()));
+  std::printf("detector alarms: raised %lld, cleared %lld\n",
+              static_cast<long long>(detector.alarms_raised()),
+              static_cast<long long>(detector.alarms_cleared()));
+  std::printf("auditor: %lld checks, %lld hard violations\n",
+              static_cast<long long>(auditor.checks_run()),
+              static_cast<long long>(auditor.hard_violations()));
+  std::printf("counters digest: %s\n", digest_hex(counters_digest(fabric)).c_str());
+  if (print_health) std::printf("%s", port_health_dump(fabric).c_str());
+
+  bool ok = true;
+  if (auditor.hard_violations() != 0) {
+    for (const auto& v : auditor.violations()) {
+      std::fprintf(stderr, "VIOLATION %s @ %s: %s\n", to_string(v.kind), v.node.c_str(),
+                   v.detail.c_str());
+    }
+    ok = false;
+  }
+  if (auditor.checks_run() == 0 || completed == 0 || chaos.journal().empty()) {
+    std::fprintf(stderr, "gray_soak: soak did not actually exercise the fabric\n");
+    ok = false;
+  }
+  if (!expect_journal.empty() && digest_hex(jhash) != expect_journal) {
+    std::fprintf(stderr, "gray_soak: journal hash mismatch (want %s, got %s)\n",
+                 expect_journal.c_str(), digest_hex(jhash).c_str());
+    ok = false;
+  }
+  std::printf("%s\n", ok ? "GRAY SOAK OK" : "GRAY SOAK FAILED");
+  return ok ? 0 : 1;
+}
