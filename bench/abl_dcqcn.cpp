@@ -6,11 +6,13 @@
 // (b) go-back-N retransmission waste (§4.1): up to RTT x C bytes are
 //     retransmitted per drop; we sweep the loss rate and report goodput
 //     and the retransmission overhead, versus go-back-0.
-#include <cstdio>
+#include <memory>
 
-#include "bench/bench_util.h"
 #include "src/app/demux.h"
 #include "src/app/traffic.h"
+#include "src/exp/harness.h"
+#include "src/exp/scenario.h"
+#include "src/monitor/metric_registry.h"
 #include "src/topo/fabric.h"
 
 using namespace rocelab;
@@ -25,53 +27,37 @@ struct IncastResult {
 };
 
 IncastResult run_incast(bool dcqcn, Time duration) {
-  Fabric fabric;
   SwitchConfig cfg;
   cfg.lossless[3] = true;
   cfg.ecn[3] = EcnConfig{true, 50 * kKiB, 400 * kKiB, 0.01};
-  const int senders = 8;
-  auto& sw = fabric.add_switch("sw", cfg, senders + 1);
-  sw.add_local_subnet(Ipv4Prefix{Ipv4Addr::from_octets(10, 0, 0, 0), 24});
   HostConfig hc;
   hc.lossless[3] = true;
-  auto& rx = fabric.add_host("rx", hc);
-  rx.set_ip(Ipv4Addr::from_octets(10, 0, 0, 100));
-  fabric.attach_host(rx, sw, senders, gbps(40), propagation_delay_for_meters(2));
+  const int senders = 8;
+  exp::StarFabric star(senders, cfg, hc);
 
-  std::vector<Host*> tx;
-  std::vector<std::unique_ptr<RdmaDemux>> demuxes;
-  std::vector<std::unique_ptr<RdmaStreamSource>> sources;
+  exp::TrafficSet traffic;
+  QpConfig qp;
+  qp.dcqcn = dcqcn;
   for (int i = 0; i < senders; ++i) {
-    auto& h = fabric.add_host("tx" + std::to_string(i), hc);
-    h.set_ip(Ipv4Addr::from_octets(10, 0, 0, static_cast<std::uint8_t>(i + 1)));
-    fabric.attach_host(h, sw, i, gbps(40), propagation_delay_for_meters(2));
-    QpConfig qp;
-    qp.dcqcn = dcqcn;
-    auto [qa, qb] = connect_qp_pair(h, rx, qp);
-    (void)qb;
-    demuxes.push_back(std::make_unique<RdmaDemux>(h));
-    sources.push_back(std::make_unique<RdmaStreamSource>(
-        h, *demuxes.back(), qa,
-        RdmaStreamSource::Options{.message_bytes = 256 * kKiB, .max_outstanding = 2}));
-    sources.back()->start();
-    tx.push_back(&h);
+    traffic.add_streams(
+        star.tx(i), star.rx(), qp,
+        RdmaStreamSource::Options{.message_bytes = 256 * kKiB, .max_outstanding = 2});
   }
 
-  fabric.sim().run_until(duration);
+  star.sim().run_until(duration);
 
   IncastResult r;
-  std::int64_t pauses = 0;
-  for (int p = 0; p < sw.port_count(); ++p) pauses += sw.port(p).counters().total_tx_pause();
+  const std::int64_t pauses = star.sim().metrics().sum("sw/port*/prio*/tx_pause");
   r.pauses_per_sec = static_cast<double>(pauses) / to_seconds(duration);
   double sum = 0, sum_sq = 0;
-  for (auto& s : sources) {
+  for (const auto& s : traffic.sources()) {
     const double g = s->goodput_bps();
     r.aggregate_gbps += g / 1e9;
     sum += g;
     sum_sq += g * g;
   }
-  r.jain_fairness = sum * sum / (static_cast<double>(sources.size()) * sum_sq);
-  for (Host* h : tx) r.cnps += h->rdma().stats().cnps_received;
+  r.jain_fairness = sum * sum / (static_cast<double>(traffic.sources().size()) * sum_sq);
+  for (int i = 0; i < senders; ++i) r.cnps += star.tx(i).rdma().stats().cnps_received;
   return r;
 }
 
@@ -123,41 +109,61 @@ LossResult run_loss(LossRecovery recovery, double loss_rate, Time duration) {
 
 }  // namespace
 
-int main() {
-  const Time duration = milliseconds(bench::env_int("ROCELAB_ABL_MS", 40));
+int main(int argc, char** argv) {
+  exp::Scenario sc;
+  sc.name = "abl_dcqcn";
+  sc.title = "E13 — DCQCN incast ablation + go-back-N loss sweep";
+  sc.paper = "paper: DCQCN cuts PFC pause generation under incast (§2); go-back-N\n"
+             "wastes <= RTT x C per drop but stays graceful at low loss (§4.1)";
+  sc.knobs = {
+      exp::knob_int("duration_ms", 40, "ROCELAB_ABL_MS", "simulated time per case"),
+      exp::knob_string("loss_sweep", "0,1e-4,1e-3,4e-3,1e-2", "",
+                       "comma-separated loss rates for the go-back-N sweep"),
+  };
+  sc.body = [](exp::Context& ctx) {
+    const Time duration = milliseconds(ctx.knob_int("duration_ms"));
 
-  bench::print_header("E13a — DCQCN ablation: 8-to-1 incast on the lossless class");
-  const IncastResult with_cc = run_incast(true, duration);
-  const IncastResult without_cc = run_incast(false, duration);
-  const std::vector<int> w{26, 16, 16};
-  bench::print_row({"metric", "DCQCN on", "DCQCN off"}, w);
-  bench::print_rule(w);
-  bench::print_row({"switch pauses/s", bench::fmt("%.0f", with_cc.pauses_per_sec),
-                    bench::fmt("%.0f", without_cc.pauses_per_sec)}, w);
-  bench::print_row({"aggregate goodput (Gb/s)", bench::fmt("%.1f", with_cc.aggregate_gbps),
-                    bench::fmt("%.1f", without_cc.aggregate_gbps)}, w);
-  bench::print_row({"Jain fairness", bench::fmt("%.3f", with_cc.jain_fairness),
-                    bench::fmt("%.3f", without_cc.jain_fairness)}, w);
-  bench::print_row({"CNPs received", std::to_string(with_cc.cnps),
-                    std::to_string(without_cc.cnps)}, w);
-  const bool cc_reduces_pauses =
-      with_cc.pauses_per_sec < 0.5 * without_cc.pauses_per_sec && with_cc.cnps > 0;
+    ctx.section("E13a — DCQCN ablation: 8-to-1 incast on the lossless class");
+    const IncastResult with_cc = run_incast(true, duration);
+    const IncastResult without_cc = run_incast(false, duration);
+    ctx.table({"metric", "DCQCN on", "DCQCN off"}, {26, 16, 16});
+    ctx.row({"switch pauses/s", exp::fmt("%.0f", with_cc.pauses_per_sec),
+             exp::fmt("%.0f", without_cc.pauses_per_sec)});
+    ctx.row({"aggregate goodput (Gb/s)", exp::fmt("%.1f", with_cc.aggregate_gbps),
+             exp::fmt("%.1f", without_cc.aggregate_gbps)});
+    ctx.row({"Jain fairness", exp::fmt("%.3f", with_cc.jain_fairness),
+             exp::fmt("%.3f", without_cc.jain_fairness)});
+    ctx.row({"CNPs received", std::to_string(with_cc.cnps), std::to_string(without_cc.cnps)});
+    for (const auto& [name, r] :
+         {std::pair<const char*, const IncastResult&>{"dcqcn_on", with_cc},
+          std::pair<const char*, const IncastResult&>{"dcqcn_off", without_cc}}) {
+      ctx.metric(name, "pauses_per_sec", r.pauses_per_sec);
+      ctx.metric(name, "aggregate_gbps", r.aggregate_gbps);
+      ctx.metric(name, "jain_fairness", r.jain_fairness);
+      ctx.metric(name, "cnps", static_cast<double>(r.cnps));
+    }
 
-  bench::print_header("E13b — go-back-N loss sweep (waste <= RTT x C per drop, §4.1)");
-  std::printf("%-12s %18s %14s %18s %14s\n", "loss rate", "goback-N Gb/s", "retx frac",
-              "goback-0 Gb/s", "retx frac");
-  std::printf("--------------------------------------------------------------------------\n");
-  bool gbn_degrades_gracefully = true;
-  for (double loss : {0.0, 1e-4, 1e-3, 4e-3, 1e-2}) {
-    const LossResult n = run_loss(LossRecovery::kGoBackN, loss, duration);
-    const LossResult z = run_loss(LossRecovery::kGoBack0, loss, duration);
-    std::printf("%-12g %18.2f %14.3f %18.2f %14.3f\n", loss, n.goodput_gbps, n.retx_fraction,
-                z.goodput_gbps, z.retx_fraction);
-    if (loss > 0 && loss <= 1e-3 && n.goodput_gbps < 20) gbn_degrades_gracefully = false;
-  }
+    ctx.section("E13b — go-back-N loss sweep (waste <= RTT x C per drop, §4.1)");
+    ctx.table({"loss rate", "goback-N Gb/s", "retx frac", "goback-0 Gb/s", "retx frac"},
+              {12, 19, 15, 19, 15});
+    bool gbn_degrades_gracefully = true;
+    for (double loss : ctx.knob_list("loss_sweep")) {
+      const LossResult n = run_loss(LossRecovery::kGoBackN, loss, duration);
+      const LossResult z = run_loss(LossRecovery::kGoBack0, loss, duration);
+      ctx.row({exp::fmt("%g", loss), exp::fmt("%.2f", n.goodput_gbps),
+               exp::fmt("%.3f", n.retx_fraction), exp::fmt("%.2f", z.goodput_gbps),
+               exp::fmt("%.3f", z.retx_fraction)});
+      const std::string case_name = "loss/" + exp::fmt("%g", loss);
+      ctx.metric(case_name, "gbn_goodput_gbps", n.goodput_gbps);
+      ctx.metric(case_name, "gbn_retx_fraction", n.retx_fraction);
+      ctx.metric(case_name, "gb0_goodput_gbps", z.goodput_gbps);
+      ctx.metric(case_name, "gb0_retx_fraction", z.retx_fraction);
+      if (loss > 0 && loss <= 1e-3 && n.goodput_gbps < 20) gbn_degrades_gracefully = false;
+    }
 
-  std::printf("\nDCQCN cuts pause generation: %s   go-back-N graceful under low loss: %s\n",
-              cc_reduces_pauses ? "CONFIRMED" : "NOT REPRODUCED",
-              gbn_degrades_gracefully ? "CONFIRMED" : "NOT REPRODUCED");
-  return (cc_reduces_pauses && gbn_degrades_gracefully) ? 0 : 1;
+    ctx.check("DCQCN cuts pause generation",
+              with_cc.pauses_per_sec < 0.5 * without_cc.pauses_per_sec && with_cc.cnps > 0);
+    ctx.check("go-back-N graceful under low loss", gbn_degrades_gracefully);
+  };
+  return exp::run_scenario(sc, argc, argv);
 }

@@ -12,12 +12,13 @@
 // (b) TIMELY vs DCQCN under incast (§2: "we believe the lessons ... apply
 //     to the networks using TIMELY as well"): both reduce PFC pause
 //     generation versus no congestion control.
-#include <cstdio>
 #include <memory>
 
-#include "bench/bench_util.h"
 #include "src/app/demux.h"
 #include "src/app/traffic.h"
+#include "src/exp/harness.h"
+#include "src/exp/scenario.h"
+#include "src/monitor/metric_registry.h"
 #include "src/topo/fabric.h"
 
 using namespace rocelab;
@@ -79,7 +80,9 @@ SprayResult run_spray(bool spray, LossRecovery recovery, Time duration) {
                         : 0.0;
   r.naks = b.rdma().stats().naks_sent;
   for (int p = 2; p < 6; ++p) {
-    if (s1.port(p).counters().tx_packets[3] > 0) ++r.paths_used;
+    if (fabric.sim().metrics().sum("s1/port" + std::to_string(p) + "/prio3/tx_packets") > 0) {
+      ++r.paths_used;
+    }
   }
   return r;
 }
@@ -91,107 +94,103 @@ struct CcResult {
 };
 
 CcResult run_cc(bool enabled, CcAlgorithm algo, Time duration) {
-  Fabric fabric;
   SwitchConfig cfg;
   cfg.lossless[3] = true;
   cfg.ecn[3] = EcnConfig{true, 50 * kKiB, 400 * kKiB, 0.01};
-  const int senders = 8;
-  auto& sw = fabric.add_switch("sw", cfg, senders + 1);
-  sw.add_local_subnet(Ipv4Prefix{Ipv4Addr::from_octets(10, 0, 0, 0), 24});
   HostConfig hc;
   hc.lossless[3] = true;
-  auto& rx = fabric.add_host("rx", hc);
-  rx.set_ip(Ipv4Addr::from_octets(10, 0, 0, 100));
-  fabric.attach_host(rx, sw, senders, gbps(40), propagation_delay_for_meters(2));
+  const int senders = 8;
+  exp::StarFabric star(senders, cfg, hc);
 
-  std::vector<std::unique_ptr<RdmaDemux>> demuxes;
-  std::vector<std::unique_ptr<RdmaStreamSource>> sources;
+  exp::TrafficSet traffic;
+  QpConfig qp;
+  qp.dcqcn = enabled;
+  qp.cc = algo;
   for (int i = 0; i < senders; ++i) {
-    auto& h = fabric.add_host("tx" + std::to_string(i), hc);
-    h.set_ip(Ipv4Addr::from_octets(10, 0, 0, static_cast<std::uint8_t>(i + 1)));
-    fabric.attach_host(h, sw, i, gbps(40), propagation_delay_for_meters(2));
-    QpConfig qp;
-    qp.dcqcn = enabled;
-    qp.cc = algo;
-    auto [qa, qb] = connect_qp_pair(h, rx, qp);
-    (void)qb;
-    demuxes.push_back(std::make_unique<RdmaDemux>(h));
-    sources.push_back(std::make_unique<RdmaStreamSource>(
-        h, *demuxes.back(), qa,
-        RdmaStreamSource::Options{.message_bytes = 256 * kKiB, .max_outstanding = 2}));
-    sources.back()->start();
+    traffic.add_streams(
+        star.tx(i), star.rx(), qp,
+        RdmaStreamSource::Options{.message_bytes = 256 * kKiB, .max_outstanding = 2});
   }
-  fabric.sim().run_until(duration);
+  star.sim().run_until(duration);
 
   CcResult r;
-  std::int64_t pauses = 0;
-  for (int p = 0; p < sw.port_count(); ++p) pauses += sw.port(p).counters().total_tx_pause();
+  const std::int64_t pauses = star.sim().metrics().sum("sw/port*/prio*/tx_pause");
   r.pauses_per_sec = static_cast<double>(pauses) / to_seconds(duration);
   double sum = 0, sum_sq = 0;
-  for (auto& s : sources) {
+  for (const auto& s : traffic.sources()) {
     const double g = s->goodput_bps();
     r.goodput_gbps += g / 1e9;
     sum += g;
     sum_sq += g * g;
   }
-  r.jain = sum * sum / (static_cast<double>(sources.size()) * sum_sq);
+  r.jain = sum * sum / (static_cast<double>(traffic.sources().size()) * sum_sq);
   return r;
 }
 
 }  // namespace
 
-int main() {
-  const Time duration = milliseconds(bench::env_int("ROCELAB_FW_MS", 40));
+int main(int argc, char** argv) {
+  exp::Scenario sc;
+  sc.name = "abl_future_work";
+  sc.title = "E15 — §8.1 per-packet routing + TIMELY vs DCQCN";
+  sc.paper = "paper: ECMP reaches only ~60% utilization; per-packet routing for RDMA in\n"
+             "a lossless network is named as an open challenge; DCQCN lessons should\n"
+             "apply to TIMELY networks as well";
+  sc.knobs = {exp::knob_int("duration_ms", 40, "ROCELAB_FW_MS", "simulated time per case")};
+  sc.body = [](exp::Context& ctx) {
+    const Time duration = milliseconds(ctx.knob_int("duration_ms"));
 
-  bench::print_header("E15a / §8.1 — per-packet routing vs per-flow ECMP (1 flow, 4 x 10G paths)");
-  const std::vector<int> w{14, 18, 16, 12, 10, 12};
-  bench::print_row({"routing", "recovery", "goodput(Gb/s)", "retx frac", "NAKs", "paths used"},
-                   w);
-  bench::print_rule(w);
-  SprayResult results[4];
-  int i = 0;
-  for (bool spray : {false, true}) {
-    for (LossRecovery rec : {LossRecovery::kGoBackN, LossRecovery::kSelectiveRepeat}) {
-      const SprayResult r = run_spray(spray, rec, duration);
-      results[i++] = r;
-      bench::print_row({spray ? "pkt-spray" : "flow-hash",
-                        rec == LossRecovery::kGoBackN ? "go-back-N" : "selective",
-                        bench::fmt("%.2f", r.goodput_gbps), bench::fmt("%.3f", r.retx_fraction),
-                        std::to_string(r.naks), std::to_string(r.paths_used)},
-                       w);
+    ctx.section("E15a / §8.1 — per-packet routing vs per-flow ECMP (1 flow, 4 x 10G paths)");
+    ctx.table({"routing", "recovery", "goodput(Gb/s)", "retx frac", "NAKs", "paths used"},
+              {14, 18, 16, 12, 10, 12});
+    SprayResult results[4];
+    int i = 0;
+    for (bool spray : {false, true}) {
+      for (LossRecovery rec : {LossRecovery::kGoBackN, LossRecovery::kSelectiveRepeat}) {
+        const SprayResult r = run_spray(spray, rec, duration);
+        results[i++] = r;
+        const std::string routing = spray ? "pkt-spray" : "flow-hash";
+        const std::string recovery = rec == LossRecovery::kGoBackN ? "go-back-N" : "selective";
+        ctx.row({routing, recovery, exp::fmt("%.2f", r.goodput_gbps),
+                 exp::fmt("%.3f", r.retx_fraction), std::to_string(r.naks),
+                 std::to_string(r.paths_used)});
+        const std::string case_name = routing + "/" + recovery;
+        ctx.metric(case_name, "goodput_gbps", r.goodput_gbps);
+        ctx.metric(case_name, "retx_fraction", r.retx_fraction);
+        ctx.metric(case_name, "naks", static_cast<double>(r.naks));
+        ctx.metric(case_name, "paths_used", r.paths_used);
+      }
     }
-  }
-  const bool hash_pins = results[0].paths_used == 1 && results[0].goodput_gbps < 12;
-  const bool spray_breaks_gbn = results[2].retx_fraction > 0.2 ||
-                                results[2].goodput_gbps < 0.7 * results[3].goodput_gbps;
-  const bool spray_sr_wins = results[3].goodput_gbps > 2.0 * results[0].goodput_gbps &&
-                             results[3].paths_used == 4;
-  std::printf("\nflow-hash pins the flow to one path: %s\n"
-              "spraying breaks go-back-N (reorder -> go-backs): %s\n"
-              "spraying + reorder-tolerant transport reclaims the fabric: %s\n",
-              hash_pins ? "CONFIRMED" : "NOT REPRODUCED",
-              spray_breaks_gbn ? "CONFIRMED" : "NOT REPRODUCED",
-              spray_sr_wins ? "CONFIRMED" : "NOT REPRODUCED");
 
-  bench::print_header("E15b / §2 — TIMELY vs DCQCN vs none (8-to-1 incast)");
-  const std::vector<int> w2{14, 16, 18, 12};
-  bench::print_row({"cc", "pauses/s", "goodput(Gb/s)", "Jain"}, w2);
-  bench::print_rule(w2);
-  const CcResult none = run_cc(false, CcAlgorithm::kDcqcn, duration);
-  const CcResult dcqcn = run_cc(true, CcAlgorithm::kDcqcn, duration);
-  const CcResult timely = run_cc(true, CcAlgorithm::kTimely, duration);
-  bench::print_row({"none", bench::fmt("%.0f", none.pauses_per_sec),
-                    bench::fmt("%.1f", none.goodput_gbps), bench::fmt("%.3f", none.jain)}, w2);
-  bench::print_row({"DCQCN", bench::fmt("%.0f", dcqcn.pauses_per_sec),
-                    bench::fmt("%.1f", dcqcn.goodput_gbps), bench::fmt("%.3f", dcqcn.jain)}, w2);
-  bench::print_row({"TIMELY", bench::fmt("%.0f", timely.pauses_per_sec),
-                    bench::fmt("%.1f", timely.goodput_gbps), bench::fmt("%.3f", timely.jain)},
-                   w2);
-  std::printf("(TIMELY's weaker fairness is consistent with the literature: delay-based\n"
-              "control has no unique per-flow fixed point, unlike DCQCN's ECN feedback.)\n");
-  const bool both_reduce = dcqcn.pauses_per_sec < 0.5 * none.pauses_per_sec &&
-                           timely.pauses_per_sec < 0.5 * none.pauses_per_sec;
-  std::printf("\nboth DCQCN and TIMELY cut PFC pause generation vs none: %s\n",
-              both_reduce ? "CONFIRMED" : "NOT REPRODUCED");
-  return (hash_pins && spray_breaks_gbn && spray_sr_wins && both_reduce) ? 0 : 1;
+    ctx.section("E15b / §2 — TIMELY vs DCQCN vs none (8-to-1 incast)");
+    ctx.table({"cc", "pauses/s", "goodput(Gb/s)", "Jain"}, {14, 16, 18, 12});
+    const CcResult none = run_cc(false, CcAlgorithm::kDcqcn, duration);
+    const CcResult dcqcn = run_cc(true, CcAlgorithm::kDcqcn, duration);
+    const CcResult timely = run_cc(true, CcAlgorithm::kTimely, duration);
+    for (const auto& [name, r] :
+         {std::pair<const char*, const CcResult&>{"none", none},
+          std::pair<const char*, const CcResult&>{"DCQCN", dcqcn},
+          std::pair<const char*, const CcResult&>{"TIMELY", timely}}) {
+      ctx.row({name, exp::fmt("%.0f", r.pauses_per_sec), exp::fmt("%.1f", r.goodput_gbps),
+               exp::fmt("%.3f", r.jain)});
+      ctx.metric(std::string("cc/") + name, "pauses_per_sec", r.pauses_per_sec);
+      ctx.metric(std::string("cc/") + name, "goodput_gbps", r.goodput_gbps);
+      ctx.metric(std::string("cc/") + name, "jain_fairness", r.jain);
+    }
+    ctx.note("(TIMELY's weaker fairness is consistent with the literature: delay-based\n"
+             "control has no unique per-flow fixed point, unlike DCQCN's ECN feedback.)");
+
+    ctx.check("flow-hash pins the flow to one path",
+              results[0].paths_used == 1 && results[0].goodput_gbps < 12);
+    ctx.check("spraying breaks go-back-N (reorder -> go-backs)",
+              results[2].retx_fraction > 0.2 ||
+                  results[2].goodput_gbps < 0.7 * results[3].goodput_gbps);
+    ctx.check("spraying + reorder-tolerant transport reclaims the fabric",
+              results[3].goodput_gbps > 2.0 * results[0].goodput_gbps &&
+                  results[3].paths_used == 4);
+    ctx.check("both DCQCN and TIMELY cut pause generation",
+              dcqcn.pauses_per_sec < 0.5 * none.pauses_per_sec &&
+                  timely.pauses_per_sec < 0.5 * none.pauses_per_sec);
+  };
+  return exp::run_scenario(sc, argc, argv);
 }

@@ -13,140 +13,150 @@
 //   (1) flow-level: the exact full-scale connection set, ECMP-hashed and
 //       max-min rate-allocated (fast, full 1152-server scale);
 //   (2) packet-level: the same topology at reduced ToR count by default
-//       (ROCELAB_FIG7_FULL=1 for the paper's full scale), measuring real
-//       delivered frames with PFC + DCQCN active.
-#include <cstdio>
-#include <memory>
-
-#include "bench/bench_util.h"
+//       (--full=1 / ROCELAB_FIG7_FULL=1 for the paper's full scale),
+//       measuring real delivered frames with PFC + DCQCN active.
 #include "src/app/demux.h"
 #include "src/app/traffic.h"
+#include "src/exp/harness.h"
+#include "src/exp/scenario.h"
+#include "src/monitor/metric_registry.h"
 #include "src/monitor/monitor.h"
 #include "src/rocev2/deployment.h"
 #include "src/topo/ecmp_analysis.h"
 
 using namespace rocelab;
 
-int main() {
-  bench::print_header("E6 / Fig. 7 — aggregate RDMA throughput in a 3-tier Clos");
-  std::printf("paper: 3.0 Tb/s of 5.12 Tb/s leaf-spine capacity (60%%), zero drops,\n"
-              "limited by ECMP hash collision\n");
-
-  // ---- (1) flow-level analysis at the paper's full scale --------------------
-  bench::print_header("flow-level ECMP analysis (full scale: 24 ToR pairs x 8 srv x 8 QPs)");
-  {
-    const std::vector<int> w{8, 14, 14, 12, 14, 14, 14};
-    bench::print_row({"seed", "connections", "aggregate", "util", "bnk-share", "max fl/lnk",
-                      "min fl/lnk"}, w);
-    bench::print_rule(w);
-    double util_sum = 0;
-    const int seeds = 5;
-    for (int seed = 1; seed <= seeds; ++seed) {
-      EcmpAnalysisParams p;
-      p.seed = static_cast<std::uint64_t>(seed);
-      const auto r = analyze_clos_ecmp(p);
-      util_sum += r.utilization;
-      bench::print_row({std::to_string(seed), std::to_string(r.total_connections),
-                        bench::fmt("%.2f Tb/s", r.aggregate_gbps / 1000),
-                        bench::fmt("%.1f%%", r.utilization * 100),
-                        bench::fmt("%.1f%%", r.utilization_bottleneck * 100),
-                        bench::fmt("%.0f", r.max_leaf_spine_flows),
-                        bench::fmt("%.0f", r.min_leaf_spine_flows)}, w);
+int main(int argc, char** argv) {
+  exp::Scenario sc;
+  sc.name = "fig_clos_throughput";
+  sc.title = "E6 / Fig. 7 — aggregate RDMA throughput in a 3-tier Clos";
+  sc.paper = "paper: 3.0 Tb/s of 5.12 Tb/s leaf-spine capacity (60%), zero drops,\n"
+             "limited by ECMP hash collision";
+  sc.knobs = {
+      exp::knob_int("full", 0, "ROCELAB_FIG7_FULL", "1 = paper's full 24-ToR-pair scale"),
+      exp::knob_int("tors", 6, "ROCELAB_FIG7_TORS", "ToR pairs at reduced scale"),
+      exp::knob_int("warmup_ms", 4, "ROCELAB_FIG7_WARMUP_MS", "warmup before measuring"),
+      exp::knob_int("measure_ms", 8, "ROCELAB_FIG7_MEASURE_MS", "measurement window"),
+  };
+  sc.body = [](exp::Context& ctx) {
+    // ---- (1) flow-level analysis at the paper's full scale ------------------
+    ctx.section("flow-level ECMP analysis (full scale: 24 ToR pairs x 8 srv x 8 QPs)");
+    {
+      ctx.table({"seed", "connections", "aggregate", "util", "bnk-share", "max fl/lnk",
+                 "min fl/lnk"},
+                {8, 14, 14, 12, 14, 14, 14});
+      double util_sum = 0;
+      const int seeds = 5;
+      for (int seed = 1; seed <= seeds; ++seed) {
+        EcmpAnalysisParams p;
+        p.seed = static_cast<std::uint64_t>(seed);
+        const auto r = analyze_clos_ecmp(p);
+        util_sum += r.utilization;
+        ctx.row({std::to_string(seed), std::to_string(r.total_connections),
+                 exp::fmt("%.2f Tb/s", r.aggregate_gbps / 1000),
+                 exp::fmt("%.1f%%", r.utilization * 100),
+                 exp::fmt("%.1f%%", r.utilization_bottleneck * 100),
+                 exp::fmt("%.0f", r.max_leaf_spine_flows),
+                 exp::fmt("%.0f", r.min_leaf_spine_flows)});
+        const std::string case_name = "flow_level/seed" + std::to_string(seed);
+        ctx.metric(case_name, "connections", r.total_connections);
+        ctx.metric(case_name, "aggregate_gbps", r.aggregate_gbps);
+        ctx.metric(case_name, "utilization", r.utilization);
+        ctx.metric(case_name, "utilization_bottleneck", r.utilization_bottleneck);
+      }
+      const double mean_util = util_sum / seeds;
+      ctx.note("");
+      ctx.note("mean uniform-rate utilization " + exp::fmt("%.1f%%", mean_util * 100) +
+               " (paper: 60% — every server at the same 8Gb/s, i.e. the equal share of\n"
+               "the most-collided link; per-bottleneck fairness could reach the bnk-share "
+               "column)");
+      ctx.metric("flow_level", "mean_utilization", mean_util);
+      ctx.check("flow-level utilization near 60%", mean_util > 0.45 && mean_util < 0.75);
     }
-    const double mean_util = util_sum / seeds;
-    std::printf("\nmean uniform-rate utilization %.1f%% (paper: 60%% — every server at the\n"
-                "same 8Gb/s, i.e. the equal share of the most-collided link; per-bottleneck\n"
-                "fairness could reach the bnk-share column)  -> %s\n",
-                mean_util * 100,
-                mean_util > 0.45 && mean_util < 0.75 ? "CONFIRMED" : "NOT REPRODUCED");
-  }
 
-  // ---- (2) packet-level simulation ------------------------------------------
-  const bool full = bench::env_int("ROCELAB_FIG7_FULL", 0) != 0;
-  const int tor_pairs = full ? 24 : static_cast<int>(bench::env_int("ROCELAB_FIG7_TORS", 6));
-  const int spines = full ? 64 : 16;
-  const int leaves = 4;
-  const int servers_per_tor = full ? 24 : 8;  // only 8 are active either way
-  const Time warmup = milliseconds(bench::env_int("ROCELAB_FIG7_WARMUP_MS", 4));
-  const Time window = milliseconds(bench::env_int("ROCELAB_FIG7_MEASURE_MS", 8));
+    // ---- (2) packet-level simulation ----------------------------------------
+    const bool full = ctx.knob_int("full") != 0;
+    const int tor_pairs = full ? 24 : static_cast<int>(ctx.knob_int("tors"));
+    const int spines = full ? 64 : 16;
+    const int leaves = 4;
+    const int servers_per_tor = full ? 24 : 8;  // only 8 are active either way
+    const Time warmup = milliseconds(ctx.knob_int("warmup_ms"));
+    const Time window = milliseconds(ctx.knob_int("measure_ms"));
 
-  bench::print_header("packet-level simulation (PFC + DCQCN active)");
-  std::printf("topology: 2 podsets x (%d ToRs, %d leaves), %d spines, %d servers/ToR\n",
-              tor_pairs, leaves, spines, servers_per_tor);
+    ctx.section("packet-level simulation (PFC + DCQCN active)");
+    ctx.note("topology: 2 podsets x (" + std::to_string(tor_pairs) + " ToRs, " +
+             std::to_string(leaves) + " leaves), " + std::to_string(spines) + " spines, " +
+             std::to_string(servers_per_tor) + " servers/ToR");
 
-  QosPolicy policy;
-  ClosParams params = make_clos_params(policy, DeploymentStage::kFull, 2, leaves, tor_pairs,
-                                       servers_per_tor, spines);
-  ClosFabric clos(params);
+    QosPolicy policy;
+    ClosParams params = make_clos_params(policy, DeploymentStage::kFull, 2, leaves, tor_pairs,
+                                         servers_per_tor, spines);
+    ClosFabric clos(params);
 
-  std::vector<std::unique_ptr<RdmaDemux>> demuxes;
-  std::vector<std::unique_ptr<RdmaStreamSource>> sources;
-  int connections = 0;
-  const int active_servers = 8;
-  const int qps_per_pair = 8;
-  for (int t = 0; t < tor_pairs; ++t) {
-    for (int s = 0; s < active_servers; ++s) {
-      for (int dir = 0; dir < 2; ++dir) {
-        Host& src = clos.server(dir, t, s);
-        Host& dst = clos.server(1 - dir, t, s);
-        auto demux = std::make_unique<RdmaDemux>(src);
-        for (int q = 0; q < qps_per_pair; ++q) {
-          auto [qa, qb] = connect_qp_pair(src, dst, make_qp_config(policy));
-          (void)qb;
-          sources.push_back(std::make_unique<RdmaStreamSource>(
-              src, *demux, qa,
-              RdmaStreamSource::Options{.message_bytes = 64 * kKiB, .max_outstanding = 2}));
-          sources.back()->start();
-          ++connections;
+    exp::TrafficSet traffic;
+    int connections = 0;
+    const int active_servers = 8;
+    const int qps_per_pair = 8;
+    for (int t = 0; t < tor_pairs; ++t) {
+      for (int s = 0; s < active_servers; ++s) {
+        for (int dir = 0; dir < 2; ++dir) {
+          Host& src = clos.server(dir, t, s);
+          Host& dst = clos.server(1 - dir, t, s);
+          traffic.add_streams(
+              src, dst, make_qp_config(policy),
+              RdmaStreamSource::Options{.message_bytes = 64 * kKiB, .max_outstanding = 2},
+              qps_per_pair);
+          connections += qps_per_pair;
         }
-        demuxes.push_back(std::move(demux));
       }
     }
-  }
 
-  std::vector<Host*> receivers;
-  for (const auto& h : clos.fabric().hosts()) receivers.push_back(h.get());
+    std::vector<Host*> receivers;
+    for (const auto& h : clos.fabric().hosts()) receivers.push_back(h.get());
 
-  clos.sim().run_until(warmup);
+    clos.sim().run_until(warmup);
 
-  // Measure delivered payload over the window (receiver side only).
-  std::int64_t rx0 = 0;
-  for (Host* h : receivers) rx0 += h->rdma().stats().bytes_received;
-  clos.sim().run_until(warmup + window);
-  std::int64_t rx1 = 0;
-  for (Host* h : receivers) rx1 += h->rdma().stats().bytes_received;
+    // Measure delivered payload over the window (receiver side only).
+    std::int64_t rx0 = 0;
+    for (Host* h : receivers) rx0 += h->rdma().stats().bytes_received;
+    clos.sim().run_until(warmup + window);
+    std::int64_t rx1 = 0;
+    for (Host* h : receivers) rx1 += h->rdma().stats().bytes_received;
 
-  // Fig. 7 reports frames/second; scale payload to frames of 1086 bytes.
-  const double payload_bps = static_cast<double>(rx1 - rx0) * 8.0 / to_seconds(window);
-  const double frame_bps = payload_bps * 1086.0 / 1024.0;
-  const double capacity_bps =
-      static_cast<double>(2 * leaves * (spines / leaves)) * static_cast<double>(gbps(40));
-  const double util = frame_bps / capacity_bps;
-  const double fps = payload_bps / 8.0 / 1024.0;
+    // Fig. 7 reports frames/second; scale payload to frames of 1086 bytes.
+    const double payload_bps = static_cast<double>(rx1 - rx0) * 8.0 / to_seconds(window);
+    const double frame_bps = payload_bps * 1086.0 / 1024.0;
+    const double capacity_bps =
+        static_cast<double>(2 * leaves * (spines / leaves)) * static_cast<double>(gbps(40));
+    const double util = frame_bps / capacity_bps;
+    const double fps = payload_bps / 8.0 / 1024.0;
 
-  // Lossless check: no RDMA packet drops anywhere.
-  std::int64_t lossless_drops = 0;
-  for (auto* sw : clos.fabric().switch_ptrs()) {
-    for (int p = 0; p < sw->port_count(); ++p) {
-      lossless_drops += sw->port(p).counters().headroom_overflow_drops;
-    }
-  }
+    // Lossless check: no RDMA packet drops anywhere. The metric registry
+    // sums headroom-overflow drops across every switch port in one query.
+    const std::int64_t lossless_drops =
+        clos.sim().metrics().sum("*/port*/headroom_overflow_drops");
 
-  std::printf("\nconnections: %d (paper: 3074 at full scale)\n", connections);
-  std::printf("aggregate frame throughput: %.2f Tb/s (%.2fM frames/s of 1086B)\n",
-              frame_bps / 1e12, fps / 1e6);
-  std::printf("leaf-spine capacity: %.2f Tb/s  utilization: %.1f%% (paper: 60%%)\n",
-              capacity_bps / 1e12, util * 100);
-  std::printf("lossless packet drops: %lld (paper: \"not a single packet was dropped\")\n",
-              static_cast<long long>(lossless_drops));
+    ctx.note("");
+    ctx.note("connections: " + std::to_string(connections) + " (paper: 3074 at full scale)");
+    ctx.note("aggregate frame throughput: " + exp::fmt("%.2f Tb/s", frame_bps / 1e12) + " (" +
+             exp::fmt("%.2fM frames/s", fps / 1e6) + " of 1086B)");
+    ctx.note("leaf-spine capacity: " + exp::fmt("%.2f Tb/s", capacity_bps / 1e12) +
+             "  utilization: " + exp::fmt("%.1f%%", util * 100) + " (paper: 60%)");
+    ctx.note("lossless packet drops: " + std::to_string(lossless_drops) +
+             " (paper: \"not a single packet was dropped\")");
+    ctx.metric("packet_level", "connections", connections);
+    ctx.metric("packet_level", "frame_tbps", frame_bps / 1e12);
+    ctx.metric("packet_level", "capacity_tbps", capacity_bps / 1e12);
+    ctx.metric("packet_level", "utilization", util);
+    ctx.metric("packet_level", "lossless_drops", static_cast<double>(lossless_drops));
 
-  // Where in [60%, ~bottleneck-share] the packet-level number lands depends
-  // on how closely the congestion control approaches per-bottleneck
-  // fairness: production DCQCN+PFC coupled flows toward the uniform rate
-  // (hence the paper's 60%); our short-horizon simulation with fast DCQCN
-  // recovery reclaims part of the collision slack.
-  const bool ok = util > 0.40 && util < 0.95 && lossless_drops == 0;
-  std::printf("\nECMP-collision-limited utilization, zero loss: %s\n",
-              ok ? "CONFIRMED" : "NOT REPRODUCED");
-  return ok ? 0 : 1;
+    // Where in [60%, ~bottleneck-share] the packet-level number lands depends
+    // on how closely the congestion control approaches per-bottleneck
+    // fairness: production DCQCN+PFC coupled flows toward the uniform rate
+    // (hence the paper's 60%); our short-horizon simulation with fast DCQCN
+    // recovery reclaims part of the collision slack.
+    ctx.check("ECMP-collision-limited utilization, zero loss",
+              util > 0.40 && util < 0.95 && lossless_drops == 0);
+  };
+  return exp::run_scenario(sc, argc, argv);
 }

@@ -14,9 +14,9 @@
 // incomplete. We run both policies and detect the cycle explicitly.
 #include <cstdio>
 
-#include "bench/bench_util.h"
 #include "src/app/demux.h"
 #include "src/app/traffic.h"
+#include "src/exp/scenario.h"
 #include "src/topo/fabric.h"
 
 using namespace rocelab;
@@ -33,7 +33,7 @@ struct Result {
   double incast_goodput_gbps = 0.0;  // S6/S7 -> S5 goodput at the end
 };
 
-Result run_case(ArpIncompletePolicy policy) {
+Result run_case(ArpIncompletePolicy policy, Time run_until, Time drain_until) {
   Fabric fabric;
   SwitchConfig tor_cfg;
   tor_cfg.lossless[3] = true;
@@ -118,7 +118,7 @@ Result run_case(ArpIncompletePolicy policy) {
   inc6.start();
   inc7.start();
 
-  fabric.sim().run_until(milliseconds(100));
+  fabric.sim().run_until(run_until);
 
   Result r;
   std::vector<Switch*> switches{&t0, &t1, &la, &lb};
@@ -136,7 +136,7 @@ Result run_case(ArpIncompletePolicy policy) {
   // Paper: "the deadlock does not go away even if we restart all the
   // servers" — stop every sender and give the network time to drain.
   for (auto& h : fabric.hosts()) h->set_dead(true);
-  fabric.sim().run_until(milliseconds(200));
+  fabric.sim().run_until(drain_until);
   auto report2 = detect_pfc_deadlock(switches);
   r.deadlocked_after_restart = report2.deadlocked;
   for (auto* sw : switches) {
@@ -151,42 +151,58 @@ Result run_case(ArpIncompletePolicy policy) {
   return r;
 }
 
+void record(exp::Context& ctx, const std::string& case_name, const Result& r) {
+  ctx.metric(case_name, "deadlocked", r.deadlocked ? 1 : 0);
+  ctx.metric(case_name, "deadlocked_after_restart", r.deadlocked_after_restart ? 1 : 0);
+  ctx.metric(case_name, "flood_events", static_cast<double>(r.flood_events));
+  ctx.metric(case_name, "arp_incomplete_drops", static_cast<double>(r.arp_drops));
+  ctx.metric(case_name, "stuck_lossless_bytes", static_cast<double>(r.stuck_lossless_bytes));
+  ctx.metric(case_name, "incast_goodput_gbps", r.incast_goodput_gbps);
+}
+
 }  // namespace
 
-int main() {
-  bench::print_header("E2 / Fig. 4 — PFC deadlock from flooding + pause propagation");
-  std::printf("paper: standard flooding -> cyclic buffer dependency -> deadlock that\n"
-              "survives server restarts; fix = drop lossless packets on incomplete ARP\n\n");
+int main(int argc, char** argv) {
+  exp::Scenario sc;
+  sc.name = "fig_deadlock";
+  sc.title = "E2 / Fig. 4 — PFC deadlock from flooding + pause propagation";
+  sc.paper = "paper: standard flooding -> cyclic buffer dependency -> deadlock that\n"
+             "survives server restarts; fix = drop lossless packets on incomplete ARP";
+  sc.knobs = {exp::knob_int("run_ms", 100, "", "time before the deadlock probe"),
+              exp::knob_int("drain_ms", 200, "", "absolute time after killing all senders")};
+  sc.body = [](exp::Context& ctx) {
+    const Time run_until = milliseconds(ctx.knob_int("run_ms"));
+    const Time drain_until = milliseconds(ctx.knob_int("drain_ms"));
+    const Result flood = run_case(ArpIncompletePolicy::kFlood, run_until, drain_until);
+    const Result fixed = run_case(ArpIncompletePolicy::kDropLossless, run_until, drain_until);
 
-  const Result flood = run_case(ArpIncompletePolicy::kFlood);
-  const Result fixed = run_case(ArpIncompletePolicy::kDropLossless);
+    ctx.table({"metric", "flood (standard)", "drop-lossless fix"}, {26, 18, 18});
+    ctx.row({"deadlock detected", flood.deadlocked ? "YES" : "no",
+             fixed.deadlocked ? "YES" : "no"});
+    ctx.row({"deadlock after restart", flood.deadlocked_after_restart ? "YES" : "no",
+             fixed.deadlocked_after_restart ? "YES" : "no"});
+    ctx.row({"flood events", std::to_string(flood.flood_events),
+             std::to_string(fixed.flood_events)});
+    ctx.row({"arp-incomplete drops", std::to_string(flood.arp_drops),
+             std::to_string(fixed.arp_drops)});
+    ctx.row({"stuck lossless bytes", std::to_string(flood.stuck_lossless_bytes),
+             std::to_string(fixed.stuck_lossless_bytes)});
+    ctx.row({"incast goodput (Gb/s)", exp::fmt("%.2f", flood.incast_goodput_gbps),
+             exp::fmt("%.2f", fixed.incast_goodput_gbps)});
+    record(ctx, "flood", flood);
+    record(ctx, "drop_lossless", fixed);
 
-  const std::vector<int> w{26, 18, 18};
-  bench::print_row({"metric", "flood (standard)", "drop-lossless fix"}, w);
-  bench::print_rule(w);
-  bench::print_row({"deadlock detected", flood.deadlocked ? "YES" : "no",
-                    fixed.deadlocked ? "YES" : "no"}, w);
-  bench::print_row({"deadlock after restart", flood.deadlocked_after_restart ? "YES" : "no",
-                    fixed.deadlocked_after_restart ? "YES" : "no"}, w);
-  bench::print_row({"flood events", std::to_string(flood.flood_events),
-                    std::to_string(fixed.flood_events)}, w);
-  bench::print_row({"arp-incomplete drops", std::to_string(flood.arp_drops),
-                    std::to_string(fixed.arp_drops)}, w);
-  bench::print_row({"stuck lossless bytes", std::to_string(flood.stuck_lossless_bytes),
-                    std::to_string(fixed.stuck_lossless_bytes)}, w);
-  bench::print_row({"incast goodput (Gb/s)", bench::fmt("%.2f", flood.incast_goodput_gbps),
-                    bench::fmt("%.2f", fixed.incast_goodput_gbps)}, w);
+    if (flood.deadlocked) {
+      std::string cycle = "pause cycle: ";
+      for (const auto& [sw, port] : flood.cycle) {
+        cycle += sw + ".p" + std::to_string(port) + " -> ";
+      }
+      ctx.note("");
+      ctx.note(cycle + "(loop)");
+    }
 
-  if (flood.deadlocked) {
-    std::printf("\npause cycle: ");
-    for (const auto& [sw, port] : flood.cycle) std::printf("%s.p%d -> ", sw.c_str(), port);
-    std::printf("(loop)\n");
-  }
-
-  const bool ok = flood.deadlocked && flood.deadlocked_after_restart && !fixed.deadlocked &&
-                  fixed.deadlocked_after_restart == false;
-  std::printf("\ndeadlock with flooding: %s   fix prevents deadlock: %s\n",
-              flood.deadlocked ? "CONFIRMED" : "NOT REPRODUCED",
-              !fixed.deadlocked ? "CONFIRMED" : "NOT REPRODUCED");
-  return ok ? 0 : 1;
+    ctx.check("deadlock with flooding", flood.deadlocked && flood.deadlocked_after_restart);
+    ctx.check("fix prevents deadlock", !fixed.deadlocked && !fixed.deadlocked_after_restart);
+  };
+  return exp::run_scenario(sc, argc, argv);
 }

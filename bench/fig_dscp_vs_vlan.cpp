@@ -11,11 +11,11 @@
 // lossless class beyond the first switch — congestion then DROPS lossless
 // packets downstream. The DSCP field rides in the IP header and survives
 // routing, keeping PFC protection end to end.
-#include <cstdio>
+#include <memory>
 
-#include "bench/bench_util.h"
 #include "src/app/demux.h"
 #include "src/app/traffic.h"
+#include "src/exp/scenario.h"
 #include "src/topo/fabric.h"
 
 using namespace rocelab;
@@ -200,44 +200,53 @@ PriorityResult run_cross_subnet(ClassifyMode mode) {
 
 }  // namespace
 
-int main() {
-  bench::print_header("E14 / §3 — DSCP-based PFC vs the original VLAN-based PFC");
+int main(int argc, char** argv) {
+  exp::Scenario sc;
+  sc.name = "fig_dscp_vs_vlan";
+  sc.title = "E14 / §3 — DSCP-based PFC vs the original VLAN-based PFC";
+  sc.paper = "paper: VLAN-based PFC breaks PXE boot (trunk ports) and loses the PCP\n"
+             "across routed hops; DSCP-based PFC avoids both";
+  sc.body = [](exp::Context& ctx) {
+    ctx.section("problem 1: PXE boot through trunk-mode ports");
+    const PxeResult vlan_pxe = run_pxe(ClassifyMode::kVlanPcp);
+    const PxeResult dscp_pxe = run_pxe(ClassifyMode::kDscp);
+    ctx.table({"metric", "VLAN-based", "DSCP-based"}, {30, 16, 16});
+    ctx.row({"OS image bytes delivered", std::to_string(vlan_pxe.provisioned_bytes),
+             std::to_string(dscp_pxe.provisioned_bytes)});
+    ctx.row({"frames dropped by port mode", std::to_string(vlan_pxe.dropped_frames),
+             std::to_string(dscp_pxe.dropped_frames)});
+    ctx.row({"configured neighbor bytes", std::to_string(vlan_pxe.normal_bytes),
+             std::to_string(dscp_pxe.normal_bytes)});
+    ctx.metric("pxe/vlan", "provisioned_bytes", static_cast<double>(vlan_pxe.provisioned_bytes));
+    ctx.metric("pxe/vlan", "dropped_frames", static_cast<double>(vlan_pxe.dropped_frames));
+    ctx.metric("pxe/dscp", "provisioned_bytes", static_cast<double>(dscp_pxe.provisioned_bytes));
+    ctx.metric("pxe/dscp", "dropped_frames", static_cast<double>(dscp_pxe.dropped_frames));
 
-  std::printf("\nproblem 1: PXE boot through trunk-mode ports\n\n");
-  const PxeResult vlan_pxe = run_pxe(ClassifyMode::kVlanPcp);
-  const PxeResult dscp_pxe = run_pxe(ClassifyMode::kDscp);
-  const std::vector<int> w{30, 16, 16};
-  bench::print_row({"metric", "VLAN-based", "DSCP-based"}, w);
-  bench::print_rule(w);
-  bench::print_row({"OS image bytes delivered", std::to_string(vlan_pxe.provisioned_bytes),
-                    std::to_string(dscp_pxe.provisioned_bytes)}, w);
-  bench::print_row({"frames dropped by port mode", std::to_string(vlan_pxe.dropped_frames),
-                    std::to_string(dscp_pxe.dropped_frames)}, w);
-  bench::print_row({"configured neighbor bytes", std::to_string(vlan_pxe.normal_bytes),
-                    std::to_string(dscp_pxe.normal_bytes)}, w);
+    ctx.section("problem 2: packet priority across subnet boundaries (4-to-1 incast\n"
+                "routed across a leaf; lossless only if the priority survives)");
+    const PriorityResult vlan_route = run_cross_subnet(ClassifyMode::kVlanPcp);
+    const PriorityResult dscp_route = run_cross_subnet(ClassifyMode::kDscp);
+    ctx.table({"metric", "VLAN-based", "DSCP-based"}, {30, 16, 16});
+    ctx.row({"RDMA packets dropped", std::to_string(vlan_route.lossless_drops),
+             std::to_string(dscp_route.lossless_drops)});
+    ctx.row({"messages delivered", std::to_string(vlan_route.delivered_msgs),
+             std::to_string(dscp_route.delivered_msgs)});
+    ctx.row({"goodput (Gb/s)", exp::fmt("%.2f", vlan_route.goodput_gbps),
+             exp::fmt("%.2f", dscp_route.goodput_gbps)});
+    ctx.metric("route/vlan", "lossless_drops", static_cast<double>(vlan_route.lossless_drops));
+    ctx.metric("route/vlan", "delivered_msgs", static_cast<double>(vlan_route.delivered_msgs));
+    ctx.metric("route/vlan", "goodput_gbps", vlan_route.goodput_gbps);
+    ctx.metric("route/dscp", "lossless_drops", static_cast<double>(dscp_route.lossless_drops));
+    ctx.metric("route/dscp", "delivered_msgs", static_cast<double>(dscp_route.delivered_msgs));
+    ctx.metric("route/dscp", "goodput_gbps", dscp_route.goodput_gbps);
 
-  std::printf("\nproblem 2: packet priority across subnet boundaries (4-to-1 incast\n"
-              "routed across a leaf; lossless only if the priority survives)\n\n");
-  const PriorityResult vlan_route = run_cross_subnet(ClassifyMode::kVlanPcp);
-  const PriorityResult dscp_route = run_cross_subnet(ClassifyMode::kDscp);
-  bench::print_row({"metric", "VLAN-based", "DSCP-based"}, w);
-  bench::print_rule(w);
-  bench::print_row({"RDMA packets dropped", std::to_string(vlan_route.lossless_drops),
-                    std::to_string(dscp_route.lossless_drops)}, w);
-  bench::print_row({"messages delivered", std::to_string(vlan_route.delivered_msgs),
-                    std::to_string(dscp_route.delivered_msgs)}, w);
-  bench::print_row({"goodput (Gb/s)", bench::fmt("%.2f", vlan_route.goodput_gbps),
-                    bench::fmt("%.2f", dscp_route.goodput_gbps)}, w);
-
-  const bool pxe_broken = vlan_pxe.provisioned_bytes == 0 && vlan_pxe.dropped_frames > 0;
-  const bool pxe_fixed = dscp_pxe.provisioned_bytes > 0 && dscp_pxe.dropped_frames == 0;
-  const bool priority_lost = vlan_route.lossless_drops > 0;
-  const bool priority_kept = dscp_route.lossless_drops == 0 && dscp_route.delivered_msgs > 0;
-  std::printf("\nVLAN mode breaks PXE boot: %s   DSCP mode keeps it working: %s\n"
-              "VLAN PCP lost across subnets (drops): %s   DSCP survives routing: %s\n",
-              pxe_broken ? "CONFIRMED" : "NOT REPRODUCED",
-              pxe_fixed ? "CONFIRMED" : "NOT REPRODUCED",
-              priority_lost ? "CONFIRMED" : "NOT REPRODUCED",
-              priority_kept ? "CONFIRMED" : "NOT REPRODUCED");
-  return (pxe_broken && pxe_fixed && priority_lost && priority_kept) ? 0 : 1;
+    ctx.check("VLAN mode breaks PXE boot",
+              vlan_pxe.provisioned_bytes == 0 && vlan_pxe.dropped_frames > 0);
+    ctx.check("DSCP mode keeps PXE working",
+              dscp_pxe.provisioned_bytes > 0 && dscp_pxe.dropped_frames == 0);
+    ctx.check("VLAN PCP lost across subnets (drops)", vlan_route.lossless_drops > 0);
+    ctx.check("DSCP survives routing",
+              dscp_route.lossless_drops == 0 && dscp_route.delivered_msgs > 0);
+  };
+  return exp::run_scenario(sc, argc, argv);
 }

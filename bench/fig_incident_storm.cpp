@@ -6,139 +6,133 @@
 // counts at many servers in 5-minute buckets (Fig. 9b). Power-cycling the
 // server cleared it. We reproduce the incident timeline with scaled
 // buckets (10ms of simulation standing in for 5 minutes).
-#include <cstdio>
+#include <algorithm>
+#include <functional>
 #include <memory>
 
-#include "bench/bench_util.h"
 #include "src/app/demux.h"
 #include "src/app/traffic.h"
+#include "src/exp/harness.h"
+#include "src/exp/scenario.h"
 #include "src/monitor/monitor.h"
 #include "src/rocev2/deployment.h"
 
 using namespace rocelab;
 
-int main() {
-  bench::print_header("E8 / Fig. 9 — NIC PFC storm incident (monitoring view)");
-  std::printf("paper: availability collapses during the storm; servers receive large\n"
-              "pause-frame counts per bucket; power-cycling the server ends it\n\n");
+int main(int argc, char** argv) {
+  exp::Scenario sc;
+  sc.name = "fig_incident_storm";
+  sc.title = "E8 / Fig. 9 — NIC PFC storm incident (monitoring view)";
+  sc.paper = "paper: availability collapses during the storm; servers receive large\n"
+             "pause-frame counts per bucket; power-cycling the server ends it";
+  sc.knobs = {exp::knob_int("bucket_ms", 10, "",
+                            "bucket length standing in for the paper's 5 minutes")};
+  sc.body = [](exp::Context& ctx) {
+    QosPolicy policy;
+    policy.nic_watchdog = false;  // the incident predates the watchdogs
+    policy.switch_watchdog = false;
+    ClosParams params = make_clos_params(policy, DeploymentStage::kFull, 2, 2, 2, 4, 4);
+    ClosFabric clos(params);
+    auto& sim = clos.sim();
 
-  QosPolicy policy;
-  policy.nic_watchdog = false;  // the incident predates the watchdogs
-  policy.switch_watchdog = false;
-  ClosParams params = make_clos_params(policy, DeploymentStage::kFull, 2, 2, 2, 4, 4);
-  ClosFabric clos(params);
-  auto& sim = clos.sim();
+    // Service traffic + pingmesh availability probes from every server.
+    exp::TrafficSet traffic;
+    std::vector<RdmaPingmesh*> probes;
 
-  // Service traffic + pingmesh availability probes from every server.
-  std::vector<std::unique_ptr<RdmaDemux>> demuxes;
-  std::vector<std::unique_ptr<RdmaEchoServer>> echoes;
-  std::vector<std::unique_ptr<RdmaStreamSource>> sources;
-  std::vector<std::unique_ptr<RdmaPingmesh>> probes;
+    std::vector<Host*> hosts;
+    for (const auto& h : clos.fabric().hosts()) hosts.push_back(h.get());
+    // Every host gets its demux upfront (receivers included), as the
+    // monitoring deployment would.
+    for (Host* h : hosts) traffic.demux(*h);
 
-  std::vector<Host*> hosts;
-  for (const auto& h : clos.fabric().hosts()) hosts.push_back(h.get());
-  for (Host* h : hosts) demuxes.push_back(std::make_unique<RdmaDemux>(*h));
-  auto demux_of = [&](Host* h) -> RdmaDemux& {
-    for (std::size_t i = 0; i < hosts.size(); ++i) {
-      if (hosts[i] == h) return *demuxes[i];
-    }
-    throw std::logic_error("host not found");
-  };
+    Host& victim = clos.server(0, 0, 0);
+    for (int t = 0; t < 2; ++t) {
+      for (int s = 0; s < 4; ++s) {
+        Host& a = clos.server(0, t, s);
+        Host& b = clos.server(1, t, s);
+        // Cross-podset service stream + probe in both directions.
+        if (&a != &victim) {
+          traffic.add_streams(
+              a, b, make_qp_config(policy),
+              RdmaStreamSource::Options{.message_bytes = 128 * kKiB, .max_outstanding = 2});
+        }
+        // Everyone sends to the victim too (storm fuel), with short retx.
+        QpConfig to_victim = make_qp_config(policy);
+        to_victim.retx_timeout = microseconds(200);
+        traffic.add_streams(
+            b, victim, to_victim,
+            RdmaStreamSource::Options{.message_bytes = 256 * kKiB, .max_outstanding = 2});
 
-  Host& victim = clos.server(0, 0, 0);
-  for (int t = 0; t < 2; ++t) {
-    for (int s = 0; s < 4; ++s) {
-      Host& a = clos.server(0, t, s);
-      Host& b = clos.server(1, t, s);
-      // Cross-podset service stream + probe in both directions.
-      if (&a != &victim) {
-        QpConfig qp_cfg = make_qp_config(policy);
-        auto [qa, qb] = connect_qp_pair(a, b, qp_cfg);
-        (void)qb;
-        sources.push_back(std::make_unique<RdmaStreamSource>(
-            a, demux_of(&a), qa,
-            RdmaStreamSource::Options{.message_bytes = 128 * kKiB, .max_outstanding = 2}));
-        sources.back()->start();
+        // Availability probes a<->b.
+        const std::uint32_t pa = traffic.add_probe_target(a, b, make_qp_config(policy), 512);
+        RdmaPingmesh& mesh = traffic.add_pingmesh(
+            a, {pa},
+            RdmaPingmesh::Options{.probe_bytes = 512, .interval = microseconds(500),
+                                  .timeout = milliseconds(5)});
+        mesh.start();
+        probes.push_back(&mesh);
       }
-      // Everyone sends to the victim too (storm fuel), with short retx.
-      QpConfig to_victim = make_qp_config(policy);
-      to_victim.retx_timeout = microseconds(200);
-      auto [qv, qv2] = connect_qp_pair(b, victim, to_victim);
-      (void)qv2;
-      sources.push_back(std::make_unique<RdmaStreamSource>(
-          b, demux_of(&b), qv,
-          RdmaStreamSource::Options{.message_bytes = 256 * kKiB, .max_outstanding = 2}));
-      sources.back()->start();
-
-      // Availability probes a<->b.
-      auto [pa, pb] = connect_qp_pair(a, b, make_qp_config(policy));
-      echoes.push_back(std::make_unique<RdmaEchoServer>(b, demux_of(&b), pb, 512));
-      probes.push_back(std::make_unique<RdmaPingmesh>(
-          a, demux_of(&a), std::vector<std::uint32_t>{pa},
-          RdmaPingmesh::Options{.probe_bytes = 512, .interval = microseconds(500),
-                                .timeout = milliseconds(5)}));
-      probes.back()->start();
     }
-  }
 
-  const Time bucket = milliseconds(10);  // stands in for the paper's 5 minutes
-  std::vector<Node*> host_nodes;
-  for (Host* h : hosts) host_nodes.push_back(h);
-  PauseMonitor pauses(sim, host_nodes, bucket);
-  pauses.start();
+    const Time bucket = milliseconds(ctx.knob_int("bucket_ms"));
+    std::vector<Node*> host_nodes;
+    for (Host* h : hosts) host_nodes.push_back(h);
+    PauseMonitor pauses(sim, host_nodes, bucket);
+    pauses.start();
 
-  // Availability per bucket: fraction of probes that came back.
-  struct BucketStat {
-    std::int64_t sent = 0;
-    std::int64_t ok = 0;
-  };
-  std::vector<BucketStat> avail;
-  std::vector<std::int64_t> last_sent(probes.size(), 0), last_fail(probes.size(), 0),
-      last_out(probes.size(), 0);
-  std::function<void()> sample_avail = [&] {
-    BucketStat st;
-    for (std::size_t i = 0; i < probes.size(); ++i) {
-      const std::int64_t sent = probes[i]->probes_sent();
-      const std::int64_t failed = probes[i]->probes_failed();
-      st.sent += sent - last_sent[i];
-      st.ok += (sent - last_sent[i]) - (failed - last_fail[i]);
-      last_sent[i] = sent;
-      last_fail[i] = failed;
-    }
-    avail.push_back(st);
+    // Availability per bucket: fraction of probes that came back.
+    struct BucketStat {
+      std::int64_t sent = 0;
+      std::int64_t ok = 0;
+    };
+    std::vector<BucketStat> avail;
+    std::vector<std::int64_t> last_sent(probes.size(), 0), last_fail(probes.size(), 0);
+    std::function<void()> sample_avail = [&] {
+      BucketStat st;
+      for (std::size_t i = 0; i < probes.size(); ++i) {
+        const std::int64_t sent = probes[i]->probes_sent();
+        const std::int64_t failed = probes[i]->probes_failed();
+        st.sent += sent - last_sent[i];
+        st.ok += (sent - last_sent[i]) - (failed - last_fail[i]);
+        last_sent[i] = sent;
+        last_fail[i] = failed;
+      }
+      avail.push_back(st);
+      sim.schedule_in(bucket, sample_avail);
+    };
     sim.schedule_in(bucket, sample_avail);
+
+    // Timeline: storm starts in bucket 3, server power-cycled at bucket 12.
+    sim.schedule_at(3 * bucket, [&] { victim.set_storm_mode(true); });
+    sim.schedule_at(12 * bucket, [&] { victim.set_storm_mode(false); });  // power cycle
+    sim.run_until(18 * bucket);
+
+    const IntervalSeries agg = pauses.aggregate_rx();
+    ctx.table({"bucket", "availability", "pause frames rx", "servers paused"}, {8, 15, 17, 19});
+    double min_avail = 1.0;
+    double pre_storm_avail = 1.0;
+    for (std::size_t b = 0; b < avail.size(); ++b) {
+      const double a = avail[b].sent > 0
+                           ? static_cast<double>(avail[b].ok) / static_cast<double>(avail[b].sent)
+                           : 1.0;
+      if (b >= 4 && b < 12) min_avail = std::min(min_avail, a);
+      if (b < 3) pre_storm_avail = std::min(pre_storm_avail, a);
+      const double pause_rx = agg.bucket_value(static_cast<std::int64_t>(b));
+      const int servers_paused = pauses.nodes_receiving_in_bucket(static_cast<std::int64_t>(b));
+      ctx.row({std::to_string(b), exp::fmt("%.1f%%", a * 100), exp::fmt("%.0f", pause_rx),
+               std::to_string(servers_paused)});
+      const std::string case_name = "bucket" + std::to_string(b);
+      ctx.metric(case_name, "availability", a);
+      ctx.metric(case_name, "pause_frames_rx", pause_rx);
+      ctx.metric(case_name, "servers_paused", servers_paused);
+    }
+
+    const double post_avail =
+        avail.size() > 15 ? static_cast<double>(avail[15].ok) /
+                                static_cast<double>(std::max<std::int64_t>(avail[15].sent, 1))
+                          : 0.0;
+    ctx.check("availability collapses during storm", min_avail < 0.5 && pre_storm_avail > 0.95);
+    ctx.check("recovers after power-cycle", post_avail > 0.95);
   };
-  sim.schedule_in(bucket, sample_avail);
-
-  // Timeline: storm starts in bucket 3, server power-cycled at bucket 12.
-  sim.schedule_at(3 * bucket, [&] { victim.set_storm_mode(true); });
-  sim.schedule_at(12 * bucket, [&] { victim.set_storm_mode(false); });  // power cycle
-  sim.run_until(18 * bucket);
-
-  const IntervalSeries agg = pauses.aggregate_rx();
-  std::printf("%-8s %14s %16s %18s\n", "bucket", "availability", "pause frames rx",
-              "servers paused");
-  std::printf("-----------------------------------------------------------\n");
-  double min_avail = 1.0;
-  double pre_storm_avail = 1.0;
-  for (std::size_t b = 0; b < avail.size(); ++b) {
-    const double a = avail[b].sent > 0
-                         ? static_cast<double>(avail[b].ok) / static_cast<double>(avail[b].sent)
-                         : 1.0;
-    if (b >= 4 && b < 12) min_avail = std::min(min_avail, a);
-    if (b < 3) pre_storm_avail = std::min(pre_storm_avail, a);
-    std::printf("%-8zu %13.1f%% %16.0f %18d\n", b, a * 100,
-                agg.bucket_value(static_cast<std::int64_t>(b)),
-                pauses.nodes_receiving_in_bucket(static_cast<std::int64_t>(b)));
-  }
-
-  const double post_avail = avail.size() > 15
-                                ? static_cast<double>(avail[15].ok) /
-                                      static_cast<double>(std::max<std::int64_t>(avail[15].sent, 1))
-                                : 0.0;
-  const bool dip = min_avail < 0.5 && pre_storm_avail > 0.95;
-  const bool recover = post_avail > 0.95;
-  std::printf("\navailability collapses during storm: %s   recovers after power-cycle: %s\n",
-              dip ? "CONFIRMED" : "NOT REPRODUCED", recover ? "CONFIRMED" : "NOT REPRODUCED");
-  return (dip && recover) ? 0 : 1;
+  return exp::run_scenario(sc, argc, argv);
 }

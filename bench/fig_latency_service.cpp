@@ -8,190 +8,190 @@
 // Paper result: 99th percentile 90us (RDMA) vs 700us (TCP); TCP's p99 had
 // spikes of several ms; RDMA's 99.9th was ~200us. The TCP tail comes from
 // kernel stack overhead and occasional incast drops; RDMA eliminates both.
-#include <cstdio>
 #include <memory>
 
-#include "bench/bench_util.h"
 #include "src/app/demux.h"
 #include "src/app/traffic.h"
+#include "src/exp/scenario.h"
+#include "src/monitor/metric_registry.h"
 #include "src/rocev2/deployment.h"
 
 using namespace rocelab;
 
-int main() {
-  bench::print_header("E5 / Fig. 6 — TCP vs RDMA latency for a latency-sensitive service");
-  std::printf("paper: p99 = 90us (RDMA) vs 700us (TCP); RDMA p99.9 ~200us < TCP p99;\n"
-              "TCP p99 spikes to several ms\n");
+int main(int argc, char** argv) {
+  exp::Scenario sc;
+  sc.name = "fig_latency_service";
+  sc.title = "E5 / Fig. 6 — TCP vs RDMA latency for a latency-sensitive service";
+  sc.paper = "paper: p99 = 90us (RDMA) vs 700us (TCP); RDMA p99.9 ~200us < TCP p99;\n"
+             "TCP p99 spikes to several ms";
+  sc.knobs = {exp::knob_int("duration_ms", 400, "ROCELAB_FIG6_MS",
+                            "measurement window after 50ms warmup")};
+  sc.body = [](exp::Context& ctx) {
+    QosPolicy policy;
+    policy.max_cable_m = 20.0;
+    ClosParams params = make_clos_params(policy, DeploymentStage::kFull, /*podsets=*/1,
+                                         /*leaves=*/2, /*tors=*/2, /*servers=*/16, /*spines=*/0);
+    ClosFabric clos(params);
+    auto& sim = clos.sim();
+    const int servers_per_tor = params.servers_per_tor;
 
-  QosPolicy policy;
-  policy.max_cable_m = 20.0;
-  ClosParams params = make_clos_params(policy, DeploymentStage::kFull, /*podsets=*/1,
-                                       /*leaves=*/2, /*tors=*/2, /*servers=*/16, /*spines=*/0);
-  ClosFabric clos(params);
-  auto& sim = clos.sim();
-  const int servers_per_tor = params.servers_per_tor;
+    // --- background service traffic: bursty incast on BOTH stacks ------------
+    // Every server issues queries to 8 random peers; responses incast back.
+    // Mean interval tuned for ~350Mb/s offered per server.
+    std::vector<std::unique_ptr<RdmaDemux>> rdemux;
+    std::vector<std::unique_ptr<TcpStack>> stacks;
+    std::vector<std::unique_ptr<TcpDemux>> tdemux;
+    std::vector<std::unique_ptr<RdmaEchoServer>> echoes;
+    std::vector<std::unique_ptr<TcpEchoServer>> techoes;
+    std::vector<std::unique_ptr<RdmaIncastClient>> rclients;
+    std::vector<std::unique_ptr<TcpIncastClient>> tclients;
 
-  // --- background service traffic: bursty incast on BOTH stacks --------------
-  // Every server issues queries to 8 random peers; responses incast back.
-  // Mean interval tuned for ~350Mb/s offered per server.
-  std::vector<std::unique_ptr<RdmaDemux>> rdemux;
-  std::vector<std::unique_ptr<TcpStack>> stacks;
-  std::vector<std::unique_ptr<TcpDemux>> tdemux;
-  std::vector<std::unique_ptr<RdmaEchoServer>> echoes;
-  std::vector<std::unique_ptr<TcpEchoServer>> techoes;
-  std::vector<std::unique_ptr<RdmaIncastClient>> rclients;
-  std::vector<std::unique_ptr<TcpIncastClient>> tclients;
-
-  std::vector<Host*> all;
-  for (int t = 0; t < 2; ++t) {
-    for (int s = 0; s < servers_per_tor; ++s) all.push_back(&clos.server(0, t, s));
-  }
-  for (Host* h : all) {
-    rdemux.push_back(std::make_unique<RdmaDemux>(*h));
-    stacks.push_back(std::make_unique<TcpStack>(*h));
-    tdemux.push_back(std::make_unique<TcpDemux>(*stacks.back()));
-  }
-  auto idx_of = [&](Host* h) {
-    for (std::size_t i = 0; i < all.size(); ++i) {
-      if (all[i] == h) return i;
+    std::vector<Host*> all;
+    for (int t = 0; t < 2; ++t) {
+      for (int s = 0; s < servers_per_tor; ++s) all.push_back(&clos.server(0, t, s));
     }
-    return std::size_t{0};
-  };
+    for (Host* h : all) {
+      rdemux.push_back(std::make_unique<RdmaDemux>(*h));
+      stacks.push_back(std::make_unique<TcpStack>(*h));
+      tdemux.push_back(std::make_unique<TcpDemux>(*stacks.back()));
+    }
+    auto idx_of = [&](Host* h) {
+      for (std::size_t i = 0; i < all.size(); ++i) {
+        if (all[i] == h) return i;
+      }
+      return std::size_t{0};
+    };
 
-  Rng topo_rng(7);
-  // 8 x 64KB responses per query ~ 4.2Mb; every 12ms ~ 350Mb/s inbound per
-  // server, with the incast bursts the paper describes.
-  const std::int64_t response_bytes = 64 * kKiB;
-  const int fanout = 8;
-  const Time query_interval = milliseconds(12);
-  // Even servers run the RDMA service, odd servers the TCP service
-  // ("half of the traffic was TCP and half RDMA").
-  for (std::size_t i = 0; i < all.size(); ++i) {
-    std::vector<std::uint32_t> qpns;
-    std::vector<TcpStack::ConnId> conns;
-    for (int f = 0; f < fanout; ++f) {
-      std::size_t peer = static_cast<std::size_t>(
-          topo_rng.uniform_int(0, static_cast<std::int64_t>(all.size()) - 1));
-      if (peer == i) peer = (peer + 1) % all.size();
+    Rng topo_rng(7);
+    // 8 x 64KB responses per query ~ 4.2Mb; every 12ms ~ 350Mb/s inbound per
+    // server, with the incast bursts the paper describes.
+    const std::int64_t response_bytes = 64 * kKiB;
+    const int fanout = 8;
+    const Time query_interval = milliseconds(12);
+    // Even servers run the RDMA service, odd servers the TCP service
+    // ("half of the traffic was TCP and half RDMA").
+    for (std::size_t i = 0; i < all.size(); ++i) {
+      std::vector<std::uint32_t> qpns;
+      std::vector<TcpStack::ConnId> conns;
+      for (int f = 0; f < fanout; ++f) {
+        std::size_t peer = static_cast<std::size_t>(
+            topo_rng.uniform_int(0, static_cast<std::int64_t>(all.size()) - 1));
+        if (peer == i) peer = (peer + 1) % all.size();
+        if (i % 2 == 0) {
+          auto [cq, sq] = connect_qp_pair(*all[i], *all[peer], make_qp_config(policy));
+          echoes.push_back(std::make_unique<RdmaEchoServer>(*all[peer], *rdemux[idx_of(all[peer])],
+                                                            sq, response_bytes));
+          qpns.push_back(cq);
+        } else {
+          auto [cc, sc2] = TcpStack::connect_pair(*stacks[i], *stacks[peer]);
+          techoes.push_back(std::make_unique<TcpEchoServer>(*stacks[peer], *tdemux[peer], sc2,
+                                                            response_bytes));
+          conns.push_back(cc);
+        }
+      }
       if (i % 2 == 0) {
-        auto [cq, sq] = connect_qp_pair(*all[i], *all[peer], make_qp_config(policy));
-        echoes.push_back(std::make_unique<RdmaEchoServer>(*all[peer], *rdemux[idx_of(all[peer])],
-                                                          sq, response_bytes));
-        qpns.push_back(cq);
+        rclients.push_back(std::make_unique<RdmaIncastClient>(
+            *all[i], *rdemux[i], qpns,
+            RdmaIncastClient::Options{.request_bytes = 512, .mean_interval = query_interval}));
+        rclients.back()->start();
       } else {
-        auto [cc, sc] = TcpStack::connect_pair(*stacks[i], *stacks[peer]);
-        techoes.push_back(std::make_unique<TcpEchoServer>(*stacks[peer], *tdemux[peer], sc,
-                                                          response_bytes));
-        conns.push_back(cc);
+        tclients.push_back(std::make_unique<TcpIncastClient>(
+            *stacks[i], *tdemux[i], conns,
+            TcpIncastClient::Options{.request_bytes = 512, .mean_interval = query_interval}));
+        tclients.back()->start();
       }
     }
-    if (i % 2 == 0) {
-      rclients.push_back(std::make_unique<RdmaIncastClient>(
-          *all[i], *rdemux[i], qpns,
-          RdmaIncastClient::Options{.request_bytes = 512, .mean_interval = query_interval}));
-      rclients.back()->start();
-    } else {
-      tclients.push_back(std::make_unique<TcpIncastClient>(
-          *stacks[i], *tdemux[i], conns,
-          TcpIncastClient::Options{.request_bytes = 512, .mean_interval = query_interval}));
-      tclients.back()->start();
+
+    // --- Pingmesh probes on both stacks ---------------------------------------
+    // 8 RDMA probe pairs and 8 TCP probe pairs across the ToRs.
+    std::vector<std::unique_ptr<RdmaPingmesh>> rprobes;
+    std::vector<std::unique_ptr<TcpIncastClient>> tprobes;
+    for (int s = 0; s < 8; ++s) {
+      Host& a = clos.server(0, 0, s);
+      Host& b = clos.server(0, 1, s);
+      const std::size_t ia = idx_of(&a);
+      const std::size_t ib = idx_of(&b);
+      auto [pq, tq] = connect_qp_pair(a, b, make_qp_config(policy));
+      echoes.push_back(std::make_unique<RdmaEchoServer>(b, *rdemux[ib], tq, 512));
+      rprobes.push_back(std::make_unique<RdmaPingmesh>(
+          a, *rdemux[ia], std::vector<std::uint32_t>{pq},
+          RdmaPingmesh::Options{.probe_bytes = 512, .interval = microseconds(500),
+                                .timeout = milliseconds(100)}));
+      rprobes.back()->start();
+
+      auto [pc, tc] = TcpStack::connect_pair(*stacks[ia], *stacks[ib]);
+      techoes.push_back(std::make_unique<TcpEchoServer>(*stacks[ib], *tdemux[ib], tc, 512));
+      tprobes.push_back(std::make_unique<TcpIncastClient>(
+          *stacks[ia], *tdemux[ia], std::vector<TcpStack::ConnId>{pc},
+          TcpIncastClient::Options{.request_bytes = 512, .mean_interval = microseconds(500)}));
+      tprobes.back()->start();
     }
-  }
 
-  // --- Pingmesh probes on both stacks ------------------------------------------
-  // 8 RDMA probe pairs and 8 TCP probe pairs across the ToRs.
-  std::vector<std::unique_ptr<RdmaPingmesh>> rprobes;
-  std::vector<std::unique_ptr<TcpIncastClient>> tprobes;
-  for (int s = 0; s < 8; ++s) {
-    Host& a = clos.server(0, 0, s);
-    Host& b = clos.server(0, 1, s);
-    const std::size_t ia = idx_of(&a);
-    const std::size_t ib = idx_of(&b);
-    auto [pq, tq] = connect_qp_pair(a, b, make_qp_config(policy));
-    echoes.push_back(std::make_unique<RdmaEchoServer>(b, *rdemux[ib], tq, 512));
-    rprobes.push_back(std::make_unique<RdmaPingmesh>(
-        a, *rdemux[ia], std::vector<std::uint32_t>{pq},
-        RdmaPingmesh::Options{.probe_bytes = 512, .interval = microseconds(500),
-                              .timeout = milliseconds(100)}));
-    rprobes.back()->start();
+    // Skip slow start / warmup, then measure.
+    sim.run_until(milliseconds(50));
+    for (auto& p : rprobes) p->reset_samples();
+    std::vector<std::size_t> tcp_skip;
+    for (auto& p : tprobes) tcp_skip.push_back(p->query_latencies_us().count());
 
-    auto [pc, tc] = TcpStack::connect_pair(*stacks[ia], *stacks[ib]);
-    techoes.push_back(std::make_unique<TcpEchoServer>(*stacks[ib], *tdemux[ib], tc, 512));
-    tprobes.push_back(std::make_unique<TcpIncastClient>(
-        *stacks[ia], *tdemux[ia], std::vector<TcpStack::ConnId>{pc},
-        TcpIncastClient::Options{.request_bytes = 512, .mean_interval = microseconds(500)}));
-    tprobes.back()->start();
-  }
+    const Time duration = milliseconds(ctx.knob_int("duration_ms"));
+    sim.run_until(milliseconds(50) + duration);
 
-  // Skip slow start / warmup, then measure.
-  sim.run_until(milliseconds(50));
-  for (auto& p : rprobes) p->reset_samples();
-  const std::size_t tcp_skip_total = [&] {
-    std::size_t n = 0;
-    for (auto& p : tprobes) n += p->query_latencies_us().count();
-    return n;
-  }();
-  (void)tcp_skip_total;
-  std::vector<std::size_t> tcp_skip;
-  for (auto& p : tprobes) tcp_skip.push_back(p->query_latencies_us().count());
+    // Aggregate probe samples across probers, as production Pingmesh does.
+    PercentileSampler rdma_rtt, tcp_rtt;
+    std::int64_t probe_failures = 0;
+    for (auto& p : rprobes) {
+      rdma_rtt.merge(p->rtt_us());
+      probe_failures += p->probes_failed();
+    }
+    for (std::size_t i = 0; i < tprobes.size(); ++i) {
+      const auto& all_samples = tprobes[i]->query_latencies_us().samples();
+      for (std::size_t k = tcp_skip[i]; k < all_samples.size(); ++k) tcp_rtt.add(all_samples[k]);
+    }
 
-  const Time duration = milliseconds(bench::env_int("ROCELAB_FIG6_MS", 400));
-  sim.run_until(milliseconds(50) + duration);
+    ctx.table({"stack", "p50(us)", "p90(us)", "p99(us)", "p99.9(us)", "max(us)", "samples"},
+              {8, 11, 11, 11, 11, 11, 9});
+    auto record = [&](const char* name, PercentileSampler& agg) {
+      ctx.row({name, exp::fmt("%.0f", agg.percentile(50)), exp::fmt("%.0f", agg.percentile(90)),
+               exp::fmt("%.0f", agg.percentile(99)), exp::fmt("%.0f", agg.percentile(99.9)),
+               exp::fmt("%.0f", agg.max()), std::to_string(agg.count())});
+      ctx.metric(name, "p50_us", agg.percentile(50));
+      ctx.metric(name, "p90_us", agg.percentile(90));
+      ctx.metric(name, "p99_us", agg.percentile(99));
+      ctx.metric(name, "p999_us", agg.percentile(99.9));
+      ctx.metric(name, "max_us", agg.max());
+      ctx.metric(name, "samples", static_cast<double>(agg.count()));
+    };
+    record("RDMA", rdma_rtt);
+    record("TCP", tcp_rtt);
+    ctx.note("");
+    ctx.note("paper:   RDMA p99 = 90us, p99.9 ~200us;  TCP p99 = 700us with ms spikes");
+    ctx.note("RDMA probe failures: " + std::to_string(probe_failures));
+    ctx.metric("RDMA", "probe_failures", static_cast<double>(probe_failures));
 
-  // Aggregate probe samples across probers, as production Pingmesh does.
-  PercentileSampler rdma_rtt, tcp_rtt;
-  std::int64_t probe_failures = 0;
-  for (auto& p : rprobes) {
-    rdma_rtt.merge(p->rtt_us());
-    probe_failures += p->probes_failed();
-  }
-  for (std::size_t i = 0; i < tprobes.size(); ++i) {
-    const auto& all_samples = tprobes[i]->query_latencies_us().samples();
-    for (std::size_t k = tcp_skip[i]; k < all_samples.size(); ++k) tcp_rtt.add(all_samples[k]);
-  }
+    TcpStats tcp_totals;
+    for (auto& s : stacks) {
+      tcp_totals.retransmissions += s->stats().retransmissions;
+      tcp_totals.fast_retransmits += s->stats().fast_retransmits;
+      tcp_totals.timeouts += s->stats().timeouts;
+      tcp_totals.data_segments_sent += s->stats().data_segments_sent;
+    }
+    std::int64_t lossy_drops = 0;
+    for (auto* sw : clos.fabric().switch_ptrs()) {
+      lossy_drops += sim.metrics().sum(sw->name() + "/port*/ingress_drops");
+    }
+    ctx.note("TCP: " + std::to_string(tcp_totals.data_segments_sent) + " segments, " +
+             std::to_string(tcp_totals.retransmissions) + " retx (" +
+             std::to_string(tcp_totals.fast_retransmits) + " fast, " +
+             std::to_string(tcp_totals.timeouts) + " RTO), " + std::to_string(lossy_drops) +
+             " switch drops");
+    ctx.metric("TCP", "retransmissions", static_cast<double>(tcp_totals.retransmissions));
+    ctx.metric("TCP", "switch_drops", static_cast<double>(lossy_drops));
 
-  std::printf("\n%-8s %10s %10s %10s %10s %10s %8s\n", "stack", "p50(us)", "p90(us)", "p99(us)",
-              "p99.9(us)", "max(us)", "samples");
-  std::printf("-----------------------------------------------------------------------\n");
-  auto print_agg = [&](const char* name, PercentileSampler& agg) {
-    std::printf("%-8s %10.0f %10.0f %10.0f %10.0f %10.0f %8zu\n", name, agg.percentile(50),
-                agg.percentile(90), agg.percentile(99), agg.percentile(99.9), agg.max(),
-                agg.count());
+    ctx.check("RDMA p99 ~100us scale", rdma_rtt.percentile(99) < 250);
+    ctx.check("TCP p99 >> RDMA p99",
+              tcp_rtt.percentile(99) > 2.5 * rdma_rtt.percentile(99));
+    ctx.check("RDMA p99.9 < TCP p99", rdma_rtt.percentile(99.9) < tcp_rtt.percentile(99));
+    ctx.check("TCP ms-scale spikes", tcp_rtt.max() > 1000);
   };
-  print_agg("RDMA", rdma_rtt);
-  print_agg("TCP", tcp_rtt);
-  std::printf("\npaper:   RDMA p99 = 90us, p99.9 ~200us;  TCP p99 = 700us with ms spikes\n");
-  std::printf("RDMA probe failures: %lld\n", static_cast<long long>(probe_failures));
-
-  TcpStats tcp_totals;
-  for (auto& s : stacks) {
-    tcp_totals.retransmissions += s->stats().retransmissions;
-    tcp_totals.fast_retransmits += s->stats().fast_retransmits;
-    tcp_totals.timeouts += s->stats().timeouts;
-    tcp_totals.data_segments_sent += s->stats().data_segments_sent;
-  }
-  std::int64_t lossy_drops = 0;
-  for (auto* sw : clos.fabric().switch_ptrs()) {
-    for (int p = 0; p < sw->port_count(); ++p) {
-      lossy_drops += sw->port(p).counters().ingress_drops;
-    }
-  }
-  std::printf("TCP: %lld segments, %lld retx (%lld fast, %lld RTO), %lld switch drops\n",
-              static_cast<long long>(tcp_totals.data_segments_sent),
-              static_cast<long long>(tcp_totals.retransmissions),
-              static_cast<long long>(tcp_totals.fast_retransmits),
-              static_cast<long long>(tcp_totals.timeouts),
-              static_cast<long long>(lossy_drops));
-
-  const bool rdma_fast = rdma_rtt.percentile(99) < 250;
-  const bool tcp_slow = tcp_rtt.percentile(99) > 2.5 * rdma_rtt.percentile(99);
-  const bool rdma_999_below_tcp_99 = rdma_rtt.percentile(99.9) < tcp_rtt.percentile(99);
-  const bool tcp_spikes = tcp_rtt.max() > 1000;
-  std::printf("\nRDMA p99 ~100us scale: %s   TCP p99 >> RDMA p99: %s\n"
-              "RDMA p99.9 < TCP p99: %s   TCP ms-scale spikes: %s\n",
-              rdma_fast ? "CONFIRMED" : "NOT REPRODUCED",
-              tcp_slow ? "CONFIRMED" : "NOT REPRODUCED",
-              rdma_999_below_tcp_99 ? "CONFIRMED" : "NOT REPRODUCED",
-              tcp_spikes ? "CONFIRMED" : "NOT REPRODUCED");
-  return (rdma_fast && tcp_slow && rdma_999_below_tcp_99 && tcp_spikes) ? 0 : 1;
+  return exp::run_scenario(sc, argc, argv);
 }

@@ -7,151 +7,147 @@
 // Paper result: 99th latency rises 50us -> ~400us and 99.9th 80us ->
 // ~800us once the experiment starts (~7Gb/s per server); TCP latency in a
 // separate queue is unaffected — RDMA and TCP do not interfere.
-#include <cstdio>
-#include <memory>
-
-#include "bench/bench_util.h"
 #include "src/app/demux.h"
 #include "src/app/traffic.h"
+#include "src/exp/harness.h"
+#include "src/exp/scenario.h"
+#include "src/monitor/metric_registry.h"
 #include "src/rocev2/deployment.h"
 
 using namespace rocelab;
 
-int main() {
-  bench::print_header("E7 / Fig. 8 — RDMA latency vs network load (2-tier, 6:1 oversub)");
-  std::printf("paper: p99 50us -> 400us, p99.9 80us -> 800us under load; TCP class\n"
-              "isolated (separate switch queue) stays flat\n");
+int main(int argc, char** argv) {
+  exp::Scenario sc;
+  sc.name = "fig_latency_vs_load";
+  sc.title = "E7 / Fig. 8 — RDMA latency vs network load (2-tier, 6:1 oversub)";
+  sc.paper = "paper: p99 50us -> 400us, p99.9 80us -> 800us under load; TCP class\n"
+             "isolated (separate switch queue) stays flat";
+  sc.knobs = {exp::knob_int("measure_ms", 150, "ROCELAB_FIG8_MS",
+                            "loaded-phase measurement window")};
+  sc.body = [](exp::Context& ctx) {
+    QosPolicy policy;
+    policy.max_cable_m = 20.0;
+    ClosParams params = make_clos_params(policy, DeploymentStage::kFull, /*podsets=*/1,
+                                         /*leaves=*/4, /*tors=*/2, /*servers=*/24, /*spines=*/0);
+    ClosFabric clos(params);
+    auto& sim = clos.sim();
 
-  QosPolicy policy;
-  policy.max_cable_m = 20.0;
-  ClosParams params = make_clos_params(policy, DeploymentStage::kFull, /*podsets=*/1,
-                                       /*leaves=*/4, /*tors=*/2, /*servers=*/24, /*spines=*/0);
-  ClosFabric clos(params);
-  auto& sim = clos.sim();
+    // Pingmesh probes between two dedicated servers on opposite ToRs (probes
+    // cross the oversubscribed leaf tier), on the same lossless class as the
+    // bulk RDMA traffic.
+    Host& prober = clos.server(0, 0, 23);
+    Host& target = clos.server(0, 1, 23);
+    RdmaDemux demux_probe(prober);
+    RdmaDemux demux_target(target);
+    auto [pq, tq] = connect_qp_pair(prober, target, make_qp_config(policy));
+    RdmaEchoServer echo(target, demux_target, tq, 512);
+    // Probe pacing stays above the DCQCN rate floor even when the probe QP is
+    // persistently CNP'd during the load phase (512B / 200us ~ 20Mb/s < RMIN).
+    RdmaPingmesh pingmesh(prober, demux_probe, {pq},
+                          RdmaPingmesh::Options{.probe_bytes = 512,
+                                                .interval = microseconds(200),
+                                                .timeout = milliseconds(20)});
 
-  // Pingmesh probes between two dedicated servers on opposite ToRs (probes
-  // cross the oversubscribed leaf tier), on the same lossless class as the
-  // bulk RDMA traffic.
-  Host& prober = clos.server(0, 0, 23);
-  Host& target = clos.server(0, 1, 23);
-  RdmaDemux demux_probe(prober);
-  RdmaDemux demux_target(target);
-  auto [pq, tq] = connect_qp_pair(prober, target, make_qp_config(policy));
-  RdmaEchoServer echo(target, demux_target, tq, 512);
-  // Probe pacing stays above the DCQCN rate floor even when the probe QP is
-  // persistently CNP'd during the load phase (512B / 200us ~ 20Mb/s < RMIN).
-  RdmaPingmesh pingmesh(prober, demux_probe, {pq},
-                        RdmaPingmesh::Options{.probe_bytes = 512,
-                                              .interval = microseconds(200),
-                                              .timeout = milliseconds(20)});
+    // TCP probes between another server pair — different (lossy) class.
+    Host& tcp_a = clos.server(0, 0, 22);
+    Host& tcp_b = clos.server(0, 1, 22);
+    // Fig. 8's testbed servers were idle: no scheduler-contention spikes
+    // (that tail is Fig. 6's subject). This isolates what Fig. 8 shows —
+    // queue-level isolation between the RDMA and TCP classes.
+    TcpConfig probe_tcp;
+    probe_tcp.kernel.spike_prob = 0;
+    TcpStack tcp_stack_a(tcp_a, probe_tcp), tcp_stack_b(tcp_b, probe_tcp);
+    TcpDemux tcp_demux_a(tcp_stack_a), tcp_demux_b(tcp_stack_b);
+    auto [tcp_conn_a, tcp_conn_b] = TcpStack::connect_pair(tcp_stack_a, tcp_stack_b, probe_tcp);
+    TcpEchoServer tcp_echo(tcp_stack_b, tcp_demux_b, tcp_conn_b, 512);
+    TcpIncastClient tcp_probe(tcp_stack_a, tcp_demux_a, {tcp_conn_a},
+                              TcpIncastClient::Options{.request_bytes = 512,
+                                                       .mean_interval = microseconds(200)});
 
-  // TCP probes between another server pair — different (lossy) class.
-  Host& tcp_a = clos.server(0, 0, 22);
-  Host& tcp_b = clos.server(0, 1, 22);
-  // Fig. 8's testbed servers were idle: no scheduler-contention spikes
-  // (that tail is Fig. 6's subject). This isolates what Fig. 8 shows —
-  // queue-level isolation between the RDMA and TCP classes.
-  TcpConfig probe_tcp;
-  probe_tcp.kernel.spike_prob = 0;
-  TcpStack tcp_stack_a(tcp_a, probe_tcp), tcp_stack_b(tcp_b, probe_tcp);
-  TcpDemux tcp_demux_a(tcp_stack_a), tcp_demux_b(tcp_stack_b);
-  auto [tcp_conn_a, tcp_conn_b] = TcpStack::connect_pair(tcp_stack_a, tcp_stack_b, probe_tcp);
-  TcpEchoServer tcp_echo(tcp_stack_b, tcp_demux_b, tcp_conn_b, 512);
-  TcpIncastClient tcp_probe(tcp_stack_a, tcp_demux_a, {tcp_conn_a},
-                            TcpIncastClient::Options{.request_bytes = 512,
-                                                     .mean_interval = microseconds(200)});
+    pingmesh.start();
+    tcp_probe.start();
 
-  pingmesh.start();
-  tcp_probe.start();
+    // ---- phase 1: idle network (long enough for a fair p99 with the rare
+    // kernel-spike tail in the TCP probes) -------------------------------------
+    sim.run_until(milliseconds(100));
+    PercentileSampler rdma_before = pingmesh.rtt_us();
+    PercentileSampler tcp_before = tcp_probe.query_latencies_us();
+    pingmesh.reset_samples();
+    const auto tcp_samples_before = tcp_probe.query_latencies_us().count();
 
-  // ---- phase 1: idle network (long enough for a fair p99 with the rare
-  // kernel-spike tail in the TCP probes) ---------------------------------------
-  sim.run_until(milliseconds(100));
-  PercentileSampler rdma_before = pingmesh.rtt_us();
-  PercentileSampler tcp_before = tcp_probe.query_latencies_us();
-  pingmesh.reset_samples();
-  const auto tcp_samples_before = tcp_probe.query_latencies_us().count();
-
-  // ---- phase 2: 20 server pairs x 8 QPs at full speed --------------------------
-  std::vector<std::unique_ptr<RdmaDemux>> demuxes;
-  std::vector<std::unique_ptr<RdmaStreamSource>> sources;
-  for (int s = 0; s < 20; ++s) {
-    for (int dir = 0; dir < 2; ++dir) {
-      Host& src = clos.server(0, dir, s);
-      Host& dst = clos.server(0, 1 - dir, s);
-      auto demux = std::make_unique<RdmaDemux>(src);
-      for (int q = 0; q < 8; ++q) {
-        auto [qa, qb] = connect_qp_pair(src, dst, make_qp_config(policy));
-        (void)qb;
-        sources.push_back(std::make_unique<RdmaStreamSource>(
-            src, *demux, qa,
-            RdmaStreamSource::Options{.message_bytes = 64 * kKiB, .max_outstanding = 2}));
-        sources.back()->start();
+    // ---- phase 2: 20 server pairs x 8 QPs at full speed ----------------------
+    exp::TrafficSet traffic;
+    for (int s = 0; s < 20; ++s) {
+      for (int dir = 0; dir < 2; ++dir) {
+        Host& src = clos.server(0, dir, s);
+        Host& dst = clos.server(0, 1 - dir, s);
+        traffic.add_streams(
+            src, dst, make_qp_config(policy),
+            RdmaStreamSource::Options{.message_bytes = 64 * kKiB, .max_outstanding = 2}, 8);
       }
-      demuxes.push_back(std::move(demux));
     }
-  }
-  // Let DCQCN converge before sampling "during".
-  sim.run_until(milliseconds(115));
-  pingmesh.reset_samples();
-  const Time measure_end = milliseconds(115 + bench::env_int("ROCELAB_FIG8_MS", 150));
-  sim.run_until(measure_end);
+    // Let DCQCN converge before sampling "during".
+    sim.run_until(milliseconds(115));
+    pingmesh.reset_samples();
+    const Time measure_end = milliseconds(115 + ctx.knob_int("measure_ms"));
+    sim.run_until(measure_end);
 
-  const PercentileSampler& rdma_during = pingmesh.rtt_us();
-  PercentileSampler tcp_all;  // during-phase TCP samples only
-  {
-    const auto& samples = tcp_probe.query_latencies_us().samples();
-    for (std::size_t k = tcp_samples_before; k < samples.size(); ++k) tcp_all.add(samples[k]);
-  }
+    const PercentileSampler& rdma_during = pingmesh.rtt_us();
+    PercentileSampler tcp_all;  // during-phase TCP samples only
+    {
+      const auto& samples = tcp_probe.query_latencies_us().samples();
+      for (std::size_t k = tcp_samples_before; k < samples.size(); ++k) tcp_all.add(samples[k]);
+    }
 
-  // Per-server throughput during the load phase.
-  double total_goodput = 0;
-  for (const auto& s : sources) total_goodput += s->goodput_bps();
+    // Per-server throughput during the load phase.
+    const double total_goodput = traffic.total_goodput_bps();
 
-  PercentileSampler tcp_during;
-  {  // samples after the load started
-    // TcpIncastClient has no reset; approximate "during" with all samples
-    // beyond the pre-load count.
-    (void)tcp_samples_before;
-  }
+    ctx.table({"metric", "before", "during", "paper"}, {26, 14, 14, 14});
+    auto record = [&](const std::string& label, const std::string& key, double before,
+                      double during, const char* paper_note) {
+      ctx.row({label, exp::fmt("%.0f", before), exp::fmt("%.0f", during), paper_note});
+      ctx.metric("before", key, before);
+      ctx.metric("during", key, during);
+    };
+    record("RDMA p50 (us)", "rdma_p50_us", rdma_before.percentile(50),
+           rdma_during.percentile(50), "-");
+    record("RDMA p99 (us)", "rdma_p99_us", rdma_before.percentile(99),
+           rdma_during.percentile(99), "50 -> 400");
+    record("RDMA p99.9 (us)", "rdma_p999_us", rdma_before.percentile(99.9),
+           rdma_during.percentile(99.9), "80 -> 800");
+    record("TCP p50 (us)", "tcp_p50_us", tcp_before.percentile(50), tcp_all.percentile(50),
+           "flat");
+    record("TCP p90 (us)", "tcp_p90_us", tcp_before.percentile(90), tcp_all.percentile(90),
+           "flat");
+    record("TCP p99 (us)", "tcp_p99_us", tcp_before.percentile(99), tcp_all.percentile(99),
+           "flat (~500)");
+    const double per_server_gbps = total_goodput / 1e9 / 40.0;
+    ctx.note("");
+    ctx.note("per-server RDMA goodput during load: " + exp::fmt("%.1f", per_server_gbps) +
+             " Gb/s (paper: ~7 Gb/s)");
+    ctx.note("probe failures: " + std::to_string(pingmesh.probes_failed()));
+    ctx.metric("during", "per_server_goodput_gbps", per_server_gbps);
+    ctx.metric("during", "probe_failures", static_cast<double>(pingmesh.probes_failed()));
+    std::int64_t lossy_drops = 0;
+    for (auto* sw : clos.fabric().switch_ptrs()) {
+      lossy_drops += sim.metrics().sum(sw->name() + "/port*/ingress_drops");
+    }
+    ctx.note("TCP: retx=" +
+             std::to_string(tcp_stack_a.stats().retransmissions +
+                            tcp_stack_b.stats().retransmissions) +
+             " (fast " +
+             std::to_string(tcp_stack_a.stats().fast_retransmits +
+                            tcp_stack_b.stats().fast_retransmits) +
+             ", RTO " +
+             std::to_string(tcp_stack_a.stats().timeouts + tcp_stack_b.stats().timeouts) +
+             "), switch lossy drops=" + std::to_string(lossy_drops));
 
-  const std::vector<int> w{26, 14, 14, 14};
-  std::printf("\n");
-  bench::print_row({"metric", "before", "during", "paper"}, w);
-  bench::print_rule(w);
-  bench::print_row({"RDMA p50 (us)", bench::fmt("%.0f", rdma_before.percentile(50)),
-                    bench::fmt("%.0f", rdma_during.percentile(50)), "-"}, w);
-  bench::print_row({"RDMA p99 (us)", bench::fmt("%.0f", rdma_before.percentile(99)),
-                    bench::fmt("%.0f", rdma_during.percentile(99)), "50 -> 400"}, w);
-  bench::print_row({"RDMA p99.9 (us)", bench::fmt("%.0f", rdma_before.percentile(99.9)),
-                    bench::fmt("%.0f", rdma_during.percentile(99.9)), "80 -> 800"}, w);
-  bench::print_row({"TCP p50 (us)", bench::fmt("%.0f", tcp_before.percentile(50)),
-                    bench::fmt("%.0f", tcp_all.percentile(50)), "flat"}, w);
-  bench::print_row({"TCP p90 (us)", bench::fmt("%.0f", tcp_before.percentile(90)),
-                    bench::fmt("%.0f", tcp_all.percentile(90)), "flat"}, w);
-  bench::print_row({"TCP p99 (us)", bench::fmt("%.0f", tcp_before.percentile(99)),
-                    bench::fmt("%.0f", tcp_all.percentile(99)), "flat (~500)"}, w);
-  std::printf("\nper-server RDMA goodput during load: %.1f Gb/s (paper: ~7 Gb/s)\n",
-              total_goodput / 1e9 / 40.0);
-  std::printf("probe failures: %lld\n", static_cast<long long>(pingmesh.probes_failed()));
-  std::int64_t lossy_drops = 0;
-  for (auto* sw : clos.fabric().switch_ptrs()) {
-    for (int p = 0; p < sw->port_count(); ++p) lossy_drops += sw->port(p).counters().ingress_drops;
-  }
-  std::printf("TCP: retx=%lld (fast %lld, RTO %lld), switch lossy drops=%lld\n",
-              static_cast<long long>(tcp_stack_a.stats().retransmissions +
-                                     tcp_stack_b.stats().retransmissions),
-              static_cast<long long>(tcp_stack_a.stats().fast_retransmits +
-                                     tcp_stack_b.stats().fast_retransmits),
-              static_cast<long long>(tcp_stack_a.stats().timeouts + tcp_stack_b.stats().timeouts),
-              static_cast<long long>(lossy_drops));
-
-  const double p99_ratio = rdma_during.percentile(99) / rdma_before.percentile(99);
-  const double tcp_ratio = tcp_all.percentile(99) / tcp_before.percentile(99);
-  const bool rdma_rises = p99_ratio > 3.0;
-  const bool tcp_flat = tcp_ratio < 2.0;
-  std::printf("\nRDMA p99 rises under load (x%.1f): %s   TCP isolated (x%.1f): %s\n",
-              p99_ratio, rdma_rises ? "CONFIRMED" : "NOT REPRODUCED", tcp_ratio,
-              tcp_flat ? "CONFIRMED" : "NOT REPRODUCED");
-  return (rdma_rises && tcp_flat) ? 0 : 1;
+    const double p99_ratio = rdma_during.percentile(99) / rdma_before.percentile(99);
+    const double tcp_ratio = tcp_all.percentile(99) / tcp_before.percentile(99);
+    ctx.metric("during", "rdma_p99_ratio", p99_ratio);
+    ctx.metric("during", "tcp_p99_ratio", tcp_ratio);
+    ctx.check("RDMA p99 rises under load", p99_ratio > 3.0);
+    ctx.check("TCP isolated", tcp_ratio < 2.0);
+  };
+  return exp::run_scenario(sc, argc, argv);
 }

@@ -8,11 +8,9 @@
 // Paper result: with the vendor's go-back-0 loss recovery, application
 // goodput is ZERO (the link stays busy but no message ever completes:
 // livelock). With the paper's go-back-N fix, goodput is restored.
-#include <cstdio>
-
-#include "bench/bench_util.h"
 #include "src/app/demux.h"
 #include "src/app/traffic.h"
+#include "src/exp/scenario.h"
 #include "src/topo/fabric.h"
 
 using namespace rocelab;
@@ -81,31 +79,37 @@ const char* verb_name(RdmaVerb v) {
 
 }  // namespace
 
-int main() {
-  const Time duration = milliseconds(bench::env_int("ROCELAB_LIVELOCK_MS", 60));
+int main(int argc, char** argv) {
+  exp::Scenario sc;
+  sc.name = "fig_livelock";
+  sc.title = "E1 / §4.1 — RDMA transport livelock (4MB messages, 0.4% deterministic drop)";
+  sc.paper = "paper: go-back-0 goodput = 0 (livelock, link fully utilized); "
+             "go-back-N restores goodput";
+  sc.knobs = {exp::knob_int("duration_ms", 60, "ROCELAB_LIVELOCK_MS",
+                            "simulated time per verb/recovery case")};
+  sc.body = [](exp::Context& ctx) {
+    const Time duration = milliseconds(ctx.knob_int("duration_ms"));
 
-  bench::print_header("E1 / §4.1 — RDMA transport livelock (4MB messages, 0.4% deterministic drop)");
-  std::printf("paper: go-back-0 goodput = 0 (livelock, link fully utilized); "
-              "go-back-N restores goodput\n\n");
-
-  const std::vector<int> w{8, 12, 16, 14, 14};
-  bench::print_row({"verb", "recovery", "goodput(Gb/s)", "messages", "switch drops"}, w);
-  bench::print_rule(w);
-  bool livelock_confirmed = true;
-  bool fix_confirmed = true;
-  for (RdmaVerb verb : {RdmaVerb::kSend, RdmaVerb::kWrite, RdmaVerb::kRead}) {
-    for (LossRecovery rec : {LossRecovery::kGoBack0, LossRecovery::kGoBackN}) {
-      const Result r = run_case(verb, rec, duration);
-      bench::print_row({verb_name(verb), rec == LossRecovery::kGoBack0 ? "go-back-0" : "go-back-N",
-                        bench::fmt("%.2f", r.goodput_gbps), std::to_string(r.messages),
-                        std::to_string(r.drops)},
-                       w);
-      if (rec == LossRecovery::kGoBack0 && r.messages != 0) livelock_confirmed = false;
-      if (rec == LossRecovery::kGoBackN && r.goodput_gbps < 5.0) fix_confirmed = false;
+    ctx.table({"verb", "recovery", "goodput(Gb/s)", "messages", "switch drops"},
+              {8, 12, 16, 14, 14});
+    bool livelock_confirmed = true;
+    bool fix_confirmed = true;
+    for (RdmaVerb verb : {RdmaVerb::kSend, RdmaVerb::kWrite, RdmaVerb::kRead}) {
+      for (LossRecovery rec : {LossRecovery::kGoBack0, LossRecovery::kGoBackN}) {
+        const Result r = run_case(verb, rec, duration);
+        const std::string rec_name = rec == LossRecovery::kGoBack0 ? "go-back-0" : "go-back-N";
+        ctx.row({verb_name(verb), rec_name, exp::fmt("%.2f", r.goodput_gbps),
+                 std::to_string(r.messages), std::to_string(r.drops)});
+        const std::string case_name = std::string(verb_name(verb)) + "/" + rec_name;
+        ctx.metric(case_name, "goodput_gbps", r.goodput_gbps);
+        ctx.metric(case_name, "messages", static_cast<double>(r.messages));
+        ctx.metric(case_name, "switch_drops", static_cast<double>(r.drops));
+        if (rec == LossRecovery::kGoBack0 && r.messages != 0) livelock_confirmed = false;
+        if (rec == LossRecovery::kGoBackN && r.goodput_gbps < 5.0) fix_confirmed = false;
+      }
     }
-  }
-  std::printf("\nlivelock with go-back-0: %s   go-back-N restores goodput: %s\n",
-              livelock_confirmed ? "CONFIRMED" : "NOT REPRODUCED",
-              fix_confirmed ? "CONFIRMED" : "NOT REPRODUCED");
-  return (livelock_confirmed && fix_confirmed) ? 0 : 1;
+    ctx.check("livelock with go-back-0", livelock_confirmed);
+    ctx.check("go-back-N restores goodput", fix_confirmed);
+  };
+  return exp::run_scenario(sc, argc, argv);
 }

@@ -6,11 +6,13 @@
 // the NIC micro-controller disables pause generation after the receive
 // pipeline has been stopped ~100ms, and the ToR disables lossless mode on
 // a server port that keeps pausing while its egress queue cannot drain.
-#include <cstdio>
+#include <unordered_map>
 
-#include "bench/bench_util.h"
 #include "src/app/demux.h"
 #include "src/app/traffic.h"
+#include "src/exp/harness.h"
+#include "src/exp/scenario.h"
+#include "src/monitor/metric_registry.h"
 #include "src/monitor/monitor.h"
 #include "src/rocev2/deployment.h"
 
@@ -43,27 +45,14 @@ Result run_case(bool watchdogs) {
   // each with 2 QPs. Plus everyone in podset 1 also sends to the victim
   // server (0,0,0) so that victim-bound traffic transits every tier.
   Host& victim = clos.server(0, 0, 0);
-  std::vector<std::unique_ptr<RdmaDemux>> demuxes;
-  std::vector<std::unique_ptr<RdmaStreamSource>> sources;
-  std::vector<Host*> innocents;
+  exp::TrafficSet traffic;
 
-  std::unordered_map<Host*, std::unique_ptr<RdmaDemux>> demux_by_host;
-  auto demux_of = [&](Host& h) -> RdmaDemux& {
-    auto& slot = demux_by_host[&h];
-    if (!slot) slot = std::make_unique<RdmaDemux>(h);
-    return *slot;
-  };
   auto add_stream = [&](Host& src, Host& dst, int qps, std::int64_t msg, Time retx) {
     QpConfig qp_cfg = make_qp_config(policy);
     qp_cfg.retx_timeout = retx;
-    for (int q = 0; q < qps; ++q) {
-      auto [qa, qb] = connect_qp_pair(src, dst, qp_cfg);
-      (void)qb;
-      sources.push_back(std::make_unique<RdmaStreamSource>(
-          src, demux_of(src), qa,
-          RdmaStreamSource::Options{.message_bytes = msg, .max_outstanding = 2}));
-      sources.back()->start();
-    }
+    traffic.add_streams(src, dst, qp_cfg,
+                        RdmaStreamSource::Options{.message_bytes = msg, .max_outstanding = 2},
+                        qps);
   };
 
   for (int t = 0; t < params.tors_per_podset; ++t) {
@@ -73,7 +62,6 @@ Result run_case(bool watchdogs) {
       if (&a != &victim) {
         add_stream(a, b, 2, 256 * kKiB, microseconds(500));
         add_stream(b, a, 2, 256 * kKiB, microseconds(500));
-        innocents.push_back(&a);
       }
       // Everyone in podset 1 also talks to the victim server, so
       // victim-bound traffic crosses every tier (and keeps retrying while
@@ -103,10 +91,9 @@ Result run_case(bool watchdogs) {
     return static_cast<double>(b2 - b1) * 8.0 / to_seconds(to - from) / 1e9;
   };
 
-  auto node_rx_pause = [](Node* n) {
-    std::int64_t rx = 0;
-    for (int p = 0; p < n->port_count(); ++p) rx += n->port(p).counters().total_rx_pause();
-    return rx;
+  const MetricRegistry& reg = sim.metrics();
+  auto node_rx_pause = [&reg](Node* n) {
+    return reg.sum(n->name() + "/port*/prio*/rx_pause");
   };
 
   Result r;
@@ -127,48 +114,59 @@ Result run_case(bool watchdogs) {
   // then repaired (power-cycled) and the switch re-enables lossless mode.
   r.goodput_after_gbps = goodput_over(milliseconds(200), milliseconds(300));
 
-  for (int p = 0; p < victim.port_count(); ++p) {
-    r.victim_pauses += victim.port(p).counters().total_tx_pause();
-  }
+  r.victim_pauses = reg.sum(victim.name() + "/port*/prio*/tx_pause");
   r.nic_watchdog_trips = victim.watchdog_trips();
   for (auto* sw : clos.fabric().switch_ptrs()) r.switch_watchdog_trips += sw->watchdog_trips();
   return r;
 }
 
+void record(exp::Context& ctx, const std::string& case_name, const Result& r) {
+  ctx.metric(case_name, "goodput_before_gbps", r.goodput_before_gbps);
+  ctx.metric(case_name, "goodput_during_gbps", r.goodput_during_gbps);
+  ctx.metric(case_name, "goodput_after_gbps", r.goodput_after_gbps);
+  ctx.metric(case_name, "nodes_paused", r.nodes_paused);
+  ctx.metric(case_name, "total_nodes", r.total_nodes);
+  ctx.metric(case_name, "victim_pauses", static_cast<double>(r.victim_pauses));
+  ctx.metric(case_name, "nic_watchdog_trips", static_cast<double>(r.nic_watchdog_trips));
+  ctx.metric(case_name, "switch_watchdog_trips", static_cast<double>(r.switch_watchdog_trips));
+}
+
 }  // namespace
 
-int main() {
-  bench::print_header("E3 / Fig. 5 — NIC PFC pause frame storm");
-  std::printf("paper: one malfunctioning NIC pauses the entire network (steps 1-6 of\n"
-              "Fig. 5); NIC + switch watchdogs confine the damage\n\n");
+int main(int argc, char** argv) {
+  exp::Scenario sc;
+  sc.name = "fig_pfc_storm";
+  sc.title = "E3 / Fig. 5 — NIC PFC pause frame storm";
+  sc.paper = "paper: one malfunctioning NIC pauses the entire network (steps 1-6 of\n"
+             "Fig. 5); NIC + switch watchdogs confine the damage";
+  sc.body = [](exp::Context& ctx) {
+    const Result off = run_case(/*watchdogs=*/false);
+    const Result on = run_case(/*watchdogs=*/true);
 
-  const Result off = run_case(/*watchdogs=*/false);
-  const Result on = run_case(/*watchdogs=*/true);
+    ctx.table({"metric", "no watchdogs", "watchdogs on"}, {30, 16, 16});
+    ctx.row({"goodput before storm (Gb/s)", exp::fmt("%.1f", off.goodput_before_gbps),
+             exp::fmt("%.1f", on.goodput_before_gbps)});
+    ctx.row({"goodput during storm (Gb/s)", exp::fmt("%.1f", off.goodput_during_gbps),
+             exp::fmt("%.1f", on.goodput_during_gbps)});
+    ctx.row({"goodput after 150ms (Gb/s)", exp::fmt("%.1f", off.goodput_after_gbps),
+             exp::fmt("%.1f", on.goodput_after_gbps)});
+    ctx.row({"nodes receiving pauses",
+             std::to_string(off.nodes_paused) + "/" + std::to_string(off.total_nodes),
+             std::to_string(on.nodes_paused) + "/" + std::to_string(on.total_nodes)});
+    ctx.row({"victim pause frames sent", std::to_string(off.victim_pauses),
+             std::to_string(on.victim_pauses)});
+    ctx.row({"NIC watchdog trips", std::to_string(off.nic_watchdog_trips),
+             std::to_string(on.nic_watchdog_trips)});
+    ctx.row({"switch watchdog trips", std::to_string(off.switch_watchdog_trips),
+             std::to_string(on.switch_watchdog_trips)});
+    record(ctx, "no_watchdogs", off);
+    record(ctx, "watchdogs_on", on);
 
-  const std::vector<int> w{30, 16, 16};
-  bench::print_row({"metric", "no watchdogs", "watchdogs on"}, w);
-  bench::print_rule(w);
-  bench::print_row({"goodput before storm (Gb/s)", bench::fmt("%.1f", off.goodput_before_gbps),
-                    bench::fmt("%.1f", on.goodput_before_gbps)}, w);
-  bench::print_row({"goodput during storm (Gb/s)", bench::fmt("%.1f", off.goodput_during_gbps),
-                    bench::fmt("%.1f", on.goodput_during_gbps)}, w);
-  bench::print_row({"goodput after 150ms (Gb/s)", bench::fmt("%.1f", off.goodput_after_gbps),
-                    bench::fmt("%.1f", on.goodput_after_gbps)}, w);
-  bench::print_row({"nodes receiving pauses", std::to_string(off.nodes_paused) + "/" +
-                    std::to_string(off.total_nodes),
-                    std::to_string(on.nodes_paused) + "/" + std::to_string(on.total_nodes)}, w);
-  bench::print_row({"victim pause frames sent", std::to_string(off.victim_pauses),
-                    std::to_string(on.victim_pauses)}, w);
-  bench::print_row({"NIC watchdog trips", std::to_string(off.nic_watchdog_trips),
-                    std::to_string(on.nic_watchdog_trips)}, w);
-  bench::print_row({"switch watchdog trips", std::to_string(off.switch_watchdog_trips),
-                    std::to_string(on.switch_watchdog_trips)}, w);
-
-  const bool storm_blocks = off.goodput_during_gbps < 0.3 * off.goodput_before_gbps;
-  const bool watchdog_recovers = on.goodput_after_gbps > 0.7 * on.goodput_before_gbps &&
-                                 (on.nic_watchdog_trips + on.switch_watchdog_trips) > 0;
-  std::printf("\nstorm blocks network: %s   watchdogs restore goodput: %s\n",
-              storm_blocks ? "CONFIRMED" : "NOT REPRODUCED",
-              watchdog_recovers ? "CONFIRMED" : "NOT REPRODUCED");
-  return (storm_blocks && watchdog_recovers) ? 0 : 1;
+    const bool storm_blocks = off.goodput_during_gbps < 0.3 * off.goodput_before_gbps;
+    const bool watchdog_recovers = on.goodput_after_gbps > 0.7 * on.goodput_before_gbps &&
+                                   (on.nic_watchdog_trips + on.switch_watchdog_trips) > 0;
+    ctx.check("storm blocks network", storm_blocks);
+    ctx.check("watchdogs restore goodput", watchdog_recovers);
+  };
+  return exp::run_scenario(sc, argc, argv);
 }

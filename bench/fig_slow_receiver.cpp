@@ -7,11 +7,9 @@
 // 2MB pages (MTT covers the registered region) and dynamic buffer sharing
 // at the switch (absorbs the NIC's pauses locally instead of propagating
 // them into the network).
-#include <cstdio>
-
-#include "bench/bench_util.h"
 #include "src/app/demux.h"
 #include "src/app/traffic.h"
+#include "src/exp/scenario.h"
 #include "src/topo/fabric.h"
 
 using namespace rocelab;
@@ -85,48 +83,55 @@ Result run_case(std::int64_t page_bytes, bool dynamic_buffer, Time duration) {
 
 }  // namespace
 
-int main() {
-  const Time duration = milliseconds(bench::env_int("ROCELAB_SLOWRX_MS", 50));
+int main(int argc, char** argv) {
+  exp::Scenario sc;
+  sc.name = "fig_slow_receiver";
+  sc.title = "E4 / §4.4 — slow-receiver symptom (MTT cache misses)";
+  sc.paper = "paper: 4KB pages -> MTT misses stall the rx pipeline -> thousands of\n"
+             "pause frames/s; 2MB pages + dynamic buffer sharing mitigate";
+  sc.knobs = {exp::knob_int("duration_ms", 50, "ROCELAB_SLOWRX_MS",
+                            "simulated time per page/buffer case")};
+  sc.body = [](exp::Context& ctx) {
+    const Time duration = milliseconds(ctx.knob_int("duration_ms"));
 
-  bench::print_header("E4 / §4.4 — slow-receiver symptom (MTT cache misses)");
-  std::printf("paper: 4KB pages -> MTT misses stall the rx pipeline -> thousands of\n"
-              "pause frames/s; 2MB pages + dynamic buffer sharing mitigate\n\n");
+    ctx.table({"page", "buffer", "goodput(Gb/s)", "NIC pauses/s", "ToR->Leaf pauses/s",
+               "MTT miss"},
+              {12, 10, 16, 16, 20, 12});
 
-  const std::vector<int> w{12, 10, 16, 16, 20, 12};
-  bench::print_row({"page", "buffer", "goodput(Gb/s)", "NIC pauses/s", "ToR->Leaf pauses/s",
-                    "MTT miss"},
-                   w);
-  bench::print_rule(w);
+    struct Case {
+      std::int64_t page;
+      bool dynamic;
+    };
+    Result results[4];
+    int i = 0;
+    for (const Case c : {Case{4 * kKiB, false}, Case{4 * kKiB, true}, Case{2 * kMiB, false},
+                         Case{2 * kMiB, true}}) {
+      const Result r = run_case(c.page, c.dynamic, duration);
+      results[i++] = r;
+      const std::string page = c.page >= kMiB ? "2MB" : "4KB";
+      const std::string buffer = c.dynamic ? "dynamic" : "static";
+      ctx.row({page, buffer, exp::fmt("%.2f", r.goodput_gbps),
+               exp::fmt("%.0f", r.nic_pauses_per_sec),
+               exp::fmt("%.0f", r.propagated_pauses_per_sec),
+               exp::fmt("%.1f%%", r.mtt_miss_rate * 100)});
+      const std::string case_name = page + "/" + buffer;
+      ctx.metric(case_name, "goodput_gbps", r.goodput_gbps);
+      ctx.metric(case_name, "nic_pauses_per_sec", r.nic_pauses_per_sec);
+      ctx.metric(case_name, "propagated_pauses_per_sec", r.propagated_pauses_per_sec);
+      ctx.metric(case_name, "mtt_miss_rate", r.mtt_miss_rate);
+    }
 
-  struct Case {
-    std::int64_t page;
-    bool dynamic;
+    const Result& small_static = results[0];
+    const Result& small_dyn = results[1];
+    const Result& big_dyn = results[3];
+    const bool symptom = small_static.nic_pauses_per_sec > 1000;  // "thousands per second"
+    const bool big_pages_fix = big_dyn.nic_pauses_per_sec < 0.05 * small_dyn.nic_pauses_per_sec &&
+                               big_dyn.goodput_gbps > 1.5 * small_dyn.goodput_gbps;
+    const bool dyn_absorbs =
+        small_dyn.propagated_pauses_per_sec < 0.5 * small_static.propagated_pauses_per_sec;
+    ctx.check("slow-receiver pauses with 4KB pages", symptom);
+    ctx.check("2MB pages fix", big_pages_fix);
+    ctx.check("dynamic buffer reduces propagation", dyn_absorbs);
   };
-  Result results[4];
-  int i = 0;
-  for (const Case c : {Case{4 * kKiB, false}, Case{4 * kKiB, true}, Case{2 * kMiB, false},
-                       Case{2 * kMiB, true}}) {
-    const Result r = run_case(c.page, c.dynamic, duration);
-    results[i++] = r;
-    bench::print_row({c.page >= kMiB ? "2MB" : "4KB", c.dynamic ? "dynamic" : "static",
-                      bench::fmt("%.2f", r.goodput_gbps), bench::fmt("%.0f", r.nic_pauses_per_sec),
-                      bench::fmt("%.0f", r.propagated_pauses_per_sec),
-                      bench::fmt("%.1f%%", r.mtt_miss_rate * 100)},
-                     w);
-  }
-
-  const Result& small_static = results[0];
-  const Result& small_dyn = results[1];
-  const Result& big_dyn = results[3];
-  const bool symptom = small_static.nic_pauses_per_sec > 1000;  // "thousands per second"
-  const bool big_pages_fix = big_dyn.nic_pauses_per_sec < 0.05 * small_dyn.nic_pauses_per_sec &&
-                             big_dyn.goodput_gbps > 1.5 * small_dyn.goodput_gbps;
-  const bool dyn_absorbs =
-      small_dyn.propagated_pauses_per_sec < 0.5 * small_static.propagated_pauses_per_sec;
-  std::printf("\nslow-receiver pauses with 4KB pages: %s   2MB pages fix: %s   "
-              "dynamic buffer reduces propagation: %s\n",
-              symptom ? "CONFIRMED" : "NOT REPRODUCED",
-              big_pages_fix ? "CONFIRMED" : "NOT REPRODUCED",
-              dyn_absorbs ? "CONFIRMED" : "NOT REPRODUCED");
-  return (symptom && big_pages_fix && dyn_absorbs) ? 0 : 1;
+  return exp::run_scenario(sc, argc, argv);
 }

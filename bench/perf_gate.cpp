@@ -25,9 +25,9 @@
 #include <string>
 #include <vector>
 
-#include "bench/bench_util.h"
 #include "src/app/demux.h"
 #include "src/app/traffic.h"
+#include "src/exp/scenario.h"
 #include "src/link/impairment.h"
 #include "src/monitor/digest.h"
 #include "src/rocev2/deployment.h"
@@ -183,7 +183,11 @@ long peak_rss_kib() {
 }  // namespace
 
 int main(int argc, char** argv) {
-  long ms = bench::env_int("ROCELAB_PERFGATE_MS", 10);
+  // The digest contract needs an exactly reproducible window, so the window
+  // knob goes through the same env resolution as every scenario knob.
+  exp::Knobs knobs;
+  knobs.declare(exp::knob_int("ms", 10, "ROCELAB_PERFGATE_MS", "simulated window"));
+  long ms = knobs.get_int("ms");
   std::string json_path;
   std::string expect_digest;
   bool twice = false;
@@ -207,7 +211,7 @@ int main(int argc, char** argv) {
     }
   }
 
-  bench::print_header("perf gate — seeded Clos macro workload");
+  std::printf("\n=== perf gate — seeded Clos macro workload ===\n");
   const GateResult r = run_workload(milliseconds(ms));
   const double events_per_sec = static_cast<double>(r.events) / r.wall_s;
   const double wall_per_sim_s = r.wall_s / r.sim_s;

@@ -9,11 +9,9 @@
 // once from the paper's own numbers (see DESIGN.md) — what this bench
 // validates is that segment rates and the resulting overhead RATIO between
 // send/receive/RDMA reproduce, and how overhead scales with message size.
-#include <cstdio>
-
-#include "bench/bench_util.h"
 #include "src/app/demux.h"
 #include "src/app/traffic.h"
+#include "src/exp/scenario.h"
 #include "src/topo/fabric.h"
 
 using namespace rocelab;
@@ -30,80 +28,94 @@ constexpr double kRdmaCyclesPerMessage = 600;  // completion handling only
 
 }  // namespace
 
-int main() {
-  const Time duration = milliseconds(bench::env_int("ROCELAB_CPU_MS", 100));
+int main(int argc, char** argv) {
+  exp::Scenario sc;
+  sc.name = "tab_cpu_overhead";
+  sc.title = "E10 / §1 — CPU overhead at 40Gb/s, 8 connections (32-core model)";
+  sc.paper = "paper: TCP send 6% / recv 12% of a 32-core Xeon at 40Gb/s; RDMA ~0%";
+  sc.knobs = {exp::knob_int("duration_ms", 100, "ROCELAB_CPU_MS",
+                            "measurement window per stack")};
+  sc.body = [](exp::Context& ctx) {
+    const Time duration = milliseconds(ctx.knob_int("duration_ms"));
 
-  Fabric fabric;
-  SwitchConfig sw_cfg;
-  sw_cfg.lossless[3] = true;
-  auto& sw = fabric.add_switch("sw", sw_cfg, 2);
-  sw.add_local_subnet(Ipv4Prefix{Ipv4Addr::from_octets(10, 0, 0, 0), 24});
-  HostConfig host_cfg;
-  host_cfg.lossless[3] = true;
-  auto& a = fabric.add_host("a", host_cfg);
-  auto& b = fabric.add_host("b", host_cfg);
-  a.set_ip(Ipv4Addr::from_octets(10, 0, 0, 1));
-  b.set_ip(Ipv4Addr::from_octets(10, 0, 0, 2));
-  fabric.attach_host(a, sw, 0, gbps(40), propagation_delay_for_meters(2));
-  fabric.attach_host(b, sw, 1, gbps(40), propagation_delay_for_meters(2));
+    Fabric fabric;
+    SwitchConfig sw_cfg;
+    sw_cfg.lossless[3] = true;
+    auto& sw = fabric.add_switch("sw", sw_cfg, 2);
+    sw.add_local_subnet(Ipv4Prefix{Ipv4Addr::from_octets(10, 0, 0, 0), 24});
+    HostConfig host_cfg;
+    host_cfg.lossless[3] = true;
+    auto& a = fabric.add_host("a", host_cfg);
+    auto& b = fabric.add_host("b", host_cfg);
+    a.set_ip(Ipv4Addr::from_octets(10, 0, 0, 1));
+    b.set_ip(Ipv4Addr::from_octets(10, 0, 0, 2));
+    fabric.attach_host(a, sw, 0, gbps(40), propagation_delay_for_meters(2));
+    fabric.attach_host(b, sw, 1, gbps(40), propagation_delay_for_meters(2));
 
-  // 8 TCP connections sending as fast as cwnd allows (the paper's setup).
-  TcpStack sa(a), sb(b);
-  TcpConfig fast;
-  fast.kernel.jitter_mean = microseconds(2);  // bulk send path, hot cache
-  fast.kernel.base = microseconds(1);
-  fast.kernel.spike_prob = 0;
-  TcpDemux db(sb);
-  std::vector<TcpStack::ConnId> conns;
-  for (int i = 0; i < 8; ++i) {
-    auto [ca, cb] = TcpStack::connect_pair(sa, sb, fast);
-    (void)cb;
-    conns.push_back(ca);
-  }
-  for (auto c : conns) {
-    for (int m = 0; m < 16; ++m) sa.send_message(c, 4 * kMiB, static_cast<std::uint64_t>(m));
-  }
+    // 8 TCP connections sending as fast as cwnd allows (the paper's setup).
+    TcpStack sa(a), sb(b);
+    TcpConfig fast;
+    fast.kernel.jitter_mean = microseconds(2);  // bulk send path, hot cache
+    fast.kernel.base = microseconds(1);
+    fast.kernel.spike_prob = 0;
+    TcpDemux db(sb);
+    std::vector<TcpStack::ConnId> conns;
+    for (int i = 0; i < 8; ++i) {
+      auto [ca, cb] = TcpStack::connect_pair(sa, sb, fast);
+      (void)cb;
+      conns.push_back(ca);
+    }
+    for (auto c : conns) {
+      for (int m = 0; m < 16; ++m) sa.send_message(c, 4 * kMiB, static_cast<std::uint64_t>(m));
+    }
 
-  // RDMA: same offered load on a second QP pair… run separately to keep the
-  // link dedicated, as the paper did. (First run TCP, then RDMA.)
-  fabric.sim().run_until(duration);
-  const double tcp_tx_segs =
-      static_cast<double>(sa.stats().data_segments_sent) / to_seconds(duration);
-  const double tcp_rx_segs =
-      static_cast<double>(sb.stats().segments_received) / to_seconds(duration);
-  const double tcp_gbps =
-      static_cast<double>(sa.stats().bytes_delivered) * 8 / to_seconds(duration) / 1e9;
+    // RDMA: same offered load on a second QP pair… run separately to keep the
+    // link dedicated, as the paper did. (First run TCP, then RDMA.)
+    fabric.sim().run_until(duration);
+    const double tcp_tx_segs =
+        static_cast<double>(sa.stats().data_segments_sent) / to_seconds(duration);
+    const double tcp_rx_segs =
+        static_cast<double>(sb.stats().segments_received) / to_seconds(duration);
+    const double tcp_gbps =
+        static_cast<double>(sa.stats().bytes_delivered) * 8 / to_seconds(duration) / 1e9;
 
-  auto [qa, qb] = connect_qp_pair(a, b, QpConfig{});
-  (void)qb;
-  RdmaDemux da(a);
-  RdmaStreamSource src(a, da, qa,
-                       RdmaStreamSource::Options{.message_bytes = 4 * kMiB, .max_outstanding = 4});
-  src.start();
-  fabric.sim().run_until(2 * duration);
-  const double rdma_msgs = static_cast<double>(src.completed_messages()) / to_seconds(duration);
-  const double rdma_gbps = src.goodput_bps() / 1e9;
+    auto [qa, qb] = connect_qp_pair(a, b, QpConfig{});
+    (void)qb;
+    RdmaDemux da(a);
+    RdmaStreamSource src(
+        a, da, qa, RdmaStreamSource::Options{.message_bytes = 4 * kMiB, .max_outstanding = 4});
+    src.start();
+    fabric.sim().run_until(2 * duration);
+    const double rdma_msgs = static_cast<double>(src.completed_messages()) / to_seconds(duration);
+    const double rdma_gbps = src.goodput_bps() / 1e9;
 
-  const double total_hz = kCores * kHz;
-  const double tcp_tx_cpu = tcp_tx_segs * kTxCyclesPerSegment / total_hz * 100;
-  const double tcp_rx_cpu = tcp_rx_segs * kRxCyclesPerSegment / total_hz * 100;
-  const double rdma_cpu = rdma_msgs * kRdmaCyclesPerMessage / total_hz * 100;
+    const double total_hz = kCores * kHz;
+    const double tcp_tx_cpu = tcp_tx_segs * kTxCyclesPerSegment / total_hz * 100;
+    const double tcp_rx_cpu = tcp_rx_segs * kRxCyclesPerSegment / total_hz * 100;
+    const double rdma_cpu = rdma_msgs * kRdmaCyclesPerMessage / total_hz * 100;
 
-  bench::print_header("E10 / §1 — CPU overhead at 40Gb/s, 8 connections (32-core model)");
-  const std::vector<int> w{26, 14, 14, 16};
-  bench::print_row({"metric", "measured", "paper", ""}, w);
-  bench::print_rule(w);
-  bench::print_row({"TCP goodput (Gb/s)", bench::fmt("%.1f", tcp_gbps), "~40", ""}, w);
-  bench::print_row({"TCP send CPU (%)", bench::fmt("%.1f", tcp_tx_cpu), "6", ""}, w);
-  bench::print_row({"TCP recv CPU (%)", bench::fmt("%.1f", tcp_rx_cpu), "12", ""}, w);
-  bench::print_row({"RDMA goodput (Gb/s)", bench::fmt("%.1f", rdma_gbps), "~40", ""}, w);
-  bench::print_row({"RDMA CPU (%)", bench::fmt("%.2f", rdma_cpu), "~0", ""}, w);
-  std::printf("\nTCP tx %.2fM seg/s, rx %.2fM seg/s (data+acks); RDMA %.0f msgs/s offloaded\n",
-              tcp_tx_segs / 1e6, tcp_rx_segs / 1e6, rdma_msgs);
+    ctx.table({"metric", "measured", "paper", ""}, {26, 14, 14, 16});
+    ctx.row({"TCP goodput (Gb/s)", exp::fmt("%.1f", tcp_gbps), "~40", ""});
+    ctx.row({"TCP send CPU (%)", exp::fmt("%.1f", tcp_tx_cpu), "6", ""});
+    ctx.row({"TCP recv CPU (%)", exp::fmt("%.1f", tcp_rx_cpu), "12", ""});
+    ctx.row({"RDMA goodput (Gb/s)", exp::fmt("%.1f", rdma_gbps), "~40", ""});
+    ctx.row({"RDMA CPU (%)", exp::fmt("%.2f", rdma_cpu), "~0", ""});
+    ctx.note("");
+    ctx.note("TCP tx " + exp::fmt("%.2fM", tcp_tx_segs / 1e6) + " seg/s, rx " +
+             exp::fmt("%.2fM", tcp_rx_segs / 1e6) + " seg/s (data+acks); RDMA " +
+             exp::fmt("%.0f", rdma_msgs) + " msgs/s offloaded");
+    ctx.metric("tcp", "goodput_gbps", tcp_gbps);
+    ctx.metric("tcp", "send_cpu_pct", tcp_tx_cpu);
+    ctx.metric("tcp", "recv_cpu_pct", tcp_rx_cpu);
+    ctx.metric("tcp", "tx_segments_per_sec", tcp_tx_segs);
+    ctx.metric("tcp", "rx_segments_per_sec", tcp_rx_segs);
+    ctx.metric("rdma", "goodput_gbps", rdma_gbps);
+    ctx.metric("rdma", "cpu_pct", rdma_cpu);
+    ctx.metric("rdma", "messages_per_sec", rdma_msgs);
 
-  const bool ok = tcp_gbps > 25 && tcp_tx_cpu > 3 && tcp_rx_cpu > 1.8 * tcp_tx_cpu * 0.8 &&
-                  rdma_cpu < 0.5 && rdma_gbps > 30;
-  std::printf("\nTCP burns CPU, recv ~2x send, RDMA ~0: %s\n",
-              ok ? "CONFIRMED" : "NOT REPRODUCED");
-  return ok ? 0 : 1;
+    ctx.check("TCP burns CPU, recv ~2x send, RDMA ~0",
+              tcp_gbps > 25 && tcp_tx_cpu > 3 && tcp_rx_cpu > 1.8 * tcp_tx_cpu * 0.8 &&
+                  rdma_cpu < 0.5 && rdma_gbps > 30);
+  };
+  return exp::run_scenario(sc, argc, argv);
 }

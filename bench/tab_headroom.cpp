@@ -8,11 +8,11 @@
 // Part 1 prints the headroom table; part 2 empirically validates that the
 // recommended headroom absorbs the in-flight bytes of the "gray period"
 // (zero lossless drops) while half of it does not.
-#include <cstdio>
+#include <algorithm>
 
-#include "bench/bench_util.h"
 #include "src/app/demux.h"
 #include "src/app/traffic.h"
+#include "src/exp/scenario.h"
 #include "src/topo/fabric.h"
 
 using namespace rocelab;
@@ -38,7 +38,7 @@ struct DropResult {
 
 /// Blast traffic into a receiver that stops draining (storm mode): every
 /// in-flight byte of the gray period must fit in headroom.
-DropResult run_gray_period(double cable_m, double headroom_scale) {
+DropResult run_gray_period(double cable_m, double headroom_scale, Time duration) {
   Fabric fabric;
   SwitchConfig cfg;
   cfg.lossless[3] = true;
@@ -73,7 +73,7 @@ DropResult run_gray_period(double cable_m, double headroom_scale) {
   // Receiver NIC wedges mid-run: it pauses the switch forever; the switch
   // in turn XOFFs the senders, whose in-flight bytes must land in headroom.
   fabric.sim().schedule_at(milliseconds(1), [&] { r.set_storm_mode(true); });
-  fabric.sim().run_until(milliseconds(30));
+  fabric.sim().run_until(duration);
 
   DropResult out;
   for (int p = 0; p < sw.port_count(); ++p) {
@@ -85,60 +85,73 @@ DropResult run_gray_period(double cable_m, double headroom_scale) {
 
 }  // namespace
 
-int main() {
-  bench::print_header("E12 / §2 — PFC headroom sizing and the two-lossless-class limit");
-
-  std::printf("\nheadroom per (port, lossless PG) = f(bandwidth, cable length, MTU):\n\n");
-  std::printf("%-10s %14s %14s\n", "cable", "40GbE", "100GbE");
-  std::printf("----------------------------------------\n");
-  for (double m : {2.0, 20.0, 100.0, 200.0, 300.0}) {
-    const auto h40 = recommended_headroom(gbps(40), propagation_delay_for_meters(m), 1086);
-    const auto h100 = recommended_headroom(gbps(100), propagation_delay_for_meters(m), 1086);
-    std::printf("%6.0fm   %13.1fKB %13.1fKB\n", m, static_cast<double>(h40) / 1024,
-                static_cast<double>(h100) / 1024);
-  }
-
-  // Deployment sizing must provision headroom for the largest frame the
-  // port may carry (jumbo), not just the RoCE MTU.
-  std::printf("\nmax lossless classes (shared pool >= 2MB left), headroom for 300m @40G,\n"
-              "jumbo frames:\n\n");
-  const auto h300 = recommended_headroom(gbps(40), propagation_delay_for_meters(300), 9216);
-  std::printf("%-18s %10s %10s\n", "buffer \\ ports", "32", "64");
-  std::printf("----------------------------------------\n");
-  int classes_9mb_64 = 0, classes_12mb_64 = 0;
-  for (std::int64_t buf : {9 * kMiB, 12 * kMiB, 24 * kMiB}) {
-    const int c32 = max_lossless_classes(buf, 32, h300, 8 * kKiB);
-    const int c64 = max_lossless_classes(buf, 64, h300, 8 * kKiB);
-    if (buf == 9 * kMiB) classes_9mb_64 = c64;
-    if (buf == 12 * kMiB) classes_12mb_64 = c64;
-    std::printf("%-18s %10d %10d\n", format_bytes(buf).c_str(), c32, c64);
-  }
-
-  std::printf("\ngray-period validation (2 senders blast a receiver that wedges):\n\n");
-  std::printf("%-10s %-18s %16s %16s\n", "cable", "headroom", "lossless drops", "peak headroom");
-  std::printf("----------------------------------------------------------------\n");
-  bool full_ok = true, half_bad = false;
-  for (double m : {20.0, 300.0}) {
-    for (double scale : {1.0, 0.4}) {
-      const DropResult r = run_gray_period(m, scale);
-      std::printf("%6.0fm   %-18s %16lld %16s\n", m,
-                  scale == 1.0 ? "recommended" : "40% of rec.",
-                  static_cast<long long>(r.headroom_drops),
-                  format_bytes(r.headroom_bytes).c_str());
-      if (scale == 1.0 && r.headroom_drops != 0) full_ok = false;
-      if (scale < 1.0 && r.headroom_drops > 0) half_bad = true;
+int main(int argc, char** argv) {
+  exp::Scenario sc;
+  sc.name = "tab_headroom";
+  sc.title = "E12 / §2 — PFC headroom sizing and the two-lossless-class limit";
+  sc.paper = "paper: headroom = f(bandwidth, cable, MTU); shallow buffers fit only\n"
+             "two lossless classes of the eight PFC defines";
+  sc.knobs = {exp::knob_int("gray_ms", 30, "", "gray-period validation run length")};
+  sc.body = [](exp::Context& ctx) {
+    ctx.note("");
+    ctx.note("headroom per (port, lossless PG) = f(bandwidth, cable length, MTU):");
+    ctx.table({"cable", "40GbE", "100GbE"}, {10, 15, 15});
+    for (double m : {2.0, 20.0, 100.0, 200.0, 300.0}) {
+      const auto h40 = recommended_headroom(gbps(40), propagation_delay_for_meters(m), 1086);
+      const auto h100 = recommended_headroom(gbps(100), propagation_delay_for_meters(m), 1086);
+      ctx.row({exp::fmt("%.0fm", m), exp::fmt("%.1fKB", static_cast<double>(h40) / 1024),
+               exp::fmt("%.1fKB", static_cast<double>(h100) / 1024)});
+      const std::string case_name = "headroom/" + exp::fmt("%.0fm", m);
+      ctx.metric(case_name, "headroom_40g_bytes", static_cast<double>(h40));
+      ctx.metric(case_name, "headroom_100g_bytes", static_cast<double>(h100));
     }
-  }
 
-  // The paper's exact "two" also depends on vendor cell-accounting
-  // overheads we do not model; the reproducible shape is "far fewer than
-  // the eight PFC defines".
-  const bool class_limit = classes_9mb_64 <= 3 && classes_12mb_64 <= 4;
-  std::printf("\nrecommended headroom -> zero lossless drops: %s\n"
-              "under-provisioned headroom -> drops: %s\n"
-              "shallow buffers support only ~2-3 lossless classes (paper: 2): %s\n",
-              full_ok ? "CONFIRMED" : "NOT REPRODUCED",
-              half_bad ? "CONFIRMED" : "NOT REPRODUCED",
-              class_limit ? "CONFIRMED" : "NOT REPRODUCED");
-  return (full_ok && half_bad && class_limit) ? 0 : 1;
+    // Deployment sizing must provision headroom for the largest frame the
+    // port may carry (jumbo), not just the RoCE MTU.
+    ctx.note("");
+    ctx.note("max lossless classes (shared pool >= 2MB left), headroom for 300m @40G,\n"
+             "jumbo frames:");
+    const auto h300 = recommended_headroom(gbps(40), propagation_delay_for_meters(300), 9216);
+    ctx.table({"buffer \\ ports", "32", "64"}, {18, 11, 11});
+    int classes_9mb_64 = 0, classes_12mb_64 = 0;
+    for (std::int64_t buf : {9 * kMiB, 12 * kMiB, 24 * kMiB}) {
+      const int c32 = max_lossless_classes(buf, 32, h300, 8 * kKiB);
+      const int c64 = max_lossless_classes(buf, 64, h300, 8 * kKiB);
+      if (buf == 9 * kMiB) classes_9mb_64 = c64;
+      if (buf == 12 * kMiB) classes_12mb_64 = c64;
+      ctx.row({format_bytes(buf), std::to_string(c32), std::to_string(c64)});
+      const std::string case_name = "classes/" + format_bytes(buf);
+      ctx.metric(case_name, "classes_32port", c32);
+      ctx.metric(case_name, "classes_64port", c64);
+    }
+
+    ctx.note("");
+    ctx.note("gray-period validation (2 senders blast a receiver that wedges):");
+    ctx.table({"cable", "headroom", "lossless drops", "peak headroom"}, {10, 19, 17, 17});
+    const Time gray_duration = milliseconds(ctx.knob_int("gray_ms"));
+    bool full_ok = true, half_bad = false;
+    for (double m : {20.0, 300.0}) {
+      for (double scale : {1.0, 0.4}) {
+        const DropResult r = run_gray_period(m, scale, gray_duration);
+        const std::string label = scale == 1.0 ? "recommended" : "40% of rec.";
+        ctx.row({exp::fmt("%.0fm", m), label, std::to_string(r.headroom_drops),
+                 format_bytes(r.headroom_bytes)});
+        const std::string case_name =
+            "gray/" + exp::fmt("%.0fm", m) + (scale == 1.0 ? "/full" : "/scaled");
+        ctx.metric(case_name, "headroom_drops", static_cast<double>(r.headroom_drops));
+        ctx.metric(case_name, "peak_headroom_bytes", static_cast<double>(r.headroom_bytes));
+        if (scale == 1.0 && r.headroom_drops != 0) full_ok = false;
+        if (scale < 1.0 && r.headroom_drops > 0) half_bad = true;
+      }
+    }
+
+    // The paper's exact "two" also depends on vendor cell-accounting
+    // overheads we do not model; the reproducible shape is "far fewer than
+    // the eight PFC defines".
+    ctx.check("recommended headroom -> zero lossless drops", full_ok);
+    ctx.check("under-provisioned headroom -> drops", half_bad);
+    ctx.check("shallow buffers support only ~2-3 lossless classes",
+              classes_9mb_64 <= 3 && classes_12mb_64 <= 4);
+  };
+  return exp::run_scenario(sc, argc, argv);
 }

@@ -1,0 +1,69 @@
+#include "src/exp/harness.h"
+
+namespace rocelab::exp {
+
+RdmaDemux& TrafficSet::demux(Host& h) {
+  auto it = demux_.find(&h);
+  if (it == demux_.end()) {
+    it = demux_.emplace(&h, std::make_unique<RdmaDemux>(h)).first;
+  }
+  return *it->second;
+}
+
+std::vector<std::uint32_t> TrafficSet::add_streams(Host& src, Host& dst, const QpConfig& qp,
+                                                   RdmaStreamSource::Options opts, int count) {
+  std::vector<std::uint32_t> qpns;
+  RdmaDemux& d = demux(src);
+  for (int i = 0; i < count; ++i) {
+    auto [qa, qb] = connect_qp_pair(src, dst, qp);
+    (void)qb;
+    sources_.push_back(std::make_unique<RdmaStreamSource>(src, d, qa, opts));
+    sources_.back()->start();
+    qpns.push_back(qa);
+  }
+  return qpns;
+}
+
+std::uint32_t TrafficSet::add_probe_target(Host& prober, Host& target, const QpConfig& qp,
+                                           std::int64_t response_bytes) {
+  auto [qa, qb] = connect_qp_pair(prober, target, qp);
+  echoes_.push_back(std::make_unique<RdmaEchoServer>(target, demux(target), qb, response_bytes));
+  return qa;
+}
+
+RdmaPingmesh& TrafficSet::add_pingmesh(Host& prober, std::vector<std::uint32_t> qpns,
+                                       RdmaPingmesh::Options opts) {
+  meshes_.push_back(
+      std::make_unique<RdmaPingmesh>(prober, demux(prober), std::move(qpns), opts));
+  return *meshes_.back();
+}
+
+RdmaIncastClient& TrafficSet::add_incast(Host& client, std::vector<std::uint32_t> qpns,
+                                         RdmaIncastClient::Options opts) {
+  incasts_.push_back(
+      std::make_unique<RdmaIncastClient>(client, demux(client), std::move(qpns), opts));
+  return *incasts_.back();
+}
+
+double TrafficSet::total_goodput_bps() const {
+  double g = 0;
+  for (const auto& s : sources_) g += s->goodput_bps();
+  return g;
+}
+
+StarFabric::StarFabric(int senders, const SwitchConfig& scfg, const HostConfig& hcfg,
+                       Bandwidth bw) {
+  sw_ = &fabric.add_switch("sw", scfg, senders + 1);
+  sw_->add_local_subnet(Ipv4Prefix{Ipv4Addr::from_octets(10, 0, 0, 0), 24});
+  rx_ = &fabric.add_host("rx", hcfg);
+  rx_->set_ip(Ipv4Addr::from_octets(10, 0, 0, 100));
+  fabric.attach_host(*rx_, *sw_, senders, bw, propagation_delay_for_meters(2));
+  for (int i = 0; i < senders; ++i) {
+    auto& h = fabric.add_host("tx" + std::to_string(i), hcfg);
+    h.set_ip(Ipv4Addr::from_octets(10, 0, 0, static_cast<std::uint8_t>(i + 1)));
+    fabric.attach_host(h, *sw_, i, bw, propagation_delay_for_meters(2));
+    tx_.push_back(&h);
+  }
+}
+
+}  // namespace rocelab::exp

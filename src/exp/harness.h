@@ -1,0 +1,73 @@
+// Shared experiment plumbing: every fig_*/abl_* main used to hand-roll the
+// same three things — a per-host RdmaDemux registry, vectors of
+// stream-source/echo-server lifetimes, and a single-switch star fabric for
+// incast/loss microbenches. TrafficSet and StarFabric own those shapes once.
+#pragma once
+
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "src/app/demux.h"
+#include "src/app/traffic.h"
+#include "src/topo/fabric.h"
+
+namespace rocelab::exp {
+
+/// Owns demuxes, stream sources, echo servers, pingmeshes, and incast
+/// clients for one experiment. A Host gets exactly one RdmaDemux (creating
+/// a second would silently steal the NIC's recv callback).
+class TrafficSet {
+ public:
+  RdmaDemux& demux(Host& h);
+
+  /// `count` saturating stream QPs src -> dst; returns the prober-side QPNs.
+  std::vector<std::uint32_t> add_streams(Host& src, Host& dst, const QpConfig& qp,
+                                         RdmaStreamSource::Options opts, int count = 1);
+
+  /// Connect prober -> target and put an echo server behind the far side.
+  /// Returns the prober-side QPN (feed several into add_pingmesh/add_incast).
+  std::uint32_t add_probe_target(Host& prober, Host& target, const QpConfig& qp,
+                                 std::int64_t response_bytes);
+
+  RdmaPingmesh& add_pingmesh(Host& prober, std::vector<std::uint32_t> qpns,
+                             RdmaPingmesh::Options opts);
+  RdmaIncastClient& add_incast(Host& client, std::vector<std::uint32_t> qpns,
+                               RdmaIncastClient::Options opts);
+
+  /// Sum of goodput_bps() across every stream source.
+  [[nodiscard]] double total_goodput_bps() const;
+  [[nodiscard]] const std::vector<std::unique_ptr<RdmaStreamSource>>& sources() const {
+    return sources_;
+  }
+
+ private:
+  std::unordered_map<const Host*, std::unique_ptr<RdmaDemux>> demux_;
+  std::vector<std::unique_ptr<RdmaStreamSource>> sources_;
+  std::vector<std::unique_ptr<RdmaEchoServer>> echoes_;
+  std::vector<std::unique_ptr<RdmaPingmesh>> meshes_;
+  std::vector<std::unique_ptr<RdmaIncastClient>> incasts_;
+};
+
+/// Single-switch star: `senders` transmitters at switch ports 0..N-1 and
+/// one receiver at port N, all on 10.0.0.0/24 at 40G / 2m cables — the
+/// §2 incast and §4.1 loss-sweep shape.
+class StarFabric {
+ public:
+  StarFabric(int senders, const SwitchConfig& scfg, const HostConfig& hcfg,
+             Bandwidth bw = gbps(40));
+
+  Fabric fabric;
+  [[nodiscard]] Simulator& sim() { return fabric.sim(); }
+  [[nodiscard]] Switch& sw() { return *sw_; }
+  [[nodiscard]] Host& rx() { return *rx_; }
+  [[nodiscard]] Host& tx(int i) { return *tx_[static_cast<std::size_t>(i)]; }
+  [[nodiscard]] int senders() const { return static_cast<int>(tx_.size()); }
+
+ private:
+  Switch* sw_ = nullptr;
+  Host* rx_ = nullptr;
+  std::vector<Host*> tx_;
+};
+
+}  // namespace rocelab::exp

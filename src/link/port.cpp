@@ -5,6 +5,7 @@
 #include <stdexcept>
 
 #include "src/link/node.h"
+#include "src/monitor/metric_registry.h"
 #include "src/net/packet_pool.h"
 
 namespace rocelab {
@@ -14,7 +15,32 @@ constexpr std::int64_t kDwrrQuantumBytes = 1600;
 }
 
 EgressPort::EgressPort(Simulator& sim, Node& owner, int index)
-    : sim_(sim), owner_(owner), index_(index) {}
+    : sim_(sim), owner_(owner), index_(index) {
+  // §5.2 telemetry plane: every per-port counter is queryable by name the
+  // moment the port exists. Registration stores pointers into counters_;
+  // the data path keeps bumping plain fields at zero extra cost.
+  MetricRegistry& reg = sim_.metrics();
+  const std::string prefix = owner.name() + "/port" + std::to_string(index);
+  reg.add_lanes(this, prefix, "tx_packets", counters_.tx_packets.data(), kNumPriorities);
+  reg.add_lanes(this, prefix, "tx_bytes", counters_.tx_bytes.data(), kNumPriorities);
+  reg.add_lanes(this, prefix, "rx_packets", counters_.rx_packets.data(), kNumPriorities);
+  reg.add_lanes(this, prefix, "rx_bytes", counters_.rx_bytes.data(), kNumPriorities);
+  reg.add_lanes(this, prefix, "tx_pause", counters_.tx_pause.data(), kNumPriorities);
+  reg.add_lanes(this, prefix, "rx_pause", counters_.rx_pause.data(), kNumPriorities);
+  reg.add_lanes(this, prefix, "paused_time", counters_.paused_time.data(), kNumPriorities);
+  reg.add(this, prefix + "/ingress_drops", &counters_.ingress_drops);
+  reg.add(this, prefix + "/headroom_overflow_drops", &counters_.headroom_overflow_drops);
+  reg.add(this, prefix + "/egress_drops", &counters_.egress_drops);
+  reg.add(this, prefix + "/arp_incomplete_drops", &counters_.arp_incomplete_drops);
+  reg.add(this, prefix + "/mac_mismatch_drops", &counters_.mac_mismatch_drops);
+  reg.add(this, prefix + "/link_down_drops", &counters_.link_down_drops);
+  reg.add(this, prefix + "/fcs_errors", &counters_.fcs_errors);
+  reg.add(this, prefix + "/impairment_drops", &counters_.impairment_drops);
+  reg.add(this, prefix + "/filtered_drops", &counters_.filtered_drops);
+  reg.add(this, prefix + "/queued_bytes", &total_bytes_, MetricKind::kGauge);
+}
+
+EgressPort::~EgressPort() { sim_.metrics().remove_owner(this); }
 
 void EgressPort::connect(Node* peer, int peer_port, Bandwidth bandwidth, Time prop_delay) {
   peer_ = peer;

@@ -70,6 +70,7 @@ class EgressPort {
   };
 
   EgressPort(Simulator& sim, Node& owner, int index);
+  ~EgressPort();
   EgressPort(const EgressPort&) = delete;
   EgressPort& operator=(const EgressPort&) = delete;
 

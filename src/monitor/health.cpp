@@ -4,36 +4,40 @@
 #include <cstdio>
 #include <sstream>
 
+#include "src/monitor/metric_registry.h"
+
 namespace rocelab {
 
 namespace {
 
-PortHealth health_of(const Node& n, int p) {
-  const PortCounters& c = n.port(p).counters();
+/// Reads entirely through the §5.2 metric registry — the same query path
+/// an operator's monitoring service would use — rather than reaching into
+/// PortCounters by hand.
+PortHealth health_of(const MetricRegistry& reg, const Node& n, int p) {
+  const std::string prefix = n.name() + "/port" + std::to_string(p);
   PortHealth h;
   h.node = n.name();
   h.port = p;
-  for (int prio = 0; prio < kNumPriorities; ++prio) {
-    h.rx_packets += c.rx_packets[static_cast<std::size_t>(prio)];
-  }
-  h.fcs_errors = c.fcs_errors;
-  h.mmu_drops = c.ingress_drops + c.headroom_overflow_drops;
-  h.egress_drops = c.egress_drops;
-  h.filtered_drops = c.filtered_drops;
-  h.impairment_drops = c.impairment_drops;
-  h.link_down_drops = c.link_down_drops;
+  h.rx_packets = reg.sum(prefix + "/prio*/rx_packets");
+  h.fcs_errors = reg.sum(prefix + "/fcs_errors");
+  h.mmu_drops = reg.sum(prefix + "/ingress_drops") + reg.sum(prefix + "/headroom_overflow_drops");
+  h.egress_drops = reg.sum(prefix + "/egress_drops");
+  h.filtered_drops = reg.sum(prefix + "/filtered_drops");
+  h.impairment_drops = reg.sum(prefix + "/impairment_drops");
+  h.link_down_drops = reg.sum(prefix + "/link_down_drops");
   return h;
 }
 
 }  // namespace
 
 std::vector<PortHealth> collect_port_health(const Fabric& fabric) {
+  const MetricRegistry& reg = fabric.sim().metrics();
   std::vector<PortHealth> out;
   for (const auto& sw : fabric.switches()) {
-    for (int p = 0; p < sw->port_count(); ++p) out.push_back(health_of(*sw, p));
+    for (int p = 0; p < sw->port_count(); ++p) out.push_back(health_of(reg, *sw, p));
   }
   for (const auto& h : fabric.hosts()) {
-    for (int p = 0; p < h->port_count(); ++p) out.push_back(health_of(*h, p));
+    for (int p = 0; p < h->port_count(); ++p) out.push_back(health_of(reg, *h, p));
   }
   return out;
 }

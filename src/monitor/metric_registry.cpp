@@ -1,0 +1,112 @@
+#include "src/monitor/metric_registry.h"
+
+namespace rocelab {
+
+namespace {
+
+bool segment_matches(std::string_view seg, std::string_view pat) {
+  if (pat == "*") return true;
+  if (!pat.empty() && pat.back() == '*') {
+    const std::string_view prefix = pat.substr(0, pat.size() - 1);
+    return seg.substr(0, prefix.size()) == prefix;
+  }
+  return seg == pat;
+}
+
+}  // namespace
+
+bool MetricRegistry::matches(std::string_view name, std::string_view pattern) {
+  constexpr auto npos = std::string_view::npos;
+  std::size_t n = 0, p = 0;
+  for (;;) {
+    const std::size_t ne = name.find('/', n);
+    const std::size_t pe = pattern.find('/', p);
+    const std::string_view nseg = name.substr(n, ne == npos ? npos : ne - n);
+    const std::string_view pseg = pattern.substr(p, pe == npos ? npos : pe - p);
+    if (pseg == "**" && pe == npos) return true;
+    if (!segment_matches(nseg, pseg)) return false;
+    if (ne == npos && pe == npos) return true;
+    if (ne == npos || pe == npos) return false;
+    n = ne + 1;
+    p = pe + 1;
+  }
+}
+
+void MetricRegistry::add(const void* owner, std::string name, const std::int64_t* value,
+                         MetricKind kind) {
+  const auto id = static_cast<std::uint32_t>(entries_.size());
+  entries_.push_back(Entry{std::move(name), value, kind, false});
+  owners_[owner].push_back(id);
+  ++live_;
+  ++version_;
+}
+
+void MetricRegistry::add_lanes(const void* owner, const std::string& prefix,
+                               const std::string& leaf, const std::int64_t* values, int lanes,
+                               MetricKind kind) {
+  for (int k = 0; k < lanes; ++k) {
+    add(owner, prefix + "/prio" + std::to_string(k) + "/" + leaf, values + k, kind);
+  }
+}
+
+void MetricRegistry::remove_owner(const void* owner) {
+  auto it = owners_.find(owner);
+  if (it == owners_.end()) return;
+  for (std::uint32_t id : it->second) {
+    Entry& e = entries_[static_cast<std::size_t>(id)];
+    if (!e.dead) {
+      e.dead = true;
+      e.value = nullptr;
+      --live_;
+    }
+  }
+  owners_.erase(it);
+  ++version_;
+}
+
+std::int64_t MetricRegistry::sum(std::string_view pattern) const {
+  std::int64_t s = 0;
+  for (const Entry& e : entries_) {
+    if (!e.dead && matches(e.name, pattern)) s += *e.value;
+  }
+  return s;
+}
+
+std::vector<std::uint32_t> MetricRegistry::select(std::string_view pattern) const {
+  std::vector<std::uint32_t> out;
+  for (std::size_t i = 0; i < entries_.size(); ++i) {
+    if (!entries_[i].dead && matches(entries_[i].name, pattern)) {
+      out.push_back(static_cast<std::uint32_t>(i));
+    }
+  }
+  return out;
+}
+
+void MetricRegistry::for_each(const std::function<void(const Entry&)>& fn) const {
+  for (const Entry& e : entries_) {
+    if (!e.dead) fn(e);
+  }
+}
+
+void MetricSelection::refresh() const {
+  if (seen_version_ == reg_->version()) return;
+  ids_ = reg_->select(pattern_);
+  seen_version_ = reg_->version();
+}
+
+std::int64_t MetricSelection::sum() const {
+  refresh();
+  std::int64_t s = 0;
+  for (std::uint32_t id : ids_) {
+    const auto& e = reg_->entry(id);
+    if (!e.dead) s += *e.value;
+  }
+  return s;
+}
+
+std::size_t MetricSelection::count() const {
+  refresh();
+  return ids_.size();
+}
+
+}  // namespace rocelab

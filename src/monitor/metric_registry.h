@@ -1,0 +1,108 @@
+// MetricRegistry: the §5.2 idea as infrastructure. Every PFC pause, drop,
+// and traffic counter on every port/switch/NIC registers itself here at
+// construction time under a hierarchical name (node/portN/prioK/counter),
+// and monitors read through the registry instead of walking component
+// internals by hand.
+//
+// Registration stores a raw pointer to the component's own int64 counter:
+// the hot path keeps bumping plain members exactly as before (zero
+// overhead when nobody reads), and readers see live values with no
+// snapshot plumbing. The registry never schedules events and never draws
+// randomness, so installing it cannot perturb the determinism digest —
+// bench/perf_gate asserts exactly that.
+//
+// Names are '/'-separated. Patterns select entries segment-wise:
+//   "*"     matches one whole segment        (t0/port*/prio3/rx_pause)
+//   "foo*"  prefix-matches one segment       (t0/port1*/... matches port1, port12)
+//   "**"    as the final segment matches any remainder (t0/**)
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+namespace rocelab {
+
+enum class MetricKind : std::uint8_t {
+  kCounter,  // monotonic; samplers record per-interval deltas
+  kGauge,    // instantaneous level; samplers record the value itself
+};
+
+class MetricRegistry {
+ public:
+  struct Entry {
+    std::string name;
+    const std::int64_t* value = nullptr;
+    MetricKind kind = MetricKind::kCounter;
+    bool dead = false;  // owner destroyed; excluded from reads
+  };
+
+  /// Register one metric. `owner` keys deregistration (a component passes
+  /// `this` and calls remove_owner from its destructor). `value` must
+  /// outlive the registration.
+  void add(const void* owner, std::string name, const std::int64_t* value,
+           MetricKind kind = MetricKind::kCounter);
+
+  /// Register a per-priority array as `prefix/prio<k>/<leaf>` for
+  /// k in [0, lanes) reading values[k].
+  void add_lanes(const void* owner, const std::string& prefix, const std::string& leaf,
+                 const std::int64_t* values, int lanes,
+                 MetricKind kind = MetricKind::kCounter);
+
+  /// Drop every entry registered by `owner`. O(entries-of-owner): entries
+  /// are tombstoned, not compacted, so teardown of a big fabric stays
+  /// linear. Unknown owners are a no-op.
+  void remove_owner(const void* owner);
+
+  /// Sum the current values of all live entries matching `pattern`.
+  [[nodiscard]] std::int64_t sum(std::string_view pattern) const;
+
+  /// Ids (stable until the registry grows past them) of live entries
+  /// matching `pattern`, in registration order — deterministic because
+  /// construction order is.
+  [[nodiscard]] std::vector<std::uint32_t> select(std::string_view pattern) const;
+
+  [[nodiscard]] const Entry& entry(std::uint32_t id) const {
+    return entries_[static_cast<std::size_t>(id)];
+  }
+  /// Visit every live entry in registration order.
+  void for_each(const std::function<void(const Entry&)>& fn) const;
+
+  [[nodiscard]] std::size_t live_entries() const { return live_; }
+  /// Bumped on every add/remove; cached selections revalidate against it.
+  [[nodiscard]] std::uint64_t version() const { return version_; }
+
+  [[nodiscard]] static bool matches(std::string_view name, std::string_view pattern);
+
+ private:
+  std::vector<Entry> entries_;
+  std::unordered_map<const void*, std::vector<std::uint32_t>> owners_;
+  std::size_t live_ = 0;
+  std::uint64_t version_ = 0;
+};
+
+/// A pattern selection that caches its matching entry ids and re-resolves
+/// only when the registry changes — monitors tick every few microseconds
+/// of simulated time and must not re-scan every name each tick.
+class MetricSelection {
+ public:
+  MetricSelection(const MetricRegistry& reg, std::string pattern)
+      : reg_(&reg), pattern_(std::move(pattern)) {}
+
+  [[nodiscard]] std::int64_t sum() const;
+  [[nodiscard]] std::size_t count() const;
+  [[nodiscard]] const std::string& pattern() const { return pattern_; }
+
+ private:
+  void refresh() const;
+
+  const MetricRegistry* reg_;
+  std::string pattern_;
+  mutable std::vector<std::uint32_t> ids_;
+  mutable std::uint64_t seen_version_ = ~std::uint64_t{0};
+};
+
+}  // namespace rocelab

@@ -1,27 +1,19 @@
 #include "src/monitor/monitor.h"
 
-namespace rocelab {
+#include <stdexcept>
 
-namespace {
-std::int64_t node_rx_pause(const Node* n) {
-  std::int64_t total = 0;
-  for (int p = 0; p < n->port_count(); ++p) total += n->port(p).counters().total_rx_pause();
-  return total;
-}
-std::int64_t node_tx_pause(const Node* n) {
-  std::int64_t total = 0;
-  for (int p = 0; p < n->port_count(); ++p) total += n->port(p).counters().total_tx_pause();
-  return total;
-}
-}  // namespace
+namespace rocelab {
 
 PauseMonitor::PauseMonitor(Simulator& sim, std::vector<Node*> nodes, Time interval)
     : sim_(sim), nodes_(std::move(nodes)), interval_(interval) {
+  const MetricRegistry& reg = sim_.metrics();
   for (Node* n : nodes_) {
+    rx_sel_.emplace_back(reg, n->name() + "/port*/prio*/rx_pause");
+    tx_sel_.emplace_back(reg, n->name() + "/port*/prio*/tx_pause");
     rx_.emplace(n, IntervalSeries(interval_));
     tx_.emplace(n, IntervalSeries(interval_));
-    last_rx_[n] = 0;
-    last_tx_[n] = 0;
+    last_rx_.push_back(0);
+    last_tx_.push_back(0);
   }
 }
 
@@ -31,13 +23,14 @@ void PauseMonitor::tick() {
   // Record the delta just *before* the bucket boundary so it lands in the
   // bucket it accumulated in.
   const Time at = sim_.now() - 1;
-  for (Node* n : nodes_) {
-    const std::int64_t rx = node_rx_pause(n);
-    const std::int64_t tx = node_tx_pause(n);
-    rx_.at(n).add(at, static_cast<double>(rx - last_rx_[n]));
-    tx_.at(n).add(at, static_cast<double>(tx - last_tx_[n]));
-    last_rx_[n] = rx;
-    last_tx_[n] = tx;
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    Node* n = nodes_[i];
+    const std::int64_t rx = rx_sel_[i].sum();
+    const std::int64_t tx = tx_sel_[i].sum();
+    rx_.at(n).add(at, static_cast<double>(rx - last_rx_[i]));
+    tx_.at(n).add(at, static_cast<double>(tx - last_tx_[i]));
+    last_rx_[i] = rx;
+    last_tx_[i] = tx;
   }
   sim_.schedule_in(interval_, [this] { tick(); });
 }
@@ -67,6 +60,54 @@ int PauseMonitor::nodes_receiving_in_bucket(std::int64_t b) const {
     if (series.bucket_value(b) > 0) ++count;
   }
   return count;
+}
+
+void RegistrySampler::watch(const std::string& channel, const std::string& pattern,
+                            MetricKind kind) {
+  channels_.push_back(Channel{channel, MetricSelection(sim_.metrics(), pattern), kind,
+                              IntervalSeries(interval_), PercentileSampler{}, 0});
+}
+
+void RegistrySampler::start() {
+  running_ = true;
+  for (Channel& c : channels_) {
+    if (c.kind == MetricKind::kCounter) c.last = c.sel.sum();
+  }
+  sim_.cancel(ev_);
+  ev_ = sim_.schedule_in(interval_, [this] { tick(); });
+}
+
+void RegistrySampler::tick() {
+  if (!running_) return;
+  const Time at = sim_.now() - 1;  // land in the bucket the delta accrued in
+  for (Channel& c : channels_) {
+    const std::int64_t v = c.sel.sum();
+    if (c.kind == MetricKind::kCounter) {
+      c.series.add(at, static_cast<double>(v - c.last));
+      c.last = v;
+    } else {
+      c.series.add(at, static_cast<double>(v));
+      c.samples.add(static_cast<double>(v));
+    }
+  }
+  ev_ = sim_.schedule_in(interval_, [this] { tick(); });
+}
+
+const RegistrySampler::Channel& RegistrySampler::channel(const std::string& name) const {
+  for (const Channel& c : channels_) {
+    if (c.name == name) return c;
+  }
+  throw std::invalid_argument("RegistrySampler: unknown channel " + name);
+}
+
+const IntervalSeries& RegistrySampler::series(const std::string& name) const {
+  return channel(name).series;
+}
+const PercentileSampler& RegistrySampler::samples(const std::string& name) const {
+  return channel(name).samples;
+}
+std::int64_t RegistrySampler::current(const std::string& name) const {
+  return channel(name).sel.sum();
 }
 
 ThroughputMonitor::ThroughputMonitor(Simulator& sim, std::vector<Host*> hosts, Time interval)

@@ -2,20 +2,27 @@
 // RDMA traffic counters into time-bucketed series — the data behind
 // Fig. 9(b) and Fig. 10(b) — plus an aggregate throughput monitor for
 // Fig. 7(b)-style curves.
+//
+// All of these read through the MetricRegistry on the Simulator rather
+// than walking component internals: a monitor is a set of name patterns
+// plus a sampling interval.
 #pragma once
 
 #include <functional>
+#include <string>
 #include <unordered_map>
 #include <utility>
 #include <vector>
 
 #include "src/common/stats.h"
+#include "src/monitor/metric_registry.h"
 #include "src/nic/host.h"
 #include "src/sim/simulator.h"
 
 namespace rocelab {
 
-/// Tracks per-node PFC pause frames sent/received per interval.
+/// Tracks per-node PFC pause frames sent/received per interval, via the
+/// registry patterns `<node>/port*/prio*/{rx,tx}_pause`.
 class PauseMonitor {
  public:
   PauseMonitor(Simulator& sim, std::vector<Node*> nodes, Time interval);
@@ -36,10 +43,12 @@ class PauseMonitor {
   Simulator& sim_;
   std::vector<Node*> nodes_;
   Time interval_;
+  std::vector<MetricSelection> rx_sel_;  // parallel to nodes_
+  std::vector<MetricSelection> tx_sel_;
   std::unordered_map<const Node*, IntervalSeries> rx_;
   std::unordered_map<const Node*, IntervalSeries> tx_;
-  std::unordered_map<const Node*, std::int64_t> last_rx_;
-  std::unordered_map<const Node*, std::int64_t> last_tx_;
+  std::vector<std::int64_t> last_rx_;
+  std::vector<std::int64_t> last_tx_;
 };
 
 /// Periodically samples any numeric probe (egress queue depth, MMU shared
@@ -51,9 +60,24 @@ class PeriodicSampler {
 
   PeriodicSampler(Simulator& sim, Probe probe, Time interval)
       : sim_(sim), probe_(std::move(probe)), interval_(interval) {}
+  ~PeriodicSampler() { sim_.cancel(ev_); }
+  PeriodicSampler(const PeriodicSampler&) = delete;
+  PeriodicSampler& operator=(const PeriodicSampler&) = delete;
 
-  void start() { sim_.schedule_in(interval_, [this] { tick(); }); }
-  void stop() { running_ = false; }
+  /// Idempotent: restarting cancels any pending tick first, so a
+  /// stop()/start() cycle can never double-schedule.
+  void start() {
+    running_ = true;
+    sim_.cancel(ev_);
+    ev_ = sim_.schedule_in(interval_, [this] { tick(); });
+  }
+  /// Guarantees no further tick() fires: the already-scheduled callback is
+  /// cancelled, not just flagged off.
+  void stop() {
+    running_ = false;
+    sim_.cancel(ev_);
+    ev_ = kInvalidEventId;
+  }
 
   [[nodiscard]] const PercentileSampler& samples() const { return samples_; }
   [[nodiscard]] const std::vector<std::pair<Time, double>>& series() const { return series_; }
@@ -65,15 +89,62 @@ class PeriodicSampler {
     const double v = probe_();
     samples_.add(v);
     series_.emplace_back(sim_.now(), v);
-    sim_.schedule_in(interval_, [this] { tick(); });
+    ev_ = sim_.schedule_in(interval_, [this] { tick(); });
   }
 
   Simulator& sim_;
   Probe probe_;
   Time interval_;
-  bool running_ = true;
+  bool running_ = false;
+  EventId ev_ = kInvalidEventId;
   PercentileSampler samples_;
   std::vector<std::pair<Time, double>> series_;
+};
+
+/// Interval sampling of registry selections: each watched pattern becomes a
+/// channel. Counter channels record the per-interval delta of the summed
+/// matches into an IntervalSeries (Fig. 9b/10b bucket curves); gauge
+/// channels record the summed level into a PercentileSampler + series.
+class RegistrySampler {
+ public:
+  RegistrySampler(Simulator& sim, Time interval) : sim_(sim), interval_(interval) {}
+  ~RegistrySampler() { sim_.cancel(ev_); }
+  RegistrySampler(const RegistrySampler&) = delete;
+  RegistrySampler& operator=(const RegistrySampler&) = delete;
+
+  /// Watch `pattern` under the name `channel`. Call before start().
+  void watch(const std::string& channel, const std::string& pattern,
+             MetricKind kind = MetricKind::kCounter);
+
+  void start();
+  void stop() {
+    running_ = false;
+    sim_.cancel(ev_);
+    ev_ = kInvalidEventId;
+  }
+
+  [[nodiscard]] const IntervalSeries& series(const std::string& channel) const;
+  [[nodiscard]] const PercentileSampler& samples(const std::string& channel) const;
+  /// Current summed value of the channel's selection (live read).
+  [[nodiscard]] std::int64_t current(const std::string& channel) const;
+
+ private:
+  struct Channel {
+    std::string name;
+    MetricSelection sel;
+    MetricKind kind;
+    IntervalSeries series;
+    PercentileSampler samples;
+    std::int64_t last = 0;
+  };
+  void tick();
+  [[nodiscard]] const Channel& channel(const std::string& name) const;
+
+  Simulator& sim_;
+  Time interval_;
+  bool running_ = false;
+  EventId ev_ = kInvalidEventId;
+  std::vector<Channel> channels_;  // ordered: deterministic iteration
 };
 
 /// Aggregate RDMA receive throughput across hosts per interval

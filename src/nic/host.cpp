@@ -1,6 +1,7 @@
 #include "src/nic/host.h"
 
 #include "src/common/log.h"
+#include "src/monitor/metric_registry.h"
 
 namespace rocelab {
 
@@ -18,12 +19,18 @@ Host::Host(Simulator& sim, std::string name, HostConfig cfg)
   p.on_drain = [this] { rdma_->on_port_drain(); };
   if (cfg_.mtt.model_enabled) mtt_ = std::make_unique<MttCache>(cfg_.mtt);
   rdma_ = std::make_unique<RdmaNic>(*this, cfg_);
+  {
+    MetricRegistry& reg = sim.metrics();
+    const std::string prefix = this->name() + "/host";
+    reg.add(this, prefix + "/rx_queue_bytes", &rx_bytes_, MetricKind::kGauge);
+    reg.add(this, prefix + "/watchdog_trips", &watchdog_trips_);
+  }
   if (cfg_.watchdog.enabled) {
     this->sim().schedule_in(cfg_.watchdog.check_interval, [this] { watchdog_tick(); });
   }
 }
 
-Host::~Host() = default;
+Host::~Host() { sim().metrics().remove_owner(this); }
 
 void Host::send_frame(Packet pkt) {
   if (dead_) return;

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "src/monitor/metric_registry.h"
 #include "src/nic/host.h"
 
 namespace rocelab {
@@ -12,8 +13,30 @@ namespace {
 constexpr int kMaxBackoffShift = 3;
 }  // namespace
 
-RdmaNic::RdmaNic(Host& host, const HostConfig& cfg) : host_(host), cfg_(cfg) {}
-RdmaNic::~RdmaNic() = default;
+RdmaNic::RdmaNic(Host& host, const HostConfig& cfg) : host_(host), cfg_(cfg) {
+  MetricRegistry& reg = host_.sim().metrics();
+  const std::string prefix = host_.name() + "/rdma";
+  reg.add(this, prefix + "/data_packets_sent", &stats_.data_packets_sent);
+  reg.add(this, prefix + "/data_packets_retx", &stats_.data_packets_retx);
+  reg.add(this, prefix + "/acks_sent", &stats_.acks_sent);
+  reg.add(this, prefix + "/naks_sent", &stats_.naks_sent);
+  reg.add(this, prefix + "/rnr_naks_sent", &stats_.rnr_naks_sent);
+  reg.add(this, prefix + "/rnr_naks_received", &stats_.rnr_naks_received);
+  reg.add(this, prefix + "/cnps_sent", &stats_.cnps_sent);
+  reg.add(this, prefix + "/cnps_received", &stats_.cnps_received);
+  reg.add(this, prefix + "/messages_completed", &stats_.messages_completed);
+  reg.add(this, prefix + "/bytes_completed", &stats_.bytes_completed);
+  reg.add(this, prefix + "/messages_received", &stats_.messages_received);
+  reg.add(this, prefix + "/bytes_received", &stats_.bytes_received);
+  reg.add(this, prefix + "/out_of_order_drops", &stats_.out_of_order_drops);
+  reg.add(this, prefix + "/timeouts", &stats_.timeouts);
+  reg.add(this, prefix + "/qp_errors", &stats_.qp_errors);
+  reg.add(this, prefix + "/injected_drops", &stats_.injected_drops);
+  reg.add(this, prefix + "/injected_reorders", &stats_.injected_reorders);
+  reg.add(this, prefix + "/injected_dup_acks", &stats_.injected_dup_acks);
+}
+
+RdmaNic::~RdmaNic() { host_.sim().metrics().remove_owner(this); }
 
 RdmaNic::Qp& RdmaNic::qp(std::uint32_t qpn) {
   auto it = qps_.find(qpn);

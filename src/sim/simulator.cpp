@@ -3,7 +3,12 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "src/monitor/metric_registry.h"
+
 namespace rocelab {
+
+Simulator::Simulator() : metrics_(std::make_unique<MetricRegistry>()) {}
+Simulator::~Simulator() = default;
 
 void Simulator::heap_push(HeapKey key, HeapRef ref) {
   std::size_t i = keys_.size();

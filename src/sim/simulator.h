@@ -17,12 +17,15 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "src/common/units.h"
 #include "src/sim/inline_callback.h"
 
 namespace rocelab {
+
+class MetricRegistry;
 
 /// Opaque handle to a scheduled event: (slot+1) in the high 32 bits, the
 /// slot's generation in the low 32. Zero is never a valid id, and ids are
@@ -35,9 +38,16 @@ class Simulator {
  public:
   using Callback = InlineCallback;
 
-  Simulator() = default;
+  Simulator();
+  ~Simulator();
   Simulator(const Simulator&) = delete;
   Simulator& operator=(const Simulator&) = delete;
+
+  /// The telemetry plane (§5.2): every port/switch/NIC registers its
+  /// counters here at construction time; monitors read through it. Purely
+  /// observational — never schedules events or draws randomness.
+  [[nodiscard]] MetricRegistry& metrics() { return *metrics_; }
+  [[nodiscard]] const MetricRegistry& metrics() const { return *metrics_; }
 
   [[nodiscard]] Time now() const { return now_; }
 
@@ -135,6 +145,7 @@ class Simulator {
   std::vector<HeapRef> refs_;  // parallel array: refs_[i] belongs to keys_[i]
   std::vector<Slot> slots_;
   std::vector<std::uint32_t> free_;
+  std::unique_ptr<MetricRegistry> metrics_;
 };
 
 }  // namespace rocelab

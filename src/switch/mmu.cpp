@@ -3,7 +3,19 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "src/monitor/metric_registry.h"
+
 namespace rocelab {
+
+Mmu::~Mmu() {
+  if (registry_ != nullptr) registry_->remove_owner(this);
+}
+
+void Mmu::register_metrics(MetricRegistry& reg, const std::string& prefix) {
+  registry_ = &reg;
+  reg.add(this, prefix + "/shared_used", &shared_used_, MetricKind::kGauge);
+  reg.add(this, prefix + "/shared_pool", &shared_pool_, MetricKind::kGauge);
+}
 
 Mmu::Mmu(const MmuConfig& cfg, int num_ports, const std::array<bool, kNumPriorities>& lossless)
     : cfg_(cfg), num_ports_(num_ports), lossless_(lossless),

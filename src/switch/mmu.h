@@ -5,16 +5,26 @@
 #pragma once
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "src/switch/config.h"
 
 namespace rocelab {
 
+class MetricRegistry;
+
 class Mmu {
  public:
   Mmu(const MmuConfig& cfg, int num_ports,
       const std::array<bool, kNumPriorities>& lossless);
+  ~Mmu();
+  Mmu(const Mmu&) = delete;
+  Mmu& operator=(const Mmu&) = delete;
+
+  /// Register buffer-occupancy gauges under `prefix` (e.g. "t0/mmu").
+  /// Called once by the owning Switch; deregistration happens in ~Mmu.
+  void register_metrics(MetricRegistry& reg, const std::string& prefix);
 
   struct Admission {
     bool admitted = false;
@@ -82,6 +92,7 @@ class Mmu {
   }
 
   MmuConfig cfg_;
+  MetricRegistry* registry_ = nullptr;  // set by register_metrics
   int num_ports_;
   std::array<bool, kNumPriorities> lossless_;
   std::int64_t shared_pool_ = 0;  // total minus all reserved headroom

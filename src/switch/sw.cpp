@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "src/common/log.h"
+#include "src/monitor/metric_registry.h"
 
 #if defined(__SANITIZE_ADDRESS__)
 #define ROCELAB_CHARGE_POOL_DISABLED 1
@@ -94,6 +95,19 @@ Switch::Switch(Simulator& sim, std::string name, SwitchConfig cfg, int num_ports
       rng_(0x5317c4 ^ id()),
       ecmp_seed_(cfg.ecmp_seed != 0 ? cfg.ecmp_seed : 0x9e3779b9ull * (id() + 1)) {
   mmu_ = std::make_unique<Mmu>(cfg_.mmu, num_ports, cfg_.lossless);
+  mmu_->register_metrics(sim.metrics(), this->name() + "/mmu");
+  {
+    MetricRegistry& reg = sim.metrics();
+    const std::string prefix = this->name() + "/sw";
+    reg.add(this, prefix + "/flood_events", &flood_events_);
+    reg.add(this, prefix + "/arp_miss_drops", &arp_miss_drops_);
+    reg.add(this, prefix + "/route_failovers", &route_failovers_);
+    reg.add(this, prefix + "/no_route_drops", &no_route_drops_);
+    reg.add(this, prefix + "/watchdog_trips", &watchdog_trips_);
+    reg.add(this, prefix + "/filtered_drops", &filtered_drops_);
+    reg.add(this, prefix + "/l2_mode_drops", &l2_mode_drops_);
+    reg.add(this, prefix + "/reboots", &reboots_);
+  }
   roles_.assign(static_cast<std::size_t>(num_ports), PortRole::kFabric);
   l2_modes_.assign(static_cast<std::size_t>(num_ports), L2PortMode::kAccess);
   pause_sent_.assign(static_cast<std::size_t>(num_ports) * kNumPriorities, false);
@@ -117,7 +131,10 @@ Switch::Switch(Simulator& sim, std::string name, SwitchConfig cfg, int num_ports
   }
 }
 
-Switch::~Switch() { *alive_ = false; }
+Switch::~Switch() {
+  *alive_ = false;
+  sim().metrics().remove_owner(this);
+}
 
 void Switch::add_route(Ipv4Prefix prefix, std::vector<int> ports) {
   routes_.push_back(Route{prefix, std::move(ports)});

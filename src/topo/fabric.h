@@ -21,6 +21,7 @@ class Fabric {
   Fabric& operator=(const Fabric&) = delete;
 
   Simulator& sim() { return sim_; }
+  [[nodiscard]] const Simulator& sim() const { return sim_; }
 
   Host& add_host(std::string name, HostConfig cfg = {});
   Switch& add_switch(std::string name, SwitchConfig cfg, int num_ports);

@@ -22,7 +22,27 @@ echo "=== perf gate (plain build only) ==="
 # plane leaves it byte-identical (--gray-noop), and records throughput at
 # the repo root. Skipped in the sanitizer pass — instrumented numbers are
 # noise.
-"$repo/build/bench/perf_gate" --ms 10 --twice --gray-noop --json "$repo/BENCH_simcore.json"
+"$repo/build/bench/perf_gate" --ms 10 --twice --gray-noop \
+  --expect-digest 7e3131fbe2867385 --json "$repo/BENCH_simcore.json"
+
+echo "=== scenario smoke (plain build only) ==="
+# End-to-end check of the experiment plane: every runner answers
+# --list-knobs, a short scenario run honours --knob overrides, and the
+# emitted BENCH_<name>.json parses with the expected schema version.
+"$repo/build/bench/fig_deadlock" --list-knobs
+smoke_dir="$(mktemp -d)"
+"$repo/build/bench/fig_deadlock" --run_ms=30 --drain_ms=60 \
+  --json "$smoke_dir/BENCH_fig_deadlock.json"
+python3 - "$smoke_dir/BENCH_fig_deadlock.json" <<'PY'
+import json, sys
+doc = json.load(open(sys.argv[1]))
+assert doc["schema_version"] == 1, doc.get("schema_version")
+assert doc["bench"] == "fig_deadlock"
+assert doc["cases"], "no cases emitted"
+assert all(c["pass"] for c in doc["checks"]), doc["checks"]
+print("BENCH json OK:", sys.argv[1])
+PY
+rm -rf "$smoke_dir"
 
 echo "=== sanitizer build (ASan+UBSan) ==="
 run_suite "$repo/build-asan" -DROCELAB_SANITIZE=ON
