@@ -63,10 +63,11 @@ Result run_case(double loss_rate, LossRecovery recovery, Time duration) {
 
   // Fig. 8-style mirrored pairs, both directions, DCQCN on. Forward sources
   // first, then reverse, so TrafficSet::sources() splits at `fwd_sources`.
-  // 1MiB messages make go-back-0's restart cost visible at 1e-3 without
-  // hiding go-back-N's graceful curve.
+  // 2MiB messages (2048 segments) mean a clean go-back-0 pass is ~e^-2
+  // likely at 1e-3, so the restart cost collapses the curve without hiding
+  // go-back-N's graceful one (waste per drop still bounded by RTT x C).
   exp::TrafficSet traffic;
-  const RdmaStreamSource::Options stream_opts{.message_bytes = 1 * kMiB, .max_outstanding = 2};
+  const RdmaStreamSource::Options stream_opts{.message_bytes = 2 * kMiB, .max_outstanding = 2};
   for (int s = 0; s < servers; ++s) {
     traffic.add_streams(clos.server(0, 0, s), clos.server(0, 1, s), make_qp_config(policy),
                         stream_opts);

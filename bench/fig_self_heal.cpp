@@ -1,0 +1,324 @@
+// E18 — self-healing routing study (ROADMAP: close the detect->mitigate
+// gap; ISSUE 5 tentpole). A §5.2 gray failure — one direction of a ToR
+// uplink corrupting 100% of frames while the link stays "up" — hits the
+// flows ECMP happened to hash onto it. Three responses are compared against
+// a clean run:
+//
+//   - none:      retransmission never gives up and never re-paths; the
+//                victim flows starve for the rest of the run;
+//   - cm:        the application layer's repair (PR-4 RdmaCm): retry
+//                exhaustion errors the QP, CM re-establishes it, and the
+//                fresh random UDP source port re-rolls the ECMP dice — a
+//                multi-millisecond detour that may re-land on the bad link;
+//   - selfheal:  the localizer-driven control loop (SelfHealer): pingmesh
+//                probes + rx FCS counters finger the (node, port) direction,
+//                the healer costs it out of the ToR's ECMP group, and the
+//                victims' *existing* QPs re-hash mid-stream — no teardown,
+//                no handshake, recovery in under a millisecond.
+//
+// Flows are paced well under line rate so the surviving uplink can absorb
+// every re-hashed victim: "healed" is then measurable as goodput back at
+// the clean baseline, not at some capacity-degraded fraction of it.
+#include <algorithm>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/app/demux.h"
+#include "src/app/pingmesh_grid.h"
+#include "src/app/rdma_cm.h"
+#include "src/exp/scenario.h"
+#include "src/faults/chaos.h"
+#include "src/faults/localizer.h"
+#include "src/faults/self_heal.h"
+#include "src/link/impairment.h"
+#include "src/monitor/health.h"
+#include "src/rocev2/deployment.h"
+#include "src/switch/sw.h"
+#include "src/topo/trace.h"
+
+using namespace rocelab;
+
+namespace {
+
+enum class Mode { kClean, kNone, kCm, kSelfHeal };
+
+const char* mode_name(Mode m) {
+  switch (m) {
+    case Mode::kClean: return "clean";
+    case Mode::kNone: return "none";
+    case Mode::kCm: return "cm";
+    case Mode::kSelfHeal: return "selfheal";
+  }
+  return "?";
+}
+
+struct Result {
+  int victims = 0;            // flows whose data path crossed the bad direction
+  double victim_gbps = 0.0;   // summed victim goodput over the tail window
+  double ttm_ms = -1.0;       // all victims flowing again after this; -1 = never
+  std::int64_t cost_outs = 0;
+  std::int64_t restores = 0;
+  std::int64_t reconnects = 0;
+  bool journalled = false;    // chaos journal carries the ecmp_cost_out record
+  bool right_link = false;    // first mitigation names (tor-0-0, bad uplink)
+};
+
+constexpr int kFlows = 4;
+constexpr std::int64_t kMsgBytes = 16 * kKiB;
+
+Result run_case(Mode mode, Time fault_at, Time window_at, Time duration) {
+  // One podset, TWO leaves, two ToRs: each ToR has two ECMP uplinks, so
+  // costing the bad one out leaves a survivor (the capacity floor is never
+  // in play) and roughly half the forward flows hash onto the bad one.
+  QosPolicy policy;
+  policy.max_cable_m = 20.0;
+  const int servers = 4;
+  ClosParams params = make_clos_params(policy, DeploymentStage::kFull, /*podsets=*/1,
+                                       /*leaves=*/2, /*tors=*/2, servers, /*spines=*/0);
+  ClosFabric clos(params);
+  Simulator& sim = clos.sim();
+  Switch& tor0 = clos.tor(0, 0);
+  const int bad_port = clos.tor_uplink_port(0);  // ToR(0,0) -> leaf(0,0) direction
+
+  std::vector<std::unique_ptr<RdmaDemux>> demuxes;
+  for (const auto& h : clos.fabric().hosts()) demuxes.push_back(std::make_unique<RdmaDemux>(*h));
+  auto demux_of = [&](Host& h) -> RdmaDemux& {
+    for (std::size_t i = 0; i < clos.fabric().hosts().size(); ++i) {
+      if (clos.fabric().hosts()[i].get() == &h) return *demuxes[i];
+    }
+    throw std::logic_error("unknown host");
+  };
+
+  QpConfig qp = make_qp_config(policy);
+  qp.retx_timeout = microseconds(200);
+  // CM victims must *error* to trigger reconnection; plain victims retry
+  // forever (the QP survives to benefit from a mid-stream re-hash).
+  qp.retry_limit = mode == Mode::kCm ? 4 : 0;
+
+  // ToR0 -> ToR1 paced flows, one per server pair. Completions after the
+  // fault (in-flight drain excluded) date each victim's recovery.
+  struct Flow {
+    Host* src = nullptr;
+    Host* dst = nullptr;
+    std::uint32_t qpn = 0;
+    std::int64_t posted = 0;
+    std::int64_t completed = 0;
+    std::int64_t completed_bytes = 0;
+    std::int64_t bytes_at_window = 0;
+    bool victim = false;
+    Time first_after_fault = -1;
+  };
+  std::vector<Flow> flows(kFlows);
+  const Time fault_settled = fault_at + microseconds(100);  // in-flight drain
+  auto completion_cb = [&sim, fault_settled](Flow& f) {
+    return [&f, &sim, fault_settled](const RdmaCompletion& c) {
+      ++f.completed;
+      f.completed_bytes += c.bytes;
+      if (f.victim && f.first_after_fault < 0 && sim.now() > fault_settled) {
+        f.first_after_fault = sim.now();
+      }
+    };
+  };
+
+  std::vector<std::unique_ptr<RdmaCm>> cms;
+  if (mode == Mode::kCm) {
+    for (const auto& h : clos.fabric().hosts()) cms.push_back(std::make_unique<RdmaCm>(*h));
+  }
+  for (int i = 0; i < kFlows; ++i) {
+    Flow& f = flows[static_cast<std::size_t>(i)];
+    f.src = &clos.server(0, 0, i);
+    f.dst = &clos.server(0, 1, i);
+    if (mode == Mode::kCm) {
+      RdmaDemux& dm = demux_of(*f.dst);
+      (void)dm;  // listener side demux exists; CM creates the passive QP
+      cms[static_cast<std::size_t>(servers + i)]->listen(static_cast<std::uint32_t>(100 + i), qp,
+                                                         nullptr);
+      RdmaDemux& sdm = demux_of(*f.src);
+      cms[static_cast<std::size_t>(i)]->connect(
+          ClosFabric::server_ip(0, 1, i), static_cast<std::uint32_t>(100 + i), qp,
+          [&f, &sdm, &completion_cb](std::uint32_t qpn) {
+            f.qpn = qpn;
+            f.posted = f.completed;  // messages on the dead QP are gone
+            sdm.on_completion(qpn, completion_cb(f));
+          },
+          microseconds(300));
+    } else {
+      auto [qa, qb] = connect_qp_pair(*f.src, *f.dst, qp);
+      (void)qb;
+      f.qpn = qa;
+      demux_of(*f.src).on_completion(qa, completion_cb(f));
+    }
+  }
+
+  // Open-loop pacing at ~8 Gb/s per flow (16KiB / 16us), at most 4 in
+  // flight: 4 flows fit on ONE 40G uplink with headroom, so post-mitigation
+  // goodput can fully match the clean baseline.
+  std::function<void()> pump = [&] {
+    for (Flow& f : flows) {
+      if (f.qpn != 0 && f.src->rdma().qp_connected(f.qpn) && !f.src->rdma().qp_errored(f.qpn) &&
+          f.posted - f.completed < 4) {
+        f.src->rdma().post_send(f.qpn, kMsgBytes, 0);
+        ++f.posted;
+      }
+    }
+    sim.schedule_in(microseconds(16), pump);
+  };
+  sim.schedule_in(microseconds(10), pump);
+
+  // §5.3 monitoring plane, identical in every mode: a pingmesh grid over
+  // two servers per ToR feeding the §6 localizer.
+  std::vector<Host*> grid_hosts = {&clos.server(0, 0, 0), &clos.server(0, 0, 1),
+                                   &clos.server(0, 1, 0), &clos.server(0, 1, 1)};
+  std::vector<RdmaDemux*> grid_demuxes;
+  for (Host* h : grid_hosts) grid_demuxes.push_back(&demux_of(*h));
+  PingmeshGrid::Options gopts;
+  gopts.probe.interval = microseconds(50);
+  gopts.probe.timeout = microseconds(400);
+  gopts.qp = make_qp_config(policy, /*realtime=*/true);
+  gopts.qp.retx_timeout = microseconds(150);
+  gopts.qp.retry_limit = 3;
+  PingmeshGrid grid(grid_hosts, grid_demuxes, gopts);
+  GrayFailureLocalizer localizer(clos.fabric());
+  grid.set_outcome_cb([&](int s, int d, bool ok, Time) {
+    localizer.observe(grid.host(s), grid.host(d), grid.probe_sport(s, d), grid.echo_sport(s, d),
+                      ok);
+  });
+  grid.start();
+
+  // The fault, journalled through the chaos engine in every faulty mode so
+  // the selfheal journal reads fault -> mitigation in one place.
+  ChaosEngine chaos(clos.fabric(), /*seed=*/2016);
+  if (mode != Mode::kClean) {
+    LinkImpairment imp;
+    imp.fcs_drop_rate = 1.0;
+    imp.seed = 11;
+    chaos.impair_link(tor0, bad_port, imp, fault_at);
+  }
+
+  std::unique_ptr<SelfHealer> healer;
+  if (mode == Mode::kSelfHeal) {
+    SelfHealConfig scfg;
+    scfg.scan_interval = microseconds(250);
+    scfg.score_threshold = 0.5;
+    scfg.min_probes = 3;
+    scfg.confirm_scans = 2;
+    scfg.probation = seconds(1);  // no restore inside this run
+    scfg.max_concurrent = 2;
+    healer = std::make_unique<SelfHealer>(clos.fabric(), localizer, scfg);
+    healer->set_chaos(&chaos);
+    healer->start();
+  }
+
+  // Victim census at fault time: a flow is a victim iff its data path
+  // crosses the impaired direction. trace_route is side-effect-free, and
+  // the census runs in every mode (clean included) so the clean baseline
+  // measures the SAME flows the mitigated runs do — construction order and
+  // RNG draws match, so the sports (and the victim set) are identical.
+  sim.schedule_in(fault_at, [&] {
+    for (Flow& f : flows) {
+      if (f.qpn == 0) continue;
+      for (const TraceHop& h :
+           trace_route(clos.fabric(), *f.src, *f.dst, f.src->rdma().qp_sport(f.qpn))) {
+        if (h.node == &tor0 && h.port == bad_port) {
+          f.victim = true;
+          break;
+        }
+      }
+    }
+  });
+  sim.schedule_in(window_at, [&] {
+    for (Flow& f : flows) f.bytes_at_window = f.completed_bytes;
+  });
+
+  sim.run_until(duration);
+
+  Result r;
+  const double window_secs = to_seconds(duration - window_at);
+  Time worst = 0;
+  bool all_recovered = true;
+  for (const Flow& f : flows) {
+    if (!f.victim) continue;
+    ++r.victims;
+    r.victim_gbps +=
+        static_cast<double>(f.completed_bytes - f.bytes_at_window) * 8.0 / window_secs / 1e9;
+    if (f.first_after_fault < 0) {
+      all_recovered = false;
+    } else {
+      worst = std::max(worst, f.first_after_fault - fault_at);
+    }
+  }
+  if (r.victims > 0 && all_recovered) r.ttm_ms = to_milliseconds(worst);
+  for (const auto& cm : cms) r.reconnects += cm->reconnects();
+  if (healer) {
+    r.cost_outs = healer->stats().cost_outs;
+    r.restores = healer->stats().restores;
+    const auto& hist = healer->history();
+    r.right_link = !hist.empty() && hist.front().node == tor0.name() &&
+                   hist.front().port == bad_port;
+  }
+  r.journalled = chaos.journal_text().find("ecmp_cost_out") != std::string::npos;
+  return r;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  exp::Scenario sc;
+  sc.name = "fig_self_heal";
+  sc.title = "E18 — time-to-mitigate and victim goodput: cost-out vs CM reconnect";
+  sc.paper = "paper: §5.2-§6 detect gray failures via FCS counters + pingmesh; this\n"
+             "closes the loop — the localizer's verdict drives an ECMP cost-out, and\n"
+             "victim flows re-hash mid-stream instead of waiting out QP teardown";
+  sc.knobs = {
+      exp::knob_int("duration_ms", 40, "ROCELAB_SELFHEAL_MS", "simulated time per mode"),
+      exp::knob_int("fault_ms", 5, "", "time the one-way FCS impairment is installed"),
+      exp::knob_int("window_ms", 15, "", "start of the goodput measurement window"),
+  };
+  sc.body = [](exp::Context& ctx) {
+    const Time duration = milliseconds(ctx.knob_int("duration_ms"));
+    const Time fault_at = milliseconds(ctx.knob_int("fault_ms"));
+    const Time window_at = milliseconds(ctx.knob_int("window_ms"));
+
+    ctx.note("topology: 2 ToRs x 2 leaves; 100% one-way FCS corruption on the");
+    ctx.note("tor-0-0 -> leaf-0-0 uplink; 4 paced ToR0->ToR1 flows + pingmesh grid");
+    ctx.table({"mode", "victims", "victim Gb/s", "mitigate ms", "cost-outs", "reconnects"},
+              {10, 9, 13, 13, 11, 12});
+    Result res[4];
+    const Mode modes[4] = {Mode::kClean, Mode::kNone, Mode::kCm, Mode::kSelfHeal};
+    for (int i = 0; i < 4; ++i) {
+      const Result r = run_case(modes[i], fault_at, window_at, duration);
+      res[i] = r;
+      const std::string name = mode_name(modes[i]);
+      ctx.row({name, std::to_string(r.victims), exp::fmt("%.2f", r.victim_gbps),
+               r.ttm_ms < 0 ? "never" : exp::fmt("%.2f", r.ttm_ms),
+               std::to_string(r.cost_outs), std::to_string(r.reconnects)});
+      ctx.metric(name, "victims", r.victims);
+      ctx.metric(name, "victim_goodput_gbps", r.victim_gbps);
+      ctx.metric(name, "time_to_mitigate_ms", r.ttm_ms);
+      ctx.metric(name, "cost_outs", static_cast<double>(r.cost_outs));
+      ctx.metric(name, "restores", static_cast<double>(r.restores));
+      ctx.metric(name, "cm_reconnects", static_cast<double>(r.reconnects));
+    }
+    const Result& clean = res[0];
+    const Result& none = res[1];
+    const Result& cm = res[2];
+    const Result& heal = res[3];
+
+    // clean/none/selfheal share RNG order, so they see the same victim set;
+    // the sums are directly comparable. CM rolls its own QPs and is only
+    // judged on time-to-mitigate.
+    ctx.check("impaired uplink actually carried victim flows",
+              clean.victims > 0 && clean.victims == heal.victims && cm.victims > 0);
+    ctx.check("no mitigation: victims starve for the rest of the run",
+              none.ttm_ms < 0 && none.victim_gbps < 0.1 * clean.victim_gbps);
+    ctx.check("cost-out restores victim goodput to >= 0.9x clean",
+              heal.cost_outs >= 1 && heal.victim_gbps >= 0.9 * clean.victim_gbps);
+    ctx.check("cost-out beats CM reconnect on time-to-mitigate",
+              heal.ttm_ms >= 0 && (cm.ttm_ms < 0 || heal.ttm_ms < cm.ttm_ms));
+    ctx.check("mitigation journalled against the right direction",
+              heal.journalled && heal.right_link);
+  };
+  return exp::run_scenario(sc, argc, argv);
+}

@@ -25,12 +25,19 @@ const char* to_string(FaultKind kind) {
     case FaultKind::kQpFaultStop: return "qp_fault_stop";
     case FaultKind::kDropFilterSet: return "drop_filter_set";
     case FaultKind::kDropFilterClear: return "drop_filter_clear";
+    case FaultKind::kEcmpCostOut: return "ecmp_cost_out";
+    case FaultKind::kEcmpRestore: return "ecmp_restore";
   }
   return "unknown";
 }
 
 ChaosEngine::ChaosEngine(Fabric& fabric, std::uint64_t seed)
     : fabric_(fabric), seed_(seed), rng_(seed) {}
+
+void ChaosEngine::record_mitigation(FaultKind kind, const std::string& target,
+                                    std::string detail) {
+  record(kind, target, std::move(detail));
+}
 
 void ChaosEngine::record(FaultKind kind, const std::string& target, std::string detail) {
   journal_.push_back(FaultRecord{fabric_.sim().now(), kind, target, std::move(detail)});

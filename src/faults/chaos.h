@@ -34,6 +34,8 @@ enum class FaultKind {
   kQpFaultStop,
   kDropFilterSet,    // Switch::set_drop_filter, now journalled
   kDropFilterClear,
+  kEcmpCostOut,      // self-healing plane: ECMP member weight -> 0
+  kEcmpRestore,      // probation passed: weight -> 1
 };
 
 [[nodiscard]] const char* to_string(FaultKind kind);
@@ -83,6 +85,12 @@ class ChaosEngine {
   /// Cleared at `clear_at` unless negative.
   void drop_filter(Switch& sw, std::function<bool(const Packet&)> pred, const std::string& what,
                    Time at, Time clear_at = -1);
+
+  /// Journal a mitigation performed by an outside control loop (the
+  /// SelfHealer's ECMP cost-out / restore). Replays stay byte-identical
+  /// only if every actor that writes to the data plane shares one journal,
+  /// so mitigations land next to the faults they answer.
+  void record_mitigation(FaultKind kind, const std::string& target, std::string detail = {});
 
   /// The deterministic generator for randomized schedules. Callers draw
   /// fault times/targets from this so one seed fixes the whole scenario.

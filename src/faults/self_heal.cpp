@@ -1,0 +1,147 @@
+#include "src/faults/self_heal.h"
+
+#include <cstdio>
+
+#include "src/common/log.h"
+#include "src/faults/chaos.h"
+#include "src/monitor/metric_registry.h"
+#include "src/switch/sw.h"
+#include "src/topo/fabric.h"
+
+namespace rocelab {
+
+SelfHealer::SelfHealer(Fabric& fabric, const GrayFailureLocalizer& localizer, SelfHealConfig cfg)
+    : fabric_(fabric), localizer_(localizer), cfg_(cfg) {
+  MetricRegistry& reg = fabric_.sim().metrics();
+  reg.add(this, "selfheal/scans", &stats_.scans);
+  reg.add(this, "selfheal/cost_outs", &stats_.cost_outs);
+  reg.add(this, "selfheal/restores", &stats_.restores);
+  reg.add(this, "selfheal/floor_vetoes", &stats_.floor_vetoes);
+  reg.add(this, "selfheal/budget_vetoes", &stats_.budget_vetoes);
+  reg.add(this, "selfheal/active", &stats_.active);
+}
+
+SelfHealer::~SelfHealer() {
+  stop();
+  fabric_.sim().metrics().remove_owner(this);
+}
+
+void SelfHealer::start() {
+  if (running_) return;
+  running_ = true;
+  scan_ev_ = fabric_.sim().schedule_in(cfg_.scan_interval, [this] { tick(); });
+}
+
+void SelfHealer::stop() {
+  running_ = false;
+  if (scan_ev_ != kInvalidEventId) {
+    fabric_.sim().cancel(scan_ev_);
+    scan_ev_ = kInvalidEventId;
+  }
+}
+
+void SelfHealer::tick() {
+  scan_ev_ = kInvalidEventId;
+  if (!running_) return;
+  scan();
+  scan_ev_ = fabric_.sim().schedule_in(cfg_.scan_interval, [this] { tick(); });
+}
+
+bool SelfHealer::costed_out(const std::string& node, int port) const {
+  const auto it = dirs_.find({node, port});
+  return it != dirs_.end() && it->second.out;
+}
+
+void SelfHealer::scan() {
+  ++stats_.scans;
+  const Time now = fabric_.sim().now();
+
+  // Phase 1: evidence pass over the localizer ranking.
+  for (const auto& s : localizer_.rank(cfg_.min_probes)) {
+    DirState& d = dirs_[{s.node, s.port}];
+    const std::int64_t evidence = s.failed_probes + s.fcs_errors;
+
+    if (d.out) {
+      // Probation clock: localizer tallies never decay, so "clean" means
+      // the cumulative tally stopped moving after the cost-out.
+      if (evidence > d.evidence_mark) {
+        d.evidence_mark = evidence;
+        d.clean_since = now;
+      }
+      continue;
+    }
+
+    // Hysteresis: hot needs the score over threshold AND evidence beyond
+    // what previous episodes already adjudicated, for confirm_scans in a
+    // row. A direction oscillating around the threshold keeps resetting
+    // its streak and never triggers.
+    const bool hot = s.score >= cfg_.score_threshold && evidence > d.evidence_floor;
+    if (!hot) {
+      d.hot_streak = 0;
+      continue;
+    }
+    if (++d.hot_streak < cfg_.confirm_scans) continue;
+    d.hot_streak = 0;
+
+    Switch* sw = fabric_.switch_by_name(s.node);
+    if (sw == nullptr) {
+      // Host-side direction: there is no ECMP group to steer. The CM /
+      // application layer owns that repair; adjudicate the evidence so we
+      // do not re-score it every scan.
+      d.evidence_floor = evidence;
+      continue;
+    }
+    if (stats_.active >= cfg_.max_concurrent) {
+      ++stats_.budget_vetoes;
+      d.evidence_floor = evidence;
+      continue;
+    }
+    if (!sw->ecmp_cost_out_safe(s.port)) {
+      ++stats_.floor_vetoes;
+      d.evidence_floor = evidence;
+      continue;
+    }
+
+    sw->set_port_weight(s.port, 0);
+    d.out = true;
+    d.clean_since = now;
+    d.evidence_mark = evidence;
+    d.episode = history_.size();
+    Mitigation m;
+    m.node = s.node;
+    m.port = s.port;
+    m.costed_out_at = now;
+    m.score = s.score;
+    m.failed_probes = s.failed_probes;
+    m.fcs_errors = s.fcs_errors;
+    history_.push_back(std::move(m));
+    ++stats_.cost_outs;
+    ++stats_.active;
+    char detail[96];
+    std::snprintf(detail, sizeof detail, "port %d score %.3f failed %lld fcs %lld", s.port,
+                  s.score, static_cast<long long>(s.failed_probes),
+                  static_cast<long long>(s.fcs_errors));
+    ROCELAB_LOG_INFO("selfheal: cost out %s %s", s.node.c_str(), detail);
+    if (chaos_) chaos_->record_mitigation(FaultKind::kEcmpCostOut, s.node, detail);
+  }
+
+  // Phase 2: restore pass — probation served with no new evidence.
+  for (auto& [key, d] : dirs_) {
+    if (!d.out || now - d.clean_since < cfg_.probation) continue;
+    Switch* sw = fabric_.switch_by_name(key.first);
+    if (sw != nullptr) sw->restore_port_weight(key.second);
+    d.out = false;
+    d.hot_streak = 0;
+    d.evidence_floor = d.evidence_mark;
+    history_[d.episode].restored_at = now;
+    ++stats_.restores;
+    --stats_.active;
+    ROCELAB_LOG_INFO("selfheal: restore %s port %d", key.first.c_str(), key.second);
+    if (chaos_) {
+      chaos_->record_mitigation(FaultKind::kEcmpRestore, key.first,
+                                "port " + std::to_string(key.second));
+    }
+  }
+}
+
+}  // namespace rocelab

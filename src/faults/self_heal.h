@@ -1,0 +1,124 @@
+// SelfHealer: the first control loop that writes back to the data plane.
+// It closes the ROADMAP's detect->mitigate gap: the GrayFailureLocalizer
+// (§6-style incident localization) ranks suspect directed links, and when a
+// (node, port) direction holds enough evidence for long enough, the healer
+// costs that port out of its ECMP groups on the owning switch
+// (Switch::set_port_weight(port, 0)) so flows re-hash onto healthy members
+// — mid-stream, with no QP teardown, which is what beats the CM-reconnect
+// baseline on time-to-mitigate.
+//
+// Safety rules:
+//  - hysteresis: a direction must stay over the score threshold, with NEW
+//    evidence, for `confirm_scans` consecutive scans before any action;
+//  - capacity floor: never cost out the last usable weighted member of any
+//    group (Switch::ecmp_cost_out_safe), and never exceed `max_concurrent`
+//    simultaneous mitigations fabric-wide;
+//  - probation: once costed out, the direction stops carrying probes, so
+//    its localizer tallies freeze; after `probation` with no new evidence
+//    the weight is restored (a still-bad link re-accumulates evidence and
+//    is costed out again — flap period bounded below by the probation).
+//
+// Determinism: the healer draws no randomness; scans fire on the simulator
+// clock and rank() is byte-stable, so the mitigation sequence is a pure
+// function of the run. Every action is journalled through the ChaosEngine
+// (FaultKind::kEcmpCostOut / kEcmpRestore) when one is attached, keeping
+// chaos replays byte-identical.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "src/faults/localizer.h"
+
+namespace rocelab {
+
+class ChaosEngine;
+
+struct SelfHealConfig {
+  Time scan_interval = milliseconds(1);
+  /// Localizer score a direction needs for a scan to count as "hot".
+  double score_threshold = 0.5;
+  /// Passed to GrayFailureLocalizer::rank(): traced probes required before
+  /// probe-loss evidence counts.
+  int min_probes = 5;
+  /// Consecutive hot scans (each with new evidence) before costing out.
+  int confirm_scans = 2;
+  /// Evidence-free time costed out before the weight is restored.
+  Time probation = milliseconds(20);
+  /// Fabric-wide cap on simultaneous cost-outs.
+  int max_concurrent = 4;
+};
+
+struct SelfHealStats {
+  std::int64_t scans = 0;
+  std::int64_t cost_outs = 0;
+  std::int64_t restores = 0;
+  std::int64_t floor_vetoes = 0;   // refused: last member / not in any group
+  std::int64_t budget_vetoes = 0;  // refused: max_concurrent reached
+  std::int64_t active = 0;         // currently costed-out directions
+};
+
+/// One mitigation episode, for incident reports and the fig_self_heal
+/// time-to-mitigate measurement.
+struct Mitigation {
+  std::string node;
+  int port = -1;
+  Time costed_out_at = -1;
+  Time restored_at = -1;  // -1 while still out
+  double score = 0.0;
+  std::int64_t failed_probes = 0;
+  std::int64_t fcs_errors = 0;
+};
+
+class SelfHealer {
+ public:
+  SelfHealer(Fabric& fabric, const GrayFailureLocalizer& localizer, SelfHealConfig cfg = {});
+  ~SelfHealer();
+  SelfHealer(const SelfHealer&) = delete;
+  SelfHealer& operator=(const SelfHealer&) = delete;
+
+  /// Attach a journal: every cost-out/restore is recorded as a fault-plane
+  /// event so replays of a chaos run stay byte-identical.
+  void set_chaos(ChaosEngine* chaos) { chaos_ = chaos; }
+
+  void start();
+  void stop();
+
+  /// Run one evidence scan synchronously (tests drive the loop by hand).
+  void scan_now() { scan(); }
+
+  [[nodiscard]] bool costed_out(const std::string& node, int port) const;
+  [[nodiscard]] const SelfHealStats& stats() const { return stats_; }
+  [[nodiscard]] const std::vector<Mitigation>& history() const { return history_; }
+  [[nodiscard]] const SelfHealConfig& config() const { return cfg_; }
+
+ private:
+  struct DirState {
+    int hot_streak = 0;
+    bool out = false;
+    Time clean_since = -1;            // last time new evidence arrived while out
+    std::int64_t evidence_mark = 0;   // tally (failed + fcs) at cost-out / last growth
+    std::int64_t evidence_floor = 0;  // tally already adjudicated (restored or vetoed)
+    std::size_t episode = 0;          // index into history_ while out
+  };
+
+  void tick();
+  void scan();
+
+  Fabric& fabric_;
+  const GrayFailureLocalizer& localizer_;
+  SelfHealConfig cfg_;
+  ChaosEngine* chaos_ = nullptr;
+  bool running_ = false;
+  EventId scan_ev_ = kInvalidEventId;
+  // Keyed by (node name, port) like the localizer: deterministic iteration
+  // makes the restore pass byte-stable.
+  std::map<std::pair<std::string, int>, DirState> dirs_;
+  SelfHealStats stats_;
+  std::vector<Mitigation> history_;
+};
+
+}  // namespace rocelab

@@ -34,7 +34,11 @@ std::vector<PortHealth> collect_port_health(const Fabric& fabric) {
   const MetricRegistry& reg = fabric.sim().metrics();
   std::vector<PortHealth> out;
   for (const auto& sw : fabric.switches()) {
-    for (int p = 0; p < sw->port_count(); ++p) out.push_back(health_of(reg, *sw, p));
+    for (int p = 0; p < sw->port_count(); ++p) {
+      PortHealth h = health_of(reg, *sw, p);
+      h.ecmp_weight = sw->port_weight(p);
+      out.push_back(std::move(h));
+    }
   }
   for (const auto& h : fabric.hosts()) {
     for (int p = 0; p < h->port_count(); ++p) out.push_back(health_of(reg, *h, p));
@@ -44,18 +48,19 @@ std::vector<PortHealth> collect_port_health(const Fabric& fabric) {
 
 std::string port_health_dump(const Fabric& fabric, bool only_unclean) {
   std::ostringstream os;
-  os << "node:port            rx_pkts      fcs      mmu   egress filtered   impair linkdown\n";
+  os << "node:port            rx_pkts      fcs      mmu   egress filtered   impair linkdown "
+        "weight\n";
   for (const PortHealth& h : collect_port_health(fabric)) {
     if (only_unclean && h.clean()) continue;
     char id[64];
     std::snprintf(id, sizeof id, "%s:%d", h.node.c_str(), h.port);
     char line[256];
-    std::snprintf(line, sizeof line, "%-18s %9lld %8lld %8lld %8lld %8lld %8lld %8lld\n", id,
+    std::snprintf(line, sizeof line, "%-18s %9lld %8lld %8lld %8lld %8lld %8lld %8lld %6d\n", id,
                   static_cast<long long>(h.rx_packets), static_cast<long long>(h.fcs_errors),
                   static_cast<long long>(h.mmu_drops), static_cast<long long>(h.egress_drops),
                   static_cast<long long>(h.filtered_drops),
                   static_cast<long long>(h.impairment_drops),
-                  static_cast<long long>(h.link_down_drops));
+                  static_cast<long long>(h.link_down_drops), h.ecmp_weight);
     os << line;
   }
   return os.str();

@@ -28,6 +28,10 @@ struct PortHealth {
   std::int64_t filtered_drops = 0;    // Switch::set_drop_filter hits at this port
   std::int64_t impairment_drops = 0;  // tx-side blackhole ground truth
   std::int64_t link_down_drops = 0;
+  /// ECMP weight on the owning switch (always 1 for host ports). 0 means
+  /// the self-healing plane costed the port out of its groups — a
+  /// mitigated port shows in the incident dump even with clean counters.
+  int ecmp_weight = 1;
 
   /// FCS errors per received frame — the gray-failure severity signal.
   [[nodiscard]] double fcs_rate() const {
@@ -36,7 +40,7 @@ struct PortHealth {
   }
   [[nodiscard]] bool clean() const {
     return fcs_errors == 0 && mmu_drops == 0 && egress_drops == 0 && filtered_drops == 0 &&
-           impairment_drops == 0 && link_down_drops == 0;
+           impairment_drops == 0 && link_down_drops == 0 && ecmp_weight == 1;
   }
 };
 

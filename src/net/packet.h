@@ -65,6 +65,7 @@ struct Packet {
     std::uint32_t ports = 0;  // (sport << 16) | dport; UDP preferred over TCP
     std::uint8_t proto = 0;
     bool has_ip = false;
+    friend bool operator==(const FlowTuple&, const FlowTuple&) = default;
   };
 
   /// Memoized flow-tuple extraction. Copies carry the cache (headers travel

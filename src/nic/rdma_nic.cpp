@@ -11,6 +11,13 @@ namespace rocelab {
 namespace {
 /// Retransmission timeout backoff cap (1 << 3 = 8x).
 constexpr int kMaxBackoffShift = 3;
+
+/// First or Only segment: the packet that begins a message on the wire.
+bool is_message_start(RoceOpcode op) {
+  return op == RoceOpcode::kSendFirst || op == RoceOpcode::kWriteFirst ||
+         op == RoceOpcode::kReadResponseFirst || op == RoceOpcode::kSendOnly ||
+         op == RoceOpcode::kWriteOnly || op == RoceOpcode::kReadResponseOnly;
+}
 }  // namespace
 
 RdmaNic::RdmaNic(Host& host, const HostConfig& cfg) : host_(host), cfg_(cfg) {
@@ -356,6 +363,7 @@ void RdmaNic::reset_qp(std::uint32_t qpn) {
   q.consecutive_timeouts = 0;
   q.blocked_on_port = false;
   q.error = false;
+  q.restart_barrier = -1;
   q.connected = false;
 }
 
@@ -371,6 +379,14 @@ void RdmaNic::go_back(Qp& q, std::uint64_t psn) {
     for (const auto& m : q.inflight) {
       if (psn >= m.first_psn && psn < m.end_psn) {
         q.cursor_psn = m.first_psn;
+        // A whole-message restart abandons the pass, cumulative-ack state
+        // included: una must come back to the message start, and feedback
+        // generated before this instant is void (see restart_barrier).
+        // Without both, the next cumulative ACK would advance_una() past
+        // first_psn and the max() there would yank the cursor forward —
+        // converting go-back-0 into go-back-N.
+        q.una_psn = std::min(q.una_psn, m.first_psn);
+        q.restart_barrier = host_.sim().now();
         break;
       }
     }
@@ -490,9 +506,7 @@ void RdmaNic::maybe_send_cnp(Qp& q, const Packet& pkt) {
 
 void RdmaNic::deliver_in_order(Qp& q, const Qp::RxSeg& seg) {
   const RoceOpcode op = seg.opcode;
-  const bool first = op == RoceOpcode::kSendFirst || op == RoceOpcode::kWriteFirst ||
-                     op == RoceOpcode::kReadResponseFirst || op == RoceOpcode::kSendOnly ||
-                     op == RoceOpcode::kWriteOnly || op == RoceOpcode::kReadResponseOnly;
+  const bool first = is_message_start(op);
   const bool last = op == RoceOpcode::kSendLast || op == RoceOpcode::kWriteLast ||
                     op == RoceOpcode::kReadResponseLast || op == RoceOpcode::kSendOnly ||
                     op == RoceOpcode::kWriteOnly || op == RoceOpcode::kReadResponseOnly;
@@ -533,13 +547,27 @@ void RdmaNic::handle_data(Qp& q, Packet& pkt) {
   const Qp::RxSeg seg{pkt.payload_bytes, pkt.bth->opcode, pkt.msg_id, pkt.created_at};
   const bool selective = q.cfg.recovery == LossRecovery::kSelectiveRepeat;
 
+  // go-back-0 peers restart the whole message on any loss (§4.1): when the
+  // message-start segment comes around again below the cumulative high-water
+  // mark, the receiver abandons its partial progress and takes the restarted
+  // stream in order. Retaining expected_psn across restarts is what let each
+  // pass resume mid-message and quietly defeated the livelock.
+  bool retaken_start = false;
+  if (q.cfg.recovery == LossRecovery::kGoBack0 && psn < q.expected_psn &&
+      is_message_start(seg.opcode)) {
+    q.expected_psn = psn;
+    q.nak_armed = true;
+    retaken_start = true;
+  }
+
   if (psn == q.expected_psn) {
     // Receive WQE contract: the FIRST packet of a SEND needs a posted
     // receive buffer; otherwise the responder answers RNR NAK and does not
     // advance (the sender backs off and retries the whole message).
     const bool send_first = seg.opcode == RoceOpcode::kSendFirst ||
                             seg.opcode == RoceOpcode::kSendOnly;
-    if (send_first && q.cfg.require_recv_wqes) {
+    // A restarted message already consumed its receive WQE on the first pass.
+    if (send_first && q.cfg.require_recv_wqes && !retaken_start) {
       if (q.recv_credits <= 0) {
         ++stats_.rnr_naks_sent;
         send_ack(q, AethSyndrome::kRnrNak);
@@ -597,6 +625,10 @@ void RdmaNic::handle_data(Qp& q, Packet& pkt) {
 
 void RdmaNic::handle_ack(Qp& q, const Packet& pkt) {
   if (!pkt.aeth) return;
+  // go-back-0: feedback generated before the last whole-message restart is
+  // about the aborted pass. Same-priority RoCE paths deliver FIFO, so no
+  // legitimate post-restart ACK can predate the barrier.
+  if (q.cfg.recovery == LossRecovery::kGoBack0 && pkt.created_at < q.restart_barrier) return;
   // TIMELY: RTT sample from the freshest probe this ACK covers.
   if (q.timely) {
     Time sent_at = -1;

@@ -182,6 +182,11 @@ class RdmaNic {
     bool blocked_on_port = false;
     int consecutive_timeouts = 0;
     bool error = false;  // retry budget exhausted; QP is wedged until reset
+    /// go-back-0 only: time of the last whole-message restart. ACK/NAK
+    /// packets created before this describe the aborted pass; processing
+    /// them would pull una/cursor forward and silently turn go-back-0 into
+    /// go-back-N (the §4.1 livelock would never reproduce).
+    Time restart_barrier = -1;
 
     // Receiver state.
     std::uint64_t expected_psn = 0;

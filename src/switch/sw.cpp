@@ -107,7 +107,10 @@ Switch::Switch(Simulator& sim, std::string name, SwitchConfig cfg, int num_ports
     reg.add(this, prefix + "/filtered_drops", &filtered_drops_);
     reg.add(this, prefix + "/l2_mode_drops", &l2_mode_drops_);
     reg.add(this, prefix + "/reboots", &reboots_);
+    reg.add(this, prefix + "/ecmp_weight_changes", &ecmp_weight_changes_);
+    reg.add(this, prefix + "/flow_cache_hits", &flow_cache_hits_);
   }
+  port_weights_.assign(static_cast<std::size_t>(num_ports), 1);
   roles_.assign(static_cast<std::size_t>(num_ports), PortRole::kFabric);
   l2_modes_.assign(static_cast<std::size_t>(num_ports), L2PortMode::kAccess);
   pause_sent_.assign(static_cast<std::size_t>(num_ports) * kNumPriorities, false);
@@ -137,7 +140,70 @@ Switch::~Switch() {
 }
 
 void Switch::add_route(Ipv4Prefix prefix, std::vector<int> ports) {
-  routes_.push_back(Route{prefix, std::move(ports)});
+  Route r;
+  r.prefix = prefix;
+  r.ports = std::move(ports);
+  routes_.push_back(std::move(r));
+  bump_ecmp_epoch();  // membership change: memoized decisions are void
+}
+
+void Switch::bump_ecmp_epoch() {
+  ++ecmp_epoch_;
+  // Entries revalidate by epoch on hit; clearing here just bounds memory
+  // across many control-plane writes.
+  if (flow_cache_.size() > 16384) flow_cache_.clear();
+}
+
+void Switch::set_port_weight(int port_index, int weight) {
+  int& w = port_weights_.at(static_cast<std::size_t>(port_index));
+  weight = std::max(weight, 0);
+  if (w == weight) return;
+  w = weight;
+  ++ecmp_weight_changes_;
+  bump_ecmp_epoch();
+}
+
+bool Switch::ecmp_cost_out_safe(int port_index) const {
+  bool in_any_group = false;
+  for (const auto& r : routes_) {
+    bool contains = false;
+    int other_alive = 0;
+    for (int p : r.ports) {
+      if (p == port_index) {
+        contains = true;
+      } else if (port(p).usable() && port_weights_[static_cast<std::size_t>(p)] > 0) {
+        ++other_alive;
+      }
+    }
+    if (!contains) continue;
+    if (other_alive == 0) return false;  // last usable weighted member
+    in_any_group = true;
+  }
+  return in_any_group;
+}
+
+const std::vector<int>& Switch::weighted_members(const Route& r) const {
+  if (r.weighted_epoch != ecmp_epoch_) {
+    r.weighted.clear();
+    bool uniform = true;
+    for (int p : r.ports) {
+      if (port_weights_[static_cast<std::size_t>(p)] != 1) {
+        uniform = false;
+        break;
+      }
+    }
+    if (!uniform) {
+      for (int p : r.ports) {
+        const int w = port_weights_[static_cast<std::size_t>(p)];
+        for (int i = 0; i < w; ++i) r.weighted.push_back(p);
+      }
+      // Every member costed out: ignore weights rather than blackhole the
+      // group (the data-plane half of the capacity floor).
+      if (r.weighted.empty()) r.weighted = r.ports;
+    }
+    r.weighted_epoch = ecmp_epoch_;
+  }
+  return r.weighted.empty() ? r.ports : r.weighted;
 }
 
 void Switch::add_local_subnet(Ipv4Prefix prefix) { local_subnets_.push_back(prefix); }
@@ -156,6 +222,20 @@ void Switch::classify(Packet& pkt) const {
 
 int Switch::route_lookup(const Packet& pkt, bool count_failover) const {
   if (!pkt.ip) return -1;
+  // Memoized flow->egress decision (epoch-validated; stale entries from a
+  // weight flip, membership change, or link transition fail the epoch check
+  // and fall through to a full lookup).
+  std::uint64_t h = 0;
+  const bool hashed = !cfg_.packet_spray;
+  if (hashed) {
+    h = five_tuple_hash(pkt, ecmp_seed_);
+    const auto it = flow_cache_.find(h);
+    if (it != flow_cache_.end() && it->second.epoch == ecmp_epoch_ &&
+        it->second.tuple == pkt.flow_tuple()) {
+      ++flow_cache_hits_;
+      return it->second.out_port;
+    }
+  }
   const Route* best = nullptr;
   for (const auto& r : routes_) {
     if (!r.prefix.contains(pkt.ip->dst)) continue;
@@ -166,15 +246,34 @@ int Switch::route_lookup(const Packet& pkt, bool count_failover) const {
   if (best->ports.size() == 1) return usable(best->ports[0]) ? best->ports[0] : -1;
   if (cfg_.packet_spray) {
     // §8.1: spray packets round-robin over the group (reorders flows),
-    // skipping members whose link is down. A trace probe (count_failover ==
-    // false) peeks at the next pick without consuming it.
+    // skipping members whose link is down or whose weight is 0. A trace
+    // probe (count_failover == false) peeks at the next pick without
+    // consuming it.
     std::uint64_t ctr = spray_counter_;
+    bool skipped_costed_out = false;
     for (std::size_t tries = 0; tries < best->ports.size(); ++tries) {
       const int p = best->ports[ctr++ % best->ports.size()];
-      if (usable(p)) {
+      if (!usable(p)) continue;
+      if (port_weights_[static_cast<std::size_t>(p)] <= 0) {
+        skipped_costed_out = true;
+        continue;
+      }
+      if (count_failover) {
+        spray_counter_ = ctr;
+        if (tries > 0) ++route_failovers_;
+      }
+      return p;
+    }
+    if (skipped_costed_out) {
+      // Capacity floor: every weighted member is down — spray over the
+      // usable costed-out ones rather than blackhole.
+      ctr = spray_counter_;
+      for (std::size_t tries = 0; tries < best->ports.size(); ++tries) {
+        const int p = best->ports[ctr++ % best->ports.size()];
+        if (!usable(p)) continue;
         if (count_failover) {
           spray_counter_ = ctr;
-          if (tries > 0) ++route_failovers_;
+          ++route_failovers_;
         }
         return p;
       }
@@ -182,15 +281,31 @@ int Switch::route_lookup(const Packet& pkt, bool count_failover) const {
     if (count_failover) spray_counter_ = ctr;
     return -1;
   }
-  const std::uint64_t h = five_tuple_hash(pkt, ecmp_seed_);
-  const int primary = best->ports[h % best->ports.size()];
-  if (usable(primary)) return primary;
+  const std::vector<int>& members = weighted_members(*best);
+  const int primary = members[h % members.size()];
+  if (usable(primary)) {
+    // Cache only this clean path: failover picks below stay uncached so
+    // route_failovers_ keeps counting per packet, and a cached port is
+    // usable by construction whenever its epoch is current.
+    if (hashed) {
+      if (flow_cache_.size() > 16384) flow_cache_.clear();
+      flow_cache_[h] = FlowCacheEntry{pkt.flow_tuple(), ecmp_epoch_, primary};
+    }
+    return primary;
+  }
   // Self-healing ECMP: the hashed member is down — re-hash over survivors
-  // so the flow moves (deterministically) to a live path.
+  // (weight slots preserved) so the flow moves (deterministically) to a
+  // live path; if no weighted member survives, fall back to any usable
+  // member (capacity floor).
   std::vector<int> survivors;
-  survivors.reserve(best->ports.size());
-  for (int p : best->ports) {
+  survivors.reserve(members.size());
+  for (int p : members) {
     if (usable(p)) survivors.push_back(p);
+  }
+  if (survivors.empty() && &members != &best->ports) {
+    for (int p : best->ports) {
+      if (usable(p)) survivors.push_back(p);
+    }
   }
   if (survivors.empty()) return -1;
   if (count_failover) ++route_failovers_;
@@ -412,6 +527,9 @@ void Switch::send_xon(int port_index, int pg) {
 // --- fault plane ------------------------------------------------------------
 
 void Switch::on_link_change(int port_index, bool up) {
+  // Either transition changes who is usable: memoized ECMP decisions for
+  // flows through this port (or failed over away from it) are stale.
+  bump_ecmp_epoch();
   if (up) return;  // next MMU admission re-asserts XOFF if still needed
   // The link died: any pause we asserted across it is gone, and the storm
   // watchdog must restart its observation from scratch.
@@ -430,6 +548,12 @@ void Switch::reboot() {
   ++reboots_;
   arp_.clear();
   mac_.clear();
+  // Running config is lost with the control plane: ECMP weights revert to 1
+  // (a SelfHealer re-applies its mitigation on its next scan) and every
+  // memoized forwarding decision dies with the tables.
+  std::fill(port_weights_.begin(), port_weights_.end(), 1);
+  flow_cache_.clear();
+  bump_ecmp_epoch();
   for (int p = 0; p < port_count(); ++p) {
     for (int prio = 0; prio < kNumPriorities; ++prio) port(p).flush_priority(prio);
     for (int pg = 0; pg < kNumPriorities; ++pg) {

@@ -8,6 +8,7 @@
 #include <functional>
 #include <memory>
 #include <span>
+#include <unordered_map>
 #include <vector>
 
 #include "src/common/rng.h"
@@ -49,6 +50,27 @@ class Switch : public Node {
   // --- control plane -------------------------------------------------------
   /// L3 route: packets matching `prefix` are ECMP-hashed over `ports`.
   void add_route(Ipv4Prefix prefix, std::vector<int> ports);
+  /// ECMP weight of `port` in every group that contains it. A member with
+  /// weight w >= 1 owns w slots of the selection table; weight 0 costs the
+  /// member out — no flow hashes to it while any other weighted member of
+  /// the group is usable (if none is, weights are ignored: capacity floor).
+  /// Any change bumps the ECMP epoch, which invalidates both the lazily
+  /// built per-route selection tables and every memoized flow->egress
+  /// decision, so a costed-out port cannot keep receiving memoized flows.
+  void set_port_weight(int port, int weight);
+  void restore_port_weight(int port) { set_port_weight(port, 1); }
+  [[nodiscard]] int port_weight(int port) const {
+    return port_weights_[static_cast<std::size_t>(port)];
+  }
+  /// True iff costing `port` out would actually shift traffic AND leave
+  /// every route group containing it with at least one other usable
+  /// weighted member. The SelfHealer's capacity floor: refuse to cost out
+  /// the last member of any group, or a port no ECMP group routes over.
+  [[nodiscard]] bool ecmp_cost_out_safe(int port) const;
+  /// Monotone version covering ECMP membership, weights, and link state.
+  [[nodiscard]] std::uint64_t ecmp_epoch() const { return ecmp_epoch_; }
+  [[nodiscard]] std::int64_t ecmp_weight_changes() const { return ecmp_weight_changes_; }
+  [[nodiscard]] std::int64_t flow_cache_hits() const { return flow_cache_hits_; }
   /// Locally attached subnet, delivered via ARP + MAC table.
   void add_local_subnet(Ipv4Prefix prefix);
   ArpTable& arp_table() { return arp_; }
@@ -120,6 +142,23 @@ class Switch : public Node {
   struct Route {
     Ipv4Prefix prefix;
     std::vector<int> ports;
+    /// Weighted selection table: each member repeated `weight` times,
+    /// rebuilt lazily whenever the ECMP epoch moves. Kept empty while every
+    /// weight is 1 so the common case hashes straight over `ports` —
+    /// bit-identical to unweighted ECMP.
+    mutable std::vector<int> weighted;
+    mutable std::uint64_t weighted_epoch = ~0ull;
+  };
+  /// Memoized flow->egress decision, keyed by the packet's five-tuple hash.
+  /// Only clean primary picks are cached (failover picks keep taking the
+  /// full path so route_failovers_ counts per packet); a hit is honored only
+  /// if the epoch still matches and the stored tuple equals the packet's
+  /// (hash-collision guard), so membership/weight/link changes invalidate
+  /// every stale decision at once.
+  struct FlowCacheEntry {
+    Packet::FlowTuple tuple;
+    std::uint64_t epoch = ~0ull;
+    int out_port = -1;
   };
   struct Charge;  // MMU accounting token (RAII)
   struct WatchdogState {
@@ -138,6 +177,8 @@ class Switch : public Node {
 
   void classify(Packet& pkt) const;
   [[nodiscard]] int route_lookup(const Packet& pkt, bool count_failover = true) const;  // -1 if none
+  [[nodiscard]] const std::vector<int>& weighted_members(const Route& r) const;
+  void bump_ecmp_epoch();
   void forward(PooledPacket pp, int in_port);
   void deliver_local(PooledPacket pp, int in_port, Ipv4Prefix subnet);
   void flood(PooledPacket pp, int in_port);
@@ -163,6 +204,11 @@ class Switch : public Node {
   mutable Rng rng_;
   std::uint64_t ecmp_seed_;
   mutable std::uint64_t spray_counter_ = 0;
+  std::vector<int> port_weights_;  // per port, default 1
+  std::uint64_t ecmp_epoch_ = 0;
+  std::int64_t ecmp_weight_changes_ = 0;
+  mutable std::unordered_map<std::uint64_t, FlowCacheEntry> flow_cache_;
+  mutable std::int64_t flow_cache_hits_ = 0;
 
   std::vector<bool> pause_sent_;          // (port, pg)
   std::vector<EventId> pause_refresh_;    // (port, pg)

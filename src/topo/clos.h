@@ -49,6 +49,11 @@ class ClosFabric {
   [[nodiscard]] Switch& tor(int podset, int t) {
     return *tors_[static_cast<std::size_t>(podset)][static_cast<std::size_t>(t)];
   }
+  /// Port index on any ToR for its uplink to leaf `l` of the podset:
+  /// ports [0, servers_per_tor) face servers, then one uplink per leaf in
+  /// leaf order. (The self-healing plane costs these out of the ToR's
+  /// default-route ECMP group.)
+  [[nodiscard]] int tor_uplink_port(int l) const { return params_.servers_per_tor + l; }
   [[nodiscard]] Switch& leaf(int podset, int l) {
     return *leaves_[static_cast<std::size_t>(podset)][static_cast<std::size_t>(l)];
   }

@@ -1,0 +1,278 @@
+// ISSUE 5 coverage: go-back-0 whole-message restart semantics (the §4.1
+// livelock mechanism — a rewound cursor must survive the cumulative-ACK
+// machinery), weighted-ECMP cost-out correctness against the memoized
+// flow cache, and the SelfHealer control loop (hysteresis, probation,
+// capacity floor, deterministic journalling).
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/app/demux.h"
+#include "src/app/traffic.h"
+#include "src/faults/chaos.h"
+#include "src/faults/localizer.h"
+#include "src/faults/self_heal.h"
+#include "src/rocev2/deployment.h"
+#include "src/switch/sw.h"
+#include "src/topo/clos.h"
+#include "src/topo/trace.h"
+#include "tests/testutil.h"
+
+namespace rocelab {
+namespace {
+
+using testing::StarTopology;
+
+QpConfig lab_qp(LossRecovery recovery) {
+  QpConfig qp;
+  qp.dcqcn = false;
+  qp.recovery = recovery;
+  return qp;
+}
+
+std::int64_t total_tx(const Node& n, int port) {
+  std::int64_t s = 0;
+  for (auto v : n.port(port).counters().tx_packets) s += v;
+  return s;
+}
+
+// --- go-back-0 restart semantics ------------------------------------------------
+
+// A drop in the SECOND pass must restart the message again: the first
+// restart rewinds the cursor AND the unacked floor, and stale cumulative
+// ACKs from the aborted pass must not yank the window forward past the
+// second drop (the bug that made fig_livelock report go-back-0 as healthy).
+TEST(GoBack0Restart, RestartSurvivesCumulativeAckAcrossPasses) {
+  StarTopology topo(2);
+  bool dropped5 = false;
+  int seen2 = 0;
+  topo.sw().set_drop_filter([&](const Packet& p) {
+    if (p.kind != PacketKind::kRoceData) return false;
+    if (p.bth->psn == 5 && !dropped5) {
+      dropped5 = true;
+      return true;
+    }
+    // PSN 2 of the SECOND pass (its first occurrence flew before PSN 5).
+    if (p.bth->psn == 2 && ++seen2 == 2) return true;
+    return false;
+  });
+  auto [qa, qb] = connect_qp_pair(*topo.hosts[0], *topo.hosts[1], lab_qp(LossRecovery::kGoBack0));
+  (void)qb;
+  topo.hosts[0]->rdma().post_send(qa, 10 * 1024, 1);  // PSNs 0..9
+  topo.sim().run_until(milliseconds(10));
+  EXPECT_EQ(topo.hosts[0]->rdma().stats().messages_completed, 1);
+  // Three passes: ~>= one full re-send plus the second pass's prefix.
+  EXPECT_GE(topo.hosts[0]->rdma().stats().data_packets_retx, 12);
+  EXPECT_LE(topo.hosts[0]->rdma().stats().data_packets_retx, 60);
+}
+
+// §4.1 in one QP: a deterministic every-8th-packet drop makes a clean pass
+// over a 64-segment message impossible, so go-back-0 completes NOTHING
+// while go-back-N shrugs the same loss pattern off.
+TEST(GoBack0Restart, DeterministicLossLivelocksGoBack0Only) {
+  for (LossRecovery recovery : {LossRecovery::kGoBack0, LossRecovery::kGoBackN}) {
+    StarTopology topo(2);
+    int n = 0;
+    topo.sw().set_drop_filter([&n](const Packet& p) {
+      return p.kind == PacketKind::kRoceData && (++n % 8) == 0;
+    });
+    auto [qa, qb] = connect_qp_pair(*topo.hosts[0], *topo.hosts[1], lab_qp(recovery));
+    (void)qb;
+    topo.hosts[0]->rdma().post_send(qa, 64 * 1024, 1);  // 64 segments
+    topo.sim().run_until(milliseconds(20));
+    const auto& st = topo.hosts[0]->rdma().stats();
+    if (recovery == LossRecovery::kGoBack0) {
+      EXPECT_EQ(st.messages_completed, 0) << "go-back-0 completed through steady loss?";
+      // Livelock, not deadlock: the sender is busy retransmitting forever.
+      EXPECT_GT(st.data_packets_retx, 200);
+    } else {
+      EXPECT_EQ(st.messages_completed, 1) << "go-back-N should recover per-drop";
+    }
+  }
+}
+
+// --- weighted ECMP + flow cache -------------------------------------------------
+
+ClosParams small_clos() {
+  QosPolicy policy;
+  policy.max_cable_m = 20.0;
+  return make_clos_params(policy, DeploymentStage::kFull, /*podsets=*/1, /*leaves=*/2,
+                          /*tors=*/2, /*servers_per_tor=*/2, /*spines=*/0);
+}
+
+// The ISSUE's regression test: flip a port's weight mid-flow and assert not
+// one more packet egresses it — the memoized flow->egress cache must be
+// invalidated by the weight change, not keep steering the flow.
+TEST(EcmpWeights, MidFlowCostOutMovesFlowOffPort) {
+  ClosFabric clos(small_clos());
+  Simulator& sim = clos.sim();
+  Switch& tor0 = clos.tor(0, 0);
+  QosPolicy policy;
+  QpConfig qp = make_qp_config(policy);
+  Host& src = clos.server(0, 0, 0);
+  Host& dst = clos.server(0, 1, 0);
+  auto [qa, qb] = connect_qp_pair(src, dst, qp);
+  (void)qb;
+  RdmaDemux demux(src);
+  RdmaStreamSource stream(src, demux, qa,
+                          {.message_bytes = 32 * kKiB, .max_outstanding = 2});
+  stream.start();
+  sim.run_until(milliseconds(1));
+
+  // Which uplink carries the flow right now?
+  int carrying = -1;
+  for (const TraceHop& h : trace_route(clos.fabric(), src, dst, src.rdma().qp_sport(qa))) {
+    if (h.node == &tor0) carrying = h.port;
+  }
+  ASSERT_GE(carrying, clos.tor_uplink_port(0));
+  const std::int64_t done_at_flip = stream.completed_messages();
+
+  tor0.set_port_weight(carrying, 0);
+  sim.run_until(sim.now() + microseconds(200));  // drain what was already queued
+  const std::int64_t tx_after_drain = total_tx(tor0, carrying);
+  sim.run_until(sim.now() + milliseconds(2));
+
+  EXPECT_EQ(total_tx(tor0, carrying), tx_after_drain)
+      << "flow cache kept steering packets onto the costed-out port";
+  EXPECT_GT(stream.completed_messages(), done_at_flip)
+      << "flow did not re-hash onto the surviving uplink";
+  EXPECT_GT(tor0.ecmp_weight_changes(), 0);
+}
+
+TEST(EcmpWeights, CapacityFloorNeverStrandsTraffic) {
+  ClosFabric clos(small_clos());
+  Switch& tor0 = clos.tor(0, 0);
+  const int up0 = clos.tor_uplink_port(0);
+  const int up1 = clos.tor_uplink_port(1);
+
+  // Control plane: the last usable member of the uplink group is protected.
+  EXPECT_TRUE(tor0.ecmp_cost_out_safe(up0));
+  tor0.set_port_weight(up0, 0);
+  EXPECT_FALSE(tor0.ecmp_cost_out_safe(up1)) << "would cost out the last member";
+  // Server-facing ports belong to no ECMP group: nothing to cost out.
+  EXPECT_FALSE(tor0.ecmp_cost_out_safe(0));
+
+  // Data plane: even with EVERY member at weight 0 (a misbehaving or
+  // bypassed control loop), forwarding falls back to the plain member list
+  // rather than blackholing.
+  tor0.set_port_weight(up1, 0);
+  QosPolicy policy;
+  Host& src = clos.server(0, 0, 0);
+  Host& dst = clos.server(0, 1, 0);
+  auto [qa, qb] = connect_qp_pair(src, dst, make_qp_config(policy));
+  (void)qb;
+  src.rdma().post_send(qa, 16 * kKiB, 1);
+  clos.sim().run_until(milliseconds(2));
+  EXPECT_EQ(src.rdma().stats().messages_completed, 1);
+}
+
+// --- SelfHealer control loop ----------------------------------------------------
+
+struct HealerRig {
+  ClosFabric clos{small_clos()};
+  GrayFailureLocalizer localizer{clos.fabric()};
+  Host& src;
+  Host& dst;
+  int target_port = -1;  // tor-0-0 uplink on the observed path
+
+  HealerRig() : src(clos.server(0, 0, 0)), dst(clos.server(0, 1, 0)) {
+    for (const TraceHop& h : trace_route(clos.fabric(), src, dst, kFwdSport)) {
+      if (h.node == &clos.tor(0, 0)) target_port = h.port;
+    }
+  }
+
+  static constexpr std::uint16_t kFwdSport = 1111;
+  static constexpr std::uint16_t kRspSport = 2222;
+  void observe(bool ok) { localizer.observe(src, dst, kFwdSport, kRspSport, ok); }
+};
+
+TEST(SelfHealerLoop, HysteresisIgnoresOscillatingEvidence) {
+  HealerRig rig;
+  ASSERT_GE(rig.target_port, 0);
+  SelfHealConfig cfg;
+  cfg.score_threshold = 0.6;
+  cfg.min_probes = 1;
+  cfg.confirm_scans = 2;
+  SelfHealer healer(rig.clos.fabric(), rig.localizer, cfg);
+
+  // Alternating outcomes keep the loss share bouncing across the
+  // threshold; the confirm streak resets every time and nothing fires.
+  for (int i = 0; i < 4; ++i) {
+    rig.observe(/*ok=*/i % 2 != 0);
+    healer.scan_now();
+  }
+  EXPECT_EQ(healer.stats().cost_outs, 0);
+  EXPECT_EQ(rig.clos.tor(0, 0).port_weight(rig.target_port), 1);
+
+  // Steady failures: two consecutive hot scans confirm and cost out.
+  rig.observe(false);
+  healer.scan_now();
+  EXPECT_EQ(healer.stats().cost_outs, 0) << "fired before the confirm streak";
+  rig.observe(false);
+  healer.scan_now();
+  EXPECT_GE(healer.stats().cost_outs, 1);
+  EXPECT_TRUE(healer.costed_out("tor-0-0", rig.target_port));
+  EXPECT_EQ(rig.clos.tor(0, 0).port_weight(rig.target_port), 0);
+}
+
+TEST(SelfHealerLoop, RestoresAfterCleanProbation) {
+  HealerRig rig;
+  ASSERT_GE(rig.target_port, 0);
+  SelfHealConfig cfg;
+  cfg.score_threshold = 0.6;
+  cfg.min_probes = 1;
+  cfg.confirm_scans = 2;
+  cfg.probation = milliseconds(5);
+  SelfHealer healer(rig.clos.fabric(), rig.localizer, cfg);
+
+  rig.observe(false);
+  healer.scan_now();
+  rig.observe(false);
+  healer.scan_now();
+  ASSERT_TRUE(healer.costed_out("tor-0-0", rig.target_port));
+
+  // Probation not yet served: still out.
+  rig.clos.sim().run_until(rig.clos.sim().now() + milliseconds(2));
+  healer.scan_now();
+  EXPECT_TRUE(healer.costed_out("tor-0-0", rig.target_port));
+
+  // Quiet past the probation: restored, and the adjudicated evidence must
+  // not re-trigger a cost-out on the next scan.
+  rig.clos.sim().run_until(rig.clos.sim().now() + milliseconds(5));
+  healer.scan_now();
+  EXPECT_FALSE(healer.costed_out("tor-0-0", rig.target_port));
+  EXPECT_EQ(rig.clos.tor(0, 0).port_weight(rig.target_port), 1);
+  EXPECT_GE(healer.stats().restores, 1);
+  const std::int64_t outs = healer.stats().cost_outs;
+  healer.scan_now();
+  healer.scan_now();
+  EXPECT_EQ(healer.stats().cost_outs, outs) << "stale evidence re-triggered after restore";
+}
+
+TEST(SelfHealerLoop, JournalsMitigationsDeterministically) {
+  auto run_once = [] {
+    HealerRig rig;
+    ChaosEngine chaos(rig.clos.fabric(), /*seed=*/2016);
+    SelfHealConfig cfg;
+    cfg.score_threshold = 0.6;
+    cfg.min_probes = 1;
+    cfg.confirm_scans = 2;
+    SelfHealer healer(rig.clos.fabric(), rig.localizer, cfg);
+    healer.set_chaos(&chaos);
+    rig.clos.sim().run_until(microseconds(100));
+    for (int i = 0; i < 3; ++i) {
+      rig.observe(false);
+      healer.scan_now();
+    }
+    return chaos.journal_text();
+  };
+  const std::string a = run_once();
+  const std::string b = run_once();
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a.find("ecmp_cost_out"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace rocelab

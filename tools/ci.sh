@@ -44,6 +44,27 @@ print("BENCH json OK:", sys.argv[1])
 PY
 rm -rf "$smoke_dir"
 
+echo "=== check gate (plain build only) ==="
+# Scenarios whose checks gate the repo's headline claims. run_scenario
+# exits non-zero when any check fails, so a regression (e.g. go-back-0
+# quietly completing messages under §4.1 loss again) fails CI here.
+# fig_livelock: the go-back-0 livelock must reproduce (0 messages) while
+# go-back-N stays fast on the same loss pattern.
+"$repo/build/bench/fig_livelock" --duration_ms=30
+# fig_self_heal: localizer-driven cost-out must restore victim goodput and
+# beat the CM-reconnect baseline on time-to-mitigate; keep its BENCH json
+# at the repo root next to BENCH_simcore.json.
+"$repo/build/bench/fig_self_heal" --json "$repo/BENCH_fig_self_heal.json"
+python3 - "$repo/BENCH_fig_self_heal.json" <<'PY'
+import json, sys
+doc = json.load(open(sys.argv[1]))
+assert doc["schema_version"] == 1, doc.get("schema_version")
+assert doc["bench"] == "fig_self_heal"
+assert doc["cases"], "no cases emitted"
+assert all(c["pass"] for c in doc["checks"]), doc["checks"]
+print("BENCH json OK:", sys.argv[1])
+PY
+
 echo "=== sanitizer build (ASan+UBSan) ==="
 run_suite "$repo/build-asan" -DROCELAB_SANITIZE=ON
 
