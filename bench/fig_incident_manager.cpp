@@ -1,0 +1,433 @@
+// E19 — fleet-level incident manager under a mixed-fault chaos soak
+// (ISSUE 6 tentpole). Four faults overlap inside one run (the first three
+// are placed on the directions the flows' traced ECMP paths actually use):
+//
+//   - a one-way blackhole on a pod-0 leaf's busiest DOWN direction: the
+//     leaf's down-route has a single member, so a per-direction cost-out
+//     is floor-vetoed forever — only draining the leaf re-routes around
+//     it;
+//   - 100% one-way FCS corruption on that same leaf's first uplink: the
+//     second confirmed-bad direction on the same switch, pushing it over
+//     the drain threshold;
+//   - 100% one-way FCS corruption on the busiest pod-1 ToR uplink: a
+//     far-pod gray direction where a plain cost-out is the right answer;
+//   - §6.2 config drift (alpha silently 1/64) on tor-1-1, plus a NIC pause
+//     storm on a pod-1 server (§4.3) for incident-table visibility.
+//
+// Three responses are compared against a clean run, all sharing the same
+// monitoring plane (pingmesh grid -> localizer, FCS health monitor,
+// invariant auditor):
+//
+//   - none:      no control loop; blackhole + gray victims starve and the
+//                drift persists;
+//   - selfheal:  the per-direction SelfHealer costs out what it can (the
+//                two uplink grays) but floor-vetoes the blackholed down
+//                direction and has no config plane — fleet goodput stays
+//                degraded;
+//   - incmgr:    the IncidentManager drains the bad leaf (one ranked
+//                action covering both of its bad directions), costs out
+//                the far-pod gray, rolls the drifted config back, and
+//                holds fleet goodput at the SLA floor — all inside a
+//                per-pod blast-radius budget audited independently.
+//
+// The incmgr arm runs twice: identical seeds must produce byte-identical
+// chaos journals (the --expect_journal knob lets CI pin the golden hash).
+#include <algorithm>
+#include <cstdio>
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "src/app/demux.h"
+#include "src/app/pingmesh_grid.h"
+#include "src/exp/scenario.h"
+#include "src/faults/auditor.h"
+#include "src/faults/chaos.h"
+#include "src/faults/incident_manager.h"
+#include "src/faults/localizer.h"
+#include "src/faults/self_heal.h"
+#include "src/link/impairment.h"
+#include "src/monitor/health.h"
+#include "src/monitor/metric_registry.h"
+#include "src/monitor/monitor.h"
+#include "src/nic/rdma_nic.h"
+#include "src/rocev2/deployment.h"
+#include "src/switch/sw.h"
+#include "src/topo/trace.h"
+
+using namespace rocelab;
+
+namespace {
+
+enum class Mode { kClean, kNone, kSelfHeal, kIncMgr };
+
+const char* mode_name(Mode m) {
+  switch (m) {
+    case Mode::kClean: return "clean";
+    case Mode::kNone: return "none";
+    case Mode::kSelfHeal: return "selfheal";
+    case Mode::kIncMgr: return "incmgr";
+  }
+  return "?";
+}
+
+struct Result {
+  double mean_gbps = 0.0;  // fleet goodput over the post-settle window
+  double min_gbps = 0.0;
+  int blackhole_victims = 0;  // flows whose data path crossed the bad down port
+  int gray_victims = 0;       // flows whose data path crossed the gray uplink
+  std::int64_t cost_outs = 0;
+  std::int64_t drains = 0;
+  std::int64_t rollbacks = 0;
+  std::int64_t sheds = 0;
+  std::int64_t floor_vetoes = 0;
+  std::int64_t hard_violations = 0;
+  std::int64_t drift_left = 0;  // config drift records at end of run
+  std::size_t drain_covers = 0;
+  bool drain_journalled = false;
+  bool rollback_journalled = false;
+  bool storm_incident = false;
+  double pod0_costed_frac = 0.0;  // peak would need sampling; end-of-run level
+  std::uint64_t journal_hash = 0;
+};
+
+constexpr std::int64_t kMsgBytes = 16 * kKiB;
+
+Result run_case(Mode mode, Time duration, Time window_at, double blast_frac) {
+  // Two podsets x (2 leaves x 2 ToRs x 2 servers) + 4 spines: every leaf
+  // down-route is single-member (the structural reason drains exist) and
+  // every up-route has two members (cost-outs are floor-safe).
+  QosPolicy policy;
+  policy.max_cable_m = 20.0;
+  ClosParams params = make_clos_params(policy, DeploymentStage::kFull, /*podsets=*/2,
+                                       /*leaves=*/2, /*tors=*/2, /*servers=*/2, /*spines=*/4);
+  ClosFabric clos(params);
+  Simulator& sim = clos.sim();
+
+  std::vector<std::unique_ptr<RdmaDemux>> demuxes;
+  for (const auto& h : clos.fabric().hosts()) demuxes.push_back(std::make_unique<RdmaDemux>(*h));
+  auto demux_of = [&](Host& h) -> RdmaDemux& {
+    for (std::size_t i = 0; i < clos.fabric().hosts().size(); ++i) {
+      if (clos.fabric().hosts()[i].get() == &h) return *demuxes[i];
+    }
+    throw std::logic_error("unknown host");
+  };
+
+  QpConfig qp = make_qp_config(policy);
+  qp.retx_timeout = microseconds(200);
+  qp.retry_limit = 0;  // retry forever: recovery is routing's job here
+
+  // Intra-podset paced flows, both directions in both pods. Intra-podset
+  // traffic crosses exactly one leaf, so a drain of leaf-0-0 fully
+  // re-routes pod 0 onto leaf-0-1 — no spine detour needed.
+  struct Flow {
+    Host* src = nullptr;
+    Host* dst = nullptr;
+    std::uint32_t qpn = 0;
+    std::int64_t posted = 0;
+    std::int64_t completed = 0;
+  };
+  std::vector<Flow> flows;
+  for (int ps = 0; ps < 2; ++ps) {
+    for (int i = 0; i < 2; ++i) {
+      flows.push_back({&clos.server(ps, 0, i), &clos.server(ps, 1, i)});
+      flows.push_back({&clos.server(ps, 1, i), &clos.server(ps, 0, i)});
+    }
+  }
+  for (Flow& f : flows) {
+    auto [qa, qb] = connect_qp_pair(*f.src, *f.dst, qp);
+    (void)qb;
+    f.qpn = qa;
+    demux_of(*f.src).on_completion(qa, [&f](const RdmaCompletion&) { ++f.completed; });
+  }
+
+  // Fault placement is derived from the flows' actual ECMP paths (traced
+  // with each QP's real sport), so the faults are guaranteed to bite no
+  // matter how the five-tuple hash spread the flows:
+  //   - blackhole: the pod-0 leaf DOWN direction carrying the most flows
+  //     (single-member route -> a cost-out is floor-vetoed forever);
+  //   - gray FCS:  that same leaf's first uplink (second bad direction on
+  //     one switch -> drain territory) plus the pod-1 ToR uplink carrying
+  //     the most flows (far-pod cost-out territory).
+  // Counts double as the victim census. Ties break on (name, port) so the
+  // choice is deterministic.
+  std::map<std::pair<std::string, int>, std::pair<Switch*, int>> down_hops, up_hops;
+  for (const Flow& f : flows) {
+    for (const TraceHop& h :
+         trace_route(clos.fabric(), *f.src, *f.dst, f.src->rdma().qp_sport(f.qpn))) {
+      for (int l = 0; l < params.leaves_per_podset; ++l) {
+        if (h.node == &clos.leaf(0, l) && h.port < params.tors_per_podset) {
+          auto& e = down_hops[{h.node->name(), h.port}];
+          e.first = &clos.leaf(0, l);
+          ++e.second;
+        }
+      }
+      for (int t = 0; t < params.tors_per_podset; ++t) {
+        if (h.node == &clos.tor(1, t) && h.port >= params.servers_per_tor) {
+          auto& e = up_hops[{h.node->name(), h.port}];
+          e.first = &clos.tor(1, t);
+          ++e.second;
+        }
+      }
+    }
+  }
+  auto busiest = [](const std::map<std::pair<std::string, int>, std::pair<Switch*, int>>& hops) {
+    const std::pair<const std::pair<std::string, int>, std::pair<Switch*, int>>* best = nullptr;
+    for (const auto& e : hops) {
+      if (best == nullptr || e.second.second > best->second.second) best = &e;
+    }
+    return best;
+  };
+  const auto* down_pick = busiest(down_hops);
+  const auto* up_pick = busiest(up_hops);
+  if (down_pick == nullptr || up_pick == nullptr) throw std::logic_error("no fault victims");
+  Switch& bad_leaf = *down_pick->second.first;
+  const int bad_down = down_pick->first.second;   // busiest pod-0 leaf down dir
+  const int bad_up = params.tors_per_podset + 0;  // that leaf's first uplink
+  Switch& gray_tor = *up_pick->second.first;
+  const int gray_up = up_pick->first.second;      // busiest pod-1 ToR uplink
+  const int blackhole_victims = down_pick->second.second;
+  const int gray_victims = up_pick->second.second;
+  std::function<void()> pump = [&] {
+    for (Flow& f : flows) {
+      if (f.src->rdma().qp_connected(f.qpn) && !f.src->rdma().qp_errored(f.qpn) &&
+          f.posted - f.completed < 4) {
+        f.src->rdma().post_send(f.qpn, kMsgBytes, 0);
+        ++f.posted;
+      }
+    }
+    sim.schedule_in(microseconds(16), pump);
+  };
+  sim.schedule_in(microseconds(10), pump);
+
+  // Monitoring plane, identical in every mode: pingmesh over all servers
+  // feeding the localizer, FCS counter watch, invariant auditor (with the
+  // blast-radius budget it audits independently of the manager).
+  std::vector<Host*> grid_hosts;
+  std::vector<RdmaDemux*> grid_demuxes;
+  for (const auto& h : clos.fabric().hosts()) {
+    grid_hosts.push_back(h.get());
+    grid_demuxes.push_back(&demux_of(*h));
+  }
+  PingmeshGrid::Options gopts;
+  gopts.probe.interval = microseconds(50);
+  gopts.probe.timeout = microseconds(400);
+  gopts.qp = make_qp_config(policy, /*realtime=*/true);
+  gopts.qp.retx_timeout = microseconds(150);
+  gopts.qp.retry_limit = 3;
+  PingmeshGrid grid(grid_hosts, grid_demuxes, gopts);
+  GrayFailureLocalizer localizer(clos.fabric());
+  grid.set_outcome_cb([&](int s, int d, bool ok, Time) {
+    localizer.observe(grid.host(s), grid.host(d), grid.probe_sport(s, d), grid.echo_sport(s, d),
+                      ok);
+  });
+  grid.start();
+
+  LinkHealthMonitor::Options hopts;
+  hopts.interval = milliseconds(1);
+  LinkHealthMonitor health(clos.fabric(), hopts);
+  health.start();
+
+  InvariantAuditor::Options aopts;
+  aopts.interval = microseconds(200);
+  aopts.registry = &sim.metrics();
+  aopts.blast_budget_bp = static_cast<std::int64_t>(blast_frac * 10000.0 + 0.5);
+  std::vector<Switch*> sw_ptrs;
+  for (const auto& s : clos.fabric().switches()) sw_ptrs.push_back(s.get());
+  std::vector<Host*> host_ptrs;
+  for (const auto& h : clos.fabric().hosts()) host_ptrs.push_back(h.get());
+  InvariantAuditor auditor(sim, sw_ptrs, host_ptrs, aopts);
+  auditor.start();
+
+  // The chaos soak: all four faults overlap, journalled with the
+  // mitigations so one journal reads fault -> decision end to end.
+  ChaosEngine chaos(clos.fabric(), /*seed=*/2016);
+  if (mode != Mode::kClean) {
+    // The blackhole goes in early: probe-loss share is cumulative, so a
+    // direction that accrued t_pre of successes needs ~9*t_pre of failures
+    // to cross a 0.9 score. At 1ms it confirms near 10ms — inside the
+    // settle window. The FCS faults are counter-visible immediately.
+    LinkImpairment bh;
+    bh.blackhole = true;
+    bh.seed = 21;
+    chaos.impair_link(bad_leaf, bad_down, bh, milliseconds(1));
+    LinkImpairment fcs;
+    fcs.fcs_drop_rate = 1.0;
+    fcs.seed = 22;
+    chaos.impair_link(bad_leaf, bad_up, fcs, milliseconds(1));
+    LinkImpairment fcs2;
+    fcs2.fcs_drop_rate = 1.0;
+    fcs2.seed = 23;
+    chaos.impair_link(gray_tor, gray_up, fcs2, milliseconds(2));
+    chaos.alpha_drift(clos.tor(1, 1), milliseconds(12), 1.0 / 64);
+    chaos.nic_storm(clos.server(1, 1, 1), milliseconds(14), milliseconds(20));
+  }
+
+  // The arm under test. Both control loops see the same evidence with the
+  // same thresholds; only the adjudication differs.
+  std::unique_ptr<SelfHealer> healer;
+  std::unique_ptr<IncidentManager> mgr;
+  if (mode == Mode::kSelfHeal) {
+    SelfHealConfig scfg;
+    scfg.scan_interval = microseconds(250);
+    scfg.score_threshold = 0.9;  // collateral upstream directions stay cold
+    scfg.min_probes = 3;
+    scfg.confirm_scans = 2;
+    scfg.probation = seconds(1);  // no restore inside this soak
+    scfg.max_concurrent = 4;
+    healer = std::make_unique<SelfHealer>(clos.fabric(), localizer, scfg);
+    healer->set_chaos(&chaos);
+    healer->start();
+  } else if (mode == Mode::kIncMgr) {
+    IncidentManagerConfig mcfg;
+    mcfg.scan_interval = microseconds(250);
+    mcfg.score_threshold = 0.9;
+    mcfg.min_probes = 3;
+    mcfg.confirm_scans = 2;
+    mcfg.drain_threshold = 2;
+    mcfg.probation = seconds(1);  // no restore inside this soak
+    mcfg.restore_cooldown = seconds(1);
+    mcfg.blast_budget_frac = blast_frac;
+    mgr = std::make_unique<IncidentManager>(clos.fabric(), localizer, mcfg);
+    mgr->set_chaos(&chaos);
+    mgr->set_link_health(&health);
+    mgr->set_auditor(&auditor);
+    mgr->set_golden_policy(policy, DeploymentStage::kFull);
+    mgr->start();
+  }
+
+  SlaMonitor sla(sim, "srv*/rdma/bytes_completed", milliseconds(1));
+  sla.start();
+  sim.run_until(duration);
+
+  Result r;
+  const std::size_t skip = static_cast<std::size_t>(window_at / milliseconds(1));
+  r.mean_gbps = sla.mean_gbps(skip);
+  r.min_gbps = sla.min_gbps(skip);
+  r.blackhole_victims = blackhole_victims;
+  r.gray_victims = gray_victims;
+  r.hard_violations = auditor.hard_violations();
+  r.drift_left = static_cast<std::int64_t>(
+      check_switch_configs(sw_ptrs, policy, DeploymentStage::kFull).size());
+  if (healer) {
+    r.cost_outs = healer->stats().cost_outs;
+    r.floor_vetoes = healer->stats().floor_vetoes;
+  }
+  if (mgr) {
+    r.cost_outs = mgr->stats().cost_outs;
+    r.drains = mgr->stats().drains;
+    r.rollbacks = mgr->stats().rollbacks;
+    r.sheds = mgr->stats().sheds;
+    r.floor_vetoes = mgr->stats().floor_vetoes;
+    r.pod0_costed_frac = mgr->pod_costed_frac(0);
+    for (const FleetMitigation& m : mgr->mitigations()) {
+      if (m.kind == MitigationKind::kSwitchDrain && m.target == bad_leaf.name()) {
+        r.drain_covers = std::max(r.drain_covers, m.covers.size());
+      }
+    }
+    for (const Incident& inc : mgr->incidents()) {
+      if (inc.kind == IncidentKind::kPauseStorm) r.storm_incident = true;
+    }
+  }
+  const std::string journal = chaos.journal_text();
+  r.drain_journalled = journal.find("switch_drain " + bad_leaf.name()) != std::string::npos;
+  r.rollback_journalled =
+      journal.find("config_rollback " + clos.tor(1, 1).name()) != std::string::npos;
+  r.journal_hash = chaos.journal_hash();
+  return r;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  exp::Scenario sc;
+  sc.name = "fig_incident_manager";
+  sc.title = "E19 — fleet incident manager: ranked mitigations under a mixed-fault soak";
+  sc.paper = "paper: §5-§6 run RDMA at scale with gray-failure localization, config\n"
+             "monitoring and staged mitigation; this composes them into one fleet\n"
+             "controller — drain > cost-out ranking, §6.2 drift rollback, and a\n"
+             "pod-level blast-radius budget, all journalled deterministically";
+  sc.knobs = {
+      exp::knob_int("duration_ms", 60, "ROCELAB_INCMGR_MS", "simulated time per arm"),
+      exp::knob_int("window_ms", 24, "", "SLA window start (post mitigation settle)"),
+      exp::knob_double("sla_floor_frac", 0.85, "", "SLA floor as a fraction of clean mean"),
+      exp::knob_double("blast_frac", 0.30, "", "per-pod blast-radius budget"),
+      exp::knob_string("expect_journal", "", "", "golden incmgr journal hash (hex, CI gate)"),
+  };
+  sc.body = [](exp::Context& ctx) {
+    const Time duration = milliseconds(ctx.knob_int("duration_ms"));
+    const Time window_at = milliseconds(ctx.knob_int("window_ms"));
+    const double floor_frac = ctx.knob_double("sla_floor_frac");
+    const double blast_frac = ctx.knob_double("blast_frac");
+
+    ctx.note("topology: 2 podsets x (2 leaves x 2 ToRs x 2 servers) + 4 spines; faults on");
+    ctx.note("traced flow paths: blackhole busiest pod-0 leaf down dir + gray its uplink");
+    ctx.note("(drain), gray busiest pod-1 ToR uplink (cost-out), alpha drift (rollback)");
+    ctx.table({"mode", "mean Gb/s", "min Gb/s", "cost-outs", "drains", "rollbacks", "drift left"},
+              {10, 11, 10, 11, 8, 11, 12});
+    Result res[4];
+    const Mode modes[4] = {Mode::kClean, Mode::kNone, Mode::kSelfHeal, Mode::kIncMgr};
+    for (int i = 0; i < 4; ++i) {
+      res[i] = run_case(modes[i], duration, window_at, blast_frac);
+      const Result& r = res[i];
+      const std::string name = mode_name(modes[i]);
+      ctx.row({name, exp::fmt("%.2f", r.mean_gbps), exp::fmt("%.2f", r.min_gbps),
+               std::to_string(r.cost_outs), std::to_string(r.drains),
+               std::to_string(r.rollbacks), std::to_string(r.drift_left)});
+      ctx.metric(name, "mean_goodput_gbps", r.mean_gbps);
+      ctx.metric(name, "min_goodput_gbps", r.min_gbps);
+      ctx.metric(name, "cost_outs", static_cast<double>(r.cost_outs));
+      ctx.metric(name, "drains", static_cast<double>(r.drains));
+      ctx.metric(name, "rollbacks", static_cast<double>(r.rollbacks));
+      ctx.metric(name, "sheds", static_cast<double>(r.sheds));
+      ctx.metric(name, "drift_left", static_cast<double>(r.drift_left));
+      ctx.metric(name, "hard_violations", static_cast<double>(r.hard_violations));
+    }
+    const Result& clean = res[0];
+    const Result& none = res[1];
+    const Result& heal = res[2];
+    const Result& mgr = res[3];
+    const double floor = floor_frac * clean.mean_gbps;
+    ctx.metric("incmgr", "sla_floor_gbps", floor);
+    ctx.metric("incmgr", "pod0_costed_frac", mgr.pod0_costed_frac);
+    ctx.note("SLA floor " + exp::fmt("%.2f", floor) + " Gb/s; incmgr pod0 costed frac " +
+             exp::fmt("%.3f", mgr.pod0_costed_frac) + " (budget " +
+             exp::fmt("%.2f", blast_frac) + ")");
+
+    ctx.check("faults actually bit paced flows",
+              clean.blackhole_victims > 0 && clean.gray_victims > 0);
+    ctx.check("no controller: fleet stays below the SLA floor", none.mean_gbps < floor);
+    ctx.check("selfheal alone: blackholed down direction floor-vetoed, fleet below floor",
+              heal.floor_vetoes > 0 && heal.mean_gbps < floor);
+    ctx.check("incident manager holds fleet goodput at the SLA floor",
+              mgr.min_gbps >= floor);
+    ctx.check("one ranked drain covers both bad-leaf directions",
+              mgr.drains >= 1 && mgr.drain_covers >= 2 && mgr.drain_journalled);
+    ctx.check("§6.2 drift detected and rolled back within the soak",
+              mgr.rollbacks >= 1 && mgr.rollback_journalled && mgr.drift_left == 0 &&
+                  none.drift_left > 0);
+    ctx.check("pause storm surfaced as an incident", mgr.storm_incident);
+    ctx.check("blast budget respected (auditor-verified)",
+              mgr.hard_violations == 0 && mgr.pod0_costed_frac <= blast_frac + 1e-9);
+
+    // Determinism: the same seed must reproduce the same decision sequence
+    // byte for byte.
+    const Result rerun = run_case(Mode::kIncMgr, duration, window_at, blast_frac);
+    ctx.check("incmgr chaos journal is byte-identical across reruns",
+              rerun.journal_hash == mgr.journal_hash);
+    char hash_buf[24];
+    std::snprintf(hash_buf, sizeof hash_buf, "%016llx",
+                  static_cast<unsigned long long>(mgr.journal_hash));
+    const std::string hash = hash_buf;
+    ctx.note("incmgr journal hash: " + hash);
+    ctx.metric("incmgr", "journal_hash_hi", static_cast<double>(mgr.journal_hash >> 32));
+    const std::string& expect = ctx.knob_string("expect_journal");
+    if (!expect.empty()) {
+      ctx.check("journal hash matches the CI golden value", hash == expect);
+    }
+  };
+  return exp::run_scenario(sc, argc, argv);
+}

@@ -3,6 +3,7 @@
 #include <sstream>
 
 #include "src/common/log.h"
+#include "src/monitor/metric_registry.h"
 
 namespace rocelab {
 
@@ -11,6 +12,7 @@ const char* to_string(InvariantAuditor::Kind kind) {
     case InvariantAuditor::Kind::kPfcDeadlock: return "pfc_deadlock";
     case InvariantAuditor::Kind::kByteConservation: return "byte_conservation";
     case InvariantAuditor::Kind::kPauseStorm: return "pause_storm";
+    case InvariantAuditor::Kind::kBlastRadius: return "blast_radius";
   }
   return "unknown";
 }
@@ -99,6 +101,25 @@ void InvariantAuditor::tick() {
       st.flagged = false;
     }
     st.last_pause_count = now_count;
+  }
+
+  // 4. Blast radius: no pod's costed-out capacity gauge may exceed the
+  //    budget. One violation per over-budget episode per gauge.
+  if (opts_.registry != nullptr && opts_.blast_budget_bp >= 0) {
+    for (std::uint32_t id : opts_.registry->select(opts_.blast_pattern)) {
+      const MetricRegistry::Entry& e = opts_.registry->entry(id);
+      bool& flagged = blast_flagged_[e.name];
+      if (*e.value > opts_.blast_budget_bp) {
+        if (!flagged) {
+          flagged = true;
+          std::ostringstream os;
+          os << *e.value << " bp > budget " << opts_.blast_budget_bp << " bp";
+          flag(Kind::kBlastRadius, e.name, os.str());
+        }
+      } else {
+        flagged = false;
+      }
+    }
   }
 
   sim_.schedule_in(opts_.interval, [this] { tick(); });

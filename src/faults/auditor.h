@@ -15,6 +15,11 @@
 //                        consecutive audit windows (§4.3's symptom). This is
 //                        a flag, not necessarily a bug: chaos soaks expect
 //                        it exactly while a NIC storm is injected.
+//   kBlastRadius       — a pod's costed-out capacity gauge exceeded the
+//                        configured budget. The incident manager enforces
+//                        the budget at decision time; this is the
+//                        independent check that no actor (manager bug,
+//                        bypassing control loop) ever blew past it.
 #pragma once
 
 #include <cstdint>
@@ -28,14 +33,22 @@
 
 namespace rocelab {
 
+class MetricRegistry;
+
 class InvariantAuditor {
  public:
-  enum class Kind { kPfcDeadlock, kByteConservation, kPauseStorm };
+  enum class Kind { kPfcDeadlock, kByteConservation, kPauseStorm, kBlastRadius };
 
   struct Options {
     Time interval = microseconds(200);
     /// Consecutive windows with host pause-frame emission before flagging.
     int storm_windows = 5;
+    /// Blast-radius check: every gauge matching `blast_pattern` in
+    /// `registry` must stay <= `blast_budget_bp` (basis points). Disabled
+    /// while `registry` is null or the budget is negative.
+    const MetricRegistry* registry = nullptr;
+    std::string blast_pattern = "fleet/*/costed_capacity_frac_bp";
+    std::int64_t blast_budget_bp = -1;
   };
 
   struct Violation {
@@ -54,9 +67,11 @@ class InvariantAuditor {
 
   [[nodiscard]] const std::vector<Violation>& violations() const { return violations_; }
   [[nodiscard]] std::int64_t count(Kind kind) const;
-  /// Deadlock + conservation — the "must be zero" set for any healthy run.
+  /// Deadlock + conservation + blast-radius — the "must be zero" set for
+  /// any healthy run (blast-radius only counts when configured).
   [[nodiscard]] std::int64_t hard_violations() const {
-    return count(Kind::kPfcDeadlock) + count(Kind::kByteConservation);
+    return count(Kind::kPfcDeadlock) + count(Kind::kByteConservation) +
+           count(Kind::kBlastRadius);
   }
   [[nodiscard]] std::int64_t checks_run() const { return checks_run_; }
 
@@ -79,6 +94,7 @@ class InvariantAuditor {
     bool flagged = false;  // one violation per storm episode
   };
   std::unordered_map<const Host*, StormState> storm_;
+  std::unordered_map<std::string, bool> blast_flagged_;  // one per over-budget episode
 };
 
 [[nodiscard]] const char* to_string(InvariantAuditor::Kind kind);

@@ -27,6 +27,10 @@ const char* to_string(FaultKind kind) {
     case FaultKind::kDropFilterClear: return "drop_filter_clear";
     case FaultKind::kEcmpCostOut: return "ecmp_cost_out";
     case FaultKind::kEcmpRestore: return "ecmp_restore";
+    case FaultKind::kSwitchDrain: return "switch_drain";
+    case FaultKind::kSwitchUndrain: return "switch_undrain";
+    case FaultKind::kConfigRollback: return "config_rollback";
+    case FaultKind::kMitigationShed: return "mitigation_shed";
   }
   return "unknown";
 }

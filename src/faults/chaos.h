@@ -36,6 +36,10 @@ enum class FaultKind {
   kDropFilterClear,
   kEcmpCostOut,      // self-healing plane: ECMP member weight -> 0
   kEcmpRestore,      // probation passed: weight -> 1
+  kSwitchDrain,      // incident manager: every ECMP membership of a switch -> 0
+  kSwitchUndrain,    // drain probation passed: memberships restored
+  kConfigRollback,   // drifted running config rolled back to the golden policy
+  kMitigationShed,   // blast-radius budget: lowest-ranked mitigation reverted
 };
 
 [[nodiscard]] const char* to_string(FaultKind kind);

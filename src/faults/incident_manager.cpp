@@ -1,0 +1,680 @@
+#include "src/faults/incident_manager.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+
+#include "src/common/log.h"
+#include "src/faults/auditor.h"
+#include "src/faults/chaos.h"
+#include "src/faults/failure_detector.h"
+#include "src/monitor/health.h"
+#include "src/monitor/metric_registry.h"
+#include "src/switch/sw.h"
+#include "src/topo/fabric.h"
+
+namespace rocelab {
+
+const char* to_string(IncidentKind kind) {
+  switch (kind) {
+    case IncidentKind::kGrayDirection: return "gray_direction";
+    case IncidentKind::kConfigDrift: return "config_drift";
+    case IncidentKind::kPauseStorm: return "pause_storm";
+  }
+  return "unknown";
+}
+
+const char* to_string(MitigationKind kind) {
+  switch (kind) {
+    case MitigationKind::kCostOut: return "cost_out";
+    case MitigationKind::kSwitchDrain: return "switch_drain";
+    case MitigationKind::kConfigRollback: return "config_rollback";
+  }
+  return "unknown";
+}
+
+IncidentManager::IncidentManager(Fabric& fabric, const GrayFailureLocalizer& localizer,
+                                 IncidentManagerConfig cfg)
+    : fabric_(fabric), localizer_(localizer), cfg_(cfg) {
+  MetricRegistry& reg = fabric_.sim().metrics();
+  reg.add(this, "incmgr/scans", &stats_.scans);
+  reg.add(this, "incmgr/incidents_opened", &stats_.incidents_opened);
+  reg.add(this, "incmgr/cost_outs", &stats_.cost_outs);
+  reg.add(this, "incmgr/drains", &stats_.drains);
+  reg.add(this, "incmgr/rollbacks", &stats_.rollbacks);
+  reg.add(this, "incmgr/restores", &stats_.restores);
+  reg.add(this, "incmgr/sheds", &stats_.sheds);
+  reg.add(this, "incmgr/floor_vetoes", &stats_.floor_vetoes);
+  reg.add(this, "incmgr/budget_vetoes", &stats_.budget_vetoes);
+  reg.add(this, "incmgr/active", &stats_.active, MetricKind::kGauge);
+  reg.add(this, "incmgr/open_incidents", &stats_.open_incidents, MetricKind::kGauge);
+  reg.add(this, "incmgr/detector_alarms", &stats_.detector_alarms, MetricKind::kGauge);
+  // One blast-radius gauge per pod present in the fabric (spine pool: -1).
+  for (const auto& swp : fabric_.switches()) pod_gauge_.emplace(pod_of(swp->name()), 0);
+  for (auto& [pod, value] : pod_gauge_) {
+    const std::string name = pod < 0
+                                 ? std::string("fleet/spine/costed_capacity_frac_bp")
+                                 : "fleet/pod" + std::to_string(pod) + "/costed_capacity_frac_bp";
+    reg.add(this, name, &value, MetricKind::kGauge);
+  }
+}
+
+IncidentManager::~IncidentManager() {
+  stop();
+  fabric_.sim().metrics().remove_owner(this);
+}
+
+void IncidentManager::set_golden_policy(QosPolicy policy, DeploymentStage stage) {
+  golden_ = policy;
+  golden_stage_ = stage;
+  have_golden_ = true;
+}
+
+void IncidentManager::start() {
+  if (running_) return;
+  running_ = true;
+  scan_ev_ = fabric_.sim().schedule_in(cfg_.scan_interval, [this] { tick(); });
+}
+
+void IncidentManager::stop() {
+  running_ = false;
+  if (scan_ev_ != kInvalidEventId) {
+    fabric_.sim().cancel(scan_ev_);
+    scan_ev_ = kInvalidEventId;
+  }
+}
+
+void IncidentManager::tick() {
+  scan_ev_ = kInvalidEventId;
+  if (!running_) return;
+  scan();
+  scan_ev_ = fabric_.sim().schedule_in(cfg_.scan_interval, [this] { tick(); });
+}
+
+int IncidentManager::pod_of(const std::string& name) {
+  const auto a = name.find('-');
+  if (a == std::string::npos) return -1;
+  if (name.compare(0, a, "spine") == 0) return -1;
+  const auto b = name.find('-', a + 1);
+  const std::string tok =
+      name.substr(a + 1, b == std::string::npos ? std::string::npos : b - a - 1);
+  if (tok.empty()) return -1;
+  for (const char c : tok) {
+    if (c < '0' || c > '9') return -1;
+  }
+  return std::atoi(tok.c_str());
+}
+
+bool IncidentManager::costed_out(const std::string& node, int port) const {
+  for (const auto& m : mitigations_) {
+    if (m.kind == MitigationKind::kCostOut && m.reverted_at < 0 && m.target == node &&
+        m.port == port) {
+      return true;
+    }
+  }
+  return false;
+}
+
+bool IncidentManager::switch_drained(const std::string& name) const {
+  for (const auto& m : mitigations_) {
+    if (m.kind == MitigationKind::kSwitchDrain && m.reverted_at < 0 && m.target == name) {
+      return true;
+    }
+  }
+  return false;
+}
+
+std::map<int, IncidentManager::PodCap> IncidentManager::capacity() const {
+  std::map<int, PodCap> cap;
+  for (const auto& swp : fabric_.switches()) {
+    const Switch* sw = swp.get();
+    PodCap& pc = cap[pod_of(sw->name())];
+    for (const int p : sw->ecmp_member_ports()) {
+      ++pc.total;
+      if (sw->port_weight(p) == 0) ++pc.costed;
+    }
+  }
+  return cap;
+}
+
+double IncidentManager::pod_costed_frac(int pod) const {
+  const auto cap = capacity();
+  const auto it = cap.find(pod);
+  if (it == cap.end() || it->second.total == 0) return 0.0;
+  return static_cast<double>(it->second.costed) / static_cast<double>(it->second.total);
+}
+
+void IncidentManager::update_gauges() {
+  const auto cap = capacity();
+  for (auto& [pod, value] : pod_gauge_) {
+    const auto it = cap.find(pod);
+    value = (it == cap.end() || it->second.total == 0)
+                ? 0
+                : it->second.costed * 10000 / it->second.total;
+  }
+  std::int64_t open = 0;
+  for (const auto& i : incidents_) {
+    if (i.resolved_at < 0) ++open;
+  }
+  stats_.open_incidents = open;
+  stats_.detector_alarms = detector_ != nullptr ? detector_->active_alarms() : 0;
+}
+
+std::size_t IncidentManager::open_incident(IncidentKind kind, const std::string& node, int port,
+                                           double score, std::string evidence, Time now) {
+  Incident inc;
+  inc.kind = kind;
+  inc.node = node;
+  inc.port = port;
+  inc.opened_at = now;
+  inc.score = score;
+  inc.evidence = std::move(evidence);
+  incidents_.push_back(std::move(inc));
+  ++stats_.incidents_opened;
+  ROCELAB_LOG_INFO("incmgr: incident %s %s port %d: %s", to_string(kind), node.c_str(), port,
+                   incidents_.back().evidence.c_str());
+  return incidents_.size() - 1;
+}
+
+void IncidentManager::adjudicate_dir(DirState& d) {
+  // Vetoed (floor or budget) or freshly restored: the incident stays on the
+  // books, but re-mitigation requires fresh evidence past what was already
+  // adjudicated, plus a full re-confirmation streak.
+  d.confirmed = false;
+  d.hot_streak = 0;
+  d.evidence_floor = d.evidence;
+}
+
+void IncidentManager::merge_evidence(Time now) {
+  struct Obs {
+    double score = 0.0;
+    std::int64_t evidence = 0;
+    std::string why;
+  };
+  std::map<DirKey, Obs> obs;
+  for (const auto& s : localizer_.rank(cfg_.min_probes)) {
+    Obs& o = obs[{s.node, s.port}];
+    o.score = s.score;
+    o.evidence = s.failed_probes + s.fcs_errors;
+    o.why = s.evidence;
+  }
+  if (health_ != nullptr) {
+    // §5.2 counter corroboration: a flagged direction is treated as surely
+    // bad even while probe evidence is still accumulating.
+    for (const auto& key : health_->flagged()) {
+      Obs& o = obs[key];
+      o.score = std::max(o.score, 1.0);
+      o.evidence += 1;
+      o.why += o.why.empty() ? "fcs-watch" : "+fcs-watch";
+    }
+  }
+
+  for (const auto& [key, o] : obs) {
+    DirState& d = dirs_[key];
+    d.score = o.score;
+    d.evidence = o.evidence;
+    if (d.mitigated || d.confirmed) continue;  // probation / adjudication owns it
+
+    const bool hot = o.score >= cfg_.score_threshold && o.evidence > d.evidence_floor;
+    if (!hot) {
+      d.hot_streak = 0;
+      continue;
+    }
+    if (++d.hot_streak < cfg_.confirm_scans) continue;
+    d.hot_streak = 0;
+
+    if (fabric_.switch_by_name(key.first) == nullptr) {
+      // Host-side direction: no ECMP group to steer — the CM / application
+      // layer owns that repair. Adjudicate so we do not re-score it.
+      d.evidence_floor = o.evidence;
+      continue;
+    }
+    d.confirmed = true;
+    if (d.incident == kNoIncident || incidents_[d.incident].resolved_at >= 0) {
+      d.incident = open_incident(IncidentKind::kGrayDirection, key.first, key.second, o.score,
+                                 o.why, now);
+    } else {
+      incidents_[d.incident].score = o.score;
+      incidents_[d.incident].evidence = o.why;
+    }
+  }
+}
+
+void IncidentManager::check_drift(Time now) {
+  std::vector<Switch*> sws;
+  sws.reserve(fabric_.switches().size());
+  for (const auto& swp : fabric_.switches()) sws.push_back(swp.get());
+  const std::vector<ConfigDrift> drifts = check_switch_configs(sws, golden_, golden_stage_);
+
+  // Resolve incidents whose field came back clean (the scan after a
+  // rollback lands here — detection to resolution within two scans).
+  for (auto it = drift_open_.begin(); it != drift_open_.end();) {
+    const std::string& key = it->first;
+    const bool still = std::any_of(drifts.begin(), drifts.end(), [&key](const ConfigDrift& d) {
+      return d.node + "|" + d.field == key;
+    });
+    if (!still) {
+      incidents_[it->second].resolved_at = now;
+      it = drift_open_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+
+  std::map<std::string, std::vector<const ConfigDrift*>> by_node;
+  for (const auto& d : drifts) by_node[d.node].push_back(&d);
+
+  for (const auto& [node, ds] : by_node) {
+    Switch* sw = fabric_.switch_by_name(node);
+    if (sw == nullptr) continue;
+    const SwitchConfig want = make_switch_config(golden_, tier_of(*sw), golden_stage_);
+    std::vector<std::size_t> fixed_incidents;
+    std::string fixed;
+    for (const ConfigDrift* d : ds) {
+      const std::string key = node + "|" + d->field;
+      if (drift_open_.find(key) == drift_open_.end()) {
+        drift_open_[key] = open_incident(IncidentKind::kConfigDrift, node, -1, 1.0,
+                                         d->field + " want " + d->expected + " got " + d->actual,
+                                         now);
+      }
+      // Roll back the fields with runtime setters; the rest (lossless
+      // classes, watchdog, classify mode) need a reboot-and-reconfigure
+      // and stay open for the operator.
+      bool ok = true;
+      if (d->field == "mmu.alpha") {
+        sw->set_buffer_alpha(want.mmu.alpha);
+      } else if (d->field.rfind("ecn[", 0) == 0) {
+        const int pg = std::atoi(d->field.c_str() + 4);
+        sw->set_ecn_config(pg, want.ecn[static_cast<std::size_t>(pg)]);
+      } else if (d->field == "arp_policy") {
+        sw->set_arp_policy(want.arp_policy);
+      } else {
+        ok = false;
+      }
+      if (ok) {
+        fixed += fixed.empty() ? d->field : "," + d->field;
+        fixed_incidents.push_back(drift_open_[key]);
+      }
+    }
+    if (fixed.empty()) continue;
+    for (const std::size_t idx : fixed_incidents) {
+      if (incidents_[idx].mitigated_at < 0) incidents_[idx].mitigated_at = now;
+    }
+    FleetMitigation m;
+    m.kind = MitigationKind::kConfigRollback;
+    m.target = node;
+    m.applied_at = now;
+    m.reverted_at = now;  // instantaneous: nothing to hold or restore
+    mitigations_.push_back(std::move(m));
+    mit_state_.emplace_back();
+    ++stats_.rollbacks;
+    ROCELAB_LOG_INFO("incmgr: rollback %s %s", node.c_str(), fixed.c_str());
+    if (chaos_ != nullptr) {
+      chaos_->record_mitigation(FaultKind::kConfigRollback, node, "restored " + fixed);
+    }
+  }
+}
+
+void IncidentManager::ingest_storms(Time now) {
+  const auto& vs = auditor_->violations();
+  for (; violations_seen_ < vs.size(); ++violations_seen_) {
+    const auto& v = vs[violations_seen_];
+    if (v.kind != InvariantAuditor::Kind::kPauseStorm) continue;
+    auto it = storm_open_.find(v.node);
+    if (it == storm_open_.end()) {
+      StormOpen so;
+      so.incident = open_incident(IncidentKind::kPauseStorm, v.node, -1, 1.0, v.detail, v.at);
+      so.last_flag = v.at;
+      storm_open_.emplace(v.node, so);
+    } else {
+      it->second.last_flag = v.at;
+    }
+  }
+  for (auto it = storm_open_.begin(); it != storm_open_.end();) {
+    if (now - it->second.last_flag >= cfg_.probation) {
+      incidents_[it->second.incident].resolved_at = now;
+      it = storm_open_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+std::vector<std::pair<Switch*, int>> IncidentManager::plan_members(const Candidate& c) const {
+  std::vector<std::pair<Switch*, int>> members;
+  Switch* target = fabric_.switch_by_name(c.target);
+  if (target == nullptr) return members;
+  if (c.kind == MitigationKind::kCostOut) {
+    if (target->port_weight(c.port) != 0 && target->ecmp_cost_out_safe(c.port)) {
+      members.emplace_back(target, c.port);
+    }
+    return members;
+  }
+  // Drain: the switch's ECMP memberships live in its neighbours' tables.
+  if (target->drained()) return members;
+  for (const auto& swp : fabric_.switches()) {
+    Switch* s = swp.get();
+    if (s == target) continue;
+    for (int p = 0; p < s->port_count(); ++p) {
+      if (s->port(p).peer() != target) continue;
+      if (s->port_weight(p) == 0) continue;
+      members.emplace_back(s, p);
+    }
+  }
+  return members;
+}
+
+void IncidentManager::shed(std::size_t index, const Candidate& beneficiary, Time now) {
+  FleetMitigation& m = mitigations_[index];
+  MitState& st = mit_state_[index];
+  if (m.kind == MitigationKind::kSwitchDrain) {
+    Switch* target = fabric_.switch_by_name(m.target);
+    if (target != nullptr) fabric_.undrain_switch(*target, st.members);
+  } else {
+    for (const auto& [s, p] : st.members) s->restore_port_weight(p);
+  }
+  m.reverted_at = now;
+  m.shed = true;
+  ++stats_.sheds;
+  --stats_.active;
+  for (const auto& key : m.covers) {
+    DirState& d = dirs_[key];
+    d.mitigated = false;
+    adjudicate_dir(d);  // incident stays open: the direction is still bad
+  }
+  const std::string cool_key =
+      m.kind == MitigationKind::kCostOut ? m.target + ":" + std::to_string(m.port) : m.target;
+  last_restore_[cool_key] = now;
+  char detail[160];
+  if (m.kind == MitigationKind::kCostOut) {
+    std::snprintf(detail, sizeof detail, "%s port %d rank %.3f for %s %s rank %.3f",
+                  to_string(m.kind), m.port, m.rank, to_string(beneficiary.kind),
+                  beneficiary.target.c_str(), beneficiary.rank);
+  } else {
+    std::snprintf(detail, sizeof detail, "%s rank %.3f for %s %s rank %.3f", to_string(m.kind),
+                  m.rank, to_string(beneficiary.kind), beneficiary.target.c_str(),
+                  beneficiary.rank);
+  }
+  ROCELAB_LOG_INFO("incmgr: shed %s %s", m.target.c_str(), detail);
+  if (chaos_ != nullptr) {
+    chaos_->record_mitigation(FaultKind::kMitigationShed, m.target, detail);
+  }
+}
+
+bool IncidentManager::try_apply(const Candidate& c, Time now) {
+  const std::int64_t budget_bp = std::llround(cfg_.blast_budget_frac * 10000.0);
+  std::vector<std::pair<Switch*, int>> members;
+  for (;;) {
+    members = plan_members(c);
+    if (members.empty()) {
+      ++stats_.floor_vetoes;
+      for (const auto& key : c.covers) {
+        if (!dirs_[key].mitigated) adjudicate_dir(dirs_[key]);
+      }
+      return false;
+    }
+    // Prospective per-pod blast radius. Only pods this mitigation adds to
+    // can block it (a pod someone else already blew past is the auditor's
+    // problem, not a reason to deadlock here).
+    auto cap = capacity();
+    std::map<int, std::int64_t> add;
+    for (const auto& [s, p] : members) ++add[pod_of(s->name())];
+    std::vector<int> over;
+    for (const auto& [pod, n] : add) {
+      const PodCap& pc = cap[pod];
+      if (pc.total > 0 && (pc.costed + n) * 10000 > budget_bp * pc.total) over.push_back(pod);
+    }
+    if (over.empty()) break;
+
+    // Shed the lowest-ranked active mitigation that frees capacity in an
+    // over-budget pod; veto if none ranks strictly below the candidate.
+    std::size_t victim = mitigations_.size();
+    for (std::size_t i = 0; i < mitigations_.size(); ++i) {
+      const FleetMitigation& m = mitigations_[i];
+      if (m.reverted_at >= 0 || m.kind == MitigationKind::kConfigRollback) continue;
+      if (m.rank >= c.rank) continue;
+      const bool frees = std::any_of(
+          mit_state_[i].members.begin(), mit_state_[i].members.end(),
+          [&over](const std::pair<Switch*, int>& mp) {
+            return std::find(over.begin(), over.end(), pod_of(mp.first->name())) != over.end();
+          });
+      if (!frees) continue;
+      if (victim == mitigations_.size() || m.rank < mitigations_[victim].rank) victim = i;
+    }
+    if (victim == mitigations_.size()) {
+      ++stats_.budget_vetoes;
+      for (const auto& key : c.covers) {
+        if (!dirs_[key].mitigated) adjudicate_dir(dirs_[key]);
+      }
+      ROCELAB_LOG_INFO("incmgr: budget veto %s %s rank %.3f", to_string(c.kind),
+                       c.target.c_str(), c.rank);
+      return false;
+    }
+    shed(victim, c, now);
+  }
+
+  FleetMitigation m;
+  m.kind = c.kind;
+  m.target = c.target;
+  m.port = c.port;
+  m.rank = c.rank;
+  m.applied_at = now;
+  m.covers = c.covers;
+  MitState st;
+
+  if (c.kind == MitigationKind::kCostOut) {
+    members.front().first->set_port_weight(c.port, 0);
+    st.members = members;
+    ++stats_.cost_outs;
+    char detail[96];
+    std::snprintf(detail, sizeof detail, "port %d score %.3f", c.port,
+                  dirs_[c.covers.front()].score);
+    ROCELAB_LOG_INFO("incmgr: cost out %s %s", c.target.c_str(), detail);
+    if (chaos_ != nullptr) chaos_->record_mitigation(FaultKind::kEcmpCostOut, c.target, detail);
+  } else {
+    Switch* target = fabric_.switch_by_name(c.target);
+    st.members = fabric_.drain_switch(*target);  // identical set to the plan
+    // Fold any active cost-outs on this switch into the drain: their
+    // zeroed weights transfer so the eventual undrain restores everything.
+    int absorbed = 0;
+    for (std::size_t i = 0; i < mitigations_.size(); ++i) {
+      FleetMitigation& prev = mitigations_[i];
+      if (prev.reverted_at >= 0 || prev.kind != MitigationKind::kCostOut) continue;
+      if (prev.target != c.target) continue;
+      prev.reverted_at = now;
+      prev.absorbed = true;
+      --stats_.active;
+      ++absorbed;
+      st.members.insert(st.members.end(), mit_state_[i].members.begin(),
+                        mit_state_[i].members.end());
+      mit_state_[i].members.clear();
+    }
+    ++stats_.drains;
+    char detail[128];
+    std::snprintf(detail, sizeof detail,
+                  "%d members covering %d directions rank %.3f absorbed %d",
+                  static_cast<int>(st.members.size()), static_cast<int>(c.covers.size()), c.rank,
+                  absorbed);
+    ROCELAB_LOG_INFO("incmgr: drain %s %s", c.target.c_str(), detail);
+    if (chaos_ != nullptr) chaos_->record_mitigation(FaultKind::kSwitchDrain, c.target, detail);
+  }
+
+  std::int64_t mark = 0;
+  for (const auto& key : c.covers) {
+    DirState& d = dirs_[key];
+    d.mitigated = true;
+    d.confirmed = true;
+    mark += d.evidence;
+    if (d.incident != kNoIncident && incidents_[d.incident].mitigated_at < 0) {
+      incidents_[d.incident].mitigated_at = now;
+    }
+  }
+  st.evidence_mark = mark;
+  st.clean_since = now;
+  for (const auto& [s, p] : st.members) m.members.emplace_back(s->name(), p);
+  mitigations_.push_back(std::move(m));
+  mit_state_.push_back(std::move(st));
+  ++stats_.active;
+  return true;
+}
+
+void IncidentManager::adjudicate(Time now) {
+  // Group confirmed directions by owning switch. Mitigated directions
+  // still count toward the drain threshold: a second bad direction
+  // confirming after a cost-out escalates the whole switch to a drain.
+  std::map<std::string, std::vector<DirKey>> by_switch;
+  for (const auto& [key, d] : dirs_) {
+    if (d.confirmed) by_switch[key.first].push_back(key);
+  }
+
+  std::vector<Candidate> cands;
+  for (const auto& [name, keys] : by_switch) {
+    Switch* sw = fabric_.switch_by_name(name);
+    if (sw == nullptr) continue;
+    if (sw->drained()) {
+      // New confirmations on a drained switch are already covered: fold
+      // them into the active drain's coverage.
+      for (std::size_t i = 0; i < mitigations_.size(); ++i) {
+        FleetMitigation& m = mitigations_[i];
+        if (m.kind != MitigationKind::kSwitchDrain || m.reverted_at >= 0 || m.target != name) {
+          continue;
+        }
+        for (const auto& key : keys) {
+          DirState& d = dirs_[key];
+          if (d.mitigated) continue;
+          d.mitigated = true;
+          m.covers.push_back(key);
+          mit_state_[i].evidence_mark += d.evidence;
+          if (d.incident != kNoIncident && incidents_[d.incident].mitigated_at < 0) {
+            incidents_[d.incident].mitigated_at = now;
+          }
+        }
+      }
+      continue;
+    }
+    if (static_cast<int>(keys.size()) >= cfg_.drain_threshold) {
+      Candidate c;
+      c.kind = MitigationKind::kSwitchDrain;
+      c.target = name;
+      c.covers = keys;
+      for (const auto& key : keys) c.rank += dirs_.at(key).score;
+      cands.push_back(std::move(c));
+    } else {
+      for (const auto& key : keys) {
+        const DirState& d = dirs_.at(key);
+        if (d.mitigated) continue;
+        Candidate c;
+        c.kind = MitigationKind::kCostOut;
+        c.target = name;
+        c.port = key.second;
+        c.rank = d.score;
+        c.covers = {key};
+        cands.push_back(std::move(c));
+      }
+    }
+  }
+
+  std::sort(cands.begin(), cands.end(), [](const Candidate& a, const Candidate& b) {
+    if (a.rank != b.rank) return a.rank > b.rank;
+    if (a.covers.size() != b.covers.size()) return a.covers.size() > b.covers.size();
+    if (a.target != b.target) return a.target < b.target;
+    return a.port < b.port;
+  });
+  for (const Candidate& c : cands) {
+    // A drain candidate whose covers are all mitigated and target not yet
+    // drained still applies (escalation); cost-outs were filtered above.
+    try_apply(c, now);
+  }
+}
+
+void IncidentManager::probation_pass(Time now) {
+  for (std::size_t i = 0; i < mitigations_.size(); ++i) {
+    FleetMitigation& m = mitigations_[i];
+    if (m.reverted_at >= 0 || m.kind == MitigationKind::kConfigRollback) continue;
+    MitState& st = mit_state_[i];
+    std::int64_t ev = 0;
+    for (const auto& key : m.covers) ev += dirs_[key].evidence;
+    if (ev > st.evidence_mark) {
+      st.evidence_mark = ev;
+      st.clean_since = now;
+    }
+    if (now - st.clean_since < cfg_.probation) continue;
+    const std::string cool_key =
+        m.kind == MitigationKind::kCostOut ? m.target + ":" + std::to_string(m.port) : m.target;
+    const auto lr = last_restore_.find(cool_key);
+    if (lr != last_restore_.end() && now - lr->second < cfg_.restore_cooldown) continue;
+
+    if (m.kind == MitigationKind::kSwitchDrain) {
+      Switch* target = fabric_.switch_by_name(m.target);
+      if (target != nullptr) fabric_.undrain_switch(*target, st.members);
+      ROCELAB_LOG_INFO("incmgr: undrain %s", m.target.c_str());
+      if (chaos_ != nullptr) {
+        chaos_->record_mitigation(FaultKind::kSwitchUndrain, m.target,
+                                  "restored " + std::to_string(st.members.size()) + " members");
+      }
+    } else {
+      for (const auto& [s, p] : st.members) s->restore_port_weight(p);
+      ROCELAB_LOG_INFO("incmgr: restore %s port %d", m.target.c_str(), m.port);
+      if (chaos_ != nullptr) {
+        chaos_->record_mitigation(FaultKind::kEcmpRestore, m.target,
+                                  "port " + std::to_string(m.port));
+      }
+    }
+    m.reverted_at = now;
+    last_restore_[cool_key] = now;
+    ++stats_.restores;
+    --stats_.active;
+    for (const auto& key : m.covers) {
+      DirState& d = dirs_[key];
+      d.mitigated = false;
+      adjudicate_dir(d);
+      if (d.incident != kNoIncident && incidents_[d.incident].resolved_at < 0) {
+        incidents_[d.incident].resolved_at = now;  // optimistic: probation was clean
+      }
+      d.incident = kNoIncident;
+    }
+  }
+}
+
+void IncidentManager::scan() {
+  ++stats_.scans;
+  const Time now = fabric_.sim().now();
+  merge_evidence(now);
+  if (have_golden_ && cfg_.rollback_config) check_drift(now);
+  if (auditor_ != nullptr) ingest_storms(now);
+  adjudicate(now);
+  probation_pass(now);
+  update_gauges();
+}
+
+std::string IncidentManager::report() const {
+  std::ostringstream os;
+  os << "incidents (" << incidents_.size() << "):\n";
+  for (std::size_t i = 0; i < incidents_.size(); ++i) {
+    const Incident& inc = incidents_[i];
+    os << "  [" << i << "] " << to_string(inc.kind) << ' ' << inc.node;
+    if (inc.port >= 0) os << ':' << inc.port;
+    os << " opened " << inc.opened_at;
+    os << " mitigated " << (inc.mitigated_at < 0 ? std::string("-") : std::to_string(inc.mitigated_at));
+    os << " resolved " << (inc.resolved_at < 0 ? std::string("-") : std::to_string(inc.resolved_at));
+    os << " score " << inc.score << ' ' << inc.evidence << '\n';
+  }
+  os << "mitigations (" << mitigations_.size() << "):\n";
+  for (std::size_t i = 0; i < mitigations_.size(); ++i) {
+    const FleetMitigation& m = mitigations_[i];
+    os << "  [" << i << "] " << to_string(m.kind) << ' ' << m.target;
+    if (m.port >= 0) os << ':' << m.port;
+    os << " rank " << m.rank << " applied " << m.applied_at;
+    if (m.reverted_at >= 0) {
+      os << (m.shed ? " shed " : m.absorbed ? " absorbed " : " reverted ") << m.reverted_at;
+    } else {
+      os << " active (" << m.members.size() << " members)";
+    }
+    os << '\n';
+  }
+  return os.str();
+}
+
+}  // namespace rocelab

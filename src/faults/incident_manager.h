@@ -1,0 +1,268 @@
+// IncidentManager: the fleet-level operations controller (§6's incident
+// practice as a control loop). Where the SelfHealer adjudicates one
+// direction at a time, the incident manager consumes every evidence stream
+// the repo produces — GrayFailureLocalizer rankings, LinkHealthMonitor FCS
+// flags, FailureDetector alarms, InvariantAuditor pause-storm violations,
+// and §5.1 config drift against a declared golden QosPolicy — into one
+// incident table, then *ranks mitigations across concurrent incidents*:
+//
+//   config rollback  — free: re-applying the golden α/ECN/ARP settings
+//                      costs no capacity, so drift is always fixed first
+//                      (the §6.2 Fig. 10 incident end-to-end);
+//   switch drain     — when one switch owns >= drain_threshold confirmed-
+//                      bad directions, zero-weight its ECMP memberships in
+//                      its *neighbours'* tables (Fabric::drain_switch)
+//                      instead of issuing that many per-port cost-outs.
+//                      Rank = sum of covered direction scores, so a drain
+//                      covering two confirmed directions outranks any
+//                      single cost-out. A drain also fixes directions a
+//                      cost-out cannot touch (single-member down-routes
+//                      floor-veto forever);
+//   port cost-out    — the SelfHealer's per-direction mitigation, ranked
+//                      by the direction's localizer score.
+//
+// Blast-radius budget: the manager never zero-weights more than
+// `blast_budget_frac` of any pod's ECMP member capacity. Before applying a
+// mitigation it simulates the prospective per-pod costed fraction; when
+// over budget it sheds the lowest-ranked active mitigation that frees
+// capacity in an over-budget pod (journalled kMitigationShed), and vetoes
+// the new mitigation if no strictly lower-ranked victim exists. The live
+// per-pod fraction is exported as `fleet/<pod>/costed_capacity_frac_bp`
+// gauges (basis points) which the InvariantAuditor's kBlastRadius check
+// audits independently.
+//
+// Determinism: zero randomness; every map is keyed by names, candidates
+// sort under an explicit comparator, and scans fire on the simulator
+// clock, so the mitigation sequence — and the ChaosEngine journal it
+// writes (kEcmpCostOut/kEcmpRestore/kSwitchDrain/kSwitchUndrain/
+// kConfigRollback/kMitigationShed) — is a pure function of the run.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "src/faults/localizer.h"
+#include "src/rocev2/deployment.h"
+
+namespace rocelab {
+
+class ChaosEngine;
+class FailureDetector;
+class InvariantAuditor;
+class LinkHealthMonitor;
+
+enum class IncidentKind {
+  kGrayDirection,  // confirmed bad (node, port) direction
+  kConfigDrift,    // running config field diverged from the golden policy
+  kPauseStorm,     // auditor flagged sustained host pause emission
+};
+
+enum class MitigationKind {
+  kCostOut,         // zero-weight one port on the owning switch
+  kSwitchDrain,     // zero-weight every neighbour port facing the switch
+  kConfigRollback,  // re-apply golden config fields (no capacity cost)
+};
+
+[[nodiscard]] const char* to_string(IncidentKind kind);
+[[nodiscard]] const char* to_string(MitigationKind kind);
+
+struct IncidentManagerConfig {
+  Time scan_interval = milliseconds(1);
+  /// Localizer score a direction needs for a scan to count as "hot".
+  double score_threshold = 0.5;
+  /// Passed to GrayFailureLocalizer::rank().
+  int min_probes = 5;
+  /// Consecutive hot scans (each with new evidence) before a direction is
+  /// a confirmed incident.
+  int confirm_scans = 2;
+  /// A switch owning >= this many confirmed-bad directions is drained
+  /// whole instead of costed out per direction.
+  int drain_threshold = 2;
+  /// Evidence-free time before an applied mitigation is rolled back.
+  Time probation = milliseconds(20);
+  /// Minimum sim-time between restore attempts on one mitigation target
+  /// (bounds the flap period when a restore proves premature).
+  Time restore_cooldown = milliseconds(60);
+  /// Blast-radius budget: max fraction of any pod's ECMP member capacity
+  /// at weight zero. Spine-tier members pool under one "pod".
+  double blast_budget_frac = 0.25;
+  /// Detect and roll back config drift against the golden policy (needs
+  /// set_golden_policy).
+  bool rollback_config = true;
+};
+
+struct Incident {
+  IncidentKind kind{};
+  std::string node;
+  int port = -1;  // -1 for whole-node incidents (drift, storms)
+  Time opened_at = 0;
+  Time mitigated_at = -1;  // -1 until a mitigation covers it
+  Time resolved_at = -1;   // -1 while open
+  double score = 0.0;
+  std::string evidence;  // "probe-loss", "fcs-counter", "mmu.alpha ...", ...
+};
+
+/// One applied mitigation. `members` lists every (switch, port) weight the
+/// mitigation zeroed — a drain owns its whole neighbour set so the
+/// eventual undrain (or shed) restores everything atomically.
+struct FleetMitigation {
+  MitigationKind kind{};
+  std::string target;
+  int port = -1;  // kCostOut only
+  double rank = 0.0;
+  Time applied_at = -1;
+  Time reverted_at = -1;  // -1 while active
+  bool shed = false;      // reverted by the blast budget, not probation
+  bool absorbed = false;  // folded into a later drain of the same switch
+  std::vector<std::pair<std::string, int>> covers;   // directions covered
+  std::vector<std::pair<std::string, int>> members;  // weights zeroed
+};
+
+struct IncidentManagerStats {
+  std::int64_t scans = 0;
+  std::int64_t incidents_opened = 0;
+  std::int64_t cost_outs = 0;
+  std::int64_t drains = 0;
+  std::int64_t rollbacks = 0;
+  std::int64_t restores = 0;
+  std::int64_t sheds = 0;
+  std::int64_t floor_vetoes = 0;   // last-member / nothing-to-zero refusals
+  std::int64_t budget_vetoes = 0;  // blast budget refused, nothing to shed
+  std::int64_t active = 0;         // gauge: active capacity mitigations
+  std::int64_t open_incidents = 0;       // gauge
+  std::int64_t detector_alarms = 0;      // gauge: FailureDetector corroboration
+};
+
+class IncidentManager {
+ public:
+  IncidentManager(Fabric& fabric, const GrayFailureLocalizer& localizer,
+                  IncidentManagerConfig cfg = {});
+  ~IncidentManager();
+  IncidentManager(const IncidentManager&) = delete;
+  IncidentManager& operator=(const IncidentManager&) = delete;
+
+  /// Attach a journal: every decision is recorded as a fault-plane event so
+  /// replays of a chaos run stay byte-identical.
+  void set_chaos(ChaosEngine* chaos) { chaos_ = chaos; }
+  /// Counter-driven FCS corroboration (§5.2): flagged directions score 1.0
+  /// even before probe evidence accumulates.
+  void set_link_health(const LinkHealthMonitor* health) { health_ = health; }
+  /// End-to-end corroboration: exported as the incmgr/detector_alarms gauge.
+  void set_failure_detector(const FailureDetector* det) { detector_ = det; }
+  /// Pause-storm violations become kPauseStorm incidents (visibility; the
+  /// NIC watchdog owns the repair).
+  void set_auditor(const InvariantAuditor* auditor) { auditor_ = auditor; }
+  /// Declare desired state: enables §5.1 drift detection + §6.2 rollback.
+  void set_golden_policy(QosPolicy policy, DeploymentStage stage = DeploymentStage::kFull);
+
+  void start();
+  void stop();
+  /// Run one scan synchronously (tests drive the loop by hand).
+  void scan_now() { scan(); }
+
+  [[nodiscard]] const IncidentManagerStats& stats() const { return stats_; }
+  [[nodiscard]] const std::vector<Incident>& incidents() const { return incidents_; }
+  [[nodiscard]] const std::vector<FleetMitigation>& mitigations() const { return mitigations_; }
+  [[nodiscard]] const IncidentManagerConfig& config() const { return cfg_; }
+  /// Is this exact direction held out by an active cost-out?
+  [[nodiscard]] bool costed_out(const std::string& node, int port) const;
+  /// Is this switch held in drain by an active drain mitigation?
+  [[nodiscard]] bool switch_drained(const std::string& name) const;
+  /// Current costed fraction of a pod's ECMP member capacity (pod -1 =
+  /// spine pool); counts weight-zero members from any actor.
+  [[nodiscard]] double pod_costed_frac(int pod) const;
+  /// Human-readable incident + mitigation table.
+  [[nodiscard]] std::string report() const;
+
+  /// Pod of a ClosFabric node name: "tor-1-0" -> 1, "leaf-0-1" -> 0,
+  /// "spine-2" (and anything unparsable) -> -1.
+  [[nodiscard]] static int pod_of(const std::string& name);
+
+ private:
+  // Keyed by (node name, port) like the localizer: deterministic iteration
+  // order makes the whole decision sequence byte-stable.
+  using DirKey = std::pair<std::string, int>;
+
+  struct DirState {
+    int hot_streak = 0;
+    bool confirmed = false;  // passed hysteresis; incident open
+    bool mitigated = false;  // covered by an active mitigation
+    double score = 0.0;      // latest merged score
+    std::int64_t evidence = 0;        // latest merged tally
+    std::int64_t evidence_floor = 0;  // tally already adjudicated
+    std::size_t incident = kNoIncident;
+  };
+
+  struct Candidate {
+    MitigationKind kind{};
+    std::string target;
+    int port = -1;
+    double rank = 0.0;
+    std::vector<DirKey> covers;
+  };
+
+  struct MitState {  // internal bookkeeping parallel to mitigations_
+    std::vector<std::pair<Switch*, int>> members;
+    std::int64_t evidence_mark = 0;
+    Time clean_since = -1;
+  };
+
+  struct PodCap {
+    std::int64_t total = 0;
+    std::int64_t costed = 0;
+  };
+
+  static constexpr std::size_t kNoIncident = static_cast<std::size_t>(-1);
+
+  void tick();
+  void scan();
+  void merge_evidence(Time now);
+  void check_drift(Time now);
+  void ingest_storms(Time now);
+  void adjudicate(Time now);
+  bool try_apply(const Candidate& c, Time now);
+  void shed(std::size_t index, const Candidate& beneficiary, Time now);
+  void probation_pass(Time now);
+  void update_gauges();
+  std::size_t open_incident(IncidentKind kind, const std::string& node, int port, double score,
+                            std::string evidence, Time now);
+  void adjudicate_dir(DirState& d);  // veto bookkeeping: re-confirm needs growth
+  [[nodiscard]] std::map<int, PodCap> capacity() const;
+  [[nodiscard]] std::vector<std::pair<Switch*, int>> plan_members(const Candidate& c) const;
+
+  Fabric& fabric_;
+  const GrayFailureLocalizer& localizer_;
+  IncidentManagerConfig cfg_;
+  ChaosEngine* chaos_ = nullptr;
+  const LinkHealthMonitor* health_ = nullptr;
+  const FailureDetector* detector_ = nullptr;
+  const InvariantAuditor* auditor_ = nullptr;
+  bool have_golden_ = false;
+  QosPolicy golden_{};
+  DeploymentStage golden_stage_ = DeploymentStage::kFull;
+  bool running_ = false;
+  EventId scan_ev_ = kInvalidEventId;
+
+  std::map<DirKey, DirState> dirs_;
+  std::vector<Incident> incidents_;
+  std::vector<FleetMitigation> mitigations_;
+  std::vector<MitState> mit_state_;  // parallel to mitigations_
+  std::map<std::string, Time> last_restore_;  // per target(:port) cooldown clock
+  std::map<std::string, std::size_t> drift_open_;  // "node|field" -> incident
+  struct StormOpen {
+    std::size_t incident = 0;
+    Time last_flag = 0;
+  };
+  std::map<std::string, StormOpen> storm_open_;
+  std::size_t violations_seen_ = 0;
+  IncidentManagerStats stats_;
+  // Per-pod costed-capacity gauges in basis points, registered as
+  // fleet/pod<k>/costed_capacity_frac_bp (spine pool: fleet/spine/...).
+  // std::map keeps value addresses stable for the registry.
+  std::map<int, std::int64_t> pod_gauge_;
+};
+
+}  // namespace rocelab

@@ -125,12 +125,16 @@ void SelfHealer::scan() {
     if (chaos_) chaos_->record_mitigation(FaultKind::kEcmpCostOut, s.node, detail);
   }
 
-  // Phase 2: restore pass — probation served with no new evidence.
+  // Phase 2: restore pass — probation served with no new evidence, AND the
+  // per-direction restore cooldown served since the last restore attempt
+  // (a restore that proved premature must not retry every probation).
   for (auto& [key, d] : dirs_) {
     if (!d.out || now - d.clean_since < cfg_.probation) continue;
+    if (d.last_restore_at >= 0 && now - d.last_restore_at < cfg_.restore_cooldown) continue;
     Switch* sw = fabric_.switch_by_name(key.first);
     if (sw != nullptr) sw->restore_port_weight(key.second);
     d.out = false;
+    d.last_restore_at = now;
     d.hot_streak = 0;
     d.evidence_floor = d.evidence_mark;
     history_[d.episode].restored_at = now;

@@ -1,4 +1,9 @@
-// SelfHealer: the first control loop that writes back to the data plane.
+// SelfHealer: the first control loop that writes back to the data plane —
+// now the *per-direction* baseline of the ops plane. The fleet-level
+// IncidentManager (src/faults/incident_manager.h) consumes the same
+// localizer evidence but adjudicates across concurrent incidents (switch
+// drains, config rollback, blast-radius budget); run one or the other, not
+// both, against a fabric.
 // It closes the ROADMAP's detect->mitigate gap: the GrayFailureLocalizer
 // (§6-style incident localization) ranks suspect directed links, and when a
 // (node, port) direction holds enough evidence for long enough, the healer
@@ -48,6 +53,12 @@ struct SelfHealConfig {
   int confirm_scans = 2;
   /// Evidence-free time costed out before the weight is restored.
   Time probation = milliseconds(20);
+  /// Minimum sim-time between restore attempts on one direction. A costed-
+  /// out direction carries no probes, so a still-active impairment looks
+  /// clean and the probation alone would restore + re-cost it every
+  /// `probation` — this bounds the flap period from below after the first
+  /// restore proves premature.
+  Time restore_cooldown = milliseconds(60);
   /// Fabric-wide cap on simultaneous cost-outs.
   int max_concurrent = 4;
 };
@@ -100,6 +111,7 @@ class SelfHealer {
     int hot_streak = 0;
     bool out = false;
     Time clean_since = -1;            // last time new evidence arrived while out
+    Time last_restore_at = -1;        // restore-cooldown clock (-1: never restored)
     std::int64_t evidence_mark = 0;   // tally (failed + fcs) at cost-out / last growth
     std::int64_t evidence_floor = 0;  // tally already adjudicated (restored or vetoed)
     std::size_t episode = 0;          // index into history_ while out

@@ -109,4 +109,9 @@ std::size_t MetricSelection::count() const {
   return ids_.size();
 }
 
+double MetricSelection::sum_rate(const MetricSample& from, const MetricSample& to) {
+  if (to.at <= from.at) return 0.0;
+  return static_cast<double>(to.value - from.value) / to_seconds(to.at - from.at);
+}
+
 }  // namespace rocelab

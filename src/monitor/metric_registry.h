@@ -24,6 +24,8 @@
 #include <unordered_map>
 #include <vector>
 
+#include "src/common/units.h"
+
 namespace rocelab {
 
 enum class MetricKind : std::uint8_t {
@@ -84,6 +86,13 @@ class MetricRegistry {
   std::uint64_t version_ = 0;
 };
 
+/// A timestamped reading of a selection's sum — the unit of fleet rollup
+/// delta math (goodput over a window = sum_rate between two samples).
+struct MetricSample {
+  Time at = 0;
+  std::int64_t value = 0;
+};
+
 /// A pattern selection that caches its matching entry ids and re-resolves
 /// only when the registry changes — monitors tick every few microseconds
 /// of simulated time and must not re-scan every name each tick.
@@ -95,6 +104,15 @@ class MetricSelection {
   [[nodiscard]] std::int64_t sum() const;
   [[nodiscard]] std::size_t count() const;
   [[nodiscard]] const std::string& pattern() const { return pattern_; }
+
+  /// Timestamped sum() — pair two of these with sum_rate() for fleet
+  /// rollups. The selection revalidates against the registry version, so a
+  /// sample taken after a topology change covers the new entries too.
+  [[nodiscard]] MetricSample sample(Time now) const { return MetricSample{now, sum()}; }
+  /// Counter units per second of simulated time between two samples of the
+  /// same selection (0 when no time elapsed). The SLA-floor rollup:
+  ///   rate = sum_rate(before, after) * 8 / 1e9  // bytes -> Gb/s
+  [[nodiscard]] static double sum_rate(const MetricSample& from, const MetricSample& to);
 
  private:
   void refresh() const;

@@ -1,5 +1,7 @@
 #include "src/monitor/monitor.h"
 
+#include <algorithm>
+#include <limits>
 #include <stdexcept>
 
 namespace rocelab {
@@ -145,5 +147,33 @@ double ThroughputMonitor::mean_gbps(std::size_t skip_first) const {
 std::int64_t ThroughputMonitor::total_bytes() const { return sum_bytes() - origin_bytes_; }
 
 void ThroughputMonitor::reset_origin() { origin_bytes_ = sum_bytes(); }
+
+void SlaMonitor::start() {
+  running_ = true;
+  sim_.cancel(ev_);
+  last_ = sel_.sample(sim_.now());
+  ev_ = sim_.schedule_in(interval_, [this] { tick(); });
+}
+
+void SlaMonitor::tick() {
+  if (!running_) return;
+  const MetricSample now = sel_.sample(sim_.now());
+  series_.emplace_back(now.at, MetricSelection::sum_rate(last_, now) * 8.0 / 1e9);
+  last_ = now;
+  ev_ = sim_.schedule_in(interval_, [this] { tick(); });
+}
+
+double SlaMonitor::min_gbps(std::size_t skip) const {
+  double lo = std::numeric_limits<double>::infinity();
+  for (std::size_t i = skip; i < series_.size(); ++i) lo = std::min(lo, series_[i].second);
+  return lo;
+}
+
+double SlaMonitor::mean_gbps(std::size_t skip) const {
+  if (series_.size() <= skip) return 0.0;
+  double sum = 0;
+  for (std::size_t i = skip; i < series_.size(); ++i) sum += series_[i].second;
+  return sum / static_cast<double>(series_.size() - skip);
+}
 
 }  // namespace rocelab

@@ -147,6 +147,52 @@ class RegistrySampler {
   std::vector<Channel> channels_;  // ordered: deterministic iteration
 };
 
+/// Fleet SLA rollup: samples a registry selection (e.g.
+/// "srv*/rdma/bytes_completed") every interval via MetricSelection::
+/// sum_rate and keeps the resulting goodput-vs-time series in Gb/s — the
+/// fleet-level view an incident manager's SLA floor is judged against.
+/// Selection revalidation means hosts added after start() are rolled up
+/// from their first full interval.
+class SlaMonitor {
+ public:
+  SlaMonitor(Simulator& sim, std::string pattern, Time interval)
+      : sim_(sim), sel_(sim.metrics(), std::move(pattern)), interval_(interval) {}
+  ~SlaMonitor() { sim_.cancel(ev_); }
+  SlaMonitor(const SlaMonitor&) = delete;
+  SlaMonitor& operator=(const SlaMonitor&) = delete;
+
+  void start();
+  void stop() {
+    running_ = false;
+    sim_.cancel(ev_);
+    ev_ = kInvalidEventId;
+  }
+
+  /// Per-interval goodput (Gb/s), one entry per completed interval.
+  [[nodiscard]] const std::vector<std::pair<Time, double>>& gbps_series() const {
+    return series_;
+  }
+  /// Lowest per-interval goodput after skipping the first `skip` intervals
+  /// (warmup); +inf when nothing was sampled yet.
+  [[nodiscard]] double min_gbps(std::size_t skip = 0) const;
+  [[nodiscard]] double mean_gbps(std::size_t skip = 0) const;
+  /// True iff every post-warmup interval held at or above `floor_gbps`.
+  [[nodiscard]] bool held_floor(double floor_gbps, std::size_t skip = 0) const {
+    return min_gbps(skip) >= floor_gbps;
+  }
+
+ private:
+  void tick();
+
+  Simulator& sim_;
+  MetricSelection sel_;
+  Time interval_;
+  bool running_ = false;
+  EventId ev_ = kInvalidEventId;
+  MetricSample last_{};
+  std::vector<std::pair<Time, double>> series_;
+};
+
 /// Aggregate RDMA receive throughput across hosts per interval
 /// (frames/second and bits/second, as Fig. 7(b) plots).
 class ThroughputMonitor {

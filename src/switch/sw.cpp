@@ -163,6 +163,17 @@ void Switch::set_port_weight(int port_index, int weight) {
   bump_ecmp_epoch();
 }
 
+std::vector<int> Switch::ecmp_member_ports() const {
+  std::vector<int> members;
+  for (const auto& r : routes_) {
+    for (int p : r.ports) {
+      if (std::find(members.begin(), members.end(), p) == members.end()) members.push_back(p);
+    }
+  }
+  std::sort(members.begin(), members.end());
+  return members;
+}
+
 bool Switch::ecmp_cost_out_safe(int port_index) const {
   bool in_any_group = false;
   for (const auto& r : routes_) {

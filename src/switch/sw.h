@@ -71,6 +71,17 @@ class Switch : public Node {
   [[nodiscard]] std::uint64_t ecmp_epoch() const { return ecmp_epoch_; }
   [[nodiscard]] std::int64_t ecmp_weight_changes() const { return ecmp_weight_changes_; }
   [[nodiscard]] std::int64_t flow_cache_hits() const { return flow_cache_hits_; }
+  /// Distinct ports appearing in any ECMP route group, sorted ascending —
+  /// the denominator of the blast-radius budget (a pod's "uplink capacity"
+  /// is its switches' ECMP member ports; a member at weight 0 is costed).
+  [[nodiscard]] std::vector<int> ecmp_member_ports() const;
+  /// Drain flag (§5/§6 ops plane): a drained switch has had its ECMP
+  /// memberships zero-weighted fleet-wide (those weights live in its
+  /// *neighbors'* tables — Fabric::drain_switch walks the wiring). The flag
+  /// itself changes no forwarding; it marks the switch for dumps/metrics
+  /// and keeps drain/undrain idempotent.
+  void set_drained(bool v) { drained_ = v; }
+  [[nodiscard]] bool drained() const { return drained_; }
   /// Locally attached subnet, delivered via ARP + MAC table.
   void add_local_subnet(Ipv4Prefix prefix);
   ArpTable& arp_table() { return arp_; }
@@ -205,6 +216,7 @@ class Switch : public Node {
   std::uint64_t ecmp_seed_;
   mutable std::uint64_t spray_counter_ = 0;
   std::vector<int> port_weights_;  // per port, default 1
+  bool drained_ = false;
   std::uint64_t ecmp_epoch_ = 0;
   std::int64_t ecmp_weight_changes_ = 0;
   mutable std::unordered_map<std::uint64_t, FlowCacheEntry> flow_cache_;

@@ -51,6 +51,28 @@ void Fabric::reinstall_host_entries(Switch& sw) {
   }
 }
 
+std::vector<std::pair<Switch*, int>> Fabric::drain_switch(Switch& target) {
+  std::vector<std::pair<Switch*, int>> zeroed;
+  if (target.drained()) return zeroed;
+  for (const auto& swp : switches_) {
+    Switch* s = swp.get();
+    if (s == &target) continue;
+    for (int p = 0; p < s->port_count(); ++p) {
+      if (s->port(p).peer() != &target) continue;
+      if (s->port_weight(p) == 0) continue;  // someone else already costed it out
+      s->set_port_weight(p, 0);
+      zeroed.emplace_back(s, p);
+    }
+  }
+  target.set_drained(true);
+  return zeroed;
+}
+
+void Fabric::undrain_switch(Switch& target, const std::vector<std::pair<Switch*, int>>& members) {
+  for (const auto& [s, p] : members) s->restore_port_weight(p);
+  target.set_drained(false);
+}
+
 Host* Fabric::host_by_name(const std::string& name) const {
   auto it = hosts_by_name_.find(name);
   return it == hosts_by_name_.end() ? nullptr : it->second;

@@ -6,6 +6,7 @@
 #include <memory>
 #include <string>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "src/nic/host.h"
@@ -45,6 +46,21 @@ class Fabric {
   /// Re-install the ARP + MAC entries of every host attached to `sw`, as
   /// the management plane would after the switch reboots with empty tables.
   void reinstall_host_entries(Switch& sw);
+
+  /// Drain `target` (§5/§6 ops mitigation, one action instead of N
+  /// cost-outs): a switch's ECMP memberships live in its *neighbors'*
+  /// tables, so draining zero-weights every neighbor port wired to it —
+  /// each through that neighbor's epoch-versioned weighted tables, so
+  /// memoized flows re-hash immediately. Groups whose only member faces the
+  /// target fall back to plain ECMP (the data-plane capacity floor), so
+  /// last-resort reachability — e.g. a leaf's single down-route to a ToR —
+  /// survives a drain. Returns the (switch, port) memberships actually
+  /// zeroed, in deterministic fabric order; pass that list to
+  /// undrain_switch so weights someone else already zeroed (a concurrent
+  /// cost-out) are not resurrected. Idempotent: draining a drained switch
+  /// returns empty.
+  std::vector<std::pair<Switch*, int>> drain_switch(Switch& target);
+  void undrain_switch(Switch& target, const std::vector<std::pair<Switch*, int>>& members);
 
   [[nodiscard]] const std::vector<std::unique_ptr<Host>>& hosts() const { return hosts_; }
   [[nodiscard]] const std::vector<std::unique_ptr<Switch>>& switches() const { return switches_; }

@@ -251,6 +251,68 @@ TEST(SelfHealerLoop, RestoresAfterCleanProbation) {
   EXPECT_EQ(healer.stats().cost_outs, outs) << "stale evidence re-triggered after restore";
 }
 
+// A costed-out direction carries no probes, so a still-broken link looks
+// clean after every probation — without a cooldown the healer restores and
+// re-costs it every probation period. The cooldown must bound the flap
+// period from below after the first restore proves premature.
+TEST(SelfHealerLoop, RestoreCooldownBoundsFlapping) {
+  HealerRig rig;
+  ASSERT_GE(rig.target_port, 0);
+  SelfHealConfig cfg;
+  cfg.score_threshold = 0.6;
+  cfg.min_probes = 1;
+  cfg.confirm_scans = 2;
+  cfg.probation = milliseconds(2);
+  cfg.restore_cooldown = milliseconds(20);
+  SelfHealer healer(rig.clos.fabric(), rig.localizer, cfg);
+  Simulator& sim = rig.clos.sim();
+
+  // Episode 1: confirm, cost out, serve probation, restore. (The failed
+  // probe condemns every direction on both traced paths, so counters are
+  // tracked as "per episode" snapshots, not absolute ones.)
+  rig.observe(false);
+  healer.scan_now();
+  rig.observe(false);
+  healer.scan_now();
+  ASSERT_TRUE(healer.costed_out("tor-0-0", rig.target_port));
+  sim.run_until(sim.now() + milliseconds(3));
+  healer.scan_now();
+  ASSERT_FALSE(healer.costed_out("tor-0-0", rig.target_port));
+  const std::int64_t ep1_restores = healer.stats().restores;
+  ASSERT_GE(ep1_restores, 1);
+  const Time first_restore = sim.now();
+
+  // The impairment is still there: fresh failures re-confirm immediately.
+  rig.observe(false);
+  healer.scan_now();
+  rig.observe(false);
+  healer.scan_now();
+  ASSERT_TRUE(healer.costed_out("tor-0-0", rig.target_port));
+
+  // Probation is served again, but the cooldown since the first restore is
+  // not — every re-costed direction must stay out.
+  sim.run_until(first_restore + milliseconds(5));
+  healer.scan_now();
+  EXPECT_TRUE(healer.costed_out("tor-0-0", rig.target_port))
+      << "restored inside the cooldown: unbounded flapping";
+  EXPECT_EQ(healer.stats().restores, ep1_restores);
+
+  // Past the cooldown the restore goes through, and the target direction's
+  // two restore stamps are at least a cooldown apart.
+  sim.run_until(first_restore + milliseconds(21));
+  healer.scan_now();
+  EXPECT_FALSE(healer.costed_out("tor-0-0", rig.target_port));
+  EXPECT_EQ(healer.stats().restores, 2 * ep1_restores);
+  std::vector<Time> target_restores;
+  for (const Mitigation& m : healer.history()) {
+    if (m.node == "tor-0-0" && m.port == rig.target_port) {
+      target_restores.push_back(m.restored_at);
+    }
+  }
+  ASSERT_EQ(target_restores.size(), 2u);
+  EXPECT_GE(target_restores[1] - target_restores[0], cfg.restore_cooldown);
+}
+
 TEST(SelfHealerLoop, JournalsMitigationsDeterministically) {
   auto run_once = [] {
     HealerRig rig;

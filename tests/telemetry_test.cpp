@@ -75,6 +75,46 @@ TEST(MetricRegistry, SelectionCachesAndRevalidates) {
   EXPECT_EQ(sel.sum(), 0);
 }
 
+TEST(MetricSelection, SumRateBetweenSamples) {
+  MetricRegistry reg;
+  int owner = 0;
+  std::int64_t a = 0;
+  reg.add(&owner, "n0/x", &a);
+  MetricSelection sel(reg, "n*/x");
+  const MetricSample s0 = sel.sample(0);
+  a = 1000;
+  const MetricSample s1 = sel.sample(milliseconds(1));
+  // 1000 counter units over 1 ms of simulated time.
+  EXPECT_DOUBLE_EQ(MetricSelection::sum_rate(s0, s1), 1000.0 / 1e-3);
+  // No elapsed time (or samples out of order): rate is defined as zero.
+  EXPECT_DOUBLE_EQ(MetricSelection::sum_rate(s1, s1), 0.0);
+  EXPECT_DOUBLE_EQ(MetricSelection::sum_rate(s1, s0), 0.0);
+}
+
+TEST(MetricSelection, SampleRevalidatesAgainstRegistryVersion) {
+  MetricRegistry reg;
+  int owner = 0;
+  int late_owner = 0;
+  std::int64_t a = 5;
+  reg.add(&owner, "n0/x", &a);
+  MetricSelection sel(reg, "n*/x");
+  const MetricSample s0 = sel.sample(0);
+  EXPECT_EQ(s0.value, 5);
+
+  // A matching metric registered AFTER the first sample (topology change)
+  // must be covered by the next one — the cached id list revalidates
+  // against the registry version instead of going stale.
+  std::int64_t b = 7;
+  reg.add(&late_owner, "n1/x", &b);
+  const MetricSample s1 = sel.sample(milliseconds(1));
+  EXPECT_EQ(s1.value, 12);
+  EXPECT_DOUBLE_EQ(MetricSelection::sum_rate(s0, s1), 7.0 / 1e-3);
+
+  // And removals shrink the next sample the same way.
+  reg.remove_owner(&late_owner);
+  EXPECT_EQ(sel.sample(milliseconds(2)).value, 5);
+}
+
 TEST(MetricRegistry, ComponentsRegisterAtConstruction) {
   StarTopology topo(2);
   const MetricRegistry& reg = topo.sim().metrics();

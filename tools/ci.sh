@@ -64,6 +64,23 @@ assert doc["cases"], "no cases emitted"
 assert all(c["pass"] for c in doc["checks"]), doc["checks"]
 print("BENCH json OK:", sys.argv[1])
 PY
+# fig_incident_manager: the fleet incident manager must hold goodput at
+# the SLA floor under the mixed-fault soak (ranked drain, §6.2 drift
+# rollback, blast budget), and its seeded chaos journal must replay to the
+# golden hash — mitigation timestamps are scan times, so the hash is
+# stable across build flavours.
+"$repo/build/bench/fig_incident_manager" \
+  --expect_journal=65ff4bc6f1753ecf \
+  --json "$repo/BENCH_fig_incident_manager.json"
+python3 - "$repo/BENCH_fig_incident_manager.json" <<'PY'
+import json, sys
+doc = json.load(open(sys.argv[1]))
+assert doc["schema_version"] == 1, doc.get("schema_version")
+assert doc["bench"] == "fig_incident_manager"
+assert doc["cases"], "no cases emitted"
+assert all(c["pass"] for c in doc["checks"]), doc["checks"]
+print("BENCH json OK:", sys.argv[1])
+PY
 
 echo "=== sanitizer build (ASan+UBSan) ==="
 run_suite "$repo/build-asan" -DROCELAB_SANITIZE=ON
