@@ -91,6 +91,7 @@ int main(int argc, char** argv) {
     QosPolicy policy;
     ClosParams params = make_clos_params(policy, DeploymentStage::kFull, 2, leaves, tor_pairs,
                                          servers_per_tor, spines);
+    params.shards = ctx.shards();
     ClosFabric clos(params);
 
     exp::TrafficSet traffic;

@@ -37,7 +37,9 @@
 #include <functional>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <string>
+#include <tuple>
 #include <utility>
 #include <vector>
 
@@ -96,7 +98,7 @@ struct Result {
 
 constexpr std::int64_t kMsgBytes = 16 * kKiB;
 
-Result run_case(Mode mode, Time duration, Time window_at, double blast_frac) {
+Result run_case(Mode mode, Time duration, Time window_at, double blast_frac, int shards) {
   // Two podsets x (2 leaves x 2 ToRs x 2 servers) + 4 spines: every leaf
   // down-route is single-member (the structural reason drains exist) and
   // every up-route has two members (cost-outs are floor-safe).
@@ -104,6 +106,7 @@ Result run_case(Mode mode, Time duration, Time window_at, double blast_frac) {
   policy.max_cable_m = 20.0;
   ClosParams params = make_clos_params(policy, DeploymentStage::kFull, /*podsets=*/2,
                                        /*leaves=*/2, /*tors=*/2, /*servers=*/2, /*spines=*/4);
+  params.shards = shards;
   ClosFabric clos(params);
   Simulator& sim = clos.sim();
 
@@ -199,9 +202,12 @@ Result run_case(Mode mode, Time duration, Time window_at, double blast_frac) {
         ++f.posted;
       }
     }
-    sim.schedule_in(microseconds(16), pump);
+    clos.fabric().control_sim().schedule_in(microseconds(16), pump);
   };
-  sim.schedule_in(microseconds(10), pump);
+  // The pump posts work on hosts of every pod, so in sharded runs it must
+  // fire on the control lane (all shards quiesced); at one shard the
+  // control lane aliases the data lane, so the schedule is unchanged.
+  clos.fabric().control_sim().schedule_in(microseconds(10), pump);
 
   // Monitoring plane, identical in every mode: pingmesh over all servers
   // feeding the localizer, FCS counter watch, invariant auditor (with the
@@ -220,10 +226,52 @@ Result run_case(Mode mode, Time duration, Time window_at, double blast_frac) {
   gopts.qp.retry_limit = 3;
   PingmeshGrid grid(grid_hosts, grid_demuxes, gopts);
   GrayFailureLocalizer localizer(clos.fabric());
-  grid.set_outcome_cb([&](int s, int d, bool ok, Time) {
-    localizer.observe(grid.host(s), grid.host(d), grid.probe_sport(s, d), grid.echo_sport(s, d),
-                      ok);
-  });
+  // Probe outcomes fire on each prober's shard. At one shard they feed the
+  // localizer directly (keeping the golden journal byte-identical); in
+  // sharded runs concurrent callbacks may not touch the shared localizer,
+  // so they append to a per-pair-sequenced log that a control-lane tick
+  // folds in deterministic (time, prober, target, seq) order.
+  struct Obs {
+    Time at;
+    int s, d;
+    bool ok;
+    std::int64_t seq;
+  };
+  std::mutex obs_mu;
+  std::vector<Obs> obs_log;
+  std::vector<std::int64_t> pair_seq(grid_hosts.size() * grid_hosts.size(), 0);
+  std::function<void()> drain_obs;
+  if (clos.fabric().shard_count() > 1) {
+    const std::size_t n = grid_hosts.size();
+    grid.set_outcome_cb([&, n](int s, int d, bool ok, Time t) {
+      std::lock_guard<std::mutex> lk(obs_mu);
+      obs_log.push_back(
+          {t, s, d, ok, pair_seq[static_cast<std::size_t>(s) * n + static_cast<std::size_t>(d)]++});
+    });
+    drain_obs = [&] {
+      std::vector<Obs> batch;
+      {
+        std::lock_guard<std::mutex> lk(obs_mu);
+        batch.swap(obs_log);
+      }
+      std::sort(batch.begin(), batch.end(), [](const Obs& a, const Obs& b) {
+        return std::tie(a.at, a.s, a.d, a.seq) < std::tie(b.at, b.s, b.d, b.seq);
+      });
+      for (const Obs& o : batch) {
+        localizer.observe(grid.host(o.s), grid.host(o.d), grid.probe_sport(o.s, o.d),
+                          grid.echo_sport(o.s, o.d), o.ok);
+      }
+      clos.fabric().control_sim().schedule_in(microseconds(250), drain_obs);
+    };
+    // Registered before the control loops start, so at equal control-lane
+    // timestamps every drain runs before the scan that consumes it.
+    clos.fabric().control_sim().schedule_in(microseconds(250), drain_obs);
+  } else {
+    grid.set_outcome_cb([&](int s, int d, bool ok, Time) {
+      localizer.observe(grid.host(s), grid.host(d), grid.probe_sport(s, d), grid.echo_sport(s, d),
+                        ok);
+    });
+  }
   grid.start();
 
   LinkHealthMonitor::Options hopts;
@@ -239,7 +287,7 @@ Result run_case(Mode mode, Time duration, Time window_at, double blast_frac) {
   for (const auto& s : clos.fabric().switches()) sw_ptrs.push_back(s.get());
   std::vector<Host*> host_ptrs;
   for (const auto& h : clos.fabric().hosts()) host_ptrs.push_back(h.get());
-  InvariantAuditor auditor(sim, sw_ptrs, host_ptrs, aopts);
+  InvariantAuditor auditor(clos.fabric().control_sim(), sw_ptrs, host_ptrs, aopts);
   auditor.start();
 
   // The chaos soak: all four faults overlap, journalled with the
@@ -299,7 +347,7 @@ Result run_case(Mode mode, Time duration, Time window_at, double blast_frac) {
     mgr->start();
   }
 
-  SlaMonitor sla(sim, "srv*/rdma/bytes_completed", milliseconds(1));
+  SlaMonitor sla(clos.fabric().control_sim(), "srv*/rdma/bytes_completed", milliseconds(1));
   sla.start();
   sim.run_until(duration);
 
@@ -371,7 +419,7 @@ int main(int argc, char** argv) {
     Result res[4];
     const Mode modes[4] = {Mode::kClean, Mode::kNone, Mode::kSelfHeal, Mode::kIncMgr};
     for (int i = 0; i < 4; ++i) {
-      res[i] = run_case(modes[i], duration, window_at, blast_frac);
+      res[i] = run_case(modes[i], duration, window_at, blast_frac, ctx.shards());
       const Result& r = res[i];
       const std::string name = mode_name(modes[i]);
       ctx.row({name, exp::fmt("%.2f", r.mean_gbps), exp::fmt("%.2f", r.min_gbps),
@@ -415,7 +463,7 @@ int main(int argc, char** argv) {
 
     // Determinism: the same seed must reproduce the same decision sequence
     // byte for byte.
-    const Result rerun = run_case(Mode::kIncMgr, duration, window_at, blast_frac);
+    const Result rerun = run_case(Mode::kIncMgr, duration, window_at, blast_frac, ctx.shards());
     ctx.check("incmgr chaos journal is byte-identical across reruns",
               rerun.journal_hash == mgr.journal_hash);
     char hash_buf[24];

@@ -32,6 +32,7 @@ int main(int argc, char** argv) {
     policy.nic_watchdog = false;  // the incident predates the watchdogs
     policy.switch_watchdog = false;
     ClosParams params = make_clos_params(policy, DeploymentStage::kFull, 2, 2, 2, 4, 4);
+    params.shards = ctx.shards();
     ClosFabric clos(params);
     auto& sim = clos.sim();
 
@@ -77,7 +78,7 @@ int main(int argc, char** argv) {
     const Time bucket = milliseconds(ctx.knob_int("bucket_ms"));
     std::vector<Node*> host_nodes;
     for (Host* h : hosts) host_nodes.push_back(h);
-    PauseMonitor pauses(sim, host_nodes, bucket);
+    PauseMonitor pauses(clos.fabric().control_sim(), host_nodes, bucket);
     pauses.start();
 
     // Availability per bucket: fraction of probes that came back.
@@ -98,9 +99,9 @@ int main(int argc, char** argv) {
         last_fail[i] = failed;
       }
       avail.push_back(st);
-      sim.schedule_in(bucket, sample_avail);
+      clos.fabric().control_sim().schedule_in(bucket, sample_avail);
     };
-    sim.schedule_in(bucket, sample_avail);
+    clos.fabric().control_sim().schedule_in(bucket, sample_avail);
 
     // Timeline: storm starts in bucket 3, server power-cycled at bucket 12.
     sim.schedule_at(3 * bucket, [&] { victim.set_storm_mode(true); });

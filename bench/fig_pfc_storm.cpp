@@ -31,13 +31,14 @@ struct Result {
   std::int64_t switch_watchdog_trips = 0;
 };
 
-Result run_case(bool watchdogs) {
+Result run_case(bool watchdogs, int shards) {
   QosPolicy policy;
   policy.nic_watchdog = watchdogs;
   policy.switch_watchdog = watchdogs;
   ClosParams params = make_clos_params(policy, DeploymentStage::kFull,
                                        /*podsets=*/2, /*leaves=*/2, /*tors=*/2,
                                        /*servers=*/4, /*spines=*/4);
+  params.shards = shards;
   ClosFabric clos(params);
   auto& sim = clos.sim();
 
@@ -78,7 +79,7 @@ Result run_case(bool watchdogs) {
   }
   for (auto* s : clos.fabric().switch_ptrs()) all_nodes.push_back(s);
 
-  ThroughputMonitor tput(sim, all_hosts, milliseconds(5));
+  ThroughputMonitor tput(clos.fabric().control_sim(), all_hosts, milliseconds(5));
   tput.start();
 
   auto goodput_over = [&](Time from, Time to) {
@@ -140,8 +141,8 @@ int main(int argc, char** argv) {
   sc.paper = "paper: one malfunctioning NIC pauses the entire network (steps 1-6 of\n"
              "Fig. 5); NIC + switch watchdogs confine the damage";
   sc.body = [](exp::Context& ctx) {
-    const Result off = run_case(/*watchdogs=*/false);
-    const Result on = run_case(/*watchdogs=*/true);
+    const Result off = run_case(/*watchdogs=*/false, ctx.shards());
+    const Result on = run_case(/*watchdogs=*/true, ctx.shards());
 
     ctx.table({"metric", "no watchdogs", "watchdogs on"}, {30, 16, 16});
     ctx.row({"goodput before storm (Gb/s)", exp::fmt("%.1f", off.goodput_before_gbps),

@@ -5,15 +5,21 @@
 
 #include <atomic>
 #include <cstdlib>
+#include <functional>
+#include <memory>
 #include <new>
 
+#include "src/exp/harness.h"
 #include "src/common/rng.h"
 #include "src/common/stats.h"
 #include "src/net/codec.h"
 #include "src/nic/dcqcn.h"
 #include "src/nic/mtt.h"
+#include "src/rocev2/deployment.h"
+#include "src/sim/shard_group.h"
 #include "src/sim/simulator.h"
 #include "src/switch/mmu.h"
+#include "src/topo/clos.h"
 
 // Global allocation counter so the event-queue benchmark can report heap
 // allocations per event — the perf gate's "zero per-event allocations on the
@@ -184,6 +190,68 @@ void BM_Crc32_1KiB(benchmark::State& state) {
   state.SetBytesProcessed(state.iterations() * 1024);
 }
 BENCHMARK(BM_Crc32_1KiB);
+
+void BM_ShardWindowSync(benchmark::State& state) {
+  // Pure conservative-window overhead: a 2-shard group whose only events
+  // are self-rescheduling 1us ticks, with a 500ns lookahead boundary. Every
+  // window executes ~one event per shard, so ns/window ~= the cost of one
+  // horizon computation + dispatch + barrier + (empty) channel drain round.
+  ShardGroup group(2);
+  group.note_boundary(0, 1, nanoseconds(500));
+  group.note_boundary(1, 0, nanoseconds(500));
+  for (int s = 0; s < 2; ++s) {
+    Simulator& sim = group.shard(s);
+    auto tick = std::make_shared<std::function<void()>>();
+    *tick = [&sim, tick] { sim.schedule_in(microseconds(1), *tick); };
+    sim.schedule_in(microseconds(1), *tick);
+  }
+  Time horizon = 0;
+  const std::int64_t w0 = group.windows();
+  for (auto _ : state) {
+    horizon += microseconds(100);
+    group.run_until(horizon);
+  }
+  const std::int64_t windows = group.windows() - w0;
+  state.SetItemsProcessed(windows);
+  if (windows > 0) {
+    state.counters["events_per_window"] = benchmark::Counter(
+        static_cast<double>(group.executed_events()) / static_cast<double>(windows));
+  }
+}
+BENCHMARK(BM_ShardWindowSync)->MeasureProcessCPUTime()->UseRealTime();
+
+void BM_CrossShardChannelHandoff(benchmark::State& state) {
+  // The full cross-shard packet path on a minimal 2-podset Clos split into
+  // 2 shards: one RDMA stream per direction crosses the leaf-spine
+  // boundary, so every data/ACK frame on those cables takes the channel
+  // (enqueue at try_send, merge-sort at the barrier, re-heap at the
+  // destination). items = cross-shard messages merged.
+  QosPolicy policy;
+  ClosParams params = make_clos_params(policy, DeploymentStage::kFull, /*podsets=*/2,
+                                       /*leaves=*/1, /*tors=*/1, /*servers=*/1, /*spines=*/1);
+  params.shards = 2;
+  ClosFabric clos(params);
+  rocelab::exp::TrafficSet traffic;
+  traffic.add_streams(clos.server(0, 0, 0), clos.server(1, 0, 0), make_qp_config(policy),
+                      RdmaStreamSource::Options{.message_bytes = 32 * kKiB, .max_outstanding = 2});
+  traffic.add_streams(clos.server(1, 0, 0), clos.server(0, 0, 0), make_qp_config(policy),
+                      RdmaStreamSource::Options{.message_bytes = 32 * kKiB, .max_outstanding = 2});
+  ShardGroup& group = clos.fabric().group();
+  Time horizon = microseconds(200);
+  group.run_until(horizon);  // warm up: QPs connected, pools at capacity
+  const std::int64_t x0 = group.cross_messages();
+  const std::uint64_t e0 = group.executed_events();
+  for (auto _ : state) {
+    horizon += microseconds(200);
+    group.run_until(horizon);
+  }
+  const std::int64_t crossed = group.cross_messages() - x0;
+  const std::uint64_t events = group.executed_events() - e0;
+  state.SetItemsProcessed(crossed);
+  state.counters["sim_events"] =
+      benchmark::Counter(static_cast<double>(events), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_CrossShardChannelHandoff)->MeasureProcessCPUTime()->UseRealTime();
 
 void BM_PercentileP99(benchmark::State& state) {
   PercentileSampler sampler;

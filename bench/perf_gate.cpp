@@ -58,16 +58,21 @@ double cpu_seconds() {
   return tv(ru.ru_utime) + tv(ru.ru_stime);
 }
 
-/// The fixed workload: a 3-tier Clos (2 podsets x 2 leaves x 3 ToRs x 4
+/// The fixed workload: a 3-tier Clos (`podsets` x 2 leaves x 3 ToRs x 4
 /// servers, 4 spines) carrying saturating cross-podset streams, an RDMA
 /// pingmesh, and a small incast — the three traffic shapes every experiment
-/// in the paper is built from.
-GateResult run_workload(Time window, bool gray_noop = false) {
+/// in the paper is built from. At the default podsets=2 / shards=1 this is
+/// byte-identical to the historical workload behind the pinned digest;
+/// podsets pair up (m <-> m + podsets/2) so every stream stays cross-podset
+/// at any size, and `shards` turns on the pod-partitioned PDES core.
+GateResult run_workload(Time window, int shards = 1, int podsets = 2, bool gray_noop = false) {
   QosPolicy policy;
   const int tors = 3, servers = 4;
+  const int half = podsets / 2;
   ClosParams params =
-      make_clos_params(policy, DeploymentStage::kFull, /*podsets=*/2, /*leaves=*/2, tors,
+      make_clos_params(policy, DeploymentStage::kFull, podsets, /*leaves=*/2, tors,
                        servers, /*spines=*/4);
+  params.shards = shards;
   ClosFabric clos(params);
 
   if (gray_noop) {
@@ -102,36 +107,42 @@ GateResult run_workload(Time window, bool gray_noop = false) {
     return *demuxes.back();
   };
 
-  // Saturating streams: every server pairs with its mirror in the other
-  // podset, both directions, 2 QPs each.
+  // Saturating streams: every server pairs with its mirror in the paired
+  // podset (m <-> m + half), both directions, 2 QPs each. At podsets=2 this
+  // loop nest (m=0 only) is exactly the historical 0<->1 pairing, in the
+  // same construction order.
   for (int t = 0; t < tors; ++t) {
     for (int s = 0; s < servers; ++s) {
-      for (int dir = 0; dir < 2; ++dir) {
-        Host& src = clos.server(dir, t, s);
-        Host& dst = clos.server(1 - dir, t, s);
-        RdmaDemux& demux = demux_for(src);
-        for (int q = 0; q < 2; ++q) {
-          auto [qa, qb] = connect_qp_pair(src, dst, make_qp_config(policy));
-          (void)qb;
-          sources.push_back(std::make_unique<RdmaStreamSource>(
-              src, demux, qa,
-              RdmaStreamSource::Options{.message_bytes = 32 * kKiB, .max_outstanding = 2}));
-          sources.back()->start();
+      for (int m = 0; m < half; ++m) {
+        for (int dir = 0; dir < 2; ++dir) {
+          Host& src = clos.server(dir == 0 ? m : m + half, t, s);
+          Host& dst = clos.server(dir == 0 ? m + half : m, t, s);
+          RdmaDemux& demux = demux_for(src);
+          for (int q = 0; q < 2; ++q) {
+            auto [qa, qb] = connect_qp_pair(src, dst, make_qp_config(policy));
+            (void)qb;
+            sources.push_back(std::make_unique<RdmaStreamSource>(
+                src, demux, qa,
+                RdmaStreamSource::Options{.message_bytes = 32 * kKiB, .max_outstanding = 2}));
+            sources.back()->start();
+          }
         }
       }
     }
   }
 
-  // Pingmesh: server (0,0,0) probes server (1,t,0) of every remote ToR on
-  // the real-time class.
+  // Pingmesh: server (0,0,0) probes server (ps,t,0) of every remote podset's
+  // ToRs on the real-time class.
   Host& prober = clos.server(0, 0, 0);
   RdmaDemux& prober_demux = demux_for(prober);
   std::vector<std::uint32_t> probe_qpns;
-  for (int t = 0; t < tors; ++t) {
-    auto [qa, qb] = connect_qp_pair(prober, clos.server(1, t, 0),
-                                    make_qp_config(policy, /*realtime=*/true));
-    (void)qb;
-    probe_qpns.push_back(qa);
+  for (int ps = 1; ps < podsets; ++ps) {
+    for (int t = 0; t < tors; ++t) {
+      auto [qa, qb] = connect_qp_pair(prober, clos.server(ps, t, 0),
+                                      make_qp_config(policy, /*realtime=*/true));
+      (void)qb;
+      probe_qpns.push_back(qa);
+    }
   }
   RdmaPingmesh pingmesh(prober, prober_demux, probe_qpns,
                         RdmaPingmesh::Options{.interval = microseconds(100)});
@@ -141,12 +152,14 @@ GateResult run_workload(Time window, bool gray_noop = false) {
   Host& client = clos.server(0, 1, 1);
   RdmaDemux& client_demux = demux_for(client);
   std::vector<std::uint32_t> incast_qpns;
-  for (int t = 0; t < tors; ++t) {
-    Host& responder = clos.server(1, t, 3);
-    auto [qa, qb] = connect_qp_pair(client, responder, make_qp_config(policy));
-    echoes.push_back(std::make_unique<RdmaEchoServer>(responder, demux_for(responder), qb,
-                                                      /*response_bytes=*/4 * kKiB));
-    incast_qpns.push_back(qa);
+  for (int ps = 1; ps < podsets; ++ps) {
+    for (int t = 0; t < tors; ++t) {
+      Host& responder = clos.server(ps, t, 3);
+      auto [qa, qb] = connect_qp_pair(client, responder, make_qp_config(policy));
+      echoes.push_back(std::make_unique<RdmaEchoServer>(responder, demux_for(responder), qb,
+                                                        /*response_bytes=*/4 * kKiB));
+      incast_qpns.push_back(qa);
+    }
   }
   RdmaIncastClient incast(client, client_demux, incast_qpns,
                           RdmaIncastClient::Options{.mean_interval = microseconds(100)});
@@ -159,10 +172,17 @@ GateResult run_workload(Time window, bool gray_noop = false) {
   const double cpu1 = cpu_seconds();
 
   GateResult r;
-  r.events = clos.sim().executed_events();
-  r.scheduled = clos.sim().scheduled_events();
-  r.final_pending = clos.sim().pending_events();
-  r.heap_entries = clos.sim().queued_entries();
+  ShardGroup& group = clos.fabric().group();
+  r.events = group.executed_events();
+  r.final_pending = group.pending_events();
+  for (int i = 0; i < group.shard_count(); ++i) {
+    r.scheduled += group.shard(i).scheduled_events();
+    r.heap_entries += group.shard(i).queued_entries();
+  }
+  if (group.shard_count() > 1) {
+    r.scheduled += group.control().scheduled_events();
+    r.heap_entries += group.control().queued_entries();
+  }
   r.wall_s = std::chrono::duration<double>(wall1 - wall0).count();
   r.cpu_s = cpu1 - cpu0;
   r.sim_s = to_seconds(window);
@@ -192,6 +212,12 @@ int main(int argc, char** argv) {
   std::string expect_digest;
   bool twice = false;
   bool gray_noop = false;
+  int shards = 1;
+  int podsets = 2;
+  std::vector<int> scaling;  // e.g. --scaling 1,2,4: PDES scaling sweep
+  double scale_min = 0.0;    // min events/sec ratio (last/first) to pass
+  int scaling_podsets = 0;   // sweep fabric size (0 = same as --podsets)
+  long scaling_ms = 0;       // sweep window (0 = same as --ms)
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--ms") == 0 && i + 1 < argc) {
       ms = std::atol(argv[++i]);
@@ -203,16 +229,34 @@ int main(int argc, char** argv) {
       twice = true;
     } else if (std::strcmp(argv[i], "--gray-noop") == 0) {
       gray_noop = true;
+    } else if (std::strcmp(argv[i], "--shards") == 0 && i + 1 < argc) {
+      shards = std::atoi(argv[++i]);
+    } else if (std::strcmp(argv[i], "--podsets") == 0 && i + 1 < argc) {
+      podsets = std::atoi(argv[++i]);
+    } else if (std::strcmp(argv[i], "--scaling") == 0 && i + 1 < argc) {
+      for (const char* p = argv[++i]; *p != '\0';) {
+        scaling.push_back(std::atoi(p));
+        while (*p != '\0' && *p != ',') ++p;
+        if (*p == ',') ++p;
+      }
+    } else if (std::strcmp(argv[i], "--scale-min") == 0 && i + 1 < argc) {
+      scale_min = std::atof(argv[++i]);
+    } else if (std::strcmp(argv[i], "--scaling-podsets") == 0 && i + 1 < argc) {
+      scaling_podsets = std::atoi(argv[++i]);
+    } else if (std::strcmp(argv[i], "--scaling-ms") == 0 && i + 1 < argc) {
+      scaling_ms = std::atol(argv[++i]);
     } else {
       std::fprintf(stderr,
                    "usage: perf_gate [--ms N] [--json PATH] [--twice] [--expect-digest HEX] "
-                   "[--gray-noop]\n");
+                   "[--gray-noop] [--shards N] [--podsets N] [--scaling 1,2,4] "
+                   "[--scale-min R] [--scaling-podsets N] [--scaling-ms N]\n");
       return 2;
     }
   }
 
   std::printf("\n=== perf gate — seeded Clos macro workload ===\n");
-  const GateResult r = run_workload(milliseconds(ms));
+  std::printf("config: %d podsets, %d shard%s\n", podsets, shards, shards == 1 ? "" : "s");
+  const GateResult r = run_workload(milliseconds(ms), shards, podsets);
   const double events_per_sec = static_cast<double>(r.events) / r.wall_s;
   const double wall_per_sim_s = r.wall_s / r.sim_s;
   const long rss = peak_rss_kib();
@@ -233,7 +277,7 @@ int main(int argc, char** argv) {
 
   bool ok = true;
   if (twice) {
-    const GateResult r2 = run_workload(milliseconds(ms));
+    const GateResult r2 = run_workload(milliseconds(ms), shards, podsets);
     const bool same = r2.digest == r.digest && r2.events == r.events;
     std::printf("second run digest:  %s (%s)\n", digest_hex(r2.digest).c_str(),
                 same ? "MATCH" : "MISMATCH");
@@ -246,11 +290,55 @@ int main(int argc, char** argv) {
     ok = ok && same;
   }
   if (gray_noop) {
-    const GateResult rg = run_workload(milliseconds(ms), /*gray_noop=*/true);
+    const GateResult rg = run_workload(milliseconds(ms), shards, podsets, /*gray_noop=*/true);
     const bool same = rg.digest == r.digest && rg.events == r.events;
     std::printf("gray-noop digest:   %s (%s)\n", digest_hex(rg.digest).c_str(),
                 same ? "MATCH" : "MISMATCH");
     ok = ok && same;
+  }
+
+  // PDES scaling sweep: the same workload at each shard count, run twice —
+  // per-count reruns must be byte-identical (the determinism half of the
+  // gate); aggregate events/sec per count is the scaling half.
+  struct ScalePoint {
+    int shards = 0;
+    GateResult res;
+    double events_per_sec = 0;
+  };
+  std::vector<ScalePoint> scale_points;
+  // The sweep can use its own fabric size and window: the digest pin above
+  // is only valid for the default 2-podset workload, but a {1,2,4} shard
+  // sweep needs >= 4 podsets to partition, so CI runs both in one process.
+  const int sweep_podsets = scaling_podsets > 0 ? scaling_podsets : podsets;
+  const long sweep_ms = scaling_ms > 0 ? scaling_ms : ms;
+  if (!scaling.empty()) {
+    std::printf("\n--- PDES scaling (podsets=%d, %ld ms window) ---\n", sweep_podsets, sweep_ms);
+    for (int n : scaling) {
+      const GateResult a = run_workload(milliseconds(sweep_ms), n, sweep_podsets);
+      const GateResult b = run_workload(milliseconds(sweep_ms), n, sweep_podsets);
+      const bool stable = a.digest == b.digest && a.events == b.events;
+      ScalePoint pt;
+      pt.shards = n;
+      pt.res = a;
+      pt.events_per_sec = static_cast<double>(a.events) / a.wall_s;
+      scale_points.push_back(pt);
+      std::printf("shards=%d: %llu events, %.3f s wall, %.3fM events/sec, digest %s, rerun %s\n",
+                  n, static_cast<unsigned long long>(a.events), a.wall_s,
+                  pt.events_per_sec / 1e6, digest_hex(a.digest).c_str(),
+                  stable ? "MATCH" : "MISMATCH");
+      ok = ok && stable;
+    }
+    if (scale_points.size() > 1) {
+      const double ratio =
+          scale_points.back().events_per_sec / scale_points.front().events_per_sec;
+      std::printf("scaling ratio (shards=%d vs shards=%d): %.2fx\n", scale_points.back().shards,
+                  scale_points.front().shards, ratio);
+      if (scale_min > 0.0) {
+        const bool pass = ratio >= scale_min;
+        std::printf("scale gate (>= %.2fx): %s\n", scale_min, pass ? "PASS" : "FAIL");
+        ok = ok && pass;
+      }
+    }
   }
 
   if (!json_path.empty()) {
@@ -262,8 +350,10 @@ int main(int argc, char** argv) {
     std::fprintf(f,
                  "{\n"
                  "  \"bench\": \"simcore_perf_gate\",\n"
-                 "  \"workload\": \"clos 2x2x3x4 + 4 spines, streams + pingmesh + incast\",\n"
+                 "  \"workload\": \"clos %dx2x3x4 + 4 spines, streams + pingmesh + incast\",\n"
                  "  \"sim_ms\": %ld,\n"
+                 "  \"shards\": %d,\n"
+                 "  \"podsets\": %d,\n"
                  "  \"events\": %llu,\n"
                  "  \"wall_seconds\": %.6f,\n"
                  "  \"cpu_seconds\": %.6f,\n"
@@ -272,12 +362,27 @@ int main(int argc, char** argv) {
                  "  \"wall_per_sim_second\": %.3f,\n"
                  "  \"peak_rss_mib\": %.1f,\n"
                  "  \"messages_completed\": %lld,\n"
-                 "  \"determinism_digest\": \"%s\"\n"
-                 "}\n",
-                 ms, static_cast<unsigned long long>(r.events), r.wall_s, r.cpu_s,
-                 events_per_sec, static_cast<double>(r.events) / r.cpu_s,
+                 "  \"determinism_digest\": \"%s\"",
+                 podsets, ms, shards, podsets, static_cast<unsigned long long>(r.events),
+                 r.wall_s, r.cpu_s, events_per_sec, static_cast<double>(r.events) / r.cpu_s,
                  wall_per_sim_s, static_cast<double>(rss) / 1024.0,
                  static_cast<long long>(r.messages_completed), digest_hex(r.digest).c_str());
+    if (!scale_points.empty()) {
+      std::fprintf(f, ",\n  \"shard_scaling_podsets\": %d,\n  \"shard_scaling_sim_ms\": %ld",
+                   sweep_podsets, sweep_ms);
+      std::fprintf(f, ",\n  \"shard_scaling\": [");
+      for (std::size_t i = 0; i < scale_points.size(); ++i) {
+        const ScalePoint& pt = scale_points[i];
+        std::fprintf(f,
+                     "%s\n    {\"shards\": %d, \"events\": %llu, \"wall_seconds\": %.6f, "
+                     "\"events_per_sec\": %.0f, \"digest\": \"%s\"}",
+                     i == 0 ? "" : ",", pt.shards,
+                     static_cast<unsigned long long>(pt.res.events), pt.res.wall_s,
+                     pt.events_per_sec, digest_hex(pt.res.digest).c_str());
+      }
+      std::fprintf(f, "\n  ]");
+    }
+    std::fprintf(f, "\n}\n");
     std::fclose(f);
     std::printf("wrote %s\n", json_path.c_str());
   }

@@ -246,7 +246,18 @@ bool write_json(const std::string& path, const Scenario& sc, const Knobs& knobs,
 
 int run_scenario(const Scenario& sc, int argc, char** argv) {
   Knobs knobs;
-  for (const KnobSpec& s : sc.knobs) knobs.declare(s);
+  bool has_shards = false;
+  for (const KnobSpec& s : sc.knobs) {
+    if (s.name == "shards") has_shards = true;
+    knobs.declare(s);
+  }
+  // Every runner gets the PDES shard-count knob (scenario bodies pass it to
+  // their fabric builder via ctx.shards()); scenarios may still declare
+  // their own to change the default or help text.
+  if (!has_shards) {
+    knobs.declare(knob_int("shards", 1, "ROCELAB_SHARDS",
+                           "simulator shards (pod-partitioned PDES; 1 = single-threaded)"));
+  }
 
   std::string json_path = "BENCH_" + sc.name + ".json";
   for (int i = 1; i < argc; ++i) {

@@ -86,6 +86,9 @@ class Context {
     return knobs_.get_list(name);
   }
   [[nodiscard]] const Knobs& knobs() const { return knobs_; }
+  /// The auto-declared PDES shard knob (--shards / ROCELAB_SHARDS); pass it
+  /// to ClosParams::shards. 1 (the default) is the single-threaded core.
+  [[nodiscard]] int shards() const { return static_cast<int>(knobs_.get_int("shards")); }
 
   // --- human output ---------------------------------------------------------
   void section(const std::string& title);  // "=== title ===" sub-header

@@ -44,32 +44,32 @@ void ChaosEngine::record_mitigation(FaultKind kind, const std::string& target,
 }
 
 void ChaosEngine::record(FaultKind kind, const std::string& target, std::string detail) {
-  journal_.push_back(FaultRecord{fabric_.sim().now(), kind, target, std::move(detail)});
+  journal_.push_back(FaultRecord{fabric_.control_sim().now(), kind, target, std::move(detail)});
   ROCELAB_LOG_INFO("chaos: %s %s %s", to_string(kind), target.c_str(),
                    journal_.back().detail.c_str());
 }
 
 void ChaosEngine::link_flap(Node& node, int port, Time down_at, Time up_at) {
   const std::string detail = "port " + std::to_string(port);
-  fabric_.sim().schedule_at(down_at, [this, &node, port, detail] {
+  fabric_.control_sim().schedule_at(down_at, [this, &node, port, detail] {
     node.set_link_up(port, false);
     record(FaultKind::kLinkDown, node.name(), detail);
   });
-  fabric_.sim().schedule_at(up_at, [this, &node, port, detail] {
+  fabric_.control_sim().schedule_at(up_at, [this, &node, port, detail] {
     node.set_link_up(port, true);
     record(FaultKind::kLinkUp, node.name(), detail);
   });
 }
 
 void ChaosEngine::switch_reboot(Switch& sw, Time at, Time recover_at, bool reinstall_entries) {
-  fabric_.sim().schedule_at(at, [this, &sw] {
+  fabric_.control_sim().schedule_at(at, [this, &sw] {
     // Links die first (in-flight and queued frames are lost on the wire),
     // then the control plane forgets everything it learned.
     for (int p = 0; p < sw.port_count(); ++p) sw.set_link_up(p, false);
     sw.reboot();
     record(FaultKind::kSwitchReboot, sw.name());
   });
-  fabric_.sim().schedule_at(recover_at, [this, &sw, reinstall_entries] {
+  fabric_.control_sim().schedule_at(recover_at, [this, &sw, reinstall_entries] {
     for (int p = 0; p < sw.port_count(); ++p) sw.set_link_up(p, true);
     if (reinstall_entries) fabric_.reinstall_host_entries(sw);
     record(FaultKind::kSwitchRecover, sw.name(),
@@ -78,12 +78,12 @@ void ChaosEngine::switch_reboot(Switch& sw, Time at, Time recover_at, bool reins
 }
 
 void ChaosEngine::host_death(Host& h, Time at, Time revive_at) {
-  fabric_.sim().schedule_at(at, [this, &h] {
+  fabric_.control_sim().schedule_at(at, [this, &h] {
     fabric_.kill_host(h);
     record(FaultKind::kHostDeath, h.name());
   });
   if (revive_at >= 0) {
-    fabric_.sim().schedule_at(revive_at, [this, &h] {
+    fabric_.control_sim().schedule_at(revive_at, [this, &h] {
       fabric_.revive_host(h);
       record(FaultKind::kHostRevival, h.name());
     });
@@ -91,18 +91,18 @@ void ChaosEngine::host_death(Host& h, Time at, Time revive_at) {
 }
 
 void ChaosEngine::nic_storm(Host& h, Time at, Time stop_at) {
-  fabric_.sim().schedule_at(at, [this, &h] {
+  fabric_.control_sim().schedule_at(at, [this, &h] {
     h.set_storm_mode(true);
     record(FaultKind::kNicStormStart, h.name());
   });
-  fabric_.sim().schedule_at(stop_at, [this, &h] {
+  fabric_.control_sim().schedule_at(stop_at, [this, &h] {
     h.set_storm_mode(false);
     record(FaultKind::kNicStormStop, h.name());
   });
 }
 
 void ChaosEngine::alpha_drift(Switch& sw, Time at, double alpha) {
-  fabric_.sim().schedule_at(at, [this, &sw, alpha] {
+  fabric_.control_sim().schedule_at(at, [this, &sw, alpha] {
     sw.set_buffer_alpha(alpha);
     std::ostringstream os;
     os << "alpha " << alpha;
@@ -111,7 +111,7 @@ void ChaosEngine::alpha_drift(Switch& sw, Time at, double alpha) {
 }
 
 void ChaosEngine::ecn_disable(Switch& sw, Time at) {
-  fabric_.sim().schedule_at(at, [this, &sw] {
+  fabric_.control_sim().schedule_at(at, [this, &sw] {
     for (int pg = 0; pg < kNumPriorities; ++pg) {
       EcnConfig off = sw.config().ecn[static_cast<std::size_t>(pg)];
       off.enabled = false;
@@ -145,12 +145,12 @@ std::string qp_fault_detail(std::uint32_t qpn, const QpFaultSpec& spec) {
 
 void ChaosEngine::impair_link(Node& node, int port, const LinkImpairment& imp, Time at,
                               Time clear_at) {
-  fabric_.sim().schedule_at(at, [this, &node, port, imp] {
+  fabric_.control_sim().schedule_at(at, [this, &node, port, imp] {
     node.port(port).set_impairment(imp);
     record(FaultKind::kLinkImpair, node.name(), impair_detail(port, imp));
   });
   if (clear_at >= 0) {
-    fabric_.sim().schedule_at(clear_at, [this, &node, port] {
+    fabric_.control_sim().schedule_at(clear_at, [this, &node, port] {
       node.port(port).clear_impairment();
       record(FaultKind::kLinkImpairClear, node.name(), "port " + std::to_string(port));
     });
@@ -159,12 +159,12 @@ void ChaosEngine::impair_link(Node& node, int port, const LinkImpairment& imp, T
 
 void ChaosEngine::qp_fault(Host& h, std::uint32_t qpn, const QpFaultSpec& spec, Time at,
                            Time stop_at) {
-  fabric_.sim().schedule_at(at, [this, &h, qpn, spec] {
+  fabric_.control_sim().schedule_at(at, [this, &h, qpn, spec] {
     h.rdma().set_qp_fault(qpn, spec);
     record(FaultKind::kQpFaultStart, h.name(), qp_fault_detail(qpn, spec));
   });
   if (stop_at >= 0) {
-    fabric_.sim().schedule_at(stop_at, [this, &h, qpn] {
+    fabric_.control_sim().schedule_at(stop_at, [this, &h, qpn] {
       h.rdma().clear_qp_fault(qpn);
       record(FaultKind::kQpFaultStop, h.name(), "qpn " + std::to_string(qpn));
     });
@@ -173,12 +173,12 @@ void ChaosEngine::qp_fault(Host& h, std::uint32_t qpn, const QpFaultSpec& spec, 
 
 void ChaosEngine::drop_filter(Switch& sw, std::function<bool(const Packet&)> pred,
                               const std::string& what, Time at, Time clear_at) {
-  fabric_.sim().schedule_at(at, [this, &sw, pred = std::move(pred), what]() mutable {
+  fabric_.control_sim().schedule_at(at, [this, &sw, pred = std::move(pred), what]() mutable {
     sw.set_drop_filter(std::move(pred));
     record(FaultKind::kDropFilterSet, sw.name(), what);
   });
   if (clear_at >= 0) {
-    fabric_.sim().schedule_at(clear_at, [this, &sw] {
+    fabric_.control_sim().schedule_at(clear_at, [this, &sw] {
       sw.set_drop_filter(nullptr);
       record(FaultKind::kDropFilterClear, sw.name());
     });

@@ -75,13 +75,13 @@ void IncidentManager::set_golden_policy(QosPolicy policy, DeploymentStage stage)
 void IncidentManager::start() {
   if (running_) return;
   running_ = true;
-  scan_ev_ = fabric_.sim().schedule_in(cfg_.scan_interval, [this] { tick(); });
+  scan_ev_ = fabric_.control_sim().schedule_in(cfg_.scan_interval, [this] { tick(); });
 }
 
 void IncidentManager::stop() {
   running_ = false;
   if (scan_ev_ != kInvalidEventId) {
-    fabric_.sim().cancel(scan_ev_);
+    fabric_.control_sim().cancel(scan_ev_);
     scan_ev_ = kInvalidEventId;
   }
 }
@@ -90,7 +90,7 @@ void IncidentManager::tick() {
   scan_ev_ = kInvalidEventId;
   if (!running_) return;
   scan();
-  scan_ev_ = fabric_.sim().schedule_in(cfg_.scan_interval, [this] { tick(); });
+  scan_ev_ = fabric_.control_sim().schedule_in(cfg_.scan_interval, [this] { tick(); });
 }
 
 int IncidentManager::pod_of(const std::string& name) {
@@ -640,7 +640,7 @@ void IncidentManager::probation_pass(Time now) {
 
 void IncidentManager::scan() {
   ++stats_.scans;
-  const Time now = fabric_.sim().now();
+  const Time now = fabric_.control_sim().now();
   merge_evidence(now);
   if (have_golden_ && cfg_.rollback_config) check_drift(now);
   if (auditor_ != nullptr) ingest_storms(now);

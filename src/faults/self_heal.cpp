@@ -29,13 +29,13 @@ SelfHealer::~SelfHealer() {
 void SelfHealer::start() {
   if (running_) return;
   running_ = true;
-  scan_ev_ = fabric_.sim().schedule_in(cfg_.scan_interval, [this] { tick(); });
+  scan_ev_ = fabric_.control_sim().schedule_in(cfg_.scan_interval, [this] { tick(); });
 }
 
 void SelfHealer::stop() {
   running_ = false;
   if (scan_ev_ != kInvalidEventId) {
-    fabric_.sim().cancel(scan_ev_);
+    fabric_.control_sim().cancel(scan_ev_);
     scan_ev_ = kInvalidEventId;
   }
 }
@@ -44,7 +44,7 @@ void SelfHealer::tick() {
   scan_ev_ = kInvalidEventId;
   if (!running_) return;
   scan();
-  scan_ev_ = fabric_.sim().schedule_in(cfg_.scan_interval, [this] { tick(); });
+  scan_ev_ = fabric_.control_sim().schedule_in(cfg_.scan_interval, [this] { tick(); });
 }
 
 bool SelfHealer::costed_out(const std::string& node, int port) const {
@@ -54,7 +54,7 @@ bool SelfHealer::costed_out(const std::string& node, int port) const {
 
 void SelfHealer::scan() {
   ++stats_.scans;
-  const Time now = fabric_.sim().now();
+  const Time now = fabric_.control_sim().now();
 
   // Phase 1: evidence pass over the localizer ranking.
   for (const auto& s : localizer_.rank(cfg_.min_probes)) {

@@ -7,6 +7,7 @@
 #include "src/link/node.h"
 #include "src/monitor/metric_registry.h"
 #include "src/net/packet_pool.h"
+#include "src/sim/shard_group.h"
 
 namespace rocelab {
 
@@ -49,6 +50,17 @@ void EgressPort::connect(Node* peer, int peer_port, Bandwidth bandwidth, Time pr
   prop_delay_ = prop_delay;
   peer_mac_ = peer->port_mac(peer_port);
   ps_per_byte_ = (8 * kSecond) % bandwidth == 0 ? (8 * kSecond) / bandwidth : 0;
+  // Shard-boundary detection: a peer on a different shard of the same group
+  // makes this direction a PDES boundary — its propagation delay joins the
+  // conservative lookahead, and deliveries go through the pair's channel.
+  cross_ = nullptr;
+  ShardGroup* group = sim_.group();
+  Simulator& peer_sim = peer->sim();
+  if (group != nullptr && peer_sim.group() == group &&
+      peer_sim.shard_tag() != sim_.shard_tag()) {
+    group->note_boundary(sim_.shard_tag(), peer_sim.shard_tag(), prop_delay);
+    cross_ = &group->channel(sim_.shard_tag(), peer_sim.shard_tag());
+  }
 }
 
 void EgressPort::enqueue(PooledPacket pp) {
@@ -317,10 +329,23 @@ void EgressPort::try_send() {
     // The corrupted frame still arrives — into the receiver's FCS check,
     // which discards it and bumps the rx-side error counter the monitoring
     // plane watches. The payload box is released here at tx time.
-    sim_.schedule_in(ser + prop_delay_ + extra, [this, epoch = link_epoch_] {
-      if (!link_up_ || epoch != link_epoch_ || peer_ == nullptr) return;
-      ++peer_->port(peer_port_).counters().fcs_errors;
-    });
+    if (cross_ != nullptr) {
+      cross_->push_fcs_error(sim_.now() + ser + prop_delay_ + extra, peer_, peer_port_);
+    } else {
+      sim_.schedule_in(ser + prop_delay_ + extra, [this, epoch = link_epoch_] {
+        if (!link_up_ || epoch != link_epoch_ || peer_ == nullptr) return;
+        ++peer_->port(peer_port_).counters().fcs_errors;
+      });
+    }
+  } else if (cross_ != nullptr) {
+    // Shard boundary: hand the box to the peer shard's channel (drained in
+    // deterministic (time, src, seq) order at the barrier). The MMU charge
+    // was released at dequeue above, so nothing in the box still points at
+    // this shard's mutable state. In-flight link faults are gated on the
+    // *receiving* direction's state at arrival rather than this port's
+    // epoch — the one (documented) fidelity difference of multi-shard runs.
+    cross_->push_deliver(sim_.now() + ser + prop_delay_ + extra, peer_, peer_port_,
+                         pp.release());
   } else {
     // Delivery is gated on the link epoch: if the link goes down (and maybe
     // back up) while the packet is in flight, the packet is lost. The packet

@@ -20,6 +20,7 @@
 
 namespace rocelab {
 
+class CrossShardChannel;
 class Node;
 
 inline constexpr int kNumPriorities = 8;
@@ -178,6 +179,10 @@ class EgressPort {
   Time prop_delay_ = 0;
   MacAddr peer_mac_{};   // cached at connect(); node ids and MACs are immutable
   Time ps_per_byte_ = 0; // 0 when bandwidth_ does not divide 8e12 exactly
+  /// Non-null iff the peer lives on a different shard of the same group:
+  /// deliveries then go through this deterministic channel (drained at the
+  /// window barrier) instead of being scheduled into the peer's heap.
+  CrossShardChannel* cross_ = nullptr;
   bool link_up_ = true;
   /// Bumped on every up/down transition; in-flight deliveries from an older
   /// epoch are discarded (the photons died with the link).

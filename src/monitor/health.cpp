@@ -69,7 +69,7 @@ std::string port_health_dump(const Fabric& fabric, bool only_unclean) {
 void LinkHealthMonitor::start() {
   if (running_) return;
   running_ = true;
-  fabric_.sim().schedule_in(opts_.interval, [this] { tick(); });
+  fabric_.control_sim().schedule_in(opts_.interval, [this] { tick(); });
 }
 
 bool LinkHealthMonitor::is_flagged(const std::string& node, int port) const {
@@ -93,7 +93,7 @@ void LinkHealthMonitor::tick() {
   };
   for (const auto& sw : fabric_.switches()) scan(*sw);
   for (const auto& h : fabric_.hosts()) scan(*h);
-  fabric_.sim().schedule_in(opts_.interval, [this] { tick(); });
+  fabric_.control_sim().schedule_in(opts_.interval, [this] { tick(); });
 }
 
 }  // namespace rocelab

@@ -1,0 +1,305 @@
+#include "src/sim/shard_group.h"
+
+#include <algorithm>
+#include <stdexcept>
+#include <string>
+
+#include "src/link/node.h"
+#include "src/monitor/metric_registry.h"
+#include "src/net/packet_pool.h"
+
+namespace rocelab {
+
+namespace {
+Time sat_add(Time a, Time b) {
+  return b >= kTimeInfinity - a ? kTimeInfinity : a + b;
+}
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// CrossShardChannel
+
+CrossShardChannel::~CrossShardChannel() {
+  // Undelivered messages at teardown (a stopped run): release their boxes.
+  for (CrossShardMsg& m : buf_) {
+    if (m.pkt != nullptr) PooledPacket drop(m.pkt);
+  }
+}
+
+void CrossShardChannel::push(CrossShardMsg m) {
+  if (m.at < group_.horizon_floor()) {
+    throw std::logic_error("cross-shard message below the promised horizon (lookahead violation)");
+  }
+  m.src = src_;
+  m.seq = next_seq_++;
+  buf_.push_back(m);
+}
+
+void CrossShardChannel::push_deliver(Time at, Node* dst, int dst_port, Packet* pkt) {
+  if (at < group_.horizon_floor()) {
+    PooledPacket cleanup(pkt);  // don't leak the box past the diagnostic
+    throw std::logic_error("cross-shard message below the promised horizon (lookahead violation)");
+  }
+  CrossShardMsg m;
+  m.at = at;
+  m.pkt = pkt;
+  m.dst = dst;
+  m.dst_port = static_cast<std::int32_t>(dst_port);
+  m.kind = CrossShardMsg::Kind::kDeliver;
+  push(m);
+}
+
+void CrossShardChannel::push_fcs_error(Time at, Node* dst, int dst_port) {
+  CrossShardMsg m;
+  m.at = at;
+  m.dst = dst;
+  m.dst_port = static_cast<std::int32_t>(dst_port);
+  m.kind = CrossShardMsg::Kind::kFcsError;
+  push(m);
+}
+
+// ---------------------------------------------------------------------------
+// ShardGroup
+
+ShardGroup::ShardGroup(int shards) : metrics_(std::make_unique<MetricRegistry>()) {
+  const int n = std::clamp(shards, 1, static_cast<int>(kMaxShards));
+  shards_.reserve(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    shards_.emplace_back(new Simulator(this, static_cast<std::uint32_t>(i)));
+  }
+  if (n == 1) {
+    control_ = shards_[0].get();
+  } else {
+    control_owned_.reset(new Simulator(this, kControlShardTag));
+    control_ = control_owned_.get();
+    channels_.resize(static_cast<std::size_t>(n) * static_cast<std::size_t>(n));
+    for (int s = 0; s < n; ++s) {
+      for (int d = 0; d < n; ++d) {
+        if (s == d) continue;
+        channels_[static_cast<std::size_t>(s) * static_cast<std::size_t>(n) + d] =
+            std::make_unique<CrossShardChannel>(*this, static_cast<std::uint32_t>(s),
+                                                static_cast<std::uint32_t>(d));
+      }
+    }
+  }
+  // Queue-health plane: shard imbalance (executed-event skew), pending load,
+  // and the lazy-cancel debt each heap is carrying — all readable by name
+  // from any scenario's sampler.
+  for (int i = 0; i < n; ++i) {
+    Simulator& s = *shards_[static_cast<std::size_t>(i)];
+    const std::string prefix = "sim/shard" + std::to_string(i);
+    metrics_->add(this, prefix + "/executed_events", &s.executed_);
+    metrics_->add(this, prefix + "/live_events", &s.live_, MetricKind::kGauge);
+    metrics_->add(this, prefix + "/heap_debt", &s.heap_debt_, MetricKind::kGauge);
+  }
+  if (control_owned_ != nullptr) {
+    metrics_->add(this, "sim/control/executed_events", &control_->executed_);
+    metrics_->add(this, "sim/control/live_events", &control_->live_, MetricKind::kGauge);
+    metrics_->add(this, "sim/control/heap_debt", &control_->heap_debt_, MetricKind::kGauge);
+  }
+  metrics_->add(this, "sim/windows", &windows_);
+  metrics_->add(this, "sim/cross_messages", &cross_msgs_);
+  metrics_->add(this, "sim/control_events", &control_steps_);
+  metrics_->add(this, "sim/lookahead_ps", &lookahead_metric_, MetricKind::kGauge);
+  metrics_->add(this, "sim/boundary_links", &boundary_links_, MetricKind::kGauge);
+}
+
+ShardGroup::~ShardGroup() {
+  quit_.store(true, std::memory_order_relaxed);
+  for (std::thread& t : workers_) t.join();
+  metrics_->remove_owner(this);
+}
+
+void ShardGroup::note_boundary(std::uint32_t src, std::uint32_t dst, Time prop_delay) {
+  (void)src;
+  (void)dst;
+  if (prop_delay <= 0) {
+    // Zero propagation delay across a shard boundary would make the safe
+    // window empty: the group could never guarantee a horizon and would
+    // wedge. Partition so that zero-delay links stay shard-internal.
+    throw std::invalid_argument("cross-shard link needs positive propagation delay (lookahead)");
+  }
+  ++boundary_links_;
+  if (prop_delay < lookahead_) {
+    lookahead_ = prop_delay;
+    lookahead_metric_ = prop_delay;
+  }
+}
+
+Simulator* ShardGroup::shard_by_tag(std::uint32_t tag) {
+  if (tag == kControlShardTag) return control_;
+  if (tag < shards_.size()) return shards_[tag].get();
+  return nullptr;
+}
+
+std::uint64_t ShardGroup::executed_events() const {
+  std::uint64_t total = 0;
+  for (const auto& s : shards_) total += static_cast<std::uint64_t>(s->executed_);
+  if (control_owned_ != nullptr) total += static_cast<std::uint64_t>(control_->executed_);
+  return total;
+}
+
+std::size_t ShardGroup::pending_events() const {
+  std::int64_t total = 0;
+  for (const auto& s : shards_) total += s->live_;
+  if (control_owned_ != nullptr) total += control_->live_;
+  return static_cast<std::size_t>(total);
+}
+
+void ShardGroup::run() { run_loop(kTimeInfinity); }
+void ShardGroup::run_until(Time deadline) { run_loop(deadline); }
+
+void ShardGroup::run_loop(Time deadline) {
+  stop_.store(false, std::memory_order_relaxed);
+  for (auto& s : shards_) s->stopped_ = false;
+  control_->stopped_ = false;
+  if (shard_count() == 1) {
+    // The 1-shard path IS the classic single-threaded core — same loops,
+    // same heap, control lane aliased to shard 0 — which is what keeps the
+    // pre-PDES determinism digest byte-identical.
+    if (deadline == kTimeInfinity) {
+      shards_[0]->run_local();
+    } else {
+      shards_[0]->run_until_local(deadline);
+    }
+    return;
+  }
+  start_workers();
+  for (;;) {
+    if (stop_.load(std::memory_order_relaxed)) break;
+    // H: the earliest data-plane event anywhere. G: the earliest control
+    // event. All channels are drained, so the heaps hold the whole future.
+    Time h = kTimeInfinity;
+    for (auto& s : shards_) {
+      const Time t = s->next_event_time();
+      if (t < h) h = t;
+    }
+    const Time g = control_->next_event_time();
+    if (h == kTimeInfinity && g == kTimeInfinity) break;
+    if (h > deadline && g > deadline) break;
+    if (g <= h) {
+      // Control events run serialized between windows, with every shard
+      // clamped to the control timestamp first: whatever the event touches
+      // on any shard (link flaps, table rewrites, timer installs via that
+      // node's schedule_in) happens at a synchronized "now".
+      for (auto& s : shards_) s->clamp_now(g);
+      control_->step_one();
+      ++control_steps_;
+      drain_channels();
+      continue;
+    }
+    // Conservative window: everything strictly below H + lookahead is safe —
+    // the earliest cross-shard consequence of any event at >= H lands at
+    // >= H + L. The window also never crosses the next control event or the
+    // deadline (events at exactly the deadline still run: hence +1).
+    Time end = sat_add(h, lookahead_);
+    if (g < end) end = g;
+    if (deadline != kTimeInfinity && deadline < end - 1) end = deadline + 1;
+    parallel_window(end);
+    drain_channels();
+    ++windows_;
+  }
+  if (deadline != kTimeInfinity) {
+    for (auto& s : shards_) s->clamp_now(deadline);
+    control_->clamp_now(deadline);
+  }
+}
+
+void ShardGroup::parallel_window(Time end) {
+  window_end_ = end;
+  // Promise the horizon before anyone can produce into a channel: no
+  // message emitted during this window may arrive below `end`.
+  horizon_floor_.store(end, std::memory_order_relaxed);
+  in_parallel_phase_.store(true, std::memory_order_relaxed);
+  arrived_.store(0, std::memory_order_relaxed);
+  // The release-store publishes window_end_ (and everything drained into
+  // the shard heaps) to the workers' acquire-loads.
+  epoch_.fetch_add(1, std::memory_order_release);
+  shards_[0]->run_window(end);
+  const int need = shard_count() - 1;
+  int spins = 0;
+  while (arrived_.load(std::memory_order_acquire) < need) {
+    if (++spins > 64) std::this_thread::yield();
+  }
+  in_parallel_phase_.store(false, std::memory_order_relaxed);
+}
+
+void ShardGroup::drain_channels() {
+  if (channels_.empty()) return;
+  const std::size_t n = shards_.size();
+  for (std::size_t dst = 0; dst < n; ++dst) {
+    merge_scratch_.clear();
+    for (std::size_t src = 0; src < n; ++src) {
+      if (src == dst) continue;
+      CrossShardChannel* ch = channels_[src * n + dst].get();
+      if (ch == nullptr || ch->buf_.empty()) continue;
+      merge_scratch_.insert(merge_scratch_.end(), ch->buf_.begin(), ch->buf_.end());
+      ch->buf_.clear();
+    }
+    if (merge_scratch_.empty()) continue;
+    // (time, src shard, seq) is a total order and a pure function of the
+    // workload: the destination assigns its tie-break sequence numbers in
+    // exactly this order on every rerun.
+    std::sort(merge_scratch_.begin(), merge_scratch_.end(),
+              [](const CrossShardMsg& a, const CrossShardMsg& b) {
+                if (a.at != b.at) return a.at < b.at;
+                if (a.src != b.src) return a.src < b.src;
+                return a.seq < b.seq;
+              });
+    Simulator& shard = *shards_[dst];
+    for (const CrossShardMsg& m : merge_scratch_) {
+      Node* node = m.dst;
+      const int port = m.dst_port;
+      if (m.kind == CrossShardMsg::Kind::kDeliver) {
+        // The closure owns the packet from here: if the run ends with the
+        // delivery still pending in the heap, destroying the slot frees it.
+        // Receiver-side link gate: the same-shard fast path checks the
+        // sender's egress epoch at arrival; across shards that read would
+        // race, so the receiving direction's own link state stands in (both
+        // directions of a link fault flip together).
+        shard.schedule_at(m.at, [node, port, pp = PooledPacket(m.pkt)]() mutable {
+          EgressPort& in = node->port(port);
+          if (!in.link_up()) {
+            ++in.counters().link_down_drops;
+            return;
+          }
+          node->deliver(std::move(pp), port);
+        });
+      } else {
+        shard.schedule_at(m.at, [node, port] {
+          EgressPort& in = node->port(port);
+          if (!in.link_up()) return;
+          ++in.counters().fcs_errors;
+        });
+      }
+      ++cross_msgs_;
+    }
+  }
+}
+
+void ShardGroup::start_workers() {
+  if (workers_started_) return;
+  workers_started_ = true;
+  workers_.reserve(shards_.size() - 1);
+  for (int i = 1; i < shard_count(); ++i) {
+    workers_.emplace_back([this, i] { worker_main(i); });
+  }
+}
+
+void ShardGroup::worker_main(int shard_index) {
+  Simulator& shard = *shards_[static_cast<std::size_t>(shard_index)];
+  std::uint64_t seen = 0;
+  for (;;) {
+    std::uint64_t e;
+    int spins = 0;
+    while ((e = epoch_.load(std::memory_order_acquire)) == seen) {
+      if (quit_.load(std::memory_order_relaxed)) return;
+      if (++spins > 64) std::this_thread::yield();
+    }
+    seen = e;
+    shard.run_window(window_end_);
+    arrived_.fetch_add(1, std::memory_order_release);
+  }
+}
+
+}  // namespace rocelab

@@ -1,0 +1,206 @@
+// ShardGroup: the pod-partitioned parallel-DES coordinator.
+//
+// The fabric is partitioned by pod/podset into shards; each shard is a
+// Simulator (its own event heap, slab, and — via thread-local free lists —
+// packet pool). The group runs the shards on a persistent thread pool using
+// the classic conservative recipe: with lookahead L = the minimum
+// propagation delay over all cross-shard links, every shard may safely
+// execute all events with time < H + L, where H is the global minimum next
+// event time — no neighbour can make a packet arrive earlier than its own
+// frontier plus the wire delay. Windows are separated by barriers (the
+// synchronous form of null messages: one horizon announcement per shard per
+// round instead of one per neighbour per event).
+//
+// Cross-shard packet handoff goes through deterministic SPSC channels, one
+// per ordered (src, dst) shard pair: the source shard appends during its
+// window (single producer), the coordinator drains at the barrier (single
+// consumer — the barrier provides the happens-before edge), and messages
+// are merged into the destination heap ordered by (time, src shard, seq).
+// Delivery order is therefore a pure function of the workload, never of
+// thread scheduling: for a fixed shard count, reruns are byte-identical.
+//
+// A separate control-lane Simulator serializes the fabric-global actors
+// (ChaosEngine, monitors, SelfHealer, IncidentManager, samplers): its
+// events only run when every shard has reached the event's timestamp, i.e.
+// between windows, so control code may read and mutate any node race-free —
+// and the chaos journal, being written only from this lane, merges
+// fault/mitigation records across shards in deterministic order. With one
+// shard the control lane aliases shard 0 and the group runs the classic
+// single-threaded loop, reproducing the pre-PDES digest exactly.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "src/common/units.h"
+#include "src/sim/simulator.h"
+
+namespace rocelab {
+
+class MetricRegistry;
+class Node;
+class Packet;
+
+/// One cross-shard message: a packet delivery (or an FCS-error indication —
+/// the corrupted frame arrives only as a receiver-side counter bump) bound
+/// for `dst`'s ingress `dst_port` at absolute time `at`. `seq` is the
+/// channel-local send order; the (time, src shard, seq) triple totally
+/// orders the merge at the destination.
+struct CrossShardMsg {
+  Time at = 0;
+  std::uint64_t seq = 0;
+  std::uint32_t src = 0;  // producing shard; the merge's second sort key
+  Packet* pkt = nullptr;  // owned; null for kFcsError
+  Node* dst = nullptr;
+  std::int32_t dst_port = -1;
+  enum class Kind : std::uint8_t { kDeliver, kFcsError } kind = Kind::kDeliver;
+};
+
+/// Deterministic SPSC channel for one ordered (src shard, dst shard) pair.
+/// Producer: the source shard's thread, during its window (or the
+/// coordinator, during control-lane execution). Consumer: the coordinator,
+/// at the barrier. The window barrier is the synchronization; the buffer
+/// itself is a plain vector.
+class CrossShardChannel {
+ public:
+  CrossShardChannel(ShardGroup& group, std::uint32_t src, std::uint32_t dst)
+      : group_(group), src_(src), dst_(dst) {}
+  CrossShardChannel(const CrossShardChannel&) = delete;
+  CrossShardChannel& operator=(const CrossShardChannel&) = delete;
+  ~CrossShardChannel();
+
+  /// Hand a packet (ownership transferred) to the peer shard, arriving at
+  /// absolute time `at`. Trips the lookahead check: `at` must not be below
+  /// the horizon the consumer side was already promised.
+  void push_deliver(Time at, Node* dst, int dst_port, Packet* pkt);
+  /// The gray-failure FCS path: the frame arrives only to fail the
+  /// receiver's FCS check (rx-side fcs_errors bump at `at`).
+  void push_fcs_error(Time at, Node* dst, int dst_port);
+
+  [[nodiscard]] std::uint32_t src_shard() const { return src_; }
+  [[nodiscard]] std::uint32_t dst_shard() const { return dst_; }
+  [[nodiscard]] bool empty() const { return buf_.empty(); }
+  /// Total messages ever pushed (producer-side; read between windows).
+  [[nodiscard]] std::uint64_t pushed_total() const { return next_seq_; }
+
+ private:
+  friend class ShardGroup;
+  void push(CrossShardMsg m);
+
+  ShardGroup& group_;
+  std::uint32_t src_;
+  std::uint32_t dst_;
+  std::uint64_t next_seq_ = 0;
+  std::vector<CrossShardMsg> buf_;
+};
+
+class ShardGroup {
+ public:
+  /// `shards` is clamped to [1, kMaxShards]. With one shard the group is a
+  /// zero-overhead wrapper around the classic core.
+  explicit ShardGroup(int shards = 1);
+  ~ShardGroup();
+  ShardGroup(const ShardGroup&) = delete;
+  ShardGroup& operator=(const ShardGroup&) = delete;
+
+  [[nodiscard]] int shard_count() const { return static_cast<int>(shards_.size()); }
+  [[nodiscard]] Simulator& shard(int i) { return *shards_[static_cast<std::size_t>(i)]; }
+  /// The control lane: fabric-global actors (chaos, monitors, healers)
+  /// schedule here so their events serialize at synchronized horizons.
+  /// Aliases shard 0 when the group has one shard — which is what keeps
+  /// 1-shard runs byte-identical to the single-threaded core.
+  [[nodiscard]] Simulator& control() { return *control_; }
+
+  [[nodiscard]] MetricRegistry& metrics() { return *metrics_; }
+  [[nodiscard]] std::uint32_t allocate_node_id() { return next_node_id_++; }
+
+  /// Record a cross-shard link and fold its propagation delay into the
+  /// conservative lookahead. Called by EgressPort::connect for every wired
+  /// direction whose endpoints live on different shards of this group.
+  /// Throws if the delay is zero: a zero-lookahead boundary would make the
+  /// safe window empty and the group unable to advance.
+  void note_boundary(std::uint32_t src, std::uint32_t dst, Time prop_delay);
+  [[nodiscard]] Time lookahead() const { return lookahead_; }
+  [[nodiscard]] int boundary_links() const { return static_cast<int>(boundary_links_); }
+
+  /// The (src, dst) channel; src != dst, both < shard_count().
+  [[nodiscard]] CrossShardChannel& channel(std::uint32_t src, std::uint32_t dst) {
+    return *channels_[static_cast<std::size_t>(src) * shards_.size() + dst];
+  }
+
+  /// The horizon every shard has been promised: no cross-shard message may
+  /// arrive below it. Advanced to each window's end before the window runs.
+  [[nodiscard]] Time horizon_floor() const { return horizon_floor_.load(std::memory_order_relaxed); }
+  /// True while shards are executing a parallel window (used by the
+  /// foreign-schedule lookahead check).
+  [[nodiscard]] bool in_parallel_phase() const {
+    return in_parallel_phase_.load(std::memory_order_relaxed);
+  }
+
+  void run();
+  void run_until(Time deadline);
+  void stop() { stop_.store(true, std::memory_order_relaxed); }
+
+  // --- aggregates over all shards + control lane ----------------------------
+  [[nodiscard]] std::uint64_t executed_events() const;
+  [[nodiscard]] std::size_t pending_events() const;
+  /// Conservative windows executed so far (the null-message/barrier rounds).
+  [[nodiscard]] std::int64_t windows() const { return windows_; }
+  /// Cross-shard messages merged so far.
+  [[nodiscard]] std::int64_t cross_messages() const { return cross_msgs_; }
+  /// Control-lane events executed so far.
+  [[nodiscard]] std::int64_t control_events() const { return control_steps_; }
+
+  [[nodiscard]] Simulator* shard_by_tag(std::uint32_t tag);
+
+ private:
+  friend class Simulator;
+  friend class CrossShardChannel;
+
+  void run_loop(Time deadline);
+  /// Dispatch one window [*, end) to the worker pool and run shard 0 on the
+  /// calling thread; returns when every shard has arrived at the barrier.
+  void parallel_window(Time end);
+  /// Merge every channel into its destination heap, ordered by
+  /// (time, src shard, seq). Single-threaded: runs between windows.
+  void drain_channels();
+  void start_workers();
+  void worker_main(int shard_index);
+
+  std::unique_ptr<MetricRegistry> metrics_;
+  std::vector<std::unique_ptr<Simulator>> shards_;
+  std::unique_ptr<Simulator> control_owned_;  // null when control_ == shard 0
+  Simulator* control_ = nullptr;
+  std::vector<std::unique_ptr<CrossShardChannel>> channels_;  // src * n + dst
+  std::uint32_t next_node_id_ = 1;
+  Time lookahead_ = kTimeInfinity;
+  std::int64_t boundary_links_ = 0;
+
+  // Observability (registered as sim/** metrics; coordinator-written).
+  std::int64_t windows_ = 0;
+  std::int64_t cross_msgs_ = 0;
+  std::int64_t control_steps_ = 0;
+  std::int64_t lookahead_metric_ = 0;
+
+  // --- worker pool -----------------------------------------------------------
+  // Dispatch is a generation counter: the coordinator publishes window_end_
+  // then bumps epoch_ (release); workers spin/yield on epoch_ (acquire),
+  // run their shard's window, and arrive (release). The acquire/release
+  // pairs give every buffer the coordinator touches a happens-before edge.
+  std::vector<std::thread> workers_;
+  std::atomic<std::uint64_t> epoch_{0};
+  std::atomic<int> arrived_{0};
+  std::atomic<bool> quit_{false};
+  std::atomic<bool> stop_{false};
+  std::atomic<bool> in_parallel_phase_{false};
+  std::atomic<Time> horizon_floor_{0};
+  Time window_end_ = 0;
+  bool workers_started_ = false;
+
+  std::vector<CrossShardMsg> merge_scratch_;
+};
+
+}  // namespace rocelab

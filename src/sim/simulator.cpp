@@ -4,11 +4,33 @@
 #include <stdexcept>
 
 #include "src/monitor/metric_registry.h"
+#include "src/sim/shard_group.h"
 
 namespace rocelab {
 
+namespace {
+// The shard whose window is executing on this thread, if any. run_window
+// maintains it; schedule_at consults it to catch cross-shard scheduling
+// during a parallel window — which would be a write into a neighbour's
+// heap from the wrong thread AND a lookahead violation.
+thread_local Simulator* t_running_shard = nullptr;
+}  // namespace
+
 Simulator::Simulator() : metrics_(std::make_unique<MetricRegistry>()) {}
+
+Simulator::Simulator(ShardGroup* group, std::uint32_t shard_tag)
+    : group_(group), shard_tag_(shard_tag) {}
+
 Simulator::~Simulator() = default;
+
+MetricRegistry& Simulator::metrics() { return group_ ? group_->metrics() : *metrics_; }
+const MetricRegistry& Simulator::metrics() const {
+  return const_cast<Simulator*>(this)->metrics();
+}
+
+std::uint32_t Simulator::allocate_node_id() {
+  return group_ ? group_->allocate_node_id() : next_node_id_++;
+}
 
 void Simulator::heap_push(HeapKey key, HeapRef ref) {
   std::size_t i = keys_.size();
@@ -92,6 +114,7 @@ void Simulator::compact_heap() {
     const HeapRef ref = refs_[r];
     if (slots_[ref.slot].gen != ref.gen) {
       free_.push_back(ref.slot);
+      --heap_debt_;
       continue;
     }
     keys_[w] = keys_[r];
@@ -109,10 +132,23 @@ void Simulator::compact_heap() {
 }
 
 EventId Simulator::schedule_at(Time at, Callback cb) {
+  // The foreign-shard guard must run before anything else: it is the one
+  // check that may execute on the wrong thread, so it can only consult the
+  // group's atomic phase flag and the thread-local mark — reading now_ or
+  // the heap here would itself race with the owning shard's window.
+  if (group_ && group_->in_parallel_phase() && t_running_shard != this) {
+    // A neighbour shard (or anything off this shard's thread) is writing
+    // into our heap mid-window: lookahead violation. Cross-shard traffic
+    // must go through the group's channels, which enforce the horizon.
+    throw std::logic_error("schedule_at on a foreign shard during a parallel window");
+  }
   if (at < now_) throw std::invalid_argument("schedule_at in the past");
   // Amortized O(1): a compaction pass runs at most once per ~live_/2
   // schedules, and each pass is linear in the heap size.
-  if (keys_.size() >= 128 && keys_.size() - live_ > live_) compact_heap();
+  if (keys_.size() >= 128 &&
+      keys_.size() - static_cast<std::size_t>(live_) > static_cast<std::size_t>(live_)) {
+    compact_heap();
+  }
   std::uint32_t slot;
   if (!free_.empty()) {
     slot = free_.back();
@@ -129,13 +165,26 @@ EventId Simulator::schedule_at(Time at, Callback cb) {
 }
 
 void Simulator::cancel(EventId id) {
-  const std::uint64_t slot_plus1 = id >> 32;
+  const auto tag = static_cast<std::uint32_t>(id >> kEventIdShardShift);
+  if (tag == shard_tag_) {
+    cancel_local(id);
+    return;
+  }
+  if (group_ == nullptr) return;  // foreign-tagged id on a standalone core: no-op
+  Simulator* owner = group_->shard_by_tag(tag);
+  if (owner != nullptr) owner->cancel_local(id);
+}
+
+void Simulator::cancel_local(EventId id) {
+  constexpr std::uint64_t kSlotMask = (std::uint64_t{1} << (kEventIdShardShift - 32)) - 1;
+  const std::uint64_t slot_plus1 = (id >> 32) & kSlotMask;
   if (slot_plus1 == 0 || slot_plus1 > slots_.size()) return;  // invalid/foreign id
   Slot& s = slots_[static_cast<std::size_t>(slot_plus1 - 1)];
   if (s.gen != static_cast<std::uint32_t>(id)) return;  // already fired or cancelled
   ++s.gen;       // retire the id; the heap entry is now stale
   s.cb.reset();  // release captured resources right away
   --live_;
+  ++heap_debt_;
 }
 
 bool Simulator::purge_stale_top() {
@@ -144,6 +193,7 @@ bool Simulator::purge_stale_top() {
     if (slots_[top.slot].gen == top.gen) return true;
     free_.push_back(top.slot);  // the stale entry owned the slot reservation
     heap_pop_front();
+    --heap_debt_;
   }
   return false;
 }
@@ -165,13 +215,39 @@ bool Simulator::step() {
   return true;
 }
 
+Time Simulator::next_event_time() {
+  if (!purge_stale_top()) return kTimeInfinity;
+  return key_time(keys_.front());
+}
+
 void Simulator::run() {
+  if (group_ != nullptr) {
+    group_->run();
+    return;
+  }
+  run_local();
+}
+
+void Simulator::run_until(Time deadline) {
+  if (group_ != nullptr) {
+    group_->run_until(deadline);
+    return;
+  }
+  run_until_local(deadline);
+}
+
+void Simulator::stop() {
+  stopped_ = true;
+  if (group_ != nullptr) group_->stop();
+}
+
+void Simulator::run_local() {
   stopped_ = false;
   while (!stopped_ && step()) {
   }
 }
 
-void Simulator::run_until(Time deadline) {
+void Simulator::run_until_local(Time deadline) {
   stopped_ = false;
   while (!stopped_) {
     if (!purge_stale_top()) break;
@@ -179,6 +255,22 @@ void Simulator::run_until(Time deadline) {
     step();
   }
   if (now_ < deadline) now_ = deadline;
+}
+
+void Simulator::run_window(Time end) {
+  // One conservative window: everything strictly below the horizon is safe
+  // to execute without hearing from the neighbours again. The guard clears
+  // the running-shard mark even when a lookahead-violation check throws out
+  // of an event, so the diagnostic doesn't poison later windows.
+  struct RunningMark {
+    explicit RunningMark(Simulator* s) { t_running_shard = s; }
+    ~RunningMark() { t_running_shard = nullptr; }
+  } mark(this);
+  while (!stopped_) {
+    if (!purge_stale_top()) break;
+    if (key_time(keys_.front()) >= end) break;
+    step();
+  }
 }
 
 }  // namespace rocelab

@@ -1,11 +1,20 @@
 #include "src/topo/clos.h"
 
+#include <algorithm>
 #include <stdexcept>
 #include <string>
 
 namespace rocelab {
 
-ClosFabric::ClosFabric(const ClosParams& p) : params_(p) {
+namespace {
+/// The partition cannot be finer than one podset (intra-podset cables are
+/// too short to serve as lookahead boundaries).
+int effective_shards(const ClosParams& p) {
+  return std::clamp(p.shards, 1, std::min(p.podsets, static_cast<int>(kMaxShards)));
+}
+}  // namespace
+
+ClosFabric::ClosFabric(const ClosParams& p) : params_(p), fabric_(effective_shards(p)) {
   if (p.spines > 0 && p.spines % p.leaves_per_podset != 0) {
     throw std::invalid_argument("spines must be a multiple of leaves_per_podset");
   }
@@ -19,6 +28,7 @@ ClosFabric::ClosFabric(const ClosParams& p) : params_(p) {
   tors_.resize(static_cast<std::size_t>(p.podsets));
   leaves_.resize(static_cast<std::size_t>(p.podsets));
   for (int ps = 0; ps < p.podsets; ++ps) {
+    fabric_.set_build_shard(shard_of_podset(ps));
     for (int t = 0; t < p.tors_per_podset; ++t) {
       auto& sw = fabric_.add_switch("tor-" + std::to_string(ps) + "-" + std::to_string(t),
                                     p.tor_config, p.servers_per_tor + p.leaves_per_podset);
@@ -31,12 +41,16 @@ ClosFabric::ClosFabric(const ClosParams& p) : params_(p) {
     }
   }
   for (int s = 0; s < p.spines; ++s) {
+    // Spines have no podset affinity (each wires to every podset), so
+    // round-robin spreads their event load across the shards.
+    fabric_.set_build_shard(s % fabric_.shard_count());
     auto& sw = fabric_.add_switch("spine-" + std::to_string(s), p.spine_config, p.podsets);
     spines_.push_back(&sw);
   }
 
   // --- servers + ToR <-> server wiring -----------------------------------------
   for (int ps = 0; ps < p.podsets; ++ps) {
+    fabric_.set_build_shard(shard_of_podset(ps));
     servers_[static_cast<std::size_t>(ps)].resize(static_cast<std::size_t>(p.tors_per_podset));
     for (int t = 0; t < p.tors_per_podset; ++t) {
       Switch& tor_sw = tor(ps, t);
@@ -100,6 +114,7 @@ ClosFabric::ClosFabric(const ClosParams& p) : params_(p) {
       }
     }
   }
+  fabric_.set_build_shard(0);  // anything added by hand afterwards: shard 0
 }
 
 std::vector<const EgressPort*> ClosFabric::leaf_spine_ports() const {

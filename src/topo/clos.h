@@ -24,6 +24,11 @@ struct ClosParams {
   int tors_per_podset = 24;
   int servers_per_tor = 24;
   int spines = 64;  // 0 => two-tier fabric (no spine layer)
+  /// PDES shards. Clamped to [1, podsets]: the partition is by podset
+  /// (podset ps -> shard ps*shards/podsets, spines round-robin), so every
+  /// shard boundary is a leaf<->spine cable and the conservative lookahead
+  /// is the leaf_spine propagation delay. 1 = classic single-threaded run.
+  int shards = 1;
   Bandwidth link_bw = gbps(40);
   double server_cable_m = 2.0;
   double tor_leaf_m = 20.0;
@@ -41,6 +46,11 @@ class ClosFabric {
   Fabric& fabric() { return fabric_; }
   Simulator& sim() { return fabric_.sim(); }
   [[nodiscard]] const ClosParams& params() const { return params_; }
+
+  /// The shard a podset's switches and servers live on.
+  [[nodiscard]] int shard_of_podset(int podset) const {
+    return podset * fabric_.shard_count() / params_.podsets;
+  }
 
   [[nodiscard]] Host& server(int podset, int tor, int i) {
     return *servers_[static_cast<std::size_t>(podset)][static_cast<std::size_t>(tor)]

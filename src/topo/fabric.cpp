@@ -1,17 +1,22 @@
 #include "src/topo/fabric.h"
 
+#include <algorithm>
 #include <stdexcept>
 
 namespace rocelab {
 
+void Fabric::set_build_shard(int shard) {
+  build_shard_ = std::clamp(shard, 0, group_.shard_count() - 1);
+}
+
 Host& Fabric::add_host(std::string name, HostConfig cfg) {
-  hosts_.push_back(std::make_unique<Host>(sim_, name, cfg));
+  hosts_.push_back(std::make_unique<Host>(group_.shard(build_shard_), name, cfg));
   hosts_by_name_[name] = hosts_.back().get();
   return *hosts_.back();
 }
 
 Switch& Fabric::add_switch(std::string name, SwitchConfig cfg, int num_ports) {
-  switches_.push_back(std::make_unique<Switch>(sim_, name, cfg, num_ports));
+  switches_.push_back(std::make_unique<Switch>(group_.shard(build_shard_), name, cfg, num_ports));
   switches_by_name_[name] = switches_.back().get();
   return *switches_.back();
 }
@@ -19,8 +24,8 @@ Switch& Fabric::add_switch(std::string name, SwitchConfig cfg, int num_ports) {
 void Fabric::attach_host(Host& h, Switch& sw, int sw_port, Bandwidth bw, Time prop_delay) {
   connect_nodes(h, 0, sw, sw_port, bw, prop_delay);
   sw.set_port_role(sw_port, PortRole::kServerFacing);
-  sw.arp_table().install(h.ip(), h.mac(), sim_.now());
-  sw.mac_table().learn(h.mac(), sw_port, sim_.now());
+  sw.arp_table().install(h.ip(), h.mac(), sw.sim().now());
+  sw.mac_table().learn(h.mac(), sw_port, sw.sim().now());
   attachments_.push_back(Attachment{&h, &sw, sw_port});
 }
 
@@ -40,14 +45,14 @@ void Fabric::revive_host(Host& h) {
   h.set_dead(false);
   if (!h.port(0).connected()) return;
   auto* tor = dynamic_cast<Switch*>(h.port(0).peer());
-  if (tor != nullptr) tor->mac_table().learn(h.mac(), h.port(0).peer_port(), sim_.now());
+  if (tor != nullptr) tor->mac_table().learn(h.mac(), h.port(0).peer_port(), tor->sim().now());
 }
 
 void Fabric::reinstall_host_entries(Switch& sw) {
   for (const auto& a : attachments_) {
     if (a.sw != &sw) continue;
-    sw.arp_table().install(a.host->ip(), a.host->mac(), sim_.now());
-    sw.mac_table().learn(a.host->mac(), a.sw_port, sim_.now());
+    sw.arp_table().install(a.host->ip(), a.host->mac(), sw.sim().now());
+    sw.mac_table().learn(a.host->mac(), a.sw_port, sw.sim().now());
   }
 }
 

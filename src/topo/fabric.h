@@ -1,6 +1,14 @@
-// Fabric: owns the simulator and every node, and provides wiring helpers
-// (host attachment installs ARP entries, MAC entries, port roles, and the
-// gateway convention).
+// Fabric: owns the sharded simulator (a ShardGroup) and every node, and
+// provides wiring helpers (host attachment installs ARP entries, MAC
+// entries, port roles, and the gateway convention).
+//
+// Sharding: the fabric is built with a shard count (default 1); a builder
+// (ClosFabric) assigns each node to a shard via set_build_shard before
+// constructing it. Data-plane nodes schedule on their own shard;
+// fabric-global actors (chaos, monitors, healers) schedule on
+// control_sim(), which serializes between parallel windows — with one
+// shard both are the same Simulator and behaviour is byte-identical to the
+// pre-PDES single-threaded core.
 #pragma once
 
 #include <memory>
@@ -10,6 +18,7 @@
 #include <vector>
 
 #include "src/nic/host.h"
+#include "src/sim/shard_group.h"
 #include "src/sim/simulator.h"
 #include "src/switch/sw.h"
 
@@ -17,12 +26,30 @@ namespace rocelab {
 
 class Fabric {
  public:
-  Fabric() = default;
+  explicit Fabric(int shards = 1) : group_(shards) {}
   Fabric(const Fabric&) = delete;
   Fabric& operator=(const Fabric&) = delete;
 
-  Simulator& sim() { return sim_; }
-  [[nodiscard]] const Simulator& sim() const { return sim_; }
+  /// Shard 0 — the conventional handle for run control (run/run_until on
+  /// any shard drives the whole group) and for hand-built single-shard
+  /// fabrics, where it is the only shard.
+  Simulator& sim() { return group_.shard(0); }
+  [[nodiscard]] const Simulator& sim() const {
+    return const_cast<Fabric*>(this)->group_.shard(0);
+  }
+  /// The control lane: fault injection, monitors, and healers schedule here
+  /// so their events run serialized at synchronized horizons and may safely
+  /// touch any shard's nodes. Aliases sim() when shards == 1.
+  Simulator& control_sim() { return group_.control(); }
+  ShardGroup& group() { return group_; }
+  [[nodiscard]] const ShardGroup& group() const { return group_; }
+  [[nodiscard]] int shard_count() const { return group_.shard_count(); }
+
+  /// Shard that add_host/add_switch place new nodes on (builder hint;
+  /// clamped to the group's shard range). Hand-built fabrics that never
+  /// call this get everything on shard 0.
+  void set_build_shard(int shard);
+  [[nodiscard]] int build_shard() const { return build_shard_; }
 
   Host& add_host(std::string name, HostConfig cfg = {});
   Switch& add_switch(std::string name, SwitchConfig cfg, int num_ports);
@@ -78,7 +105,10 @@ class Fabric {
     int sw_port = -1;
   };
 
-  Simulator sim_;
+  // Declared first: nodes (whose port destructors deregister metrics) must
+  // destruct before the group and its registry.
+  ShardGroup group_;
+  int build_shard_ = 0;
   std::vector<Attachment> attachments_;
   std::vector<std::unique_ptr<Host>> hosts_;
   std::vector<std::unique_ptr<Switch>> switches_;

@@ -22,8 +22,21 @@ echo "=== perf gate (plain build only) ==="
 # plane leaves it byte-identical (--gray-noop), and records throughput at
 # the repo root. Skipped in the sanitizer pass — instrumented numbers are
 # noise.
+#
+# The same invocation then sweeps the pod-partitioned PDES core at shards
+# {1,2,4} on a 4-podset fabric (the pinned digest is only defined for the
+# classic 2-podset workload, and 4 shards need 4 podsets). Each shard
+# count runs twice and must be rerun-byte-identical; the per-count
+# events/sec land in BENCH_simcore.json under "shard_scaling". The
+# speedup gate (>= 2.5x at 4 shards vs 1) only arms on boxes with >= 4
+# cores — on fewer cores the sweep still proves determinism, but a
+# parallelism ratio would measure the scheduler, not the core.
+scale_gate=()
+if [ "$jobs" -ge 4 ]; then scale_gate=(--scale-min 2.5); fi
 "$repo/build/bench/perf_gate" --ms 10 --twice --gray-noop \
-  --expect-digest 7e3131fbe2867385 --json "$repo/BENCH_simcore.json"
+  --expect-digest 7e3131fbe2867385 \
+  --scaling 1,2,4 --scaling-podsets 4 --scaling-ms 4 "${scale_gate[@]}" \
+  --json "$repo/BENCH_simcore.json"
 
 echo "=== scenario smoke (plain build only) ==="
 # End-to-end check of the experiment plane: every runner answers
@@ -93,5 +106,25 @@ echo "=== gray-failure soak (ASan build) ==="
 # across build flavours.
 "$repo/build-asan/tools/gray_soak" --seed 2016 --ms 30 \
   --expect-journal 03da797857e53f56
+
+echo "=== sharded soak (ASan build) ==="
+# The same seeded chaos schedule on the 2-shard PDES core: the journal is
+# keyed by scheduled injection times, so it must replay to the same golden
+# hash regardless of shard count, with ASan watching the cross-shard
+# channel handoff and the control-lane drain.
+"$repo/build-asan/tools/gray_soak" --seed 2016 --ms 30 --shards 2 \
+  --expect-journal 03da797857e53f56
+
+echo "=== thread sanitizer (PDES shard tests) ==="
+# TSan build of the test suite, running the PDES determinism/lookahead
+# tests plus the simulator-core tests: the parallel-window barrier, the
+# SPSC channels, and the horizon publication are the only intentionally
+# concurrent code in the repo, so this is where a data race would live.
+run_suite_tsan() {
+  cmake -B "$repo/build-tsan" -S "$repo" -DROCELAB_SANITIZE=thread
+  cmake --build "$repo/build-tsan" -j "$jobs" --target rocelab_tests
+  ctest --test-dir "$repo/build-tsan" --output-on-failure -R 'Pdes|Simulator'
+}
+run_suite_tsan
 
 echo "CI OK"

@@ -33,12 +33,14 @@ using namespace rocelab;
 
 namespace {
 
-ClosParams soak_clos() {
+ClosParams soak_clos(int shards) {
   QosPolicy policy;
   policy.max_cable_m = 20.0;
   policy.link_bw = gbps(10);
-  return make_clos_params(policy, DeploymentStage::kFull, /*podsets=*/2, /*leaves=*/2,
-                          /*tors=*/2, /*servers=*/2, /*spines=*/4);
+  ClosParams p = make_clos_params(policy, DeploymentStage::kFull, /*podsets=*/2, /*leaves=*/2,
+                                  /*tors=*/2, /*servers=*/2, /*spines=*/4);
+  p.shards = shards;
+  return p;
 }
 
 }  // namespace
@@ -46,6 +48,7 @@ ClosParams soak_clos() {
 int main(int argc, char** argv) {
   std::uint64_t seed = 2016;
   long ms = 30;
+  int shards = 1;
   std::string expect_journal;
   bool print_health = false;
   for (int i = 1; i < argc; ++i) {
@@ -53,19 +56,21 @@ int main(int argc, char** argv) {
       seed = std::strtoull(argv[++i], nullptr, 0);
     } else if (std::strcmp(argv[i], "--ms") == 0 && i + 1 < argc) {
       ms = std::atol(argv[++i]);
+    } else if (std::strcmp(argv[i], "--shards") == 0 && i + 1 < argc) {
+      shards = std::atoi(argv[++i]);
     } else if (std::strcmp(argv[i], "--expect-journal") == 0 && i + 1 < argc) {
       expect_journal = argv[++i];
     } else if (std::strcmp(argv[i], "--print-health") == 0) {
       print_health = true;
     } else {
       std::fprintf(stderr,
-                   "usage: gray_soak [--seed N] [--ms N] [--expect-journal HEX] "
+                   "usage: gray_soak [--seed N] [--ms N] [--shards N] [--expect-journal HEX] "
                    "[--print-health]\n");
       return 2;
     }
   }
 
-  ClosFabric clos(soak_clos());
+  ClosFabric clos(soak_clos(shards));
   Fabric& fabric = clos.fabric();
   auto& sim = clos.sim();
 
@@ -123,7 +128,9 @@ int main(int argc, char** argv) {
       [&](std::uint32_t qpn, bool ok, Time) { detector.observe(sim.now(), qpn, ok); });
   ping.start();
 
-  InvariantAuditor auditor(sim, fabric.switch_ptrs(), hosts,
+  // The auditor walks every switch and host, so in sharded runs it must
+  // tick on the control lane (all shards quiesced), not inside a window.
+  InvariantAuditor auditor(fabric.control_sim(), fabric.switch_ptrs(), hosts,
                            InvariantAuditor::Options{.interval = microseconds(200)});
   auditor.start();
 

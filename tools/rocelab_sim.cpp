@@ -38,6 +38,7 @@ struct Options {
   int leaves = 2;
   int spines = 4;
   int podsets = 2;
+  int shards = 1;  // PDES shards (clamped to podsets; 1 = single-threaded)
   long duration_ms = 20;
   double alpha = 1.0 / 16;
   bool dcqcn = true;
@@ -57,7 +58,7 @@ struct Options {
   std::fprintf(stderr,
                "usage: rocelab_sim [--topology star|clos2|clos3] [--workload "
                "stream|incast|pingmesh]\n"
-               "  [--servers N] [--tors N] [--leaves N] [--spines N] [--podsets N]\n"
+               "  [--servers N] [--tors N] [--leaves N] [--spines N] [--podsets N] [--shards N]\n"
                "  [--duration-ms N] [--alpha X] [--no-dcqcn] [--spray]\n"
                "  [--recovery gbn|gb0|sr] [--loss P] [--storm-at-ms N] [--pcap FILE]\n"
                "  [--seed N]\n");
@@ -79,6 +80,7 @@ Options Options::parse(int argc, char** argv) {
     else if (a == "--leaves") o.leaves = std::atoi(need(i));
     else if (a == "--spines") o.spines = std::atoi(need(i));
     else if (a == "--podsets") o.podsets = std::atoi(need(i));
+    else if (a == "--shards") o.shards = std::atoi(need(i));
     else if (a == "--duration-ms") o.duration_ms = std::atol(need(i));
     else if (a == "--alpha") o.alpha = std::atof(need(i));
     else if (a == "--no-dcqcn") o.dcqcn = false;
@@ -127,6 +129,7 @@ Scenario build(const Options& o, const QosPolicy& policy) {
   ClosParams params = make_clos_params(policy, DeploymentStage::kFull,
                                        three_tier ? o.podsets : 1, o.leaves, o.tors, o.servers,
                                        three_tier ? o.spines : 0);
+  params.shards = o.shards;
   params.tor_config.mmu.alpha = o.alpha;
   params.leaf_config.mmu.alpha = o.alpha;
   params.spine_config.mmu.alpha = o.alpha;
