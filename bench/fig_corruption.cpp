@@ -1,0 +1,453 @@
+// E20 — end-to-end data integrity under silent link corruption (§5.2,
+// ISSUE 8 tentpole). A corruption impairment with escape_fcs_frac = 1 is
+// placed on the busiest traced pod-0 ToR uplink: every corrupted frame
+// escapes the per-hop FCS check and is DELIVERED with a damaged payload —
+// no fcs_errors anywhere, so the pre-ICRC monitoring plane is blind to it.
+//
+// Three arms run at each (corrupt rate x loss-recovery mode) point, all
+// sharing one monitoring plane (sampled pingmesh grid -> localizer, link
+// health watch, invariant auditor):
+//
+//   - noint:  ICRC verification off. Corrupt payloads complete to
+//             application WQEs at full goodput — the auditor's
+//             kDataIntegrity invariant counts every torn completion;
+//   - icrc:   the NIC verifies ICRC, drops corrupt packets and NAKs the
+//             sender (go-back-N resends; go-back-0 must not re-livelock).
+//             Zero corrupt completions, but the bad cable stays in service
+//             and taxes goodput with retransmissions forever;
+//   - incmgr: ICRC plus the IncidentManager. Per-port corrupt_delivered
+//             counters (the PHY-telemetry analogue: they fire exactly at
+//             the receiving end of the corrupting hop) localize the cable;
+//             the manager pulls it (kCableReplace, ranked under the same
+//             blast budget as cost-outs/drains), a timed re-splice clears
+//             the impairment on both directions, and probation restores the
+//             link — goodput returns to the SLA floor with zero corrupt
+//             completions, auditor-verified.
+//
+// The incmgr arm reruns with the same seed and again at shards=2: the
+// chaos journal (faults + cable_replace decisions) must be byte-identical
+// in all three — the --expect_journal knob lets CI pin the golden hash.
+#include <algorithm>
+#include <cstdio>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <tuple>
+#include <utility>
+#include <vector>
+
+#include "src/app/demux.h"
+#include "src/app/pingmesh_grid.h"
+#include "src/exp/scenario.h"
+#include "src/faults/auditor.h"
+#include "src/faults/chaos.h"
+#include "src/faults/incident_manager.h"
+#include "src/faults/localizer.h"
+#include "src/link/impairment.h"
+#include "src/monitor/health.h"
+#include "src/monitor/metric_registry.h"
+#include "src/monitor/monitor.h"
+#include "src/nic/rdma_nic.h"
+#include "src/rocev2/deployment.h"
+#include "src/switch/sw.h"
+#include "src/topo/trace.h"
+
+using namespace rocelab;
+
+namespace {
+
+enum class Arm { kClean, kNoIntegrity, kIcrc, kIcrcMgr };
+
+const char* arm_name(Arm a) {
+  switch (a) {
+    case Arm::kClean: return "clean";
+    case Arm::kNoIntegrity: return "noint";
+    case Arm::kIcrc: return "icrc";
+    case Arm::kIcrcMgr: return "incmgr";
+  }
+  return "?";
+}
+
+const char* gb_name(LossRecovery r) {
+  return r == LossRecovery::kGoBack0 ? "goback0" : "gobackN";
+}
+
+struct Result {
+  double mean_gbps = 0.0;  // fleet goodput over the post-settle window
+  double min_gbps = 0.0;
+  int victims = 0;                      // flows whose data path crossed the bad uplink
+  std::int64_t completed = 0;           // paced messages completed (livelock guard)
+  std::int64_t corrupt_delivered = 0;   // port ground truth: frames past the FCS
+  std::int64_t icrc_errors = 0;         // NIC detections
+  std::int64_t corrupt_completions = 0; // torn data handed to applications
+  std::int64_t integrity_violations = 0;  // auditor kDataIntegrity count
+  std::int64_t hard_violations = 0;
+  std::int64_t cable_replaces = 0;
+  bool replace_journalled = false;   // kCableReplace entry present
+  bool resplice_journalled = false;  // kCableReplaced entry present
+  double sla_p99_rtt_us = 0.0;       // fleet pingmesh rollup (per-host avg)
+  std::uint64_t journal_hash = 0;
+};
+
+constexpr std::int64_t kMsgBytes = 16 * kKiB;
+
+Result run_case(Arm arm, LossRecovery recovery, double rate, double escape, Time duration,
+                Time window_at, int shards) {
+  // Two podsets x (2 leaves x 2 ToRs x 2 servers) + 4 spines — same shape
+  // as the incident-manager soak so mitigation semantics carry over.
+  QosPolicy policy;
+  policy.max_cable_m = 20.0;
+  ClosParams params = make_clos_params(policy, DeploymentStage::kFull, /*podsets=*/2,
+                                       /*leaves=*/2, /*tors=*/2, /*servers=*/2, /*spines=*/4);
+  params.shards = shards;
+  ClosFabric clos(params);
+  Simulator& sim = clos.sim();
+
+  std::vector<std::unique_ptr<RdmaDemux>> demuxes;
+  for (const auto& h : clos.fabric().hosts()) demuxes.push_back(std::make_unique<RdmaDemux>(*h));
+  auto demux_of = [&](Host& h) -> RdmaDemux& {
+    for (std::size_t i = 0; i < clos.fabric().hosts().size(); ++i) {
+      if (clos.fabric().hosts()[i].get() == &h) return *demuxes[i];
+    }
+    throw std::logic_error("unknown host");
+  };
+
+  if (arm == Arm::kNoIntegrity) {
+    for (const auto& h : clos.fabric().hosts()) h->rdma().set_icrc_verify(false);
+  }
+
+  QpConfig qp = make_qp_config(policy);
+  qp.recovery = recovery;
+  qp.retx_timeout = microseconds(200);
+  qp.retry_limit = 0;  // retry forever: corruption recovery must not wedge QPs
+
+  // Intra-podset paced flows, both directions in both pods (pod-0 flows
+  // cross the impaired uplink; pod-1 flows are the healthy control group).
+  struct Flow {
+    Host* src = nullptr;
+    Host* dst = nullptr;
+    std::uint32_t qpn = 0;
+    std::int64_t posted = 0;
+    std::int64_t completed = 0;
+  };
+  std::vector<Flow> flows;
+  for (int ps = 0; ps < 2; ++ps) {
+    for (int i = 0; i < 2; ++i) {
+      flows.push_back({&clos.server(ps, 0, i), &clos.server(ps, 1, i)});
+      flows.push_back({&clos.server(ps, 1, i), &clos.server(ps, 0, i)});
+    }
+  }
+  for (Flow& f : flows) {
+    auto [qa, qb] = connect_qp_pair(*f.src, *f.dst, qp);
+    (void)qb;
+    f.qpn = qa;
+    demux_of(*f.src).on_completion(qa, [&f](const RdmaCompletion&) { ++f.completed; });
+  }
+
+  // Place the corruption on the busiest pod-0 ToR uplink actually carried
+  // by the flows' traced ECMP paths (ties break on (name, port)).
+  std::map<std::pair<std::string, int>, std::pair<Switch*, int>> up_hops;
+  for (const Flow& f : flows) {
+    for (const TraceHop& h :
+         trace_route(clos.fabric(), *f.src, *f.dst, f.src->rdma().qp_sport(f.qpn))) {
+      for (int t = 0; t < params.tors_per_podset; ++t) {
+        if (h.node == &clos.tor(0, t) && h.port >= params.servers_per_tor) {
+          auto& e = up_hops[{h.node->name(), h.port}];
+          e.first = &clos.tor(0, t);
+          ++e.second;
+        }
+      }
+    }
+  }
+  const std::pair<const std::pair<std::string, int>, std::pair<Switch*, int>>* pick = nullptr;
+  for (const auto& e : up_hops) {
+    if (pick == nullptr || e.second.second > pick->second.second) pick = &e;
+  }
+  if (pick == nullptr) throw std::logic_error("no corruption victim");
+  Switch& bad_tor = *pick->second.first;
+  const int bad_up = pick->first.second;
+  const int victims = pick->second.second;
+
+  std::function<void()> pump = [&] {
+    for (Flow& f : flows) {
+      if (f.src->rdma().qp_connected(f.qpn) && !f.src->rdma().qp_errored(f.qpn) &&
+          f.posted - f.completed < 4) {
+        f.src->rdma().post_send(f.qpn, kMsgBytes, 0);
+        ++f.posted;
+      }
+    }
+    clos.fabric().control_sim().schedule_in(microseconds(16), pump);
+  };
+  clos.fabric().control_sim().schedule_in(microseconds(10), pump);
+
+  // Monitoring plane, identical in every arm: a SAMPLED pingmesh grid (two
+  // representative hosts per podset instead of the full N^2 mesh) with
+  // registry rollups, feeding the localizer; counter health watch; auditor.
+  std::vector<Host*> grid_hosts;
+  std::vector<RdmaDemux*> grid_demuxes;
+  for (const auto& h : clos.fabric().hosts()) {
+    grid_hosts.push_back(h.get());
+    grid_demuxes.push_back(&demux_of(*h));
+  }
+  PingmeshGrid::Options gopts;
+  gopts.probe.interval = microseconds(50);
+  gopts.probe.timeout = microseconds(400);
+  gopts.qp = make_qp_config(policy, /*realtime=*/true);
+  gopts.qp.retx_timeout = microseconds(150);
+  gopts.qp.retry_limit = 3;
+  gopts.sample_per_podset = 2;
+  gopts.registry = &sim.metrics();
+  PingmeshGrid grid(grid_hosts, grid_demuxes, gopts);
+  GrayFailureLocalizer localizer(clos.fabric());
+  // Same sharded-observation discipline as the incident-manager soak: at
+  // one shard outcomes feed the localizer directly; sharded runs append to
+  // a per-pair-sequenced log drained in deterministic order on the control
+  // lane, so the decision sequence is identical at any shard count.
+  struct Obs {
+    Time at;
+    int s, d;
+    bool ok;
+    std::int64_t seq;
+  };
+  std::mutex obs_mu;
+  std::vector<Obs> obs_log;
+  std::vector<std::int64_t> pair_seq(grid_hosts.size() * grid_hosts.size(), 0);
+  std::function<void()> drain_obs;
+  if (clos.fabric().shard_count() > 1) {
+    const std::size_t n = grid_hosts.size();
+    grid.set_outcome_cb([&, n](int s, int d, bool ok, Time t) {
+      std::lock_guard<std::mutex> lk(obs_mu);
+      obs_log.push_back(
+          {t, s, d, ok, pair_seq[static_cast<std::size_t>(s) * n + static_cast<std::size_t>(d)]++});
+    });
+    drain_obs = [&] {
+      std::vector<Obs> batch;
+      {
+        std::lock_guard<std::mutex> lk(obs_mu);
+        batch.swap(obs_log);
+      }
+      std::sort(batch.begin(), batch.end(), [](const Obs& a, const Obs& b) {
+        return std::tie(a.at, a.s, a.d, a.seq) < std::tie(b.at, b.s, b.d, b.seq);
+      });
+      for (const Obs& o : batch) {
+        localizer.observe(grid.host(o.s), grid.host(o.d), grid.probe_sport(o.s, o.d),
+                          grid.echo_sport(o.s, o.d), o.ok);
+      }
+      clos.fabric().control_sim().schedule_in(microseconds(250), drain_obs);
+    };
+    clos.fabric().control_sim().schedule_in(microseconds(250), drain_obs);
+  } else {
+    grid.set_outcome_cb([&](int s, int d, bool ok, Time) {
+      localizer.observe(grid.host(s), grid.host(d), grid.probe_sport(s, d), grid.echo_sport(s, d),
+                        ok);
+    });
+  }
+  grid.start();
+
+  // SLA percentile rollups over the grid's registry metrics: per-pod and
+  // fleet channels are plain MetricSelection globs.
+  RegistrySampler rollup(clos.fabric().control_sim(), milliseconds(1));
+  rollup.watch("fleet_rtt", "pingmesh/srv*/rtt_us", MetricKind::kGauge);
+  rollup.watch("pod0_rtt", "pingmesh/srv-0-*/rtt_us", MetricKind::kGauge);
+  rollup.watch("pod1_rtt", "pingmesh/srv-1-*/rtt_us", MetricKind::kGauge);
+  rollup.watch("fleet_fail", "pingmesh/srv*/failed");
+  rollup.start();
+
+  LinkHealthMonitor::Options hopts;
+  hopts.interval = milliseconds(1);
+  LinkHealthMonitor health(clos.fabric(), hopts);
+  health.start();
+
+  InvariantAuditor::Options aopts;
+  aopts.interval = microseconds(200);
+  aopts.registry = &sim.metrics();
+  aopts.blast_budget_bp = 5000;
+  std::vector<Switch*> sw_ptrs;
+  for (const auto& s : clos.fabric().switches()) sw_ptrs.push_back(s.get());
+  std::vector<Host*> host_ptrs;
+  for (const auto& h : clos.fabric().hosts()) host_ptrs.push_back(h.get());
+  InvariantAuditor auditor(clos.fabric().control_sim(), sw_ptrs, host_ptrs, aopts);
+  auditor.start();
+
+  ChaosEngine chaos(clos.fabric(), /*seed=*/2016);
+  if (arm != Arm::kClean) {
+    LinkImpairment imp;
+    imp.corrupt_deliver_rate = rate;
+    imp.escape_fcs_frac = escape;
+    imp.seed = 31;
+    chaos.impair_link(bad_tor, bad_up, imp, milliseconds(1));
+  }
+
+  std::unique_ptr<IncidentManager> mgr;
+  if (arm == Arm::kIcrcMgr) {
+    IncidentManagerConfig mcfg;
+    mcfg.scan_interval = microseconds(250);
+    mcfg.score_threshold = 0.9;
+    mcfg.min_probes = 3;
+    mcfg.confirm_scans = 2;
+    mcfg.drain_threshold = 2;
+    mcfg.probation = milliseconds(3);
+    mcfg.restore_cooldown = milliseconds(3);
+    mcfg.blast_budget_frac = 0.5;
+    mcfg.cable_replace_delay = milliseconds(4);
+    mgr = std::make_unique<IncidentManager>(clos.fabric(), localizer, mcfg);
+    mgr->set_chaos(&chaos);
+    mgr->set_link_health(&health);
+    mgr->set_auditor(&auditor);
+    mgr->start();
+  }
+
+  SlaMonitor sla(clos.fabric().control_sim(), "srv*/rdma/bytes_completed", milliseconds(1));
+  sla.start();
+  sim.run_until(duration);
+
+  Result r;
+  const std::size_t skip = static_cast<std::size_t>(window_at / milliseconds(1));
+  r.mean_gbps = sla.mean_gbps(skip);
+  r.min_gbps = sla.min_gbps(skip);
+  r.victims = victims;
+  for (const Flow& f : flows) r.completed += f.completed;
+  r.corrupt_delivered = sim.metrics().sum("*/port*/corrupt_delivered");
+  r.icrc_errors = sim.metrics().sum("srv*/rdma/icrc_errors");
+  r.corrupt_completions = sim.metrics().sum("srv*/rdma/corrupt_completions");
+  r.integrity_violations = auditor.count(InvariantAuditor::Kind::kDataIntegrity);
+  r.hard_violations = auditor.hard_violations();
+  if (mgr) r.cable_replaces = mgr->stats().cable_replaces;
+  if (!rollup.samples("fleet_rtt").empty()) {
+    r.sla_p99_rtt_us = rollup.samples("fleet_rtt").percentile(99.0) /
+                       static_cast<double>(grid_hosts.size());
+  }
+  const std::string journal = chaos.journal_text();
+  r.replace_journalled = journal.find("cable_replace " + bad_tor.name()) != std::string::npos;
+  r.resplice_journalled = journal.find("cable_replaced " + bad_tor.name()) != std::string::npos;
+  r.journal_hash = chaos.journal_hash();
+  return r;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  exp::Scenario sc;
+  sc.name = "fig_corruption";
+  sc.title = "E20 — silent corruption: delivered-corrupt frames, ICRC + NAK recovery, "
+             "cable replacement";
+  sc.paper = "paper §5.2: corruption that escapes the per-hop FCS check reaches the\n"
+             "application unless an end-to-end invariant CRC catches it; lossy cables\n"
+             "must be found from counters and replaced fast. This arms race — deliver\n"
+             "corrupt frames, verify ICRC + NAK, localize by corrupt_delivered\n"
+             "counters, pull and re-splice the cable — reproduces that plane.";
+  sc.knobs = {
+      exp::knob_int("duration_ms", 40, "ROCELAB_CORRUPT_MS", "simulated time per arm"),
+      exp::knob_int("window_ms", 16, "", "SLA window start (post replace settle)"),
+      exp::knob_double("sla_floor_frac", 0.85, "", "SLA floor as a fraction of clean mean"),
+      exp::knob_double("escape_fcs_frac", 1.0, "", "fraction of corruption escaping the FCS"),
+      exp::knob_string("corrupt_sweep", "0.005,0.05", "", "corrupt-deliver rates (csv)"),
+      exp::knob_string("expect_journal", "", "", "golden incmgr journal hash (hex, CI gate)"),
+  };
+  sc.body = [](exp::Context& ctx) {
+    const Time duration = milliseconds(ctx.knob_int("duration_ms"));
+    const Time window_at = milliseconds(ctx.knob_int("window_ms"));
+    const double floor_frac = ctx.knob_double("sla_floor_frac");
+    const double escape = ctx.knob_double("escape_fcs_frac");
+    const std::vector<double> sweep = ctx.knob_list("corrupt_sweep");
+
+    ctx.note("topology: 2 podsets x (2 leaves x 2 ToRs x 2 servers) + 4 spines; corruption");
+    ctx.note("on the busiest traced pod-0 ToR uplink, escape_fcs_frac=" +
+             exp::fmt("%.2f", escape) + " (FCS-blind)");
+
+    const Result clean =
+        run_case(Arm::kClean, LossRecovery::kGoBackN, 0.0, escape, duration, window_at,
+                 ctx.shards());
+    const double floor = floor_frac * clean.mean_gbps;
+    ctx.metric("clean", "mean_goodput_gbps", clean.mean_gbps);
+    ctx.metric("clean", "sla_floor_gbps", floor);
+    ctx.note("clean mean " + exp::fmt("%.2f", clean.mean_gbps) + " Gb/s; SLA floor " +
+             exp::fmt("%.2f", floor) + " Gb/s; victims " + std::to_string(clean.victims));
+    ctx.check("corruption victim flows exist on the traced path", clean.victims > 0);
+    ctx.check("clean run is integrity-clean (auditor)",
+              clean.hard_violations == 0 && clean.corrupt_completions == 0);
+
+    ctx.table({"rate", "recovery", "arm", "mean Gb/s", "icrc_err", "corrupt_cmpl", "replaces"},
+              {7, 8, 7, 10, 9, 12, 8});
+    Result last_mgr;  // incmgr arm at the final (rate, gobackN) point
+    Result last_icrc;
+    Result last_noint;
+    Result gb0_icrc;  // go-back-0 livelock guard at the final rate
+    for (const double rate : sweep) {
+      for (const LossRecovery rec : {LossRecovery::kGoBack0, LossRecovery::kGoBackN}) {
+        for (const Arm arm : {Arm::kNoIntegrity, Arm::kIcrc, Arm::kIcrcMgr}) {
+          const Result r = run_case(arm, rec, rate, escape, duration, window_at, ctx.shards());
+          const std::string key =
+              exp::fmt("%.3f", rate) + "/" + gb_name(rec) + "/" + arm_name(arm);
+          ctx.row({exp::fmt("%.3f", rate), gb_name(rec), arm_name(arm),
+                   exp::fmt("%.2f", r.mean_gbps), std::to_string(r.icrc_errors),
+                   std::to_string(r.corrupt_completions), std::to_string(r.cable_replaces)});
+          ctx.metric(key, "mean_goodput_gbps", r.mean_gbps);
+          ctx.metric(key, "min_goodput_gbps", r.min_gbps);
+          ctx.metric(key, "corrupt_delivered", static_cast<double>(r.corrupt_delivered));
+          ctx.metric(key, "icrc_errors", static_cast<double>(r.icrc_errors));
+          ctx.metric(key, "corrupt_completions", static_cast<double>(r.corrupt_completions));
+          ctx.metric(key, "integrity_violations", static_cast<double>(r.integrity_violations));
+          ctx.metric(key, "cable_replaces", static_cast<double>(r.cable_replaces));
+          ctx.metric(key, "sla_p99_rtt_us", r.sla_p99_rtt_us);
+          if (arm == Arm::kNoIntegrity) {
+            ctx.check("noint@" + key + ": torn data completes to applications",
+                      r.corrupt_completions > 0 && r.integrity_violations > 0);
+          } else {
+            ctx.check("integrity@" + key + ": zero corrupt completions (auditor-verified)",
+                      r.corrupt_completions == 0 && r.integrity_violations == 0 &&
+                          r.icrc_errors > 0);
+          }
+          if (rec == LossRecovery::kGoBack0 && arm == Arm::kIcrc) gb0_icrc = r;
+          if (rec == LossRecovery::kGoBackN && arm == Arm::kIcrcMgr) last_mgr = r;
+          if (rec == LossRecovery::kGoBackN && arm == Arm::kIcrc) last_icrc = r;
+          if (rec == LossRecovery::kGoBackN && arm == Arm::kNoIntegrity) last_noint = r;
+        }
+      }
+    }
+
+    // Corruption ground truth flowed: frames really were delivered corrupt.
+    ctx.check("delivered-corrupt frames observed at the impaired hop",
+              last_noint.corrupt_delivered > 0 && last_icrc.corrupt_delivered > 0);
+    // Go-back-0 under persistent corruption keeps completing messages: the
+    // restart-barrier regression guard (a livelocked run completes ~none).
+    ctx.check("go-back-0 + ICRC does not re-livelock under corruption",
+              gb0_icrc.completed > 0 && gb0_icrc.mean_gbps > 0.1 * clean.mean_gbps);
+    // The incident manager finds the cable from counters, replaces it, and
+    // restores the SLA floor the ICRC-only arm cannot reach at this rate.
+    ctx.check("incmgr: cable replace journalled (pull + re-splice)",
+              last_mgr.cable_replaces >= 1 && last_mgr.replace_journalled &&
+                  last_mgr.resplice_journalled);
+    ctx.check("incmgr: victim goodput restored to the SLA floor",
+              last_mgr.min_gbps >= floor);
+    ctx.check("incmgr beats icrc-only goodput at the top corrupt rate",
+              last_mgr.mean_gbps > last_icrc.mean_gbps);
+    ctx.check("auditor: no hard violations in any integrity arm",
+              last_mgr.hard_violations == 0 && last_icrc.hard_violations == 0 &&
+                  gb0_icrc.hard_violations == 0);
+
+    // Determinism: same seed -> byte-identical journal, at 1 shard and 2.
+    const double top_rate = sweep.back();
+    const Result rerun = run_case(Arm::kIcrcMgr, LossRecovery::kGoBackN, top_rate, escape,
+                                  duration, window_at, ctx.shards());
+    ctx.check("incmgr journal is byte-identical across reruns",
+              rerun.journal_hash == last_mgr.journal_hash);
+    const Result sharded = run_case(Arm::kIcrcMgr, LossRecovery::kGoBackN, top_rate, escape,
+                                    duration, window_at, /*shards=*/2);
+    ctx.check("incmgr journal is byte-identical at shards=2",
+              sharded.journal_hash == last_mgr.journal_hash);
+    char hash_buf[24];
+    std::snprintf(hash_buf, sizeof hash_buf, "%016llx",
+                  static_cast<unsigned long long>(last_mgr.journal_hash));
+    const std::string hash = hash_buf;
+    ctx.note("incmgr journal hash: " + hash);
+    ctx.metric("incmgr", "journal_hash_hi", static_cast<double>(last_mgr.journal_hash >> 32));
+    const std::string& expect = ctx.knob_string("expect_journal");
+    if (!expect.empty()) {
+      ctx.check("journal hash matches the CI golden value", hash == expect);
+    }
+  };
+  return exp::run_scenario(sc, argc, argv);
+}

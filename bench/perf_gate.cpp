@@ -16,6 +16,10 @@
 // installed but disabled (a LinkImpairment on every port, a QpFaultSpec on
 // every NIC) and requires the digest to stay byte-identical: constructing
 // the fault plane must cost zero RNG draws and zero behaviour.
+//
+// --corruption-noop is the same contract for the data-integrity plane: a
+// disabled corruption impairment (corrupt_deliver_rate/escape_fcs_frac set)
+// on every port, with the NICs' ICRC verify left at its always-on default.
 #include <sys/resource.h>
 
 #include <chrono>
@@ -65,7 +69,8 @@ double cpu_seconds() {
 /// byte-identical to the historical workload behind the pinned digest;
 /// podsets pair up (m <-> m + podsets/2) so every stream stays cross-podset
 /// at any size, and `shards` turns on the pod-partitioned PDES core.
-GateResult run_workload(Time window, int shards = 1, int podsets = 2, bool gray_noop = false) {
+GateResult run_workload(Time window, int shards = 1, int podsets = 2, bool gray_noop = false,
+                        bool corruption_noop = false) {
   QosPolicy policy;
   const int tors = 3, servers = 4;
   const int half = podsets / 2;
@@ -95,6 +100,23 @@ GateResult run_workload(Time window, int shards = 1, int podsets = 2, bool gray_
     for (const auto& h : clos.fabric().hosts()) {
       for (int p = 0; p < h->port_count(); ++p) h->port(p).set_impairment(imp);
       for (std::uint32_t qpn = 1; qpn <= 4; ++qpn) h->rdma().set_qp_fault(qpn, spec);
+    }
+  }
+
+  if (corruption_noop) {
+    // The data-integrity plane, constructed but disabled: a corruption
+    // impairment on every port and ICRC verify at its always-on default.
+    // Must cost zero RNG draws and zero events — the digest proves it.
+    LinkImpairment imp;
+    imp.enabled = false;
+    imp.corrupt_deliver_rate = 0.5;
+    imp.escape_fcs_frac = 0.5;
+    for (auto* sw : clos.fabric().switch_ptrs()) {
+      for (int p = 0; p < sw->port_count(); ++p) sw->port(p).set_impairment(imp);
+    }
+    for (const auto& h : clos.fabric().hosts()) {
+      for (int p = 0; p < h->port_count(); ++p) h->port(p).set_impairment(imp);
+      h->rdma().set_icrc_verify(true);
     }
   }
 
@@ -212,6 +234,7 @@ int main(int argc, char** argv) {
   std::string expect_digest;
   bool twice = false;
   bool gray_noop = false;
+  bool corruption_noop = false;
   int shards = 1;
   int podsets = 2;
   std::vector<int> scaling;  // e.g. --scaling 1,2,4: PDES scaling sweep
@@ -229,6 +252,8 @@ int main(int argc, char** argv) {
       twice = true;
     } else if (std::strcmp(argv[i], "--gray-noop") == 0) {
       gray_noop = true;
+    } else if (std::strcmp(argv[i], "--corruption-noop") == 0) {
+      corruption_noop = true;
     } else if (std::strcmp(argv[i], "--shards") == 0 && i + 1 < argc) {
       shards = std::atoi(argv[++i]);
     } else if (std::strcmp(argv[i], "--podsets") == 0 && i + 1 < argc) {
@@ -248,8 +273,8 @@ int main(int argc, char** argv) {
     } else {
       std::fprintf(stderr,
                    "usage: perf_gate [--ms N] [--json PATH] [--twice] [--expect-digest HEX] "
-                   "[--gray-noop] [--shards N] [--podsets N] [--scaling 1,2,4] "
-                   "[--scale-min R] [--scaling-podsets N] [--scaling-ms N]\n");
+                   "[--gray-noop] [--corruption-noop] [--shards N] [--podsets N] "
+                   "[--scaling 1,2,4] [--scale-min R] [--scaling-podsets N] [--scaling-ms N]\n");
       return 2;
     }
   }
@@ -293,6 +318,14 @@ int main(int argc, char** argv) {
     const GateResult rg = run_workload(milliseconds(ms), shards, podsets, /*gray_noop=*/true);
     const bool same = rg.digest == r.digest && rg.events == r.events;
     std::printf("gray-noop digest:   %s (%s)\n", digest_hex(rg.digest).c_str(),
+                same ? "MATCH" : "MISMATCH");
+    ok = ok && same;
+  }
+  if (corruption_noop) {
+    const GateResult rc = run_workload(milliseconds(ms), shards, podsets, /*gray_noop=*/false,
+                                       /*corruption_noop=*/true);
+    const bool same = rc.digest == r.digest && rc.events == r.events;
+    std::printf("corruption-noop digest: %s (%s)\n", digest_hex(rc.digest).c_str(),
                 same ? "MATCH" : "MISMATCH");
     ok = ok && same;
   }

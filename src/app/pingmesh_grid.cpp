@@ -1,12 +1,28 @@
 #include "src/app/pingmesh_grid.h"
 
 #include <cstdio>
+#include <cstdlib>
+#include <map>
 #include <sstream>
 #include <stdexcept>
 
+#include "src/monitor/metric_registry.h"
 #include "src/nic/rdma_nic.h"
 
 namespace rocelab {
+
+int PingmeshGrid::podset_of(const std::string& name) {
+  const auto a = name.find('-');
+  if (a == std::string::npos) return -1;
+  const auto b = name.find('-', a + 1);
+  const std::string tok =
+      name.substr(a + 1, b == std::string::npos ? std::string::npos : b - a - 1);
+  if (tok.empty()) return -1;
+  for (const char c : tok) {
+    if (c < '0' || c > '9') return -1;
+  }
+  return std::atoi(tok.c_str());
+}
 
 PingmeshGrid::PingmeshGrid(std::vector<Host*> hosts, std::vector<RdmaDemux*> demuxes,
                            Options opts)
@@ -15,16 +31,43 @@ PingmeshGrid::PingmeshGrid(std::vector<Host*> hosts, std::vector<RdmaDemux*> dem
     throw std::invalid_argument("PingmeshGrid: one demux per host required");
   }
   cells_.resize(static_cast<std::size_t>(n_) * static_cast<std::size_t>(n_));
+  paired_.assign(cells_.size(), 0);
   fwd_qpn_.assign(cells_.size(), 0);
   echo_qpn_.assign(cells_.size(), 0);
   qpn_to_dst_.resize(hosts_.size());
 
-  // One dedicated QP pair per ordered (src, dst): the request and response
-  // flows get their own UDP source ports, i.e. their own ECMP paths.
+  // Representative targets: the first sample_per_podset hosts of each
+  // podset in construction order (full mesh when the knob is 0).
+  std::vector<char> is_rep(hosts_.size(), 1);
+  if (opts_.sample_per_podset > 0) {
+    std::map<int, int> taken;
+    for (std::size_t j = 0; j < hosts_.size(); ++j) {
+      int& k = taken[podset_of(hosts_[j]->name())];
+      is_rep[j] = k < opts_.sample_per_podset ? (++k, 1) : 0;
+    }
+  }
+
+  if (opts_.registry != nullptr) {
+    reg_sent_.assign(hosts_.size(), 0);
+    reg_failed_.assign(hosts_.size(), 0);
+    reg_rtt_us_.assign(hosts_.size(), 0);
+    for (std::size_t i = 0; i < hosts_.size(); ++i) {
+      const std::string prefix = "pingmesh/" + hosts_[i]->name();
+      opts_.registry->add(this, prefix + "/sent", &reg_sent_[i]);
+      opts_.registry->add(this, prefix + "/failed", &reg_failed_[i]);
+      opts_.registry->add(this, prefix + "/rtt_us", &reg_rtt_us_[i], MetricKind::kGauge);
+    }
+  }
+
+  // One dedicated QP pair per probed ordered (src, dst): the request and
+  // response flows get their own UDP source ports, i.e. their own ECMP
+  // paths.
   for (int i = 0; i < n_; ++i) {
     std::vector<std::uint32_t> probe_qpns;
     for (int j = 0; j < n_; ++j) {
-      if (i == j) continue;
+      if (i == j || !is_rep[static_cast<std::size_t>(j)]) continue;
+      paired_[idx(i, j)] = 1;
+      ++pairs_probed_;
       auto [qf, qe] = connect_qp_pair(*hosts_[static_cast<std::size_t>(i)],
                                       *hosts_[static_cast<std::size_t>(j)], opts_.qp);
       fwd_qpn_[idx(i, j)] = qf;
@@ -50,10 +93,22 @@ PingmeshGrid::PingmeshGrid(std::vector<Host*> hosts, std::vector<RdmaDemux*> dem
       } else {
         ++c.failed;
       }
+      if (!reg_sent_.empty()) {
+        ++reg_sent_[static_cast<std::size_t>(i)];
+        if (ok) {
+          reg_rtt_us_[static_cast<std::size_t>(i)] = rtt / kMicrosecond;
+        } else {
+          ++reg_failed_[static_cast<std::size_t>(i)];
+        }
+      }
       if (outcome_cb_) outcome_cb_(i, it->second, ok, rtt);
     });
     meshes_.push_back(std::move(mesh));
   }
+}
+
+PingmeshGrid::~PingmeshGrid() {
+  if (opts_.registry != nullptr) opts_.registry->remove_owner(this);
 }
 
 void PingmeshGrid::start() {
@@ -66,6 +121,7 @@ void PingmeshGrid::stop() {
 
 bool PingmeshGrid::reachable(int src, int dst) const {
   if (src == dst) return true;
+  if (paired_[idx(src, dst)] == 0) return true;  // unsampled pair: no evidence
   if (hosts_[static_cast<std::size_t>(src)]->rdma().qp_errored(fwd_qpn_[idx(src, dst)])) {
     return false;
   }
@@ -90,6 +146,8 @@ std::string PingmeshGrid::matrix_text() const {
       char buf[16];
       if (i == j) {
         std::snprintf(buf, sizeof buf, "   -- ");
+      } else if (paired_[idx(i, j)] == 0) {
+        std::snprintf(buf, sizeof buf, "    . ");
       } else if (hosts_[static_cast<std::size_t>(i)]->rdma().qp_errored(fwd_qpn_[idx(i, j)])) {
         std::snprintf(buf, sizeof buf, "  ERR ");
       } else {

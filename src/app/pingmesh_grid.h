@@ -5,6 +5,13 @@
 // reachability/latency matrix is genuinely directional: a one-way blackhole
 // shows up as an asymmetric matrix, which is the §6 tell that separates
 // "host down" from "one direction of one path is gone".
+//
+// At fleet scale the full N×N mesh is O(N²) QPs; `sample_per_podset` keeps
+// the production shape instead — every host probes only k representative
+// hosts per podset (§5.3's latency-to-every-rack guarantee at O(N·k·P)
+// cost). With a MetricRegistry attached the grid exports per-source rollup
+// counters so RegistrySampler channels can compute per-pod / per-tier /
+// fleet SLA percentiles with plain MetricSelection globs.
 #pragma once
 
 #include <cstdint>
@@ -18,6 +25,8 @@
 
 namespace rocelab {
 
+class MetricRegistry;
+
 class PingmeshGrid {
  public:
   struct Options {
@@ -25,11 +34,23 @@ class PingmeshGrid {
     QpConfig qp;                  // config for every probe QP
     /// cell loss fraction above which reachable() reports false.
     double unreachable_loss = 0.5;
+    /// 0 = full N×N mesh. k > 0: each host probes only the first k hosts
+    /// (by construction order, so the pair set is deterministic) of every
+    /// podset — the paper's "a few representative servers per rack" scale
+    /// knob. Unprobed pairs read as reachable with zero samples.
+    int sample_per_podset = 0;
+    /// When set, per-source rollups are registered as
+    /// pingmesh/<host>/{sent,failed,rtt_us} (rtt_us is a gauge holding the
+    /// last successful RTT) for RegistrySampler SLA channels.
+    MetricRegistry* registry = nullptr;
   };
 
   /// One demux per host, same order as `hosts` (the grid shares the hosts'
   /// existing demuxes rather than clobbering their NIC callbacks).
   PingmeshGrid(std::vector<Host*> hosts, std::vector<RdmaDemux*> demuxes, Options opts);
+  ~PingmeshGrid();
+  PingmeshGrid(const PingmeshGrid&) = delete;
+  PingmeshGrid& operator=(const PingmeshGrid&) = delete;
   void start();
   void stop();
 
@@ -48,6 +69,15 @@ class PingmeshGrid {
 
   [[nodiscard]] int size() const { return n_; }
   [[nodiscard]] const Cell& cell(int src, int dst) const { return cells_[idx(src, dst)]; }
+  /// Does this ordered pair carry probes? Always true in full-mesh mode;
+  /// under sample_per_podset only pairs whose dst is a representative.
+  [[nodiscard]] bool probed(int src, int dst) const {
+    return src != dst && paired_[idx(src, dst)] != 0;
+  }
+  [[nodiscard]] std::int64_t pairs_probed() const { return pairs_probed_; }
+  /// Podset index parsed from a ClosFabric host name ("srv-1-0-2" -> 1;
+  /// unparsable -> -1).
+  [[nodiscard]] static int podset_of(const std::string& name);
   /// src->dst counts as reachable while probes are getting through and the
   /// probing QP has not wedged (a blackholed QP exhausts its retries and
   /// errors out — that *is* the unreachability signal).
@@ -80,7 +110,12 @@ class PingmeshGrid {
   std::vector<Host*> hosts_;
   Options opts_;
   int n_ = 0;
+  std::int64_t pairs_probed_ = 0;
   std::vector<Cell> cells_;
+  std::vector<char> paired_;  // (src, dst) has a QP pair
+  // Per-source registry rollups; sized once in the ctor so the addresses
+  // handed to MetricRegistry stay stable.
+  std::vector<std::int64_t> reg_sent_, reg_failed_, reg_rtt_us_;
   std::vector<std::uint32_t> fwd_qpn_;   // (src, dst) -> probing QPN on src
   std::vector<std::uint32_t> echo_qpn_;  // (src, dst) -> echo QPN on dst
   std::vector<std::unordered_map<std::uint32_t, int>> qpn_to_dst_;  // per src host

@@ -13,6 +13,7 @@ const char* to_string(InvariantAuditor::Kind kind) {
     case InvariantAuditor::Kind::kByteConservation: return "byte_conservation";
     case InvariantAuditor::Kind::kPauseStorm: return "pause_storm";
     case InvariantAuditor::Kind::kBlastRadius: return "blast_radius";
+    case InvariantAuditor::Kind::kDataIntegrity: return "data_integrity";
   }
   return "unknown";
 }
@@ -29,10 +30,11 @@ void InvariantAuditor::start() {
   if (running_) return;
   running_ = true;
   // Seed the per-host pause baselines so pre-start history is not flagged.
-  for (const Host* h : hosts_) {
+  for (Host* h : hosts_) {
     StormState st;
     st.last_pause_count = h->port(0).counters().total_tx_pause();
     storm_[h] = st;
+    corrupt_baseline_[h] = h->rdma().stats().corrupt_completions;
   }
   sim_.schedule_in(opts_.interval, [this] { tick(); });
 }
@@ -103,7 +105,21 @@ void InvariantAuditor::tick() {
     st.last_pause_count = now_count;
   }
 
-  // 4. Blast radius: no pod's costed-out capacity gauge may exceed the
+  // 4. Data integrity (§5.2): no message whose payload was corrupted in
+  //    flight may ever complete to an application WQE. Each increase in a
+  //    host's corrupt-completion counter is its own violation.
+  for (Host* h : hosts_) {
+    std::int64_t& base = corrupt_baseline_[h];
+    const std::int64_t now_count = h->rdma().stats().corrupt_completions;
+    if (now_count > base) {
+      std::ostringstream os;
+      os << (now_count - base) << " corrupt completion(s), total " << now_count;
+      flag(Kind::kDataIntegrity, h->name(), os.str());
+      base = now_count;
+    }
+  }
+
+  // 5. Blast radius: no pod's costed-out capacity gauge may exceed the
   //    budget. One violation per over-budget episode per gauge.
   if (opts_.registry != nullptr && opts_.blast_budget_bp >= 0) {
     for (std::uint32_t id : opts_.registry->select(opts_.blast_pattern)) {

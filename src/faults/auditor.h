@@ -20,6 +20,11 @@
 //                        the budget at decision time; this is the
 //                        independent check that no actor (manager bug,
 //                        bypassing control loop) ever blew past it.
+//   kDataIntegrity     — a host NIC completed a message whose payload was
+//                        corrupted in flight (§5.2's silent-corruption
+//                        hazard). With ICRC verification on, this must
+//                        never fire; the no-integrity baseline arm of
+//                        bench/fig_corruption exists to show it firing.
 #pragma once
 
 #include <cstdint>
@@ -37,7 +42,13 @@ class MetricRegistry;
 
 class InvariantAuditor {
  public:
-  enum class Kind { kPfcDeadlock, kByteConservation, kPauseStorm, kBlastRadius };
+  enum class Kind {
+    kPfcDeadlock,
+    kByteConservation,
+    kPauseStorm,
+    kBlastRadius,
+    kDataIntegrity,
+  };
 
   struct Options {
     Time interval = microseconds(200);
@@ -67,11 +78,12 @@ class InvariantAuditor {
 
   [[nodiscard]] const std::vector<Violation>& violations() const { return violations_; }
   [[nodiscard]] std::int64_t count(Kind kind) const;
-  /// Deadlock + conservation + blast-radius — the "must be zero" set for
-  /// any healthy run (blast-radius only counts when configured).
+  /// Deadlock + conservation + blast-radius + data-integrity — the "must be
+  /// zero" set for any healthy run (blast-radius only counts when
+  /// configured).
   [[nodiscard]] std::int64_t hard_violations() const {
     return count(Kind::kPfcDeadlock) + count(Kind::kByteConservation) +
-           count(Kind::kBlastRadius);
+           count(Kind::kBlastRadius) + count(Kind::kDataIntegrity);
   }
   [[nodiscard]] std::int64_t checks_run() const { return checks_run_; }
 
@@ -95,6 +107,9 @@ class InvariantAuditor {
   };
   std::unordered_map<const Host*, StormState> storm_;
   std::unordered_map<std::string, bool> blast_flagged_;  // one per over-budget episode
+  // Per-host corrupt-completion baselines: every increase is a violation
+  // (each torn completion handed to an application WQE counts once).
+  std::unordered_map<const Host*, std::int64_t> corrupt_baseline_;
 };
 
 [[nodiscard]] const char* to_string(InvariantAuditor::Kind kind);

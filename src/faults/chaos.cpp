@@ -31,6 +31,8 @@ const char* to_string(FaultKind kind) {
     case FaultKind::kSwitchUndrain: return "switch_undrain";
     case FaultKind::kConfigRollback: return "config_rollback";
     case FaultKind::kMitigationShed: return "mitigation_shed";
+    case FaultKind::kCableReplace: return "cable_replace";
+    case FaultKind::kCableReplaced: return "cable_replaced";
   }
   return "unknown";
 }
@@ -130,7 +132,15 @@ std::string impair_detail(int port, const LinkImpairment& imp) {
                 imp.fcs_drop_rate, static_cast<long long>(imp.added_delay),
                 static_cast<long long>(imp.jitter), imp.blackhole ? 1 : 0,
                 imp.flow_blackhole_frac, static_cast<unsigned long long>(imp.seed));
-  return buf;
+  std::string out = buf;
+  // Appended only when the corruption plane is in play, so journals from
+  // fcs-only schedules (and their golden hashes) stay byte-identical.
+  if (imp.corrupt_deliver_rate > 0.0) {
+    std::snprintf(buf, sizeof buf, " corrupt=%g escape=%g", imp.corrupt_deliver_rate,
+                  imp.escape_fcs_frac);
+    out += buf;
+  }
+  return out;
 }
 
 std::string qp_fault_detail(std::uint32_t qpn, const QpFaultSpec& spec) {

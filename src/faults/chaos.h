@@ -40,6 +40,8 @@ enum class FaultKind {
   kSwitchUndrain,    // drain probation passed: memberships restored
   kConfigRollback,   // drifted running config rolled back to the golden policy
   kMitigationShed,   // blast-radius budget: lowest-ranked mitigation reverted
+  kCableReplace,     // corruption-evidenced link pulled for a cable swap (§5.2)
+  kCableReplaced,    // re-splice done: impairment cleared, link back in service
 };
 
 [[nodiscard]] const char* to_string(FaultKind kind);

@@ -31,6 +31,7 @@ const char* to_string(MitigationKind kind) {
     case MitigationKind::kCostOut: return "cost_out";
     case MitigationKind::kSwitchDrain: return "switch_drain";
     case MitigationKind::kConfigRollback: return "config_rollback";
+    case MitigationKind::kCableReplace: return "cable_replace";
   }
   return "unknown";
 }
@@ -44,6 +45,7 @@ IncidentManager::IncidentManager(Fabric& fabric, const GrayFailureLocalizer& loc
   reg.add(this, "incmgr/cost_outs", &stats_.cost_outs);
   reg.add(this, "incmgr/drains", &stats_.drains);
   reg.add(this, "incmgr/rollbacks", &stats_.rollbacks);
+  reg.add(this, "incmgr/cable_replaces", &stats_.cable_replaces);
   reg.add(this, "incmgr/restores", &stats_.restores);
   reg.add(this, "incmgr/sheds", &stats_.sheds);
   reg.add(this, "incmgr/floor_vetoes", &stats_.floor_vetoes);
@@ -109,8 +111,8 @@ int IncidentManager::pod_of(const std::string& name) {
 
 bool IncidentManager::costed_out(const std::string& node, int port) const {
   for (const auto& m : mitigations_) {
-    if (m.kind == MitigationKind::kCostOut && m.reverted_at < 0 && m.target == node &&
-        m.port == port) {
+    if ((m.kind == MitigationKind::kCostOut || m.kind == MitigationKind::kCableReplace) &&
+        m.reverted_at < 0 && m.target == node && m.port == port) {
       return true;
     }
   }
@@ -191,13 +193,19 @@ void IncidentManager::merge_evidence(Time now) {
   struct Obs {
     double score = 0.0;
     std::int64_t evidence = 0;
+    bool corrupt = false;
     std::string why;
   };
   std::map<DirKey, Obs> obs;
   for (const auto& s : localizer_.rank(cfg_.min_probes)) {
     Obs& o = obs[{s.node, s.port}];
     o.score = s.score;
-    o.evidence = s.failed_probes + s.fcs_errors;
+    o.evidence = s.failed_probes + s.fcs_errors + s.corrupt_delivered;
+    // Delivered corruption means the cable is actively damaging payloads
+    // the FCS can't catch — routing around it leaves a booby-trapped link
+    // in the fabric, so these directions get the physical repair. FCS-only
+    // evidence keeps the established cost-out path.
+    o.corrupt = s.corrupt_delivered > 0;
     o.why = s.evidence;
   }
   if (health_ != nullptr) {
@@ -215,6 +223,7 @@ void IncidentManager::merge_evidence(Time now) {
     DirState& d = dirs_[key];
     d.score = o.score;
     d.evidence = o.evidence;
+    d.corrupt_evidence = d.corrupt_evidence || o.corrupt;
     if (d.mitigated || d.confirmed) continue;  // probation / adjudication owns it
 
     const bool hot = o.score >= cfg_.score_threshold && o.evidence > d.evidence_floor;
@@ -346,7 +355,7 @@ std::vector<std::pair<Switch*, int>> IncidentManager::plan_members(const Candida
   std::vector<std::pair<Switch*, int>> members;
   Switch* target = fabric_.switch_by_name(c.target);
   if (target == nullptr) return members;
-  if (c.kind == MitigationKind::kCostOut) {
+  if (c.kind == MitigationKind::kCostOut || c.kind == MitigationKind::kCableReplace) {
     if (target->port_weight(c.port) != 0 && target->ecmp_cost_out_safe(c.port)) {
       members.emplace_back(target, c.port);
     }
@@ -385,10 +394,10 @@ void IncidentManager::shed(std::size_t index, const Candidate& beneficiary, Time
     adjudicate_dir(d);  // incident stays open: the direction is still bad
   }
   const std::string cool_key =
-      m.kind == MitigationKind::kCostOut ? m.target + ":" + std::to_string(m.port) : m.target;
+      m.port >= 0 ? m.target + ":" + std::to_string(m.port) : m.target;
   last_restore_[cool_key] = now;
   char detail[160];
-  if (m.kind == MitigationKind::kCostOut) {
+  if (m.port >= 0) {
     std::snprintf(detail, sizeof detail, "%s port %d rank %.3f for %s %s rank %.3f",
                   to_string(m.kind), m.port, m.rank, to_string(beneficiary.kind),
                   beneficiary.target.c_str(), beneficiary.rank);
@@ -473,6 +482,23 @@ bool IncidentManager::try_apply(const Candidate& c, Time now) {
                   dirs_[c.covers.front()].score);
     ROCELAB_LOG_INFO("incmgr: cost out %s %s", c.target.c_str(), detail);
     if (chaos_ != nullptr) chaos_->record_mitigation(FaultKind::kEcmpCostOut, c.target, detail);
+  } else if (c.kind == MitigationKind::kCableReplace) {
+    // Pull the cable: same capacity accounting as a cost-out, but with a
+    // technician in flight — after cable_replace_delay the re-splice clears
+    // the impairment on BOTH directions of the physical link, the only
+    // mitigation that removes the corruption source itself.
+    members.front().first->set_port_weight(c.port, 0);
+    st.members = members;
+    ++stats_.cable_replaces;
+    char detail[96];
+    std::snprintf(detail, sizeof detail, "port %d score %.3f resplice %lld", c.port,
+                  dirs_[c.covers.front()].score,
+                  static_cast<long long>(now + cfg_.cable_replace_delay));
+    ROCELAB_LOG_INFO("incmgr: cable replace %s %s", c.target.c_str(), detail);
+    if (chaos_ != nullptr) chaos_->record_mitigation(FaultKind::kCableReplace, c.target, detail);
+    const std::size_t idx = mitigations_.size();  // slot pushed below; stable index
+    fabric_.control_sim().schedule_at(now + cfg_.cable_replace_delay,
+                                      [this, idx] { finish_cable_replace(idx); });
   } else {
     Switch* target = fabric_.switch_by_name(c.target);
     st.members = fabric_.drain_switch(*target);  // identical set to the plan
@@ -518,6 +544,29 @@ bool IncidentManager::try_apply(const Candidate& c, Time now) {
   mit_state_.push_back(std::move(st));
   ++stats_.active;
   return true;
+}
+
+void IncidentManager::finish_cable_replace(std::size_t index) {
+  FleetMitigation& m = mitigations_[index];
+  MitState& st = mit_state_[index];
+  if (m.reverted_at >= 0) return;  // shed before the splice: no repair happened
+  // The new cable is clean in both directions: clear the impairment on the
+  // pulled port and on its peer's facing port.
+  Switch* sw = fabric_.switch_by_name(m.target);
+  if (sw != nullptr && m.port >= 0) {
+    EgressPort& out = sw->port(m.port);
+    out.clear_impairment();
+    if (out.connected()) out.peer()->port(out.peer_port()).clear_impairment();
+  }
+  st.resplice_done = true;
+  // Probation restarts on the new cable: evidence counters are monotonic,
+  // so clean_since (not a counter reset) is what lets the restore land.
+  st.clean_since = fabric_.control_sim().now();
+  ROCELAB_LOG_INFO("incmgr: cable replaced %s port %d", m.target.c_str(), m.port);
+  if (chaos_ != nullptr) {
+    chaos_->record_mitigation(FaultKind::kCableReplaced, m.target,
+                              "port " + std::to_string(m.port));
+  }
 }
 
 void IncidentManager::adjudicate(Time now) {
@@ -566,7 +615,10 @@ void IncidentManager::adjudicate(Time now) {
         const DirState& d = dirs_.at(key);
         if (d.mitigated) continue;
         Candidate c;
-        c.kind = MitigationKind::kCostOut;
+        // Corruption-evidenced directions (§5.2) get the physical repair;
+        // everything else gets routed around. Same rank scale, so replaces
+        // compete with cost-outs and drains under one blast budget.
+        c.kind = d.corrupt_evidence ? MitigationKind::kCableReplace : MitigationKind::kCostOut;
         c.target = name;
         c.port = key.second;
         c.rank = d.score;
@@ -594,6 +646,8 @@ void IncidentManager::probation_pass(Time now) {
     FleetMitigation& m = mitigations_[i];
     if (m.reverted_at >= 0 || m.kind == MitigationKind::kConfigRollback) continue;
     MitState& st = mit_state_[i];
+    // A pulled cable can't be restored until the technician re-splices it.
+    if (m.kind == MitigationKind::kCableReplace && !st.resplice_done) continue;
     std::int64_t ev = 0;
     for (const auto& key : m.covers) ev += dirs_[key].evidence;
     if (ev > st.evidence_mark) {
@@ -602,7 +656,7 @@ void IncidentManager::probation_pass(Time now) {
     }
     if (now - st.clean_since < cfg_.probation) continue;
     const std::string cool_key =
-        m.kind == MitigationKind::kCostOut ? m.target + ":" + std::to_string(m.port) : m.target;
+        m.port >= 0 ? m.target + ":" + std::to_string(m.port) : m.target;
     const auto lr = last_restore_.find(cool_key);
     if (lr != last_restore_.end() && now - lr->second < cfg_.restore_cooldown) continue;
 

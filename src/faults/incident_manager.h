@@ -19,7 +19,15 @@
 //                      cost-out cannot touch (single-member down-routes
 //                      floor-veto forever);
 //   port cost-out    — the SelfHealer's per-direction mitigation, ranked
-//                      by the direction's localizer score.
+//                      by the direction's localizer score;
+//   cable replace    — a confirmed direction carrying corruption evidence
+//                      (fcs-counter or escaped-FCS icrc-counter) gets the
+//                      §5.2 repair instead of a plain cost-out: the link is
+//                      pulled (weight zero, same blast-budget accounting)
+//                      and after `cable_replace_delay` the re-splice clears
+//                      the impairment on BOTH directions of the physical
+//                      cable — the only mitigation here that removes the
+//                      root cause rather than routing around it.
 //
 // Blast-radius budget: the manager never zero-weights more than
 // `blast_budget_frac` of any pod's ECMP member capacity. Before applying a
@@ -64,6 +72,7 @@ enum class MitigationKind {
   kCostOut,         // zero-weight one port on the owning switch
   kSwitchDrain,     // zero-weight every neighbour port facing the switch
   kConfigRollback,  // re-apply golden config fields (no capacity cost)
+  kCableReplace,    // pull + re-splice a corruption-evidenced link (§5.2)
 };
 
 [[nodiscard]] const char* to_string(IncidentKind kind);
@@ -89,6 +98,9 @@ struct IncidentManagerConfig {
   /// Blast-radius budget: max fraction of any pod's ECMP member capacity
   /// at weight zero. Spine-tier members pool under one "pod".
   double blast_budget_frac = 0.25;
+  /// Time from pulling a corruption-evidenced cable to the re-splice that
+  /// clears the impairment (the modeled technician dispatch of §5.2).
+  Time cable_replace_delay = milliseconds(10);
   /// Detect and roll back config drift against the golden policy (needs
   /// set_golden_policy).
   bool rollback_config = true;
@@ -127,6 +139,7 @@ struct IncidentManagerStats {
   std::int64_t cost_outs = 0;
   std::int64_t drains = 0;
   std::int64_t rollbacks = 0;
+  std::int64_t cable_replaces = 0;
   std::int64_t restores = 0;
   std::int64_t sheds = 0;
   std::int64_t floor_vetoes = 0;   // last-member / nothing-to-zero refusals
@@ -190,6 +203,8 @@ class IncidentManager {
     int hot_streak = 0;
     bool confirmed = false;  // passed hysteresis; incident open
     bool mitigated = false;  // covered by an active mitigation
+    bool corrupt_evidence = false;  // fcs/icrc counters fired: bad cable, not
+                                    // congestion — plan a replace, not a cost-out
     double score = 0.0;      // latest merged score
     std::int64_t evidence = 0;        // latest merged tally
     std::int64_t evidence_floor = 0;  // tally already adjudicated
@@ -208,6 +223,7 @@ class IncidentManager {
     std::vector<std::pair<Switch*, int>> members;
     std::int64_t evidence_mark = 0;
     Time clean_since = -1;
+    bool resplice_done = false;  // kCableReplace: re-splice fired; restore may run
   };
 
   struct PodCap {
@@ -224,6 +240,7 @@ class IncidentManager {
   void ingest_storms(Time now);
   void adjudicate(Time now);
   bool try_apply(const Candidate& c, Time now);
+  void finish_cable_replace(std::size_t index);
   void shed(std::size_t index, const Candidate& beneficiary, Time now);
   void probation_pass(Time now);
   void update_gauges();

@@ -33,22 +33,34 @@ std::vector<GrayFailureLocalizer::Suspect> GrayFailureLocalizer::rank(int min_pr
     suspects.emplace(key, std::move(s));
   }
 
-  // Counter evidence: FCS errors are counted at the *receiving* port of a
-  // direction, so attribute them back to the transmitting (peer) side —
-  // the suspect is the link direction, named by its sender. §5.2 treats any
-  // non-zero FCS count as a bad cable, so the evidence is binary.
+  // Counter evidence: FCS errors and escaped-FCS corruption are both
+  // counted at the *receiving* port of a direction, so attribute them back
+  // to the transmitting (peer) side — the suspect is the link direction,
+  // named by its sender. §5.2 treats any non-zero count as a bad cable, so
+  // both kinds of evidence are binary. Host NIC icrc_errors are NOT turned
+  // into suspects here: every receiver would implicate only its own access
+  // link even when a spine cable corrupted the flow. The per-port counter
+  // fires exactly at the bad hop; the NIC counter corroborates, port
+  // telemetry localizes.
   auto scan_node = [&](const Node& n) {
     for (int p = 0; p < n.port_count(); ++p) {
       const EgressPort& rx = n.port(p);
       const std::int64_t fcs = rx.counters().fcs_errors;
-      if (fcs == 0 || !rx.connected()) continue;
+      const std::int64_t corrupt = rx.counters().corrupt_delivered;
+      if ((fcs == 0 && corrupt == 0) || !rx.connected()) continue;
       const std::pair<std::string, int> key{rx.peer()->name(), rx.peer_port()};
       Suspect& s = suspects[key];
       s.node = key.first;
       s.port = key.second;
       s.fcs_errors = fcs;
+      s.corrupt_delivered = corrupt;
       s.score = std::max(s.score, 1.0);
-      s.evidence = s.evidence.empty() ? "fcs-counter" : s.evidence + "+fcs-counter";
+      if (fcs > 0) {
+        s.evidence = s.evidence.empty() ? "fcs-counter" : s.evidence + "+fcs-counter";
+      }
+      if (corrupt > 0) {
+        s.evidence = s.evidence.empty() ? "icrc-counter" : s.evidence + "+icrc-counter";
+      }
     }
   };
   for (const auto& sw : fabric_.switches()) scan_node(*sw);
@@ -64,6 +76,8 @@ std::vector<GrayFailureLocalizer::Suspect> GrayFailureLocalizer::rank(int min_pr
     if (a.score != b.score) return a.score > b.score;
     if (a.failed_probes != b.failed_probes) return a.failed_probes > b.failed_probes;
     if (a.fcs_errors != b.fcs_errors) return a.fcs_errors > b.fcs_errors;
+    if (a.corrupt_delivered != b.corrupt_delivered)
+      return a.corrupt_delivered > b.corrupt_delivered;
     if (a.node != b.node) return a.node < b.node;
     return a.port < b.port;
   });
@@ -77,10 +91,11 @@ std::string GrayFailureLocalizer::report(int top_n) const {
   for (int i = 0; i < n; ++i) {
     const Suspect& s = ranked[static_cast<std::size_t>(i)];
     char line[256];
-    std::snprintf(line, sizeof line, "%d. %s:%d score=%.3f probes=%lld/%lld fcs=%lld [%s]\n",
-                  i + 1, s.node.c_str(), s.port, s.score,
-                  static_cast<long long>(s.failed_probes), static_cast<long long>(s.total_probes),
-                  static_cast<long long>(s.fcs_errors), s.evidence.c_str());
+    std::snprintf(line, sizeof line,
+                  "%d. %s:%d score=%.3f probes=%lld/%lld fcs=%lld corrupt=%lld [%s]\n", i + 1,
+                  s.node.c_str(), s.port, s.score, static_cast<long long>(s.failed_probes),
+                  static_cast<long long>(s.total_probes), static_cast<long long>(s.fcs_errors),
+                  static_cast<long long>(s.corrupt_delivered), s.evidence.c_str());
     os << line;
   }
   return os.str();

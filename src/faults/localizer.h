@@ -7,7 +7,10 @@
 // counters (§5.2: any FCS errors on a link mean the cable is bad). A
 // one-way blackhole scores 1.0 on probe evidence alone — it never carries
 // a success — while a 1e-3 lossy link, whose probes mostly succeed after
-// retransmission, is caught by its counter trail.
+// retransmission, is caught by its counter trail. Corruption that escapes
+// the FCS check leaves no fcs_errors at all; its trail is the receiving
+// port's corrupt_delivered counter (PHY/FEC-symbol telemetry in real gear),
+// fused here the same way so an escaped-FCS cable still localizes.
 #pragma once
 
 #include <cstdint>
@@ -36,8 +39,9 @@ class GrayFailureLocalizer {
     double score = 0.0;  // max(probe-loss share, FCS evidence)
     std::int64_t failed_probes = 0;
     std::int64_t total_probes = 0;
-    std::int64_t fcs_errors = 0;  // observed at the receiving end
-    std::string evidence;         // "probe-loss", "fcs-counter", or both
+    std::int64_t fcs_errors = 0;        // observed at the receiving end
+    std::int64_t corrupt_delivered = 0; // escaped-FCS corruption, receiving end
+    std::string evidence;  // "+"-joined: probe-loss, fcs-counter, icrc-counter
   };
 
   /// Suspect directed links, worst first. Probe evidence needs at least

@@ -34,13 +34,24 @@ struct LinkImpairment {
   /// that only some flows hit (the §6 localization scenario). Non-IP frames
   /// (PFC pause) are unaffected.
   double flow_blackhole_frac = 0.0;
+  /// Probability a frame is corrupted on the wire. Unlike fcs_drop_rate —
+  /// where the receiver's FCS check always catches the damage — a frame
+  /// corrupted here is split by escape_fcs_frac: either the FCS catches it
+  /// (dropped rx-side, fcs_errors) or the corruption escapes the link-level
+  /// check and the frame is DELIVERED with a bad payload — §5.2's silent
+  /// corruption, visible only to end-to-end ICRC.
+  double corrupt_deliver_rate = 0.0;
+  /// Fraction of corrupt_deliver_rate corruptions that escape the FCS check
+  /// and arrive at the receiver (default: all of them; set < 1 to model the
+  /// realistic mix where most damage is FCS-visible).
+  double escape_fcs_frac = 1.0;
   /// Seed for the impairment's private RNG and the flow-subset hash key.
   std::uint64_t seed = 1;
 
   /// Whether this impairment changes any packet's fate or timing.
   [[nodiscard]] bool active() const {
     return enabled && (fcs_drop_rate > 0.0 || added_delay > 0 || jitter > 0 || blackhole ||
-                       flow_blackhole_frac > 0.0);
+                       flow_blackhole_frac > 0.0 || corrupt_deliver_rate > 0.0);
   }
 };
 
@@ -52,6 +63,10 @@ struct ImpairmentStats {
   std::int64_t blackhole_drops = 0;  // frames lost to the one-way blackhole
   std::int64_t flow_drops = 0;       // frames lost to the flow blackhole
   std::int64_t delayed = 0;          // frames given extra delay/jitter
+  /// Frames corrupted AND delivered (escaped the FCS check) — the ground
+  /// truth the detection plane's icrc_errors/corrupt_delivered counters are
+  /// judged against.
+  std::int64_t corrupt_delivered = 0;
 };
 
 }  // namespace rocelab

@@ -38,6 +38,7 @@ EgressPort::EgressPort(Simulator& sim, Node& owner, int index)
   reg.add(this, prefix + "/fcs_errors", &counters_.fcs_errors);
   reg.add(this, prefix + "/impairment_drops", &counters_.impairment_drops);
   reg.add(this, prefix + "/filtered_drops", &counters_.filtered_drops);
+  reg.add(this, prefix + "/corrupt_delivered", &counters_.corrupt_delivered);
   reg.add(this, prefix + "/queued_bytes", &total_bytes_, MetricKind::kGauge);
 }
 
@@ -297,6 +298,7 @@ void EgressPort::try_send() {
   // merely constructed-but-disabled) impairments draw no randomness.
   bool eaten = false;       // blackholed: the frame never reaches the peer
   bool fcs_corrupt = false; // arrives, but the receiver's FCS check fails
+  bool escaped = false;     // corrupted AND delivered: the FCS missed it
   Time extra = 0;           // added one-way delay + jitter
   if (impair_ != nullptr && impair_->cfg.active()) {
     ImpairState& im = *impair_;
@@ -314,6 +316,22 @@ void EgressPort::try_send() {
       if (im.cfg.fcs_drop_rate > 0.0 && im.rng.bernoulli(im.cfg.fcs_drop_rate)) {
         ++im.stats.fcs_drops;
         fcs_corrupt = true;
+      }
+      // §5.2 silent corruption: the frame is damaged on the wire, and the
+      // escape split decides whether the receiver's FCS check catches it
+      // (counted as an fcs drop) or the corruption escapes link-level
+      // checking and the frame is delivered carrying a bad payload. Both
+      // draws are gated so pre-existing fcs-only impairments keep their
+      // exact RNG sequence.
+      if (!fcs_corrupt && im.cfg.corrupt_deliver_rate > 0.0 &&
+          im.rng.bernoulli(im.cfg.corrupt_deliver_rate)) {
+        if (im.rng.bernoulli(im.cfg.escape_fcs_frac)) {
+          ++im.stats.corrupt_delivered;
+          escaped = true;
+        } else {
+          ++im.stats.fcs_drops;
+          fcs_corrupt = true;
+        }
       }
       if (im.cfg.added_delay > 0 || im.cfg.jitter > 0) {
         extra = im.cfg.added_delay +
@@ -344,19 +362,27 @@ void EgressPort::try_send() {
     // this shard's mutable state. In-flight link faults are gated on the
     // *receiving* direction's state at arrival rather than this port's
     // epoch — the one (documented) fidelity difference of multi-shard runs.
+    if (escaped) pp->corrupt = true;
     cross_->push_deliver(sim_.now() + ser + prop_delay_ + extra, peer_, peer_port_,
-                         pp.release());
+                         pp.release(), /*newly_corrupt=*/escaped);
   } else {
     // Delivery is gated on the link epoch: if the link goes down (and maybe
     // back up) while the packet is in flight, the packet is lost. The packet
     // rides in a pooled box so the closure stays inside the event core's
     // inline buffer (no per-packet allocation on the transmit path).
+    // An escaped corruption bumps the receiving port's corrupt_delivered at
+    // arrival — the PHY-layer telemetry of the hop that damaged the frame;
+    // downstream hops re-serialize the (damaged) payload cleanly and see
+    // nothing, which is what makes the fault end-to-end.
+    if (escaped) pp->corrupt = true;
     sim_.schedule_in(ser + prop_delay_ + extra,
-                     [this, epoch = link_epoch_, pp = std::move(pp)]() mutable {
+                     [this, epoch = link_epoch_, newly = escaped,
+                      pp = std::move(pp)]() mutable {
                        if (!link_up_ || epoch != link_epoch_ || peer_ == nullptr) {
                          ++counters_.link_down_drops;
                          return;
                        }
+                       if (newly) ++peer_->port(peer_port_).counters().corrupt_delivered;
                        peer_->deliver(std::move(pp), peer_port_);
                      });
   }

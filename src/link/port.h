@@ -45,6 +45,7 @@ struct PortCounters {
   std::int64_t fcs_errors = 0;            // rx frames failing the FCS check (§5.2 gray signal)
   std::int64_t impairment_drops = 0;      // tx frames lost to a blackhole impairment
   std::int64_t filtered_drops = 0;        // rx frames eaten by Switch::set_drop_filter
+  std::int64_t corrupt_delivered = 0;     // rx frames delivered with corruption past the FCS
 
   [[nodiscard]] std::int64_t total_tx_pause() const {
     std::int64_t s = 0;

@@ -20,6 +20,7 @@ PortHealth health_of(const MetricRegistry& reg, const Node& n, int p) {
   h.port = p;
   h.rx_packets = reg.sum(prefix + "/prio*/rx_packets");
   h.fcs_errors = reg.sum(prefix + "/fcs_errors");
+  h.corrupt_delivered = reg.sum(prefix + "/corrupt_delivered");
   h.mmu_drops = reg.sum(prefix + "/ingress_drops") + reg.sum(prefix + "/headroom_overflow_drops");
   h.egress_drops = reg.sum(prefix + "/egress_drops");
   h.filtered_drops = reg.sum(prefix + "/filtered_drops");
@@ -48,15 +49,16 @@ std::vector<PortHealth> collect_port_health(const Fabric& fabric) {
 
 std::string port_health_dump(const Fabric& fabric, bool only_unclean) {
   std::ostringstream os;
-  os << "node:port            rx_pkts      fcs      mmu   egress filtered   impair linkdown "
-        "weight\n";
+  os << "node:port            rx_pkts      fcs  corrupt      mmu   egress filtered   impair "
+        "linkdown weight\n";
   for (const PortHealth& h : collect_port_health(fabric)) {
     if (only_unclean && h.clean()) continue;
     char id[64];
     std::snprintf(id, sizeof id, "%s:%d", h.node.c_str(), h.port);
     char line[256];
-    std::snprintf(line, sizeof line, "%-18s %9lld %8lld %8lld %8lld %8lld %8lld %8lld %6d\n", id,
-                  static_cast<long long>(h.rx_packets), static_cast<long long>(h.fcs_errors),
+    std::snprintf(line, sizeof line, "%-18s %9lld %8lld %8lld %8lld %8lld %8lld %8lld %8lld %6d\n",
+                  id, static_cast<long long>(h.rx_packets), static_cast<long long>(h.fcs_errors),
+                  static_cast<long long>(h.corrupt_delivered),
                   static_cast<long long>(h.mmu_drops), static_cast<long long>(h.egress_drops),
                   static_cast<long long>(h.filtered_drops),
                   static_cast<long long>(h.impairment_drops),
@@ -84,11 +86,14 @@ void LinkHealthMonitor::tick() {
     for (int p = 0; p < n.port_count(); ++p) {
       const std::pair<std::string, int> key{n.name(), p};
       const std::int64_t cur = n.port(p).counters().fcs_errors;
+      const std::int64_t cur_corrupt = n.port(p).counters().corrupt_delivered;
       std::int64_t& last = last_fcs_[key];
-      if (cur - last >= opts_.fcs_alarm_per_window && !is_flagged(key.first, key.second)) {
-        flagged_.push_back(key);
-      }
+      std::int64_t& last_corrupt = last_corrupt_[key];
+      const bool moved = cur - last >= opts_.fcs_alarm_per_window ||
+                         cur_corrupt - last_corrupt >= opts_.fcs_alarm_per_window;
+      if (moved && !is_flagged(key.first, key.second)) flagged_.push_back(key);
       last = cur;
+      last_corrupt = cur_corrupt;
     }
   };
   for (const auto& sw : fabric_.switches()) scan(*sw);

@@ -23,6 +23,7 @@ struct PortHealth {
   int port = -1;
   std::int64_t rx_packets = 0;        // all priorities
   std::int64_t fcs_errors = 0;        // rx frames failing the FCS check
+  std::int64_t corrupt_delivered = 0; // rx frames corrupted past the FCS (§5.2)
   std::int64_t mmu_drops = 0;         // ingress + headroom-overflow drops
   std::int64_t egress_drops = 0;
   std::int64_t filtered_drops = 0;    // Switch::set_drop_filter hits at this port
@@ -39,8 +40,9 @@ struct PortHealth {
     return seen == 0 ? 0.0 : static_cast<double>(fcs_errors) / static_cast<double>(seen);
   }
   [[nodiscard]] bool clean() const {
-    return fcs_errors == 0 && mmu_drops == 0 && egress_drops == 0 && filtered_drops == 0 &&
-           impairment_drops == 0 && link_down_drops == 0 && ecmp_weight == 1;
+    return fcs_errors == 0 && corrupt_delivered == 0 && mmu_drops == 0 && egress_drops == 0 &&
+           filtered_drops == 0 && impairment_drops == 0 && link_down_drops == 0 &&
+           ecmp_weight == 1;
   }
 };
 
@@ -53,9 +55,11 @@ struct PortHealth {
 [[nodiscard]] std::string port_health_dump(const Fabric& fabric, bool only_unclean = true);
 
 /// Periodic FCS watcher: every `interval` it diffs each port's FCS counter
-/// and flags ports whose per-window delta reaches `fcs_alarm_per_window`.
-/// Deliberately counter-driven — it sees exactly what a production NMS
-/// polling switch counters would see, independent of the pingmesh plane.
+/// — and the corrupt_delivered counter, catching cables whose damage
+/// escapes the FCS check entirely — and flags ports whose per-window delta
+/// reaches `fcs_alarm_per_window`. Deliberately counter-driven — it sees
+/// exactly what a production NMS polling switch counters would see,
+/// independent of the pingmesh plane.
 class LinkHealthMonitor {
  public:
   struct Options {
@@ -82,6 +86,7 @@ class LinkHealthMonitor {
   bool running_ = false;
   std::int64_t windows_ = 0;
   std::map<std::pair<std::string, int>, std::int64_t> last_fcs_;
+  std::map<std::pair<std::string, int>, std::int64_t> last_corrupt_;
   std::vector<std::pair<std::string, int>> flagged_;
 };
 

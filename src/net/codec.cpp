@@ -44,6 +44,14 @@ std::uint32_t crc32_ieee(std::span<const std::uint8_t> data) {
   return c ^ 0xffffffffu;
 }
 
+std::uint32_t roce_icrc(const RoceBth& bth, std::span<const std::uint8_t> payload) {
+  Bytes buf;
+  buf.reserve(static_cast<std::size_t>(kBthBytes) + payload.size());
+  encode_bth(bth, buf);
+  buf.insert(buf.end(), payload.begin(), payload.end());
+  return crc32_ieee(buf);
+}
+
 std::uint16_t ipv4_header_checksum(std::span<const std::uint8_t> header20) {
   std::uint32_t sum = 0;
   for (std::size_t i = 0; i + 1 < header20.size(); i += 2) {
@@ -277,6 +285,13 @@ std::optional<DecodedRoceFrame> decode_roce_frame(std::span<const std::uint8_t> 
   d.bth = *bth;
   d.payload_bytes = frame.size() - off - 8;
   d.fcs_ok = crc32_ieee(frame.first(frame.size() - 4)) == get_u32(frame, frame.size() - 4);
+  // ICRC: recompute over the invariant region (IP header through payload)
+  // and compare with the stored value just before the FCS. A flip anywhere
+  // in that region fails this check even when the flip also hit (or missed)
+  // the per-hop FCS.
+  const std::size_t ip_start = eth->consumed;
+  d.icrc_ok = crc32_ieee(frame.subspan(ip_start, frame.size() - 8 - ip_start)) ==
+              get_u32(frame, frame.size() - 8);
   return d;
 }
 

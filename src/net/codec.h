@@ -23,6 +23,12 @@ using Bytes = std::vector<std::uint8_t>;
 /// IEEE 802.3 CRC-32 (reflected, poly 0xEDB88320), as used by Ethernet FCS.
 [[nodiscard]] std::uint32_t crc32_ieee(std::span<const std::uint8_t> data);
 
+/// RoCEv2 invariant CRC as the NIC's end-to-end verify models it: CRC-32
+/// over the encoded BTH followed by the payload. Unlike the per-hop FCS
+/// (recomputed on every link), the ICRC travels unmodified end to end, so
+/// corruption that escapes a link's FCS check still fails here (§5.2).
+[[nodiscard]] std::uint32_t roce_icrc(const RoceBth& bth, std::span<const std::uint8_t> payload);
+
 /// RFC 791 IPv4 header checksum over an encoded 20-byte header.
 [[nodiscard]] std::uint16_t ipv4_header_checksum(std::span<const std::uint8_t> header20);
 
@@ -69,6 +75,9 @@ struct DecodedRoceFrame {
   RoceBth bth;
   std::size_t payload_bytes = 0;
   bool fcs_ok = false;
+  /// End-to-end check: stored ICRC matches a recompute over the invariant
+  /// region (IP header through payload, as encode_roce_frame wrote it).
+  bool icrc_ok = false;
 };
 [[nodiscard]] std::optional<DecodedRoceFrame> decode_roce_frame(
     std::span<const std::uint8_t> frame);

@@ -43,6 +43,10 @@ struct Packet {
   bool lossless = false;
   /// Set when a switch flooded this copy (unknown MAC -> all ports).
   bool flooded = false;
+  /// Set by a link impairment whose corruption escaped the FCS check: the
+  /// frame was delivered but its payload is damaged. Only an end-to-end
+  /// integrity check (the NIC's ICRC verify) can see this.
+  bool corrupt = false;
 
   std::uint64_t msg_id = 0;    // application correlation id
   std::int64_t read_length = 0;  // kRoceReadReq: bytes requested

@@ -41,6 +41,8 @@ RdmaNic::RdmaNic(Host& host, const HostConfig& cfg) : host_(host), cfg_(cfg) {
   reg.add(this, prefix + "/injected_drops", &stats_.injected_drops);
   reg.add(this, prefix + "/injected_reorders", &stats_.injected_reorders);
   reg.add(this, prefix + "/injected_dup_acks", &stats_.injected_dup_acks);
+  reg.add(this, prefix + "/icrc_errors", &stats_.icrc_errors);
+  reg.add(this, prefix + "/corrupt_completions", &stats_.corrupt_completions);
 }
 
 RdmaNic::~RdmaNic() { host_.sim().metrics().remove_owner(this); }
@@ -356,6 +358,7 @@ void RdmaNic::reset_qp(std::uint32_t qpn) {
   q.next_new_psn = q.cursor_psn = q.una_psn = 0;
   q.expected_psn = 0;
   q.nak_armed = true;
+  q.rx_taint = false;
   q.rx_ooo.clear();
   q.rtt_probes.clear();
   q.reads.clear();
@@ -471,6 +474,23 @@ void RdmaNic::dispatch(Packet pkt) {
   Qp& q = *it->second;
   if (q.error) return;  // wedged until reset; late packets must not revive it
 
+  // §5.2 end-to-end integrity: the packet carries corruption that escaped
+  // every link-level FCS check on its path, so only the invariant CRC —
+  // which travels unmodified end to end — can catch it here. A corrupt data
+  // packet is dropped and NAKed exactly like a lost one (once per episode,
+  // §4.1), so go-back-N resends it and go-back-0 restarts the message
+  // through the same restart-barrier machinery loss uses; a corrupted
+  // ACK/NAK (or read request / CNP) is simply discarded — its fields can't
+  // be trusted, and the sender's retransmission timer covers the loss.
+  if (pkt.corrupt && icrc_verify_) {
+    ++stats_.icrc_errors;
+    if (pkt.kind == PacketKind::kRoceData && q.nak_armed) {
+      q.nak_armed = false;
+      send_ack(q, AethSyndrome::kNakPsnSequenceError);
+    }
+    return;
+  }
+
   switch (pkt.kind) {
     case PacketKind::kRoceData:
       handle_data(q, pkt);
@@ -513,9 +533,14 @@ void RdmaNic::deliver_in_order(Qp& q, const Qp::RxSeg& seg) {
   if (first) {
     q.rx_msg_bytes = 0;
     q.rx_msg_start = seg.created_at;
+    q.rx_taint = false;
   }
   q.rx_msg_bytes += seg.payload;
+  // Only reachable with ICRC verification off: the corrupt segment was
+  // consumed into the message, so whatever completes now is torn data.
+  if (seg.corrupt) q.rx_taint = true;
   if (!last) return;
+  if (q.rx_taint) ++stats_.corrupt_completions;
 
   if (is_read_response(op)) {
     // READ completion at the requester.
@@ -544,7 +569,8 @@ void RdmaNic::handle_data(Qp& q, Packet& pkt) {
   maybe_send_cnp(q, pkt);  // NP reacts to the mark even on out-of-order packets
 
   const std::uint64_t psn = pkt.bth->psn;
-  const Qp::RxSeg seg{pkt.payload_bytes, pkt.bth->opcode, pkt.msg_id, pkt.created_at};
+  const Qp::RxSeg seg{pkt.payload_bytes, pkt.bth->opcode, pkt.msg_id, pkt.created_at,
+                      pkt.corrupt};
   const bool selective = q.cfg.recovery == LossRecovery::kSelectiveRepeat;
 
   // go-back-0 peers restart the whole message on any loss (§4.1): when the

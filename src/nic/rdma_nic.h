@@ -84,6 +84,14 @@ struct RdmaNicStats {
   std::int64_t injected_drops = 0;     // per-QP fault plane: data segments eaten
   std::int64_t injected_reorders = 0;  // data segments delivered late
   std::int64_t injected_dup_acks = 0;  // ACKs delivered twice
+  /// §5.2 end-to-end integrity: packets whose ICRC verify failed (corruption
+  /// escaped every link-level FCS check) and were dropped by the NIC.
+  std::int64_t icrc_errors = 0;
+  /// Ground truth with ICRC verification DISABLED: messages completed to the
+  /// application (sender completion or receiver delivery) that contained a
+  /// corrupt segment — the torn data the InvariantAuditor's kDataIntegrity
+  /// check asserts can never happen with the verify on.
+  std::int64_t corrupt_completions = 0;
 };
 
 class RdmaNic {
@@ -144,6 +152,15 @@ class RdmaNic {
   /// its flow, needed to trace the QP's path through the fabric.
   [[nodiscard]] std::uint16_t qp_sport(std::uint32_t qpn) const { return qp(qpn).udp_sport; }
 
+  /// §5.2 end-to-end integrity check, on by default: a received packet whose
+  /// payload was corrupted past the link-level FCS checks fails the ICRC
+  /// verify and is dropped (data packets additionally NAK so transport
+  /// recovery resends them; corrupted ACKs are simply discarded). Turning it
+  /// off models a NIC without end-to-end protection: torn payloads complete
+  /// to the application and are tallied in stats().corrupt_completions.
+  void set_icrc_verify(bool on) { icrc_verify_ = on; }
+  [[nodiscard]] bool icrc_verify() const { return icrc_verify_; }
+
   // --- wiring from Host ------------------------------------------------------
   void handle(Packet pkt);     // a RoCE packet cleared the rx pipeline
   void on_port_drain();        // tx queue drained below the cap: resume QPs
@@ -193,6 +210,10 @@ class RdmaNic {
     bool nak_armed = true;
     std::int64_t rx_msg_bytes = 0;
     Time rx_msg_start = 0;
+    /// True if any segment consumed into the in-flight receive message was
+    /// corrupt (only reachable with ICRC verification off): the completion
+    /// is then a torn one and counts into corrupt_completions.
+    bool rx_taint = false;
     Time last_cnp_time = -kSecond;
     /// Selective repeat: out-of-order segments buffered until the holes
     /// fill (bounded; overflow falls back to dropping).
@@ -201,6 +222,7 @@ class RdmaNic {
       RoceOpcode opcode;
       std::uint64_t msg_id;
       Time created_at;
+      bool corrupt;
     };
     std::map<std::uint64_t, RxSeg> rx_ooo;
     int recv_credits = 0;  // receive WQEs available (require_recv_wqes)
@@ -257,6 +279,7 @@ class RdmaNic {
   RecvCb recv_cb_;
   std::vector<QpErrorCb> error_cbs_;
   RdmaNicStats stats_;
+  bool icrc_verify_ = true;
 };
 
 /// Create and connect a QP pair between two hosts with the same config.

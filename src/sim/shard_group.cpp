@@ -35,7 +35,8 @@ void CrossShardChannel::push(CrossShardMsg m) {
   buf_.push_back(m);
 }
 
-void CrossShardChannel::push_deliver(Time at, Node* dst, int dst_port, Packet* pkt) {
+void CrossShardChannel::push_deliver(Time at, Node* dst, int dst_port, Packet* pkt,
+                                     bool newly_corrupt) {
   if (at < group_.horizon_floor()) {
     PooledPacket cleanup(pkt);  // don't leak the box past the diagnostic
     throw std::logic_error("cross-shard message below the promised horizon (lookahead violation)");
@@ -45,7 +46,7 @@ void CrossShardChannel::push_deliver(Time at, Node* dst, int dst_port, Packet* p
   m.pkt = pkt;
   m.dst = dst;
   m.dst_port = static_cast<std::int32_t>(dst_port);
-  m.kind = CrossShardMsg::Kind::kDeliver;
+  m.kind = newly_corrupt ? CrossShardMsg::Kind::kDeliverCorrupt : CrossShardMsg::Kind::kDeliver;
   push(m);
 }
 
@@ -250,19 +251,24 @@ void ShardGroup::drain_channels() {
     for (const CrossShardMsg& m : merge_scratch_) {
       Node* node = m.dst;
       const int port = m.dst_port;
-      if (m.kind == CrossShardMsg::Kind::kDeliver) {
+      if (m.kind != CrossShardMsg::Kind::kFcsError) {
         // The closure owns the packet from here: if the run ends with the
         // delivery still pending in the heap, destroying the slot frees it.
         // Receiver-side link gate: the same-shard fast path checks the
         // sender's egress epoch at arrival; across shards that read would
         // race, so the receiving direction's own link state stands in (both
-        // directions of a link fault flip together).
-        shard.schedule_at(m.at, [node, port, pp = PooledPacket(m.pkt)]() mutable {
+        // directions of a link fault flip together). kDeliverCorrupt adds
+        // the receiving port's corrupt_delivered bump — the same side effect
+        // the same-shard delivery closure applies, so shard count never
+        // changes what the detection plane observes.
+        const bool newly = m.kind == CrossShardMsg::Kind::kDeliverCorrupt;
+        shard.schedule_at(m.at, [node, port, newly, pp = PooledPacket(m.pkt)]() mutable {
           EgressPort& in = node->port(port);
           if (!in.link_up()) {
             ++in.counters().link_down_drops;
             return;
           }
+          if (newly) ++in.counters().corrupt_delivered;
           node->deliver(std::move(pp), port);
         });
       } else {

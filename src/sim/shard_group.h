@@ -56,7 +56,14 @@ struct CrossShardMsg {
   Packet* pkt = nullptr;  // owned; null for kFcsError
   Node* dst = nullptr;
   std::int32_t dst_port = -1;
-  enum class Kind : std::uint8_t { kDeliver, kFcsError } kind = Kind::kDeliver;
+  enum class Kind : std::uint8_t {
+    kDeliver,
+    kFcsError,
+    /// A delivery whose frame was corrupted on THIS hop past the FCS check:
+    /// delivered like kDeliver, plus the receiving port's corrupt_delivered
+    /// bump (the packet itself carries Packet::corrupt for the end hosts).
+    kDeliverCorrupt,
+  } kind = Kind::kDeliver;
 };
 
 /// Deterministic SPSC channel for one ordered (src shard, dst shard) pair.
@@ -74,8 +81,10 @@ class CrossShardChannel {
 
   /// Hand a packet (ownership transferred) to the peer shard, arriving at
   /// absolute time `at`. Trips the lookahead check: `at` must not be below
-  /// the horizon the consumer side was already promised.
-  void push_deliver(Time at, Node* dst, int dst_port, Packet* pkt);
+  /// the horizon the consumer side was already promised. `newly_corrupt`
+  /// marks a frame this hop corrupted past the FCS check (§5.2 silent
+  /// corruption): delivery also bumps the receiver's corrupt_delivered.
+  void push_deliver(Time at, Node* dst, int dst_port, Packet* pkt, bool newly_corrupt = false);
   /// The gray-failure FCS path: the frame arrives only to fail the
   /// receiver's FCS check (rx-side fcs_errors bump at `at`).
   void push_fcs_error(Time at, Node* dst, int dst_port);

@@ -274,6 +274,112 @@ TEST_P(RoceFramePriorities, PriorityPlacementPerMode) {
 
 INSTANTIATE_TEST_SUITE_P(AllPriorities, RoceFramePriorities, ::testing::Range(0, 8));
 
+// --- the end-to-end invariant CRC (§5.2) -------------------------------------
+
+TEST(Crc32, MoreKnownVectors) {
+  // Further IEEE 802.3 (reflected, poly 0xEDB88320) known answers.
+  const std::uint8_t a[] = {'a'};
+  EXPECT_EQ(crc32_ieee(a), 0xE8B7BE43u);
+  const std::uint8_t abc[] = {'a', 'b', 'c'};
+  EXPECT_EQ(crc32_ieee(abc), 0x352441C2u);
+  const std::uint8_t ff[] = {0xff, 0xff, 0xff, 0xff};
+  EXPECT_EQ(crc32_ieee(ff), 0xFFFFFFFFu);
+}
+
+TEST(RoceIcrc, DeterministicOverBthAndPayload) {
+  RoceBth bth;
+  bth.opcode = RoceOpcode::kSendMiddle;
+  bth.dest_qp = 0x00abcd;
+  bth.psn = 0x000042;
+  const std::uint8_t payload[] = {1, 2, 3, 4, 5, 6, 7, 8};
+  const std::uint32_t icrc = roce_icrc(bth, payload);
+  EXPECT_EQ(roce_icrc(bth, payload), icrc);  // pure function of its inputs
+  // The BTH is covered: any transport-field change moves the ICRC.
+  RoceBth other = bth;
+  other.psn = 0x000043;
+  EXPECT_NE(roce_icrc(other, payload), icrc);
+  other = bth;
+  other.dest_qp = 0x00abce;
+  EXPECT_NE(roce_icrc(other, payload), icrc);
+}
+
+TEST(RoceIcrc, EverySingleBitFlipDetected) {
+  // CRC-32 detects all single-bit errors; walk every payload bit.
+  RoceBth bth;
+  bth.opcode = RoceOpcode::kSendMiddle;
+  std::uint8_t payload[16] = {0xde, 0xad, 0xbe, 0xef, 0, 1, 2, 3,
+                              4,    5,    6,    7,    8, 9, 10, 11};
+  const std::uint32_t icrc = roce_icrc(bth, payload);
+  for (std::size_t byte = 0; byte < sizeof payload; ++byte) {
+    for (int bit = 0; bit < 8; ++bit) {
+      payload[byte] ^= static_cast<std::uint8_t>(1u << bit);
+      EXPECT_NE(roce_icrc(bth, payload), icrc) << "byte " << byte << " bit " << bit;
+      payload[byte] ^= static_cast<std::uint8_t>(1u << bit);
+    }
+  }
+  EXPECT_EQ(roce_icrc(bth, payload), icrc);  // restored payload restores it
+}
+
+TEST(RoceFrame, IcrcOkOnCleanFrame) {
+  for (auto mode : {PfcMode::kDscpBased, PfcMode::kVlanBased}) {
+    const auto d = decode_roce_frame(encode_roce_frame(sample_roce_packet(), mode));
+    ASSERT_TRUE(d.has_value());
+    EXPECT_TRUE(d->fcs_ok);
+    EXPECT_TRUE(d->icrc_ok);
+  }
+}
+
+TEST(RoceFrame, EscapedFcsCorruptionStillFailsIcrc) {
+  // The §5.2 escape path: a payload bit flips AND the per-hop FCS happens
+  // to pass (modeled by forging a valid FCS over the damaged frame). The
+  // end-to-end ICRC must still catch it.
+  Bytes frame = encode_roce_frame(sample_roce_packet(), PfcMode::kDscpBased);
+  frame[200] ^= 0x01;  // payload region (starts at byte 54 in DSCP mode)
+  const std::uint32_t fcs =
+      crc32_ieee(std::span<const std::uint8_t>(frame.data(), frame.size() - 4));
+  frame[frame.size() - 4] = static_cast<std::uint8_t>(fcs >> 24);
+  frame[frame.size() - 3] = static_cast<std::uint8_t>(fcs >> 16);
+  frame[frame.size() - 2] = static_cast<std::uint8_t>(fcs >> 8);
+  frame[frame.size() - 1] = static_cast<std::uint8_t>(fcs);
+  const auto d = decode_roce_frame(frame);
+  ASSERT_TRUE(d.has_value());
+  EXPECT_TRUE(d->fcs_ok);    // the link-level check was fooled...
+  EXPECT_FALSE(d->icrc_ok);  // ...the invariant CRC was not
+}
+
+TEST(RoceFrame, FlipAnywhereInInvariantRegionFailsIcrc) {
+  // IP header, UDP header, BTH, payload: all inside the ICRC's coverage.
+  const Bytes clean = encode_roce_frame(sample_roce_packet(), PfcMode::kDscpBased);
+  for (const std::size_t off :
+       std::vector<std::size_t>{15, 36, 44, 54, 600, clean.size() - 9}) {
+    Bytes frame = clean;
+    frame[off] ^= 0x10;
+    const auto d = decode_roce_frame(frame);
+    if (d.has_value()) {  // an IP-checksum hit rejects the frame outright
+      EXPECT_FALSE(d->icrc_ok) << "offset " << off;
+    }
+  }
+}
+
+TEST(RoceFrame, StoredIcrcFlipFailsBothChecks) {
+  // Damaging the stored ICRC itself breaks the ICRC compare and (because
+  // the FCS covers the ICRC bytes) the frame check too.
+  Bytes frame = encode_roce_frame(sample_roce_packet(), PfcMode::kDscpBased);
+  frame[frame.size() - 8] ^= 0xff;
+  const auto d = decode_roce_frame(frame);
+  ASSERT_TRUE(d.has_value());
+  EXPECT_FALSE(d->fcs_ok);
+  EXPECT_FALSE(d->icrc_ok);
+}
+
+TEST(RoceFrame, TruncationRejectedNotMisread) {
+  // fcs_ok edge case: a frame cut below headers + ICRC + FCS must decode to
+  // nullopt, never to a "valid" frame with a garbage checksum verdict.
+  const Bytes clean = encode_roce_frame(sample_roce_packet(), PfcMode::kDscpBased);
+  const Bytes cut(clean.begin(), clean.begin() + 58);  // headers + 4 bytes
+  EXPECT_FALSE(decode_roce_frame(cut).has_value());
+}
+
 TEST(FrameSizes, PaperConstants) {
   EXPECT_EQ(kRoceDataOverheadBytes, 62);
   EXPECT_EQ(kRoceDataOverheadBytes + 1024, 1086);  // Fig. 7 frame

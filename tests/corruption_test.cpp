@@ -1,0 +1,178 @@
+// §5.2 end-to-end data integrity: delivered-corrupt frames (corruption the
+// per-hop FCS misses), NIC ICRC verification + NAK recovery, torn-completion
+// taint counting with verification off, and the auditor's kDataIntegrity
+// invariant.
+#include <gtest/gtest.h>
+
+#include "src/app/demux.h"
+#include "src/app/traffic.h"
+#include "src/faults/auditor.h"
+#include "src/link/impairment.h"
+#include "tests/testutil.h"
+
+namespace rocelab {
+namespace {
+
+using testing::StarTopology;
+
+LinkImpairment corrupting(double rate, double escape) {
+  LinkImpairment imp;
+  imp.corrupt_deliver_rate = rate;
+  imp.escape_fcs_frac = escape;
+  imp.seed = 7;
+  return imp;
+}
+
+TEST(Corruption, EscapedFrameIsCountedDroppedAndRecovered) {
+  // Corruption on the host0 -> switch hop that always escapes the FCS: the
+  // switch's rx port counts corrupt_delivered, the packet rides tainted to
+  // host1 whose ICRC verify drops it, and go-back-N resends until the
+  // message completes clean.
+  StarTopology topo(2);
+  topo.hosts[0]->port(0).set_impairment(corrupting(0.3, 1.0));
+  QpConfig qp;
+  qp.retx_timeout = microseconds(200);
+  auto [qa, qb] = connect_qp_pair(*topo.hosts[0], *topo.hosts[1], qp);
+  (void)qb;
+  RdmaDemux demux(*topo.hosts[0]);
+  int completions = 0;
+  demux.on_completion(qa, [&](const RdmaCompletion&) { ++completions; });
+  topo.hosts[0]->rdma().post_send(qa, 16 * kKiB, 0);
+  topo.sim().run_until(milliseconds(20));
+
+  EXPECT_EQ(completions, 1);
+  EXPECT_GT(topo.sw().port(0).counters().corrupt_delivered, 0);
+  EXPECT_EQ(topo.sw().port(0).counters().fcs_errors, 0);  // nothing FCS-caught
+  EXPECT_GT(topo.hosts[1]->rdma().stats().icrc_errors, 0);
+  // The invariant the whole plane exists for: no torn data completed.
+  EXPECT_EQ(topo.hosts[1]->rdma().stats().corrupt_completions, 0);
+  EXPECT_EQ(topo.hosts[0]->rdma().stats().corrupt_completions, 0);
+}
+
+TEST(Corruption, EscapeFracZeroMeansFcsDropsOnly) {
+  // With escape_fcs_frac = 0 every corrupted frame is caught at the
+  // receiving port's FCS check: classic fcs_errors, nothing delivered
+  // corrupt, no ICRC involvement.
+  StarTopology topo(2);
+  topo.hosts[0]->port(0).set_impairment(corrupting(1.0, 0.0));
+  auto [qa, qb] = connect_qp_pair(*topo.hosts[0], *topo.hosts[1], QpConfig{});
+  (void)qb;
+  topo.hosts[0]->rdma().post_send(qa, 4 * kKiB, 0);
+  topo.sim().run_until(milliseconds(2));
+
+  EXPECT_GT(topo.sw().port(0).counters().fcs_errors, 0);
+  EXPECT_EQ(topo.sw().port(0).counters().corrupt_delivered, 0);
+  EXPECT_EQ(topo.hosts[1]->rdma().stats().icrc_errors, 0);
+}
+
+TEST(Corruption, VerifyOffCompletesTornDataAndCountsTaint) {
+  // ICRC verification off (pre-§5.2 NIC): corrupt segments are consumed
+  // into messages, completions fire anyway, and every tainted message is
+  // tallied in corrupt_completions — the no-integrity baseline arm.
+  StarTopology topo(2);
+  topo.hosts[0]->port(0).set_impairment(corrupting(0.5, 1.0));
+  topo.hosts[1]->rdma().set_icrc_verify(false);
+  auto [qa, qb] = connect_qp_pair(*topo.hosts[0], *topo.hosts[1], QpConfig{});
+  (void)qb;
+  RdmaDemux demux(*topo.hosts[0]);
+  int completions = 0;
+  demux.on_completion(qa, [&](const RdmaCompletion&) { ++completions; });
+  for (int i = 0; i < 8; ++i) topo.hosts[0]->rdma().post_send(qa, 16 * kKiB, i);
+  topo.sim().run_until(milliseconds(20));
+
+  EXPECT_EQ(completions, 8);  // full goodput: nothing was dropped...
+  EXPECT_GT(topo.hosts[1]->rdma().stats().corrupt_completions, 0);  // ...but torn
+  EXPECT_EQ(topo.hosts[1]->rdma().stats().icrc_errors, 0);
+}
+
+TEST(Corruption, CorruptAckDiscardedWithoutWedgingQp) {
+  // Corruption on the reverse (ACK) direction: a corrupt ACK's fields can't
+  // be trusted, so the receiver NIC discards it (counting icrc_errors) and
+  // the sender's retransmission timer recovers — the QP must neither error
+  // out nor complete torn data.
+  StarTopology topo(2);
+  topo.hosts[1]->port(0).set_impairment(corrupting(0.5, 1.0));
+  QpConfig qp;
+  qp.retx_timeout = microseconds(200);
+  auto [qa, qb] = connect_qp_pair(*topo.hosts[0], *topo.hosts[1], qp);
+  (void)qb;
+  RdmaDemux demux(*topo.hosts[0]);
+  int completions = 0;
+  demux.on_completion(qa, [&](const RdmaCompletion&) { ++completions; });
+  for (int i = 0; i < 4; ++i) topo.hosts[0]->rdma().post_send(qa, 8 * kKiB, i);
+  topo.sim().run_until(milliseconds(50));
+
+  EXPECT_EQ(completions, 4);
+  EXPECT_GT(topo.hosts[0]->rdma().stats().icrc_errors, 0);  // discarded ACKs
+  EXPECT_FALSE(topo.hosts[0]->rdma().qp_errored(qa));
+  EXPECT_EQ(topo.hosts[0]->rdma().stats().corrupt_completions, 0);
+  EXPECT_EQ(topo.hosts[1]->rdma().stats().corrupt_completions, 0);
+}
+
+TEST(Corruption, GoBack0RecoversWithoutLivelock) {
+  // Go-back-0 restarts the whole message on a NAK; under persistent
+  // corruption the restart barrier must still let clean attempts finish
+  // (the regression the livelock fix of §4.1 guards).
+  StarTopology topo(2);
+  topo.hosts[0]->port(0).set_impairment(corrupting(0.1, 1.0));
+  QpConfig qp;
+  qp.recovery = LossRecovery::kGoBack0;
+  qp.retx_timeout = microseconds(200);
+  auto [qa, qb] = connect_qp_pair(*topo.hosts[0], *topo.hosts[1], qp);
+  (void)qb;
+  RdmaDemux demux(*topo.hosts[0]);
+  int completions = 0;
+  demux.on_completion(qa, [&](const RdmaCompletion&) { ++completions; });
+  for (int i = 0; i < 4; ++i) topo.hosts[0]->rdma().post_send(qa, 8 * kKiB, i);
+  topo.sim().run_until(milliseconds(50));
+
+  EXPECT_EQ(completions, 4);
+  EXPECT_GT(topo.hosts[1]->rdma().stats().icrc_errors, 0);
+  EXPECT_EQ(topo.hosts[1]->rdma().stats().corrupt_completions, 0);
+}
+
+TEST(Corruption, AuditorFlagsTornCompletionsAsHardViolations) {
+  // kDataIntegrity: with verification off, every torn completion the NIC
+  // hands to the application is a hard invariant violation; with it on,
+  // the same schedule stays clean.
+  for (const bool verify : {false, true}) {
+    StarTopology topo(2);
+    topo.hosts[0]->port(0).set_impairment(corrupting(0.5, 1.0));
+    topo.hosts[1]->rdma().set_icrc_verify(verify);
+    auto [qa, qb] = connect_qp_pair(*topo.hosts[0], *topo.hosts[1], QpConfig{});
+    (void)qb;
+    InvariantAuditor::Options aopts;
+    aopts.interval = microseconds(100);
+    InvariantAuditor auditor(topo.sim(), {&topo.sw()}, topo.hosts, aopts);
+    auditor.start();
+    for (int i = 0; i < 8; ++i) topo.hosts[0]->rdma().post_send(qa, 16 * kKiB, i);
+    topo.sim().run_until(milliseconds(20));
+    if (verify) {
+      EXPECT_EQ(auditor.count(InvariantAuditor::Kind::kDataIntegrity), 0);
+    } else {
+      EXPECT_GT(auditor.count(InvariantAuditor::Kind::kDataIntegrity), 0);
+      EXPECT_GT(auditor.hard_violations(), 0);
+    }
+  }
+}
+
+TEST(Corruption, DisabledImpairmentDeliversEverythingClean) {
+  // enabled = false must be a true no-op: no corruption, no counters, no
+  // RNG draws that could shift an unrelated schedule.
+  StarTopology topo(2);
+  LinkImpairment imp = corrupting(1.0, 1.0);
+  imp.enabled = false;
+  topo.hosts[0]->port(0).set_impairment(imp);
+  auto [qa, qb] = connect_qp_pair(*topo.hosts[0], *topo.hosts[1], QpConfig{});
+  (void)qb;
+  topo.hosts[0]->rdma().post_send(qa, 16 * kKiB, 0);
+  topo.sim().run_until(milliseconds(5));
+
+  EXPECT_EQ(topo.hosts[1]->rdma().stats().messages_received, 1);
+  EXPECT_EQ(topo.sw().port(0).counters().corrupt_delivered, 0);
+  EXPECT_EQ(topo.hosts[1]->rdma().stats().icrc_errors, 0);
+  EXPECT_EQ(topo.hosts[0]->port(0).impairment_stats().corrupt_delivered, 0);
+}
+
+}  // namespace
+}  // namespace rocelab

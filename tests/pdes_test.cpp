@@ -33,12 +33,13 @@ struct MiniRun {
   std::uint64_t journal = 0;
   std::int64_t cross_msgs = 0;
   std::int64_t windows = 0;
+  std::int64_t corrupt_delivered = 0;
 };
 
 /// A 4-podset ring workload on a minimal 3-tier Clos, optionally with two
 /// journalled chaos faults. Every stream crosses a podset boundary, so at
 /// shards > 1 every data/ACK frame exercises the cross-shard channels.
-MiniRun run_mini(int shards, bool with_chaos) {
+MiniRun run_mini(int shards, bool with_chaos, bool with_corruption = false) {
   QosPolicy policy;
   ClosParams p = make_clos_params(policy, DeploymentStage::kFull, /*podsets=*/4,
                                   /*leaves=*/1, /*tors=*/1, /*servers=*/2, /*spines=*/2);
@@ -63,6 +64,17 @@ MiniRun run_mini(int shards, bool with_chaos) {
     bh.blackhole = true;
     chaos->impair_link(clos.tor(1, 0), /*port=*/2, bh, microseconds(100), microseconds(300));
   }
+  if (with_corruption) {
+    // §5.2 delivered corruption on a podset-boundary hop: the corrupted
+    // frames ride the cross-shard channels as kDeliverCorrupt, so the
+    // receiving port's corrupt_delivered bump happens on the peer's shard.
+    LinkImpairment corrupt;
+    corrupt.corrupt_deliver_rate = 0.05;
+    corrupt.escape_fcs_frac = 1.0;
+    corrupt.seed = 11;
+    clos.leaf(0, 0).port(1).set_impairment(corrupt);  // first uplink, to a spine
+    clos.spine(0).port(1).set_impairment(corrupt);    // down into podset 1
+  }
 
   clos.sim().run_until(microseconds(500));
 
@@ -72,6 +84,7 @@ MiniRun run_mini(int shards, bool with_chaos) {
   r.journal = chaos ? chaos->journal_hash() : 0;
   r.cross_msgs = clos.fabric().group().cross_messages();
   r.windows = clos.fabric().group().windows();
+  r.corrupt_delivered = clos.sim().metrics().sum("*/port*/corrupt_delivered");
   return r;
 }
 
@@ -111,6 +124,21 @@ TEST(PdesDeterminism, ChaosJournalHashStablePerShardCount) {
     EXPECT_EQ(a.journal, b.journal) << "shards=" << shards;
     EXPECT_NE(a.journal, 0u) << "shards=" << shards;
     EXPECT_EQ(a.digest, b.digest) << "shards=" << shards;
+  }
+}
+
+TEST(PdesDeterminism, DeliveredCorruptionByteIdenticalPerShardCount) {
+  // kDeliverCorrupt cross-shard deliveries must not perturb determinism:
+  // at every shard count a rerun reproduces digest, event count, and the
+  // corruption ground truth exactly — and the corrupting hops really fire.
+  for (int shards : {1, 2, 4}) {
+    const MiniRun a = run_mini(shards, false, /*with_corruption=*/true);
+    const MiniRun b = run_mini(shards, false, /*with_corruption=*/true);
+    EXPECT_EQ(a.digest, b.digest) << "shards=" << shards;
+    EXPECT_EQ(a.events, b.events) << "shards=" << shards;
+    EXPECT_EQ(a.corrupt_delivered, b.corrupt_delivered) << "shards=" << shards;
+    EXPECT_GT(a.corrupt_delivered, 0) << "shards=" << shards;
+    if (shards > 1) EXPECT_GT(a.cross_msgs, 0) << "shards=" << shards;
   }
 }
 

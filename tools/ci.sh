@@ -33,7 +33,7 @@ echo "=== perf gate (plain build only) ==="
 # parallelism ratio would measure the scheduler, not the core.
 scale_gate=()
 if [ "$jobs" -ge 4 ]; then scale_gate=(--scale-min 2.5); fi
-"$repo/build/bench/perf_gate" --ms 10 --twice --gray-noop \
+"$repo/build/bench/perf_gate" --ms 10 --twice --gray-noop --corruption-noop \
   --expect-digest 7e3131fbe2867385 \
   --scaling 1,2,4 --scaling-podsets 4 --scaling-ms 4 "${scale_gate[@]}" \
   --json "$repo/BENCH_simcore.json"
@@ -95,8 +95,36 @@ assert all(c["pass"] for c in doc["checks"]), doc["checks"]
 print("BENCH json OK:", sys.argv[1])
 PY
 
+# fig_corruption: the §5.2 data-integrity plane. Delivered-corrupt frames
+# must complete torn data in the no-integrity arm (counted by the
+# auditor's kDataIntegrity invariant), never complete in the ICRC arms,
+# and the incident manager's cable replacement must restore the SLA floor.
+# The seeded chaos journal (kCableReplace/kCableReplaced included) must
+# replay to the golden hash, at 1 shard and 2.
+"$repo/build/bench/fig_corruption" \
+  --expect_journal=0ec63f59a03a564c \
+  --json "$repo/BENCH_fig_corruption.json"
+python3 - "$repo/BENCH_fig_corruption.json" <<'PY'
+import json, sys
+doc = json.load(open(sys.argv[1]))
+assert doc["schema_version"] == 1, doc.get("schema_version")
+assert doc["bench"] == "fig_corruption"
+assert doc["cases"], "no cases emitted"
+assert all(c["pass"] for c in doc["checks"]), doc["checks"]
+print("BENCH json OK:", sys.argv[1])
+PY
+
 echo "=== sanitizer build (ASan+UBSan) ==="
 run_suite "$repo/build-asan" -DROCELAB_SANITIZE=ON
+
+echo "=== corruption plane soak (ASan build) ==="
+# The fig_corruption schedule again under ASan+UBSan: the delivered-corrupt
+# path (escaped-FCS stamping, ICRC drop + NAK resend, cable pull and timed
+# re-splice) is exactly the kind of ownership-juggling code sanitizers
+# catch. Journal timestamps are scan times, so the golden hash is
+# build-flavour stable.
+"$repo/build-asan/bench/fig_corruption" \
+  --expect_journal=0ec63f59a03a564c
 
 echo "=== gray-failure soak (ASan build) ==="
 # Seeded gray-fault schedule (lossy link, one-way + flow blackholes, per-QP
@@ -120,10 +148,12 @@ echo "=== thread sanitizer (PDES shard tests) ==="
 # tests plus the simulator-core tests: the parallel-window barrier, the
 # SPSC channels, and the horizon publication are the only intentionally
 # concurrent code in the repo, so this is where a data race would live.
+# The Corruption suite rides along for the kDeliverCorrupt cross-shard
+# message kind (receiver-side counter bumps happen on the peer's shard).
 run_suite_tsan() {
   cmake -B "$repo/build-tsan" -S "$repo" -DROCELAB_SANITIZE=thread
   cmake --build "$repo/build-tsan" -j "$jobs" --target rocelab_tests
-  ctest --test-dir "$repo/build-tsan" --output-on-failure -R 'Pdes|Simulator'
+  ctest --test-dir "$repo/build-tsan" --output-on-failure -R 'Pdes|Simulator|Corruption'
 }
 run_suite_tsan
 
