@@ -12,6 +12,7 @@
 #include "src/app/traffic.h"
 #include "src/exp/harness.h"
 #include "src/exp/scenario.h"
+#include "src/exp/transport.h"
 #include "src/monitor/metric_registry.h"
 #include "src/topo/fabric.h"
 
@@ -26,18 +27,21 @@ struct IncastResult {
   std::int64_t cnps = 0;
 };
 
-IncastResult run_incast(bool dcqcn, Time duration) {
+IncastResult run_incast(const exp::Context& ctx, bool dcqcn, Time duration) {
   SwitchConfig cfg;
   cfg.lossless[3] = true;
+  exp::apply_transport_knobs(ctx, cfg);
   cfg.ecn[3] = EcnConfig{true, 50 * kKiB, 400 * kKiB, 0.01};
   HostConfig hc;
   hc.lossless[3] = true;
+  exp::apply_transport_knobs(ctx, hc);
   const int senders = 8;
   exp::StarFabric star(senders, cfg, hc);
 
   exp::TrafficSet traffic;
   QpConfig qp;
   qp.dcqcn = dcqcn;
+  exp::apply_transport_knobs(ctx, qp);
   for (int i = 0; i < senders; ++i) {
     traffic.add_streams(
         star.tx(i), star.rx(), qp,
@@ -66,10 +70,12 @@ struct LossResult {
   double retx_fraction = 0.0;
 };
 
-LossResult run_loss(LossRecovery recovery, double loss_rate, Time duration) {
+LossResult run_loss(const exp::Context& ctx, LossRecovery recovery, double loss_rate,
+                    Time duration) {
   Fabric fabric;
   SwitchConfig cfg;
   cfg.lossless[3] = true;
+  exp::apply_transport_knobs(ctx, cfg);
   auto& sw = fabric.add_switch("sw", cfg, 2);
   sw.add_local_subnet(Ipv4Prefix{Ipv4Addr::from_octets(10, 0, 0, 0), 24});
   // Random (not IP-ID-deterministic) loss: FCS-style corruption.
@@ -81,6 +87,7 @@ LossResult run_loss(LossRecovery recovery, double loss_rate, Time duration) {
   }
   HostConfig hc;
   hc.lossless[3] = true;
+  exp::apply_transport_knobs(ctx, hc);
   auto& a = fabric.add_host("a", hc);
   auto& b = fabric.add_host("b", hc);
   a.set_ip(Ipv4Addr::from_octets(10, 0, 0, 1));
@@ -88,7 +95,8 @@ LossResult run_loss(LossRecovery recovery, double loss_rate, Time duration) {
   fabric.attach_host(a, sw, 0, gbps(40), propagation_delay_for_meters(2));
   fabric.attach_host(b, sw, 1, gbps(40), propagation_delay_for_meters(2));
   QpConfig qp;
-  qp.recovery = recovery;
+  exp::apply_transport_knobs(ctx, qp);
+  qp.recovery = recovery;  // the experiment arm wins over the knob override
   qp.dcqcn = false;
   auto [qa, qb] = connect_qp_pair(a, b, qp);
   (void)qb;
@@ -124,8 +132,8 @@ int main(int argc, char** argv) {
     const Time duration = milliseconds(ctx.knob_int("duration_ms"));
 
     ctx.section("E13a — DCQCN ablation: 8-to-1 incast on the lossless class");
-    const IncastResult with_cc = run_incast(true, duration);
-    const IncastResult without_cc = run_incast(false, duration);
+    const IncastResult with_cc = run_incast(ctx, true, duration);
+    const IncastResult without_cc = run_incast(ctx, false, duration);
     ctx.table({"metric", "DCQCN on", "DCQCN off"}, {26, 16, 16});
     ctx.row({"switch pauses/s", exp::fmt("%.0f", with_cc.pauses_per_sec),
              exp::fmt("%.0f", without_cc.pauses_per_sec)});
@@ -148,8 +156,8 @@ int main(int argc, char** argv) {
               {12, 19, 15, 19, 15});
     bool gbn_degrades_gracefully = true;
     for (double loss : ctx.knob_list("loss_sweep")) {
-      const LossResult n = run_loss(LossRecovery::kGoBackN, loss, duration);
-      const LossResult z = run_loss(LossRecovery::kGoBack0, loss, duration);
+      const LossResult n = run_loss(ctx, LossRecovery::kGoBackN, loss, duration);
+      const LossResult z = run_loss(ctx, LossRecovery::kGoBack0, loss, duration);
       ctx.row({exp::fmt("%g", loss), exp::fmt("%.2f", n.goodput_gbps),
                exp::fmt("%.3f", n.retx_fraction), exp::fmt("%.2f", z.goodput_gbps),
                exp::fmt("%.3f", z.retx_fraction)});

@@ -18,6 +18,7 @@
 #include "src/app/traffic.h"
 #include "src/exp/harness.h"
 #include "src/exp/scenario.h"
+#include "src/exp/transport.h"
 #include "src/monitor/metric_registry.h"
 #include "src/topo/fabric.h"
 
@@ -32,12 +33,14 @@ struct SprayResult {
   int paths_used = 0;
 };
 
-SprayResult run_spray(bool spray, LossRecovery recovery, Time duration) {
+SprayResult run_spray(const exp::Context& ctx, bool spray, LossRecovery recovery,
+                      Time duration) {
   // Two routers joined by 4 parallel 10G paths; one 40G flow. Flow-hash
   // pins it to a single 10G path (25% of fabric); spraying can use all 4.
   Fabric fabric;
   SwitchConfig cfg;
   cfg.lossless[3] = true;
+  exp::apply_transport_knobs(ctx, cfg);
   cfg.packet_spray = spray;
   auto& s1 = fabric.add_switch("s1", cfg, 6);
   auto& s2 = fabric.add_switch("s2", cfg, 6);
@@ -54,6 +57,7 @@ SprayResult run_spray(bool spray, LossRecovery recovery, Time duration) {
   }
   HostConfig hc;
   hc.lossless[3] = true;
+  exp::apply_transport_knobs(ctx, hc);
   auto& a = fabric.add_host("a", hc);
   auto& b = fabric.add_host("b", hc);
   a.set_ip(Ipv4Addr::from_octets(10, 0, 0, 1));
@@ -62,7 +66,8 @@ SprayResult run_spray(bool spray, LossRecovery recovery, Time duration) {
   fabric.attach_host(b, s2, 0, gbps(40), propagation_delay_for_meters(2));
 
   QpConfig qp;
-  qp.recovery = recovery;
+  exp::apply_transport_knobs(ctx, qp);
+  qp.recovery = recovery;  // the experiment arm wins over the knob override
   qp.dcqcn = false;
   auto [qa, qb] = connect_qp_pair(a, b, qp);
   (void)qb;
@@ -147,7 +152,7 @@ int main(int argc, char** argv) {
     int i = 0;
     for (bool spray : {false, true}) {
       for (LossRecovery rec : {LossRecovery::kGoBackN, LossRecovery::kSelectiveRepeat}) {
-        const SprayResult r = run_spray(spray, rec, duration);
+        const SprayResult r = run_spray(ctx, spray, rec, duration);
         results[i++] = r;
         const std::string routing = spray ? "pkt-spray" : "flow-hash";
         const std::string recovery = rec == LossRecovery::kGoBackN ? "go-back-N" : "selective";

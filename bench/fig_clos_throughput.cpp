@@ -19,6 +19,7 @@
 #include "src/app/traffic.h"
 #include "src/exp/harness.h"
 #include "src/exp/scenario.h"
+#include "src/exp/transport.h"
 #include "src/monitor/metric_registry.h"
 #include "src/monitor/monitor.h"
 #include "src/rocev2/deployment.h"
@@ -89,6 +90,7 @@ int main(int argc, char** argv) {
              std::to_string(servers_per_tor) + " servers/ToR");
 
     QosPolicy policy;
+    exp::apply_transport_knobs(ctx, policy);
     ClosParams params = make_clos_params(policy, DeploymentStage::kFull, 2, leaves, tor_pairs,
                                          servers_per_tor, spines);
     params.shards = ctx.shards();

@@ -41,6 +41,7 @@
 #include "src/app/demux.h"
 #include "src/app/pingmesh_grid.h"
 #include "src/exp/scenario.h"
+#include "src/exp/transport.h"
 #include "src/faults/auditor.h"
 #include "src/faults/chaos.h"
 #include "src/faults/incident_manager.h"
@@ -93,12 +94,13 @@ struct Result {
 
 constexpr std::int64_t kMsgBytes = 16 * kKiB;
 
-Result run_case(Arm arm, LossRecovery recovery, double rate, double escape, Time duration,
-                Time window_at, int shards) {
+Result run_case(const exp::Context& ctx, Arm arm, LossRecovery recovery, double rate,
+                double escape, Time duration, Time window_at, int shards) {
   // Two podsets x (2 leaves x 2 ToRs x 2 servers) + 4 spines — same shape
   // as the incident-manager soak so mitigation semantics carry over.
   QosPolicy policy;
   policy.max_cable_m = 20.0;
+  exp::apply_transport_knobs(ctx, policy);
   ClosParams params = make_clos_params(policy, DeploymentStage::kFull, /*podsets=*/2,
                                        /*leaves=*/2, /*tors=*/2, /*servers=*/2, /*spines=*/4);
   params.shards = shards;
@@ -119,9 +121,10 @@ Result run_case(Arm arm, LossRecovery recovery, double rate, double escape, Time
   }
 
   QpConfig qp = make_qp_config(policy);
-  qp.recovery = recovery;
   qp.retx_timeout = microseconds(200);
   qp.retry_limit = 0;  // retry forever: corruption recovery must not wedge QPs
+  exp::apply_transport_knobs(ctx, qp);
+  qp.recovery = recovery;  // the experiment arm wins over the knob override
 
   // Intra-podset paced flows, both directions in both pods (pod-0 flows
   // cross the impaired uplink; pod-1 flows are the healthy control group).
@@ -358,7 +361,7 @@ int main(int argc, char** argv) {
              exp::fmt("%.2f", escape) + " (FCS-blind)");
 
     const Result clean =
-        run_case(Arm::kClean, LossRecovery::kGoBackN, 0.0, escape, duration, window_at,
+        run_case(ctx, Arm::kClean, LossRecovery::kGoBackN, 0.0, escape, duration, window_at,
                  ctx.shards());
     const double floor = floor_frac * clean.mean_gbps;
     ctx.metric("clean", "mean_goodput_gbps", clean.mean_gbps);
@@ -378,7 +381,7 @@ int main(int argc, char** argv) {
     for (const double rate : sweep) {
       for (const LossRecovery rec : {LossRecovery::kGoBack0, LossRecovery::kGoBackN}) {
         for (const Arm arm : {Arm::kNoIntegrity, Arm::kIcrc, Arm::kIcrcMgr}) {
-          const Result r = run_case(arm, rec, rate, escape, duration, window_at, ctx.shards());
+          const Result r = run_case(ctx, arm, rec, rate, escape, duration, window_at, ctx.shards());
           const std::string key =
               exp::fmt("%.3f", rate) + "/" + gb_name(rec) + "/" + arm_name(arm);
           ctx.row({exp::fmt("%.3f", rate), gb_name(rec), arm_name(arm),
@@ -430,11 +433,11 @@ int main(int argc, char** argv) {
 
     // Determinism: same seed -> byte-identical journal, at 1 shard and 2.
     const double top_rate = sweep.back();
-    const Result rerun = run_case(Arm::kIcrcMgr, LossRecovery::kGoBackN, top_rate, escape,
+    const Result rerun = run_case(ctx, Arm::kIcrcMgr, LossRecovery::kGoBackN, top_rate, escape,
                                   duration, window_at, ctx.shards());
     ctx.check("incmgr journal is byte-identical across reruns",
               rerun.journal_hash == last_mgr.journal_hash);
-    const Result sharded = run_case(Arm::kIcrcMgr, LossRecovery::kGoBackN, top_rate, escape,
+    const Result sharded = run_case(ctx, Arm::kIcrcMgr, LossRecovery::kGoBackN, top_rate, escape,
                                     duration, window_at, /*shards=*/2);
     ctx.check("incmgr journal is byte-identical at shards=2",
               sharded.journal_hash == last_mgr.journal_hash);

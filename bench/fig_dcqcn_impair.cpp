@@ -21,6 +21,7 @@
 #include "src/app/traffic.h"
 #include "src/exp/harness.h"
 #include "src/exp/scenario.h"
+#include "src/exp/transport.h"
 #include "src/link/impairment.h"
 #include "src/monitor/metric_registry.h"
 #include "src/rocev2/deployment.h"
@@ -42,13 +43,15 @@ struct Result {
   std::int64_t fcs_ground_truth = 0;  // what the impairment actually corrupted
 };
 
-Result run_case(double loss_rate, LossRecovery recovery, Time duration) {
+Result run_case(const exp::Context& ctx, double loss_rate, LossRecovery recovery,
+                Time duration) {
   // One podset, ONE leaf, two ToRs: every cross-ToR packet must use the
   // single ToR0->leaf uplink, so the impaired direction is on the path of
   // all forward traffic (no ECMP detour to hide behind).
   QosPolicy policy;
   policy.max_cable_m = 20.0;
-  policy.recovery = recovery;
+  exp::apply_transport_knobs(ctx, policy);
+  policy.recovery = recovery;  // the experiment arm wins over the knob override
   const int servers = 8;
   ClosParams params = make_clos_params(policy, DeploymentStage::kFull, /*podsets=*/1,
                                        /*leaves=*/1, /*tors=*/2, servers, /*spines=*/0);
@@ -139,8 +142,8 @@ int main(int argc, char** argv) {
               {12, 10, 10, 11, 10, 11, 12, 10});
     std::vector<Result> gbn, gb0;
     for (double loss : sweep) {
-      const Result n = run_case(loss, LossRecovery::kGoBackN, duration);
-      const Result z = run_case(loss, LossRecovery::kGoBack0, duration);
+      const Result n = run_case(ctx, loss, LossRecovery::kGoBackN, duration);
+      const Result z = run_case(ctx, loss, LossRecovery::kGoBack0, duration);
       gbn.push_back(n);
       gb0.push_back(z);
       ctx.row({exp::fmt("%g", loss), exp::fmt("%.1f", n.fwd_gbps), exp::fmt("%.1f", n.rev_gbps),

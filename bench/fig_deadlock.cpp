@@ -17,6 +17,7 @@
 #include "src/app/demux.h"
 #include "src/app/traffic.h"
 #include "src/exp/scenario.h"
+#include "src/exp/transport.h"
 #include "src/topo/fabric.h"
 
 using namespace rocelab;
@@ -33,10 +34,12 @@ struct Result {
   double incast_goodput_gbps = 0.0;  // S6/S7 -> S5 goodput at the end
 };
 
-Result run_case(ArpIncompletePolicy policy, Time run_until, Time drain_until) {
+Result run_case(const exp::Context& ctx, ArpIncompletePolicy policy, Time run_until,
+                Time drain_until) {
   Fabric fabric;
   SwitchConfig tor_cfg;
   tor_cfg.lossless[3] = true;
+  exp::apply_transport_knobs(ctx, tor_cfg);
   tor_cfg.arp_policy = policy;
   tor_cfg.mmu.headroom_per_pg =
       recommended_headroom(gbps(40), propagation_delay_for_meters(20), 1086);
@@ -49,6 +52,7 @@ Result run_case(ArpIncompletePolicy policy, Time run_until, Time drain_until) {
 
   HostConfig host_cfg;
   host_cfg.lossless[3] = true;
+  exp::apply_transport_knobs(ctx, host_cfg);
   auto add = [&](const char* name, std::uint8_t a, std::uint8_t b, std::uint8_t c,
                  std::uint8_t d) -> Host& {
     auto& h = fabric.add_host(name, host_cfg);
@@ -94,6 +98,7 @@ Result run_case(ArpIncompletePolicy policy, Time run_until, Time drain_until) {
 
   QpConfig qp_cfg;
   qp_cfg.dcqcn = false;  // stress test; isolate the PFC mechanics
+  exp::apply_transport_knobs(ctx, qp_cfg);
   // Flows toward dead servers never see ACKs: long messages and a short
   // retransmission timeout keep the pressure sustained, as the paper's
   // many-server stress test did.
@@ -173,8 +178,8 @@ int main(int argc, char** argv) {
   sc.body = [](exp::Context& ctx) {
     const Time run_until = milliseconds(ctx.knob_int("run_ms"));
     const Time drain_until = milliseconds(ctx.knob_int("drain_ms"));
-    const Result flood = run_case(ArpIncompletePolicy::kFlood, run_until, drain_until);
-    const Result fixed = run_case(ArpIncompletePolicy::kDropLossless, run_until, drain_until);
+    const Result flood = run_case(ctx, ArpIncompletePolicy::kFlood, run_until, drain_until);
+    const Result fixed = run_case(ctx, ArpIncompletePolicy::kDropLossless, run_until, drain_until);
 
     ctx.table({"metric", "flood (standard)", "drop-lossless fix"}, {26, 18, 18});
     ctx.row({"deadlock detected", flood.deadlocked ? "YES" : "no",

@@ -16,6 +16,7 @@
 #include "src/app/demux.h"
 #include "src/app/traffic.h"
 #include "src/exp/scenario.h"
+#include "src/exp/transport.h"
 #include "src/topo/fabric.h"
 
 using namespace rocelab;
@@ -28,16 +29,18 @@ struct PxeResult {
   std::int64_t normal_bytes = 0;  // a VLAN-configured neighbor still works
 };
 
-PxeResult run_pxe(ClassifyMode mode) {
+PxeResult run_pxe(const exp::Context& ctx, ClassifyMode mode) {
   Fabric fabric;
   SwitchConfig cfg;
   cfg.lossless[3] = true;
+  exp::apply_transport_knobs(ctx, cfg);
   cfg.classify_mode = mode;
   auto& sw = fabric.add_switch("tor", cfg, 3);
   sw.add_local_subnet(Ipv4Prefix{Ipv4Addr::from_octets(10, 0, 0, 0), 24});
 
   HostConfig host_cfg;
   host_cfg.lossless[3] = true;
+  exp::apply_transport_knobs(ctx, host_cfg);
   if (mode == ClassifyMode::kVlanPcp) host_cfg.vlan_id = 100;
   auto& provisioner = fabric.add_host("provisioning-server", host_cfg);
   auto& pxe_server = fabric.add_host("pxe-booting-server", host_cfg);
@@ -121,7 +124,7 @@ struct PriorityResult {
   double goodput_gbps = 0.0;
 };
 
-PriorityResult run_cross_subnet(ClassifyMode mode) {
+PriorityResult run_cross_subnet(const exp::Context& ctx, ClassifyMode mode) {
   // Three subnets joined by a router (leaf): senders on ToR A and ToR C
   // incast a receiver on ToR B. The congestion point is the leaf's egress
   // toward ToR B — one routing hop past the senders' ToRs, where VLAN PCP
@@ -130,6 +133,7 @@ PriorityResult run_cross_subnet(ClassifyMode mode) {
   Fabric fabric;
   SwitchConfig cfg;
   cfg.lossless[3] = true;
+  exp::apply_transport_knobs(ctx, cfg);
   cfg.classify_mode = mode;
   cfg.mmu.alpha_lossy = 1.0 / 64;  // misclassified traffic tail-drops readily
   auto& tor_a = fabric.add_switch("torA", cfg, 3);
@@ -148,6 +152,7 @@ PriorityResult run_cross_subnet(ClassifyMode mode) {
 
   HostConfig host_cfg;
   host_cfg.lossless[3] = true;
+  exp::apply_transport_knobs(ctx, host_cfg);
   if (mode == ClassifyMode::kVlanPcp) host_cfg.vlan_id = 100;
   const L2PortMode port_mode =
       mode == ClassifyMode::kVlanPcp ? L2PortMode::kTrunk : L2PortMode::kAccess;
@@ -174,6 +179,7 @@ PriorityResult run_cross_subnet(ClassifyMode mode) {
   for (Host* h : senders) {
     QpConfig qp;
     qp.dcqcn = false;  // raw incast pressure
+    exp::apply_transport_knobs(ctx, qp);
     auto [qa, qb] = connect_qp_pair(*h, rx, qp);
     (void)qb;
     demuxes.push_back(std::make_unique<RdmaDemux>(*h));
@@ -208,8 +214,8 @@ int main(int argc, char** argv) {
              "across routed hops; DSCP-based PFC avoids both";
   sc.body = [](exp::Context& ctx) {
     ctx.section("problem 1: PXE boot through trunk-mode ports");
-    const PxeResult vlan_pxe = run_pxe(ClassifyMode::kVlanPcp);
-    const PxeResult dscp_pxe = run_pxe(ClassifyMode::kDscp);
+    const PxeResult vlan_pxe = run_pxe(ctx, ClassifyMode::kVlanPcp);
+    const PxeResult dscp_pxe = run_pxe(ctx, ClassifyMode::kDscp);
     ctx.table({"metric", "VLAN-based", "DSCP-based"}, {30, 16, 16});
     ctx.row({"OS image bytes delivered", std::to_string(vlan_pxe.provisioned_bytes),
              std::to_string(dscp_pxe.provisioned_bytes)});
@@ -224,8 +230,8 @@ int main(int argc, char** argv) {
 
     ctx.section("problem 2: packet priority across subnet boundaries (4-to-1 incast\n"
                 "routed across a leaf; lossless only if the priority survives)");
-    const PriorityResult vlan_route = run_cross_subnet(ClassifyMode::kVlanPcp);
-    const PriorityResult dscp_route = run_cross_subnet(ClassifyMode::kDscp);
+    const PriorityResult vlan_route = run_cross_subnet(ctx, ClassifyMode::kVlanPcp);
+    const PriorityResult dscp_route = run_cross_subnet(ctx, ClassifyMode::kDscp);
     ctx.table({"metric", "VLAN-based", "DSCP-based"}, {30, 16, 16});
     ctx.row({"RDMA packets dropped", std::to_string(vlan_route.lossless_drops),
              std::to_string(dscp_route.lossless_drops)});

@@ -46,6 +46,7 @@
 #include "src/app/demux.h"
 #include "src/app/pingmesh_grid.h"
 #include "src/exp/scenario.h"
+#include "src/exp/transport.h"
 #include "src/faults/auditor.h"
 #include "src/faults/chaos.h"
 #include "src/faults/incident_manager.h"
@@ -98,12 +99,14 @@ struct Result {
 
 constexpr std::int64_t kMsgBytes = 16 * kKiB;
 
-Result run_case(Mode mode, Time duration, Time window_at, double blast_frac, int shards) {
+Result run_case(const exp::Context& ctx, Mode mode, Time duration, Time window_at,
+                double blast_frac, int shards) {
   // Two podsets x (2 leaves x 2 ToRs x 2 servers) + 4 spines: every leaf
   // down-route is single-member (the structural reason drains exist) and
   // every up-route has two members (cost-outs are floor-safe).
   QosPolicy policy;
   policy.max_cable_m = 20.0;
+  exp::apply_transport_knobs(ctx, policy);
   ClosParams params = make_clos_params(policy, DeploymentStage::kFull, /*podsets=*/2,
                                        /*leaves=*/2, /*tors=*/2, /*servers=*/2, /*spines=*/4);
   params.shards = shards;
@@ -419,7 +422,7 @@ int main(int argc, char** argv) {
     Result res[4];
     const Mode modes[4] = {Mode::kClean, Mode::kNone, Mode::kSelfHeal, Mode::kIncMgr};
     for (int i = 0; i < 4; ++i) {
-      res[i] = run_case(modes[i], duration, window_at, blast_frac, ctx.shards());
+      res[i] = run_case(ctx, modes[i], duration, window_at, blast_frac, ctx.shards());
       const Result& r = res[i];
       const std::string name = mode_name(modes[i]);
       ctx.row({name, exp::fmt("%.2f", r.mean_gbps), exp::fmt("%.2f", r.min_gbps),
@@ -463,7 +466,7 @@ int main(int argc, char** argv) {
 
     // Determinism: the same seed must reproduce the same decision sequence
     // byte for byte.
-    const Result rerun = run_case(Mode::kIncMgr, duration, window_at, blast_frac, ctx.shards());
+    const Result rerun = run_case(ctx, Mode::kIncMgr, duration, window_at, blast_frac, ctx.shards());
     ctx.check("incmgr chaos journal is byte-identical across reruns",
               rerun.journal_hash == mgr.journal_hash);
     char hash_buf[24];

@@ -14,6 +14,7 @@
 #include "src/app/traffic.h"
 #include "src/exp/harness.h"
 #include "src/exp/scenario.h"
+#include "src/exp/transport.h"
 #include "src/monitor/monitor.h"
 #include "src/rocev2/deployment.h"
 
@@ -31,6 +32,7 @@ int main(int argc, char** argv) {
     QosPolicy policy;
     policy.nic_watchdog = false;  // the incident predates the watchdogs
     policy.switch_watchdog = false;
+    exp::apply_transport_knobs(ctx, policy);
     ClosParams params = make_clos_params(policy, DeploymentStage::kFull, 2, 2, 2, 4, 4);
     params.shards = ctx.shards();
     ClosFabric clos(params);

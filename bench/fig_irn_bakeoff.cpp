@@ -1,0 +1,388 @@
+// E21 — the lossy-fabric bake-off (ISSUE 9 tentpole; ROADMAP's
+// congestion-control bake-off item). Three transport stacks run the same
+// 2-podset Clos under the fault axes the earlier figures established:
+//
+//   - paper: PFC-lossless fabric + the paper's go-back-N (§4.1) — the
+//            production stack the whole paper defends;
+//   - irn:   PFC OFF + kSelectiveRepeat — IRN's claim (Mittal et al.,
+//            PAPERS.md): selective retransmit + a BDP-bounded window make
+//            the lossless fabric unnecessary;
+//   - gb0:   PFC OFF + the vendor's go-back-0 — the §4.1 livelock control
+//            arm; on a lossy fabric it must still collapse.
+//
+// Axes: clean; the fig_livelock loss point (0.4% drop on the busiest traced
+// pod-0 ToR uplink); fig_dcqcn_impair's gray loss (1e-3); fig_corruption's
+// silent-corruption rate (ICRC drops -> NAK episodes); and the §4.3 pause
+// storm with watchdogs off (a stormed NIC pauses its link — only the PFC
+// arm can propagate the damage).
+//
+// The headline: at 0.4% loss with PFC off, selective repeat sustains >= 0.8x
+// of the PFC+go-back-N clean baseline while go-back-0 completes nothing.
+// The whole matrix is journalled (integer counters + the chaos journal per
+// case) and the journal must be byte-identical across reruns and at
+// shards=2 — the --expect_journal knob lets CI pin the golden hash.
+#include <cstdio>
+#include <functional>
+#include <map>
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "src/app/demux.h"
+#include "src/exp/scenario.h"
+#include "src/exp/transport.h"
+#include "src/faults/chaos.h"
+#include "src/link/impairment.h"
+#include "src/monitor/metric_registry.h"
+#include "src/monitor/monitor.h"
+#include "src/nic/rdma_nic.h"
+#include "src/rocev2/deployment.h"
+#include "src/switch/sw.h"
+#include "src/topo/trace.h"
+
+using namespace rocelab;
+
+namespace {
+
+enum class Stack { kPaper, kIrn, kGb0 };
+enum class Axis { kClean, kLoss04, kGray, kCorrupt, kStorm };
+
+const char* stack_name(Stack s) {
+  switch (s) {
+    case Stack::kPaper: return "paper";
+    case Stack::kIrn: return "irn";
+    case Stack::kGb0: return "gb0";
+  }
+  return "?";
+}
+
+const char* axis_name(Axis a) {
+  switch (a) {
+    case Axis::kClean: return "clean";
+    case Axis::kLoss04: return "loss04";
+    case Axis::kGray: return "gray";
+    case Axis::kCorrupt: return "corrupt";
+    case Axis::kStorm: return "storm";
+  }
+  return "?";
+}
+
+struct Result {
+  double mean_gbps = 0.0;          // fleet goodput over the post-settle window
+  int victims = 0;                 // flows whose forward path crosses the bad uplink
+  std::int64_t completed = 0;      // paced messages completed, fleet-wide
+  std::int64_t victim_completed = 0;
+  std::int64_t sacked = 0;         // rdma/selrep/* registry rollups
+  std::int64_t selrep_retx = 0;
+  std::int64_t ooo_buffered = 0;
+  std::int64_t icrc_errors = 0;
+  std::int64_t corrupt_completions = 0;
+  std::int64_t pause_frames = 0;   // sum of */port*/prio*/tx_pause
+  std::uint64_t chaos_hash = 0;    // per-case chaos journal
+};
+
+constexpr std::int64_t kMsgBytes = 4 * kMiB;  // fig_livelock's message size
+
+std::uint64_t fnv1a(const std::string& text) {
+  std::uint64_t h = 1469598103934665603ULL;
+  for (const char c : text) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+Result run_case(const exp::Context& ctx, Stack stack, Axis axis, double loss04, double gray,
+                double corrupt, Time duration, Time window_at, int shards) {
+  // Same 2-podset Clos shape as the corruption/incident soaks, so the
+  // lossless-vs-lossy columns line up with the earlier figures.
+  QosPolicy policy;
+  policy.max_cable_m = 20.0;
+  policy.retx_timeout = microseconds(200);
+  if (axis == Axis::kStorm) {
+    policy.nic_watchdog = false;  // the storm predates the §4.3 watchdogs
+    policy.switch_watchdog = false;
+  }
+  exp::apply_transport_knobs(ctx, policy);
+  switch (stack) {  // the bake-off arm wins over the knob override
+    case Stack::kPaper:
+      policy.pfc_enabled = true;
+      policy.recovery = LossRecovery::kGoBackN;
+      break;
+    case Stack::kIrn:
+      policy.pfc_enabled = false;
+      policy.recovery = LossRecovery::kSelectiveRepeat;
+      break;
+    case Stack::kGb0:
+      policy.pfc_enabled = false;
+      policy.recovery = LossRecovery::kGoBack0;
+      break;
+  }
+  ClosParams params = make_clos_params(policy, DeploymentStage::kFull, /*podsets=*/2,
+                                       /*leaves=*/2, /*tors=*/2, /*servers=*/2, /*spines=*/4);
+  params.shards = shards;
+  ClosFabric clos(params);
+  Simulator& sim = clos.sim();
+
+  std::vector<std::unique_ptr<RdmaDemux>> demuxes;
+  for (const auto& h : clos.fabric().hosts()) demuxes.push_back(std::make_unique<RdmaDemux>(*h));
+  auto demux_of = [&](Host& h) -> RdmaDemux& {
+    for (std::size_t i = 0; i < clos.fabric().hosts().size(); ++i) {
+      if (clos.fabric().hosts()[i].get() == &h) return *demuxes[i];
+    }
+    throw std::logic_error("unknown host");
+  };
+
+  // Intra-podset paced flows, both directions in both pods: pod-0 flows
+  // cross the impaired uplink, pod-1 is the healthy control group. 4MiB
+  // messages are the fig_livelock setup — one drop anywhere in the message
+  // restarts a go-back-0 pass from zero.
+  struct Flow {
+    Host* src = nullptr;
+    Host* dst = nullptr;
+    std::uint32_t qpn = 0;
+    bool victim = false;
+    std::int64_t posted = 0;
+    std::int64_t completed = 0;
+  };
+  std::vector<Flow> flows;
+  for (int ps = 0; ps < 2; ++ps) {
+    for (int i = 0; i < 2; ++i) {
+      flows.push_back({&clos.server(ps, 0, i), &clos.server(ps, 1, i)});
+      flows.push_back({&clos.server(ps, 1, i), &clos.server(ps, 0, i)});
+    }
+  }
+  QpConfig qp = make_qp_config(policy);
+  qp.retry_limit = 0;  // retry forever: the livelock arm must livelock, not wedge
+  for (Flow& f : flows) {
+    auto [qa, qb] = connect_qp_pair(*f.src, *f.dst, qp);
+    (void)qb;
+    f.qpn = qa;
+    demux_of(*f.src).on_completion(qa, [&f](const RdmaCompletion&) { ++f.completed; });
+  }
+
+  // The impaired hop: the busiest pod-0 ToR uplink on the flows' traced
+  // ECMP paths (ties break on (name, port)) — same selection rule as the
+  // corruption soak, so every axis hits a link that actually carries load.
+  std::map<std::pair<std::string, int>, std::pair<Switch*, int>> up_hops;
+  for (const Flow& f : flows) {
+    for (const TraceHop& h :
+         trace_route(clos.fabric(), *f.src, *f.dst, f.src->rdma().qp_sport(f.qpn))) {
+      for (int t = 0; t < params.tors_per_podset; ++t) {
+        if (h.node == &clos.tor(0, t) && h.port >= params.servers_per_tor) {
+          auto& e = up_hops[{h.node->name(), h.port}];
+          e.first = &clos.tor(0, t);
+          ++e.second;
+        }
+      }
+    }
+  }
+  const std::pair<const std::pair<std::string, int>, std::pair<Switch*, int>>* pick = nullptr;
+  for (const auto& e : up_hops) {
+    if (pick == nullptr || e.second.second > pick->second.second) pick = &e;
+  }
+  if (pick == nullptr) throw std::logic_error("no impaired-path victim");
+  Switch& bad_tor = *pick->second.first;
+  const int bad_up = pick->first.second;
+  int victims = 0;
+  for (Flow& f : flows) {
+    for (const TraceHop& h :
+         trace_route(clos.fabric(), *f.src, *f.dst, f.src->rdma().qp_sport(f.qpn))) {
+      if (h.node == &bad_tor && h.port == bad_up) f.victim = true;
+    }
+    if (f.victim) ++victims;
+  }
+
+  std::function<void()> pump = [&] {
+    for (Flow& f : flows) {
+      if (f.src->rdma().qp_connected(f.qpn) && !f.src->rdma().qp_errored(f.qpn) &&
+          f.posted - f.completed < 2) {
+        f.src->rdma().post_send(f.qpn, kMsgBytes, 0);
+        ++f.posted;
+      }
+    }
+    clos.fabric().control_sim().schedule_in(microseconds(16), pump);
+  };
+  clos.fabric().control_sim().schedule_in(microseconds(10), pump);
+
+  // The fault, 1ms in, journalled through the chaos engine (the loss/
+  // corruption axes) or applied to the NIC (the storm axis).
+  ChaosEngine chaos(clos.fabric(), /*seed=*/2016);
+  LinkImpairment imp;
+  imp.seed = 31;
+  switch (axis) {
+    case Axis::kClean: break;
+    case Axis::kLoss04:
+      imp.fcs_drop_rate = loss04;
+      chaos.impair_link(bad_tor, bad_up, imp, milliseconds(1));
+      break;
+    case Axis::kGray:
+      imp.fcs_drop_rate = gray;
+      chaos.impair_link(bad_tor, bad_up, imp, milliseconds(1));
+      break;
+    case Axis::kCorrupt:
+      imp.corrupt_deliver_rate = corrupt;
+      imp.escape_fcs_frac = 1.0;  // FCS-blind: only the end-to-end ICRC sees it
+      chaos.impair_link(bad_tor, bad_up, imp, milliseconds(1));
+      break;
+    case Axis::kStorm: {
+      Host& stormer = clos.server(0, 1, 0);  // a pod-0 victim-flow receiver
+      clos.fabric().control_sim().schedule_in(milliseconds(1),
+                                              [&stormer] { stormer.set_storm_mode(true); });
+      break;
+    }
+  }
+
+  SlaMonitor sla(clos.fabric().control_sim(), "srv*/rdma/bytes_completed", milliseconds(1));
+  sla.start();
+  sim.run_until(duration);
+
+  Result r;
+  const std::size_t skip = static_cast<std::size_t>(window_at / milliseconds(1));
+  r.mean_gbps = sla.mean_gbps(skip);
+  r.victims = victims;
+  for (const Flow& f : flows) {
+    r.completed += f.completed;
+    if (f.victim) r.victim_completed += f.completed;
+  }
+  r.sacked = sim.metrics().sum("srv*/rdma/selrep/sacked");
+  r.selrep_retx = sim.metrics().sum("srv*/rdma/selrep/retx");
+  r.ooo_buffered = sim.metrics().sum("srv*/rdma/selrep/ooo_buffered");
+  r.icrc_errors = sim.metrics().sum("srv*/rdma/icrc_errors");
+  r.corrupt_completions = sim.metrics().sum("srv*/rdma/corrupt_completions");
+  r.pause_frames = sim.metrics().sum("*/port*/prio*/tx_pause");
+  r.chaos_hash = chaos.journal_hash();
+  return r;
+}
+
+struct Matrix {
+  std::map<std::pair<Stack, Axis>, Result> cases;
+  std::string journal;  // integer counters only: shard-invariant by contract
+};
+
+Matrix run_matrix(const exp::Context& ctx, double loss04, double gray, double corrupt,
+                  Time duration, Time window_at, int shards) {
+  Matrix m;
+  for (const Stack stack : {Stack::kPaper, Stack::kIrn, Stack::kGb0}) {
+    for (const Axis axis :
+         {Axis::kClean, Axis::kLoss04, Axis::kGray, Axis::kCorrupt, Axis::kStorm}) {
+      const Result r =
+          run_case(ctx, stack, axis, loss04, gray, corrupt, duration, window_at, shards);
+      m.cases[{stack, axis}] = r;
+      char line[256];
+      std::snprintf(line, sizeof line,
+                    "%s/%s completed=%lld victim=%lld sacked=%lld retx=%lld ooo=%lld "
+                    "icrc=%lld pauses=%lld chaos=%016llx\n",
+                    stack_name(stack), axis_name(axis), static_cast<long long>(r.completed),
+                    static_cast<long long>(r.victim_completed),
+                    static_cast<long long>(r.sacked), static_cast<long long>(r.selrep_retx),
+                    static_cast<long long>(r.ooo_buffered),
+                    static_cast<long long>(r.icrc_errors),
+                    static_cast<long long>(r.pause_frames),
+                    static_cast<unsigned long long>(r.chaos_hash));
+      m.journal += line;
+    }
+  }
+  return m;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  exp::Scenario sc;
+  sc.name = "fig_irn_bakeoff";
+  sc.title = "E21 — lossy-fabric bake-off: PFC+go-back-N vs IRN selective repeat vs go-back-0";
+  sc.paper = "paper §4.1/§6: the lossless fabric and go-back-N are load-bearing; IRN\n"
+             "(PAPERS.md) argues selective retransmit + a BDP window replace PFC. The\n"
+             "bake-off reruns the established fault axes with PFC off: selective repeat\n"
+             "must hold >= 0.8x of the lossless clean baseline at the fig_livelock loss\n"
+             "point while the vendor go-back-0 still collapses.";
+  sc.knobs = {
+      exp::knob_int("duration_ms", 20, "ROCELAB_BAKEOFF_MS", "simulated time per case"),
+      exp::knob_int("window_ms", 8, "", "goodput window start (post-fault settle)"),
+      exp::knob_double("loss_rate", 0.004, "", "the fig_livelock loss point"),
+      exp::knob_double("gray_rate", 0.001, "", "fig_dcqcn_impair's gray loss rate"),
+      exp::knob_double("corrupt_rate", 0.005, "", "fig_corruption's silent-corruption rate"),
+      exp::knob_string("expect_journal", "", "", "golden bake-off journal hash (hex, CI gate)"),
+  };
+  sc.body = [](exp::Context& ctx) {
+    const Time duration = milliseconds(ctx.knob_int("duration_ms"));
+    const Time window_at = milliseconds(ctx.knob_int("window_ms"));
+    const double loss04 = ctx.knob_double("loss_rate");
+    const double gray = ctx.knob_double("gray_rate");
+    const double corrupt = ctx.knob_double("corrupt_rate");
+
+    ctx.note("topology: 2 podsets x (2 leaves x 2 ToRs x 2 servers) + 4 spines; faults on");
+    ctx.note("the busiest traced pod-0 ToR uplink; 4MiB messages (the fig_livelock size)");
+
+    const Matrix m =
+        run_matrix(ctx, loss04, gray, corrupt, duration, window_at, ctx.shards());
+
+    ctx.table({"stack", "axis", "mean Gb/s", "msgs", "victim msgs", "sacked", "pauses"},
+              {8, 9, 11, 7, 12, 9, 8});
+    for (const auto& [key, r] : m.cases) {
+      const std::string name =
+          std::string(stack_name(key.first)) + "/" + axis_name(key.second);
+      ctx.row({stack_name(key.first), axis_name(key.second), exp::fmt("%.2f", r.mean_gbps),
+               std::to_string(r.completed), std::to_string(r.victim_completed),
+               std::to_string(r.sacked), std::to_string(r.pause_frames)});
+      ctx.metric(name, "mean_goodput_gbps", r.mean_gbps);
+      ctx.metric(name, "messages", static_cast<double>(r.completed));
+      ctx.metric(name, "victim_messages", static_cast<double>(r.victim_completed));
+      ctx.metric(name, "sacked", static_cast<double>(r.sacked));
+      ctx.metric(name, "selrep_retx", static_cast<double>(r.selrep_retx));
+      ctx.metric(name, "ooo_buffered", static_cast<double>(r.ooo_buffered));
+      ctx.metric(name, "icrc_errors", static_cast<double>(r.icrc_errors));
+      ctx.metric(name, "pause_frames", static_cast<double>(r.pause_frames));
+    }
+
+    const Result& paper_clean = m.cases.at({Stack::kPaper, Axis::kClean});
+    const Result& irn_loss = m.cases.at({Stack::kIrn, Axis::kLoss04});
+    const Result& gb0_loss = m.cases.at({Stack::kGb0, Axis::kLoss04});
+    ctx.note("paper/clean baseline " + exp::fmt("%.2f", paper_clean.mean_gbps) +
+             " Gb/s; irn@loss " + exp::fmt("%.2f", irn_loss.mean_gbps) + " Gb/s; victims " +
+             std::to_string(paper_clean.victims));
+    ctx.check("victim flows exist on the traced path", paper_clean.victims > 0);
+    ctx.check("selrep >= 0.8x PFC clean baseline at the livelock loss point",
+              irn_loss.mean_gbps >= 0.8 * paper_clean.mean_gbps);
+    ctx.check("go-back-0 still collapses at the livelock loss point (PFC off)",
+              gb0_loss.victim_completed == 0);
+
+    // PFC-free means PFC-free: no pause frame anywhere, on any axis — even
+    // the §4.3 storm NIC is silenced because no class is lossless.
+    std::int64_t irn_pauses = 0;
+    std::int64_t irn_sacked = 0;
+    for (const Axis axis :
+         {Axis::kClean, Axis::kLoss04, Axis::kGray, Axis::kCorrupt, Axis::kStorm}) {
+      irn_pauses += m.cases.at({Stack::kIrn, axis}).pause_frames;
+      irn_sacked += m.cases.at({Stack::kIrn, axis}).sacked;
+    }
+    ctx.check("IRN arm is PFC-silent on every axis", irn_pauses == 0);
+    ctx.check("selective repeat exercised (SACK + selective retx + OOO buffer)",
+              irn_sacked > 0 && irn_loss.selrep_retx > 0 && irn_loss.ooo_buffered > 0);
+    const Result& irn_corrupt = m.cases.at({Stack::kIrn, Axis::kCorrupt});
+    ctx.check("ICRC integrity holds under selective repeat",
+              irn_corrupt.icrc_errors > 0 && irn_corrupt.corrupt_completions == 0);
+
+    // Determinism: the whole matrix, journalled as integer counters, must be
+    // byte-identical on a rerun and at shards=2.
+    const std::uint64_t hash = fnv1a(m.journal);
+    const Matrix rerun =
+        run_matrix(ctx, loss04, gray, corrupt, duration, window_at, ctx.shards());
+    ctx.check("bake-off journal is byte-identical across reruns", rerun.journal == m.journal);
+    const Matrix sharded =
+        run_matrix(ctx, loss04, gray, corrupt, duration, window_at, /*shards=*/2);
+    ctx.check("bake-off journal is byte-identical at shards=2", sharded.journal == m.journal);
+    char hash_buf[24];
+    std::snprintf(hash_buf, sizeof hash_buf, "%016llx", static_cast<unsigned long long>(hash));
+    ctx.note("bake-off journal hash: " + std::string(hash_buf));
+    ctx.metric("journal", "hash_lo32", static_cast<double>(hash & 0xffffffffu));
+    const std::string& expect = ctx.knob_string("expect_journal");
+    if (!expect.empty()) {
+      ctx.check("bake-off journal matches pinned golden hash", expect == hash_buf);
+    }
+  };
+  return exp::run_scenario(sc, argc, argv);
+}

@@ -13,6 +13,7 @@
 #include "src/app/demux.h"
 #include "src/app/traffic.h"
 #include "src/exp/scenario.h"
+#include "src/exp/transport.h"
 #include "src/monitor/metric_registry.h"
 #include "src/rocev2/deployment.h"
 
@@ -29,6 +30,7 @@ int main(int argc, char** argv) {
   sc.body = [](exp::Context& ctx) {
     QosPolicy policy;
     policy.max_cable_m = 20.0;
+    exp::apply_transport_knobs(ctx, policy);
     ClosParams params = make_clos_params(policy, DeploymentStage::kFull, /*podsets=*/1,
                                          /*leaves=*/2, /*tors=*/2, /*servers=*/16, /*spines=*/0);
     ClosFabric clos(params);

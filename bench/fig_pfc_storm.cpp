@@ -12,6 +12,7 @@
 #include "src/app/traffic.h"
 #include "src/exp/harness.h"
 #include "src/exp/scenario.h"
+#include "src/exp/transport.h"
 #include "src/monitor/metric_registry.h"
 #include "src/monitor/monitor.h"
 #include "src/rocev2/deployment.h"
@@ -31,10 +32,11 @@ struct Result {
   std::int64_t switch_watchdog_trips = 0;
 };
 
-Result run_case(bool watchdogs, int shards) {
+Result run_case(const exp::Context& ctx, bool watchdogs, int shards) {
   QosPolicy policy;
   policy.nic_watchdog = watchdogs;
   policy.switch_watchdog = watchdogs;
+  exp::apply_transport_knobs(ctx, policy);
   ClosParams params = make_clos_params(policy, DeploymentStage::kFull,
                                        /*podsets=*/2, /*leaves=*/2, /*tors=*/2,
                                        /*servers=*/4, /*spines=*/4);
@@ -141,8 +143,8 @@ int main(int argc, char** argv) {
   sc.paper = "paper: one malfunctioning NIC pauses the entire network (steps 1-6 of\n"
              "Fig. 5); NIC + switch watchdogs confine the damage";
   sc.body = [](exp::Context& ctx) {
-    const Result off = run_case(/*watchdogs=*/false, ctx.shards());
-    const Result on = run_case(/*watchdogs=*/true, ctx.shards());
+    const Result off = run_case(ctx, /*watchdogs=*/false, ctx.shards());
+    const Result on = run_case(ctx, /*watchdogs=*/true, ctx.shards());
 
     ctx.table({"metric", "no watchdogs", "watchdogs on"}, {30, 16, 16});
     ctx.row({"goodput before storm (Gb/s)", exp::fmt("%.1f", off.goodput_before_gbps),

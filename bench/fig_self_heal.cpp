@@ -29,6 +29,7 @@
 #include "src/app/pingmesh_grid.h"
 #include "src/app/rdma_cm.h"
 #include "src/exp/scenario.h"
+#include "src/exp/transport.h"
 #include "src/faults/chaos.h"
 #include "src/faults/localizer.h"
 #include "src/faults/self_heal.h"
@@ -68,12 +69,14 @@ struct Result {
 constexpr int kFlows = 4;
 constexpr std::int64_t kMsgBytes = 16 * kKiB;
 
-Result run_case(Mode mode, Time fault_at, Time window_at, Time duration) {
+Result run_case(const exp::Context& ctx, Mode mode, Time fault_at, Time window_at,
+                Time duration) {
   // One podset, TWO leaves, two ToRs: each ToR has two ECMP uplinks, so
   // costing the bad one out leaves a survivor (the capacity floor is never
   // in play) and roughly half the forward flows hash onto the bad one.
   QosPolicy policy;
   policy.max_cable_m = 20.0;
+  exp::apply_transport_knobs(ctx, policy);
   const int servers = 4;
   ClosParams params = make_clos_params(policy, DeploymentStage::kFull, /*podsets=*/1,
                                        /*leaves=*/2, /*tors=*/2, servers, /*spines=*/0);
@@ -288,7 +291,7 @@ int main(int argc, char** argv) {
     Result res[4];
     const Mode modes[4] = {Mode::kClean, Mode::kNone, Mode::kCm, Mode::kSelfHeal};
     for (int i = 0; i < 4; ++i) {
-      const Result r = run_case(modes[i], fault_at, window_at, duration);
+      const Result r = run_case(ctx, modes[i], fault_at, window_at, duration);
       res[i] = r;
       const std::string name = mode_name(modes[i]);
       ctx.row({name, std::to_string(r.victims), exp::fmt("%.2f", r.victim_gbps),

@@ -10,6 +10,7 @@
 #include "src/app/demux.h"
 #include "src/app/traffic.h"
 #include "src/exp/scenario.h"
+#include "src/exp/transport.h"
 #include "src/topo/fabric.h"
 
 using namespace rocelab;
@@ -23,10 +24,12 @@ struct Result {
   double mtt_miss_rate = 0.0;
 };
 
-Result run_case(std::int64_t page_bytes, bool dynamic_buffer, Time duration) {
+Result run_case(const exp::Context& ctx, std::int64_t page_bytes, bool dynamic_buffer,
+                Time duration) {
   Fabric fabric;
   SwitchConfig sw_cfg;
   sw_cfg.lossless[3] = true;
+  exp::apply_transport_knobs(ctx, sw_cfg);
   sw_cfg.mmu.headroom_per_pg =
       recommended_headroom(gbps(40), propagation_delay_for_meters(20), 1086);
   sw_cfg.mmu.dynamic_shared = dynamic_buffer;
@@ -44,6 +47,7 @@ Result run_case(std::int64_t page_bytes, bool dynamic_buffer, Time duration) {
 
   HostConfig sender_cfg;
   sender_cfg.lossless[3] = true;
+  exp::apply_transport_knobs(ctx, sender_cfg);
   HostConfig receiver_cfg = sender_cfg;
   receiver_cfg.mtt.model_enabled = true;
   receiver_cfg.mtt.page_bytes = page_bytes;
@@ -62,6 +66,7 @@ Result run_case(std::int64_t page_bytes, bool dynamic_buffer, Time duration) {
 
   QpConfig qp_cfg;
   qp_cfg.dcqcn = false;  // isolate the PFC mechanics
+  exp::apply_transport_knobs(ctx, qp_cfg);
   auto [qa, qb] = connect_qp_pair(sender, receiver, qp_cfg);
   (void)qb;
   RdmaDemux demux(sender);
@@ -106,7 +111,7 @@ int main(int argc, char** argv) {
     int i = 0;
     for (const Case c : {Case{4 * kKiB, false}, Case{4 * kKiB, true}, Case{2 * kMiB, false},
                          Case{2 * kMiB, true}}) {
-      const Result r = run_case(c.page, c.dynamic, duration);
+      const Result r = run_case(ctx, c.page, c.dynamic, duration);
       results[i++] = r;
       const std::string page = c.page >= kMiB ? "2MB" : "4KB";
       const std::string buffer = c.dynamic ? "dynamic" : "static";

@@ -20,6 +20,12 @@
 // --corruption-noop is the same contract for the data-integrity plane: a
 // disabled corruption impairment (corrupt_deliver_rate/escape_fcs_frac set)
 // on every port, with the NICs' ICRC verify left at its always-on default.
+//
+// --selrep-noop is the same contract for the loss-recovery engine seam:
+// every QP keeps the pinned go-back-N engine, and a detached selective-
+// repeat engine is constructed and driven per host — the refactored seam
+// and the dormant selrep machinery must cost zero RNG draws and zero
+// events on the go-back-N path.
 #include <sys/resource.h>
 
 #include <chrono>
@@ -34,6 +40,7 @@
 #include "src/exp/scenario.h"
 #include "src/link/impairment.h"
 #include "src/monitor/digest.h"
+#include "src/nic/recovery.h"
 #include "src/rocev2/deployment.h"
 
 using namespace rocelab;
@@ -70,7 +77,7 @@ double cpu_seconds() {
 /// podsets pair up (m <-> m + podsets/2) so every stream stays cross-podset
 /// at any size, and `shards` turns on the pod-partitioned PDES core.
 GateResult run_workload(Time window, int shards = 1, int podsets = 2, bool gray_noop = false,
-                        bool corruption_noop = false) {
+                        bool corruption_noop = false, bool selrep_noop = false) {
   QosPolicy policy;
   const int tors = 3, servers = 4;
   const int half = podsets / 2;
@@ -117,6 +124,25 @@ GateResult run_workload(Time window, int shards = 1, int podsets = 2, bool gray_
     for (const auto& h : clos.fabric().hosts()) {
       for (int p = 0; p < h->port_count(); ++p) h->port(p).set_impairment(imp);
       h->rdma().set_icrc_verify(true);
+    }
+  }
+
+  if (selrep_noop) {
+    // The recovery seam, exercised but inert: the live QPs keep the policy
+    // default (go-back-N), while a detached selective-repeat engine per host
+    // is constructed and walked through its sender/receiver surface. None of
+    // this may touch the simulator — the digest comparison proves the seam
+    // and the dormant selrep code cost zero RNG draws and zero events.
+    for (const auto& h : clos.fabric().hosts()) {
+      QpConfig qp = make_qp_config(policy);
+      qp.recovery = LossRecovery::kSelectiveRepeat;
+      RecoveryCounters scratch;
+      const auto engine = LossRecoveryEngine::make(qp, &scratch);
+      engine->on_tx_segment(0, /*is_retx=*/false, 0);
+      engine->on_ack(1, std::nullopt, 0);
+      (void)engine->window_open(1, 1);
+      (void)engine->sack_bitmap(1);
+      (void)h;
     }
   }
 
@@ -235,6 +261,7 @@ int main(int argc, char** argv) {
   bool twice = false;
   bool gray_noop = false;
   bool corruption_noop = false;
+  bool selrep_noop = false;
   int shards = 1;
   int podsets = 2;
   std::vector<int> scaling;  // e.g. --scaling 1,2,4: PDES scaling sweep
@@ -254,6 +281,8 @@ int main(int argc, char** argv) {
       gray_noop = true;
     } else if (std::strcmp(argv[i], "--corruption-noop") == 0) {
       corruption_noop = true;
+    } else if (std::strcmp(argv[i], "--selrep-noop") == 0) {
+      selrep_noop = true;
     } else if (std::strcmp(argv[i], "--shards") == 0 && i + 1 < argc) {
       shards = std::atoi(argv[++i]);
     } else if (std::strcmp(argv[i], "--podsets") == 0 && i + 1 < argc) {
@@ -273,7 +302,7 @@ int main(int argc, char** argv) {
     } else {
       std::fprintf(stderr,
                    "usage: perf_gate [--ms N] [--json PATH] [--twice] [--expect-digest HEX] "
-                   "[--gray-noop] [--corruption-noop] [--shards N] [--podsets N] "
+                   "[--gray-noop] [--corruption-noop] [--selrep-noop] [--shards N] [--podsets N] "
                    "[--scaling 1,2,4] [--scale-min R] [--scaling-podsets N] [--scaling-ms N]\n");
       return 2;
     }
@@ -326,6 +355,14 @@ int main(int argc, char** argv) {
                                        /*corruption_noop=*/true);
     const bool same = rc.digest == r.digest && rc.events == r.events;
     std::printf("corruption-noop digest: %s (%s)\n", digest_hex(rc.digest).c_str(),
+                same ? "MATCH" : "MISMATCH");
+    ok = ok && same;
+  }
+  if (selrep_noop) {
+    const GateResult rs = run_workload(milliseconds(ms), shards, podsets, /*gray_noop=*/false,
+                                       /*corruption_noop=*/false, /*selrep_noop=*/true);
+    const bool same = rs.digest == r.digest && rs.events == r.events;
+    std::printf("selrep-noop digest: %s (%s)\n", digest_hex(rs.digest).c_str(),
                 same ? "MATCH" : "MISMATCH");
     ok = ok && same;
   }

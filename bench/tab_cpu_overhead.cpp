@@ -12,6 +12,7 @@
 #include "src/app/demux.h"
 #include "src/app/traffic.h"
 #include "src/exp/scenario.h"
+#include "src/exp/transport.h"
 #include "src/topo/fabric.h"
 
 using namespace rocelab;
@@ -41,10 +42,12 @@ int main(int argc, char** argv) {
     Fabric fabric;
     SwitchConfig sw_cfg;
     sw_cfg.lossless[3] = true;
+    exp::apply_transport_knobs(ctx, sw_cfg);
     auto& sw = fabric.add_switch("sw", sw_cfg, 2);
     sw.add_local_subnet(Ipv4Prefix{Ipv4Addr::from_octets(10, 0, 0, 0), 24});
     HostConfig host_cfg;
     host_cfg.lossless[3] = true;
+    exp::apply_transport_knobs(ctx, host_cfg);
     auto& a = fabric.add_host("a", host_cfg);
     auto& b = fabric.add_host("b", host_cfg);
     a.set_ip(Ipv4Addr::from_octets(10, 0, 0, 1));
@@ -79,7 +82,9 @@ int main(int argc, char** argv) {
     const double tcp_gbps =
         static_cast<double>(sa.stats().bytes_delivered) * 8 / to_seconds(duration) / 1e9;
 
-    auto [qa, qb] = connect_qp_pair(a, b, QpConfig{});
+    QpConfig qp_cfg;
+    exp::apply_transport_knobs(ctx, qp_cfg);
+    auto [qa, qb] = connect_qp_pair(a, b, qp_cfg);
     (void)qb;
     RdmaDemux da(a);
     RdmaStreamSource src(

@@ -13,6 +13,7 @@
 #include "src/app/demux.h"
 #include "src/app/traffic.h"
 #include "src/exp/scenario.h"
+#include "src/exp/transport.h"
 #include "src/topo/fabric.h"
 
 using namespace rocelab;
@@ -38,10 +39,12 @@ struct DropResult {
 
 /// Blast traffic into a receiver that stops draining (storm mode): every
 /// in-flight byte of the gray period must fit in headroom.
-DropResult run_gray_period(double cable_m, double headroom_scale, Time duration) {
+DropResult run_gray_period(const exp::Context& ctx, double cable_m, double headroom_scale,
+                           Time duration) {
   Fabric fabric;
   SwitchConfig cfg;
   cfg.lossless[3] = true;
+  exp::apply_transport_knobs(ctx, cfg);
   const Time prop = propagation_delay_for_meters(cable_m);
   cfg.mmu.headroom_per_pg = static_cast<std::int64_t>(
       headroom_scale * static_cast<double>(recommended_headroom(gbps(40), prop, 1086)));
@@ -49,6 +52,7 @@ DropResult run_gray_period(double cable_m, double headroom_scale, Time duration)
   sw.add_local_subnet(Ipv4Prefix{Ipv4Addr::from_octets(10, 0, 0, 0), 24});
   HostConfig hc;
   hc.lossless[3] = true;
+  exp::apply_transport_knobs(ctx, hc);
   auto& s1 = fabric.add_host("s1", hc);
   auto& s2 = fabric.add_host("s2", hc);
   auto& r = fabric.add_host("r", hc);
@@ -61,6 +65,7 @@ DropResult run_gray_period(double cable_m, double headroom_scale, Time duration)
 
   QpConfig qp;
   qp.dcqcn = false;
+  exp::apply_transport_knobs(ctx, qp);
   auto [q1, q1b] = connect_qp_pair(s1, r, qp);
   auto [q2, q2b] = connect_qp_pair(s2, r, qp);
   (void)q1b; (void)q2b;
@@ -132,7 +137,7 @@ int main(int argc, char** argv) {
     bool full_ok = true, half_bad = false;
     for (double m : {20.0, 300.0}) {
       for (double scale : {1.0, 0.4}) {
-        const DropResult r = run_gray_period(m, scale, gray_duration);
+        const DropResult r = run_gray_period(ctx, m, scale, gray_duration);
         const std::string label = scale == 1.0 ? "recommended" : "40% of rec.";
         ctx.row({exp::fmt("%.0fm", m), label, std::to_string(r.headroom_drops),
                  format_bytes(r.headroom_bytes)});

@@ -246,9 +246,12 @@ bool write_json(const std::string& path, const Scenario& sc, const Knobs& knobs,
 
 int run_scenario(const Scenario& sc, int argc, char** argv) {
   Knobs knobs;
-  bool has_shards = false;
+  bool has_shards = false, has_recovery = false, has_pfc = false, has_retx = false;
   for (const KnobSpec& s : sc.knobs) {
     if (s.name == "shards") has_shards = true;
+    if (s.name == "recovery") has_recovery = true;
+    if (s.name == "pfc") has_pfc = true;
+    if (s.name == "retx_timeout_us") has_retx = true;
     knobs.declare(s);
   }
   // Every runner gets the PDES shard-count knob (scenario bodies pass it to
@@ -257,6 +260,22 @@ int run_scenario(const Scenario& sc, int argc, char** argv) {
   if (!has_shards) {
     knobs.declare(knob_int("shards", 1, "ROCELAB_SHARDS",
                            "simulator shards (pod-partitioned PDES; 1 = single-threaded)"));
+  }
+  // ... and the transport knobs (scenario bodies apply them through
+  // exp::apply_transport_knobs). Defaults are no-ops: "" / -1 leave each
+  // scenario's own transport configuration untouched, so pinned journals
+  // and digests are unaffected unless a knob is set.
+  if (!has_recovery) {
+    knobs.declare(knob_string("recovery", "", "ROCELAB_RECOVERY",
+                              "loss recovery override: goback0 | gobackn | selrep"));
+  }
+  if (!has_pfc) {
+    knobs.declare(knob_int("pfc", -1, "ROCELAB_PFC",
+                           "PFC override: 1 = lossless classes on, 0 = lossy fabric"));
+  }
+  if (!has_retx) {
+    knobs.declare(knob_int("retx_timeout_us", -1, "ROCELAB_RETX_TIMEOUT_US",
+                           "QP base retransmission timeout override, microseconds"));
   }
 
   std::string json_path = "BENCH_" + sc.name + ".json";

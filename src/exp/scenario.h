@@ -90,6 +90,17 @@ class Context {
   /// to ClosParams::shards. 1 (the default) is the single-threaded core.
   [[nodiscard]] int shards() const { return static_cast<int>(knobs_.get_int("shards")); }
 
+  // Auto-declared transport knobs (see exp::apply_transport_knobs, which
+  // folds all three into a QosPolicy / QpConfig / HostConfig at once).
+  /// --recovery: "" (scenario default) or goback0 | gobackn | selrep.
+  [[nodiscard]] const std::string& recovery_name() const {
+    return knobs_.get_string("recovery");
+  }
+  /// --pfc: -1 scenario default, 0 lossy fabric, 1 lossless classes on.
+  [[nodiscard]] int pfc_override() const { return static_cast<int>(knobs_.get_int("pfc")); }
+  /// --retx_timeout_us: -1 scenario default, else the QP base RTO in µs.
+  [[nodiscard]] long retx_timeout_us() const { return knobs_.get_int("retx_timeout_us"); }
+
   // --- human output ---------------------------------------------------------
   void section(const std::string& title);  // "=== title ===" sub-header
   void note(const std::string& line);      // free-form line

@@ -1,0 +1,48 @@
+#include "src/exp/transport.h"
+
+#include <stdexcept>
+
+#include "src/nic/recovery.h"
+
+namespace rocelab::exp {
+
+namespace {
+
+std::optional<LossRecovery> knob_recovery(const Context& ctx) {
+  const std::string& name = ctx.recovery_name();
+  if (name.empty()) return std::nullopt;
+  const auto mode = parse_loss_recovery(name);
+  if (!mode) throw std::invalid_argument("unknown --recovery value: " + name);
+  return mode;
+}
+
+void set_lossless_defaults(std::array<bool, kNumPriorities>& lossless, bool on) {
+  lossless.fill(false);
+  if (on) {
+    lossless[3] = true;  // bulk RDMA class
+    lossless[4] = true;  // real-time RDMA class
+  }
+}
+
+}  // namespace
+
+void apply_transport_knobs(const Context& ctx, QosPolicy& policy) {
+  if (const auto mode = knob_recovery(ctx)) policy.recovery = *mode;
+  if (ctx.pfc_override() >= 0) policy.pfc_enabled = ctx.pfc_override() != 0;
+  if (ctx.retx_timeout_us() >= 0) policy.retx_timeout = microseconds(ctx.retx_timeout_us());
+}
+
+void apply_transport_knobs(const Context& ctx, QpConfig& qp) {
+  if (const auto mode = knob_recovery(ctx)) qp.recovery = *mode;
+  if (ctx.retx_timeout_us() >= 0) qp.retx_timeout = microseconds(ctx.retx_timeout_us());
+}
+
+void apply_transport_knobs(const Context& ctx, HostConfig& host) {
+  if (ctx.pfc_override() >= 0) set_lossless_defaults(host.lossless, ctx.pfc_override() != 0);
+}
+
+void apply_transport_knobs(const Context& ctx, SwitchConfig& sw) {
+  if (ctx.pfc_override() >= 0) set_lossless_defaults(sw.lossless, ctx.pfc_override() != 0);
+}
+
+}  // namespace rocelab::exp

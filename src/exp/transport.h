@@ -1,0 +1,32 @@
+// Folds the auto-declared transport knobs (--recovery / --pfc /
+// --retx_timeout_us, see run_scenario) into the config objects a scenario
+// body builds. Every overload is a no-op at the knob defaults ("" / -1), so
+// calling these cannot perturb a scenario that was not overridden — pinned
+// journals and digests stay byte-identical.
+#pragma once
+
+#include "src/exp/scenario.h"
+#include "src/nic/config.h"
+#include "src/rocev2/deployment.h"
+
+namespace rocelab::exp {
+
+/// Policy-driven scenarios: recovery -> policy.recovery, pfc ->
+/// policy.pfc_enabled (switch + host lossless generation), retx_timeout_us
+/// -> policy.retx_timeout. Apply BEFORE make_clos_params / make_qp_config.
+void apply_transport_knobs(const Context& ctx, QosPolicy& policy);
+
+/// Hand-built QP configs (star fabrics, probe QPs): recovery and
+/// retx_timeout_us. The pfc knob is host/switch-side; see the HostConfig
+/// overload.
+void apply_transport_knobs(const Context& ctx, QpConfig& qp);
+
+/// Hand-built host configs: pfc=0 clears every lossless class (the NIC
+/// stops honouring and generating pauses); pfc=1 restores the defaults
+/// (bulk 3 + real-time 4).
+void apply_transport_knobs(const Context& ctx, HostConfig& host);
+
+/// Hand-built switch configs: same lossless-class handling as HostConfig.
+void apply_transport_knobs(const Context& ctx, SwitchConfig& sw);
+
+}  // namespace rocelab::exp

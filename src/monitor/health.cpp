@@ -42,7 +42,16 @@ std::vector<PortHealth> collect_port_health(const Fabric& fabric) {
     }
   }
   for (const auto& h : fabric.hosts()) {
-    for (int p = 0; p < h->port_count(); ++p) out.push_back(health_of(reg, *h, p));
+    for (int p = 0; p < h->port_count(); ++p) {
+      PortHealth ph = health_of(reg, *h, p);
+      if (p == 0) {
+        // NIC-level rollups (the NIC is not per-port): attach to port 0 so
+        // summing rows never double-counts on multi-port hosts.
+        ph.selrep_retx = reg.sum(h->name() + "/rdma/selrep/retx");
+        ph.selrep_ooo = reg.sum(h->name() + "/rdma/selrep/ooo_buffered");
+      }
+      out.push_back(std::move(ph));
+    }
   }
   return out;
 }
@@ -50,19 +59,22 @@ std::vector<PortHealth> collect_port_health(const Fabric& fabric) {
 std::string port_health_dump(const Fabric& fabric, bool only_unclean) {
   std::ostringstream os;
   os << "node:port            rx_pkts      fcs  corrupt      mmu   egress filtered   impair "
-        "linkdown weight\n";
+        "linkdown sel_retx  sel_ooo weight\n";
   for (const PortHealth& h : collect_port_health(fabric)) {
     if (only_unclean && h.clean()) continue;
     char id[64];
     std::snprintf(id, sizeof id, "%s:%d", h.node.c_str(), h.port);
     char line[256];
-    std::snprintf(line, sizeof line, "%-18s %9lld %8lld %8lld %8lld %8lld %8lld %8lld %8lld %6d\n",
+    std::snprintf(line, sizeof line,
+                  "%-18s %9lld %8lld %8lld %8lld %8lld %8lld %8lld %8lld %8lld %8lld %6d\n",
                   id, static_cast<long long>(h.rx_packets), static_cast<long long>(h.fcs_errors),
                   static_cast<long long>(h.corrupt_delivered),
                   static_cast<long long>(h.mmu_drops), static_cast<long long>(h.egress_drops),
                   static_cast<long long>(h.filtered_drops),
                   static_cast<long long>(h.impairment_drops),
-                  static_cast<long long>(h.link_down_drops), h.ecmp_weight);
+                  static_cast<long long>(h.link_down_drops),
+                  static_cast<long long>(h.selrep_retx), static_cast<long long>(h.selrep_ooo),
+                  h.ecmp_weight);
     os << line;
   }
   return os.str();

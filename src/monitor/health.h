@@ -29,6 +29,13 @@ struct PortHealth {
   std::int64_t filtered_drops = 0;    // Switch::set_drop_filter hits at this port
   std::int64_t impairment_drops = 0;  // tx-side blackhole ground truth
   std::int64_t link_down_drops = 0;
+  /// Selective-repeat NIC counters (host rows only, zero on switches): with
+  /// PFC off there are no pause counters to subpoena, so the loss evidence
+  /// the localizer/incident plane needs is the NIC's own repair activity —
+  /// selective retransmissions (sender side) and out-of-order buffering
+  /// (receiver side), rolled up from rdma/selrep/* registry lanes.
+  std::int64_t selrep_retx = 0;
+  std::int64_t selrep_ooo = 0;
   /// ECMP weight on the owning switch (always 1 for host ports). 0 means
   /// the self-healing plane costed the port out of its groups — a
   /// mitigated port shows in the incident dump even with clean counters.
@@ -42,7 +49,7 @@ struct PortHealth {
   [[nodiscard]] bool clean() const {
     return fcs_errors == 0 && corrupt_delivered == 0 && mmu_drops == 0 && egress_drops == 0 &&
            filtered_drops == 0 && impairment_drops == 0 && link_down_drops == 0 &&
-           ecmp_weight == 1;
+           selrep_retx == 0 && selrep_ooo == 0 && ecmp_weight == 1;
   }
 };
 

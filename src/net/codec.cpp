@@ -183,6 +183,18 @@ std::optional<RoceAeth> decode_aeth(std::span<const std::uint8_t> in) {
   return h;
 }
 
+void encode_sack(const RoceSackExt& h, Bytes& out) {
+  put_u32(out, static_cast<std::uint32_t>(h.bitmap >> 32));
+  put_u32(out, static_cast<std::uint32_t>(h.bitmap & 0xffffffffu));
+}
+
+std::optional<RoceSackExt> decode_sack(std::span<const std::uint8_t> in) {
+  if (in.size() < 8) return std::nullopt;
+  RoceSackExt h;
+  h.bitmap = (static_cast<std::uint64_t>(get_u32(in, 0)) << 32) | get_u32(in, 4);
+  return h;
+}
+
 Bytes encode_pfc_frame(const PfcFrame& pfc, MacAddr src) {
   Bytes out;
   out.reserve(64);
@@ -240,7 +252,16 @@ Bytes encode_roce_frame(const Packet& pkt, PfcMode mode) {
   encode_ethernet(eth, out);
   const std::size_t ip_start = out.size();
   const RoceBth bth = pkt.bth.value_or(RoceBth{});
-  const std::size_t l4 = static_cast<std::size_t>(kUdpHeaderBytes + kBthBytes) +
+  // kAcknowledge frames carry the AETH after the BTH, and in selective
+  // repeat the 8-byte SACK extension after that. Both sit inside the
+  // invariant region, so the end-to-end ICRC below covers them (§5.2).
+  const bool is_ack = bth.opcode == RoceOpcode::kAcknowledge;
+  std::size_t ext = 0;
+  if (is_ack) {
+    ext += static_cast<std::size_t>(kAethBytes);
+    if (pkt.sack) ext += static_cast<std::size_t>(kSackBytes);
+  }
+  const std::size_t l4 = static_cast<std::size_t>(kUdpHeaderBytes + kBthBytes) + ext +
                          static_cast<std::size_t>(pkt.payload_bytes) +
                          static_cast<std::size_t>(kIcrcBytes);
   ip.total_length = static_cast<std::uint16_t>(kIpv4HeaderBytes + l4);
@@ -252,6 +273,10 @@ Bytes encode_roce_frame(const Packet& pkt, PfcMode mode) {
   udp.length = static_cast<std::uint16_t>(l4);
   encode_udp(udp, out);
   encode_bth(bth, out);
+  if (is_ack) {
+    encode_aeth(pkt.aeth.value_or(RoceAeth{}), out);
+    if (pkt.sack) encode_sack(*pkt.sack, out);
+  }
   out.insert(out.end(), static_cast<std::size_t>(pkt.payload_bytes), 0xab);
 
   // ICRC: RoCEv2 invariant CRC over pseudo header + packet; we compute it
@@ -283,6 +308,20 @@ std::optional<DecodedRoceFrame> decode_roce_frame(std::span<const std::uint8_t> 
   d.ip = *ip;
   d.udp = *udp;
   d.bth = *bth;
+  if (bth->opcode == RoceOpcode::kAcknowledge) {
+    // AETH is mandatory on ACK frames; the SACK extension is present iff
+    // its 8 bytes sit between the AETH and the ICRC (ACKs carry no payload).
+    auto aeth = decode_aeth(frame.subspan(off));
+    if (!aeth || frame.size() < off + static_cast<std::size_t>(kAethBytes) + 8) {
+      return std::nullopt;
+    }
+    off += static_cast<std::size_t>(kAethBytes);
+    d.aeth = *aeth;
+    if (frame.size() - off - 8 >= static_cast<std::size_t>(kSackBytes)) {
+      d.sack = decode_sack(frame.subspan(off));
+      off += static_cast<std::size_t>(kSackBytes);
+    }
+  }
   d.payload_bytes = frame.size() - off - 8;
   d.fcs_ok = crc32_ieee(frame.first(frame.size() - 4)) == get_u32(frame, frame.size() - 4);
   // ICRC: recompute over the invariant region (IP header through payload)

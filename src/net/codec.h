@@ -39,6 +39,7 @@ void encode_ipv4(const Ipv4Header& h, Bytes& out);          // 20 bytes, checksu
 void encode_udp(const UdpHeader& h, Bytes& out);            // 8 bytes
 void encode_bth(const RoceBth& h, Bytes& out);              // 12 bytes
 void encode_aeth(const RoceAeth& h, Bytes& out);            // 4 bytes
+void encode_sack(const RoceSackExt& h, Bytes& out);         // 8 bytes
 
 struct DecodedEthernet {
   EthernetHeader header;
@@ -49,6 +50,7 @@ struct DecodedEthernet {
 [[nodiscard]] std::optional<UdpHeader> decode_udp(std::span<const std::uint8_t> in);
 [[nodiscard]] std::optional<RoceBth> decode_bth(std::span<const std::uint8_t> in);
 [[nodiscard]] std::optional<RoceAeth> decode_aeth(std::span<const std::uint8_t> in);
+[[nodiscard]] std::optional<RoceSackExt> decode_sack(std::span<const std::uint8_t> in);
 
 // --- frame-level encoders (Fig. 3) ----------------------------------------
 
@@ -73,6 +75,10 @@ struct DecodedRoceFrame {
   Ipv4Header ip;
   UdpHeader udp;
   RoceBth bth;
+  /// kAcknowledge frames: the AETH, plus the selective-repeat SACK bitmap
+  /// when the 8-byte extension follows it on the wire.
+  std::optional<RoceAeth> aeth;
+  std::optional<RoceSackExt> sack;
   std::size_t payload_bytes = 0;
   bool fcs_ok = false;
   /// End-to-end check: stored ICRC matches a recompute over the invariant

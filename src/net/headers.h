@@ -141,6 +141,16 @@ struct RoceAeth {
   auto operator<=>(const RoceAeth&) const = default;
 };
 
+/// Selective-ACK extension (8 bytes), carried after the AETH by
+/// kAcknowledge packets in the IRN-style kSelectiveRepeat mode: bit i set
+/// means PSN aeth.msn + 1 + i was received out of order and is buffered at
+/// the receiver, so the sender need not retransmit it. Inside the invariant
+/// region, so the end-to-end ICRC covers it (§5.2).
+struct RoceSackExt {
+  std::uint64_t bitmap = 0;
+  auto operator<=>(const RoceSackExt&) const = default;
+};
+
 // ---------------------------------------------------------------------------
 // TCP (baseline transport; metadata only, no wire codec needed)
 
@@ -168,6 +178,7 @@ inline constexpr std::int64_t kIpv4HeaderBytes = 20;
 inline constexpr std::int64_t kUdpHeaderBytes = 8;
 inline constexpr std::int64_t kBthBytes = 12;
 inline constexpr std::int64_t kAethBytes = 4;
+inline constexpr std::int64_t kSackBytes = 8;    // RoceSackExt (selective repeat)
 inline constexpr std::int64_t kRethBytes = 16;   // RDMA extended header (WRITE/READ)
 inline constexpr std::int64_t kIcrcBytes = 4;
 inline constexpr std::int64_t kTcpHeaderBytes = 20;

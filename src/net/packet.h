@@ -33,6 +33,7 @@ struct Packet {
   std::optional<UdpHeader> udp;
   std::optional<RoceBth> bth;
   std::optional<RoceAeth> aeth;
+  std::optional<RoceSackExt> sack;  // selective repeat: OOO bitmap after AETH
   std::optional<TcpHeaderMeta> tcp;
   std::optional<PfcFrame> pfc;
 

@@ -89,6 +89,12 @@ struct QpConfig {
   /// workloads treat receive buffering as unlimited.
   bool require_recv_wqes = false;
   Time rnr_delay = microseconds(100);  // sender back-off after an RNR NAK
+  /// kSelectiveRepeat only: the BDP bound (bytes) IRN uses in place of PFC
+  /// backpressure. Caps both the sender's unacknowledged in-flight window
+  /// and the receiver's out-of-order buffer, in packets of mtu_payload:
+  /// enough to keep the pipe full at the fabric's bandwidth-delay product,
+  /// small enough that a lossy fabric cannot buffer-bloat the receiver.
+  std::int64_t selrep_bdp_bytes = 512 * kKiB;
 };
 
 struct NicWatchdogConfig {

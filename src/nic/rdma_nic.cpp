@@ -11,14 +11,25 @@ namespace rocelab {
 namespace {
 /// Retransmission timeout backoff cap (1 << 3 = 8x).
 constexpr int kMaxBackoffShift = 3;
-
-/// First or Only segment: the packet that begins a message on the wire.
-bool is_message_start(RoceOpcode op) {
-  return op == RoceOpcode::kSendFirst || op == RoceOpcode::kWriteFirst ||
-         op == RoceOpcode::kReadResponseFirst || op == RoceOpcode::kSendOnly ||
-         op == RoceOpcode::kWriteOnly || op == RoceOpcode::kReadResponseOnly;
-}
 }  // namespace
+
+/// The narrow NIC view handed to the loss-recovery engine: wall clock,
+/// single-packet retransmission, and in-flight message lookup.
+struct RdmaNic::SenderOps final : LossRecoveryEngine::Sender {
+  RdmaNic& nic;
+  Qp& q;
+  SenderOps(RdmaNic& n, Qp& qq) : nic(n), q(qq) {}
+
+  [[nodiscard]] Time now() const override { return nic.host_.sim().now(); }
+  void retransmit(std::uint64_t psn) override { nic.retransmit_one(q, psn); }
+  [[nodiscard]] std::optional<std::uint64_t> message_start(
+      std::uint64_t psn) const override {
+    for (const auto& m : q.inflight) {
+      if (psn >= m.first_psn && psn < m.end_psn) return m.first_psn;
+    }
+    return std::nullopt;
+  }
+};
 
 RdmaNic::RdmaNic(Host& host, const HostConfig& cfg) : host_(host), cfg_(cfg) {
   MetricRegistry& reg = host_.sim().metrics();
@@ -43,6 +54,9 @@ RdmaNic::RdmaNic(Host& host, const HostConfig& cfg) : host_(host), cfg_(cfg) {
   reg.add(this, prefix + "/injected_dup_acks", &stats_.injected_dup_acks);
   reg.add(this, prefix + "/icrc_errors", &stats_.icrc_errors);
   reg.add(this, prefix + "/corrupt_completions", &stats_.corrupt_completions);
+  reg.add(this, prefix + "/selrep/sacked", &stats_.selrep.sacked);
+  reg.add(this, prefix + "/selrep/retx", &stats_.selrep.retx);
+  reg.add(this, prefix + "/selrep/ooo_buffered", &stats_.selrep.ooo_buffered);
 }
 
 RdmaNic::~RdmaNic() { host_.sim().metrics().remove_owner(this); }
@@ -62,6 +76,7 @@ std::uint32_t RdmaNic::create_qp(QpConfig cfg) {
   auto q = std::make_unique<Qp>();
   q->qpn = next_qpn_++;
   q->cfg = cfg;
+  q->engine = LossRecoveryEngine::make(cfg, &stats_.selrep);
   // Random source UDP port per QP so distinct QPs take distinct ECMP paths (§2).
   q->udp_sport = static_cast<std::uint16_t>(host_.rng().uniform_int(49152, 65535));
   if (cfg.dcqcn) {
@@ -174,6 +189,16 @@ void RdmaNic::pacer_fire(std::uint32_t qpn) {
 }
 
 bool RdmaNic::transmit_next(Qp& q) {
+  // Selective repeat: skip PSNs the receiver already SACKed, and hold new
+  // data while a BDP's worth is unacknowledged (IRN's stand-in for PFC
+  // backpressure). No-ops in the go-back modes.
+  while (q.cursor_psn < q.next_new_psn && q.engine->is_sacked(q.cursor_psn)) {
+    ++q.cursor_psn;
+  }
+  if (q.cursor_psn == q.next_new_psn && !q.engine->window_open(q.cursor_psn, q.una_psn)) {
+    return false;
+  }
+
   // Start the next message if the cursor has caught up with new territory.
   if (q.cursor_psn == q.next_new_psn) {
     bool have_msg = false;
@@ -216,6 +241,7 @@ bool RdmaNic::transmit_next(Qp& q) {
   q.next_new_psn = std::max(q.next_new_psn, q.cursor_psn);
   ++stats_.data_packets_sent;
   if (is_retx) ++stats_.data_packets_retx;
+  q.engine->on_tx_segment(pkt.bth->psn, is_retx, host_.sim().now());
 
   if (q.rate) q.rate->on_bytes_sent(pkt.frame_bytes);
   if (q.timely && pkt.bth->ack_request && q.rtt_probes.size() < 64) {
@@ -279,6 +305,7 @@ void RdmaNic::retransmit_one(Qp& q, std::uint64_t psn) {
       Packet pkt = build_data_packet(q, m, psn, /*force_ack=*/true);
       ++stats_.data_packets_sent;
       ++stats_.data_packets_retx;
+      q.engine->on_tx_segment(psn, /*is_retx=*/true, host_.sim().now());
       if (q.rate) q.rate->on_bytes_sent(pkt.frame_bytes);
       host_.send_frame(std::move(pkt));
       arm_retx(q);
@@ -303,7 +330,9 @@ void RdmaNic::arm_retx(Qp& q) {
       static_cast<std::int64_t>(q.cfg.ack_every) *
           (q.cfg.mtu_payload + kRoceDataOverheadBytes),
       current_rate(q));
-  const Time delay = (q.cfg.retx_timeout + self_clock)
+  // The engine may adapt the base timeout to the path (selective repeat's
+  // SRTT estimate); the go-back modes return the configured value as-is.
+  const Time delay = (q.engine->rto(q.cfg.retx_timeout) + self_clock)
                      << std::min(q.consecutive_timeouts, kMaxBackoffShift);
   const auto qpn = q.qpn;
   q.retx_ev = host_.sim().schedule_in(delay, [this, qpn] { on_retx_timeout(qpn); });
@@ -324,9 +353,14 @@ void RdmaNic::on_retx_timeout(std::uint32_t qpn) {
   // the silence is flow control, not loss. Lossless fabrics pause, they
   // don't drop; firing go-back-N here would retransmit packets that were
   // never lost and melt an incast. Hold the retry state machine instead
-  // (it resumes once the pause clears and the queue drains).
+  // (it resumes once the pause clears and the queue drains). The pause
+  // half applies only when this host actually runs the priority lossless:
+  // on a PFC-disabled (lossy) fabric a stray pause frame must not wedge
+  // the timer behind a gate that never clears.
   const EgressPort& out = host_.port(0);
-  if (out.paused(q.cfg.priority) || out.queued_bytes(q.cfg.priority) > 0) {
+  const bool pfc_gated = cfg_.lossless[static_cast<std::size_t>(q.cfg.priority)];
+  if ((pfc_gated && out.paused(q.cfg.priority)) ||
+      out.queued_bytes(q.cfg.priority) > 0) {
     arm_retx(q);
     return;
   }
@@ -343,7 +377,12 @@ void RdmaNic::on_retx_timeout(std::uint32_t qpn) {
     for (const auto& cb : error_cbs_) cb(qpn);
     return;
   }
-  go_back(q, q.una_psn);
+  // Selective repeat retransmits expired holes itself; the go-back modes
+  // decline and fall through to the classic go_back from una.
+  SenderOps ops{*this, q};
+  if (!q.engine->on_timeout(q.una_psn, q.next_new_psn, ops)) {
+    go_back(q, q.una_psn);
+  }
   arm_retx(q);
 }
 
@@ -359,41 +398,25 @@ void RdmaNic::reset_qp(std::uint32_t qpn) {
   q.expected_psn = 0;
   q.nak_armed = true;
   q.rx_taint = false;
-  q.rx_ooo.clear();
+  q.engine->reset();
   q.rtt_probes.clear();
   q.reads.clear();
   q.read_posted_at.clear();
   q.consecutive_timeouts = 0;
   q.blocked_on_port = false;
   q.error = false;
-  q.restart_barrier = -1;
   q.connected = false;
 }
 
 void RdmaNic::go_back(Qp& q, std::uint64_t psn) {
   q.rtt_probes.clear();  // Karn's rule: never time across a retransmission
-  if (q.cfg.recovery == LossRecovery::kGoBackN ||
-      q.cfg.recovery == LossRecovery::kSelectiveRepeat) {
-    // §4.1 fix: restart from the first dropped packet.
-    q.cursor_psn = psn;
-  } else {
-    // Vendor's original go-back-0: restart the whole message containing psn.
-    q.cursor_psn = psn;
-    for (const auto& m : q.inflight) {
-      if (psn >= m.first_psn && psn < m.end_psn) {
-        q.cursor_psn = m.first_psn;
-        // A whole-message restart abandons the pass, cumulative-ack state
-        // included: una must come back to the message start, and feedback
-        // generated before this instant is void (see restart_barrier).
-        // Without both, the next cumulative ACK would advance_una() past
-        // first_psn and the max() there would yank the cursor forward —
-        // converting go-back-0 into go-back-N.
-        q.una_psn = std::min(q.una_psn, m.first_psn);
-        q.restart_barrier = host_.sim().now();
-        break;
-      }
-    }
-  }
+  // go-back-N (and selective repeat's RNR path) restart from psn itself;
+  // go-back-0 rewinds to the containing message's first PSN, floors una
+  // there, and stamps its restart barrier (the §4.1 livelock couplings).
+  SenderOps ops{*this, q};
+  const LossRecoveryEngine::Restart plan = q.engine->plan_restart(psn, ops);
+  q.cursor_psn = plan.cursor;
+  if (plan.rewind_una) q.una_psn = std::min(q.una_psn, plan.cursor);
   arm_pacer(q);
 }
 
@@ -484,7 +507,7 @@ void RdmaNic::dispatch(Packet pkt) {
   // be trusted, and the sender's retransmission timer covers the loss.
   if (pkt.corrupt && icrc_verify_) {
     ++stats_.icrc_errors;
-    if (pkt.kind == PacketKind::kRoceData && q.nak_armed) {
+    if (pkt.kind == PacketKind::kRoceData && q.engine->on_icrc_drop(q.nak_armed)) {
       q.nak_armed = false;
       send_ack(q, AethSyndrome::kNakPsnSequenceError);
     }
@@ -524,9 +547,9 @@ void RdmaNic::maybe_send_cnp(Qp& q, const Packet& pkt) {
   host_.send_frame(std::move(cnp));
 }
 
-void RdmaNic::deliver_in_order(Qp& q, const Qp::RxSeg& seg) {
+void RdmaNic::deliver_in_order(Qp& q, const RxSegment& seg) {
   const RoceOpcode op = seg.opcode;
-  const bool first = is_message_start(op);
+  const bool first = is_roce_message_start(op);
   const bool last = op == RoceOpcode::kSendLast || op == RoceOpcode::kWriteLast ||
                     op == RoceOpcode::kReadResponseLast || op == RoceOpcode::kSendOnly ||
                     op == RoceOpcode::kWriteOnly || op == RoceOpcode::kReadResponseOnly;
@@ -569,9 +592,8 @@ void RdmaNic::handle_data(Qp& q, Packet& pkt) {
   maybe_send_cnp(q, pkt);  // NP reacts to the mark even on out-of-order packets
 
   const std::uint64_t psn = pkt.bth->psn;
-  const Qp::RxSeg seg{pkt.payload_bytes, pkt.bth->opcode, pkt.msg_id, pkt.created_at,
+  const RxSegment seg{pkt.payload_bytes, pkt.bth->opcode, pkt.msg_id, pkt.created_at,
                       pkt.corrupt};
-  const bool selective = q.cfg.recovery == LossRecovery::kSelectiveRepeat;
 
   // go-back-0 peers restart the whole message on any loss (§4.1): when the
   // message-start segment comes around again below the cumulative high-water
@@ -579,8 +601,7 @@ void RdmaNic::handle_data(Qp& q, Packet& pkt) {
   // stream in order. Retaining expected_psn across restarts is what let each
   // pass resume mid-message and quietly defeated the livelock.
   bool retaken_start = false;
-  if (q.cfg.recovery == LossRecovery::kGoBack0 && psn < q.expected_psn &&
-      is_message_start(seg.opcode)) {
+  if (q.engine->retake_message_start(psn, q.expected_psn, seg.opcode)) {
     q.expected_psn = psn;
     q.nak_armed = true;
     retaken_start = true;
@@ -604,39 +625,33 @@ void RdmaNic::handle_data(Qp& q, Packet& pkt) {
     ++q.expected_psn;
     q.nak_armed = true;
     deliver_in_order(q, seg);
+    // Drain buffered segments the hole was blocking (selective repeat).
     bool drained_ooo = false;
-    if (selective) {
-      // Drain buffered segments the hole was blocking.
-      auto it = q.rx_ooo.find(q.expected_psn);
-      while (it != q.rx_ooo.end()) {
-        deliver_in_order(q, it->second);
-        q.rx_ooo.erase(it);
-        ++q.expected_psn;
-        drained_ooo = true;
-        it = q.rx_ooo.find(q.expected_psn);
-      }
-      if (!q.rx_ooo.empty() && q.nak_armed) {
-        // Another hole remains: report it right away.
-        q.nak_armed = false;
-        send_ack(q, AethSyndrome::kNakPsnSequenceError);
-        return;
-      }
+    RxSegment buffered;
+    while (q.engine->pop_buffered(q.expected_psn, &buffered)) {
+      deliver_in_order(q, buffered);
+      ++q.expected_psn;
+      drained_ooo = true;
+    }
+    if (q.engine->has_buffered() && q.nak_armed) {
+      // Another hole remains: report it right away.
+      q.nak_armed = false;
+      send_ack(q, AethSyndrome::kNakPsnSequenceError);
+      return;
     }
     if (pkt.bth->ack_request || drained_ooo) send_ack(q, AethSyndrome::kAck);
     return;
   }
 
   if (psn > q.expected_psn) {
-    if (selective && q.rx_ooo.size() < 4096) {
-      q.rx_ooo.emplace(psn, seg);  // buffer instead of dropping
-    } else {
-      ++stats_.out_of_order_drops;
-    }
+    // Selective repeat buffers up to its BDP cap; the go-back modes (and
+    // overflow) drop.
+    if (!q.engine->buffer_out_of_order(psn, seg)) ++stats_.out_of_order_drops;
     // Gap: a packet was lost. NAK once per episode (§4.1).
     if (q.nak_armed) {
       q.nak_armed = false;
       send_ack(q, AethSyndrome::kNakPsnSequenceError);
-    } else if (selective && pkt.bth->ack_request) {
+    } else if (q.engine->acks_out_of_order() && pkt.bth->ack_request) {
       send_ack(q, AethSyndrome::kAck);  // keep the sender's window fresh
     }
     return;
@@ -654,7 +669,7 @@ void RdmaNic::handle_ack(Qp& q, const Packet& pkt) {
   // go-back-0: feedback generated before the last whole-message restart is
   // about the aborted pass. Same-priority RoCE paths deliver FIFO, so no
   // legitimate post-restart ACK can predate the barrier.
-  if (q.cfg.recovery == LossRecovery::kGoBack0 && pkt.created_at < q.restart_barrier) return;
+  if (!q.engine->admit_feedback(pkt.created_at)) return;
   // TIMELY: RTT sample from the freshest probe this ACK covers.
   if (q.timely) {
     Time sent_at = -1;
@@ -664,9 +679,12 @@ void RdmaNic::handle_ack(Qp& q, const Packet& pkt) {
     }
     if (sent_at >= 0) q.timely->on_rtt_sample(host_.sim().now() - sent_at);
   }
+  // Selective repeat: SACK bookkeeping and the SRTT sample, before una
+  // moves (the sample needs the tx record the cumulative ACK retires).
+  q.engine->on_ack(pkt.aeth->msn, pkt.sack, host_.sim().now());
   advance_una(q, pkt.aeth->msn);
   if (pkt.aeth->syndrome == AethSyndrome::kNakPsnSequenceError) {
-    if (q.cfg.recovery == LossRecovery::kSelectiveRepeat) {
+    if (q.engine->on_nak(pkt.aeth->msn).retransmit_single) {
       retransmit_one(q, pkt.aeth->msn);  // resend only the missing packet
     } else {
       go_back(q, pkt.aeth->msn);
@@ -682,6 +700,9 @@ void RdmaNic::handle_ack(Qp& q, const Packet& pkt) {
       if (it != qps_.end()) go_back(*it->second, msn);
     });
   }
+  // Selective repeat: ACK progress may have reopened the BDP window, and
+  // the pacer is the only thing that resumes transmission.
+  if (q.engine->reopen_window_on_ack()) arm_pacer(q);
 }
 
 void RdmaNic::handle_read_req(Qp& q, const Packet& pkt) {
@@ -699,6 +720,12 @@ void RdmaNic::send_ack(Qp& q, AethSyndrome syndrome) {
   ack.bth->opcode = RoceOpcode::kAcknowledge;
   ack.aeth = RoceAeth{syndrome, static_cast<std::uint32_t>(q.expected_psn)};
   ack.frame_bytes = kRoceDataOverheadBytes + kAethBytes;
+  // Selective repeat advertises its out-of-order buffer in a SACK bitmap
+  // (always attached, even empty: presence marks the mode on the wire).
+  if (const auto bitmap = q.engine->sack_bitmap(q.expected_psn)) {
+    ack.sack = RoceSackExt{*bitmap};
+    ack.frame_bytes += kSackBytes;
+  }
   if (syndrome == AethSyndrome::kAck) {
     ++stats_.acks_sent;
   } else {

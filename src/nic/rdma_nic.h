@@ -1,7 +1,8 @@
 // The RoCEv2 NIC transport engine: queue pairs, verbs (SEND/WRITE/READ),
-// PSN-sequenced reliable delivery with ACK/NAK, configurable go-back-0 /
-// go-back-N loss recovery (§4.1), per-QP DCQCN rate control, and the DCQCN
-// notification point (CNP generation on ECN marks).
+// PSN-sequenced reliable delivery with ACK/NAK, per-QP DCQCN rate control,
+// and the DCQCN notification point (CNP generation on ECN marks). Loss
+// recovery (go-back-0 / go-back-N / IRN-style selective repeat, §4.1 and
+// §8.1) is delegated to the pluggable per-QP engine in src/nic/recovery.h.
 #pragma once
 
 #include <cstdint>
@@ -18,6 +19,7 @@
 #include "src/net/packet.h"
 #include "src/nic/config.h"
 #include "src/nic/dcqcn.h"
+#include "src/nic/recovery.h"
 #include "src/nic/timely.h"
 #include "src/sim/simulator.h"
 
@@ -92,6 +94,8 @@ struct RdmaNicStats {
   /// corrupt segment — the torn data the InvariantAuditor's kDataIntegrity
   /// check asserts can never happen with the verify on.
   std::int64_t corrupt_completions = 0;
+  /// Selective-repeat engine counters (rdma/selrep/*); zero in go-back modes.
+  RecoveryCounters selrep;
 };
 
 class RdmaNic {
@@ -199,11 +203,10 @@ class RdmaNic {
     bool blocked_on_port = false;
     int consecutive_timeouts = 0;
     bool error = false;  // retry budget exhausted; QP is wedged until reset
-    /// go-back-0 only: time of the last whole-message restart. ACK/NAK
-    /// packets created before this describe the aborted pass; processing
-    /// them would pull una/cursor forward and silently turn go-back-0 into
-    /// go-back-N (the §4.1 livelock would never reproduce).
-    Time restart_barrier = -1;
+    /// The pluggable loss-recovery engine (src/nic/recovery.h): restart
+    /// semantics, feedback admission, SACK/OOO state, and timer policy for
+    /// this QP's configured mode.
+    std::unique_ptr<LossRecoveryEngine> engine;
 
     // Receiver state.
     std::uint64_t expected_psn = 0;
@@ -215,16 +218,6 @@ class RdmaNic {
     /// is then a torn one and counts into corrupt_completions.
     bool rx_taint = false;
     Time last_cnp_time = -kSecond;
-    /// Selective repeat: out-of-order segments buffered until the holes
-    /// fill (bounded; overflow falls back to dropping).
-    struct RxSeg {
-      std::int32_t payload;
-      RoceOpcode opcode;
-      std::uint64_t msg_id;
-      Time created_at;
-      bool corrupt;
-    };
-    std::map<std::uint64_t, RxSeg> rx_ooo;
     int recv_credits = 0;  // receive WQEs available (require_recv_wqes)
 
     // TIMELY state: (first unacked psn after probe, tx time) pairs.
@@ -244,6 +237,10 @@ class RdmaNic {
     explicit QpFaultInjector(const QpFaultSpec& s) : spec(s), rng(s.seed) {}
   };
 
+  /// The LossRecoveryEngine::Sender adapter an engine calls back through
+  /// (now, single-packet retransmit, in-flight message lookup).
+  struct SenderOps;
+
   Qp& qp(std::uint32_t qpn);
   const Qp& qp(std::uint32_t qpn) const;
   void dispatch(Packet pkt);  // post-injection receive path
@@ -260,7 +257,7 @@ class RdmaNic {
   [[nodiscard]] Bandwidth current_rate(const Qp& q) const;
   Packet build_data_packet(Qp& q, const InflightMsg& msg, std::uint64_t psn, bool force_ack);
   void retransmit_one(Qp& q, std::uint64_t psn);
-  void deliver_in_order(Qp& q, const Qp::RxSeg& seg);
+  void deliver_in_order(Qp& q, const RxSegment& seg);
   void handle_data(Qp& q, Packet& pkt);
   void handle_ack(Qp& q, const Packet& pkt);
   void handle_read_req(Qp& q, const Packet& pkt);

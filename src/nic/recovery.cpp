@@ -1,0 +1,271 @@
+#include "src/nic/recovery.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+namespace rocelab {
+
+bool is_roce_message_start(RoceOpcode op) {
+  return op == RoceOpcode::kSendFirst || op == RoceOpcode::kWriteFirst ||
+         op == RoceOpcode::kReadResponseFirst || op == RoceOpcode::kSendOnly ||
+         op == RoceOpcode::kWriteOnly || op == RoceOpcode::kReadResponseOnly;
+}
+
+const char* to_string(LossRecovery mode) {
+  switch (mode) {
+    case LossRecovery::kGoBack0: return "goback0";
+    case LossRecovery::kGoBackN: return "gobackn";
+    case LossRecovery::kSelectiveRepeat: return "selrep";
+  }
+  return "?";
+}
+
+std::optional<LossRecovery> parse_loss_recovery(std::string_view name) {
+  if (name == "goback0" || name == "gb0") return LossRecovery::kGoBack0;
+  if (name == "gobackn" || name == "gbn") return LossRecovery::kGoBackN;
+  if (name == "selrep" || name == "selective_repeat" || name == "irn") {
+    return LossRecovery::kSelectiveRepeat;
+  }
+  return std::nullopt;
+}
+
+namespace {
+
+/// The paper's §4.1 fix: restart from the first dropped packet. All the
+/// shared machinery in RdmaNic (cumulative una, NAK-once-per-episode,
+/// timeout go-back) IS go-back-N; the engine only has to not interfere.
+class GoBackNEngine final : public LossRecoveryEngine {
+ public:
+  explicit GoBackNEngine(RecoveryCounters* counters) : LossRecoveryEngine(counters) {}
+  [[nodiscard]] LossRecovery mode() const override { return LossRecovery::kGoBackN; }
+};
+
+/// The vendor's original whole-message restart, with the three couplings
+/// that make the §4.1 livelock reproduce: cursor AND una rewind to the
+/// containing message's first PSN, and a restart barrier voids feedback
+/// generated before the restart (same-priority RoCE paths deliver FIFO, so
+/// no legitimate post-restart ACK can predate it).
+class GoBack0Engine final : public LossRecoveryEngine {
+ public:
+  explicit GoBack0Engine(RecoveryCounters* counters) : LossRecoveryEngine(counters) {}
+  [[nodiscard]] LossRecovery mode() const override { return LossRecovery::kGoBack0; }
+
+  void reset() override { restart_barrier_ = -1; }
+
+  [[nodiscard]] bool admit_feedback(Time created_at) const override {
+    return created_at >= restart_barrier_;
+  }
+
+  [[nodiscard]] Restart plan_restart(std::uint64_t psn, Sender& nic) override {
+    if (const auto first = nic.message_start(psn)) {
+      // A whole-message restart abandons the pass, cumulative-ack state
+      // included: una must come back to the message start, and feedback
+      // generated before this instant is void. Without both, the next
+      // cumulative ACK would advance una past first_psn and yank the
+      // cursor forward — converting go-back-0 into go-back-N.
+      restart_barrier_ = nic.now();
+      return {*first, true};
+    }
+    return {psn, false};
+  }
+
+  [[nodiscard]] bool retake_message_start(std::uint64_t psn, std::uint64_t expected,
+                                          RoceOpcode op) const override {
+    return psn < expected && is_roce_message_start(op);
+  }
+
+ private:
+  /// Time of the last whole-message restart; ACK/NAK packets created
+  /// before this describe the aborted pass.
+  Time restart_barrier_ = -1;
+};
+
+/// IRN-style selective repeat (Mittal et al.): the receiver buffers
+/// out-of-order segments up to one BDP and advertises them in a SACK
+/// bitmap; the sender tracks per-packet delivery, retransmits only holes
+/// (NAK-driven immediately, timer-driven once a hole's RTT-adaptive RTO
+/// expires), and bounds in-flight data by the same BDP instead of relying
+/// on PFC backpressure.
+class SelectiveRepeatEngine final : public LossRecoveryEngine {
+ public:
+  SelectiveRepeatEngine(const QpConfig& cfg, RecoveryCounters* counters)
+      : LossRecoveryEngine(counters),
+        window_pkts_(std::max<std::uint64_t>(
+            1, static_cast<std::uint64_t>(cfg.selrep_bdp_bytes) /
+                   static_cast<std::uint64_t>(std::max<std::int32_t>(1, cfg.mtu_payload)))),
+        configured_rto_(cfg.retx_timeout),
+        ack_every_(std::max(1, cfg.ack_every)) {
+    reset();
+  }
+
+  [[nodiscard]] LossRecovery mode() const override {
+    return LossRecovery::kSelectiveRepeat;
+  }
+
+  void reset() override {
+    sacked_.clear();
+    tx_times_.clear();
+    rx_ooo_.clear();
+    srtt_ = -1;
+    rttvar_ = 0;
+    rto_ = configured_rto_;
+  }
+
+  // --- sender side ---------------------------------------------------------
+
+  void on_tx_segment(std::uint64_t psn, bool is_retx, Time now) override {
+    // Karn's rule: once a PSN has been retransmitted, an ACK covering it is
+    // ambiguous and must not produce an RTT sample.
+    auto [it, inserted] = tx_times_.insert_or_assign(psn, TxRecord{now, is_retx});
+    if (!inserted) it->second.retx = true;
+  }
+
+  void on_ack(std::uint64_t msn, const std::optional<RoceSackExt>& sack,
+              Time now) override {
+    // SRTT from the newest PSN this cumulative ACK covers (msn - 1).
+    if (msn > 0) {
+      const auto it = tx_times_.find(msn - 1);
+      if (it != tx_times_.end() && !it->second.retx) {
+        observe_rtt(now - it->second.at);
+      }
+    }
+    tx_times_.erase(tx_times_.begin(), tx_times_.lower_bound(msn));
+    sacked_.erase(sacked_.begin(), sacked_.lower_bound(msn));
+    if (!sack) return;
+    for (int i = 0; i < 64; ++i) {
+      if ((sack->bitmap >> i) & 1) {
+        const std::uint64_t psn = msn + 1 + static_cast<std::uint64_t>(i);
+        if (sacked_.insert(psn).second) {
+          ++counters_->sacked;
+          tx_times_.erase(psn);  // delivered; no hole timer needed
+        }
+      }
+    }
+  }
+
+  NakAction on_nak(std::uint64_t /*msn*/) override {
+    ++counters_->retx;
+    return {.retransmit_single = true};
+  }
+
+  bool on_timeout(std::uint64_t una, std::uint64_t next_new, Sender& nic) override {
+    // Per-packet RTO: resend the un-SACKed holes whose last transmission
+    // has aged past the adaptive RTO. Cap the burst at one ack_every batch
+    // so a wide loss episode drains over successive timer firings instead
+    // of dumping a whole window into the egress queue at one instant.
+    const Time now = nic.now();
+    const std::uint64_t end = std::min(next_new, una + window_pkts_);
+    int fired = 0;
+    for (std::uint64_t psn = una; psn < end && fired < ack_every_; ++psn) {
+      if (sacked_.count(psn) != 0) continue;
+      const auto it = tx_times_.find(psn);
+      if (it != tx_times_.end() && now - it->second.at < rto_) continue;
+      nic.retransmit(psn);
+      ++counters_->retx;
+      ++fired;
+    }
+    if (fired == 0) {
+      // Every hole is younger than the RTO (the timer includes backoff and
+      // self-clocking slack on top). Resend the oldest anyway: silence this
+      // long means the ACK stream itself is gone.
+      nic.retransmit(una);
+      ++counters_->retx;
+    }
+    return true;
+  }
+
+  [[nodiscard]] bool is_sacked(std::uint64_t psn) const override {
+    return sacked_.count(psn) != 0;
+  }
+
+  [[nodiscard]] bool window_open(std::uint64_t cursor, std::uint64_t una) const override {
+    return cursor - una < window_pkts_;
+  }
+
+  [[nodiscard]] bool reopen_window_on_ack() const override { return true; }
+
+  [[nodiscard]] Time rto(Time /*configured*/) const override { return rto_; }
+
+  // --- receiver side -------------------------------------------------------
+
+  bool buffer_out_of_order(std::uint64_t psn, const RxSegment& seg) override {
+    if (rx_ooo_.size() >= window_pkts_) return false;  // BDP cap: drop instead
+    if (rx_ooo_.emplace(psn, seg).second) ++counters_->ooo_buffered;
+    return true;
+  }
+
+  bool pop_buffered(std::uint64_t psn, RxSegment* out) override {
+    const auto it = rx_ooo_.find(psn);
+    if (it == rx_ooo_.end()) return false;
+    *out = it->second;
+    rx_ooo_.erase(it);
+    return true;
+  }
+
+  [[nodiscard]] bool has_buffered() const override { return !rx_ooo_.empty(); }
+
+  [[nodiscard]] bool acks_out_of_order() const override { return true; }
+
+  [[nodiscard]] std::optional<std::uint64_t> sack_bitmap(
+      std::uint64_t expected) const override {
+    std::uint64_t bitmap = 0;
+    for (auto it = rx_ooo_.upper_bound(expected); it != rx_ooo_.end(); ++it) {
+      const std::uint64_t off = it->first - expected - 1;
+      if (off >= 64) break;
+      bitmap |= std::uint64_t{1} << off;
+    }
+    return bitmap;  // always attached, even when empty: presence marks the mode
+  }
+
+ private:
+  struct TxRecord {
+    Time at = 0;
+    bool retx = false;
+  };
+
+  void observe_rtt(Time sample) {
+    if (sample < 0) return;
+    if (srtt_ < 0) {
+      srtt_ = sample;
+      rttvar_ = sample / 2;
+    } else {
+      // RFC 6298 with the standard gains (alpha 1/8, beta 1/4).
+      const Time err = sample > srtt_ ? sample - srtt_ : srtt_ - sample;
+      rttvar_ = (3 * rttvar_ + err) / 4;
+      srtt_ = (7 * srtt_ + sample) / 8;
+    }
+    // Floor at 2*SRTT (the timer races the solicited ACK otherwise) and at
+    // an eighth of the configured timeout; never exceed the configured one.
+    const Time adaptive = std::max(srtt_ + 4 * rttvar_, 2 * srtt_);
+    rto_ = std::clamp(adaptive, configured_rto_ / 8, configured_rto_);
+  }
+
+  const std::uint64_t window_pkts_;  // BDP cap, in packets
+  const Time configured_rto_;
+  const int ack_every_;
+
+  std::set<std::uint64_t> sacked_;              // PSNs acked out of order
+  std::map<std::uint64_t, TxRecord> tx_times_;  // per-packet last tx (holes)
+  std::map<std::uint64_t, RxSegment> rx_ooo_;   // receiver OOO buffer
+  Time srtt_ = -1;    // -1 until the first sample
+  Time rttvar_ = 0;
+  Time rto_;
+};
+
+}  // namespace
+
+std::unique_ptr<LossRecoveryEngine> LossRecoveryEngine::make(
+    const QpConfig& cfg, RecoveryCounters* counters) {
+  switch (cfg.recovery) {
+    case LossRecovery::kGoBack0:
+      return std::make_unique<GoBack0Engine>(counters);
+    case LossRecovery::kGoBackN:
+      return std::make_unique<GoBackNEngine>(counters);
+    case LossRecovery::kSelectiveRepeat:
+      return std::make_unique<SelectiveRepeatEngine>(cfg, counters);
+  }
+  return std::make_unique<GoBackNEngine>(counters);
+}
+
+}  // namespace rocelab

@@ -1,0 +1,181 @@
+// The pluggable per-QP loss-recovery engine (§4.1 and the §8.1 IRN
+// extension). RdmaNic owns PSN bookkeeping, packet construction, and the
+// wire; everything that differs between recovery modes — restart semantics,
+// feedback admission, out-of-order buffering, SACK state, retransmission
+// timer policy — lives behind this interface:
+//
+//  - kGoBack0: the vendor's original whole-message restart with the
+//    restart-barrier/una-rewind semantics that reproduce the §4.1 livelock.
+//  - kGoBackN: the paper's fix — restart from the first dropped packet.
+//  - kSelectiveRepeat: IRN-style (Mittal et al., PAPERS.md) — the receiver
+//    buffers out-of-order packets up to a BDP cap and advertises them in a
+//    SACK bitmap; the sender retransmits only the holes, paced by a
+//    per-packet RTT-adaptive RTO, under a BDP-bounded window instead of PFC.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string_view>
+
+#include "src/common/units.h"
+#include "src/net/headers.h"
+#include "src/nic/config.h"
+
+namespace rocelab {
+
+/// Selective-repeat counters, surfaced per NIC in the metric registry as
+/// rdma/selrep/{sacked,retx,ooo_buffered}. Zero in the go-back modes.
+struct RecoveryCounters {
+  std::int64_t sacked = 0;        // PSNs acknowledged out of order via SACK
+  std::int64_t retx = 0;          // engine-requested selective retransmissions
+  std::int64_t ooo_buffered = 0;  // segments accepted into the OOO buffer
+};
+
+/// A receive-side segment held while earlier holes fill (selective repeat),
+/// and the unit deliver_in_order consumes.
+struct RxSegment {
+  std::int32_t payload = 0;
+  RoceOpcode opcode = RoceOpcode::kSendOnly;
+  std::uint64_t msg_id = 0;
+  Time created_at = 0;
+  bool corrupt = false;
+};
+
+/// First or Only segment: the packet that begins a message on the wire.
+[[nodiscard]] bool is_roce_message_start(RoceOpcode op);
+
+[[nodiscard]] const char* to_string(LossRecovery mode);
+/// Accepts "goback0" / "gobackn" / "selrep" (plus a few aliases);
+/// nullopt for anything else.
+[[nodiscard]] std::optional<LossRecovery> parse_loss_recovery(std::string_view name);
+
+class LossRecoveryEngine {
+ public:
+  /// The narrow view of the owning NIC an engine may call back into while
+  /// planning a restart or servicing a timeout.
+  class Sender {
+   public:
+    virtual ~Sender() = default;
+    [[nodiscard]] virtual Time now() const = 0;
+    /// Retransmit exactly one in-flight PSN (no-op if it is already acked
+    /// or no longer in flight).
+    virtual void retransmit(std::uint64_t psn) = 0;
+    /// First PSN of the in-flight message containing `psn`, if any.
+    [[nodiscard]] virtual std::optional<std::uint64_t> message_start(
+        std::uint64_t psn) const = 0;
+  };
+
+  /// Where a NAK/RNR-driven restart puts the wire cursor.
+  struct Restart {
+    std::uint64_t cursor = 0;
+    bool rewind_una = false;  // go-back-0: una floors back to the cursor
+  };
+
+  struct NakAction {
+    bool retransmit_single = false;  // selective repeat: resend only the hole
+  };
+
+  static std::unique_ptr<LossRecoveryEngine> make(const QpConfig& cfg,
+                                                  RecoveryCounters* counters);
+
+  virtual ~LossRecoveryEngine() = default;
+  [[nodiscard]] virtual LossRecovery mode() const = 0;
+
+  /// Return the engine to fresh-QP state (reset_qp).
+  virtual void reset() {}
+
+  // --- sender side ---------------------------------------------------------
+
+  /// A data segment went on the wire (new or retransmitted).
+  virtual void on_tx_segment(std::uint64_t /*psn*/, bool /*is_retx*/, Time /*now*/) {}
+
+  /// May this ACK/NAK be processed? go-back-0 voids feedback generated
+  /// before the last whole-message restart (the restart barrier).
+  [[nodiscard]] virtual bool admit_feedback(Time /*created_at*/) const { return true; }
+
+  /// A (non-NAK-specific) ACK arrived: cumulative msn plus an optional SACK
+  /// bitmap (bit i => PSN msn+1+i received out of order).
+  virtual void on_ack(std::uint64_t /*msn*/, const std::optional<RoceSackExt>& /*sack*/,
+                      Time /*now*/) {}
+
+  /// A sequence-error NAK arrived for `msn` (the receiver's hole).
+  virtual NakAction on_nak(std::uint64_t /*msn*/) { return {}; }
+
+  /// Plan a restart at `psn` (NAK or timeout driven). go-back-0 rewinds to
+  /// the start of the containing message and stamps the restart barrier.
+  [[nodiscard]] virtual Restart plan_restart(std::uint64_t psn, Sender& /*nic*/) {
+    return {psn, false};
+  }
+
+  /// The retransmission timer fired with [una, next_new) outstanding.
+  /// Returns true if the engine handled retransmission itself (selective
+  /// repeat resends expired holes); false lets the NIC run go_back(una).
+  virtual bool on_timeout(std::uint64_t /*una*/, std::uint64_t /*next_new*/,
+                          Sender& /*nic*/) {
+    return false;
+  }
+
+  /// PSN already acknowledged out of order — skip it on cursor walks.
+  [[nodiscard]] virtual bool is_sacked(std::uint64_t /*psn*/) const { return false; }
+
+  /// May the sender put NEW data on the wire? Selective repeat bounds
+  /// in-flight data by one BDP (IRN's replacement for PFC backpressure).
+  [[nodiscard]] virtual bool window_open(std::uint64_t /*cursor*/,
+                                         std::uint64_t /*una*/) const {
+    return true;
+  }
+
+  /// ACK progress may reopen a BDP-closed window: should the NIC re-arm the
+  /// pacer on every admitted ACK?
+  [[nodiscard]] virtual bool reopen_window_on_ack() const { return false; }
+
+  /// Base retransmission timeout. Selective repeat adapts it to the path
+  /// (SRTT from ACK timestamps); the go-back modes keep the configured one.
+  [[nodiscard]] virtual Time rto(Time configured) const { return configured; }
+
+  // --- receiver side -------------------------------------------------------
+
+  /// go-back-0 peers restart whole messages: a message-start segment below
+  /// the cumulative high-water mark means the sender abandoned the pass and
+  /// the receiver must rewind expected_psn to take the restarted stream.
+  [[nodiscard]] virtual bool retake_message_start(std::uint64_t /*psn*/,
+                                                  std::uint64_t /*expected*/,
+                                                  RoceOpcode /*op*/) const {
+    return false;
+  }
+
+  /// A data packet failed the end-to-end ICRC verify and is being dropped
+  /// exactly like a loss (§5.2). Returns whether to emit a sequence-error
+  /// NAK now; `nak_armed` is the NIC's once-per-episode latch (§4.1).
+  [[nodiscard]] virtual bool on_icrc_drop(bool nak_armed) const { return nak_armed; }
+
+  /// Offer an out-of-order segment for buffering. Returns true if buffered;
+  /// false means the NIC counts it as an out-of-order drop (go-back modes
+  /// always drop; selective repeat drops only past the BDP cap).
+  virtual bool buffer_out_of_order(std::uint64_t /*psn*/, const RxSegment& /*seg*/) {
+    return false;
+  }
+
+  /// Pop the buffered segment at `psn` if present (the in-order drain loop).
+  virtual bool pop_buffered(std::uint64_t /*psn*/, RxSegment* /*out*/) { return false; }
+
+  [[nodiscard]] virtual bool has_buffered() const { return false; }
+
+  /// Does the receiver ACK solicited out-of-order arrivals to keep the
+  /// sender's window fresh (selective repeat)?
+  [[nodiscard]] virtual bool acks_out_of_order() const { return false; }
+
+  /// SACK bitmap to attach to an outgoing ACK/NAK: bit i set means PSN
+  /// expected+1+i is buffered. nullopt = mode does not speak SACK.
+  [[nodiscard]] virtual std::optional<std::uint64_t> sack_bitmap(
+      std::uint64_t /*expected*/) const {
+    return std::nullopt;
+  }
+
+ protected:
+  explicit LossRecoveryEngine(RecoveryCounters* counters) : counters_(counters) {}
+  RecoveryCounters* counters_;  // owned by the NIC; shared across its QPs
+};
+
+}  // namespace rocelab

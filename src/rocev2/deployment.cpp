@@ -29,7 +29,7 @@ SwitchConfig make_switch_config(const QosPolicy& policy, SwitchTier tier,
     case SwitchTier::kLeaf: cfg.mmu.total_buffer = policy.leaf_buffer; break;
     case SwitchTier::kSpine: cfg.mmu.total_buffer = policy.spine_buffer; break;
   }
-  if (lossless_enabled_at(tier, stage)) {
+  if (policy.pfc_enabled && lossless_enabled_at(tier, stage)) {
     cfg.lossless[static_cast<std::size_t>(policy.bulk_class)] = true;
     cfg.lossless[static_cast<std::size_t>(policy.realtime_class)] = true;
   }
@@ -42,8 +42,10 @@ SwitchConfig make_switch_config(const QosPolicy& policy, SwitchTier tier,
 HostConfig make_host_config(const QosPolicy& policy) {
   HostConfig cfg;
   cfg.lossless.fill(false);
-  cfg.lossless[static_cast<std::size_t>(policy.bulk_class)] = true;
-  cfg.lossless[static_cast<std::size_t>(policy.realtime_class)] = true;
+  if (policy.pfc_enabled) {
+    cfg.lossless[static_cast<std::size_t>(policy.bulk_class)] = true;
+    cfg.lossless[static_cast<std::size_t>(policy.realtime_class)] = true;
+  }
   cfg.dcqcn = policy.dcqcn;
   cfg.watchdog.enabled = policy.nic_watchdog;
   // §4.4 mitigation: large pages by default.
@@ -56,6 +58,7 @@ QpConfig make_qp_config(const QosPolicy& policy, bool realtime) {
   cfg.priority = realtime ? policy.realtime_class : policy.bulk_class;
   cfg.dscp = static_cast<std::uint8_t>(cfg.priority);
   cfg.recovery = policy.recovery;
+  cfg.retx_timeout = policy.retx_timeout;
   cfg.dcqcn = policy.dcqcn.enabled;
   return cfg;
 }

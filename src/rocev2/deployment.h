@@ -22,6 +22,13 @@ struct QosPolicy {
   ClassifyMode classify_mode = ClassifyMode::kDscp;  // §3: DSCP-based PFC
   ArpIncompletePolicy arp_policy = ArpIncompletePolicy::kDropLossless;  // §4.2 fix
   LossRecovery recovery = LossRecovery::kGoBackN;                       // §4.1 fix
+  /// PFC on the lossless classes (the paper's deployment). Off = a lossy
+  /// fabric: no class is provisioned lossless on switches or NICs, the
+  /// transport (IRN-style selective repeat) must absorb the loss itself.
+  bool pfc_enabled = true;
+  /// Base retransmission timeout stamped into every generated QpConfig
+  /// (selective repeat adapts below it from its SRTT estimate).
+  Time retx_timeout = microseconds(500);
   bool switch_watchdog = true;  // §4.3 fix
   bool nic_watchdog = true;     // §4.3 fix
   double alpha = 1.0 / 16;      // §6.2: the value that works in production

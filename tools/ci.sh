@@ -33,7 +33,12 @@ echo "=== perf gate (plain build only) ==="
 # parallelism ratio would measure the scheduler, not the core.
 scale_gate=()
 if [ "$jobs" -ge 4 ]; then scale_gate=(--scale-min 2.5); fi
+# --selrep-noop additionally walks a dormant selective-repeat engine per
+# host through the recovery seam: the go-back-N digest must stay
+# byte-identical, proving the seam and the inert selrep code cost zero RNG
+# draws and zero events.
 "$repo/build/bench/perf_gate" --ms 10 --twice --gray-noop --corruption-noop \
+  --selrep-noop \
   --expect-digest 7e3131fbe2867385 \
   --scaling 1,2,4 --scaling-podsets 4 --scaling-ms 4 "${scale_gate[@]}" \
   --json "$repo/BENCH_simcore.json"
@@ -114,6 +119,25 @@ assert all(c["pass"] for c in doc["checks"]), doc["checks"]
 print("BENCH json OK:", sys.argv[1])
 PY
 
+# fig_irn_bakeoff: the lossy-fabric bake-off (recovery-engine seam). With
+# PFC off, IRN-style selective repeat must hold >= 0.8x of the PFC+go-back-N
+# clean baseline at the fig_livelock loss point while go-back-0 collapses,
+# the IRN arm must stay PFC-silent on every axis (pause storm included),
+# and the integer-counter journal must be byte-identical across reruns and
+# shards {1,2}, replaying to the golden hash.
+"$repo/build/bench/fig_irn_bakeoff" \
+  --expect_journal=c2ee574f823ca762 \
+  --json "$repo/BENCH_fig_irn_bakeoff.json"
+python3 - "$repo/BENCH_fig_irn_bakeoff.json" <<'PY'
+import json, sys
+doc = json.load(open(sys.argv[1]))
+assert doc["schema_version"] == 1, doc.get("schema_version")
+assert doc["bench"] == "fig_irn_bakeoff"
+assert doc["cases"], "no cases emitted"
+assert all(c["pass"] for c in doc["checks"]), doc["checks"]
+print("BENCH json OK:", sys.argv[1])
+PY
+
 echo "=== sanitizer build (ASan+UBSan) ==="
 run_suite "$repo/build-asan" -DROCELAB_SANITIZE=ON
 
@@ -125,6 +149,14 @@ echo "=== corruption plane soak (ASan build) ==="
 # build-flavour stable.
 "$repo/build-asan/bench/fig_corruption" \
   --expect_journal=0ec63f59a03a564c
+
+echo "=== lossy-fabric bake-off (ASan build) ==="
+# The bake-off again under ASan+UBSan: the selective-repeat data path (OOO
+# buffer ownership, SACK-bitmap walks, per-packet timer maps) is new code;
+# the journal is integer counters only, so the golden hash is build-flavour
+# stable.
+"$repo/build-asan/bench/fig_irn_bakeoff" \
+  --expect_journal=c2ee574f823ca762
 
 echo "=== gray-failure soak (ASan build) ==="
 # Seeded gray-fault schedule (lossy link, one-way + flow blackholes, per-QP
@@ -149,11 +181,13 @@ echo "=== thread sanitizer (PDES shard tests) ==="
 # SPSC channels, and the horizon publication are the only intentionally
 # concurrent code in the repo, so this is where a data race would live.
 # The Corruption suite rides along for the kDeliverCorrupt cross-shard
-# message kind (receiver-side counter bumps happen on the peer's shard).
+# message kind (receiver-side counter bumps happen on the peer's shard),
+# and the Recovery suites for the selective-repeat engine state touched
+# from sharded runs (the mini bake-off runs at shards 2 in-test).
 run_suite_tsan() {
   cmake -B "$repo/build-tsan" -S "$repo" -DROCELAB_SANITIZE=thread
   cmake --build "$repo/build-tsan" -j "$jobs" --target rocelab_tests
-  ctest --test-dir "$repo/build-tsan" --output-on-failure -R 'Pdes|Simulator|Corruption'
+  ctest --test-dir "$repo/build-tsan" --output-on-failure -R 'Pdes|Simulator|Corruption|Recovery'
 }
 run_suite_tsan
 
