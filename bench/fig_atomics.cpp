@@ -1,0 +1,471 @@
+// E22 — atomic verbs under fire (ISSUE 10 tentpole): a lock-table service
+// (CAS spinlocks, FAA counters, optimistic seqlock readers) on one server,
+// driven by thousands of clients across a 2-podset Clos, with the fault
+// axes the earlier figures established aimed at the server's rack uplinks —
+// the direction that kills atomic ACKs, so the requester's re-issue timer
+// fires and the responder's replay table must answer the duplicate from the
+// cached result instead of executing the verb again.
+//
+// Two transport arms (the bake-off's survivors):
+//   - paper: PFC-lossless + go-back-N — the production stack;
+//   - irn:   PFC OFF + kSelectiveRepeat — the lossy-fabric transport.
+// Atomics ride their own request-PSN/replay machinery, so BOTH arms must
+// deliver exactly-once execution on every axis; what differs is the fabric
+// underneath.
+//
+// Each client runs a FIXED number of cycles (closed-count, not closed-time),
+// so on every axis that drains, the totals are exact functions of the
+// client roster — and the exactly-once identities must land on them:
+//   counter word      == counter clients x cycles == completed increments
+//   acquisitions      == releases == locker clients x cycles
+//   cas_executed      == acquisitions + releases + contended failures
+//   faa_executed      == increments + 4*releases + 4*optimistic reads
+//   every lock free, every seqlock version even, data_a == data_b
+// and on the lossy axes the replay table must actually have been hit
+// (dup_requests > 0): exactly-once because of the guard, not luck.
+//
+// Two journals gate determinism. The CONTRACT journal holds only the
+// roster-determined totals above — invariant by construction, so it must be
+// byte-identical across reruns AND shard counts {1,2}; --expect_journal
+// pins its hash in CI (any lost increment, double execution, or failed
+// drain changes it). The FULL journal adds the microstate counters
+// (contended failures, duplicates, re-issues, torn reads, pauses) whose
+// same-timestamp event ties make them rerun-stable only at a fixed shard
+// count — it is compared across reruns, not across shard counts, and the
+// storm axis (whose wedge microstate is inherently tie-dependent) appears
+// only here.
+//
+// Lock-acquisition latency (p50/p99/p999) is reported per case: the lossy
+// axes push the p999 out by the atomic re-issue timeout — the visible cost
+// of a lost ACK under an exactly-once transport.
+#include <cstdio>
+#include <map>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "src/app/demux.h"
+#include "src/app/lock_table.h"
+#include "src/exp/scenario.h"
+#include "src/exp/transport.h"
+#include "src/faults/chaos.h"
+#include "src/link/impairment.h"
+#include "src/monitor/metric_registry.h"
+#include "src/nic/rdma_nic.h"
+#include "src/rocev2/deployment.h"
+#include "src/switch/sw.h"
+
+using namespace rocelab;
+
+namespace {
+
+enum class Arm { kPaper, kIrn };
+enum class Axis { kClean, kLoss04, kGray, kCorrupt, kStorm };
+
+const char* arm_name(Arm a) {
+  switch (a) {
+    case Arm::kPaper: return "paper";
+    case Arm::kIrn: return "irn";
+  }
+  return "?";
+}
+
+const char* axis_name(Axis a) {
+  switch (a) {
+    case Axis::kClean: return "clean";
+    case Axis::kLoss04: return "loss04";
+    case Axis::kGray: return "gray";
+    case Axis::kCorrupt: return "corrupt";
+    case Axis::kStorm: return "storm";
+  }
+  return "?";
+}
+
+struct Result {
+  // Client-side workload totals.
+  std::int64_t acquisitions = 0;
+  std::int64_t releases = 0;
+  std::int64_t cas_failures = 0;
+  std::int64_t increments = 0;  // completed FAA(+1)s on the shared counter
+  std::int64_t reads = 0;
+  std::int64_t torn = 0;
+  std::int64_t busy = 0;  // clients still mid-verb at the deadline
+  // Server-side execution + replay-guard counters.
+  std::uint64_t counter_word = 0;
+  std::int64_t cas_executed = 0;
+  std::int64_t cas_failed = 0;
+  std::int64_t faa_executed = 0;
+  std::int64_t dup_requests = 0;
+  std::int64_t reissues = 0;
+  std::int64_t replay_evictions = 0;
+  std::int64_t locks_held = 0;   // non-zero lock words at the deadline
+  std::int64_t seq_broken = 0;   // odd version or data_a != data_b slots
+  std::int64_t pause_frames = 0;
+  std::uint64_t chaos_hash = 0;
+  // Lock-acquisition latency, microseconds (reported, not journalled).
+  double p50 = 0, p99 = 0, p999 = 0;
+};
+
+std::uint64_t fnv1a(const std::string& text) {
+  std::uint64_t h = 1469598103934665603ULL;
+  for (const char c : text) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+Result run_case(const exp::Context& ctx, Arm arm, Axis axis, double loss04, double gray,
+                double corrupt, int locks, int clients_per_host, std::int64_t cycles,
+                Time duration, int shards) {
+  // The bake-off's 2-podset Clos, so the lossless-vs-lossy columns line up.
+  QosPolicy policy;
+  policy.max_cable_m = 20.0;
+  // A tight RTO keeps the atomic re-issue timer (8x RTO) well inside the
+  // drain tail, so a lost-ACK op retries, dedupes, and completes in time.
+  policy.retx_timeout = microseconds(100);
+  if (axis == Axis::kStorm) {
+    policy.nic_watchdog = false;  // the storm predates the §4.3 watchdogs
+    policy.switch_watchdog = false;
+  }
+  exp::apply_transport_knobs(ctx, policy);
+  switch (arm) {
+    case Arm::kPaper:
+      policy.pfc_enabled = true;
+      policy.recovery = LossRecovery::kGoBackN;
+      break;
+    case Arm::kIrn:
+      policy.pfc_enabled = false;
+      policy.recovery = LossRecovery::kSelectiveRepeat;
+      break;
+  }
+  ClosParams params = make_clos_params(policy, DeploymentStage::kFull, /*podsets=*/2,
+                                       /*leaves=*/2, /*tors=*/2, /*servers=*/2, /*spines=*/4);
+  params.shards = shards;
+  ClosFabric clos(params);
+  Simulator& sim = clos.sim();
+
+  Host& server = clos.server(0, 0, 0);
+  std::vector<std::unique_ptr<RdmaDemux>> demuxes;
+  for (const auto& h : clos.fabric().hosts()) demuxes.push_back(std::make_unique<RdmaDemux>(*h));
+  auto demux_of = [&](Host& h) -> RdmaDemux& {
+    for (std::size_t i = 0; i < clos.fabric().hosts().size(); ++i) {
+      if (clos.fabric().hosts()[i].get() == &h) return *demuxes[i];
+    }
+    throw std::logic_error("unknown host");
+  };
+
+  // Think time sized so the offered request rate (clients x ~3.7 requests
+  // per cycle / think) stays under the server NIC's rx pipeline capacity —
+  // past it, queueing inflates every RTT and the lock table saturates.
+  LockTableWorkload::Options wl;
+  wl.locks = locks;
+  wl.think_mean = microseconds(800);
+  wl.backoff_mean = microseconds(20);
+  wl.seed = 2016;
+  wl.cycles = cycles;
+  LockTableWorkload table(wl);
+
+  // Every host but the server carries clients, in fixed (podset, tor, i)
+  // order so the global client index — and with it each client's Rng seed
+  // and role — is shard-invariant. Roles round-robin locker/counter/reader.
+  QpConfig qp = make_qp_config(policy);
+  qp.retry_limit = 0;  // retry forever: the fabric, not the transport, is on trial
+  int idx = 0;
+  for (int ps = 0; ps < 2; ++ps) {
+    for (int t = 0; t < 2; ++t) {
+      for (int i = 0; i < 2; ++i) {
+        Host& h = clos.server(ps, t, i);
+        if (&h == &server) continue;
+        for (int c = 0; c < clients_per_host; ++c) {
+          auto [qc, qs] = connect_qp_pair(h, server, qp);
+          (void)qs;
+          const auto role = static_cast<LockTableWorkload::Role>(idx % 3);
+          table.add_client(h, demux_of(h), qc, role);
+          ++idx;
+        }
+      }
+    }
+  }
+  table.start();
+
+  // The fault, 1ms in: both of the server rack's ToR uplink egresses — the
+  // hops every atomic ACK to a remote client crosses. Requests arrive via
+  // the downlinks untouched, so a lost-ACK op has already executed at the
+  // server: only the replay guard keeps the re-issue from executing twice.
+  ChaosEngine chaos(clos.fabric(), /*seed=*/2016);
+  LinkImpairment imp;
+  imp.seed = 31;
+  Switch& rack_tor = clos.tor(0, 0);
+  const int first_uplink = params.servers_per_tor;
+  switch (axis) {
+    case Axis::kClean: break;
+    case Axis::kLoss04:
+    case Axis::kGray: {
+      imp.fcs_drop_rate = axis == Axis::kLoss04 ? loss04 : gray;
+      for (int u = 0; u < params.leaves_per_podset; ++u) {
+        chaos.impair_link(rack_tor, first_uplink + u, imp, milliseconds(1));
+      }
+      break;
+    }
+    case Axis::kCorrupt: {
+      imp.corrupt_deliver_rate = corrupt;
+      imp.escape_fcs_frac = 1.0;  // FCS-blind: only the end-to-end ICRC sees it
+      for (int u = 0; u < params.leaves_per_podset; ++u) {
+        chaos.impair_link(rack_tor, first_uplink + u, imp, milliseconds(1));
+      }
+      break;
+    }
+    case Axis::kStorm: {
+      Host& stormer = clos.server(1, 0, 0);  // a remote client host
+      clos.fabric().control_sim().schedule_in(milliseconds(1),
+                                              [&stormer] { stormer.set_storm_mode(true); });
+      break;
+    }
+  }
+
+  sim.run_until(duration);
+
+  Result r;
+  r.acquisitions = table.acquisitions();
+  r.releases = table.releases();
+  r.cas_failures = table.cas_failures();
+  r.increments = table.counter_increments();
+  r.reads = table.reads();
+  r.torn = table.torn_reads();
+  r.busy = table.busy_clients();
+  r.counter_word = server.rdma().memory_read(LockTableLayout::kCounterAddr);
+  r.cas_executed = sim.metrics().sum("*/rdma/atomic/cas_executed");
+  r.cas_failed = sim.metrics().sum("*/rdma/atomic/cas_failed");
+  r.faa_executed = sim.metrics().sum("*/rdma/atomic/faa_executed");
+  r.dup_requests = sim.metrics().sum("*/rdma/atomic/dup_requests");
+  r.reissues = sim.metrics().sum("*/rdma/atomic/reissues");
+  r.replay_evictions = sim.metrics().sum("*/rdma/atomic/replay_evictions");
+  for (int l = 0; l < locks; ++l) {
+    if (server.rdma().memory_read(LockTableLayout::lock_addr(l)) != 0) ++r.locks_held;
+    const std::uint64_t ver = server.rdma().memory_read(LockTableLayout::version_addr(l));
+    const std::uint64_t a = server.rdma().memory_read(LockTableLayout::data_a_addr(l));
+    const std::uint64_t b = server.rdma().memory_read(LockTableLayout::data_b_addr(l));
+    if ((ver & 1) != 0 || a != b) ++r.seq_broken;
+  }
+  r.pause_frames = sim.metrics().sum("*/port*/prio*/tx_pause");
+  r.chaos_hash = chaos.journal_hash();
+  const PercentileSampler lat = table.lock_latencies_us();
+  if (!lat.empty()) {
+    r.p50 = lat.percentile(50);
+    r.p99 = lat.percentile(99);
+    r.p999 = lat.percentile(99.9);
+  }
+  return r;
+}
+
+struct Matrix {
+  std::map<std::pair<Arm, Axis>, Result> cases;
+  /// Roster-determined totals only: invariant across shard counts by
+  /// construction (closed-count workload + exactly-once execution). The
+  /// storm axis contributes only its chaos line — its wedge microstate is
+  /// tie-dependent and has no roster-determined totals.
+  std::string contract;
+  /// Everything, including tie-sensitive microstate: rerun-stable at a
+  /// fixed shard count (the PDES determinism contract), compared only there.
+  std::string full;
+};
+
+constexpr Axis kAxes[] = {Axis::kClean, Axis::kLoss04, Axis::kGray, Axis::kCorrupt,
+                          Axis::kStorm};
+
+Matrix run_matrix(const exp::Context& ctx, double loss04, double gray, double corrupt,
+                  int locks, int clients_per_host, std::int64_t cycles, Time duration,
+                  int shards) {
+  Matrix m;
+  for (const Arm arm : {Arm::kPaper, Arm::kIrn}) {
+    for (const Axis axis : kAxes) {
+      const Result r = run_case(ctx, arm, axis, loss04, gray, corrupt, locks,
+                                clients_per_host, cycles, duration, shards);
+      m.cases[{arm, axis}] = r;
+      char line[384];
+      if (axis == Axis::kStorm) {
+        std::snprintf(line, sizeof line, "%s/%s chaos=%016llx\n", arm_name(arm),
+                      axis_name(axis), static_cast<unsigned long long>(r.chaos_hash));
+      } else {
+        std::snprintf(line, sizeof line,
+                      "%s/%s acq=%lld rel=%lld inc=%lld word=%llu reads=%lld busy=%lld "
+                      "held=%lld broken=%lld chaos=%016llx\n",
+                      arm_name(arm), axis_name(axis), static_cast<long long>(r.acquisitions),
+                      static_cast<long long>(r.releases), static_cast<long long>(r.increments),
+                      static_cast<unsigned long long>(r.counter_word),
+                      static_cast<long long>(r.reads), static_cast<long long>(r.busy),
+                      static_cast<long long>(r.locks_held),
+                      static_cast<long long>(r.seq_broken),
+                      static_cast<unsigned long long>(r.chaos_hash));
+      }
+      m.contract += line;
+      std::snprintf(line, sizeof line,
+                    "%s/%s acq=%lld rel=%lld casf=%lld inc=%lld word=%llu reads=%lld "
+                    "torn=%lld busy=%lld casx=%lld casfx=%lld faax=%lld dup=%lld "
+                    "reiss=%lld evict=%lld held=%lld broken=%lld pauses=%lld "
+                    "chaos=%016llx\n",
+                    arm_name(arm), axis_name(axis), static_cast<long long>(r.acquisitions),
+                    static_cast<long long>(r.releases), static_cast<long long>(r.cas_failures),
+                    static_cast<long long>(r.increments),
+                    static_cast<unsigned long long>(r.counter_word),
+                    static_cast<long long>(r.reads), static_cast<long long>(r.torn),
+                    static_cast<long long>(r.busy), static_cast<long long>(r.cas_executed),
+                    static_cast<long long>(r.cas_failed),
+                    static_cast<long long>(r.faa_executed),
+                    static_cast<long long>(r.dup_requests), static_cast<long long>(r.reissues),
+                    static_cast<long long>(r.replay_evictions),
+                    static_cast<long long>(r.locks_held), static_cast<long long>(r.seq_broken),
+                    static_cast<long long>(r.pause_frames),
+                    static_cast<unsigned long long>(r.chaos_hash));
+      m.full += line;
+    }
+  }
+  return m;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  exp::Scenario sc;
+  sc.name = "fig_atomics";
+  sc.title = "E22 — atomic verbs under fire: lock table, FAA counters, replay-guard dedup";
+  sc.paper = "§2/§4.1: one-sided verbs must be exactly-once even when the fabric drops the\n"
+             "ACK after the responder executed — the IB replay guard, stressed here by a\n"
+             "CAS/FAA lock-table service under the established fault axes on both the\n"
+             "PFC+go-back-N production stack and the PFC-free selective-repeat stack.";
+  sc.knobs = {
+      exp::knob_int("duration_ms", 20, "ROCELAB_ATOMICS_MS", "simulated time per case"),
+      exp::knob_int("cycles", 12, "", "cycles per client (closed-count workload)"),
+      exp::knob_int("locks", 256, "", "spinlock slots in the table"),
+      exp::knob_int("clients_per_host", 300, "", "clients per non-server host (7 hosts)"),
+      exp::knob_double("loss_rate", 0.004, "", "the fig_livelock loss point"),
+      exp::knob_double("gray_rate", 0.001, "", "fig_dcqcn_impair's gray loss rate"),
+      exp::knob_double("corrupt_rate", 0.005, "", "fig_corruption's silent-corruption rate"),
+      exp::knob_string("expect_journal", "", "", "golden contract-journal hash (hex, CI gate)"),
+  };
+  sc.body = [](exp::Context& ctx) {
+    const Time duration = milliseconds(ctx.knob_int("duration_ms"));
+    const std::int64_t cycles = ctx.knob_int("cycles");
+    const int locks = static_cast<int>(ctx.knob_int("locks"));
+    const int cph = static_cast<int>(ctx.knob_int("clients_per_host"));
+    const double loss04 = ctx.knob_double("loss_rate");
+    const double gray = ctx.knob_double("gray_rate");
+    const double corrupt = ctx.knob_double("corrupt_rate");
+
+    // Roles round-robin locker/counter/reader over the global client index.
+    const std::int64_t n_clients = 7 * cph;
+    const std::int64_t n_lockers = (n_clients + 2) / 3;
+    const std::int64_t n_counters = (n_clients + 1) / 3;
+    const std::int64_t n_readers = n_clients / 3;
+
+    ctx.note("topology: 2 podsets x (2 leaves x 2 ToRs x 2 servers) + 4 spines; one lock");
+    ctx.note("server, " + std::to_string(n_clients) + " clients x " + std::to_string(cycles) +
+             " cycles; faults on the server rack's ToR uplinks (the ACK path)");
+
+    const Matrix m =
+        run_matrix(ctx, loss04, gray, corrupt, locks, cph, cycles, duration, ctx.shards());
+
+    ctx.table({"arm", "axis", "acq", "inc", "reads", "torn", "dup", "p99 us", "p999 us"},
+              {8, 9, 7, 7, 7, 6, 6, 9, 9});
+    for (const auto& [key, r] : m.cases) {
+      const std::string name = std::string(arm_name(key.first)) + "/" + axis_name(key.second);
+      ctx.row({arm_name(key.first), axis_name(key.second), std::to_string(r.acquisitions),
+               std::to_string(r.increments), std::to_string(r.reads), std::to_string(r.torn),
+               std::to_string(r.dup_requests), exp::fmt("%.1f", r.p99),
+               exp::fmt("%.1f", r.p999)});
+      ctx.metric(name, "acquisitions", static_cast<double>(r.acquisitions));
+      ctx.metric(name, "counter_increments", static_cast<double>(r.increments));
+      ctx.metric(name, "counter_word", static_cast<double>(r.counter_word));
+      ctx.metric(name, "reads", static_cast<double>(r.reads));
+      ctx.metric(name, "torn_reads", static_cast<double>(r.torn));
+      ctx.metric(name, "dup_requests", static_cast<double>(r.dup_requests));
+      ctx.metric(name, "reissues", static_cast<double>(r.reissues));
+      ctx.metric(name, "lock_latency_p50_us", r.p50);
+      ctx.metric(name, "lock_latency_p99_us", r.p99);
+      ctx.metric(name, "lock_latency_p999_us", r.p999);
+    }
+
+    // Exactly-once execution: on every drained (non-storm) case, the totals
+    // must land exactly on the roster, and the server's execution counts
+    // must equal the clients' completion counts — a single lost increment
+    // or double execution breaks an identity.
+    bool drained = true, roster_exact = true, counter_exact = true;
+    bool cas_exact = true, faa_exact = true, locks_clean = true;
+    for (const Arm arm : {Arm::kPaper, Arm::kIrn}) {
+      for (const Axis axis : {Axis::kClean, Axis::kLoss04, Axis::kGray, Axis::kCorrupt}) {
+        const Result& r = m.cases.at({arm, axis});
+        drained = drained && r.busy == 0;
+        roster_exact = roster_exact && r.acquisitions == n_lockers * cycles &&
+                       r.releases == n_lockers * cycles &&
+                       r.increments == n_counters * cycles && r.reads == n_readers * cycles;
+        counter_exact =
+            counter_exact && r.counter_word == static_cast<std::uint64_t>(r.increments);
+        cas_exact = cas_exact &&
+                    r.cas_executed == r.acquisitions + r.releases + r.cas_failures &&
+                    r.cas_failed == r.cas_failures;
+        faa_exact = faa_exact &&
+                    r.faa_executed == r.increments + 4 * r.releases + 4 * r.reads;
+        locks_clean = locks_clean && r.locks_held == 0 && r.seq_broken == 0;
+      }
+    }
+    ctx.check("workload drains on every non-storm case", drained);
+    ctx.check("every client finished its cycles (totals == roster x cycles)", roster_exact);
+    ctx.check("counter word == completed increments (no lost, no duplicated FAA)",
+              counter_exact);
+    ctx.check("CAS executions == client CAS completions (exactly-once)", cas_exact);
+    ctx.check("FAA executions == client FAA completions (exactly-once)", faa_exact);
+    ctx.check("all locks free, all seqlocks whole at the end", locks_clean);
+
+    // The guard must actually be earning the identities on the lossy axes:
+    // re-issues happened and the responder answered duplicates from cache.
+    bool guard_hit = true;
+    for (const Arm arm : {Arm::kPaper, Arm::kIrn}) {
+      for (const Axis axis : {Axis::kLoss04, Axis::kGray, Axis::kCorrupt}) {
+        const Result& r = m.cases.at({arm, axis});
+        guard_hit = guard_hit && r.reissues > 0 && r.dup_requests > 0;
+      }
+    }
+    ctx.check("replay guard exercised on every lossy axis (both arms)", guard_hit);
+
+    // Storm: no increment may be lost even while the stormed rack wedges —
+    // the word may only run ahead of completions (ACKs stuck), never behind.
+    bool storm_ok = true;
+    for (const Arm arm : {Arm::kPaper, Arm::kIrn}) {
+      const Result& r = m.cases.at({arm, Axis::kStorm});
+      storm_ok = storm_ok && r.counter_word >= static_cast<std::uint64_t>(r.increments);
+    }
+    ctx.check("storm loses no increments (word >= completions)", storm_ok);
+
+    std::int64_t irn_pauses = 0;
+    for (const Axis axis : kAxes) irn_pauses += m.cases.at({Arm::kIrn, axis}).pause_frames;
+    ctx.check("IRN arm is PFC-silent on every axis", irn_pauses == 0);
+    ctx.check("stormed NIC pauses the PFC arm (the arms differ where they should)",
+              m.cases.at({Arm::kPaper, Axis::kStorm}).pause_frames > 0);
+    const Result& clean = m.cases.at({Arm::kPaper, Axis::kClean});
+    ctx.check("workload ran (acquisitions, increments, optimistic reads all > 0)",
+              clean.acquisitions > 0 && clean.increments > 0 && clean.reads > 0);
+
+    // Determinism, two tiers: the full journal (tie-sensitive microstate)
+    // must be byte-identical on a rerun at this shard count; the contract
+    // journal (roster-determined totals) must ALSO be byte-identical at
+    // shards=2, and carries the pinned golden hash.
+    const std::uint64_t hash = fnv1a(m.contract);
+    const Matrix rerun =
+        run_matrix(ctx, loss04, gray, corrupt, locks, cph, cycles, duration, ctx.shards());
+    ctx.check("full journal is byte-identical across reruns", rerun.full == m.full);
+    const Matrix sharded = run_matrix(ctx, loss04, gray, corrupt, locks, cph, cycles,
+                                      duration, /*shards=*/2);
+    ctx.check("contract journal is byte-identical at shards=2", sharded.contract == m.contract);
+    char hash_buf[24];
+    std::snprintf(hash_buf, sizeof hash_buf, "%016llx", static_cast<unsigned long long>(hash));
+    ctx.note("contract journal hash: " + std::string(hash_buf));
+    ctx.metric("journal", "hash_lo32", static_cast<double>(hash & 0xffffffffu));
+    const std::string& expect = ctx.knob_string("expect_journal");
+    if (!expect.empty()) {
+      ctx.check("contract journal matches pinned golden hash", expect == hash_buf);
+    }
+  };
+  return exp::run_scenario(sc, argc, argv);
+}

@@ -26,6 +26,11 @@
 // repeat engine is constructed and driven per host — the refactored seam
 // and the dormant selrep machinery must cost zero RNG draws and zero
 // events on the go-back-N path.
+//
+// --atomics-noop is the same contract for the atomic-verbs plane: every
+// host's responder memory table is written and read, and a disabled
+// dup-request fault spec is installed on live QPs — with no atomic ever
+// posted, none of it may cost an RNG draw or an event.
 #include <sys/resource.h>
 
 #include <chrono>
@@ -77,7 +82,8 @@ double cpu_seconds() {
 /// podsets pair up (m <-> m + podsets/2) so every stream stays cross-podset
 /// at any size, and `shards` turns on the pod-partitioned PDES core.
 GateResult run_workload(Time window, int shards = 1, int podsets = 2, bool gray_noop = false,
-                        bool corruption_noop = false, bool selrep_noop = false) {
+                        bool corruption_noop = false, bool selrep_noop = false,
+                        bool atomics_noop = false) {
   QosPolicy policy;
   const int tors = 3, servers = 4;
   const int half = podsets / 2;
@@ -143,6 +149,22 @@ GateResult run_workload(Time window, int shards = 1, int podsets = 2, bool gray_
       (void)engine->window_open(1, 1);
       (void)engine->sack_bitmap(1);
       (void)h;
+    }
+  }
+
+  if (atomics_noop) {
+    // The atomic-verbs plane, present but dormant: the responder memory
+    // table is touched on every host and a dup-request fault spec sits
+    // disabled on the live QPs. No atomic is posted, so none of it may cost
+    // an RNG draw or an event — the digest comparison proves it.
+    QpFaultSpec spec;
+    spec.enabled = false;
+    spec.dup_req_rate = 0.5;
+    for (const auto& h : clos.fabric().hosts()) {
+      h->rdma().memory_write(0x100, 42);
+      if (h->rdma().memory_read(0x100) != 42) std::abort();
+      h->rdma().memory_write(0x100, 0);
+      for (std::uint32_t qpn = 1; qpn <= 4; ++qpn) h->rdma().set_qp_fault(qpn, spec);
     }
   }
 
@@ -262,6 +284,7 @@ int main(int argc, char** argv) {
   bool gray_noop = false;
   bool corruption_noop = false;
   bool selrep_noop = false;
+  bool atomics_noop = false;
   int shards = 1;
   int podsets = 2;
   std::vector<int> scaling;  // e.g. --scaling 1,2,4: PDES scaling sweep
@@ -283,6 +306,8 @@ int main(int argc, char** argv) {
       corruption_noop = true;
     } else if (std::strcmp(argv[i], "--selrep-noop") == 0) {
       selrep_noop = true;
+    } else if (std::strcmp(argv[i], "--atomics-noop") == 0) {
+      atomics_noop = true;
     } else if (std::strcmp(argv[i], "--shards") == 0 && i + 1 < argc) {
       shards = std::atoi(argv[++i]);
     } else if (std::strcmp(argv[i], "--podsets") == 0 && i + 1 < argc) {
@@ -302,7 +327,8 @@ int main(int argc, char** argv) {
     } else {
       std::fprintf(stderr,
                    "usage: perf_gate [--ms N] [--json PATH] [--twice] [--expect-digest HEX] "
-                   "[--gray-noop] [--corruption-noop] [--selrep-noop] [--shards N] [--podsets N] "
+                   "[--gray-noop] [--corruption-noop] [--selrep-noop] [--atomics-noop] "
+                   "[--shards N] [--podsets N] "
                    "[--scaling 1,2,4] [--scale-min R] [--scaling-podsets N] [--scaling-ms N]\n");
       return 2;
     }
@@ -363,6 +389,15 @@ int main(int argc, char** argv) {
                                        /*corruption_noop=*/false, /*selrep_noop=*/true);
     const bool same = rs.digest == r.digest && rs.events == r.events;
     std::printf("selrep-noop digest: %s (%s)\n", digest_hex(rs.digest).c_str(),
+                same ? "MATCH" : "MISMATCH");
+    ok = ok && same;
+  }
+  if (atomics_noop) {
+    const GateResult ra = run_workload(milliseconds(ms), shards, podsets, /*gray_noop=*/false,
+                                       /*corruption_noop=*/false, /*selrep_noop=*/false,
+                                       /*atomics_noop=*/true);
+    const bool same = ra.digest == r.digest && ra.events == r.events;
+    std::printf("atomics-noop digest: %s (%s)\n", digest_hex(ra.digest).c_str(),
                 same ? "MATCH" : "MISMATCH");
     ok = ok && same;
   }

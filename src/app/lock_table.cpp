@@ -1,0 +1,205 @@
+#include "src/app/lock_table.h"
+
+namespace rocelab {
+
+void LockTableWorkload::add_client(Host& host, RdmaDemux& demux, std::uint32_t qpn,
+                                   Role role) {
+  auto c = std::make_unique<Client>();
+  c->host = &host;
+  c->qpn = qpn;
+  c->role = role;
+  const auto index = static_cast<std::uint64_t>(clients_.size());
+  // Seed from the global client index, not the host's Rng: a client's
+  // behaviour must not depend on how hosts are partitioned into shards.
+  c->rng = Rng(opts_.seed * 0x9e3779b97f4a7c15ull + index + 1);
+  c->lock = opts_.locks > 0 ? static_cast<int>(index % static_cast<std::uint64_t>(opts_.locks))
+                            : 0;
+  Client* raw = c.get();
+  demux.on_completion(qpn, [this, raw](const RdmaCompletion& done) {
+    on_completion(*raw, done);
+  });
+  clients_.push_back(std::move(c));
+}
+
+void LockTableWorkload::start() {
+  for (auto& c : clients_) schedule_think(*c);
+}
+
+bool LockTableWorkload::past_stop(const Client& c) const {
+  if (opts_.stop_at > 0 && c.host->sim().now() >= opts_.stop_at) return true;
+  return opts_.cycles > 0 && c.cycles_done >= opts_.cycles;
+}
+
+void LockTableWorkload::schedule_think(Client& c) {
+  if (past_stop(c)) {
+    c.state = State::kStopped;
+    return;
+  }
+  c.state = State::kThinking;
+  // Uniform in [0.5, 1.5] x mean, NOT exponential: the bounded draw bounds a
+  // cycle-limited client's finish time, which the benches' drain checks
+  // (and their cross-shard journal pins) depend on.
+  const Time gap =
+      static_cast<Time>(c.rng.uniform(0.5, 1.5) * static_cast<double>(opts_.think_mean)) + 1;
+  c.host->sim().schedule_in(gap, [this, &c] { begin_cycle(c); });
+}
+
+void LockTableWorkload::begin_cycle(Client& c) {
+  if (past_stop(c)) {
+    c.state = State::kStopped;
+    return;
+  }
+  auto& nic = c.host->rdma();
+  switch (c.role) {
+    case Role::kLocker:
+      c.state = State::kAcquiring;
+      c.attempt_start = c.host->sim().now();
+      nic.post_cas(c.qpn, LockTableLayout::lock_addr(c.lock), /*compare=*/0, /*swap=*/1);
+      break;
+    case Role::kCounter:
+      c.state = State::kCounting;
+      nic.post_faa(c.qpn, LockTableLayout::kCounterAddr, 1);
+      break;
+    case Role::kReader:
+      c.state = State::kReadVer1;
+      nic.post_faa(c.qpn, LockTableLayout::version_addr(c.lock), 0);
+      break;
+  }
+}
+
+void LockTableWorkload::on_completion(Client& c, const RdmaCompletion& done) {
+  auto& nic = c.host->rdma();
+  switch (c.state) {
+    case State::kAcquiring:
+      if (done.atomic_orig == 0) {
+        // Won the CAS: latency runs from the first attempt of this cycle.
+        ++c.acquisitions;
+        c.lock_latencies_us.add(
+            to_microseconds(c.host->sim().now() - c.attempt_start));
+        c.state = State::kWriteVer1;
+        nic.post_faa(c.qpn, LockTableLayout::version_addr(c.lock), 1);
+      } else {
+        // Lost: back off, then retry the same CAS. The critical section the
+        // winner is running is short, so the retry usually lands free.
+        ++c.cas_failures;
+        const Time backoff =
+            static_cast<Time>(c.rng.exponential(static_cast<double>(opts_.backoff_mean))) + 1;
+        c.host->sim().schedule_in(backoff, [this, &c] {
+          if (c.state != State::kAcquiring) return;
+          c.host->rdma().post_cas(c.qpn, LockTableLayout::lock_addr(c.lock), 0, 1);
+        });
+      }
+      break;
+    case State::kWriteVer1:
+      c.state = State::kWriteA;
+      nic.post_faa(c.qpn, LockTableLayout::data_a_addr(c.lock), 1);
+      break;
+    case State::kWriteA:
+      c.state = State::kWriteB;
+      nic.post_faa(c.qpn, LockTableLayout::data_b_addr(c.lock), 1);
+      break;
+    case State::kWriteB:
+      c.state = State::kWriteVer2;
+      nic.post_faa(c.qpn, LockTableLayout::version_addr(c.lock), 1);
+      break;
+    case State::kWriteVer2:
+      // Even past stop_at, the holder must release so a drained run leaves
+      // every lock free.
+      c.state = State::kReleasing;
+      nic.post_cas(c.qpn, LockTableLayout::lock_addr(c.lock), /*compare=*/1, /*swap=*/0);
+      break;
+    case State::kReleasing:
+      ++c.releases;
+      ++c.cycles_done;
+      schedule_think(c);
+      break;
+    case State::kReadVer1:
+      c.v1 = done.atomic_orig;
+      c.state = State::kReadA;
+      nic.post_faa(c.qpn, LockTableLayout::data_a_addr(c.lock), 0);
+      break;
+    case State::kReadA:
+      c.a = done.atomic_orig;
+      c.state = State::kReadB;
+      nic.post_faa(c.qpn, LockTableLayout::data_b_addr(c.lock), 0);
+      break;
+    case State::kReadB:
+      c.b = done.atomic_orig;
+      c.state = State::kReadVer2;
+      nic.post_faa(c.qpn, LockTableLayout::version_addr(c.lock), 0);
+      break;
+    case State::kReadVer2: {
+      c.v2 = done.atomic_orig;
+      ++c.reads;
+      const bool torn = c.v1 != c.v2 || (c.v1 & 1) != 0 || c.a != c.b;
+      if (torn) ++c.torn_reads;
+      ++c.cycles_done;
+      schedule_think(c);
+      break;
+    }
+    case State::kCounting:
+      ++c.counter_increments;
+      ++c.cycles_done;
+      schedule_think(c);
+      break;
+    case State::kThinking:
+    case State::kStopped:
+      // Completion for a verb this workload didn't post (or a stray late
+      // completion after stop); ignore.
+      break;
+  }
+}
+
+std::int64_t LockTableWorkload::acquisitions() const {
+  std::int64_t n = 0;
+  for (const auto& c : clients_) n += c->acquisitions;
+  return n;
+}
+
+std::int64_t LockTableWorkload::releases() const {
+  std::int64_t n = 0;
+  for (const auto& c : clients_) n += c->releases;
+  return n;
+}
+
+std::int64_t LockTableWorkload::cas_failures() const {
+  std::int64_t n = 0;
+  for (const auto& c : clients_) n += c->cas_failures;
+  return n;
+}
+
+std::int64_t LockTableWorkload::counter_increments() const {
+  std::int64_t n = 0;
+  for (const auto& c : clients_) n += c->counter_increments;
+  return n;
+}
+
+std::int64_t LockTableWorkload::reads() const {
+  std::int64_t n = 0;
+  for (const auto& c : clients_) n += c->reads;
+  return n;
+}
+
+std::int64_t LockTableWorkload::torn_reads() const {
+  std::int64_t n = 0;
+  for (const auto& c : clients_) n += c->torn_reads;
+  return n;
+}
+
+std::int64_t LockTableWorkload::consistent_reads() const { return reads() - torn_reads(); }
+
+std::int64_t LockTableWorkload::busy_clients() const {
+  std::int64_t n = 0;
+  for (const auto& c : clients_) {
+    if (c->state != State::kThinking && c->state != State::kStopped) ++n;
+  }
+  return n;
+}
+
+PercentileSampler LockTableWorkload::lock_latencies_us() const {
+  PercentileSampler all;
+  for (const auto& c : clients_) all.merge(c->lock_latencies_us);
+  return all;
+}
+
+}  // namespace rocelab

@@ -1,0 +1,152 @@
+// Lock-table workload plane: one-sided synchronization against a single
+// server's NIC memory using the atomic verbs (CAS/FAA). Models the
+// distributed lock/counter services the paper's intra-DC customers run on
+// RDMA: thousands of clients contending on a small table of spinlocks,
+// shared counters bumped with FETCH_ADD, and optimistic (seqlock-style)
+// readers that detect torn reads via version validation.
+//
+// Three client roles:
+//  - kLocker:  think -> CAS(lock 0->1) spin (randomized backoff on failure)
+//              -> seqlock critical section: FAA(ver,+1), FAA(a,+1),
+//              FAA(b,+1), FAA(ver,+1) -> CAS(lock 1->0) release -> think.
+//  - kCounter: FAA(counter,+1) in a paced closed loop. Exactly-once atomic
+//              execution means the server's counter word must equal the
+//              number of completed increments, even under loss.
+//  - kReader:  optimistic read via FAA(+0) of ver, a, b, ver; the read is
+//              torn when the versions differ, the first version is odd
+//              (writer mid-section), or a != b.
+//
+// Every client's state lives with its owning host and is mutated only from
+// that host's shard (completion callbacks and schedule_in closures), so the
+// workload is safe under the threaded shard runner; aggregate accessors
+// merge per-client totals and must only be called after the run drains.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "src/app/demux.h"
+#include "src/common/rng.h"
+#include "src/common/stats.h"
+
+namespace rocelab {
+
+/// Fixed remote-memory layout on the server. Each lock slot groups the
+/// spinlock word, the seqlock version, and two data words an in-sync writer
+/// keeps equal (a != b observed by a reader == torn read).
+struct LockTableLayout {
+  static constexpr std::uint64_t kCounterAddr = 0x100;
+  static constexpr std::uint64_t kLockBase = 0x1000;
+  static constexpr std::uint64_t kLockStride = 0x40;
+
+  [[nodiscard]] static constexpr std::uint64_t lock_addr(int i) {
+    return kLockBase + static_cast<std::uint64_t>(i) * kLockStride;
+  }
+  [[nodiscard]] static constexpr std::uint64_t version_addr(int i) { return lock_addr(i) + 8; }
+  [[nodiscard]] static constexpr std::uint64_t data_a_addr(int i) { return lock_addr(i) + 16; }
+  [[nodiscard]] static constexpr std::uint64_t data_b_addr(int i) { return lock_addr(i) + 24; }
+};
+
+class LockTableWorkload {
+ public:
+  enum class Role { kLocker, kCounter, kReader };
+
+  struct Options {
+    int locks = 16;                          // spinlock slots in the table
+    /// Idle gap between cycles, drawn uniform in [0.5, 1.5] x mean — a
+    /// bounded draw, so a cycle-limited client's finish time is bounded.
+    Time think_mean = microseconds(50);
+    Time backoff_mean = microseconds(20);    // randomized CAS-retry back-off
+    std::uint64_t seed = 1;                  // base for per-client Rng seeds
+    /// No new cycles start at/after this time; lockers mid-critical-section
+    /// still finish (release) so a drained run leaves every lock free.
+    /// 0 => run until the simulation stops.
+    Time stop_at = 0;
+    /// Each client stops after completing this many cycles (locker:
+    /// acquire/release rounds; counter: increments; reader: optimistic
+    /// reads). 0 => unbounded. A cycle-bounded run's totals are exact
+    /// functions of the client roster — invariant under event-tie
+    /// reordering, which is what lets a bench pin them across shard counts.
+    std::int64_t cycles = 0;
+  };
+
+  explicit LockTableWorkload(Options opts) : opts_(opts) {}
+
+  /// Register a client driving `qpn` on `host` (QP connected to the lock
+  /// server). Call before start(); the client index is global across all
+  /// hosts and seeds the client's private Rng, so client behaviour does not
+  /// depend on shard count.
+  void add_client(Host& host, RdmaDemux& demux, std::uint32_t qpn, Role role);
+
+  /// Kick every client's first think timer. Call before sim.run().
+  void start();
+
+  // --- post-run aggregate accessors (merge per-client totals) ---------------
+  [[nodiscard]] std::int64_t acquisitions() const;
+  [[nodiscard]] std::int64_t releases() const;
+  [[nodiscard]] std::int64_t cas_failures() const;   // contended CAS attempts
+  [[nodiscard]] std::int64_t counter_increments() const;  // completed FAA(+1)s
+  [[nodiscard]] std::int64_t reads() const;          // completed optimistic reads
+  [[nodiscard]] std::int64_t torn_reads() const;
+  [[nodiscard]] std::int64_t consistent_reads() const;
+  /// Lock-acquisition latency (first CAS post -> winning CAS completion),
+  /// microseconds, pooled across all locker clients.
+  [[nodiscard]] PercentileSampler lock_latencies_us() const;
+
+  [[nodiscard]] int clients() const { return static_cast<int>(clients_.size()); }
+  /// Clients with a verb outstanding (neither thinking nor stopped). A run
+  /// that drained fully past stop_at reports 0 — the precondition for the
+  /// exactly-once bookkeeping identities (server executions == client
+  /// completions).
+  [[nodiscard]] std::int64_t busy_clients() const;
+
+ private:
+  enum class State {
+    kThinking,
+    kAcquiring,   // CAS(lock 0->1) outstanding
+    kWriteVer1,   // FAA(ver,+1) outstanding (enter critical section)
+    kWriteA,
+    kWriteB,
+    kWriteVer2,   // FAA(ver,+1) outstanding (leave critical section)
+    kReleasing,   // CAS(lock 1->0) outstanding
+    kReadVer1,    // FAA(ver,+0) outstanding
+    kReadA,
+    kReadB,
+    kReadVer2,
+    kCounting,    // FAA(counter,+1) outstanding
+    kStopped,
+  };
+
+  struct Client {
+    Host* host = nullptr;
+    std::uint32_t qpn = 0;
+    Role role = Role::kLocker;
+    int lock = 0;  // slot this locker/reader works against
+    Rng rng{1};
+    State state = State::kThinking;
+    Time attempt_start = 0;  // first CAS of the current acquisition
+    std::uint64_t v1 = 0, v2 = 0, a = 0, b = 0;  // reader's observed words
+    // Per-client totals; merged by the aggregate accessors post-run.
+    std::int64_t cycles_done = 0;
+    std::int64_t acquisitions = 0;
+    std::int64_t releases = 0;
+    std::int64_t cas_failures = 0;
+    std::int64_t counter_increments = 0;
+    std::int64_t reads = 0;
+    std::int64_t torn_reads = 0;
+    PercentileSampler lock_latencies_us;
+  };
+
+  void on_completion(Client& c, const RdmaCompletion& done);
+  void begin_cycle(Client& c);
+  void schedule_think(Client& c);
+  [[nodiscard]] bool past_stop(const Client& c) const;
+
+  Options opts_;
+  // unique_ptr: Client addresses must be stable across add_client() since
+  // demux closures capture them.
+  std::vector<std::unique_ptr<Client>> clients_;
+};
+
+}  // namespace rocelab

@@ -48,6 +48,7 @@ Bytes frame_bytes_for_capture(const Packet& pkt, PfcMode mode) {
       return encode_pfc_frame(pkt.pfc.value_or(PfcFrame{}), pkt.eth.src);
     case PacketKind::kRoceData:
     case PacketKind::kRoceReadReq:
+    case PacketKind::kRoceAtomicReq:
     case PacketKind::kRoceAck:
     case PacketKind::kCnp:
       return encode_roce_frame(pkt, mode);

@@ -195,6 +195,38 @@ std::optional<RoceSackExt> decode_sack(std::span<const std::uint8_t> in) {
   return h;
 }
 
+void encode_atomic_eth(const RoceAtomicEth& h, Bytes& out) {
+  put_u32(out, static_cast<std::uint32_t>(h.addr >> 32));
+  put_u32(out, static_cast<std::uint32_t>(h.addr & 0xffffffffu));
+  put_u32(out, h.rkey);
+  put_u32(out, static_cast<std::uint32_t>(h.swap_add >> 32));
+  put_u32(out, static_cast<std::uint32_t>(h.swap_add & 0xffffffffu));
+  put_u32(out, static_cast<std::uint32_t>(h.compare >> 32));
+  put_u32(out, static_cast<std::uint32_t>(h.compare & 0xffffffffu));
+}
+
+std::optional<RoceAtomicEth> decode_atomic_eth(std::span<const std::uint8_t> in) {
+  if (in.size() < static_cast<std::size_t>(kAtomicEthBytes)) return std::nullopt;
+  RoceAtomicEth h;
+  h.addr = (static_cast<std::uint64_t>(get_u32(in, 0)) << 32) | get_u32(in, 4);
+  h.rkey = get_u32(in, 8);
+  h.swap_add = (static_cast<std::uint64_t>(get_u32(in, 12)) << 32) | get_u32(in, 16);
+  h.compare = (static_cast<std::uint64_t>(get_u32(in, 20)) << 32) | get_u32(in, 24);
+  return h;
+}
+
+void encode_atomic_ack_eth(const RoceAtomicAckEth& h, Bytes& out) {
+  put_u32(out, static_cast<std::uint32_t>(h.orig >> 32));
+  put_u32(out, static_cast<std::uint32_t>(h.orig & 0xffffffffu));
+}
+
+std::optional<RoceAtomicAckEth> decode_atomic_ack_eth(std::span<const std::uint8_t> in) {
+  if (in.size() < static_cast<std::size_t>(kAtomicAckEthBytes)) return std::nullopt;
+  RoceAtomicAckEth h;
+  h.orig = (static_cast<std::uint64_t>(get_u32(in, 0)) << 32) | get_u32(in, 4);
+  return h;
+}
+
 Bytes encode_pfc_frame(const PfcFrame& pfc, MacAddr src) {
   Bytes out;
   out.reserve(64);
@@ -253,13 +285,22 @@ Bytes encode_roce_frame(const Packet& pkt, PfcMode mode) {
   const std::size_t ip_start = out.size();
   const RoceBth bth = pkt.bth.value_or(RoceBth{});
   // kAcknowledge frames carry the AETH after the BTH, and in selective
-  // repeat the 8-byte SACK extension after that. Both sit inside the
-  // invariant region, so the end-to-end ICRC below covers them (§5.2).
-  const bool is_ack = bth.opcode == RoceOpcode::kAcknowledge;
+  // repeat the 8-byte SACK extension after that. kAtomicAck frames carry
+  // AETH + AtomicAckETH; CAS/FAA requests carry the 28-byte AtomicETH. All
+  // extensions sit inside the invariant region, so the end-to-end ICRC
+  // below covers them (§5.2).
+  const bool is_ack =
+      bth.opcode == RoceOpcode::kAcknowledge || bth.opcode == RoceOpcode::kAtomicAck;
   std::size_t ext = 0;
   if (is_ack) {
     ext += static_cast<std::size_t>(kAethBytes);
-    if (pkt.sack) ext += static_cast<std::size_t>(kSackBytes);
+    if (bth.opcode == RoceOpcode::kAtomicAck) {
+      ext += static_cast<std::size_t>(kAtomicAckEthBytes);
+    } else if (pkt.sack) {
+      ext += static_cast<std::size_t>(kSackBytes);
+    }
+  } else if (is_atomic_request(bth.opcode)) {
+    ext += static_cast<std::size_t>(kAtomicEthBytes);
   }
   const std::size_t l4 = static_cast<std::size_t>(kUdpHeaderBytes + kBthBytes) + ext +
                          static_cast<std::size_t>(pkt.payload_bytes) +
@@ -275,7 +316,13 @@ Bytes encode_roce_frame(const Packet& pkt, PfcMode mode) {
   encode_bth(bth, out);
   if (is_ack) {
     encode_aeth(pkt.aeth.value_or(RoceAeth{}), out);
-    if (pkt.sack) encode_sack(*pkt.sack, out);
+    if (bth.opcode == RoceOpcode::kAtomicAck) {
+      encode_atomic_ack_eth(pkt.atomic_ack.value_or(RoceAtomicAckEth{}), out);
+    } else if (pkt.sack) {
+      encode_sack(*pkt.sack, out);
+    }
+  } else if (is_atomic_request(bth.opcode)) {
+    encode_atomic_eth(pkt.atomic.value_or(RoceAtomicEth{}), out);
   }
   out.insert(out.end(), static_cast<std::size_t>(pkt.payload_bytes), 0xab);
 
@@ -308,19 +355,34 @@ std::optional<DecodedRoceFrame> decode_roce_frame(std::span<const std::uint8_t> 
   d.ip = *ip;
   d.udp = *udp;
   d.bth = *bth;
-  if (bth->opcode == RoceOpcode::kAcknowledge) {
+  if (bth->opcode == RoceOpcode::kAcknowledge || bth->opcode == RoceOpcode::kAtomicAck) {
     // AETH is mandatory on ACK frames; the SACK extension is present iff
     // its 8 bytes sit between the AETH and the ICRC (ACKs carry no payload).
+    // Atomic ACKs instead carry the mandatory 8-byte AtomicAckETH there.
     auto aeth = decode_aeth(frame.subspan(off));
     if (!aeth || frame.size() < off + static_cast<std::size_t>(kAethBytes) + 8) {
       return std::nullopt;
     }
     off += static_cast<std::size_t>(kAethBytes);
     d.aeth = *aeth;
-    if (frame.size() - off - 8 >= static_cast<std::size_t>(kSackBytes)) {
+    if (bth->opcode == RoceOpcode::kAtomicAck) {
+      auto ack_eth = decode_atomic_ack_eth(frame.subspan(off));
+      if (!ack_eth || frame.size() < off + static_cast<std::size_t>(kAtomicAckEthBytes) + 8) {
+        return std::nullopt;
+      }
+      off += static_cast<std::size_t>(kAtomicAckEthBytes);
+      d.atomic_ack = *ack_eth;
+    } else if (frame.size() - off - 8 >= static_cast<std::size_t>(kSackBytes)) {
       d.sack = decode_sack(frame.subspan(off));
       off += static_cast<std::size_t>(kSackBytes);
     }
+  } else if (is_atomic_request(bth->opcode)) {
+    auto ath = decode_atomic_eth(frame.subspan(off));
+    if (!ath || frame.size() < off + static_cast<std::size_t>(kAtomicEthBytes) + 8) {
+      return std::nullopt;
+    }
+    off += static_cast<std::size_t>(kAtomicEthBytes);
+    d.atomic = *ath;
   }
   d.payload_bytes = frame.size() - off - 8;
   d.fcs_ok = crc32_ieee(frame.first(frame.size() - 4)) == get_u32(frame, frame.size() - 4);

@@ -40,6 +40,8 @@ void encode_udp(const UdpHeader& h, Bytes& out);            // 8 bytes
 void encode_bth(const RoceBth& h, Bytes& out);              // 12 bytes
 void encode_aeth(const RoceAeth& h, Bytes& out);            // 4 bytes
 void encode_sack(const RoceSackExt& h, Bytes& out);         // 8 bytes
+void encode_atomic_eth(const RoceAtomicEth& h, Bytes& out);        // 28 bytes
+void encode_atomic_ack_eth(const RoceAtomicAckEth& h, Bytes& out); // 8 bytes
 
 struct DecodedEthernet {
   EthernetHeader header;
@@ -51,6 +53,9 @@ struct DecodedEthernet {
 [[nodiscard]] std::optional<RoceBth> decode_bth(std::span<const std::uint8_t> in);
 [[nodiscard]] std::optional<RoceAeth> decode_aeth(std::span<const std::uint8_t> in);
 [[nodiscard]] std::optional<RoceSackExt> decode_sack(std::span<const std::uint8_t> in);
+[[nodiscard]] std::optional<RoceAtomicEth> decode_atomic_eth(std::span<const std::uint8_t> in);
+[[nodiscard]] std::optional<RoceAtomicAckEth> decode_atomic_ack_eth(
+    std::span<const std::uint8_t> in);
 
 // --- frame-level encoders (Fig. 3) ----------------------------------------
 
@@ -79,6 +84,10 @@ struct DecodedRoceFrame {
   /// when the 8-byte extension follows it on the wire.
   std::optional<RoceAeth> aeth;
   std::optional<RoceSackExt> sack;
+  /// kCompareSwap/kFetchAdd frames: the AtomicETH operands.
+  std::optional<RoceAtomicEth> atomic;
+  /// kAtomicAck frames: the original value, after the AETH.
+  std::optional<RoceAtomicAckEth> atomic_ack;
   std::size_t payload_bytes = 0;
   bool fcs_ok = false;
   /// End-to-end check: stored ICRC matches a recompute over the invariant

@@ -107,12 +107,19 @@ enum class RoceOpcode : std::uint8_t {
   kReadResponseLast = 0x0f,
   kReadResponseOnly = 0x10,
   kAcknowledge = 0x11,  // carries AETH: ACK or NAK
+  kAtomicAck = 0x12,    // carries AETH + AtomicAckETH (original value)
+  kCompareSwap = 0x13,  // carries AtomicETH
+  kFetchAdd = 0x14,     // carries AtomicETH
   kCnp = 0x81,          // RoCEv2 congestion notification packet (DCQCN)
 };
 
 [[nodiscard]] constexpr bool is_read_response(RoceOpcode op) {
   return op == RoceOpcode::kReadResponseFirst || op == RoceOpcode::kReadResponseMiddle ||
          op == RoceOpcode::kReadResponseLast || op == RoceOpcode::kReadResponseOnly;
+}
+
+[[nodiscard]] constexpr bool is_atomic_request(RoceOpcode op) {
+  return op == RoceOpcode::kCompareSwap || op == RoceOpcode::kFetchAdd;
 }
 
 /// Base Transport Header (12 bytes on the wire).
@@ -140,6 +147,39 @@ struct RoceAeth {
   std::uint32_t msn = 0;  // 24 bits: message sequence number / expected PSN for NAK
   auto operator<=>(const RoceAeth&) const = default;
 };
+
+/// Atomic Extended Transport Header (28 bytes), carried by kCompareSwap and
+/// kFetchAdd requests: virtual address, rkey, swap/add operand, compare
+/// operand. Inside the invariant region, so the end-to-end ICRC covers it.
+struct RoceAtomicEth {
+  std::uint64_t addr = 0;      // 8-byte-aligned virtual address at the responder
+  std::uint32_t rkey = 0;
+  std::uint64_t swap_add = 0;  // CAS: swap value; FAA: addend
+  std::uint64_t compare = 0;   // CAS only; ignored by FAA
+  auto operator<=>(const RoceAtomicEth&) const = default;
+};
+
+/// Atomic ACK Extended Transport Header (8 bytes), carried after the AETH by
+/// kAtomicAck packets: the value the addressed word held *before* the atomic
+/// executed. ICRC-covered — a corrupted original value must not complete.
+struct RoceAtomicAckEth {
+  std::uint64_t orig = 0;
+  auto operator<=>(const RoceAtomicAckEth&) const = default;
+};
+
+/// Widen a 24-bit wire sequence field back to 64 bits around a reference the
+/// receiver tracks (e.g. una_psn). The signed 24-bit difference is applied to
+/// the reference, so values up to 2^23 ahead of or behind `ref` survive the
+/// wire truncation. Below 2^24 this is the identity.
+[[nodiscard]] constexpr std::uint64_t expand_seq24(std::uint64_t ref, std::uint32_t wire) {
+  const std::uint32_t diff24 = (wire - static_cast<std::uint32_t>(ref)) & 0x00ffffffu;
+  // Sign-extend the 24-bit difference.
+  const std::int32_t diff = static_cast<std::int32_t>(diff24 << 8) >> 8;
+  if (diff < 0 && static_cast<std::uint64_t>(-static_cast<std::int64_t>(diff)) > ref) {
+    return wire & 0x00ffffffu;  // would go negative: reference not yet past wrap
+  }
+  return ref + static_cast<std::uint64_t>(static_cast<std::int64_t>(diff));
+}
 
 /// Selective-ACK extension (8 bytes), carried after the AETH by
 /// kAcknowledge packets in the IRN-style kSelectiveRepeat mode: bit i set
@@ -180,6 +220,8 @@ inline constexpr std::int64_t kBthBytes = 12;
 inline constexpr std::int64_t kAethBytes = 4;
 inline constexpr std::int64_t kSackBytes = 8;    // RoceSackExt (selective repeat)
 inline constexpr std::int64_t kRethBytes = 16;   // RDMA extended header (WRITE/READ)
+inline constexpr std::int64_t kAtomicEthBytes = 28;     // RoceAtomicEth (CAS/FAA)
+inline constexpr std::int64_t kAtomicAckEthBytes = 8;   // RoceAtomicAckEth
 inline constexpr std::int64_t kIcrcBytes = 4;
 inline constexpr std::int64_t kTcpHeaderBytes = 20;
 inline constexpr std::int64_t kPfcFrameBytes = 64;  // minimum Ethernet frame

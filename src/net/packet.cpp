@@ -50,6 +50,7 @@ std::string Packet::summary() const {
   switch (kind) {
     case PacketKind::kRoceData: kind_name = "roce-data"; break;
     case PacketKind::kRoceReadReq: kind_name = "roce-read-req"; break;
+    case PacketKind::kRoceAtomicReq: kind_name = "roce-atomic-req"; break;
     case PacketKind::kRoceAck: kind_name = "roce-ack"; break;
     case PacketKind::kCnp: kind_name = "cnp"; break;
     case PacketKind::kTcp: kind_name = "tcp"; break;

@@ -14,13 +14,14 @@
 namespace rocelab {
 
 enum class PacketKind : std::uint8_t {
-  kRoceData,     // SEND/WRITE segment or READ response segment
-  kRoceReadReq,  // READ request from requester to responder
-  kRoceAck,      // ACK/NAK (AETH)
-  kCnp,          // DCQCN congestion notification packet
-  kTcp,          // TCP segment
-  kPfcPause,     // 802.1Qbb pause frame (link-local, never forwarded)
-  kRaw,          // generic UDP datagram (probes, fillers)
+  kRoceData,      // SEND/WRITE segment or READ response segment
+  kRoceReadReq,   // READ request from requester to responder
+  kRoceAtomicReq, // CAS/FAA request from requester to responder (AtomicETH)
+  kRoceAck,       // ACK/NAK (AETH); atomic ACKs also carry AtomicAckETH
+  kCnp,           // DCQCN congestion notification packet
+  kTcp,           // TCP segment
+  kPfcPause,      // 802.1Qbb pause frame (link-local, never forwarded)
+  kRaw,           // generic UDP datagram (probes, fillers)
 };
 
 struct Packet {
@@ -34,6 +35,8 @@ struct Packet {
   std::optional<RoceBth> bth;
   std::optional<RoceAeth> aeth;
   std::optional<RoceSackExt> sack;  // selective repeat: OOO bitmap after AETH
+  std::optional<RoceAtomicEth> atomic;         // kRoceAtomicReq: CAS/FAA operands
+  std::optional<RoceAtomicAckEth> atomic_ack;  // kAtomicAck: original value
   std::optional<TcpHeaderMeta> tcp;
   std::optional<PfcFrame> pfc;
 

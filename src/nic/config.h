@@ -95,6 +95,14 @@ struct QpConfig {
   /// enough to keep the pipe full at the fabric's bandwidth-delay product,
   /// small enough that a lossy fabric cannot buffer-bloat the receiver.
   std::int64_t selrep_bdp_bytes = 512 * kKiB;
+  /// Responder replay-table capacity (FIFO entries, per QP): how many
+  /// recently executed non-idempotent requests (atomics and READs) the
+  /// responder remembers so a duplicate can be answered from the cached
+  /// result instead of re-executed. Must cover the requester's outstanding
+  /// request window; beyond that, older entries are evicted (counted under
+  /// rdma/atomic/replay_evictions) and a very late duplicate would execute
+  /// again — the same bound real NICs place on this table.
+  int replay_entries = 64;
 };
 
 struct NicWatchdogConfig {

@@ -105,6 +105,7 @@ void Host::dispatch(Packet pkt) {
   switch (pkt.kind) {
     case PacketKind::kRoceData:
     case PacketKind::kRoceReadReq:
+    case PacketKind::kRoceAtomicReq:
     case PacketKind::kRoceAck:
     case PacketKind::kCnp:
       rdma_->handle(std::move(pkt));

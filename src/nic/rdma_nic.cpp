@@ -52,11 +52,20 @@ RdmaNic::RdmaNic(Host& host, const HostConfig& cfg) : host_(host), cfg_(cfg) {
   reg.add(this, prefix + "/injected_drops", &stats_.injected_drops);
   reg.add(this, prefix + "/injected_reorders", &stats_.injected_reorders);
   reg.add(this, prefix + "/injected_dup_acks", &stats_.injected_dup_acks);
+  reg.add(this, prefix + "/injected_dup_reqs", &stats_.injected_dup_reqs);
   reg.add(this, prefix + "/icrc_errors", &stats_.icrc_errors);
   reg.add(this, prefix + "/corrupt_completions", &stats_.corrupt_completions);
   reg.add(this, prefix + "/selrep/sacked", &stats_.selrep.sacked);
   reg.add(this, prefix + "/selrep/retx", &stats_.selrep.retx);
   reg.add(this, prefix + "/selrep/ooo_buffered", &stats_.selrep.ooo_buffered);
+  reg.add(this, prefix + "/atomic/cas_executed", &stats_.atomic.cas_executed);
+  reg.add(this, prefix + "/atomic/cas_failed", &stats_.atomic.cas_failed);
+  reg.add(this, prefix + "/atomic/faa_executed", &stats_.atomic.faa_executed);
+  reg.add(this, prefix + "/atomic/completions", &stats_.atomic.completions);
+  reg.add(this, prefix + "/atomic/reissues", &stats_.atomic.reissues);
+  reg.add(this, prefix + "/atomic/acks_sent", &stats_.atomic.acks_sent);
+  reg.add(this, prefix + "/atomic/dup_requests", &stats_.atomic.dup_requests);
+  reg.add(this, prefix + "/atomic/replay_evictions", &stats_.atomic.replay_evictions);
 }
 
 RdmaNic::~RdmaNic() { host_.sim().metrics().remove_owner(this); }
@@ -134,28 +143,115 @@ void RdmaNic::post_write(std::uint32_t qpn, std::int64_t bytes, std::uint64_t ms
 void RdmaNic::post_read(std::uint32_t qpn, std::int64_t bytes, std::uint64_t msg_id) {
   Qp& q = qp(qpn);
   if (!q.connected) throw std::logic_error("post_read on unconnected QP");
-  q.reads[msg_id] = bytes;
-  q.read_posted_at[msg_id] = host_.sim().now();
+  const Qp::PendingRead pr{bytes, host_.sim().now(), q.next_req_psn++};
+  q.reads[msg_id] = pr;
+  issue_read_req(q, msg_id, pr);
+  arm_read_retx(q, msg_id);
+}
 
+void RdmaNic::issue_read_req(Qp& q, std::uint64_t msg_id, const Qp::PendingRead& pr) {
   Packet pkt = make_roce_packet(q, PacketKind::kRoceReadReq);
   pkt.bth->opcode = RoceOpcode::kReadRequest;
-  pkt.read_length = bytes;
+  // The request PSN is the responder's replay key: a re-issue carries the
+  // same value, so a raced duplicate is recognized instead of re-executed.
+  pkt.bth->psn = static_cast<std::uint32_t>(pr.req_psn & 0x00ffffffu);
+  pkt.read_length = pr.bytes;
   pkt.msg_id = msg_id;
   pkt.frame_bytes = kRoceDataOverheadBytes + kRethBytes;
   host_.send_frame(std::move(pkt));
+}
 
-  // Requester-side reliability for the request itself: re-issue if the
-  // response has not completed within a generous timeout.
+// Requester-side reliability for the READ request itself: re-issue if the
+// response has not completed within a generous timeout. The event id is
+// tracked per msg_id so completion and reset_qp cancel it, and the closure
+// checks the error flag — an errored-but-connected QP must go quiet, not
+// keep re-posting requests.
+void RdmaNic::arm_read_retx(Qp& q, std::uint64_t msg_id) {
   const Time timeout = 8 * q.cfg.retx_timeout;
-  host_.sim().schedule_in(timeout, [this, qpn, msg_id, bytes] {
+  const auto qpn = q.qpn;
+  q.read_retx_evs[msg_id] = host_.sim().schedule_in(timeout, [this, qpn, msg_id] {
     Qp& qq = qp(qpn);
-    if (qq.reads.count(msg_id) == 0) return;  // completed
-    qq.reads.erase(msg_id);
-    const Time posted = qq.read_posted_at[msg_id];
-    qq.read_posted_at.erase(msg_id);
+    qq.read_retx_evs.erase(msg_id);
+    if (qq.error || !qq.connected) return;
+    auto it = qq.reads.find(msg_id);
+    if (it == qq.reads.end()) return;  // completed
     ++stats_.timeouts;
-    post_read(qpn, bytes, msg_id);
-    qq.read_posted_at[msg_id] = posted;  // keep the original post time
+    issue_read_req(qq, msg_id, it->second);
+    arm_read_retx(qq, msg_id);
+  });
+}
+
+// --- atomic verbs (CAS / FAA) ---------------------------------------------------
+
+void RdmaNic::post_cas(std::uint32_t qpn, std::uint64_t addr, std::uint64_t compare,
+                       std::uint64_t swap, std::uint64_t msg_id) {
+  post_atomic(qpn, Qp::PendingAtomic{RoceOpcode::kCompareSwap, addr, compare, swap,
+                                     msg_id, host_.sim().now(), 0, false});
+}
+
+void RdmaNic::post_faa(std::uint32_t qpn, std::uint64_t addr, std::uint64_t add,
+                       std::uint64_t msg_id) {
+  post_atomic(qpn, Qp::PendingAtomic{RoceOpcode::kFetchAdd, addr, 0, add, msg_id,
+                                     host_.sim().now(), 0, false});
+}
+
+void RdmaNic::post_atomic(std::uint32_t qpn, Qp::PendingAtomic a) {
+  Qp& q = qp(qpn);
+  if (q.error) throw std::logic_error("post on errored QP (reset it first)");
+  if (!q.connected) throw std::logic_error("post on unconnected QP");
+  q.atomic_queue.push_back(a);
+  try_issue_atomic(q);
+}
+
+std::uint64_t RdmaNic::memory_read(std::uint64_t addr) const {
+  auto it = memory_.find(addr);
+  return it == memory_.end() ? 0 : it->second;
+}
+
+void RdmaNic::memory_write(std::uint64_t addr, std::uint64_t value) {
+  memory_[addr] = value;
+}
+
+/// Issue the oldest posted atomic once the IB fence clears: atomics wait for
+/// every previously posted operation (SEND/WRITE/READ) to complete, then run
+/// one at a time in post order. Ops posted *after* the atomic also hold it
+/// back (a stricter fence than IB requires — simpler, and still exactly the
+/// post-order execution the lock workloads need).
+void RdmaNic::try_issue_atomic(Qp& q) {
+  if (q.atomic_queue.empty()) return;
+  if (q.error || !q.connected) return;
+  Qp::PendingAtomic& a = q.atomic_queue.front();
+  if (a.issued) return;  // waiting on its ACK
+  if (!q.pending.empty() || !q.inflight.empty() || !q.reads.empty()) return;
+  a.issued = true;
+  a.req_psn = q.next_req_psn++;
+  issue_atomic_req(q, a);
+  arm_atomic_retx(q);
+}
+
+void RdmaNic::issue_atomic_req(Qp& q, const Qp::PendingAtomic& a) {
+  Packet pkt = make_roce_packet(q, PacketKind::kRoceAtomicReq);
+  pkt.bth->opcode = a.op;
+  pkt.bth->psn = static_cast<std::uint32_t>(a.req_psn & 0x00ffffffu);
+  pkt.atomic = RoceAtomicEth{a.addr, /*rkey=*/0, a.swap_add, a.compare};
+  pkt.msg_id = a.msg_id;
+  pkt.frame_bytes = kRoceDataOverheadBytes + kAtomicEthBytes;
+  host_.send_frame(std::move(pkt));
+}
+
+/// Same 8xRTO re-issue discipline as READ requests; only one atomic is ever
+/// outstanding per QP, so a single tracked event id suffices.
+void RdmaNic::arm_atomic_retx(Qp& q) {
+  const Time timeout = 8 * q.cfg.retx_timeout;
+  const auto qpn = q.qpn;
+  q.atomic_retx_ev = host_.sim().schedule_in(timeout, [this, qpn] {
+    Qp& qq = qp(qpn);
+    qq.atomic_retx_ev = kInvalidEventId;
+    if (qq.error || !qq.connected) return;
+    if (qq.atomic_queue.empty() || !qq.atomic_queue.front().issued) return;
+    ++stats_.atomic.reissues;
+    issue_atomic_req(qq, qq.atomic_queue.front());  // same req PSN: a duplicate
+    arm_atomic_retx(qq);
   });
 }
 
@@ -390,18 +486,24 @@ void RdmaNic::reset_qp(std::uint32_t qpn) {
   Qp& q = qp(qpn);
   host_.sim().cancel(q.pacer_ev);
   host_.sim().cancel(q.retx_ev);
-  host_.sim().cancel(q.read_retx_ev);
-  q.pacer_ev = q.retx_ev = q.read_retx_ev = kInvalidEventId;
+  host_.sim().cancel(q.atomic_retx_ev);
+  for (auto& [msg_id, ev] : q.read_retx_evs) host_.sim().cancel(ev);
+  q.read_retx_evs.clear();
+  q.pacer_ev = q.retx_ev = q.atomic_retx_ev = kInvalidEventId;
   q.pending.clear();
   q.inflight.clear();
   q.next_new_psn = q.cursor_psn = q.una_psn = 0;
+  // next_req_psn is deliberately NOT rewound: if only this side resets, the
+  // peer's replay table may still hold entries under the old keys, and a
+  // fresh request must never alias a stale one.
   q.expected_psn = 0;
   q.nak_armed = true;
   q.rx_taint = false;
   q.engine->reset();
   q.rtt_probes.clear();
   q.reads.clear();
-  q.read_posted_at.clear();
+  q.atomic_queue.clear();
+  q.replay.clear();
   q.consecutive_timeouts = 0;
   q.blocked_on_port = false;
   q.error = false;
@@ -438,6 +540,7 @@ void RdmaNic::advance_una(Qp& q, std::uint64_t msn) {
     q.inflight.pop_front();
   }
   restart_retx(q);  // progress: time the next-oldest unacked packet afresh
+  try_issue_atomic(q);  // the fence may have cleared (no-op without atomics)
 }
 
 // --- receive side ---------------------------------------------------------------
@@ -485,6 +588,15 @@ void RdmaNic::handle(Packet pkt) {
           ++stats_.injected_dup_acks;
           dispatch(pkt);  // the duplicate; the original follows below
         }
+      } else if (pkt.kind == PacketKind::kRoceReadReq ||
+                 pkt.kind == PacketKind::kRoceAtomicReq) {
+        if (inj.spec.dup_req_rate > 0.0 && inj.rng.bernoulli(inj.spec.dup_req_rate)) {
+          // The non-idempotent-request duplicate: without the responder
+          // replay table this re-executes the verb.
+          ++inj.stats.dup_reqs;
+          ++stats_.injected_dup_reqs;
+          dispatch(pkt);  // the duplicate; the original follows below
+        }
       }
     }
   }
@@ -519,10 +631,19 @@ void RdmaNic::dispatch(Packet pkt) {
       handle_data(q, pkt);
       break;
     case PacketKind::kRoceAck:
-      handle_ack(q, pkt);
+      // Atomic ACKs bypass the PSN/engine machinery entirely: they complete
+      // the one outstanding atomic by request-PSN match, nothing else.
+      if (pkt.bth->opcode == RoceOpcode::kAtomicAck) {
+        handle_atomic_ack(q, pkt);
+      } else {
+        handle_ack(q, pkt);
+      }
       break;
     case PacketKind::kRoceReadReq:
       handle_read_req(q, pkt);
+      break;
+    case PacketKind::kRoceAtomicReq:
+      handle_atomic_req(q, pkt);
       break;
     case PacketKind::kCnp:
       handle_cnp(q);
@@ -566,10 +687,12 @@ void RdmaNic::deliver_in_order(Qp& q, const RxSegment& seg) {
   if (q.rx_taint) ++stats_.corrupt_completions;
 
   if (is_read_response(op)) {
-    // READ completion at the requester.
+    // READ completion at the requester: exactly once — the entry is erased
+    // and its re-issue timer cancelled, so neither a duplicate response
+    // stream nor a stale timer can complete (or re-request) it again.
     auto rit = q.reads.find(seg.msg_id);
     if (rit != q.reads.end()) {
-      const Time posted = q.read_posted_at[seg.msg_id];
+      const Time posted = rit->second.posted_at;
       ++stats_.messages_completed;
       stats_.bytes_completed += q.rx_msg_bytes;
       if (completion_cb_) {
@@ -577,7 +700,12 @@ void RdmaNic::deliver_in_order(Qp& q, const RxSegment& seg) {
             RdmaCompletion{q.qpn, seg.msg_id, q.rx_msg_bytes, posted, host_.sim().now()});
       }
       q.reads.erase(rit);
-      q.read_posted_at.erase(seg.msg_id);
+      auto evit = q.read_retx_evs.find(seg.msg_id);
+      if (evit != q.read_retx_evs.end()) {
+        host_.sim().cancel(evit->second);
+        q.read_retx_evs.erase(evit);
+      }
+      try_issue_atomic(q);  // a fenced atomic may now be unblocked
     }
   } else {
     ++stats_.messages_received;
@@ -670,10 +798,13 @@ void RdmaNic::handle_ack(Qp& q, const Packet& pkt) {
   // about the aborted pass. Same-priority RoCE paths deliver FIFO, so no
   // legitimate post-restart ACK can predate the barrier.
   if (!q.engine->admit_feedback(pkt.created_at)) return;
+  // The wire MSN is 24 bits; widen it back around our cumulative-ack state
+  // so PSN spaces past 2^24 keep advancing instead of snapping to zero.
+  const std::uint64_t msn = expand_seq24(q.una_psn, pkt.aeth->msn);
   // TIMELY: RTT sample from the freshest probe this ACK covers.
   if (q.timely) {
     Time sent_at = -1;
-    while (!q.rtt_probes.empty() && q.rtt_probes.front().first <= pkt.aeth->msn) {
+    while (!q.rtt_probes.empty() && q.rtt_probes.front().first <= msn) {
       sent_at = q.rtt_probes.front().second;
       q.rtt_probes.pop_front();
     }
@@ -681,18 +812,17 @@ void RdmaNic::handle_ack(Qp& q, const Packet& pkt) {
   }
   // Selective repeat: SACK bookkeeping and the SRTT sample, before una
   // moves (the sample needs the tx record the cumulative ACK retires).
-  q.engine->on_ack(pkt.aeth->msn, pkt.sack, host_.sim().now());
-  advance_una(q, pkt.aeth->msn);
+  q.engine->on_ack(msn, pkt.sack, host_.sim().now());
+  advance_una(q, msn);
   if (pkt.aeth->syndrome == AethSyndrome::kNakPsnSequenceError) {
-    if (q.engine->on_nak(pkt.aeth->msn).retransmit_single) {
-      retransmit_one(q, pkt.aeth->msn);  // resend only the missing packet
+    if (q.engine->on_nak(msn).retransmit_single) {
+      retransmit_one(q, msn);  // resend only the missing packet
     } else {
-      go_back(q, pkt.aeth->msn);
+      go_back(q, msn);
     }
   } else if (pkt.aeth->syndrome == AethSyndrome::kRnrNak) {
     // Receiver not ready: back off, then retry the message from its start.
     ++stats_.rnr_naks_received;
-    const std::uint64_t msn = pkt.aeth->msn;
     q.next_tx_time = std::max(q.next_tx_time, host_.sim().now() + q.cfg.rnr_delay);
     const auto qpn = q.qpn;
     host_.sim().schedule_in(q.cfg.rnr_delay, [this, qpn, msn] {
@@ -706,8 +836,98 @@ void RdmaNic::handle_ack(Qp& q, const Packet& pkt) {
 }
 
 void RdmaNic::handle_read_req(Qp& q, const Packet& pkt) {
+  // Replay guard: a duplicate READ request (requester 8xRTO re-issue racing
+  // a delayed response, or injected duplication) must not re-execute — the
+  // original response stream is already in flight on the PSN-reliable
+  // channel, so a second execution would double-send the data and burn
+  // PSNs. Recognize it and drop it.
+  const std::uint64_t req_psn = pkt.bth->psn;
+  if (replay_lookup(q, req_psn) != nullptr) {
+    ++stats_.atomic.dup_requests;
+    return;
+  }
+  replay_insert(q, Qp::ReplayEntry{req_psn, /*atomic=*/false, 0});
   post_message(q, SendWqe{SendWqe::Kind::kReadResponse, pkt.read_length, pkt.msg_id,
                           pkt.created_at});
+}
+
+// --- responder-side atomic execution + replay guard -----------------------------
+
+const RdmaNic::Qp::ReplayEntry* RdmaNic::replay_lookup(const Qp& q,
+                                                       std::uint64_t req_psn) const {
+  for (const auto& e : q.replay) {
+    if (e.req_psn == req_psn) return &e;
+  }
+  return nullptr;
+}
+
+void RdmaNic::replay_insert(Qp& q, Qp::ReplayEntry entry) {
+  q.replay.push_back(entry);
+  while (q.replay.size() > static_cast<std::size_t>(std::max(1, q.cfg.replay_entries))) {
+    q.replay.pop_front();
+    ++stats_.atomic.replay_evictions;
+  }
+}
+
+void RdmaNic::handle_atomic_req(Qp& q, const Packet& pkt) {
+  if (!pkt.atomic) return;
+  const std::uint64_t req_psn = pkt.bth->psn;
+  // A duplicate atomic must NOT re-execute (FAA would double-increment, CAS
+  // could succeed twice against an ABA'd word): answer from the cached
+  // result instead — the IRN requirement that lossy-fabric recovery makes
+  // non-idempotent-request dedup mandatory.
+  if (const Qp::ReplayEntry* hit = replay_lookup(q, req_psn)) {
+    ++stats_.atomic.dup_requests;
+    send_atomic_ack(q, pkt, hit->orig);
+    return;
+  }
+  const RoceAtomicEth& ath = *pkt.atomic;
+  std::uint64_t& word = memory_[ath.addr];
+  const std::uint64_t orig = word;
+  if (pkt.bth->opcode == RoceOpcode::kCompareSwap) {
+    ++stats_.atomic.cas_executed;
+    if (orig == ath.compare) {
+      word = ath.swap_add;
+    } else {
+      ++stats_.atomic.cas_failed;
+    }
+  } else {
+    ++stats_.atomic.faa_executed;
+    word = orig + ath.swap_add;
+  }
+  replay_insert(q, Qp::ReplayEntry{req_psn, /*atomic=*/true, orig});
+  send_atomic_ack(q, pkt, orig);
+}
+
+void RdmaNic::send_atomic_ack(Qp& q, const Packet& req, std::uint64_t orig) {
+  Packet ack = make_roce_packet(q, PacketKind::kRoceAck);
+  ack.bth->opcode = RoceOpcode::kAtomicAck;
+  // Echo the request PSN so the requester matches the ACK to its one
+  // outstanding atomic (and ignores stale duplicates).
+  ack.bth->psn = req.bth->psn;
+  ack.aeth = RoceAeth{AethSyndrome::kAck,
+                      static_cast<std::uint32_t>(q.expected_psn & 0x00ffffffu)};
+  ack.atomic_ack = RoceAtomicAckEth{orig};
+  ack.msg_id = req.msg_id;
+  ack.frame_bytes = kRoceDataOverheadBytes + kAethBytes + kAtomicAckEthBytes;
+  ++stats_.atomic.acks_sent;
+  host_.send_frame(std::move(ack));
+}
+
+void RdmaNic::handle_atomic_ack(Qp& q, const Packet& pkt) {
+  if (!pkt.atomic_ack) return;
+  if (q.atomic_queue.empty()) return;  // stale/duplicate ACK: already done
+  Qp::PendingAtomic& a = q.atomic_queue.front();
+  if (!a.issued || (a.req_psn & 0x00ffffffu) != pkt.bth->psn) return;
+  host_.sim().cancel(q.atomic_retx_ev);
+  q.atomic_retx_ev = kInvalidEventId;
+  ++stats_.atomic.completions;
+  RdmaCompletion c{q.qpn, a.msg_id, static_cast<std::int64_t>(sizeof(std::uint64_t)),
+                   a.posted_at, host_.sim().now()};
+  c.atomic_orig = pkt.atomic_ack->orig;
+  q.atomic_queue.pop_front();
+  if (completion_cb_) completion_cb_(c);
+  try_issue_atomic(q);  // next queued atomic, if any
 }
 
 void RdmaNic::handle_cnp(Qp& q) {
@@ -718,7 +938,10 @@ void RdmaNic::handle_cnp(Qp& q) {
 void RdmaNic::send_ack(Qp& q, AethSyndrome syndrome) {
   Packet ack = make_roce_packet(q, PacketKind::kRoceAck);
   ack.bth->opcode = RoceOpcode::kAcknowledge;
-  ack.aeth = RoceAeth{syndrome, static_cast<std::uint32_t>(q.expected_psn)};
+  // The AETH MSN field is 24 bits on the wire: mask here (the header is
+  // metadata, but it must match what the codec would emit) and let the
+  // requester's expand_seq24 widen it back around its una_psn.
+  ack.aeth = RoceAeth{syndrome, static_cast<std::uint32_t>(q.expected_psn & 0x00ffffffu)};
   ack.frame_bytes = kRoceDataOverheadBytes + kAethBytes;
   // Selective repeat advertises its out-of-order buffer in a SACK bitmap
   // (always attached, even empty: presence marks the mode on the wire).

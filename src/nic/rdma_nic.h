@@ -27,14 +27,17 @@ namespace rocelab {
 
 class Host;
 
-/// Sender-side completion of a verb (SEND/WRITE acked end-to-end, or READ
-/// data fully arrived).
+/// Sender-side completion of a verb (SEND/WRITE acked end-to-end, READ
+/// data fully arrived, or an atomic's original value returned).
 struct RdmaCompletion {
   std::uint32_t qpn = 0;
   std::uint64_t msg_id = 0;
   std::int64_t bytes = 0;
   Time posted_at = 0;
   Time completed_at = 0;
+  /// CAS/FAA only: the value the remote word held before the atomic
+  /// executed. A CAS succeeded iff this equals the compare operand.
+  std::uint64_t atomic_orig = 0;
 };
 
 /// Receiver-side arrival of a full message (SEND or WRITE).
@@ -58,6 +61,10 @@ struct QpFaultSpec {
   double reorder_rate = 0.0;  // hold an incoming data segment for reorder_delay
   Time reorder_delay = microseconds(20);
   double dup_ack_rate = 0.0;  // deliver an incoming ACK/NAK a second time
+  /// Deliver an incoming READ or atomic *request* a second time: the
+  /// deterministic duplicate source the responder replay table is tested
+  /// against (a re-executed duplicate corrupts application state).
+  double dup_req_rate = 0.0;
   std::uint64_t seed = 1;
 };
 
@@ -65,6 +72,7 @@ struct QpFaultStats {
   std::int64_t drops = 0;
   std::int64_t reorders = 0;
   std::int64_t dup_acks = 0;
+  std::int64_t dup_reqs = 0;
 };
 
 struct RdmaNicStats {
@@ -86,6 +94,7 @@ struct RdmaNicStats {
   std::int64_t injected_drops = 0;     // per-QP fault plane: data segments eaten
   std::int64_t injected_reorders = 0;  // data segments delivered late
   std::int64_t injected_dup_acks = 0;  // ACKs delivered twice
+  std::int64_t injected_dup_reqs = 0;  // READ/atomic requests delivered twice
   /// §5.2 end-to-end integrity: packets whose ICRC verify failed (corruption
   /// escaped every link-level FCS check) and were dropped by the NIC.
   std::int64_t icrc_errors = 0;
@@ -96,6 +105,19 @@ struct RdmaNicStats {
   std::int64_t corrupt_completions = 0;
   /// Selective-repeat engine counters (rdma/selrep/*); zero in go-back modes.
   RecoveryCounters selrep;
+  /// Atomic-verb plane (rdma/atomic/*): CAS/FAA execution at the responder,
+  /// requester-side completions, and the replay guard that answers duplicate
+  /// atomic *and* READ requests from cached state instead of re-executing.
+  struct AtomicStats {
+    std::int64_t cas_executed = 0;   // CAS requests executed (first delivery)
+    std::int64_t cas_failed = 0;     // of those, compare mismatched (no swap)
+    std::int64_t faa_executed = 0;   // FAA requests executed (first delivery)
+    std::int64_t completions = 0;    // requester-side atomic completions
+    std::int64_t reissues = 0;       // 8xRTO re-issues of an unacked atomic
+    std::int64_t acks_sent = 0;      // atomic ACKs sent (replayed ones included)
+    std::int64_t dup_requests = 0;   // replay-table hits: atomic + READ dups
+    std::int64_t replay_evictions = 0;  // bounded-table entries pushed out
+  } atomic;
 };
 
 class RdmaNic {
@@ -113,6 +135,22 @@ class RdmaNic {
   void post_send(std::uint32_t qpn, std::int64_t bytes, std::uint64_t msg_id = 0);
   void post_write(std::uint32_t qpn, std::int64_t bytes, std::uint64_t msg_id = 0);
   void post_read(std::uint32_t qpn, std::int64_t bytes, std::uint64_t msg_id = 0);
+  /// Atomic verbs: compare-and-swap / fetch-and-add on one 64-bit word of
+  /// the peer NIC's memory table. Atomics fence behind every prior posted
+  /// operation on the QP (IB ordering) and execute one at a time, in post
+  /// order; the completion carries the word's original value (atomic_orig).
+  /// Exactly-once execution under loss/duplication is the responder replay
+  /// table's job — a duplicate request is answered from the cached result.
+  void post_cas(std::uint32_t qpn, std::uint64_t addr, std::uint64_t compare,
+                std::uint64_t swap, std::uint64_t msg_id = 0);
+  void post_faa(std::uint32_t qpn, std::uint64_t addr, std::uint64_t add,
+                std::uint64_t msg_id = 0);
+
+  /// The responder-side memory table atomics execute against: a flat
+  /// 64-bit-word store keyed by virtual address, per NIC (it survives QP
+  /// resets — it is application state, not transport state).
+  [[nodiscard]] std::uint64_t memory_read(std::uint64_t addr) const;
+  void memory_write(std::uint64_t addr, std::uint64_t value);
   /// Post `count` receive WQEs (only meaningful with
   /// QpConfig::require_recv_wqes; each incoming SEND consumes one).
   void post_recv(std::uint32_t qpn, int count);
@@ -224,10 +262,54 @@ class RdmaNic {
     std::unique_ptr<TimelyRp> timely;
     std::deque<std::pair<std::uint64_t, Time>> rtt_probes;
 
-    // Outstanding READ requests issued by this side: msg_id -> bytes.
-    std::unordered_map<std::uint64_t, std::int64_t> reads;
-    std::unordered_map<std::uint64_t, Time> read_posted_at;
-    EventId read_retx_ev = kInvalidEventId;
+    // --- requester-side request plane (READs and atomics) ------------------
+    /// Every READ / atomic request this side issues gets the next value of
+    /// this counter stamped into its BTH PSN (masked to 24 wire bits): the
+    /// responder's replay key. Re-issues of the same request reuse the same
+    /// req PSN, so the responder can tell "duplicate" from "new request".
+    std::uint64_t next_req_psn = 0;
+
+    /// Outstanding READ requests issued by this side, keyed by msg_id.
+    struct PendingRead {
+      std::int64_t bytes = 0;
+      Time posted_at = 0;
+      std::uint64_t req_psn = 0;
+    };
+    std::unordered_map<std::uint64_t, PendingRead> reads;
+    /// The 8xRTO re-issue timer per outstanding READ: stored so completion
+    /// and reset_qp can cancel it (an untracked timer could re-post on an
+    /// errored-but-connected QP).
+    std::unordered_map<std::uint64_t, EventId> read_retx_evs;
+
+    /// Posted atomics, front = oldest. Only the front may be on the wire
+    /// (`issued`), and only once pending/inflight/reads have drained — the
+    /// IB fence: an atomic executes after every prior op on the QP.
+    struct PendingAtomic {
+      RoceOpcode op = RoceOpcode::kFetchAdd;  // kCompareSwap or kFetchAdd
+      std::uint64_t addr = 0;
+      std::uint64_t compare = 0;
+      std::uint64_t swap_add = 0;
+      std::uint64_t msg_id = 0;
+      Time posted_at = 0;
+      std::uint64_t req_psn = 0;
+      bool issued = false;
+    };
+    std::deque<PendingAtomic> atomic_queue;
+    EventId atomic_retx_ev = kInvalidEventId;
+
+    // --- responder-side replay guard ---------------------------------------
+    /// Bounded FIFO of recently executed non-idempotent requests (atomics
+    /// and READs), keyed by the requester's req PSN. A duplicate atomic is
+    /// answered by resending the cached original value; a duplicate READ is
+    /// dropped (its response stream is already PSN-reliable). Linear scan:
+    /// the table is small (QpConfig::replay_entries) and scanned only on
+    /// request arrival.
+    struct ReplayEntry {
+      std::uint64_t req_psn = 0;
+      bool atomic = false;
+      std::uint64_t orig = 0;  // atomics: value returned by the execution
+    };
+    std::deque<ReplayEntry> replay;
   };
 
   struct QpFaultInjector {
@@ -261,7 +343,21 @@ class RdmaNic {
   void handle_data(Qp& q, Packet& pkt);
   void handle_ack(Qp& q, const Packet& pkt);
   void handle_read_req(Qp& q, const Packet& pkt);
+  void handle_atomic_req(Qp& q, const Packet& pkt);
+  void handle_atomic_ack(Qp& q, const Packet& pkt);
   void handle_cnp(Qp& q);
+  // Requester-side READ/atomic request plane.
+  void issue_read_req(Qp& q, std::uint64_t msg_id, const Qp::PendingRead& pr);
+  void arm_read_retx(Qp& q, std::uint64_t msg_id);
+  void post_atomic(std::uint32_t qpn, Qp::PendingAtomic a);
+  void try_issue_atomic(Qp& q);
+  void issue_atomic_req(Qp& q, const Qp::PendingAtomic& a);
+  void arm_atomic_retx(Qp& q);
+  // Responder-side replay guard + atomic execution.
+  [[nodiscard]] const Qp::ReplayEntry* replay_lookup(const Qp& q,
+                                                     std::uint64_t req_psn) const;
+  void replay_insert(Qp& q, Qp::ReplayEntry entry);
+  void send_atomic_ack(Qp& q, const Packet& req, std::uint64_t orig);
   void maybe_send_cnp(Qp& q, const Packet& pkt);
   void send_ack(Qp& q, AethSyndrome syndrome);
   Packet make_roce_packet(const Qp& q, PacketKind kind);
@@ -277,6 +373,10 @@ class RdmaNic {
   std::vector<QpErrorCb> error_cbs_;
   RdmaNicStats stats_;
   bool icrc_verify_ = true;
+  /// Responder memory table: the 64-bit words atomics execute against.
+  /// Never iterated (lookups only), so the unordered layout cannot leak
+  /// into simulation order.
+  std::unordered_map<std::uint64_t, std::uint64_t> memory_;
 };
 
 /// Create and connect a QP pair between two hosts with the same config.

@@ -37,8 +37,11 @@ if [ "$jobs" -ge 4 ]; then scale_gate=(--scale-min 2.5); fi
 # host through the recovery seam: the go-back-N digest must stay
 # byte-identical, proving the seam and the inert selrep code cost zero RNG
 # draws and zero events.
+# --atomics-noop is the same contract for the atomic-verbs plane: responder
+# memory touched and a disabled dup-request fault spec installed on every
+# host, with no atomic posted.
 "$repo/build/bench/perf_gate" --ms 10 --twice --gray-noop --corruption-noop \
-  --selrep-noop \
+  --selrep-noop --atomics-noop \
   --expect-digest 7e3131fbe2867385 \
   --scaling 1,2,4 --scaling-podsets 4 --scaling-ms 4 "${scale_gate[@]}" \
   --json "$repo/BENCH_simcore.json"
@@ -138,6 +141,26 @@ assert all(c["pass"] for c in doc["checks"]), doc["checks"]
 print("BENCH json OK:", sys.argv[1])
 PY
 
+# fig_atomics: the atomic-verbs plane (CAS/FAA + responder replay guard).
+# The lock-table workload must execute exactly-once on both transport arms
+# under every fault axis — counter word == completed increments, server
+# executions == client completions, all locks free after the drain — with
+# the replay guard demonstrably hit (dup_requests > 0) on the lossy axes.
+# The roster-determined contract journal must be byte-identical across
+# reruns and shards {1,2}, replaying to the golden hash.
+"$repo/build/bench/fig_atomics" \
+  --expect_journal=35964560000830a6 \
+  --json "$repo/BENCH_fig_atomics.json"
+python3 - "$repo/BENCH_fig_atomics.json" <<'PY'
+import json, sys
+doc = json.load(open(sys.argv[1]))
+assert doc["schema_version"] == 1, doc.get("schema_version")
+assert doc["bench"] == "fig_atomics"
+assert doc["cases"], "no cases emitted"
+assert all(c["pass"] for c in doc["checks"]), doc["checks"]
+print("BENCH json OK:", sys.argv[1])
+PY
+
 echo "=== sanitizer build (ASan+UBSan) ==="
 run_suite "$repo/build-asan" -DROCELAB_SANITIZE=ON
 
@@ -157,6 +180,14 @@ echo "=== lossy-fabric bake-off (ASan build) ==="
 # stable.
 "$repo/build-asan/bench/fig_irn_bakeoff" \
   --expect_journal=c2ee574f823ca762
+
+echo "=== atomic verbs under fire (ASan build) ==="
+# fig_atomics again under ASan+UBSan: the atomic request/ACK path (replay
+# table ownership, re-issue timers, per-QP atomic queues) is new code; the
+# contract journal is roster-determined integers, so the golden hash is
+# build-flavour stable.
+"$repo/build-asan/bench/fig_atomics" \
+  --expect_journal=35964560000830a6
 
 echo "=== gray-failure soak (ASan build) ==="
 # Seeded gray-fault schedule (lossy link, one-way + flow blackholes, per-QP
@@ -183,11 +214,14 @@ echo "=== thread sanitizer (PDES shard tests) ==="
 # The Corruption suite rides along for the kDeliverCorrupt cross-shard
 # message kind (receiver-side counter bumps happen on the peer's shard),
 # and the Recovery suites for the selective-repeat engine state touched
-# from sharded runs (the mini bake-off runs at shards 2 in-test).
+# from sharded runs (the mini bake-off runs at shards 2 in-test). The
+# Atomic suites ride along for the lock-table workload's per-client state,
+# which is mutated from shard-local callbacks in sharded runs.
 run_suite_tsan() {
   cmake -B "$repo/build-tsan" -S "$repo" -DROCELAB_SANITIZE=thread
   cmake --build "$repo/build-tsan" -j "$jobs" --target rocelab_tests
-  ctest --test-dir "$repo/build-tsan" --output-on-failure -R 'Pdes|Simulator|Corruption|Recovery'
+  ctest --test-dir "$repo/build-tsan" --output-on-failure \
+    -R 'Pdes|Simulator|Corruption|Recovery|Atomic'
 }
 run_suite_tsan
 
